@@ -1,0 +1,261 @@
+//! Random-delay flattening of pseudo-schedules (§4.1, after Shmoys–Stein–Wein).
+//!
+//! The pseudo-schedule produced by overlaying the per-chain schedules may
+//! assign a machine to many jobs in one step. The paper fixes this by delaying
+//! the start of each chain by an independent uniform amount in `[0, Π_max]`
+//! (`Π_max` = maximum machine load): with high probability no machine is then
+//! assigned more than `O(log(n+m) / log log(n+m))` jobs in any step, and the
+//! pseudo-schedule can be *flattened* — each step expanded into as many
+//! feasible sub-steps as its congestion — into an oblivious schedule whose
+//! length grows by only that congestion factor.
+//!
+//! The paper derandomises this step with the techniques of Schmidt–Siegel–
+//! Srinivasan; here the substitute is a seeded best-of-`k` search over delay
+//! vectors (deterministic given the seed), which preserves the congestion
+//! guarantee in expectation and is what the experiments measure (experiment
+//! E12 checks the congestion bound, ablation A2 compares delay strategies).
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use suu_core::{Assignment, MachineId, ObliviousSchedule, PseudoSchedule};
+
+use crate::pseudo::overlay_with_delays;
+
+/// Result of the delay-and-flatten step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayOutcome {
+    /// The feasible oblivious schedule obtained by flattening.
+    pub schedule: ObliviousSchedule,
+    /// The chosen per-chain delays.
+    pub delays: Vec<usize>,
+    /// The maximum per-step congestion of the delayed pseudo-schedule (the
+    /// factor by which flattening expands the worst step).
+    pub congestion: usize,
+    /// Length of the delayed pseudo-schedule before flattening.
+    pub pseudo_len: usize,
+}
+
+/// Maximum machine load across the union of the per-chain pseudo-schedules —
+/// the `Π_max` from which delays are drawn.
+#[must_use]
+pub fn max_load(per_chain: &[PseudoSchedule], num_machines: usize) -> usize {
+    (0..num_machines)
+        .map(|i| {
+            per_chain
+                .iter()
+                .map(|ps| ps.load(MachineId(i)))
+                .sum::<usize>()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Overlays the chains with random delays, trying `tries` independent delay
+/// vectors and keeping the one with the smallest maximum congestion, then
+/// flattens the winner into a feasible oblivious schedule.
+///
+/// `tries = 1` reproduces the plain randomised construction of the paper;
+/// larger values act as the deterministic substitute for the derandomised
+/// variant. `tries = 0` is treated as 1.
+#[must_use]
+pub fn flatten_with_random_delays(
+    per_chain: &[PseudoSchedule],
+    num_machines: usize,
+    seed: u64,
+    tries: usize,
+) -> DelayOutcome {
+    let tries = tries.max(1);
+    let pi_max = max_load(per_chain, num_machines);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let mut best: Option<(Vec<usize>, PseudoSchedule, usize)> = None;
+    for attempt in 0..tries {
+        let delays: Vec<usize> = if attempt == 0 {
+            // Always evaluate the zero-delay baseline too: for few chains it is
+            // often already feasible and it makes the search deterministic even
+            // for tries = 1 on single-chain inputs.
+            vec![0; per_chain.len()]
+        } else {
+            (0..per_chain.len())
+                .map(|_| rng.gen_range(0..=pi_max))
+                .collect()
+        };
+        let combined = overlay_with_delays(per_chain, num_machines, &delays);
+        let congestion = combined.max_congestion();
+        let better = match &best {
+            None => true,
+            Some((_, _, best_congestion)) => congestion < *best_congestion,
+        };
+        if better {
+            best = Some((delays, combined, congestion));
+        }
+    }
+    let (delays, combined, congestion) = best.expect("at least one attempt is made");
+    let schedule = flatten(&combined);
+    DelayOutcome {
+        schedule,
+        delays,
+        congestion,
+        pseudo_len: combined.len(),
+    }
+}
+
+/// Flattens a pseudo-schedule into a feasible oblivious schedule by expanding
+/// every step into as many sub-steps as its own congestion, assigning each
+/// machine its jobs one per sub-step (idle in the remaining sub-steps).
+///
+/// The length of the result is `Σ_t congestion(t) ≤ congestion_max · len`, and
+/// the relative order of any two assignments on different original steps is
+/// preserved, so chain windows remain respected.
+#[must_use]
+pub fn flatten(pseudo: &PseudoSchedule) -> ObliviousSchedule {
+    let m = pseudo.num_machines();
+    let mut schedule = ObliviousSchedule::new(m);
+    for t in 0..pseudo.len() {
+        let step = pseudo.step(t);
+        let congestion = step.max_congestion();
+        if congestion == 0 {
+            // Keep empty steps: they represent deliberate idle time (delays)
+            // and preserve window alignment.
+            schedule.push_step(Assignment::idle(m));
+            continue;
+        }
+        for sub in 0..congestion {
+            let mut a = Assignment::idle(m);
+            for i in 0..m {
+                if let Some(&job) = step.jobs_of(MachineId(i)).get(sub) {
+                    a.assign(MachineId(i), job);
+                }
+            }
+            schedule.push_step(a);
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::mass::{mass_of_oblivious, mass_of_pseudo};
+    use suu_core::{InstanceBuilder, JobId};
+    use suu_graph::ChainSet;
+    use suu_workloads::{random_chains, uniform_matrix};
+
+    use crate::lp_relaxation::solve_lp1;
+    use crate::pseudo::build_chain_pseudo_schedules;
+    use crate::rounding::round_solution;
+
+    fn per_chain_fixture(
+        n: usize,
+        m: usize,
+        chains: usize,
+        seed: u64,
+    ) -> (suu_core::SuuInstance, Vec<PseudoSchedule>) {
+        let dag = random_chains(n, chains, seed);
+        let chain_set = ChainSet::from_dag(&dag).unwrap();
+        let inst = InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        let frac = solve_lp1(&inst, &chain_set).unwrap();
+        let rounded = round_solution(&inst, &frac).unwrap();
+        let per_chain = build_chain_pseudo_schedules(&inst, &chain_set, &rounded);
+        (inst, per_chain)
+    }
+
+    #[test]
+    fn flatten_produces_feasible_schedule() {
+        let mut ps = PseudoSchedule::new(2);
+        ps.assign_interval(MachineId(0), JobId(0), 0, 2);
+        ps.assign_interval(MachineId(0), JobId(1), 0, 1);
+        ps.assign_interval(MachineId(1), JobId(2), 1, 2);
+        let flat = flatten(&ps);
+        // Step 0 had congestion 2, step 1 congestion 1 → total length 3.
+        assert_eq!(flat.len(), 3);
+        // Every machine works on at most one job per step by construction; all
+        // original (machine, job, step-count) assignments are preserved.
+        let count = |job: usize| -> usize {
+            (0..flat.len())
+                .flat_map(|t| flat.step(t).machines_on(JobId(job)))
+                .count()
+        };
+        assert_eq!(count(0), 2);
+        assert_eq!(count(1), 1);
+        assert_eq!(count(2), 1);
+    }
+
+    #[test]
+    fn flatten_preserves_empty_steps() {
+        let ps = PseudoSchedule::idle(2, 4);
+        let flat = flatten(&ps);
+        assert_eq!(flat.len(), 4);
+        assert_eq!(flat.max_load(), 0);
+    }
+
+    #[test]
+    fn congestion_of_flattened_schedule_is_one() {
+        let (_inst, per_chain) = per_chain_fixture(12, 3, 4, 3);
+        let outcome = flatten_with_random_delays(&per_chain, 3, 7, 4);
+        // A feasible oblivious schedule: every machine ≤ 1 job per step is
+        // guaranteed by the Assignment type itself; check length accounting.
+        assert!(outcome.schedule.len() >= outcome.pseudo_len);
+        assert!(outcome.schedule.len() <= outcome.pseudo_len * outcome.congestion.max(1));
+    }
+
+    #[test]
+    fn masses_survive_delay_and_flatten() {
+        let (inst, per_chain) = per_chain_fixture(10, 4, 3, 5);
+        let combined = overlay_with_delays(&per_chain, 4, &vec![0; 3]);
+        let pseudo_mass = mass_of_pseudo(&inst, &combined);
+        let outcome = flatten_with_random_delays(&per_chain, 4, 11, 4);
+        let flat_mass = mass_of_oblivious(&inst, &outcome.schedule);
+        for j in inst.jobs() {
+            assert!(
+                (flat_mass.get(j) - pseudo_mass.get(j)).abs() < 1e-9,
+                "job {j}: {} vs {}",
+                flat_mass.get(j),
+                pseudo_mass.get(j)
+            );
+        }
+    }
+
+    #[test]
+    fn best_of_k_congestion_is_no_worse_than_single_try() {
+        let (_inst, per_chain) = per_chain_fixture(16, 4, 8, 9);
+        let single = flatten_with_random_delays(&per_chain, 4, 21, 1);
+        let multi = flatten_with_random_delays(&per_chain, 4, 21, 16);
+        assert!(multi.congestion <= single.congestion);
+    }
+
+    #[test]
+    fn zero_delays_for_single_chain() {
+        let (_inst, per_chain) = per_chain_fixture(6, 2, 1, 13);
+        let outcome = flatten_with_random_delays(&per_chain, 2, 3, 4);
+        assert_eq!(outcome.delays, vec![0]);
+        // A single chain never conflicts with itself across chains, but within
+        // the chain several machines can share a window; congestion counts jobs
+        // per machine, which for one chain is at most 1 (one job per window).
+        assert_eq!(outcome.congestion, 1);
+    }
+
+    #[test]
+    fn delays_are_reproducible_per_seed() {
+        let (_inst, per_chain) = per_chain_fixture(12, 3, 4, 17);
+        let a = flatten_with_random_delays(&per_chain, 3, 5, 8);
+        let b = flatten_with_random_delays(&per_chain, 3, 5, 8);
+        assert_eq!(a, b);
+        let c = flatten_with_random_delays(&per_chain, 3, 6, 8);
+        // Different seeds may pick different delay vectors (not guaranteed to
+        // differ, but the outcome must still be valid).
+        assert!(c.congestion >= 1);
+    }
+
+    #[test]
+    fn max_load_matches_sum_of_chain_loads() {
+        let (inst, per_chain) = per_chain_fixture(10, 3, 5, 19);
+        let pi_max = max_load(&per_chain, inst.num_machines());
+        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &vec![0; 5]);
+        assert_eq!(pi_max, combined.max_load());
+    }
+}

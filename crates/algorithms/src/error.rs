@@ -1,0 +1,79 @@
+//! Errors reported by the scheduling algorithms.
+
+use std::fmt;
+
+use suu_lp::LpError;
+
+/// Errors from the schedule-construction entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgorithmError {
+    /// The precedence graph is not a disjoint union of chains, but the chain
+    /// algorithm (Theorem 4.4) was requested.
+    NotChains,
+    /// The precedence graph's underlying undirected graph is not a forest, but
+    /// the forest algorithm (Theorem 4.7 / 4.8) was requested.
+    NotAForest,
+    /// The jobs are not independent, but an independent-jobs algorithm (§3,
+    /// Theorem 4.5) was requested.
+    NotIndependent,
+    /// The LP relaxation could not be solved (numerical failure or, for a
+    /// malformed instance, infeasibility/unboundedness).
+    LpFailure(String),
+    /// An internal invariant was violated; indicates a bug rather than a bad
+    /// input.
+    Internal(String),
+}
+
+impl fmt::Display for AlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotChains => write!(
+                f,
+                "precedence constraints are not a disjoint union of chains (SUU-C requires chains)"
+            ),
+            Self::NotAForest => write!(
+                f,
+                "precedence constraints are not a directed forest (Theorems 4.7/4.8 require forests)"
+            ),
+            Self::NotIndependent => {
+                write!(f, "jobs are not independent (SUU-I requires an empty precedence graph)")
+            }
+            Self::LpFailure(msg) => write!(f, "LP relaxation failed: {msg}"),
+            Self::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgorithmError {}
+
+impl From<LpError> for AlgorithmError {
+    fn from(e: LpError) -> Self {
+        Self::LpFailure(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AlgorithmError::NotChains.to_string().contains("chains"));
+        assert!(AlgorithmError::NotAForest.to_string().contains("forest"));
+        assert!(AlgorithmError::NotIndependent
+            .to_string()
+            .contains("independent"));
+        assert!(AlgorithmError::LpFailure("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(AlgorithmError::Internal("oops".into())
+            .to_string()
+            .contains("oops"));
+    }
+
+    #[test]
+    fn lp_errors_convert() {
+        let e: AlgorithmError = LpError::IterationLimit { limit: 5 }.into();
+        assert!(matches!(e, AlgorithmError::LpFailure(_)));
+    }
+}

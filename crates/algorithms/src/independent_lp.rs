@@ -1,0 +1,187 @@
+//! The LP-based oblivious schedule for independent jobs (Theorem 4.5).
+//!
+//! For SUU-I the relaxation simplifies to (LP2) (no chain or window
+//! constraints). A basic optimal solution has at most `n + m` non-zero
+//! variables, which is what lets the rounding analysis charge the blow-up to
+//! `O(log min(n, m))` instead of `O(log m)`. Because jobs are independent, the
+//! rounded step counts can be laid out directly: every machine simply works
+//! through its assigned jobs back to back, so the schedule length equals the
+//! maximum rounded machine load and no pseudo-schedule, delay or flattening
+//! step is needed. Replication plus the serial tail then give an expected
+//! makespan of `O(log n · log min(n, m)) · T^OPT`.
+
+use suu_core::{Assignment, JobId, MachineId, ObliviousSchedule, SuuInstance};
+
+use crate::error::AlgorithmError;
+use crate::lp_relaxation::solve_lp2;
+use crate::replicate::{default_sigma, replicate_with_tail};
+use crate::rounding::round_solution;
+
+/// Result of the Theorem 4.5 pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndependentLpSchedule {
+    /// The final oblivious schedule (execute cyclically).
+    pub schedule: ObliviousSchedule,
+    /// The constant-mass schedule before replication (length = max rounded
+    /// machine load).
+    pub constant_mass_schedule: ObliviousSchedule,
+    /// Optimum of (LP2).
+    pub lp_value: f64,
+    /// Number of non-zero `x_ij` in the basic optimal solution (≤ n + m).
+    pub lp_nonzeros: usize,
+    /// Scale factor applied by rounding.
+    pub rounding_scale: u64,
+    /// Replication factor σ.
+    pub sigma: usize,
+}
+
+/// Builds the Theorem 4.5 oblivious schedule for an independent-jobs instance.
+///
+/// # Errors
+///
+/// Returns [`AlgorithmError::NotIndependent`] if the instance has precedence
+/// constraints, or an LP/rounding failure.
+pub fn schedule_independent_lp(
+    instance: &SuuInstance,
+) -> Result<IndependentLpSchedule, AlgorithmError> {
+    schedule_independent_lp_with_sigma(instance, None)
+}
+
+/// Same as [`schedule_independent_lp`] with an explicit replication factor
+/// (used by ablation experiments). `None` uses the paper's `⌈16 log₂ n⌉`.
+///
+/// # Errors
+///
+/// See [`schedule_independent_lp`].
+pub fn schedule_independent_lp_with_sigma(
+    instance: &SuuInstance,
+    sigma: Option<usize>,
+) -> Result<IndependentLpSchedule, AlgorithmError> {
+    if !instance.is_independent() {
+        return Err(AlgorithmError::NotIndependent);
+    }
+    let frac = solve_lp2(instance)?;
+    let rounded = round_solution(instance, &frac)?;
+
+    // Lay out each machine's assigned steps back to back.
+    let m = instance.num_machines();
+    let n = instance.num_jobs();
+    let length = usize::try_from(rounded.max_load()).unwrap_or(usize::MAX).max(1);
+    let mut steps = vec![Assignment::idle(m); length];
+    for i in 0..m {
+        let mut cursor = 0usize;
+        for j in 0..n {
+            let reps = usize::try_from(rounded.x[i][j]).unwrap_or(usize::MAX);
+            for step in steps.iter_mut().skip(cursor).take(reps) {
+                step.assign(MachineId(i), JobId(j));
+            }
+            cursor += reps;
+        }
+    }
+    let constant_mass_schedule = ObliviousSchedule::from_steps(m, steps);
+
+    let sigma = sigma.unwrap_or_else(|| default_sigma(n));
+    let schedule = replicate_with_tail(instance, &constant_mass_schedule, sigma);
+    Ok(IndependentLpSchedule {
+        schedule,
+        constant_mass_schedule,
+        lp_value: frac.t,
+        lp_nonzeros: frac.nonzero_x,
+        rounding_scale: rounded.scale,
+        sigma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::mass::mass_of_oblivious;
+    use suu_core::InstanceBuilder;
+    use suu_sim::exact_expected_makespan_oblivious_cyclic;
+    use suu_workloads::{bottleneck_instance, sparse_uniform_matrix, uniform_matrix};
+
+    fn independent_instance(n: usize, m: usize, seed: u64) -> SuuInstance {
+        InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_precedence_constraints() {
+        let inst = InstanceBuilder::new(2, 1)
+            .uniform_probability(0.5)
+            .chains(&[vec![0, 1]])
+            .build()
+            .unwrap();
+        assert_eq!(
+            schedule_independent_lp(&inst).unwrap_err(),
+            AlgorithmError::NotIndependent
+        );
+    }
+
+    #[test]
+    fn constant_mass_schedule_reaches_half_mass() {
+        let inst = independent_instance(10, 4, 1);
+        let result = schedule_independent_lp(&inst).unwrap();
+        let mass = mass_of_oblivious(&inst, &result.constant_mass_schedule);
+        for j in inst.jobs() {
+            assert!(mass.get(j) >= 0.5 - 1e-9, "job {j}: {}", mass.get(j));
+        }
+    }
+
+    #[test]
+    fn basic_lp_solution_is_sparse() {
+        let inst = independent_instance(12, 5, 3);
+        let result = schedule_independent_lp(&inst).unwrap();
+        assert!(result.lp_nonzeros <= 12 + 5 + 1);
+    }
+
+    #[test]
+    fn schedule_length_matches_max_load_times_sigma_plus_tail() {
+        let inst = independent_instance(8, 3, 5);
+        let result = schedule_independent_lp(&inst).unwrap();
+        assert_eq!(
+            result.schedule.len(),
+            result.constant_mass_schedule.len() * result.sigma + inst.num_jobs()
+        );
+    }
+
+    #[test]
+    fn expected_makespan_is_finite() {
+        let inst = independent_instance(6, 3, 7);
+        let result = schedule_independent_lp(&inst).unwrap();
+        let expected = exact_expected_makespan_oblivious_cyclic(&inst, &result.schedule);
+        assert!(expected.is_finite());
+        assert!(expected <= 2.0 * result.schedule.len() as f64);
+    }
+
+    #[test]
+    fn handles_sparse_and_bottleneck_instances() {
+        let n = 10;
+        let m = 6;
+        let sparse = InstanceBuilder::new(n, m)
+            .probability_matrix(sparse_uniform_matrix(n, m, 0.1, 0.8, 0.6, 9))
+            .build()
+            .unwrap();
+        let result = schedule_independent_lp(&sparse).unwrap();
+        let mass = mass_of_oblivious(&sparse, &result.constant_mass_schedule);
+        assert!(mass.min() >= 0.5 - 1e-9);
+
+        let bottleneck = bottleneck_instance(8, 4, 11);
+        let result = schedule_independent_lp(&bottleneck).unwrap();
+        let mass = mass_of_oblivious(&bottleneck, &result.constant_mass_schedule);
+        assert!(mass.min() >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn explicit_sigma_is_honoured() {
+        let inst = independent_instance(5, 2, 13);
+        let result = schedule_independent_lp_with_sigma(&inst, Some(3)).unwrap();
+        assert_eq!(result.sigma, 3);
+        assert_eq!(
+            result.schedule.len(),
+            result.constant_mass_schedule.len() * 3 + 5
+        );
+    }
+}

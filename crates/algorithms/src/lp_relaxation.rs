@@ -1,0 +1,313 @@
+//! The LP relaxations (LP1) and (LP2) of the AccuMass-C sub-problem (§4.1).
+//!
+//! AccuMass-C asks for a shortest oblivious schedule in which every job
+//! accumulates mass ≥ 1/2, with machines assigned to a job only after its
+//! chain predecessor has accumulated its mass. Writing `x_ij` for the number
+//! of steps machine `i` spends on job `j` and `d_j` for the number of steps in
+//! which *some* machine works on `j`, the relaxation (LP1) is
+//!
+//! ```text
+//!   minimise t
+//!   s.t.  Σ_i p_ij · x_ij ≥ 1/2          for every job j          (mass)
+//!         Σ_j x_ij        ≤ t            for every machine i      (load)
+//!         Σ_{j ∈ C_k} d_j ≤ t            for every chain C_k      (chain)
+//!         0 ≤ x_ij ≤ d_j                 for every i, j
+//!         d_j ≥ 1                        for every job j
+//! ```
+//!
+//! Lemma 4.2 shows the optimum `T*` of (LP1) is at most `16 · T^OPT`, so a
+//! schedule built from a rounded (LP1) solution can be charged against the
+//! optimal expected makespan. For independent jobs the chain and `d`
+//! constraints disappear, giving (LP2), used by Theorem 4.5.
+
+use suu_core::{JobId, MachineId, SuuInstance};
+use suu_graph::ChainSet;
+use suu_lp::{solve, ConstraintOp, LpProblem, LpStatus, Sense, SimplexOptions, VarId};
+
+use crate::error::AlgorithmError;
+
+/// Target mass per job in the relaxation (the paper uses 1/2).
+pub const LP_MASS_TARGET: f64 = 0.5;
+
+/// A solved fractional relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalSolution {
+    /// `x[machine][job]`: fractional steps machine `i` spends on job `j`.
+    pub x: Vec<Vec<f64>>,
+    /// `d[job]`: fractional number of steps during which some machine works on
+    /// the job. For (LP2) this is simply `max_i x_ij` (no explicit variable).
+    pub d: Vec<f64>,
+    /// The optimal value `t` (the paper's `T*`).
+    pub t: f64,
+    /// Simplex pivot count (diagnostic).
+    pub iterations: usize,
+    /// Number of non-zero `x_ij` in the basic optimal solution (diagnostic;
+    /// Theorem 4.5's analysis uses the fact that this is at most `n + m` for
+    /// (LP2)).
+    pub nonzero_x: usize,
+}
+
+impl FractionalSolution {
+    /// The fractional mass `Σ_i p_ij x_ij` of a job.
+    #[must_use]
+    pub fn mass_of(&self, instance: &SuuInstance, job: JobId) -> f64 {
+        (0..instance.num_machines())
+            .map(|i| self.x[i][job.0] * instance.prob(MachineId(i), job))
+            .sum()
+    }
+
+    /// The fractional load `Σ_j x_ij` of a machine.
+    #[must_use]
+    pub fn load_of(&self, machine: MachineId) -> f64 {
+        self.x[machine.0].iter().sum()
+    }
+}
+
+/// Builds and solves (LP1) for a chain-structured instance.
+///
+/// # Errors
+///
+/// Returns [`AlgorithmError::LpFailure`] if the simplex solver fails or the LP
+/// is reported infeasible/unbounded (which cannot happen for valid instances).
+pub fn solve_lp1(
+    instance: &SuuInstance,
+    chains: &ChainSet,
+) -> Result<FractionalSolution, AlgorithmError> {
+    build_and_solve(instance, Some(chains))
+}
+
+/// Builds and solves (LP2) for an independent-jobs instance.
+///
+/// # Errors
+///
+/// Returns [`AlgorithmError::LpFailure`] on solver failure.
+pub fn solve_lp2(instance: &SuuInstance) -> Result<FractionalSolution, AlgorithmError> {
+    build_and_solve(instance, None)
+}
+
+fn build_and_solve(
+    instance: &SuuInstance,
+    chains: Option<&ChainSet>,
+) -> Result<FractionalSolution, AlgorithmError> {
+    let n = instance.num_jobs();
+    let m = instance.num_machines();
+    let mut lp = LpProblem::new(Sense::Minimize);
+
+    // x variables only for positive probabilities.
+    let mut x_var: Vec<Vec<Option<VarId>>> = vec![vec![None; n]; m];
+    for i in 0..m {
+        for j in 0..n {
+            if instance.prob(MachineId(i), JobId(j)) > 0.0 {
+                x_var[i][j] = Some(lp.add_variable(format!("x_{i}_{j}")));
+            }
+        }
+    }
+    // d variables only when chains are present (LP1).
+    let d_var: Option<Vec<VarId>> = chains.map(|_| {
+        (0..n)
+            .map(|j| lp.add_variable(format!("d_{j}")))
+            .collect()
+    });
+    let t_var = lp.add_variable("t");
+    lp.set_objective_coefficient(t_var, 1.0);
+
+    // (1) mass constraints.
+    for j in 0..n {
+        let terms: Vec<(VarId, f64)> = (0..m)
+            .filter_map(|i| {
+                x_var[i][j].map(|v| (v, instance.prob(MachineId(i), JobId(j))))
+            })
+            .collect();
+        lp.add_constraint(terms, ConstraintOp::Ge, LP_MASS_TARGET, format!("mass_{j}"));
+    }
+    // (2) machine load constraints: Σ_j x_ij − t ≤ 0.
+    for (i, row) in x_var.iter().enumerate() {
+        let mut terms: Vec<(VarId, f64)> = row
+            .iter()
+            .filter_map(|v| v.map(|var| (var, 1.0)))
+            .collect();
+        terms.push((t_var, -1.0));
+        lp.add_constraint(terms, ConstraintOp::Le, 0.0, format!("load_{i}"));
+    }
+    if let (Some(chains), Some(d_var)) = (chains, d_var.as_ref()) {
+        // (3) chain-length constraints: Σ_{j ∈ C_k} d_j − t ≤ 0.
+        for (k, chain) in chains.chains().iter().enumerate() {
+            let mut terms: Vec<(VarId, f64)> =
+                chain.iter().map(|&j| (d_var[j], 1.0)).collect();
+            terms.push((t_var, -1.0));
+            lp.add_constraint(terms, ConstraintOp::Le, 0.0, format!("chain_{k}"));
+        }
+        // (4) x_ij ≤ d_j.
+        for (i, row) in x_var.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                if let Some(var) = v {
+                    lp.add_constraint(
+                        vec![(*var, 1.0), (d_var[j], -1.0)],
+                        ConstraintOp::Le,
+                        0.0,
+                        format!("window_{i}_{j}"),
+                    );
+                }
+            }
+        }
+        // (5) d_j ≥ 1.
+        for (j, &dv) in d_var.iter().enumerate() {
+            lp.add_constraint(vec![(dv, 1.0)], ConstraintOp::Ge, 1.0, format!("dmin_{j}"));
+        }
+    }
+
+    let sol = solve(&lp, &SimplexOptions::default())?;
+    if sol.status != LpStatus::Optimal {
+        return Err(AlgorithmError::LpFailure(format!(
+            "relaxation reported {:?}",
+            sol.status
+        )));
+    }
+
+    let mut x = vec![vec![0.0f64; n]; m];
+    let mut nonzero_x = 0usize;
+    for i in 0..m {
+        for j in 0..n {
+            if let Some(v) = x_var[i][j] {
+                let value = sol.value(v).max(0.0);
+                if value > 1e-9 {
+                    nonzero_x += 1;
+                }
+                x[i][j] = value;
+            }
+        }
+    }
+    let d: Vec<f64> = match d_var {
+        Some(vars) => vars.iter().map(|&v| sol.value(v).max(0.0)).collect(),
+        None => (0..n)
+            .map(|j| {
+                (0..m)
+                    .map(|i| x[i][j])
+                    .fold(0.0f64, f64::max)
+            })
+            .collect(),
+    };
+    Ok(FractionalSolution {
+        x,
+        d,
+        t: sol.value(t_var),
+        iterations: sol.iterations,
+        nonzero_x,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::InstanceBuilder;
+    use suu_workloads::{random_chains, uniform_matrix};
+
+    fn chain_instance(n: usize, m: usize, num_chains: usize, seed: u64) -> (SuuInstance, ChainSet) {
+        let dag = random_chains(n, num_chains, seed);
+        let chains = ChainSet::from_dag(&dag).unwrap();
+        let inst = InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        (inst, chains)
+    }
+
+    #[test]
+    fn lp1_solution_is_feasible_for_its_own_constraints() {
+        let (inst, chains) = chain_instance(8, 3, 2, 4);
+        let sol = solve_lp1(&inst, &chains).unwrap();
+        // Mass per job ≥ 1/2.
+        for j in inst.jobs() {
+            assert!(
+                sol.mass_of(&inst, j) >= LP_MASS_TARGET - 1e-6,
+                "job {j}: {}",
+                sol.mass_of(&inst, j)
+            );
+        }
+        // Machine loads ≤ t.
+        for i in inst.machines() {
+            assert!(sol.load_of(i) <= sol.t + 1e-6);
+        }
+        // Chain lengths ≤ t and d_j ≥ 1.
+        for chain in chains.chains() {
+            let total: f64 = chain.iter().map(|&j| sol.d[j]).sum();
+            assert!(total <= sol.t + 1e-6);
+        }
+        for j in 0..inst.num_jobs() {
+            assert!(sol.d[j] >= 1.0 - 1e-6);
+        }
+        // x_ij ≤ d_j.
+        for i in 0..inst.num_machines() {
+            for j in 0..inst.num_jobs() {
+                assert!(sol.x[i][j] <= sol.d[j] + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn lp1_optimum_is_at_least_chain_length() {
+        // d_j ≥ 1 and Σ_{chain} d_j ≤ t force t ≥ longest chain.
+        let (inst, chains) = chain_instance(10, 4, 2, 9);
+        let sol = solve_lp1(&inst, &chains).unwrap();
+        let longest = chains.max_chain_len() as f64;
+        assert!(sol.t >= longest - 1e-6);
+    }
+
+    #[test]
+    fn lp2_drops_chain_structure() {
+        let inst = InstanceBuilder::new(6, 3)
+            .probability_matrix(uniform_matrix(6, 3, 0.2, 0.9, 2))
+            .build()
+            .unwrap();
+        let sol = solve_lp2(&inst).unwrap();
+        for j in inst.jobs() {
+            assert!(sol.mass_of(&inst, j) >= LP_MASS_TARGET - 1e-6);
+        }
+        for i in inst.machines() {
+            assert!(sol.load_of(i) <= sol.t + 1e-6);
+        }
+        // The optimum of LP2 can be well below 1 when machines are plentiful.
+        assert!(sol.t > 0.0);
+    }
+
+    #[test]
+    fn lp2_basic_solution_is_sparse() {
+        // A basic optimal solution of (LP2) has at most n + m + 1 non-zeros
+        // among the x variables (n mass rows + m load rows, plus t).
+        let n = 8;
+        let m = 5;
+        let inst = InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, 13))
+            .build()
+            .unwrap();
+        let sol = solve_lp2(&inst).unwrap();
+        assert!(
+            sol.nonzero_x <= n + m + 1,
+            "basic solution has {} non-zeros",
+            sol.nonzero_x
+        );
+    }
+
+    #[test]
+    fn lp1_with_single_machine_scales_with_job_count() {
+        // One machine must supply 1/2 mass to every job: t ≥ Σ_j 1/(2 p_j).
+        let n = 4;
+        let inst = InstanceBuilder::new(n, 1)
+            .uniform_probability(0.5)
+            .precedence(random_chains(n, n, 0))
+            .build()
+            .unwrap();
+        let chains = ChainSet::from_dag(inst.precedence()).unwrap();
+        let sol = solve_lp1(&inst, &chains).unwrap();
+        assert!(sol.t >= n as f64 - 1e-6, "t = {}", sol.t);
+    }
+
+    #[test]
+    fn lp_values_are_deterministic() {
+        let (inst, chains) = chain_instance(6, 2, 3, 21);
+        let a = solve_lp1(&inst, &chains).unwrap();
+        let b = solve_lp1(&inst, &chains).unwrap();
+        assert_eq!(a, b);
+    }
+}

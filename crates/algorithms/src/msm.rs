@@ -1,0 +1,205 @@
+//! `MSM-ALG`: the greedy 1/3-approximation for MaxSumMass (Theorem 3.2).
+//!
+//! MaxSumMass asks for a single-step assignment `f : M → J ∪ {⊥}` maximising
+//! the total mass `Σ_j min(Σ_{i : f(i)=j} p_ij, 1)` over a given set of jobs.
+//! `MSM-ALG` processes the probabilities `p_ij` in non-increasing order and
+//! assigns machine `i` to job `j` whenever `i` is still free and doing so does
+//! not push `j`'s mass above 1. The charging argument of Theorem 3.2 shows the
+//! resulting total mass is at least 1/3 of the optimum.
+//!
+//! [`exact_max_sum_mass`] solves the problem exactly by exhaustive enumeration
+//! for tiny instances, providing the optimum that experiment E3 compares the
+//! greedy against.
+
+use suu_core::{Assignment, JobId, JobSet, MachineId, SuuInstance};
+
+/// Runs `MSM-ALG` on the given subset of jobs (typically the unfinished set),
+/// returning the single-step assignment. Machines that cannot be usefully
+/// assigned are left idle (`⊥`).
+#[must_use]
+pub fn msm_alg(instance: &SuuInstance, jobs: &JobSet) -> Assignment {
+    let m = instance.num_machines();
+    let n = instance.num_jobs();
+    let mut assignment = Assignment::idle(m);
+    let mut machine_used = vec![false; m];
+    let mut job_mass = vec![0.0f64; n];
+
+    for (machine, job, p) in instance.positive_probs_sorted() {
+        if !jobs.contains(job) {
+            continue;
+        }
+        if machine_used[machine.0] {
+            continue;
+        }
+        if job_mass[job.0] + p <= 1.0 + 1e-12 {
+            assignment.assign(machine, job);
+            machine_used[machine.0] = true;
+            job_mass[job.0] += p;
+        }
+    }
+    assignment
+}
+
+/// Total (capped) mass of an assignment restricted to `jobs`.
+#[must_use]
+pub fn sum_of_masses(instance: &SuuInstance, assignment: &Assignment, jobs: &JobSet) -> f64 {
+    let mut mass = vec![0.0f64; instance.num_jobs()];
+    for (machine, job) in assignment.busy_pairs() {
+        if jobs.contains(job) {
+            mass[job.0] += instance.prob(machine, job);
+        }
+    }
+    mass.iter().map(|&v| v.min(1.0)).sum()
+}
+
+/// Exhaustively computes the optimal MaxSumMass value over all assignments of
+/// machines to jobs in `jobs` (including leaving machines idle).
+///
+/// The search space is `(|jobs| + 1)^m`, so this is intended for instances
+/// with at most a handful of machines and jobs (it panics beyond 10⁷ states
+/// to avoid accidental blow-ups).
+#[must_use]
+pub fn exact_max_sum_mass(instance: &SuuInstance, jobs: &JobSet) -> f64 {
+    let job_list: Vec<JobId> = jobs.iter().collect();
+    let m = instance.num_machines();
+    let choices = job_list.len() + 1;
+    let states = (choices as u128).pow(u32::try_from(m).expect("machine count fits u32"));
+    assert!(
+        states <= 10_000_000,
+        "exact MaxSumMass search space too large ({states} states)"
+    );
+
+    let mut best = 0.0f64;
+    let mut counter = vec![0usize; m];
+    loop {
+        // Evaluate the current assignment encoded in `counter`.
+        let mut mass = vec![0.0f64; instance.num_jobs()];
+        for (i, &c) in counter.iter().enumerate() {
+            if c > 0 {
+                let job = job_list[c - 1];
+                mass[job.0] += instance.prob(MachineId(i), job);
+            }
+        }
+        let total: f64 = mass.iter().map(|&v| v.min(1.0)).sum();
+        best = best.max(total);
+
+        // Advance the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == m {
+                return best;
+            }
+            counter[pos] += 1;
+            if counter[pos] < choices {
+                break;
+            }
+            counter[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+    use suu_core::InstanceBuilder;
+    use suu_workloads::uniform_matrix;
+
+    fn instance_from_matrix(n: usize, m: usize, probs: Vec<f64>) -> SuuInstance {
+        InstanceBuilder::new(n, m)
+            .probability_matrix(probs)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_machine_goes_to_best_job() {
+        // One machine, two jobs, p = [0.3, 0.8]: greedy assigns to job 1.
+        let inst = instance_from_matrix(2, 1, vec![0.3, 0.8]);
+        let a = msm_alg(&inst, &JobSet::all(2));
+        assert_eq!(a.target(MachineId(0)), Some(JobId(1)));
+        assert!((sum_of_masses(&inst, &a, &JobSet::all(2)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_never_exceeds_one_per_job() {
+        // Many machines all excellent at job 0: greedy must stop adding them
+        // once the mass reaches 1 and must not waste the rest on nothing.
+        let inst = instance_from_matrix(2, 4, vec![0.9, 0.1, 0.9, 0.1, 0.9, 0.1, 0.9, 0.1]);
+        let a = msm_alg(&inst, &JobSet::all(2));
+        let mut mass0 = 0.0;
+        for i in 0..4 {
+            if a.target(MachineId(i)) == Some(JobId(0)) {
+                mass0 += 0.9;
+            }
+        }
+        assert!(mass0 <= 1.0 + 1e-9);
+        // The remaining machines should work on job 1 (0.1 each ≤ 1 total).
+        assert!(a.machines_on(JobId(1)).len() >= 3);
+    }
+
+    #[test]
+    fn ignores_jobs_outside_the_target_set() {
+        let inst = instance_from_matrix(2, 2, vec![0.9, 0.2, 0.8, 0.3]);
+        let only_job1 = JobSet::from_members(2, [JobId(1)]);
+        let a = msm_alg(&inst, &only_job1);
+        for (_, j) in a.busy_pairs() {
+            assert_eq!(j, JobId(1));
+        }
+        assert!(!a.machines_on(JobId(1)).is_empty());
+    }
+
+    #[test]
+    fn empty_job_set_leaves_all_machines_idle() {
+        let inst = instance_from_matrix(2, 3, vec![0.5; 6]);
+        let a = msm_alg(&inst, &JobSet::empty(2));
+        assert_eq!(a.num_idle(), 3);
+    }
+
+    #[test]
+    fn exact_solver_matches_hand_computed_optimum() {
+        // 2 machines, 2 jobs: p = [[0.6, 0.5], [0.7, 0.1]].
+        // Best: machine 0 → job 1 (0.5), machine 1 → job 0 (0.7) = 1.2;
+        // alternative both on job 0 = min(1.3, 1) = 1.0; split other way 0.7.
+        let inst = instance_from_matrix(2, 2, vec![0.6, 0.5, 0.7, 0.1]);
+        let opt = exact_max_sum_mass(&inst, &JobSet::all(2));
+        assert!((opt - 1.2).abs() < 1e-9, "opt = {opt}");
+    }
+
+    #[test]
+    fn greedy_is_within_one_third_of_optimum_on_random_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=4);
+            let m = rng.gen_range(1..=4);
+            let probs = uniform_matrix(n, m, 0.05, 0.95, trial);
+            let inst = instance_from_matrix(n, m, probs);
+            let jobs = JobSet::all(n);
+            let greedy = sum_of_masses(&inst, &msm_alg(&inst, &jobs), &jobs);
+            let opt = exact_max_sum_mass(&inst, &jobs);
+            assert!(
+                greedy >= opt / 3.0 - 1e-9,
+                "trial {trial}: greedy {greedy} < opt/3 {}",
+                opt / 3.0
+            );
+            assert!(greedy <= opt + 1e-9, "greedy cannot beat the optimum");
+        }
+    }
+
+    #[test]
+    fn greedy_uses_all_machines_when_capacity_allows() {
+        // Low probabilities: no job saturates, every machine should work.
+        let inst = instance_from_matrix(3, 5, vec![0.05; 15]);
+        let a = msm_alg(&inst, &JobSet::all(3));
+        assert_eq!(a.num_idle(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn exact_solver_guards_against_blowup() {
+        let inst = instance_from_matrix(20, 20, vec![0.5; 400]);
+        let _ = exact_max_sum_mass(&inst, &JobSet::all(20));
+    }
+}

@@ -1,0 +1,201 @@
+//! Pseudo-schedule construction from a rounded solution (proof of Thm 4.1).
+//!
+//! Given integral step counts `x̂_ij`, the paper builds one pseudo-schedule per
+//! chain: job `j` of a chain is given a *window* of length `L_j = max_i x̂_ij`
+//! starting right after the windows of all its chain predecessors
+//! (`ψ_j = Σ_{j' ≺ j} L_{j'}`), and machine `i` is assigned to `j` during the
+//! first `x̂_ij` steps of that window. Different machines overlap freely inside
+//! the window; different *chains* are later overlaid on top of each other,
+//! which is what makes the result a pseudo-schedule (a machine may be assigned
+//! jobs from several chains in the same step) rather than a feasible one.
+
+use suu_core::{JobId, MachineId, PseudoSchedule, SuuInstance};
+use suu_graph::ChainSet;
+
+use crate::rounding::RoundedSolution;
+
+/// Builds one pseudo-schedule per chain, in the chain order of `chains`.
+///
+/// Every returned pseudo-schedule covers all machines of the instance; its
+/// length is the sum of the window lengths of the chain's jobs.
+#[must_use]
+pub fn build_chain_pseudo_schedules(
+    instance: &SuuInstance,
+    chains: &ChainSet,
+    rounded: &RoundedSolution,
+) -> Vec<PseudoSchedule> {
+    let m = instance.num_machines();
+    chains
+        .chains()
+        .iter()
+        .map(|chain| {
+            let mut ps = PseudoSchedule::new(m);
+            let mut cursor = 0usize;
+            for &j in chain {
+                let job = JobId(j);
+                let window = usize::try_from(rounded.window_of(job)).unwrap_or(usize::MAX);
+                for i in 0..m {
+                    let steps = usize::try_from(rounded.x[i][j]).unwrap_or(usize::MAX);
+                    if steps > 0 {
+                        ps.assign_interval(MachineId(i), job, cursor, cursor + steps);
+                    }
+                }
+                cursor += window;
+                ps.extend_to(cursor);
+            }
+            ps
+        })
+        .collect()
+}
+
+/// Overlays per-chain pseudo-schedules with the given per-chain start delays,
+/// producing the combined pseudo-schedule `Σ_s` (delays all zero) or the
+/// delayed variant used by the random-delay step.
+///
+/// # Panics
+///
+/// Panics if `delays.len()` differs from the number of chains.
+#[must_use]
+pub fn overlay_with_delays(
+    per_chain: &[PseudoSchedule],
+    num_machines: usize,
+    delays: &[usize],
+) -> PseudoSchedule {
+    assert_eq!(per_chain.len(), delays.len(), "one delay per chain required");
+    let mut combined = PseudoSchedule::new(num_machines);
+    for (ps, &delay) in per_chain.iter().zip(delays.iter()) {
+        combined.union_with_offset(ps, delay);
+    }
+    combined
+}
+
+/// Checks the precedence discipline of a per-chain pseudo-schedule: within
+/// each chain, no machine may be assigned to a job before its chain
+/// predecessor's window has ended (condition (ii) of AccuMass-C). Returns
+/// `true` when the discipline holds. Used by tests and debug assertions.
+#[must_use]
+pub fn respects_chain_windows(
+    instance: &SuuInstance,
+    chains: &ChainSet,
+    rounded: &RoundedSolution,
+    per_chain: &[PseudoSchedule],
+) -> bool {
+    for (chain, ps) in chains.chains().iter().zip(per_chain.iter()) {
+        let mut window_start = 0usize;
+        for &j in chain {
+            let job = JobId(j);
+            let window = usize::try_from(rounded.window_of(job)).unwrap_or(usize::MAX);
+            // The job must not be assigned before its window starts.
+            for t in 0..window_start.min(ps.len()) {
+                for i in 0..instance.num_machines() {
+                    if ps.step(t).jobs_of(MachineId(i)).contains(&job) {
+                        return false;
+                    }
+                }
+            }
+            window_start += window;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::mass::mass_of_pseudo;
+    use suu_core::InstanceBuilder;
+    use suu_workloads::{random_chains, uniform_matrix};
+
+    use crate::lp_relaxation::solve_lp1;
+    use crate::rounding::{round_solution, ROUNDED_MASS_TARGET};
+
+    fn pipeline(n: usize, m: usize, chains: usize, seed: u64) -> (SuuInstance, ChainSet, RoundedSolution) {
+        let dag = random_chains(n, chains, seed);
+        let chain_set = ChainSet::from_dag(&dag).unwrap();
+        let inst = InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        let frac = solve_lp1(&inst, &chain_set).unwrap();
+        let rounded = round_solution(&inst, &frac).unwrap();
+        (inst, chain_set, rounded)
+    }
+
+    #[test]
+    fn one_pseudo_schedule_per_chain() {
+        let (inst, chains, rounded) = pipeline(9, 3, 3, 1);
+        let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
+        assert_eq!(per_chain.len(), 3);
+        for ps in &per_chain {
+            assert_eq!(ps.num_machines(), 3);
+        }
+    }
+
+    #[test]
+    fn per_chain_length_is_sum_of_windows() {
+        let (inst, chains, rounded) = pipeline(8, 2, 2, 3);
+        let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
+        for (chain, ps) in chains.chains().iter().zip(per_chain.iter()) {
+            let expected: u64 = chain.iter().map(|&j| rounded.window_of(JobId(j))).sum();
+            assert_eq!(ps.len() as u64, expected);
+        }
+    }
+
+    #[test]
+    fn pseudo_schedules_preserve_rounded_masses() {
+        let (inst, chains, rounded) = pipeline(10, 4, 2, 5);
+        let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
+        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &vec![0; 2]);
+        let mass = mass_of_pseudo(&inst, &combined);
+        for j in inst.jobs() {
+            assert!(
+                mass.get(j) >= ROUNDED_MASS_TARGET.min(1.0) - 1e-9,
+                "job {j} mass {}",
+                mass.get(j)
+            );
+        }
+    }
+
+    #[test]
+    fn chain_windows_are_respected() {
+        let (inst, chains, rounded) = pipeline(12, 3, 4, 7);
+        let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
+        assert!(respects_chain_windows(&inst, &chains, &rounded, &per_chain));
+    }
+
+    #[test]
+    fn overlay_with_delays_shifts_chains() {
+        let (inst, chains, rounded) = pipeline(6, 2, 2, 9);
+        let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
+        let undelayed = overlay_with_delays(&per_chain, inst.num_machines(), &[0, 0]);
+        let delayed = overlay_with_delays(&per_chain, inst.num_machines(), &[0, 5]);
+        assert_eq!(delayed.len(), per_chain[1].len().max(per_chain[0].len()).max(per_chain[1].len() + 5));
+        assert!(delayed.len() >= undelayed.len());
+        // Total load is unchanged by delays.
+        let load = |ps: &PseudoSchedule| -> usize {
+            (0..inst.num_machines()).map(|i| ps.load(MachineId(i))).sum()
+        };
+        assert_eq!(load(&undelayed), load(&delayed));
+    }
+
+    #[test]
+    fn overlay_load_is_sum_of_chain_loads() {
+        let (inst, chains, rounded) = pipeline(10, 3, 5, 11);
+        let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
+        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &vec![0; 5]);
+        for i in 0..inst.num_machines() {
+            let expected: usize = per_chain.iter().map(|ps| ps.load(MachineId(i))).sum();
+            assert_eq!(combined.load(MachineId(i)), expected);
+            assert_eq!(expected as u64, rounded.load_of(MachineId(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per chain")]
+    fn overlay_requires_matching_delay_count() {
+        let (inst, chains, rounded) = pipeline(6, 2, 3, 13);
+        let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
+        let _ = overlay_with_delays(&per_chain, inst.num_machines(), &[0, 0]);
+    }
+}

@@ -1,0 +1,256 @@
+//! The "Reducing `T^OPT`" trick of §4.1.
+//!
+//! The random-delay analysis needs the pseudo-schedule's length and load to be
+//! bounded by a polynomial in `n + m` (so that a union bound over steps and
+//! machines is meaningful). When `T^OPT` — and hence the rounded step counts —
+//! is huge, the paper rounds every per-pair count `l_ij` *down* to the nearest
+//! multiple of `L/β` with `β = nm` (where `L = max_j max_i l_ij`), works with
+//! the quotients (integers in `{0, …, β}`), and finally re-inserts the lost
+//! `l_ij − l'_ij` units, which lengthens the schedule by at most `L` in total.
+//!
+//! [`compress`] performs the rounding-down and returns the compressed counts
+//! together with the unit size and the per-pair remainders; [`expand`]
+//! reconstitutes counts from a compressed solution. The chain pipeline itself
+//! does not need the trick at simulator scale (all instances in the
+//! experiments have polynomially bounded counts already), but it is part of
+//! the paper's construction and is exercised by unit tests and the ablation
+//! harness.
+
+use suu_core::{JobId, MachineId};
+
+use crate::rounding::RoundedSolution;
+
+/// A rounded solution compressed to multiples of a unit (the `l'_ij` of the
+/// paper), plus everything needed to undo the compression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedSolution {
+    /// Quotients: `compressed.x[i][j] = ⌊x_ij / unit⌋`, each at most `β`.
+    pub compressed: RoundedSolution,
+    /// The unit size `⌈L / β⌉` (1 when no compression is needed).
+    pub unit: u64,
+    /// Remainders `x_ij − unit · ⌊x_ij / unit⌋`, to be re-inserted after the
+    /// delayed schedule is built.
+    pub remainders: Vec<Vec<u64>>,
+    /// The β parameter used (`n · m` in the paper).
+    pub beta: u64,
+}
+
+impl CompressedSolution {
+    /// Total number of machine-steps dropped by the compression (the amount
+    /// the re-insertion step has to add back). The paper bounds this by `L`
+    /// per machine; summed over pairs it is at most `β · (unit − 1) < L + β`.
+    #[must_use]
+    pub fn total_remainder(&self) -> u64 {
+        self.remainders.iter().flatten().sum()
+    }
+}
+
+/// Compresses a rounded solution to counts bounded by `β = n·m`.
+///
+/// If the largest count is already at most `β`, the solution is returned
+/// unchanged with `unit = 1`.
+#[must_use]
+pub fn compress(rounded: &RoundedSolution) -> CompressedSolution {
+    let m = rounded.x.len();
+    let n = if m == 0 { 0 } else { rounded.x[0].len() };
+    let beta = (n as u64).saturating_mul(m as u64).max(1);
+    let l_max = rounded
+        .x
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let unit = l_max.div_ceil(beta).max(1);
+
+    let mut compressed_x = vec![vec![0u64; n]; m];
+    let mut remainders = vec![vec![0u64; n]; m];
+    for i in 0..m {
+        for j in 0..n {
+            compressed_x[i][j] = rounded.x[i][j] / unit;
+            remainders[i][j] = rounded.x[i][j] % unit;
+        }
+    }
+    let compressed_d: Vec<u64> = (0..n)
+        .map(|j| (0..m).map(|i| compressed_x[i][j]).max().unwrap_or(0).max(1))
+        .collect();
+    CompressedSolution {
+        compressed: RoundedSolution {
+            x: compressed_x,
+            d: compressed_d,
+            scale: rounded.scale,
+            fractional_t: rounded.fractional_t / unit as f64,
+        },
+        unit,
+        remainders,
+        beta,
+    }
+}
+
+/// Reconstitutes the original step counts from a compressed solution:
+/// `x_ij = unit · x'_ij + remainder_ij`.
+#[must_use]
+pub fn expand(compressed: &CompressedSolution) -> Vec<Vec<u64>> {
+    let m = compressed.compressed.x.len();
+    let n = if m == 0 { 0 } else { compressed.compressed.x[0].len() };
+    let mut x = vec![vec![0u64; n]; m];
+    for i in 0..m {
+        for j in 0..n {
+            x[i][j] = compressed.compressed.x[i][j] * compressed.unit + compressed.remainders[i][j];
+        }
+    }
+    x
+}
+
+/// Checks the paper's two guarantees for a compression: every compressed count
+/// is at most `β`, and expanding reproduces the original counts exactly.
+#[must_use]
+pub fn is_faithful(original: &RoundedSolution, compressed: &CompressedSolution) -> bool {
+    let within_beta = compressed
+        .compressed
+        .x
+        .iter()
+        .flatten()
+        .all(|&v| v <= compressed.beta);
+    within_beta && expand(compressed) == original.x
+}
+
+/// Convenience accessor mirroring [`RoundedSolution::window_of`] on the
+/// compressed counts (used when building the compressed pseudo-schedule).
+#[must_use]
+pub fn compressed_window(compressed: &CompressedSolution, job: JobId) -> u64 {
+    compressed.compressed.window_of(job)
+}
+
+/// Convenience accessor mirroring [`RoundedSolution::load_of`] on the
+/// compressed counts.
+#[must_use]
+pub fn compressed_load(compressed: &CompressedSolution, machine: MachineId) -> u64 {
+    compressed.compressed.load_of(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::InstanceBuilder;
+    use suu_graph::ChainSet;
+    use suu_workloads::{random_chains, uniform_matrix};
+
+    use crate::lp_relaxation::solve_lp1;
+    use crate::rounding::round_solution;
+
+    fn rounded_fixture(n: usize, m: usize, k: usize, seed: u64) -> RoundedSolution {
+        let dag = random_chains(n, k, seed);
+        let chains = ChainSet::from_dag(&dag).unwrap();
+        let inst = InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        let frac = solve_lp1(&inst, &chains).unwrap();
+        round_solution(&inst, &frac).unwrap()
+    }
+
+    fn synthetic_large_counts(n: usize, m: usize, magnitude: u64) -> RoundedSolution {
+        // A synthetic rounded solution with huge counts, standing in for an
+        // instance whose T^OPT is super-polynomial (e.g. vanishing p_min).
+        let x: Vec<Vec<u64>> = (0..m)
+            .map(|i| {
+                (0..n)
+                    .map(|j| magnitude / (1 + ((i + j) % 7) as u64))
+                    .collect()
+            })
+            .collect();
+        let d: Vec<u64> = (0..n)
+            .map(|j| (0..m).map(|i| x[i][j]).max().unwrap().max(1))
+            .collect();
+        RoundedSolution {
+            x,
+            d,
+            scale: 1,
+            fractional_t: magnitude as f64,
+        }
+    }
+
+    #[test]
+    fn small_solutions_are_left_unchanged() {
+        // Counts already bounded by β = n·m are untouched (unit = 1).
+        let rounded = synthetic_large_counts(4, 3, 12);
+        assert!(rounded.x.iter().flatten().all(|&v| v <= 12));
+        let compressed = compress(&rounded);
+        assert_eq!(compressed.unit, 1);
+        assert_eq!(compressed.total_remainder(), 0);
+        assert_eq!(compressed.compressed.x, rounded.x);
+        assert!(is_faithful(&rounded, &compressed));
+    }
+
+    #[test]
+    fn lp_pipeline_solutions_compress_faithfully() {
+        let rounded = rounded_fixture(8, 3, 2, 1);
+        let compressed = compress(&rounded);
+        assert!(is_faithful(&rounded, &compressed));
+        assert!(compressed
+            .compressed
+            .x
+            .iter()
+            .flatten()
+            .all(|&v| v <= compressed.beta));
+    }
+
+    #[test]
+    fn large_counts_are_compressed_below_beta() {
+        let rounded = synthetic_large_counts(6, 4, 1_000_000_007);
+        let compressed = compress(&rounded);
+        assert!(compressed.unit > 1);
+        assert_eq!(compressed.beta, 24);
+        for &v in compressed.compressed.x.iter().flatten() {
+            assert!(v <= compressed.beta, "compressed count {v} exceeds beta");
+        }
+        assert!(is_faithful(&rounded, &compressed));
+    }
+
+    #[test]
+    fn expansion_is_exact_inverse() {
+        for magnitude in [10u64, 999, 123_456_789] {
+            let rounded = synthetic_large_counts(5, 3, magnitude);
+            let compressed = compress(&rounded);
+            assert_eq!(expand(&compressed), rounded.x);
+        }
+    }
+
+    #[test]
+    fn total_remainder_is_bounded_by_pairs_times_unit() {
+        let rounded = synthetic_large_counts(7, 5, 987_654_321);
+        let compressed = compress(&rounded);
+        let pairs = 7 * 5;
+        assert!(compressed.total_remainder() < pairs as u64 * compressed.unit);
+    }
+
+    #[test]
+    fn compressed_windows_and_loads_shrink_proportionally() {
+        let rounded = synthetic_large_counts(6, 3, 90_000_000);
+        let compressed = compress(&rounded);
+        for j in 0..6 {
+            let job = JobId(j);
+            assert!(
+                compressed_window(&compressed, job)
+                    <= rounded.window_of(job) / compressed.unit + 1
+            );
+        }
+        for i in 0..3 {
+            let machine = MachineId(i);
+            assert!(
+                compressed_load(&compressed, machine)
+                    <= rounded.load_of(machine) / compressed.unit + 6
+            );
+        }
+    }
+
+    #[test]
+    fn faithfulness_detects_tampering() {
+        let rounded = synthetic_large_counts(4, 2, 50_000);
+        let mut compressed = compress(&rounded);
+        compressed.remainders[0][0] += 1;
+        assert!(!is_faithful(&rounded, &compressed));
+    }
+}

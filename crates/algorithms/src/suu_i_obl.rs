@@ -1,0 +1,226 @@
+//! `SUU-I-OBL` (Algorithm 2): the combinatorial oblivious schedule for
+//! independent jobs (Lemma 3.5 / Theorem 3.6).
+//!
+//! The algorithm guesses the horizon `t` by doubling. For each guess it
+//! repeatedly invokes `MSM-E-ALG` on the jobs that have not yet accumulated
+//! mass `1/96`, concatenating the produced length-`t` schedules, for at most
+//! `66 log n` rounds. Theorem 3.1 plus the 1/3-approximation of `MSM-E-ALG`
+//! guarantee that once `t ≥ 2 T^OPT` each round retires at least a `1/95`
+//! fraction of the remaining jobs, so the loop ends with every job holding
+//! mass ≥ 1/96 and the concatenated schedule has length `O(log n) · T^OPT`
+//! (Lemma 3.5). Repeating that schedule forever (equivalently: executing it
+//! cyclically) gives expected makespan `O(log² n) · T^OPT` (Theorem 3.6).
+
+use suu_core::{JobId, JobSet, ObliviousSchedule, SuuInstance};
+
+use crate::error::AlgorithmError;
+use crate::msm_ext::msm_e_alg;
+
+/// The mass threshold each job must reach before it is retired from the loop.
+pub const MASS_TARGET: f64 = 1.0 / 96.0;
+
+/// Diagnostics and result of `SUU-I-OBL`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuuIOblivious {
+    /// The oblivious schedule in which every job accumulates mass ≥ 1/96.
+    /// Its length is `O(log n) · T^OPT` (Lemma 3.5). Execute it cyclically
+    /// (or see [`crate::replicate`]) for the Theorem 3.6 guarantee.
+    pub schedule: ObliviousSchedule,
+    /// The final doubling value of `t` that succeeded.
+    pub final_t: u64,
+    /// Number of `MSM-E-ALG` invocations across all doubling phases.
+    pub rounds: usize,
+    /// Mass accumulated by each job in `schedule`.
+    pub masses: Vec<f64>,
+}
+
+/// Runs `SUU-I-OBL` and returns the constant-mass oblivious schedule.
+///
+/// # Errors
+///
+/// Returns [`AlgorithmError::NotIndependent`] if the instance has precedence
+/// constraints (use [`crate::chains`] or [`crate::forest`] instead), or an
+/// internal error if the doubling search fails to terminate (impossible for
+/// valid instances).
+pub fn suu_i_oblivious(instance: &SuuInstance) -> Result<SuuIOblivious, AlgorithmError> {
+    if !instance.is_independent() {
+        return Err(AlgorithmError::NotIndependent);
+    }
+    let n = instance.num_jobs();
+    let max_rounds_per_phase = (66.0 * (n.max(2) as f64).log2()).ceil() as usize;
+    // t never needs to exceed ⌈n / p_min⌉ (the crude serial bound in the
+    // paper's running-time argument); add headroom for safety.
+    let t_cap = ((n as f64 / instance.min_positive_prob()).ceil() as u64)
+        .saturating_mul(4)
+        .max(4);
+
+    let m = instance.num_machines();
+    let mut t: u64 = 1;
+    let mut total_rounds = 0usize;
+
+    loop {
+        let mut remaining = JobSet::all(n);
+        let mut schedule = ObliviousSchedule::new(m);
+        let mut masses = vec![0.0f64; n];
+        let mut rounds_this_phase = 0usize;
+
+        while !remaining.is_empty() && rounds_this_phase < max_rounds_per_phase {
+            let sol = msm_e_alg(instance, &remaining, t);
+            total_rounds += 1;
+            rounds_this_phase += 1;
+            // Record masses and retire jobs that reached the target. Mass from
+            // earlier rounds is deliberately ignored, exactly as in Algorithm 2
+            // ("we start from scratch by ignoring any mass ... accumulated in
+            // the previous rounds").
+            let mut retired_any = false;
+            for j in remaining.iter().collect::<Vec<JobId>>() {
+                let mass = sol.mass_of(instance, j);
+                if mass >= MASS_TARGET {
+                    masses[j.0] = mass;
+                    remaining.remove(j);
+                    retired_any = true;
+                }
+            }
+            schedule = schedule.concat(&sol.to_schedule(instance));
+            if !retired_any && remaining.len() == n {
+                // Nothing retired in the very first round: t is clearly too
+                // small; no point burning the remaining rounds.
+                break;
+            }
+        }
+
+        if remaining.is_empty() {
+            return Ok(SuuIOblivious {
+                schedule,
+                final_t: t,
+                rounds: total_rounds,
+                masses,
+            });
+        }
+        if t >= t_cap {
+            return Err(AlgorithmError::Internal(format!(
+                "SUU-I-OBL doubling search exceeded the cap t = {t_cap}"
+            )));
+        }
+        t = (t * 2).min(t_cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::mass::mass_of_oblivious;
+    use suu_core::InstanceBuilder;
+    use suu_sim::exact_expected_makespan_oblivious_cyclic;
+    use suu_workloads::{sparse_uniform_matrix, uniform_matrix};
+
+    fn uniform_instance(n: usize, m: usize, seed: u64) -> SuuInstance {
+        InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.05, 0.9, seed))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_job_reaches_the_mass_target() {
+        let inst = uniform_instance(10, 3, 1);
+        let result = suu_i_oblivious(&inst).unwrap();
+        let masses = mass_of_oblivious(&inst, &result.schedule);
+        for j in inst.jobs() {
+            assert!(
+                masses.get(j) >= MASS_TARGET - 1e-9,
+                "job {j} only accumulated {}",
+                masses.get(j)
+            );
+        }
+    }
+
+    #[test]
+    fn reported_masses_match_schedule_masses() {
+        let inst = uniform_instance(6, 2, 3);
+        let result = suu_i_oblivious(&inst).unwrap();
+        let masses = mass_of_oblivious(&inst, &result.schedule);
+        for j in inst.jobs() {
+            // The recorded per-round mass is a lower bound on the schedule's
+            // total accumulated mass (rounds are concatenated).
+            assert!(masses.get(j) + 1e-9 >= result.masses[j.0].min(1.0));
+        }
+    }
+
+    #[test]
+    fn rejects_precedence_constraints() {
+        let inst = InstanceBuilder::new(2, 1)
+            .uniform_probability(0.5)
+            .chains(&[vec![0, 1]])
+            .build()
+            .unwrap();
+        assert_eq!(
+            suu_i_oblivious(&inst).unwrap_err(),
+            AlgorithmError::NotIndependent
+        );
+    }
+
+    #[test]
+    fn handles_sparse_heterogeneous_instances() {
+        let n = 12;
+        let m = 5;
+        let probs = sparse_uniform_matrix(n, m, 0.1, 0.8, 0.6, 7);
+        let inst = InstanceBuilder::new(n, m)
+            .probability_matrix(probs)
+            .build()
+            .unwrap();
+        let result = suu_i_oblivious(&inst).unwrap();
+        assert!(result.final_t >= 1);
+        assert!(!result.schedule.is_empty());
+        let masses = mass_of_oblivious(&inst, &result.schedule);
+        assert!(masses.min() >= MASS_TARGET - 1e-9);
+    }
+
+    #[test]
+    fn single_job_single_machine_is_trivial() {
+        let inst = InstanceBuilder::new(1, 1)
+            .uniform_probability(0.5)
+            .build()
+            .unwrap();
+        let result = suu_i_oblivious(&inst).unwrap();
+        // One step of mass 0.5 ≥ 1/96 suffices, so the first phase (t = 1)
+        // must succeed in one round.
+        assert_eq!(result.final_t, 1);
+        assert_eq!(result.schedule.len(), 1);
+    }
+
+    #[test]
+    fn cyclic_execution_has_finite_expected_makespan() {
+        let inst = uniform_instance(6, 3, 11);
+        let result = suu_i_oblivious(&inst).unwrap();
+        let expected = exact_expected_makespan_oblivious_cyclic(&inst, &result.schedule);
+        assert!(expected.is_finite());
+        // Crude sanity bound: with every job holding ≥ 1/96 mass per cycle the
+        // expected number of cycles is O(96e · log n); the cycle length is the
+        // schedule length.
+        let cycles_bound = 96.0 * std::f64::consts::E * ((6.0f64).log2() + 2.0);
+        assert!(
+            expected <= result.schedule.len() as f64 * cycles_bound,
+            "expected {expected} vs bound {}",
+            result.schedule.len() as f64 * cycles_bound
+        );
+    }
+
+    #[test]
+    fn schedule_length_is_modest_for_easy_instances() {
+        // With probabilities ≥ 0.5 everywhere and as many machines as jobs,
+        // T^OPT is O(1), so the Lemma 3.5 length O(log n)·T^OPT should be far
+        // below the crude serial bound n / p_min.
+        let n = 8;
+        let inst = InstanceBuilder::new(n, n)
+            .uniform_probability(0.5)
+            .build()
+            .unwrap();
+        let result = suu_i_oblivious(&inst).unwrap();
+        assert!(
+            (result.schedule.len() as f64) <= 16.0 * (n as f64).log2().max(1.0),
+            "length {} too large",
+            result.schedule.len()
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Simple scheduling heuristics used as comparators in the experiments.
+//!
+//! None of these carries an approximation guarantee; they exist so that the
+//! experiment harness can show *where* the paper's algorithms win (and by how
+//! much) against the strategies a practitioner might try first.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use suu_core::{Assignment, JobSet, MachineId, SchedulingPolicy, SuuInstance};
+
+/// Every machine independently picks the eligible unfinished job on which it
+/// has the highest success probability. Natural, adaptive, and often decent —
+/// but it happily piles every machine onto the same "easy" job.
+#[derive(Debug, Clone)]
+pub struct GreedyRatePolicy {
+    instance: SuuInstance,
+}
+
+impl GreedyRatePolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new(instance: SuuInstance) -> Self {
+        Self { instance }
+    }
+}
+
+impl SchedulingPolicy for GreedyRatePolicy {
+    fn assign(&mut self, _step: usize, unfinished: &JobSet) -> Assignment {
+        let finished = unfinished.complement_mask();
+        let eligible = self.instance.eligible_jobs(&finished);
+        let mut a = Assignment::idle(self.instance.num_machines());
+        if eligible.is_empty() {
+            return a;
+        }
+        for i in self.instance.machines() {
+            let best = eligible
+                .iter()
+                .copied()
+                .max_by(|&x, &y| {
+                    self.instance
+                        .prob(i, x)
+                        .partial_cmp(&self.instance.prob(i, y))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("eligible set is non-empty");
+            if self.instance.prob(i, best) > 0.0 {
+                a.assign(i, best);
+            }
+        }
+        a
+    }
+
+    fn name(&self) -> String {
+        "greedy-best-rate".to_string()
+    }
+}
+
+/// Spreads machines over the eligible jobs round-robin, rotating with the step
+/// number so no job is starved.
+#[derive(Debug, Clone)]
+pub struct RoundRobinPolicy {
+    instance: SuuInstance,
+}
+
+impl RoundRobinPolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new(instance: SuuInstance) -> Self {
+        Self { instance }
+    }
+}
+
+impl SchedulingPolicy for RoundRobinPolicy {
+    fn assign(&mut self, step: usize, unfinished: &JobSet) -> Assignment {
+        let finished = unfinished.complement_mask();
+        let eligible = self.instance.eligible_jobs(&finished);
+        let mut a = Assignment::idle(self.instance.num_machines());
+        if eligible.is_empty() {
+            return a;
+        }
+        for i in 0..self.instance.num_machines() {
+            let job = eligible[(i + step) % eligible.len()];
+            if self.instance.prob(MachineId(i), job) > 0.0 {
+                a.assign(MachineId(i), job);
+            }
+        }
+        a
+    }
+
+    fn name(&self) -> String {
+        "round-robin".to_string()
+    }
+}
+
+/// Assigns every machine to a uniformly random eligible job each step
+/// (seeded, so runs are reproducible).
+#[derive(Debug, Clone)]
+pub struct RandomAssignmentPolicy {
+    instance: SuuInstance,
+    rng: ChaCha8Rng,
+}
+
+impl RandomAssignmentPolicy {
+    /// Creates the policy with an explicit seed.
+    #[must_use]
+    pub fn new(instance: SuuInstance, seed: u64) -> Self {
+        Self {
+            instance,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SchedulingPolicy for RandomAssignmentPolicy {
+    fn assign(&mut self, _step: usize, unfinished: &JobSet) -> Assignment {
+        let finished = unfinished.complement_mask();
+        let eligible = self.instance.eligible_jobs(&finished);
+        let mut a = Assignment::idle(self.instance.num_machines());
+        if eligible.is_empty() {
+            return a;
+        }
+        for i in 0..self.instance.num_machines() {
+            let job = eligible[self.rng.gen_range(0..eligible.len())];
+            if self.instance.prob(MachineId(i), job) > 0.0 {
+                a.assign(MachineId(i), job);
+            }
+        }
+        a
+    }
+
+    fn name(&self) -> String {
+        "random-assignment".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::{InstanceBuilder, JobId};
+    use suu_sim::{SimulationOptions, Simulator};
+    use suu_workloads::uniform_matrix;
+
+    fn instance(n: usize, m: usize, seed: u64) -> SuuInstance {
+        InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.2, 0.9, seed))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn greedy_picks_each_machines_best_job() {
+        let inst = InstanceBuilder::new(2, 2)
+            .probability(MachineId(0), JobId(0), 0.9)
+            .probability(MachineId(0), JobId(1), 0.2)
+            .probability(MachineId(1), JobId(0), 0.1)
+            .probability(MachineId(1), JobId(1), 0.8)
+            .build()
+            .unwrap();
+        let mut p = GreedyRatePolicy::new(inst);
+        let a = p.assign(0, &JobSet::all(2));
+        assert_eq!(a.target(MachineId(0)), Some(JobId(0)));
+        assert_eq!(a.target(MachineId(1)), Some(JobId(1)));
+    }
+
+    #[test]
+    fn round_robin_rotates_with_step() {
+        let inst = instance(3, 1, 1);
+        let mut p = RoundRobinPolicy::new(inst);
+        let a0 = p.assign(0, &JobSet::all(3));
+        let a1 = p.assign(1, &JobSet::all(3));
+        assert_ne!(a0.target(MachineId(0)), a1.target(MachineId(0)));
+    }
+
+    #[test]
+    fn random_policy_is_reproducible_for_a_seed() {
+        let inst = instance(4, 2, 2);
+        let mut a = RandomAssignmentPolicy::new(inst.clone(), 7);
+        let mut b = RandomAssignmentPolicy::new(inst, 7);
+        for step in 0..5 {
+            assert_eq!(a.assign(step, &JobSet::all(4)), b.assign(step, &JobSet::all(4)));
+        }
+    }
+
+    #[test]
+    fn all_heuristics_finish_simulations() {
+        let inst = instance(8, 3, 3);
+        let sim = Simulator::new(SimulationOptions {
+            trials: 30,
+            max_steps: 100_000,
+            base_seed: 5,
+        });
+        let i1 = inst.clone();
+        let greedy = sim.estimate(&inst, move || GreedyRatePolicy::new(i1.clone()));
+        let i2 = inst.clone();
+        let rr = sim.estimate(&inst, move || RoundRobinPolicy::new(i2.clone()));
+        let i3 = inst.clone();
+        let random = sim.estimate(&inst, move || RandomAssignmentPolicy::new(i3.clone(), 11));
+        for est in [&greedy, &rr, &random] {
+            assert_eq!(est.censored, 0);
+            assert!(est.mean() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn heuristics_respect_precedence() {
+        let inst = InstanceBuilder::new(3, 2)
+            .uniform_probability(0.7)
+            .chains(&[vec![0, 1, 2]])
+            .build()
+            .unwrap();
+        let mut p = GreedyRatePolicy::new(inst.clone());
+        let a = p.assign(0, &JobSet::all(3));
+        for (_, j) in a.busy_pairs() {
+            assert_eq!(j, JobId(0), "only the chain head is eligible");
+        }
+        let mut r = RoundRobinPolicy::new(inst);
+        let a = r.assign(0, &JobSet::all(3));
+        for (_, j) in a.busy_pairs() {
+            assert_eq!(j, JobId(0));
+        }
+    }
+
+    #[test]
+    fn policies_idle_when_everything_is_done() {
+        let inst = instance(2, 2, 9);
+        let empty = JobSet::empty(2);
+        assert_eq!(GreedyRatePolicy::new(inst.clone()).assign(0, &empty).num_idle(), 2);
+        assert_eq!(RoundRobinPolicy::new(inst.clone()).assign(0, &empty).num_idle(), 2);
+        assert_eq!(
+            RandomAssignmentPolicy::new(inst, 1).assign(0, &empty).num_idle(),
+            2
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline schedulers, exact optima and certified lower bounds for SUU.
+//!
+//! The approximation-ratio experiments need something to divide by:
+//!
+//! * [`optimal`] — the exact optimal regimen, computed by dynamic programming
+//!   over the lattice of unfinished-job sets. Malewicz showed the optimal
+//!   regimen is computable in polynomial time when the number of machines and
+//!   the DAG width are both constant; this implementation enumerates machine
+//!   assignments per state and is intended for small instances (it refuses
+//!   anything larger).
+//! * [`lower_bounds`] — certified lower bounds on `T^OPT` for instances too
+//!   large for the exact DP: the LP relaxation divided by 16 (Lemma 4.2), the
+//!   critical-path length, the best-case single-job time and a machine-
+//!   capacity bound.
+//! * [`heuristics`] — simple scheduling policies (best-machine greedy, round
+//!   robin, random assignment) that serve as non-trivial comparators for the
+//!   paper's algorithms in the experiment harness.
+
+pub mod heuristics;
+pub mod lower_bounds;
+pub mod optimal;
+
+pub use heuristics::{GreedyRatePolicy, RandomAssignmentPolicy, RoundRobinPolicy};
+pub use lower_bounds::{combined_lower_bound, critical_path_bound, single_job_bound};
+pub use optimal::{optimal_regimen, BaselineError, OptimalRegimen};

@@ -1,0 +1,165 @@
+//! Certified lower bounds on the optimal expected makespan `T^OPT`.
+//!
+//! The exact DP of [`crate::optimal`] is limited to tiny instances; on larger
+//! ones the approximation-ratio experiments divide by a *lower bound* on
+//! `T^OPT` instead, which makes every reported ratio an upper bound on the
+//! true ratio (i.e. conservative). Three combinatorial bounds are implemented
+//! here; the LP bound of Lemma 4.2 (`T*/16 ≤ T^OPT`) lives in
+//! `suu-algorithms` because it needs the LP machinery — the experiment harness
+//! combines all of them.
+
+use suu_core::{JobId, SuuInstance};
+
+/// Lower bound from the single hardest job: even if *all* machines work on
+/// job `j` in every step, the expected completion time of `j` alone is
+/// `1 / (1 − Π_i (1 − p_ij))`, so `T^OPT` is at least the maximum of that over
+/// jobs.
+#[must_use]
+pub fn single_job_bound(instance: &SuuInstance) -> f64 {
+    instance
+        .jobs()
+        .map(|j| {
+            let probs: Vec<f64> = instance.machines().map(|i| instance.prob(i, j)).collect();
+            let p = suu_core::combined_success_probability(&probs);
+            if p <= 0.0 {
+                f64::INFINITY
+            } else {
+                1.0 / p
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Lower bound from the critical path: jobs are unit-time, so any chain of
+/// `k` jobs in the precedence DAG needs at least `k` steps in every execution.
+#[must_use]
+pub fn critical_path_bound(instance: &SuuInstance) -> f64 {
+    (instance.precedence().longest_path_len() + 1) as f64
+}
+
+/// Lower bound from machine capacity: in one step the expected number of job
+/// completions is at most `Σ_i max_j p_ij ≤ m`, and `n` jobs must complete,
+/// so `T^OPT ≥ n / Σ_i max_j p_ij`.
+#[must_use]
+pub fn capacity_bound(instance: &SuuInstance) -> f64 {
+    let per_step: f64 = instance
+        .machines()
+        .map(|i| {
+            instance
+                .jobs()
+                .map(|j| instance.prob(i, j))
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    if per_step <= 0.0 {
+        f64::INFINITY
+    } else {
+        instance.num_jobs() as f64 / per_step
+    }
+}
+
+/// The strongest of the combinatorial bounds.
+#[must_use]
+pub fn combined_lower_bound(instance: &SuuInstance) -> f64 {
+    single_job_bound(instance)
+        .max(critical_path_bound(instance))
+        .max(capacity_bound(instance))
+        .max(1.0)
+}
+
+/// Expected completion time of a single job when a fixed set of machines
+/// works on it every step (helper for reporting).
+#[must_use]
+pub fn dedicated_completion_time(instance: &SuuInstance, job: JobId) -> f64 {
+    let probs: Vec<f64> = instance.machines().map(|i| instance.prob(i, job)).collect();
+    let p = suu_core::combined_success_probability(&probs);
+    if p <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::{InstanceBuilder, MachineId};
+    use suu_workloads::uniform_matrix;
+
+    use crate::optimal::optimal_expected_makespan;
+
+    #[test]
+    fn single_job_bound_matches_geometric_expectation() {
+        let inst = InstanceBuilder::new(1, 2)
+            .probability(MachineId(0), JobId(0), 0.5)
+            .probability(MachineId(1), JobId(0), 0.5)
+            .build()
+            .unwrap();
+        // Combined success 0.75 → bound 4/3.
+        assert!((single_job_bound(&inst) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_bound_counts_chain_length() {
+        let inst = InstanceBuilder::new(4, 2)
+            .uniform_probability(0.9)
+            .chains(&[vec![0, 1, 2], vec![3]])
+            .build()
+            .unwrap();
+        assert!((critical_path_bound(&inst) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bound_reflects_machine_shortage() {
+        // 10 jobs, 1 machine with max probability 0.5 → at least 20 steps.
+        let inst = InstanceBuilder::new(10, 1)
+            .uniform_probability(0.5)
+            .build()
+            .unwrap();
+        assert!((capacity_bound(&inst) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_bound_is_at_least_each_component() {
+        let inst = InstanceBuilder::new(6, 2)
+            .probability_matrix(uniform_matrix(6, 2, 0.1, 0.9, 3))
+            .chains(&[vec![0, 1, 2, 3], vec![4, 5]])
+            .build()
+            .unwrap();
+        let c = combined_lower_bound(&inst);
+        assert!(c >= single_job_bound(&inst) - 1e-12);
+        assert!(c >= critical_path_bound(&inst) - 1e-12);
+        assert!(c >= capacity_bound(&inst) - 1e-12);
+        assert!(c >= 1.0);
+    }
+
+    #[test]
+    fn bounds_never_exceed_the_exact_optimum() {
+        for seed in 0..6 {
+            let inst = InstanceBuilder::new(5, 2)
+                .probability_matrix(uniform_matrix(5, 2, 0.15, 0.9, seed))
+                .chains(&[vec![0, 1], vec![2], vec![3, 4]])
+                .build()
+                .unwrap();
+            let opt = optimal_expected_makespan(&inst).unwrap();
+            let bound = combined_lower_bound(&inst);
+            assert!(
+                bound <= opt + 1e-9,
+                "seed {seed}: bound {bound} exceeds optimum {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn dedicated_completion_time_matches_single_job_bound_component() {
+        let inst = InstanceBuilder::new(2, 2)
+            .probability_matrix(vec![0.4, 0.2, 0.1, 0.3])
+            .build()
+            .unwrap();
+        let max_over_jobs = inst
+            .jobs()
+            .map(|j| dedicated_completion_time(&inst, j))
+            .fold(0.0f64, f64::max);
+        assert!((max_over_jobs - single_job_bound(&inst)).abs() < 1e-12);
+    }
+}

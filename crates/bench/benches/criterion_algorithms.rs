@@ -1,0 +1,112 @@
+//! Criterion benchmarks P1–P2: running time of the paper's algorithms as the
+//! instance grows (MSM-ALG, MSM-E-ALG, SUU-I-OBL, and the full chain and
+//! forest pipelines including the LP solve and rounding).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use suu_algorithms::chains::{schedule_chains_with, ChainsOptions};
+use suu_algorithms::forest::schedule_forest;
+use suu_algorithms::msm::msm_alg;
+use suu_algorithms::msm_ext::msm_e_alg;
+use suu_algorithms::suu_i_obl::suu_i_oblivious;
+use suu_core::{InstanceBuilder, JobSet, SuuInstance};
+use suu_workloads::{random_chains, random_directed_forest, uniform_matrix};
+
+fn independent_instance(n: usize, m: usize) -> SuuInstance {
+    InstanceBuilder::new(n, m)
+        .probability_matrix(uniform_matrix(n, m, 0.05, 0.9, 42))
+        .build()
+        .unwrap()
+}
+
+fn chain_instance(n: usize, m: usize, k: usize) -> SuuInstance {
+    InstanceBuilder::new(n, m)
+        .probability_matrix(uniform_matrix(n, m, 0.05, 0.9, 42))
+        .precedence(random_chains(n, k, 42))
+        .build()
+        .unwrap()
+}
+
+fn forest_instance(n: usize, m: usize) -> SuuInstance {
+    InstanceBuilder::new(n, m)
+        .probability_matrix(uniform_matrix(n, m, 0.05, 0.9, 42))
+        .precedence(random_directed_forest(n, 2, 42))
+        .build()
+        .unwrap()
+}
+
+fn bench_msm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msm_alg");
+    for &(n, m) in &[(32usize, 8usize), (128, 16), (512, 32)] {
+        let instance = independent_instance(n, m);
+        let jobs = JobSet::all(n);
+        group.bench_with_input(BenchmarkId::new("greedy", format!("{n}x{m}")), &n, |b, _| {
+            b.iter(|| msm_alg(&instance, &jobs));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("extended_t64", format!("{n}x{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| msm_e_alg(&instance, &jobs, 64));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_suu_i_obl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suu_i_oblivious");
+    group.sample_size(10);
+    for &(n, m) in &[(16usize, 4usize), (32, 8), (64, 8)] {
+        let instance = independent_instance(n, m);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &n, |b, _| {
+            b.iter(|| suu_i_oblivious(&instance).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_pipeline");
+    group.sample_size(10);
+    for &(n, m, k) in &[(12usize, 4usize, 3usize), (20, 6, 5), (32, 8, 8)] {
+        let instance = chain_instance(n, m, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}x{k}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    schedule_chains_with(
+                        &instance,
+                        &ChainsOptions {
+                            sigma: Some(4),
+                            ..ChainsOptions::default()
+                        },
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_forest_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_pipeline");
+    group.sample_size(10);
+    for &(n, m) in &[(12usize, 4usize), (24, 6)] {
+        let instance = forest_instance(n, m);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &n, |b, _| {
+            b.iter(|| schedule_forest(&instance).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_msm,
+    bench_suu_i_obl,
+    bench_chain_pipeline,
+    bench_forest_pipeline
+);
+criterion_main!(benches);

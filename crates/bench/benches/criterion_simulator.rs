@@ -1,0 +1,77 @@
+//! Criterion benchmarks P4: throughput of the execution substrate — single
+//! simulated runs, parallel Monte-Carlo estimation, and the exact Markov
+//! evaluation on small instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use suu_algorithms::suu_i::SuuIAdaptivePolicy;
+use suu_core::{InstanceBuilder, SuuInstance};
+use suu_sim::{
+    exact_expected_makespan_regimen, simulate_once, SimulationOptions, Simulator,
+};
+use suu_workloads::uniform_matrix;
+
+fn instance(n: usize, m: usize) -> SuuInstance {
+    InstanceBuilder::new(n, m)
+        .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, 99))
+        .build()
+        .unwrap()
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_once");
+    for &(n, m) in &[(16usize, 4usize), (64, 8), (256, 16)] {
+        let inst = instance(n, m);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                let mut policy = SuuIAdaptivePolicy::new(inst.clone());
+                simulate_once(&inst, &mut policy, &mut rng, 1_000_000).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_estimate");
+    group.sample_size(10);
+    let inst = instance(32, 8);
+    for &trials in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &t| {
+            let sim = Simulator::new(SimulationOptions {
+                trials: t,
+                max_steps: 1_000_000,
+                base_seed: 1,
+            });
+            b.iter(|| sim.estimate(&inst, || SuuIAdaptivePolicy::new(inst.clone())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_markov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_markov_regimen");
+    group.sample_size(10);
+    for &n in &[8usize, 10, 12] {
+        let inst = instance(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                exact_expected_makespan_regimen(&inst, |s| {
+                    let mut policy = SuuIAdaptivePolicy::new(inst.clone());
+                    suu_core::SchedulingPolicy::assign(&mut policy, 0, s)
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_run,
+    bench_parallel_estimation,
+    bench_exact_markov
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks P3: running time of the substrates — the simplex LP
+//! solver on (LP1), Dinic max-flow on rounding-shaped networks, and the chain
+//! decomposition of random forests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use suu_algorithms::lp_relaxation::solve_lp1;
+use suu_core::InstanceBuilder;
+use suu_flow::{Dinic, FlowNetwork};
+use suu_graph::{ChainDecomposition, ChainSet};
+use suu_workloads::{random_chains, random_directed_forest, uniform_matrix};
+
+fn bench_lp1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp1_simplex");
+    group.sample_size(10);
+    for &(n, m, k) in &[(8usize, 3usize, 2usize), (16, 4, 4), (32, 6, 8)] {
+        let dag = random_chains(n, k, 7);
+        let chains = ChainSet::from_dag(&dag).unwrap();
+        let instance = InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.05, 0.9, 7))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}x{k}")),
+            &n,
+            |b, _| {
+                b.iter(|| solve_lp1(&instance, &chains).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dinic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic_max_flow");
+    for &(jobs, machines) in &[(64usize, 16usize), (256, 32), (1024, 64)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{jobs}j_{machines}m")),
+            &jobs,
+            |b, _| {
+                b.iter(|| {
+                    // Rounding-shaped network: source → jobs → machines → sink.
+                    let mut net = FlowNetwork::new(jobs + machines + 2);
+                    let source = 0;
+                    let sink = jobs + machines + 1;
+                    for j in 0..jobs {
+                        net.add_edge(source, 1 + j, 3);
+                        for t in 0..4 {
+                            let machine = (j * 7 + t * 13) % machines;
+                            net.add_edge(1 + j, 1 + jobs + machine, 2);
+                        }
+                    }
+                    for i in 0..machines {
+                        net.add_edge(1 + jobs + i, sink, (3 * jobs / machines) as i64);
+                    }
+                    Dinic::new().max_flow(&mut net, source, sink)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_chain_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_decomposition");
+    for &n in &[256usize, 1024, 4096] {
+        let dag = random_directed_forest(n, 3, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ChainDecomposition::decompose(&dag).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp1, bench_dinic, bench_chain_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Experiment binary: A1-A3, ablations of the chain pipeline
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_ablations [-- --quick] [--seed N]`
+
+fn main() {
+    let config = suu_bench::RunConfig::from_args();
+    println!("{}", suu_bench::experiments::ablations::run_replication(&config).render());
+    println!("{}", suu_bench::experiments::ablations::run_delay_strategies(&config).render());
+    println!("{}", suu_bench::experiments::ablations::run_bucketing(&config).render());
+}

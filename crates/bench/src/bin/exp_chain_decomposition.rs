@@ -1,0 +1,8 @@
+//! Experiment binary: E11, Lemma 4.6
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_chain_decomposition [-- --quick] [--seed N]`
+
+fn main() {
+    let config = suu_bench::RunConfig::from_args();
+    println!("{}", suu_bench::experiments::decomposition::run(&config).render());
+}

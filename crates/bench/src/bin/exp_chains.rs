@@ -1,0 +1,8 @@
+//! Experiment binary: E8, Theorem 4.4
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_chains [-- --quick] [--seed N]`
+
+fn main() {
+    let config = suu_bench::RunConfig::from_args();
+    println!("{}", suu_bench::experiments::chains::run(&config).render());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary: E9-E10, Theorems 4.7 / 4.8
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_forests [-- --quick] [--seed N]`
+
+fn main() {
+    let config = suu_bench::RunConfig::from_args();
+    println!("{}", suu_bench::experiments::forests::run(&config).render());
+}

@@ -1,0 +1,8 @@
+//! Experiment binary: E4-E6, Theorems 3.3 / 3.6 / 4.5
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_independent [-- --quick] [--seed N]`
+
+fn main() {
+    let config = suu_bench::RunConfig::from_args();
+    println!("{}", suu_bench::experiments::independent::run(&config).render());
+}

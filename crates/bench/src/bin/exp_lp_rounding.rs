@@ -1,0 +1,8 @@
+//! Experiment binary: E7, Theorem 4.1 and Lemma 4.2
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_lp_rounding [-- --quick] [--seed N]`
+
+fn main() {
+    let config = suu_bench::RunConfig::from_args();
+    println!("{}", suu_bench::experiments::lp_rounding::run(&config).render());
+}

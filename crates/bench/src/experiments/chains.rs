@@ -1,0 +1,118 @@
+//! E8 — Theorem 4.4: the end-to-end disjoint-chains algorithm, measured
+//! against the exact optimum (small instances) or certified lower bounds, and
+//! against the simple baselines, across chain shapes (few long chains, many
+//! short chains, mixed).
+
+use suu_algorithms::chains::schedule_chains;
+use suu_algorithms::suu_i::SuuIAdaptivePolicy;
+use suu_baselines::heuristics::GreedyRatePolicy;
+use suu_baselines::lower_bounds::combined_lower_bound;
+use suu_baselines::optimal::optimal_expected_makespan;
+use suu_core::{InstanceBuilder, SuuInstance};
+use suu_sim::{SimulationOptions, Simulator};
+use suu_workloads::{random_chains, uniform_matrix};
+
+use crate::report::{f2, ratio, Table};
+use crate::RunConfig;
+
+fn chain_instance(n: usize, m: usize, k: usize, seed: u64) -> SuuInstance {
+    InstanceBuilder::new(n, m)
+        .probability_matrix(uniform_matrix(n, m, 0.05, 0.9, seed))
+        .precedence(random_chains(n, k, seed))
+        .build()
+        .expect("valid instance")
+}
+
+/// Runs E8.
+#[must_use]
+pub fn run(config: &RunConfig) -> Table {
+    // (n, m, #chains, label)
+    let cases: &[(usize, usize, usize, &str)] = if config.quick {
+        &[(6, 2, 2, "small"), (12, 4, 6, "many-short")]
+    } else {
+        &[
+            (6, 2, 2, "small"),
+            (7, 2, 1, "single-chain"),
+            (12, 4, 2, "few-long"),
+            (12, 4, 6, "many-short"),
+            (20, 5, 4, "mixed"),
+            (32, 8, 8, "mixed-large"),
+        ]
+    };
+    let simulator = Simulator::new(SimulationOptions {
+        trials: config.trials(),
+        max_steps: 5_000_000,
+        base_seed: config.seed,
+    });
+
+    let mut table = Table::new(
+        "E8 (Thm 4.4): disjoint chains, expected makespan and ratio to reference",
+        &[
+            "case", "n", "m", "chains", "reference", "ref kind", "Thm 4.4", "r",
+            "adaptive", "r", "greedy", "r", "congestion",
+        ],
+    );
+    for &(n, m, k, label) in cases {
+        let inst = chain_instance(n, m, k, config.seed + (n * 13 + k) as u64);
+        let (reference, kind) = if n <= 7 {
+            (
+                optimal_expected_makespan(&inst).expect("small"),
+                "exact OPT",
+            )
+        } else {
+            (combined_lower_bound(&inst), "lower bound")
+        };
+
+        let chains_schedule = schedule_chains(&inst).expect("chain instance");
+        let ours = simulator
+            .estimate(&inst, || chains_schedule.schedule.clone())
+            .mean();
+        let adaptive = simulator
+            .estimate(&inst, || SuuIAdaptivePolicy::new(inst.clone()))
+            .mean();
+        let greedy = simulator
+            .estimate(&inst, || GreedyRatePolicy::new(inst.clone()))
+            .mean();
+
+        table.push_row(vec![
+            label.to_string(),
+            n.to_string(),
+            m.to_string(),
+            k.to_string(),
+            f2(reference),
+            kind.to_string(),
+            f2(ours),
+            ratio(ours, reference),
+            f2(adaptive),
+            ratio(adaptive, reference),
+            f2(greedy),
+            ratio(greedy, reference),
+            chains_schedule.congestion.to_string(),
+        ]);
+    }
+    table.push_note("paper claim (Thm 4.4): oblivious schedule within O(log m log n log(n+m)/loglog(n+m)) of T_OPT");
+    table.push_note("expected shape: the Thm 4.4 ratio grows polylogarithmically; the oblivious schedule pays a");
+    table.push_note("constant-factor premium over the adaptive greedy but stays within the predicted envelope");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_experiment_ratios_are_finite_and_bounded() {
+        let table = run(&RunConfig {
+            quick: true,
+            seed: 13,
+        });
+        for row in &table.rows {
+            // The oblivious ratio carries the full σ·polylog constant, so only
+            // sanity-check it; the adaptive ratio must stay small.
+            let ours: f64 = row[7].parse().unwrap();
+            assert!(ours.is_finite() && ours >= 0.9);
+            let adaptive: f64 = row[9].parse().unwrap();
+            assert!(adaptive < 30.0, "adaptive ratio exploded: {adaptive}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! E11 — Lemma 4.6: the chain decomposition of a directed forest has width at
+//! most `2(⌈log₂ n⌉ + 1)` (and `⌈log₂ n⌉ + 1` for in-/out-forests).
+
+use suu_graph::ChainDecomposition;
+use suu_workloads::{random_directed_forest, random_in_forest, random_out_forest};
+
+use crate::report::Table;
+use crate::RunConfig;
+
+/// Runs E11.
+#[must_use]
+pub fn run(config: &RunConfig) -> Table {
+    let sizes: &[usize] = if config.quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024, 4096]
+    };
+    let per_size = if config.quick { 5 } else { 30 };
+
+    let mut table = Table::new(
+        "E11 (Lemma 4.6): chain-decomposition width of random forests",
+        &["n", "class", "samples", "max width", "bound", "valid"],
+    );
+    for &n in sizes {
+        for class in ["out-forest", "in-forest", "directed-forest"] {
+            let mut max_width = 0usize;
+            let mut all_valid = true;
+            for k in 0..per_size {
+                let seed = config.seed + k as u64 * 7 + n as u64;
+                let dag = match class {
+                    "out-forest" => random_out_forest(n, 2, seed),
+                    "in-forest" => random_in_forest(n, 2, seed),
+                    _ => random_directed_forest(n, 2, seed),
+                };
+                let d = ChainDecomposition::decompose(&dag).expect("forest");
+                max_width = max_width.max(d.num_blocks());
+                all_valid &= d.is_valid_for(&dag);
+            }
+            let bound = if class == "directed-forest" {
+                ChainDecomposition::width_bound(n)
+            } else {
+                (n as f64).log2().ceil() as usize + 1
+            };
+            table.push_row(vec![
+                n.to_string(),
+                class.to_string(),
+                per_size.to_string(),
+                max_width.to_string(),
+                bound.to_string(),
+                if all_valid { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    table.push_note("paper claim (Lemma 4.6, after Kumar et al.): width <= 2(ceil(log2 n) + 1)");
+    table.push_note("expected shape: measured width grows logarithmically and never exceeds the bound");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_never_exceeds_the_bound_and_decompositions_are_valid() {
+        let table = run(&RunConfig {
+            quick: true,
+            seed: 19,
+        });
+        for row in &table.rows {
+            let width: usize = row[3].parse().unwrap();
+            let bound: usize = row[4].parse().unwrap();
+            assert!(width <= bound, "width {width} exceeds bound {bound}");
+            assert_eq!(row[5], "yes");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! E12 — §4.1 random-delay step: delaying each chain by a uniform offset in
+//! `[0, Π_max]` keeps the per-step congestion polylogarithmic
+//! (`O(log(n+m)/log log(n+m))` with high probability).
+
+use suu_algorithms::delay::{flatten_with_random_delays, max_load};
+use suu_algorithms::lp_relaxation::solve_lp1;
+use suu_algorithms::pseudo::{build_chain_pseudo_schedules, overlay_with_delays};
+use suu_algorithms::rounding::round_solution;
+use suu_core::InstanceBuilder;
+use suu_graph::ChainSet;
+use suu_workloads::{random_chains, uniform_matrix};
+
+use crate::report::{f2, Table};
+use crate::RunConfig;
+
+/// Runs E12.
+#[must_use]
+pub fn run(config: &RunConfig) -> Table {
+    let cases: &[(usize, usize, usize)] = if config.quick {
+        &[(12, 3, 4), (16, 4, 8)]
+    } else {
+        &[(12, 3, 4), (16, 4, 8), (24, 6, 8), (32, 8, 16), (48, 8, 16)]
+    };
+
+    let mut table = Table::new(
+        "E12 (random delays): congestion before and after delaying chains",
+        &[
+            "n", "m", "chains", "Pi_max", "congestion no-delay", "congestion random",
+            "congestion best-of-8", "polylog reference",
+        ],
+    );
+    for &(n, m, k) in cases {
+        let seed = config.seed + (n * 3 + k) as u64;
+        let dag = random_chains(n, k, seed);
+        let chains = ChainSet::from_dag(&dag).expect("chains");
+        let inst = InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.05, 0.9, seed))
+            .precedence(dag)
+            .build()
+            .expect("valid instance");
+        let frac = solve_lp1(&inst, &chains).expect("LP solves");
+        let rounded = round_solution(&inst, &frac).expect("rounding");
+        let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
+
+        let pi_max = max_load(&per_chain, m);
+        let no_delay = overlay_with_delays(&per_chain, m, &vec![0; k]).max_congestion();
+        let random = flatten_with_random_delays(&per_chain, m, seed, 1).congestion;
+        let best = flatten_with_random_delays(&per_chain, m, seed, 8).congestion;
+        let reference = ((n + m) as f64).ln() / ((n + m) as f64).ln().ln().max(1.0);
+
+        table.push_row(vec![
+            n.to_string(),
+            m.to_string(),
+            k.to_string(),
+            pi_max.to_string(),
+            no_delay.to_string(),
+            random.to_string(),
+            best.to_string(),
+            f2(reference),
+        ]);
+    }
+    table.push_note("paper claim: with random delays, congestion = O(log(n+m)/loglog(n+m)) w.h.p.");
+    table.push_note("expected shape: delayed congestion stays near the polylog reference and well below the no-delay value");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_never_make_congestion_worse_than_no_delay_in_best_of_k() {
+        let table = run(&RunConfig {
+            quick: true,
+            seed: 23,
+        });
+        for row in &table.rows {
+            let no_delay: usize = row[4].parse().unwrap();
+            let best: usize = row[6].parse().unwrap();
+            assert!(best <= no_delay, "best-of-k {best} worse than zero delays {no_delay}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! E7 — Theorem 4.1 / Lemma 4.2: the LP value, and the blow-up incurred by the
+//! flow-based rounding.
+//!
+//! For each chain instance the experiment reports the fractional optimum `T*`
+//! of (LP1), the exact optimum (small instances) to verify `T* ≤ 16 T^OPT`
+//! (Lemma 4.2), and the rounded solution's maximum machine load and chain
+//! length relative to `T*` (Theorem 4.1 predicts an `O(log m)` blow-up).
+
+use suu_algorithms::lp_relaxation::solve_lp1;
+use suu_algorithms::rounding::round_solution;
+use suu_baselines::optimal::optimal_expected_makespan;
+use suu_core::{InstanceBuilder, JobId, SuuInstance};
+use suu_graph::ChainSet;
+use suu_workloads::{random_chains, uniform_matrix};
+
+use crate::report::{f2, ratio, Table};
+use crate::RunConfig;
+
+fn chain_instance(n: usize, m: usize, k: usize, seed: u64) -> (SuuInstance, ChainSet) {
+    let dag = random_chains(n, k, seed);
+    let chains = ChainSet::from_dag(&dag).expect("chain dag");
+    let inst = InstanceBuilder::new(n, m)
+        .probability_matrix(uniform_matrix(n, m, 0.05, 0.9, seed))
+        .precedence(dag)
+        .build()
+        .expect("valid instance");
+    (inst, chains)
+}
+
+/// Runs E7.
+#[must_use]
+pub fn run(config: &RunConfig) -> Table {
+    let sizes: &[(usize, usize, usize)] = if config.quick {
+        &[(6, 2, 2), (12, 4, 3)]
+    } else {
+        &[(6, 2, 2), (8, 3, 2), (12, 4, 3), (16, 4, 4), (24, 6, 4), (32, 8, 6)]
+    };
+
+    let mut table = Table::new(
+        "E7 (Thm 4.1 / Lemma 4.2): LP1 value and rounding blow-up",
+        &[
+            "n", "m", "chains", "T* (LP1)", "T_OPT", "T*/T_OPT", "16 bound ok",
+            "rounded load", "load/T*", "max chain d", "chain/T*", "scale",
+        ],
+    );
+    for &(n, m, k) in sizes {
+        let (inst, chains) = chain_instance(n, m, k, config.seed + (n * 7 + m) as u64);
+        let frac = solve_lp1(&inst, &chains).expect("LP solves");
+        let rounded = round_solution(&inst, &frac).expect("rounding succeeds");
+
+        let (opt_str, ratio_str, bound_ok) = if n <= 7 {
+            let opt = optimal_expected_makespan(&inst).expect("small instance");
+            (
+                f2(opt),
+                ratio(frac.t, opt),
+                if frac.t <= 16.0 * opt + 1e-6 { "yes" } else { "NO" }.to_string(),
+            )
+        } else {
+            ("-".to_string(), "-".to_string(), "n/a".to_string())
+        };
+
+        let max_chain_d: u64 = chains
+            .chains()
+            .iter()
+            .map(|c| c.iter().map(|&j| rounded.d[j]).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let window_check = inst
+            .jobs()
+            .all(|j| rounded.window_of(JobId(j.index())) <= rounded.d[j.index()]);
+        assert!(window_check, "windows must dominate step counts");
+
+        table.push_row(vec![
+            n.to_string(),
+            m.to_string(),
+            k.to_string(),
+            f2(frac.t),
+            opt_str,
+            ratio_str,
+            bound_ok,
+            rounded.max_load().to_string(),
+            ratio(rounded.max_load() as f64, frac.t),
+            max_chain_d.to_string(),
+            ratio(max_chain_d as f64, frac.t),
+            rounded.scale.to_string(),
+        ]);
+    }
+    table.push_note("paper claims: T* <= 16 T_OPT (Lemma 4.2); rounded load and chain length O(log m)·T* (Thm 4.1)");
+    table.push_note("expected shape: load/T* and chain/T* grow like log m, not like n");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_4_2_bound_holds_on_small_instances() {
+        let table = run(&RunConfig {
+            quick: true,
+            seed: 5,
+        });
+        for row in &table.rows {
+            assert_ne!(row[6], "NO", "Lemma 4.2 bound violated: {row:?}");
+        }
+    }
+}

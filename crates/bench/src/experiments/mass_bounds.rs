@@ -1,0 +1,80 @@
+//! E1 — Proposition 2.1: the success probability of a one-step multi-machine
+//! assignment is sandwiched between `mass/e` and `mass` whenever the mass is
+//! at most 1.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use suu_core::combined_success_probability;
+
+use crate::report::{f2, Table};
+use crate::RunConfig;
+
+/// Runs E1: for each machine-set size `k`, draws random probability vectors
+/// with total mass ≤ 1 and reports the worst-case observed ratios against the
+/// Proposition 2.1 bounds.
+#[must_use]
+pub fn run(config: &RunConfig) -> Table {
+    let sizes: &[usize] = if config.quick {
+        &[1, 2, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+    let samples = if config.quick { 200 } else { 5_000 };
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    let mut table = Table::new(
+        "E1 (Prop 2.1): success probability vs mass",
+        &["k", "samples", "min p/mass", "max p/mass", "bound 1/e", "violations"],
+    );
+    for &k in sizes {
+        let mut min_ratio = f64::INFINITY;
+        let mut max_ratio: f64 = 0.0;
+        let mut violations = 0usize;
+        for _ in 0..samples {
+            // Draw masses that stay below 1 in total.
+            let raw: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let total: f64 = raw.iter().sum();
+            let scale = rng.gen_range(0.05..1.0) / total.max(1e-9);
+            let probs: Vec<f64> = raw.iter().map(|x| (x * scale).min(1.0)).collect();
+            let mass: f64 = probs.iter().sum();
+            if mass <= 0.0 {
+                continue;
+            }
+            let p = combined_success_probability(&probs);
+            let ratio = p / mass;
+            min_ratio = min_ratio.min(ratio);
+            max_ratio = max_ratio.max(ratio);
+            if ratio > 1.0 + 1e-9 || ratio < 1.0 / std::f64::consts::E - 1e-9 {
+                violations += 1;
+            }
+        }
+        table.push_row(vec![
+            k.to_string(),
+            samples.to_string(),
+            f2(min_ratio),
+            f2(max_ratio),
+            f2(1.0 / std::f64::consts::E),
+            violations.to_string(),
+        ]);
+    }
+    table.push_note("paper claim: mass/e <= success probability <= mass for mass <= 1 (Prop 2.1)");
+    table.push_note("expected shape: max ratio <= 1.00, min ratio >= 0.37, zero violations");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposition_2_1_has_no_violations() {
+        let table = run(&RunConfig {
+            quick: true,
+            seed: 1,
+        });
+        assert_eq!(table.num_rows(), 3);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "0", "violations must be zero");
+        }
+    }
+}

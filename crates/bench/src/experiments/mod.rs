@@ -1,0 +1,16 @@
+//! Experiment implementations (one module per experiment group).
+//!
+//! See the crate-level table for the mapping from experiment ids (E1–E14,
+//! A1–A3) to modules, and `DESIGN.md` for the full index.
+
+pub mod ablations;
+pub mod chains;
+pub mod decomposition;
+pub mod delay_congestion;
+pub mod exact_small;
+pub mod forests;
+pub mod independent;
+pub mod lp_rounding;
+pub mod mass_accumulation;
+pub mod mass_bounds;
+pub mod msm_ratio;

@@ -1,0 +1,158 @@
+//! Plain-text result tables for the experiment binaries.
+//!
+//! The harness prints aligned text tables (one per experiment) so that the
+//! rows recorded in `EXPERIMENTS.md` can be regenerated with a single
+//! `cargo run` per experiment. Tables can also be serialised to JSON for
+//! machine consumption.
+
+use serde::Serialize;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (experiment id + what it shows).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, already formatted as strings.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (e.g. the paper's claim).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are formatted by the caller).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(widths.iter())
+            .map(|(h, w)| format!("{h:<w$}"))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header_line.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders the table as a JSON object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (cannot happen for string cells).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialises")
+    }
+}
+
+/// Formats a float with two decimal places.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio `a / b`, guarding against a zero denominator.
+#[must_use]
+pub fn ratio(a: f64, b: f64) -> String {
+    if b <= 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_notes() {
+        let mut t = Table::new("E0: demo", &["n", "value"]);
+        t.push_row(vec!["4".into(), "1.25".into()]);
+        t.push_row(vec!["1024".into(), "17.50".into()]);
+        t.push_note("paper claim: O(log n)");
+        let text = t.render();
+        assert!(text.contains("== E0: demo =="));
+        assert!(text.contains("1024"));
+        assert!(text.contains("note: paper claim"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_must_match() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_rendering_contains_rows() {
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(vec!["x".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"rows\""));
+        assert!(json.contains("\"x\""));
+    }
+
+    #[test]
+    fn helpers_format_numbers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(ratio(4.0, 2.0), "2.00");
+        assert_eq!(ratio(1.0, 0.0), "inf");
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for instance construction.
+
+use std::fmt;
+
+use crate::ids::{JobId, MachineId};
+
+/// Errors raised while building or validating a [`SuuInstance`](crate::SuuInstance).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// The instance must have at least one job and one machine.
+    Empty,
+    /// A probability was outside `[0, 1]` or NaN.
+    InvalidProbability {
+        /// Machine of the offending entry.
+        machine: MachineId,
+        /// Job of the offending entry.
+        job: JobId,
+        /// The offending value.
+        value: f64,
+    },
+    /// Job `job` has `p_ij = 0` for every machine `i`, so it can never finish
+    /// and the expected makespan is infinite. The paper assumes this away
+    /// (w.l.o.g. every job has some machine with positive probability).
+    UnschedulableJob {
+        /// The job no machine can complete.
+        job: JobId,
+    },
+    /// The probability matrix dimensions disagree with the declared number of
+    /// jobs and machines.
+    DimensionMismatch {
+        /// Expected number of entries (`machines × jobs`).
+        expected: usize,
+        /// Number of entries provided.
+        actual: usize,
+    },
+    /// The precedence graph has a different number of nodes than there are
+    /// jobs.
+    PrecedenceSizeMismatch {
+        /// Number of jobs in the instance.
+        jobs: usize,
+        /// Number of nodes in the supplied DAG.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "instance needs at least one job and one machine"),
+            Self::InvalidProbability {
+                machine,
+                job,
+                value,
+            } => write!(f, "p[{machine},{job}] = {value} is not a probability"),
+            Self::UnschedulableJob { job } => {
+                write!(f, "{job} has zero success probability on every machine")
+            }
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "probability matrix has {actual} entries, expected {expected}")
+            }
+            Self::PrecedenceSizeMismatch { jobs, nodes } => write!(
+                f,
+                "precedence graph has {nodes} nodes but the instance has {jobs} jobs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = InstanceError::InvalidProbability {
+            machine: MachineId(1),
+            job: JobId(2),
+            value: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("machine1"));
+        assert!(msg.contains("job2"));
+        assert!(msg.contains("1.5"));
+
+        assert!(InstanceError::Empty.to_string().contains("at least one"));
+        assert!(InstanceError::UnschedulableJob { job: JobId(7) }
+            .to_string()
+            .contains("job7"));
+        assert!(InstanceError::DimensionMismatch {
+            expected: 6,
+            actual: 4
+        }
+        .to_string()
+        .contains("expected 6"));
+        assert!(InstanceError::PrecedenceSizeMismatch { jobs: 3, nodes: 5 }
+            .to_string()
+            .contains("5 nodes"));
+    }
+}

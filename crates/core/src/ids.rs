@@ -1,0 +1,119 @@
+//! Strongly-typed job and machine identifiers.
+//!
+//! Jobs and machines are both dense `0..n` / `0..m` index spaces; newtypes
+//! keep them from being confused with each other (the probability matrix is
+//! indexed `(machine, job)` and swapping the two is a classic bug).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job: index in `0..num_jobs`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct JobId(pub usize);
+
+/// Identifier of a machine: index in `0..num_machines`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct MachineId(pub usize);
+
+impl JobId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl MachineId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine{}", self.0)
+    }
+}
+
+impl From<usize> for JobId {
+    fn from(value: usize) -> Self {
+        Self(value)
+    }
+}
+
+impl From<usize> for MachineId {
+    fn from(value: usize) -> Self {
+        Self(value)
+    }
+}
+
+/// Iterator over all job ids `0..n`.
+pub fn all_jobs(num_jobs: usize) -> impl Iterator<Item = JobId> {
+    (0..num_jobs).map(JobId)
+}
+
+/// Iterator over all machine ids `0..m`.
+pub fn all_machines(num_machines: usize) -> impl Iterator<Item = MachineId> {
+    (0..num_machines).map(MachineId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_expose_their_index() {
+        assert_eq!(JobId(3).index(), 3);
+        assert_eq!(MachineId(5).index(), 5);
+    }
+
+    #[test]
+    fn ids_display_with_kind_prefix() {
+        assert_eq!(JobId(2).to_string(), "job2");
+        assert_eq!(MachineId(0).to_string(), "machine0");
+    }
+
+    #[test]
+    fn ids_convert_from_usize() {
+        let j: JobId = 7.into();
+        let m: MachineId = 9.into();
+        assert_eq!(j, JobId(7));
+        assert_eq!(m, MachineId(9));
+    }
+
+    #[test]
+    fn iterators_cover_the_range() {
+        let jobs: Vec<JobId> = all_jobs(3).collect();
+        assert_eq!(jobs, vec![JobId(0), JobId(1), JobId(2)]);
+        assert_eq!(all_machines(0).count(), 0);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(JobId(1) < JobId(2));
+        assert!(MachineId(0) < MachineId(1));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&JobId(4)).unwrap();
+        assert_eq!(json, "4");
+        let back: JobId = serde_json::from_str("4").unwrap();
+        assert_eq!(back, JobId(4));
+    }
+}

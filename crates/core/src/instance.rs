@@ -1,0 +1,497 @@
+//! SUU problem instances and their builder.
+
+use serde::{Deserialize, Serialize};
+use suu_graph::{Dag, ForestKind};
+
+use crate::error::InstanceError;
+use crate::ids::{JobId, MachineId};
+
+/// A validated instance of multiprocessor scheduling under uncertainty.
+///
+/// An instance consists of `n` unit-time jobs, `m` machines, the probability
+/// matrix `p_ij` (probability that machine `i` completes job `j` in one step)
+/// and a precedence DAG over the jobs. Validation guarantees that every
+/// probability lies in `[0, 1]` and that every job has at least one machine
+/// with positive success probability (otherwise the expected makespan would be
+/// infinite; the paper makes the same assumption).
+///
+/// # Examples
+///
+/// ```
+/// use suu_core::{InstanceBuilder, JobId, MachineId};
+///
+/// // Two machines, three independent jobs.
+/// let instance = InstanceBuilder::new(3, 2)
+///     .probability(MachineId(0), JobId(0), 0.9)
+///     .probability(MachineId(0), JobId(1), 0.5)
+///     .probability(MachineId(1), JobId(1), 0.7)
+///     .probability(MachineId(1), JobId(2), 0.2)
+///     .probability(MachineId(0), JobId(2), 0.1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(instance.num_jobs(), 3);
+/// assert_eq!(instance.prob(MachineId(1), JobId(1)), 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuuInstance {
+    num_jobs: usize,
+    num_machines: usize,
+    /// Row-major `num_machines × num_jobs` success-probability matrix.
+    probs: Vec<f64>,
+    precedence: Dag,
+}
+
+impl SuuInstance {
+    /// Creates an instance from a dense probability matrix (row-major,
+    /// `machines × jobs`) and a precedence DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] if the dimensions are inconsistent, a
+    /// probability is out of range, or some job has zero probability on every
+    /// machine.
+    pub fn new(
+        num_jobs: usize,
+        num_machines: usize,
+        probs: Vec<f64>,
+        precedence: Dag,
+    ) -> Result<Self, InstanceError> {
+        if num_jobs == 0 || num_machines == 0 {
+            return Err(InstanceError::Empty);
+        }
+        if probs.len() != num_jobs * num_machines {
+            return Err(InstanceError::DimensionMismatch {
+                expected: num_jobs * num_machines,
+                actual: probs.len(),
+            });
+        }
+        if precedence.num_nodes() != num_jobs {
+            return Err(InstanceError::PrecedenceSizeMismatch {
+                jobs: num_jobs,
+                nodes: precedence.num_nodes(),
+            });
+        }
+        for i in 0..num_machines {
+            for j in 0..num_jobs {
+                let p = probs[i * num_jobs + j];
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(InstanceError::InvalidProbability {
+                        machine: MachineId(i),
+                        job: JobId(j),
+                        value: p,
+                    });
+                }
+            }
+        }
+        for j in 0..num_jobs {
+            let reachable = (0..num_machines).any(|i| probs[i * num_jobs + j] > 0.0);
+            if !reachable {
+                return Err(InstanceError::UnschedulableJob { job: JobId(j) });
+            }
+        }
+        Ok(Self {
+            num_jobs,
+            num_machines,
+            probs,
+            precedence,
+        })
+    }
+
+    /// Number of jobs `n`.
+    #[must_use]
+    pub fn num_jobs(&self) -> usize {
+        self.num_jobs
+    }
+
+    /// Number of machines `m`.
+    #[must_use]
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Success probability `p_ij` of machine `i` completing job `j` in one
+    /// step.
+    #[must_use]
+    pub fn prob(&self, machine: MachineId, job: JobId) -> f64 {
+        self.probs[machine.0 * self.num_jobs + job.0]
+    }
+
+    /// The precedence DAG.
+    #[must_use]
+    pub fn precedence(&self) -> &Dag {
+        &self.precedence
+    }
+
+    /// Structural class of the precedence DAG (independent / chains / trees /
+    /// forest / general).
+    #[must_use]
+    pub fn forest_kind(&self) -> ForestKind {
+        suu_graph::forest::classify(&self.precedence)
+    }
+
+    /// `true` if the jobs are independent (no precedence constraints) — the
+    /// SUU-I special case of §3.
+    #[must_use]
+    pub fn is_independent(&self) -> bool {
+        self.precedence.is_independent()
+    }
+
+    /// All jobs.
+    pub fn jobs(&self) -> impl Iterator<Item = JobId> {
+        (0..self.num_jobs).map(JobId)
+    }
+
+    /// All machines.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> {
+        (0..self.num_machines).map(MachineId)
+    }
+
+    /// The machine with the highest success probability for `job`, together
+    /// with that probability. Validation guarantees the probability is > 0.
+    #[must_use]
+    pub fn best_machine(&self, job: JobId) -> (MachineId, f64) {
+        let mut best = (MachineId(0), 0.0);
+        for i in 0..self.num_machines {
+            let p = self.prob(MachineId(i), job);
+            if p > best.1 {
+                best = (MachineId(i), p);
+            }
+        }
+        best
+    }
+
+    /// The smallest non-zero probability in the matrix (`p_min` in the
+    /// paper's running-time analysis of SUU-I-OBL).
+    #[must_use]
+    pub fn min_positive_prob(&self) -> f64 {
+        self.probs
+            .iter()
+            .copied()
+            .filter(|&p| p > 0.0)
+            .fold(1.0, f64::min)
+    }
+
+    /// The largest probability in the matrix.
+    #[must_use]
+    pub fn max_prob(&self) -> f64 {
+        self.probs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum of success probabilities over all machines for `job` — the maximum
+    /// mass the job can accumulate in one step if every machine works on it.
+    #[must_use]
+    pub fn total_prob(&self, job: JobId) -> f64 {
+        (0..self.num_machines)
+            .map(|i| self.prob(MachineId(i), job))
+            .sum()
+    }
+
+    /// Probability entries `(machine, job, p_ij)` with `p_ij > 0`, in
+    /// decreasing order of probability — the processing order used by
+    /// MSM-ALG and MSM-E-ALG.
+    #[must_use]
+    pub fn positive_probs_sorted(&self) -> Vec<(MachineId, JobId, f64)> {
+        let mut entries: Vec<(MachineId, JobId, f64)> = Vec::new();
+        for i in 0..self.num_machines {
+            for j in 0..self.num_jobs {
+                let p = self.probs[i * self.num_jobs + j];
+                if p > 0.0 {
+                    entries.push((MachineId(i), JobId(j), p));
+                }
+            }
+        }
+        entries.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        entries
+    }
+
+    /// Jobs whose predecessors are all contained in `finished` and that are
+    /// themselves not finished: the jobs eligible for execution.
+    #[must_use]
+    pub fn eligible_jobs(&self, finished: &[bool]) -> Vec<JobId> {
+        assert_eq!(finished.len(), self.num_jobs, "finished mask has wrong length");
+        (0..self.num_jobs)
+            .filter(|&j| {
+                !finished[j]
+                    && self
+                        .precedence
+                        .predecessors(j)
+                        .iter()
+                        .all(|&p| finished[p])
+            })
+            .map(JobId)
+            .collect()
+    }
+
+    /// Restricts the instance to the given jobs (in the given order), keeping
+    /// all machines and the precedence structure induced on those jobs.
+    /// Returns the sub-instance and the mapping from new job ids to original
+    /// ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty, contains duplicates or out-of-range ids.
+    #[must_use]
+    pub fn restrict_to_jobs(&self, jobs: &[JobId]) -> (Self, Vec<JobId>) {
+        assert!(!jobs.is_empty(), "cannot restrict to an empty job set");
+        let indices: Vec<usize> = jobs.iter().map(|j| j.0).collect();
+        let (sub_dag, _) = self.precedence.induced_subgraph(&indices);
+        let mut probs = Vec::with_capacity(self.num_machines * jobs.len());
+        for i in 0..self.num_machines {
+            for &j in &indices {
+                probs.push(self.probs[i * self.num_jobs + j]);
+            }
+        }
+        let sub = Self::new(jobs.len(), self.num_machines, probs, sub_dag)
+            .expect("restriction of a valid instance is valid");
+        (sub, jobs.to_vec())
+    }
+
+    /// A crude upper bound on the optimal expected makespan, used to size
+    /// doubling searches: serialising the jobs and assigning every machine to
+    /// one job at a time finishes each job in expected `1 / P_j ≤ 1 / p_best`
+    /// steps, so `Σ_j 1 / P_j` bounds the total, where `P_j` is the success
+    /// probability when all machines work on `j`.
+    #[must_use]
+    pub fn serial_makespan_upper_bound(&self) -> f64 {
+        self.jobs()
+            .map(|j| {
+                let probs: Vec<f64> = self
+                    .machines()
+                    .map(|i| self.prob(i, j))
+                    .collect();
+                let p = crate::prob::combined_success_probability(&probs);
+                1.0 / p.max(f64::MIN_POSITIVE)
+            })
+            .sum()
+    }
+}
+
+/// Incremental builder for [`SuuInstance`].
+///
+/// Probabilities default to zero; the precedence graph defaults to independent
+/// jobs.
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    num_jobs: usize,
+    num_machines: usize,
+    probs: Vec<f64>,
+    precedence: Dag,
+}
+
+impl InstanceBuilder {
+    /// Starts building an instance with `num_jobs` jobs and `num_machines`
+    /// machines, all probabilities zero and no precedence constraints.
+    #[must_use]
+    pub fn new(num_jobs: usize, num_machines: usize) -> Self {
+        Self {
+            num_jobs,
+            num_machines,
+            probs: vec![0.0; num_jobs * num_machines],
+            precedence: Dag::independent(num_jobs),
+        }
+    }
+
+    /// Sets `p_ij` for one machine–job pair.
+    #[must_use]
+    pub fn probability(mut self, machine: MachineId, job: JobId, p: f64) -> Self {
+        self.probs[machine.0 * self.num_jobs + job.0] = p;
+        self
+    }
+
+    /// Sets the same probability for every machine–job pair (uniform machines).
+    #[must_use]
+    pub fn uniform_probability(mut self, p: f64) -> Self {
+        self.probs.iter_mut().for_each(|x| *x = p);
+        self
+    }
+
+    /// Sets the whole probability matrix (row-major `machines × jobs`).
+    #[must_use]
+    pub fn probability_matrix(mut self, probs: Vec<f64>) -> Self {
+        self.probs = probs;
+        self
+    }
+
+    /// Sets the precedence DAG.
+    #[must_use]
+    pub fn precedence(mut self, dag: Dag) -> Self {
+        self.precedence = dag;
+        self
+    }
+
+    /// Adds precedence chains (each inner vector is a chain of job indices in
+    /// order), replacing the current precedence graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain node ids are invalid (out of range or repeated in a
+    /// way that creates a cycle).
+    #[must_use]
+    pub fn chains(mut self, chains: &[Vec<usize>]) -> Self {
+        self.precedence =
+            Dag::from_chains(self.num_jobs, chains).expect("invalid chain specification");
+        self
+    }
+
+    /// Finalises and validates the instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuuInstance::new`].
+    pub fn build(self) -> Result<SuuInstance, InstanceError> {
+        SuuInstance::new(self.num_jobs, self.num_machines, self.probs, self.precedence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_instance() -> SuuInstance {
+        InstanceBuilder::new(3, 2)
+            .probability(MachineId(0), JobId(0), 0.9)
+            .probability(MachineId(0), JobId(1), 0.5)
+            .probability(MachineId(1), JobId(1), 0.7)
+            .probability(MachineId(1), JobId(2), 0.2)
+            .probability(MachineId(0), JobId(2), 0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_instance() {
+        let inst = small_instance();
+        assert_eq!(inst.num_jobs(), 3);
+        assert_eq!(inst.num_machines(), 2);
+        assert_eq!(inst.prob(MachineId(0), JobId(0)), 0.9);
+        assert_eq!(inst.prob(MachineId(1), JobId(0)), 0.0);
+        assert!(inst.is_independent());
+    }
+
+    #[test]
+    fn rejects_empty_instance() {
+        assert_eq!(
+            InstanceBuilder::new(0, 3).build().unwrap_err(),
+            InstanceError::Empty
+        );
+        assert_eq!(
+            InstanceBuilder::new(3, 0).build().unwrap_err(),
+            InstanceError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_unschedulable_job() {
+        let err = InstanceBuilder::new(2, 1)
+            .probability(MachineId(0), JobId(0), 0.4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, InstanceError::UnschedulableJob { job: JobId(1) });
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let err = InstanceBuilder::new(1, 1)
+            .probability(MachineId(0), JobId(0), 1.7)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, InstanceError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let err = SuuInstance::new(2, 2, vec![0.1; 3], Dag::independent(2)).unwrap_err();
+        assert_eq!(
+            err,
+            InstanceError::DimensionMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_precedence_size_mismatch() {
+        let err = SuuInstance::new(2, 1, vec![0.5, 0.5], Dag::independent(3)).unwrap_err();
+        assert_eq!(
+            err,
+            InstanceError::PrecedenceSizeMismatch { jobs: 2, nodes: 3 }
+        );
+    }
+
+    #[test]
+    fn best_machine_and_totals() {
+        let inst = small_instance();
+        assert_eq!(inst.best_machine(JobId(1)), (MachineId(1), 0.7));
+        assert!((inst.total_prob(JobId(1)) - 1.2).abs() < 1e-12);
+        assert!((inst.min_positive_prob() - 0.1).abs() < 1e-12);
+        assert!((inst.max_prob() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_probs_are_sorted_descending() {
+        let inst = small_instance();
+        let entries = inst.positive_probs_sorted();
+        assert_eq!(entries.len(), 5);
+        for pair in entries.windows(2) {
+            assert!(pair[0].2 >= pair[1].2);
+        }
+        assert_eq!(entries[0], (MachineId(0), JobId(0), 0.9));
+    }
+
+    #[test]
+    fn eligible_jobs_respect_precedence() {
+        let dag = Dag::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let inst = InstanceBuilder::new(3, 1)
+            .uniform_probability(0.5)
+            .precedence(dag)
+            .build()
+            .unwrap();
+        assert_eq!(inst.eligible_jobs(&[false, false, false]), vec![JobId(0)]);
+        assert_eq!(inst.eligible_jobs(&[true, false, false]), vec![JobId(1)]);
+        assert_eq!(inst.eligible_jobs(&[true, true, true]), Vec::<JobId>::new());
+    }
+
+    #[test]
+    fn chains_builder_sets_precedence() {
+        let inst = InstanceBuilder::new(4, 1)
+            .uniform_probability(0.3)
+            .chains(&[vec![0, 1], vec![2, 3]])
+            .build()
+            .unwrap();
+        assert!(!inst.is_independent());
+        assert!(inst.precedence().has_edge(0, 1));
+        assert!(inst.precedence().has_edge(2, 3));
+    }
+
+    #[test]
+    fn restrict_to_jobs_keeps_induced_structure() {
+        let dag = Dag::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let inst = InstanceBuilder::new(4, 2)
+            .uniform_probability(0.4)
+            .precedence(dag)
+            .build()
+            .unwrap();
+        let (sub, mapping) = inst.restrict_to_jobs(&[JobId(1), JobId(2)]);
+        assert_eq!(sub.num_jobs(), 2);
+        assert_eq!(sub.num_machines(), 2);
+        assert!(sub.precedence().has_edge(0, 1));
+        assert_eq!(mapping, vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn serial_bound_is_finite_and_positive() {
+        let inst = small_instance();
+        let bound = inst.serial_makespan_upper_bound();
+        assert!(bound.is_finite());
+        assert!(bound >= 3.0 / 1.0 - 1e-9); // at least one step per job in expectation
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = small_instance();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: SuuInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+}

@@ -1,0 +1,46 @@
+//! Core problem model for *multiprocessor scheduling under uncertainty* (SUU).
+//!
+//! The SUU problem (Lin & Rajaraman, SPAA 2007; introduced by Malewicz) is
+//! given by
+//!
+//! * a set of `n` unit-time **jobs** and `m` **machines**,
+//! * a directed acyclic **precedence graph** over the jobs, and
+//! * for every machine `i` and job `j` a probability `p_ij` that one step of
+//!   machine `i` working on job `j` completes the job, independently of
+//!   everything else.
+//!
+//! Several machines may work on the same job in the same step; a job completes
+//! in that step with probability `1 − Π_i (1 − p_ij)` over the machines `i`
+//! assigned to it. The objective is to minimise the **expected makespan** —
+//! the expected number of steps until every job has completed.
+//!
+//! This crate defines the data model shared by the simulator, the
+//! approximation algorithms and the baselines:
+//!
+//! * [`instance::SuuInstance`] — a validated instance (probability matrix +
+//!   precedence DAG) with a builder.
+//! * [`prob`] — probability arithmetic and the mass/probability bounds of
+//!   Proposition 2.1.
+//! * [`assignment`] — single-step machine→job assignments, both feasible
+//!   (each machine works on at most one job) and multi-assignments as used by
+//!   pseudo-schedules (Definition 4.1).
+//! * [`schedule`] — oblivious schedules (Definition 2.3), pseudo-schedules
+//!   (Definition 4.1) and the [`schedule::SchedulingPolicy`] trait that
+//!   adaptive algorithms and regimens implement (Definition 2.2).
+//! * [`mass`] — the mass of a job under a schedule (Definition 2.4).
+
+pub mod assignment;
+pub mod error;
+pub mod ids;
+pub mod instance;
+pub mod mass;
+pub mod prob;
+pub mod schedule;
+
+pub use assignment::{Assignment, MultiAssignment};
+pub use error::InstanceError;
+pub use ids::{JobId, MachineId};
+pub use instance::{InstanceBuilder, SuuInstance};
+pub use mass::{mass_of_assignment, MassVector};
+pub use prob::{combined_success_probability, Probability};
+pub use schedule::{JobSet, ObliviousSchedule, PseudoSchedule, SchedulingPolicy};

@@ -1,0 +1,291 @@
+//! The *mass* of a job under a schedule (Definition 2.4).
+//!
+//! The mass of job `j` at the end of step `t` of an oblivious schedule is
+//!
+//! ```text
+//! min { Σ_{τ ≤ t} Σ_{i : f_τ(i) = j} p_ij ,  1 }
+//! ```
+//!
+//! i.e. the accumulated sum of success probabilities over every machine-step
+//! spent on the job, capped at one. Mass is the linear surrogate the paper
+//! uses in place of the true success probability: by Proposition 2.1 a job
+//! with mass `μ ≤ 1` has completed with probability between `μ/e` and `μ`.
+//! All the algorithms target "accumulate constant mass for every job", and
+//! the analyses convert that into constant completion probability.
+
+use crate::assignment::{Assignment, MultiAssignment};
+use crate::ids::JobId;
+use crate::instance::SuuInstance;
+use crate::schedule::{ObliviousSchedule, PseudoSchedule};
+
+/// Per-job mass values, indexed by job id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MassVector {
+    values: Vec<f64>,
+}
+
+impl MassVector {
+    /// The all-zero mass vector for `num_jobs` jobs.
+    #[must_use]
+    pub fn zero(num_jobs: usize) -> Self {
+        Self {
+            values: vec![0.0; num_jobs],
+        }
+    }
+
+    /// Creates a mass vector from raw values.
+    #[must_use]
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+
+    /// Mass of `job`.
+    #[must_use]
+    pub fn get(&self, job: JobId) -> f64 {
+        self.values[job.0]
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Adds `amount` to the mass of `job`, capping at `cap`.
+    pub fn add_capped(&mut self, job: JobId, amount: f64, cap: f64) {
+        self.values[job.0] = (self.values[job.0] + amount).min(cap);
+    }
+
+    /// Sum of all masses.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// The smallest mass over all jobs (0 for an empty vector).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Number of jobs whose mass is at least `threshold`.
+    #[must_use]
+    pub fn count_at_least(&self, threshold: f64) -> usize {
+        self.values.iter().filter(|&&v| v >= threshold).count()
+    }
+
+    /// Jobs whose mass is at least `threshold`.
+    #[must_use]
+    pub fn jobs_at_least(&self, threshold: f64) -> Vec<JobId> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &v)| (v >= threshold).then_some(JobId(j)))
+            .collect()
+    }
+
+    /// Raw values slice.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Mass contributed to every job by a single feasible assignment
+/// (uncapped; a single step's contribution is at most `Σ_i p_ij` anyway).
+#[must_use]
+pub fn mass_of_assignment(instance: &SuuInstance, assignment: &Assignment) -> MassVector {
+    let mut mass = MassVector::zero(instance.num_jobs());
+    for (machine, job) in assignment.busy_pairs() {
+        mass.add_capped(job, instance.prob(machine, job), f64::INFINITY);
+    }
+    mass
+}
+
+/// Mass contributed to every job by a single multi-assignment (uncapped).
+#[must_use]
+pub fn mass_of_multi_assignment(instance: &SuuInstance, step: &MultiAssignment) -> MassVector {
+    let mut mass = MassVector::zero(instance.num_jobs());
+    for (machine, job) in step.pairs() {
+        mass.add_capped(job, instance.prob(machine, job), f64::INFINITY);
+    }
+    mass
+}
+
+/// Mass accumulated by every job over the first `prefix_len` steps of an
+/// oblivious schedule, capped at 1 per Definition 2.4.
+///
+/// # Panics
+///
+/// Panics if `prefix_len` exceeds the schedule length.
+#[must_use]
+pub fn mass_of_oblivious_prefix(
+    instance: &SuuInstance,
+    schedule: &ObliviousSchedule,
+    prefix_len: usize,
+) -> MassVector {
+    assert!(prefix_len <= schedule.len(), "prefix exceeds schedule length");
+    let mut mass = MassVector::zero(instance.num_jobs());
+    for t in 0..prefix_len {
+        for (machine, job) in schedule.step(t).busy_pairs() {
+            mass.add_capped(job, instance.prob(machine, job), 1.0);
+        }
+    }
+    mass
+}
+
+/// Mass accumulated by every job over a whole oblivious schedule (capped at 1).
+#[must_use]
+pub fn mass_of_oblivious(instance: &SuuInstance, schedule: &ObliviousSchedule) -> MassVector {
+    mass_of_oblivious_prefix(instance, schedule, schedule.len())
+}
+
+/// Mass accumulated by every job over a whole pseudo-schedule (capped at 1).
+#[must_use]
+pub fn mass_of_pseudo(instance: &SuuInstance, schedule: &PseudoSchedule) -> MassVector {
+    let mut mass = MassVector::zero(instance.num_jobs());
+    for t in 0..schedule.len() {
+        for (machine, job) in schedule.step(t).pairs() {
+            mass.add_capped(job, instance.prob(machine, job), 1.0);
+        }
+    }
+    mass
+}
+
+/// The first step index (1-based count of steps) by which `job` has
+/// accumulated mass at least `threshold` in the given oblivious schedule, or
+/// `None` if it never does within the schedule's length.
+#[must_use]
+pub fn first_step_reaching_mass(
+    instance: &SuuInstance,
+    schedule: &ObliviousSchedule,
+    job: JobId,
+    threshold: f64,
+) -> Option<usize> {
+    let mut acc = 0.0;
+    for t in 0..schedule.len() {
+        for machine in schedule.step(t).machines_on(job) {
+            acc += instance.prob(machine, job);
+        }
+        if acc.min(1.0) >= threshold {
+            return Some(t + 1);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MachineId;
+    use crate::instance::InstanceBuilder;
+
+    fn instance() -> SuuInstance {
+        // 2 machines × 2 jobs: p[0][0]=0.6, p[0][1]=0.3, p[1][0]=0.4, p[1][1]=0.8
+        InstanceBuilder::new(2, 2)
+            .probability(MachineId(0), JobId(0), 0.6)
+            .probability(MachineId(0), JobId(1), 0.3)
+            .probability(MachineId(1), JobId(0), 0.4)
+            .probability(MachineId(1), JobId(1), 0.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mass_vector_basic_operations() {
+        let mut m = MassVector::zero(3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        m.add_capped(JobId(1), 0.7, 1.0);
+        m.add_capped(JobId(1), 0.6, 1.0);
+        assert!((m.get(JobId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.count_at_least(0.5), 1);
+        assert_eq!(m.jobs_at_least(0.5), vec![JobId(1)]);
+        assert!((m.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_of_single_assignment() {
+        let inst = instance();
+        let mut a = Assignment::idle(2);
+        a.assign(MachineId(0), JobId(0));
+        a.assign(MachineId(1), JobId(0));
+        let m = mass_of_assignment(&inst, &a);
+        assert!((m.get(JobId(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.get(JobId(1)), 0.0);
+    }
+
+    #[test]
+    fn mass_of_oblivious_schedule_caps_at_one() {
+        let inst = instance();
+        // Both machines on job 1 for two steps: raw mass 2.2, capped at 1.
+        let mut a = Assignment::idle(2);
+        a.assign(MachineId(0), JobId(1));
+        a.assign(MachineId(1), JobId(1));
+        let sched = ObliviousSchedule::from_steps(2, vec![a.clone(), a]);
+        let m = mass_of_oblivious(&inst, &sched);
+        assert!((m.get(JobId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.get(JobId(0)), 0.0);
+    }
+
+    #[test]
+    fn mass_prefix_is_monotone() {
+        let inst = instance();
+        let mut a = Assignment::idle(2);
+        a.assign(MachineId(0), JobId(0));
+        let mut b = Assignment::idle(2);
+        b.assign(MachineId(1), JobId(0));
+        let sched = ObliviousSchedule::from_steps(2, vec![a, b]);
+        let m1 = mass_of_oblivious_prefix(&inst, &sched, 1);
+        let m2 = mass_of_oblivious_prefix(&inst, &sched, 2);
+        assert!((m1.get(JobId(0)) - 0.6).abs() < 1e-12);
+        assert!((m2.get(JobId(0)) - 1.0).abs() < 1e-12);
+        assert!(m2.get(JobId(0)) >= m1.get(JobId(0)));
+    }
+
+    #[test]
+    fn mass_of_pseudo_counts_multi_assignments() {
+        let inst = instance();
+        let mut ps = PseudoSchedule::new(2);
+        ps.assign_interval(MachineId(0), JobId(0), 0, 1);
+        ps.assign_interval(MachineId(0), JobId(1), 0, 1); // same machine, same step
+        let m = mass_of_pseudo(&inst, &ps);
+        assert!((m.get(JobId(0)) - 0.6).abs() < 1e-12);
+        assert!((m.get(JobId(1)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_step_reaching_mass_finds_threshold() {
+        let inst = instance();
+        let mut a = Assignment::idle(2);
+        a.assign(MachineId(0), JobId(0)); // 0.6 per step
+        let sched = ObliviousSchedule::from_steps(2, vec![a.clone(), a]);
+        assert_eq!(
+            first_step_reaching_mass(&inst, &sched, JobId(0), 0.5),
+            Some(1)
+        );
+        assert_eq!(
+            first_step_reaching_mass(&inst, &sched, JobId(0), 1.0),
+            Some(2)
+        );
+        assert_eq!(first_step_reaching_mass(&inst, &sched, JobId(1), 0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix exceeds")]
+    fn prefix_longer_than_schedule_panics() {
+        let inst = instance();
+        let sched = ObliviousSchedule::new(2);
+        let _ = mass_of_oblivious_prefix(&inst, &sched, 1);
+    }
+}

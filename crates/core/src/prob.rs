@@ -1,0 +1,205 @@
+//! Probability arithmetic and the bounds of Proposition 2.1.
+//!
+//! When a set `S` of machines works on job `j` in one step, the job completes
+//! with probability `1 − Π_{i∈S} (1 − p_ij)`. The paper's algorithms never
+//! manipulate this non-linear expression directly; instead they work with the
+//! *mass* `Σ_{i∈S} p_ij` and rely on Proposition 2.1:
+//!
+//! * `1 − Π(1 − x_i) ≤ Σ x_i` always, and
+//! * `1 − Π(1 − x_i) ≥ (Σ x_i)/e` whenever `Σ x_i ≤ 1`.
+//!
+//! [`combined_success_probability`], [`mass_upper_bound`] and
+//! [`mass_lower_bound`] expose the three quantities, and the test-suite (and
+//! experiment E1) verifies the sandwich numerically.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A success probability in `[0, 1]`.
+///
+/// The wrapper validates the range once at construction so the rest of the
+/// workspace can use plain arithmetic without re-checking.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// A probability of exactly zero.
+    pub const ZERO: Self = Self(0.0);
+    /// A probability of exactly one.
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a probability, returning `None` if `value` is not in `[0, 1]`
+    /// or is NaN.
+    #[must_use]
+    pub fn new(value: f64) -> Option<Self> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Some(Self(value))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a probability, clamping `value` into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[must_use]
+    pub fn clamped(value: f64) -> Self {
+        assert!(!value.is_nan(), "probability cannot be NaN");
+        Self(value.clamp(0.0, 1.0))
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The complement `1 − p`.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+
+    /// Whether the probability is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+/// Probability that a job completes in one step when machines with the given
+/// per-machine success probabilities all work on it: `1 − Π (1 − p_i)`.
+#[must_use]
+pub fn combined_success_probability(probs: &[f64]) -> f64 {
+    let survive: f64 = probs.iter().map(|p| 1.0 - p.clamp(0.0, 1.0)).product();
+    1.0 - survive
+}
+
+/// The upper bound of Proposition 2.1: the success probability is at most the
+/// mass `Σ p_i` (capped at 1, since it is a probability).
+#[must_use]
+pub fn mass_upper_bound(probs: &[f64]) -> f64 {
+    probs.iter().sum::<f64>().min(1.0)
+}
+
+/// The lower bound of Proposition 2.1: if the mass `Σ p_i` is at most 1, the
+/// success probability is at least `mass / e`. For masses above 1 the bound
+/// `1/e` (obtained by restricting to a sub-collection of mass ≥ 1 ... ≤ 1) is
+/// not established by the proposition itself, so this function conservatively
+/// evaluates `min(Σ p_i, 1) / e`, which is the form the paper's analyses use.
+#[must_use]
+pub fn mass_lower_bound(probs: &[f64]) -> f64 {
+    mass_upper_bound(probs) / std::f64::consts::E
+}
+
+/// Probability that a job with per-step success probability `p` completes
+/// within `steps` steps: `1 − (1 − p)^steps`.
+#[must_use]
+pub fn success_within(p: f64, steps: u64) -> f64 {
+    1.0 - (1.0 - p.clamp(0.0, 1.0)).powi(i32::try_from(steps.min(i32::MAX as u64)).unwrap_or(i32::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn probability_validates_range() {
+        assert!(Probability::new(0.5).is_some());
+        assert!(Probability::new(0.0).is_some());
+        assert!(Probability::new(1.0).is_some());
+        assert!(Probability::new(-0.1).is_none());
+        assert!(Probability::new(1.1).is_none());
+        assert!(Probability::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn clamped_saturates() {
+        assert_eq!(Probability::clamped(2.0).value(), 1.0);
+        assert_eq!(Probability::clamped(-1.0).value(), 0.0);
+        assert_eq!(Probability::clamped(0.25).value(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn clamped_rejects_nan() {
+        let _ = Probability::clamped(f64::NAN);
+    }
+
+    #[test]
+    fn complement_and_zero() {
+        assert_eq!(Probability::clamped(0.25).complement().value(), 0.75);
+        assert!(Probability::ZERO.is_zero());
+        assert!(!Probability::ONE.is_zero());
+    }
+
+    #[test]
+    fn combined_probability_of_single_machine_is_its_probability() {
+        assert!((combined_success_probability(&[0.3]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_probability_of_two_machines() {
+        // 1 − (0.5)(0.75) = 0.625
+        assert!((combined_success_probability(&[0.5, 0.25]) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_probability_with_certain_machine_is_one() {
+        assert!((combined_success_probability(&[0.2, 1.0, 0.1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_machine_set_never_succeeds() {
+        assert_eq!(combined_success_probability(&[]), 0.0);
+        assert_eq!(mass_upper_bound(&[]), 0.0);
+    }
+
+    #[test]
+    fn success_within_accumulates_over_steps() {
+        let p = success_within(0.5, 2);
+        assert!((p - 0.75).abs() < 1e-12);
+        assert_eq!(success_within(0.0, 100), 0.0);
+        assert!((success_within(1.0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Proposition 2.1 upper bound: success probability ≤ mass.
+        #[test]
+        fn proposition_2_1_upper_bound(probs in proptest::collection::vec(0.0f64..=1.0, 0..16)) {
+            let p = combined_success_probability(&probs);
+            let mass: f64 = probs.iter().sum();
+            prop_assert!(p <= mass + 1e-12);
+        }
+
+        /// Proposition 2.1 lower bound: if mass ≤ 1 then success ≥ mass / e.
+        #[test]
+        fn proposition_2_1_lower_bound(probs in proptest::collection::vec(0.0f64..=0.2, 0..5)) {
+            let mass: f64 = probs.iter().sum();
+            prop_assume!(mass <= 1.0);
+            let p = combined_success_probability(&probs);
+            prop_assert!(p >= mass / std::f64::consts::E - 1e-12);
+        }
+
+        /// The helper bounds sandwich the true probability when mass ≤ 1.
+        #[test]
+        fn bounds_sandwich(probs in proptest::collection::vec(0.0f64..=0.3, 1..4)) {
+            let mass: f64 = probs.iter().sum();
+            prop_assume!(mass <= 1.0);
+            let p = combined_success_probability(&probs);
+            prop_assert!(mass_lower_bound(&probs) <= p + 1e-12);
+            prop_assert!(p <= mass_upper_bound(&probs) + 1e-12);
+        }
+    }
+}

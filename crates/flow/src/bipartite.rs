@@ -1,0 +1,230 @@
+//! Maximum bipartite matching via Hopcroft–Karp style augmentation.
+//!
+//! Used by `suu-graph` to compute the width of a dependency DAG through the
+//! Dilworth / minimum-path-cover reduction, and by tests of the MaxSumMass
+//! brute-force oracle.
+
+use std::collections::VecDeque;
+
+/// Maximum-cardinality matching on a bipartite graph with `left` and `right`
+/// vertex sets given by index ranges `0..num_left` and `0..num_right`.
+#[derive(Debug, Clone)]
+pub struct BipartiteMatching {
+    num_left: usize,
+    num_right: usize,
+    /// Adjacency: for each left vertex, the right vertices it can match.
+    adj: Vec<Vec<usize>>,
+}
+
+/// The result of a matching computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// `match_left[u] = Some(v)` iff left `u` is matched to right `v`.
+    pub match_left: Vec<Option<usize>>,
+    /// `match_right[v] = Some(u)` iff right `v` is matched to left `u`.
+    pub match_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.match_left.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+impl BipartiteMatching {
+    /// Creates an empty bipartite graph.
+    #[must_use]
+    pub fn new(num_left: usize, num_right: usize) -> Self {
+        Self {
+            num_left,
+            num_right,
+            adj: vec![Vec::new(); num_left],
+        }
+    }
+
+    /// Adds an edge between left vertex `u` and right vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.num_left, "left vertex out of range");
+        assert!(v < self.num_right, "right vertex out of range");
+        self.adj[u].push(v);
+    }
+
+    /// Number of left vertices.
+    #[must_use]
+    pub fn num_left(&self) -> usize {
+        self.num_left
+    }
+
+    /// Number of right vertices.
+    #[must_use]
+    pub fn num_right(&self) -> usize {
+        self.num_right
+    }
+
+    /// Computes a maximum-cardinality matching (Hopcroft–Karp).
+    #[must_use]
+    pub fn solve(&self) -> Matching {
+        const NIL: usize = usize::MAX;
+        let mut match_left = vec![NIL; self.num_left];
+        let mut match_right = vec![NIL; self.num_right];
+        let mut dist = vec![0u32; self.num_left];
+
+        loop {
+            // BFS phase: layer free left vertices.
+            let mut queue = VecDeque::new();
+            let mut found_augmenting = false;
+            for u in 0..self.num_left {
+                if match_left[u] == NIL {
+                    dist[u] = 0;
+                    queue.push_back(u);
+                } else {
+                    dist[u] = u32::MAX;
+                }
+            }
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.adj[u] {
+                    let w = match_right[v];
+                    if w == NIL {
+                        found_augmenting = true;
+                    } else if dist[w] == u32::MAX {
+                        dist[w] = dist[u] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS phase: find vertex-disjoint shortest augmenting paths.
+            for u in 0..self.num_left {
+                if match_left[u] == NIL {
+                    self.try_augment(u, &mut match_left, &mut match_right, &mut dist);
+                }
+            }
+        }
+
+        Matching {
+            match_left: match_left
+                .into_iter()
+                .map(|v| if v == NIL { None } else { Some(v) })
+                .collect(),
+            match_right: match_right
+                .into_iter()
+                .map(|u| if u == NIL { None } else { Some(u) })
+                .collect(),
+        }
+    }
+
+    fn try_augment(
+        &self,
+        u: usize,
+        match_left: &mut [usize],
+        match_right: &mut [usize],
+        dist: &mut [u32],
+    ) -> bool {
+        const NIL: usize = usize::MAX;
+        for &v in &self.adj[u] {
+            let w = match_right[v];
+            let reachable = w == NIL || (dist[w] == dist[u] + 1
+                && self.try_augment(w, match_left, match_right, dist));
+            if reachable {
+                match_left[u] = v;
+                match_right[v] = u;
+                return true;
+            }
+        }
+        dist[u] = u32::MAX;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let m = BipartiteMatching::new(3, 3).solve();
+        assert_eq!(m.size(), 0);
+        assert!(m.match_left.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn perfect_matching_on_identity_edges() {
+        let mut g = BipartiteMatching::new(4, 4);
+        for i in 0..4 {
+            g.add_edge(i, i);
+        }
+        let m = g.solve();
+        assert_eq!(m.size(), 4);
+        for i in 0..4 {
+            assert_eq!(m.match_left[i], Some(i));
+            assert_eq!(m.match_right[i], Some(i));
+        }
+    }
+
+    #[test]
+    fn star_graph_matches_once() {
+        // Left 0 connected to every right vertex; other lefts isolated.
+        let mut g = BipartiteMatching::new(3, 5);
+        for v in 0..5 {
+            g.add_edge(0, v);
+        }
+        let m = g.solve();
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Classic case that requires an augmenting path of length 3:
+        // L0-{R0}, L1-{R0,R1}. Greedy matching L1-R0 would block L0.
+        let mut g = BipartiteMatching::new(2, 2);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        g.add_edge(0, 0);
+        let m = g.solve();
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.match_left[0], Some(0));
+        assert_eq!(m.match_right[1], Some(1));
+    }
+
+    #[test]
+    fn asymmetric_sides() {
+        let mut g = BipartiteMatching::new(5, 2);
+        for u in 0..5 {
+            g.add_edge(u, u % 2);
+        }
+        let m = g.solve();
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn matching_is_consistent_both_ways() {
+        let mut g = BipartiteMatching::new(4, 4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 3);
+        let m = g.solve();
+        for (u, mv) in m.match_left.iter().enumerate() {
+            if let Some(v) = mv {
+                assert_eq!(m.match_right[*v], Some(u));
+            }
+        }
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = BipartiteMatching::new(1, 1);
+        g.add_edge(0, 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! This is the default max-flow oracle used by the rounding step of
+//! Theorem 4.1. Dinic's algorithm repeatedly builds a BFS level graph from the
+//! source and saturates blocking flows with DFS; with integral capacities the
+//! resulting maximum flow is integral, which is exactly the property the
+//! rounding argument (via Ford–Fulkerson's integrality theorem) relies on.
+
+use std::collections::VecDeque;
+
+use crate::network::{FlowNetwork, NodeId};
+use crate::Capacity;
+
+/// Dinic's algorithm state.
+///
+/// The struct is cheap to construct; scratch buffers are reused across phases
+/// of a single [`Dinic::max_flow`] call.
+#[derive(Debug, Default, Clone)]
+pub struct Dinic {
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// Creates a fresh solver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the maximum `source → sink` flow and leaves the flow
+    /// decomposition recorded in `net` (query with [`FlowNetwork::flow`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either node is out of range.
+    pub fn max_flow(&mut self, net: &mut FlowNetwork, source: NodeId, sink: NodeId) -> Capacity {
+        assert_ne!(source, sink, "source and sink must differ");
+        assert!(source < net.num_nodes() && sink < net.num_nodes());
+        let n = net.num_nodes();
+        self.level.resize(n, -1);
+        self.iter.resize(n, 0);
+        let mut total = 0;
+        while self.bfs(net, source, sink) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs(net, source, sink, Capacity::MAX);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    /// Builds the level graph; returns `true` if the sink is reachable.
+    fn bfs(&mut self, net: &FlowNetwork, source: NodeId, sink: NodeId) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = VecDeque::new();
+        self.level[source] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            for &e in net.adj_of(v) {
+                let to = net.raw_to(e);
+                if net.raw_cap(e) > 0 && self.level[to] < 0 {
+                    self.level[to] = self.level[v] + 1;
+                    queue.push_back(to);
+                }
+            }
+        }
+        self.level[sink] >= 0
+    }
+
+    /// Sends a blocking-flow augmenting path with DFS; returns the amount sent.
+    fn dfs(
+        &mut self,
+        net: &mut FlowNetwork,
+        v: NodeId,
+        sink: NodeId,
+        limit: Capacity,
+    ) -> Capacity {
+        if v == sink {
+            return limit;
+        }
+        while self.iter[v] < net.adj_of(v).len() {
+            let e = net.adj_of(v)[self.iter[v]];
+            let to = net.raw_to(e);
+            if net.raw_cap(e) > 0 && self.level[v] < self.level[to] {
+                let d = self.dfs(net, to, sink, limit.min(net.raw_cap(e)));
+                if d > 0 {
+                    net.push(e, d);
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> FlowNetwork {
+        // s=0, a=1, b=2, t=3
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 2, 5);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        net
+    }
+
+    #[test]
+    fn diamond_max_flow() {
+        let mut net = diamond();
+        let f = Dinic::new().max_flow(&mut net, 0, 3);
+        assert_eq!(f, 5);
+        assert!(net.is_feasible(0, 3));
+        assert_eq!(net.flow_value(0), 5);
+    }
+
+    #[test]
+    fn disconnected_sink_has_zero_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        // node 3 unreachable
+        let f = Dinic::new().max_flow(&mut net, 0, 3);
+        assert_eq!(f, 0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 1, 3);
+        let f = Dinic::new().max_flow(&mut net, 0, 1);
+        assert_eq!(f, 5);
+    }
+
+    #[test]
+    fn respects_bottleneck() {
+        // s -> a -> b -> t with bottleneck 1 in the middle.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 100);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 100);
+        let f = Dinic::new().max_flow(&mut net, 0, 3);
+        assert_eq!(f, 1);
+    }
+
+    #[test]
+    fn bipartite_unit_network_is_integral() {
+        // 2 jobs, 2 machines, unit capacities: classic matching network.
+        // s=0, jobs 1..=2, machines 3..=4, t=5
+        let mut net = FlowNetwork::new(6);
+        let mut edges = Vec::new();
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        edges.push(net.add_edge(1, 3, 1));
+        edges.push(net.add_edge(1, 4, 1));
+        edges.push(net.add_edge(2, 3, 1));
+        net.add_edge(3, 5, 1);
+        net.add_edge(4, 5, 1);
+        let f = Dinic::new().max_flow(&mut net, 0, 5);
+        assert_eq!(f, 2);
+        for e in edges {
+            let fl = net.flow(e);
+            assert!(fl == 0 || fl == 1, "integral flow expected, got {fl}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_and_sink_panics() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1);
+        Dinic::new().max_flow(&mut net, 0, 0);
+    }
+
+    #[test]
+    fn repeated_solves_after_reset_agree() {
+        let mut net = diamond();
+        let f1 = Dinic::new().max_flow(&mut net, 0, 3);
+        net.reset();
+        let f2 = Dinic::new().max_flow(&mut net, 0, 3);
+        assert_eq!(f1, f2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Edmonds–Karp (BFS augmenting path) maximum flow.
+//!
+//! Kept as an independent, simpler oracle: the test suites of this crate and
+//! of `suu-algorithms` cross-check Dinic against Edmonds–Karp on random
+//! networks, which guards the rounding step of Theorem 4.1 against subtle
+//! max-flow bugs.
+
+use std::collections::VecDeque;
+
+use crate::network::{FlowNetwork, NodeId};
+use crate::Capacity;
+
+/// Edmonds–Karp solver.
+#[derive(Debug, Default, Clone)]
+pub struct EdmondsKarp {
+    /// `parent_edge[v]` is the raw edge index used to reach `v` in the BFS.
+    parent_edge: Vec<Option<usize>>,
+}
+
+impl EdmondsKarp {
+    /// Creates a fresh solver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the maximum `source → sink` flow, recording it in `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either node is out of range.
+    pub fn max_flow(&mut self, net: &mut FlowNetwork, source: NodeId, sink: NodeId) -> Capacity {
+        assert_ne!(source, sink, "source and sink must differ");
+        assert!(source < net.num_nodes() && sink < net.num_nodes());
+        let mut total = 0;
+        loop {
+            match self.find_augmenting_path(net, source, sink) {
+                Some(bottleneck) => {
+                    total += bottleneck;
+                    // Walk back from sink applying the bottleneck.
+                    let mut v = sink;
+                    while v != source {
+                        let e = self.parent_edge[v].expect("path edge");
+                        net.push(e, bottleneck);
+                        v = net.raw_to(e ^ 1);
+                    }
+                }
+                None => return total,
+            }
+        }
+    }
+
+    /// BFS for a shortest augmenting path; returns its bottleneck capacity.
+    fn find_augmenting_path(
+        &mut self,
+        net: &FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+    ) -> Option<Capacity> {
+        self.parent_edge.clear();
+        self.parent_edge.resize(net.num_nodes(), None);
+        let mut visited = vec![false; net.num_nodes()];
+        visited[source] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            for &e in net.adj_of(v) {
+                let to = net.raw_to(e);
+                if !visited[to] && net.raw_cap(e) > 0 {
+                    visited[to] = true;
+                    self.parent_edge[to] = Some(e);
+                    if to == sink {
+                        // Compute bottleneck along the recorded path.
+                        let mut bottleneck = Capacity::MAX;
+                        let mut u = sink;
+                        while u != source {
+                            let pe = self.parent_edge[u].expect("path edge");
+                            bottleneck = bottleneck.min(net.raw_cap(pe));
+                            u = net.raw_to(pe ^ 1);
+                        }
+                        return Some(bottleneck);
+                    }
+                    queue.push_back(to);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::Dinic;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_chain() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4);
+        net.add_edge(1, 2, 7);
+        let f = EdmondsKarp::new().max_flow(&mut net, 0, 2);
+        assert_eq!(f, 4);
+    }
+
+    #[test]
+    fn classic_clrs_example() {
+        // The flow network from CLRS §26 with max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16);
+        net.add_edge(0, 2, 13);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 1, 4);
+        net.add_edge(1, 3, 12);
+        net.add_edge(3, 2, 9);
+        net.add_edge(2, 4, 14);
+        net.add_edge(4, 3, 7);
+        net.add_edge(3, 5, 20);
+        net.add_edge(4, 5, 4);
+        let f = EdmondsKarp::new().max_flow(&mut net, 0, 5);
+        assert_eq!(f, 23);
+        assert!(net.is_feasible(0, 5));
+    }
+
+    #[test]
+    fn zero_capacity_edges_carry_no_flow() {
+        let mut net = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 0);
+        net.add_edge(1, 2, 5);
+        let f = EdmondsKarp::new().max_flow(&mut net, 0, 2);
+        assert_eq!(f, 0);
+        assert_eq!(net.flow(e), 0);
+    }
+
+    /// Generates a random layered network and checks Dinic == Edmonds–Karp.
+    fn random_network(
+        num_nodes: usize,
+        edges: &[(usize, usize, i64)],
+    ) -> (FlowNetwork, FlowNetwork) {
+        let mut a = FlowNetwork::new(num_nodes);
+        let mut b = FlowNetwork::new(num_nodes);
+        for &(u, v, c) in edges {
+            a.add_edge(u, v, c);
+            b.add_edge(u, v, c);
+        }
+        (a, b)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn dinic_matches_edmonds_karp(
+            n in 2usize..10,
+            raw_edges in proptest::collection::vec((0usize..10, 0usize..10, 0i64..20), 1..40),
+        ) {
+            let edges: Vec<(usize, usize, i64)> = raw_edges
+                .into_iter()
+                .map(|(u, v, c)| (u % n, v % n, c))
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let (mut a, mut b) = random_network(n, &edges);
+            let source = 0;
+            let sink = n - 1;
+            let fa = Dinic::new().max_flow(&mut a, source, sink);
+            let fb = EdmondsKarp::new().max_flow(&mut b, source, sink);
+            prop_assert_eq!(fa, fb);
+            prop_assert!(a.is_feasible(source, sink));
+            prop_assert!(b.is_feasible(source, sink));
+        }
+    }
+}

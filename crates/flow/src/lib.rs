@@ -1,0 +1,38 @@
+//! Maximum-flow and bipartite-matching algorithms.
+//!
+//! This crate is the network-flow substrate used by the LP-rounding procedure
+//! of Theorem 4.1 in *Approximation Algorithms for Multiprocessor Scheduling
+//! under Uncertainty* (Lin & Rajaraman, SPAA 2007). The rounding step builds
+//! the flow network of Figure 3 (source → job nodes → machine nodes → sink)
+//! and relies on the integrality of maximum flow with integral capacities
+//! (Ford–Fulkerson). It is also used by `suu-graph` to compute DAG width via
+//! minimum path cover.
+//!
+//! Two max-flow implementations are provided:
+//!
+//! * [`dinic::Dinic`] — the default, `O(V² E)` worst case and much faster in
+//!   practice on the unit-ish networks that arise here.
+//! * [`edmonds_karp::EdmondsKarp`] — a simple BFS augmenting-path algorithm,
+//!   kept as an independent oracle used by the test-suite to cross-check
+//!   Dinic.
+//!
+//! Both operate on the shared [`network::FlowNetwork`] representation and
+//! produce integral flows when capacities are integral.
+
+pub mod bipartite;
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod network;
+pub mod path_cover;
+
+pub use bipartite::BipartiteMatching;
+pub use dinic::Dinic;
+pub use edmonds_karp::EdmondsKarp;
+pub use network::{EdgeId, FlowNetwork, NodeId};
+pub use path_cover::min_path_cover;
+
+/// Capacity / flow value type used throughout the crate.
+///
+/// The rounding networks built by `suu-algorithms` have capacities bounded by
+/// `O(n·m·T)` which comfortably fits in `i64`.
+pub type Capacity = i64;

@@ -1,0 +1,267 @@
+//! Flow-network representation shared by all max-flow algorithms.
+//!
+//! The network is a directed multigraph stored as a flat edge list with
+//! per-node adjacency indices. Every edge is stored together with its reverse
+//! (residual) edge at the adjacent index (`e ^ 1`), the usual representation
+//! for augmenting-path algorithms.
+
+use crate::Capacity;
+
+/// Identifier of a node in a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Identifier of a (forward) edge in a [`FlowNetwork`].
+///
+/// Edge ids are returned by [`FlowNetwork::add_edge`] and remain valid for the
+/// lifetime of the network. The reverse edge of edge `e` is `e ^ 1` in the
+/// internal arena; user-facing ids always refer to the forward edge.
+pub type EdgeId = usize;
+
+/// A single directed edge in the residual representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    /// Target node.
+    to: NodeId,
+    /// Remaining residual capacity.
+    cap: Capacity,
+    /// Original capacity (forward edges) or 0 (reverse edges).
+    original_cap: Capacity,
+}
+
+/// A directed flow network with integral capacities.
+///
+/// # Examples
+///
+/// ```
+/// use suu_flow::{FlowNetwork, Dinic};
+///
+/// let mut net = FlowNetwork::new(4);
+/// let s = 0;
+/// let t = 3;
+/// net.add_edge(s, 1, 10);
+/// net.add_edge(s, 2, 10);
+/// net.add_edge(1, 3, 5);
+/// net.add_edge(2, 3, 15);
+/// let flow = Dinic::new().max_flow(&mut net, s, t);
+/// assert_eq!(flow, 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// Edge arena; edge `2k` is the forward edge of the `k`-th added edge and
+    /// `2k + 1` its residual twin.
+    edges: Vec<Edge>,
+    /// `adj[v]` lists indices into `edges` of all edges leaving `v`
+    /// (forward and residual).
+    adj: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network with `num_nodes` nodes and no edges.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of forward edges added via [`FlowNetwork::add_edge`].
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `cap` is negative.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: Capacity) -> EdgeId {
+        assert!(from < self.adj.len(), "`from` node out of range");
+        assert!(to < self.adj.len(), "`to` node out of range");
+        assert!(cap >= 0, "capacity must be non-negative");
+        let id = self.edges.len();
+        self.edges.push(Edge {
+            to,
+            cap,
+            original_cap: cap,
+        });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            original_cap: 0,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id / 2
+    }
+
+    /// Flow currently routed through forward edge `edge`.
+    ///
+    /// The flow equals the residual capacity accumulated on the reverse edge.
+    #[must_use]
+    pub fn flow(&self, edge: EdgeId) -> Capacity {
+        let fwd = &self.edges[2 * edge];
+        fwd.original_cap - fwd.cap
+    }
+
+    /// Original capacity of forward edge `edge`.
+    #[must_use]
+    pub fn capacity(&self, edge: EdgeId) -> Capacity {
+        self.edges[2 * edge].original_cap
+    }
+
+    /// Endpoints `(from, to)` of forward edge `edge`.
+    #[must_use]
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let to = self.edges[2 * edge].to;
+        let from = self.edges[2 * edge + 1].to;
+        (from, to)
+    }
+
+    /// Resets all flow to zero, restoring original capacities.
+    pub fn reset(&mut self) {
+        for e in &mut self.edges {
+            e.cap = e.original_cap;
+        }
+    }
+
+    /// Total flow leaving `source` (i.e. the value of the current flow).
+    #[must_use]
+    pub fn flow_value(&self, source: NodeId) -> Capacity {
+        self.adj[source]
+            .iter()
+            .filter(|&&idx| idx % 2 == 0)
+            .map(|&idx| {
+                let e = &self.edges[idx];
+                e.original_cap - e.cap
+            })
+            .sum()
+    }
+
+    /// Checks flow conservation at every node other than `source` and `sink`.
+    ///
+    /// Returns `true` if the current flow is feasible (conservation holds and
+    /// no edge exceeds its capacity). Intended for tests and debug assertions.
+    #[must_use]
+    pub fn is_feasible(&self, source: NodeId, sink: NodeId) -> bool {
+        let mut balance = vec![0i64; self.num_nodes()];
+        for id in 0..self.num_edges() {
+            let f = self.flow(id);
+            if f < 0 || f > self.capacity(id) {
+                return false;
+            }
+            let (u, v) = self.endpoints(id);
+            balance[u] -= f;
+            balance[v] += f;
+        }
+        balance
+            .iter()
+            .enumerate()
+            .all(|(v, &b)| v == source || v == sink || b == 0)
+    }
+
+    // ---- internal accessors used by the algorithms -------------------------
+
+    pub(crate) fn adj_of(&self, v: NodeId) -> &[usize] {
+        &self.adj[v]
+    }
+
+    pub(crate) fn raw_cap(&self, raw_edge: usize) -> Capacity {
+        self.edges[raw_edge].cap
+    }
+
+    pub(crate) fn raw_to(&self, raw_edge: usize) -> NodeId {
+        self.edges[raw_edge].to
+    }
+
+    pub(crate) fn push(&mut self, raw_edge: usize, amount: Capacity) {
+        self.edges[raw_edge].cap -= amount;
+        self.edges[raw_edge ^ 1].cap += amount;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_network_is_empty() {
+        let net = FlowNetwork::new(3);
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 0);
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut net = FlowNetwork::new(1);
+        let v = net.add_node();
+        assert_eq!(v, 1);
+        assert_eq!(net.num_nodes(), 2);
+    }
+
+    #[test]
+    fn add_edge_records_endpoints_and_capacity() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 7);
+        assert_eq!(net.endpoints(e), (0, 1));
+        assert_eq!(net.capacity(e), 7);
+        assert_eq!(net.flow(e), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_panics_on_bad_node() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn add_edge_panics_on_negative_capacity() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -3);
+    }
+
+    #[test]
+    fn reset_restores_capacities() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 4);
+        net.push(2 * e, 3);
+        assert_eq!(net.flow(e), 3);
+        net.reset();
+        assert_eq!(net.flow(e), 0);
+        assert_eq!(net.capacity(e), 4);
+    }
+
+    #[test]
+    fn feasibility_detects_conservation_violation() {
+        let mut net = FlowNetwork::new(3);
+        let e0 = net.add_edge(0, 1, 5);
+        let _e1 = net.add_edge(1, 2, 5);
+        // Push flow on the first edge only: node 1 accumulates imbalance.
+        net.push(2 * e0, 2);
+        assert!(!net.is_feasible(0, 2));
+    }
+
+    #[test]
+    fn zero_flow_is_feasible() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 5);
+        assert!(net.is_feasible(0, 2));
+        assert_eq!(net.flow_value(0), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimum path cover of a DAG via bipartite matching.
+//!
+//! The width of a dependency DAG (the maximum number of pairwise independent
+//! jobs) equals, by Dilworth's theorem, the minimum number of chains needed to
+//! cover the *transitive closure* of the DAG. A minimum *path* cover of the
+//! closure is computed here by the classical reduction to maximum bipartite
+//! matching: split every vertex `v` into `v_out` (left) and `v_in` (right),
+//! add an edge `(u_out, v_in)` for every DAG edge `u → v`, and then
+//! `paths = n − |maximum matching|`.
+//!
+//! `suu-graph` uses this to report the width of generated instances (the
+//! parameter Malewicz's complexity characterisation is phrased in) and to
+//! sanity-check the chain decomposition of Lemma 4.6.
+
+use crate::bipartite::BipartiteMatching;
+
+/// A path cover: a set of vertex-disjoint paths covering all vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathCover {
+    /// Each inner vector is one path, listed from first to last vertex.
+    pub paths: Vec<Vec<usize>>,
+}
+
+impl PathCover {
+    /// Number of paths in the cover.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Returns `true` if the cover contains no paths (empty input graph).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Computes a minimum path cover of a DAG given as an edge list over vertices
+/// `0..num_vertices`.
+///
+/// The input must be acyclic; this function does not verify acyclicity (the
+/// caller, `suu-graph`, validates its DAGs on construction). With a cyclic
+/// input the result is still a set of vertex-disjoint paths but it need not be
+/// minimum.
+#[must_use]
+pub fn min_path_cover(num_vertices: usize, edges: &[(usize, usize)]) -> PathCover {
+    let mut g = BipartiteMatching::new(num_vertices, num_vertices);
+    for &(u, v) in edges {
+        g.add_edge(u, v);
+    }
+    let matching = g.solve();
+
+    // Reconstruct paths: vertex v starts a path iff no one is matched into it.
+    let mut paths = Vec::new();
+    let mut is_start = vec![true; num_vertices];
+    for v in 0..num_vertices {
+        if let Some(_u) = matching.match_right[v] {
+            is_start[v] = false;
+        }
+    }
+    for v in 0..num_vertices {
+        if is_start[v] {
+            let mut path = vec![v];
+            let mut cur = v;
+            while let Some(next) = matching.match_left[cur] {
+                path.push(next);
+                cur = next;
+            }
+            paths.push(path);
+        }
+    }
+    PathCover { paths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_paths() {
+        let cover = min_path_cover(0, &[]);
+        assert!(cover.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_paths() {
+        let cover = min_path_cover(3, &[]);
+        assert_eq!(cover.len(), 3);
+        let mut all: Vec<usize> = cover.paths.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_chain_is_one_path() {
+        let cover = min_path_cover(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.paths[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_disjoint_chains() {
+        let cover = min_path_cover(4, &[(0, 1), (2, 3)]);
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn diamond_needs_two_paths() {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3: width 2, so two paths.
+        let cover = min_path_cover(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(cover.len(), 2);
+        // Every vertex covered exactly once.
+        let mut all: Vec<usize> = cover.paths.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_star_needs_k_paths() {
+        // 0 → 1, 0 → 2, 0 → 3: cover sizes = 3 (paths 0-1, 2, 3).
+        let cover = min_path_cover(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(cover.len(), 3);
+    }
+
+    #[test]
+    fn paths_are_vertex_disjoint() {
+        let edges = [(0, 2), (1, 2), (2, 3), (3, 4), (3, 5)];
+        let cover = min_path_cover(6, &edges);
+        let mut seen = vec![false; 6];
+        for p in &cover.paths {
+            for &v in p {
+                assert!(!seen[v], "vertex {v} covered twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,218 @@
+//! Recognition and extraction of disjoint-chain precedence structure.
+//!
+//! §4.1 of the paper (problem *SUU-C*) assumes the dependency graph is a
+//! collection of vertex-disjoint directed chains `C = {C_1, …, C_l}`. The
+//! chain-scheduling algorithm and the LP (LP1) are indexed by these chains, so
+//! the algorithms need the chains in explicit form rather than as a raw edge
+//! list. [`ChainSet::from_dag`] recognises chain-structured DAGs and extracts
+//! them; [`ChainSet::singletons`] represents independent jobs (every chain has
+//! length one), which lets the chain algorithms subsume the independent case.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::{Dag, NodeId};
+
+/// A partition of all nodes into vertex-disjoint directed chains.
+///
+/// Each chain lists its nodes in precedence order (earlier nodes must complete
+/// before later ones). Isolated nodes are chains of length 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainSet {
+    chains: Vec<Vec<NodeId>>,
+    num_nodes: usize,
+}
+
+impl ChainSet {
+    /// Builds a chain set from explicit chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chains do not form a partition of `0..num_nodes`.
+    #[must_use]
+    pub fn new(num_nodes: usize, chains: Vec<Vec<NodeId>>) -> Self {
+        let mut seen = vec![false; num_nodes];
+        for chain in &chains {
+            for &v in chain {
+                assert!(v < num_nodes, "node {v} out of range");
+                assert!(!seen[v], "node {v} appears in two chains");
+                seen[v] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "chains must cover every node exactly once"
+        );
+        Self { chains, num_nodes }
+    }
+
+    /// The chain set of an independent-jobs instance: every node is its own
+    /// chain.
+    #[must_use]
+    pub fn singletons(num_nodes: usize) -> Self {
+        Self {
+            chains: (0..num_nodes).map(|v| vec![v]).collect(),
+            num_nodes,
+        }
+    }
+
+    /// Extracts the chain structure of `dag`, or returns `None` if the DAG is
+    /// not a disjoint union of directed chains (i.e. some node has in- or
+    /// out-degree greater than 1).
+    #[must_use]
+    pub fn from_dag(dag: &Dag) -> Option<Self> {
+        let n = dag.num_nodes();
+        for v in 0..n {
+            if dag.in_degree(v) > 1 || dag.out_degree(v) > 1 {
+                return None;
+            }
+        }
+        let mut chains = Vec::new();
+        let mut visited = vec![false; n];
+        for start in 0..n {
+            if dag.in_degree(start) == 0 && !visited[start] {
+                let mut chain = vec![start];
+                visited[start] = true;
+                let mut cur = start;
+                while let Some(&next) = dag.successors(cur).first() {
+                    chain.push(next);
+                    visited[next] = true;
+                    cur = next;
+                }
+                chains.push(chain);
+            }
+        }
+        debug_assert!(visited.iter().all(|&v| v), "acyclic degree-1 graph is covered");
+        Some(Self {
+            chains,
+            num_nodes: n,
+        })
+    }
+
+    /// The chains, each in precedence order.
+    #[must_use]
+    pub fn chains(&self) -> &[Vec<NodeId>] {
+        &self.chains
+    }
+
+    /// Number of chains.
+    #[must_use]
+    pub fn num_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Length of the longest chain.
+    #[must_use]
+    pub fn max_chain_len(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Index of the chain containing each node, and the node's position within
+    /// its chain: `positions()[v] = (chain_index, offset)`.
+    #[must_use]
+    pub fn positions(&self) -> Vec<(usize, usize)> {
+        let mut pos = vec![(usize::MAX, usize::MAX); self.num_nodes];
+        for (ci, chain) in self.chains.iter().enumerate() {
+            for (off, &v) in chain.iter().enumerate() {
+                pos[v] = (ci, off);
+            }
+        }
+        pos
+    }
+
+    /// The predecessor of `v` within its chain, if any.
+    #[must_use]
+    pub fn chain_predecessor(&self, v: NodeId) -> Option<NodeId> {
+        let (ci, off) = self.positions()[v];
+        if off == 0 {
+            None
+        } else {
+            Some(self.chains[ci][off - 1])
+        }
+    }
+
+    /// Converts the chain set back into a [`Dag`].
+    #[must_use]
+    pub fn to_dag(&self) -> Dag {
+        Dag::from_chains(self.num_nodes, &self.chains)
+            .expect("a chain partition always forms a DAG")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_cover_all_nodes() {
+        let cs = ChainSet::singletons(4);
+        assert_eq!(cs.num_chains(), 4);
+        assert_eq!(cs.max_chain_len(), 1);
+        assert_eq!(cs.num_nodes(), 4);
+    }
+
+    #[test]
+    fn from_dag_extracts_chains_in_order() {
+        let dag = Dag::from_edges(6, [(2, 0), (0, 4), (1, 5)]).unwrap();
+        let cs = ChainSet::from_dag(&dag).unwrap();
+        assert_eq!(cs.num_chains(), 3);
+        let chains: Vec<_> = cs.chains().to_vec();
+        assert!(chains.contains(&vec![2, 0, 4]));
+        assert!(chains.contains(&vec![1, 5]));
+        assert!(chains.contains(&vec![3]));
+    }
+
+    #[test]
+    fn from_dag_rejects_branching() {
+        let dag = Dag::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        assert!(ChainSet::from_dag(&dag).is_none());
+        let dag = Dag::from_edges(3, [(0, 2), (1, 2)]).unwrap();
+        assert!(ChainSet::from_dag(&dag).is_none());
+    }
+
+    #[test]
+    fn independent_dag_gives_singletons() {
+        let dag = Dag::independent(3);
+        let cs = ChainSet::from_dag(&dag).unwrap();
+        assert_eq!(cs.num_chains(), 3);
+        assert_eq!(cs.max_chain_len(), 1);
+    }
+
+    #[test]
+    fn positions_and_chain_predecessor() {
+        let cs = ChainSet::new(5, vec![vec![3, 1, 4], vec![0, 2]]);
+        let pos = cs.positions();
+        assert_eq!(pos[3], (0, 0));
+        assert_eq!(pos[4], (0, 2));
+        assert_eq!(pos[2], (1, 1));
+        assert_eq!(cs.chain_predecessor(4), Some(1));
+        assert_eq!(cs.chain_predecessor(3), None);
+        assert_eq!(cs.chain_predecessor(2), Some(0));
+    }
+
+    #[test]
+    fn to_dag_roundtrips() {
+        let cs = ChainSet::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let dag = cs.to_dag();
+        let back = ChainSet::from_dag(&dag).unwrap();
+        assert_eq!(back.num_chains(), 2);
+        assert_eq!(back.max_chain_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two chains")]
+    fn new_rejects_duplicate_nodes() {
+        let _ = ChainSet::new(3, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn new_rejects_missing_nodes() {
+        let _ = ChainSet::new(3, vec![vec![0, 1]]);
+    }
+}

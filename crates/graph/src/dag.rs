@@ -1,0 +1,545 @@
+//! Validated directed acyclic graphs over `0..n` node ids.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Node identifier. Nodes are always the contiguous range `0..num_nodes`.
+pub type NodeId = usize;
+
+/// Errors raised while constructing a [`Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge referenced a node id `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A self-loop `v → v` was supplied.
+    SelfLoop(NodeId),
+    /// The supplied edges contain a directed cycle.
+    Cycle {
+        /// One node known to lie on a cycle.
+        witness: NodeId,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            Self::SelfLoop(v) => write!(f, "self-loop on node {v}"),
+            Self::Cycle { witness } => write!(f, "graph contains a cycle through node {witness}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A directed acyclic graph describing precedence constraints.
+///
+/// Construction validates acyclicity, so every `Dag` value is a genuine DAG.
+/// Duplicate edges are deduplicated on construction.
+///
+/// # Examples
+///
+/// ```
+/// use suu_graph::Dag;
+///
+/// // 0 → 1 → 2, plus an isolated node 3.
+/// let dag = Dag::from_edges(4, [(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(dag.num_nodes(), 4);
+/// assert!(dag.has_edge(0, 1));
+/// assert!(dag.reachable(0, 2));
+/// assert!(!dag.reachable(2, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    num_nodes: usize,
+    /// Out-adjacency lists, sorted ascending and deduplicated.
+    succ: Vec<Vec<NodeId>>,
+    /// In-adjacency lists, sorted ascending and deduplicated.
+    pred: Vec<Vec<NodeId>>,
+}
+
+impl Dag {
+    /// Creates a DAG with `num_nodes` nodes and no edges (independent jobs).
+    #[must_use]
+    pub fn independent(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            succ: vec![Vec::new(); num_nodes],
+            pred: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Builds a DAG from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError`] if an edge endpoint is out of range, an edge is a
+    /// self-loop, or the edges contain a directed cycle.
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, DagError> {
+        let mut succ = vec![Vec::new(); num_nodes];
+        let mut pred = vec![Vec::new(); num_nodes];
+        for (u, v) in edges {
+            if u >= num_nodes {
+                return Err(DagError::NodeOutOfRange {
+                    node: u,
+                    num_nodes,
+                });
+            }
+            if v >= num_nodes {
+                return Err(DagError::NodeOutOfRange {
+                    node: v,
+                    num_nodes,
+                });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop(u));
+            }
+            succ[u].push(v);
+            pred[v].push(u);
+        }
+        for list in succ.iter_mut().chain(pred.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let dag = Self {
+            num_nodes,
+            succ,
+            pred,
+        };
+        match dag.topological_order() {
+            Some(_) => Ok(dag),
+            None => {
+                // Find a witness node that is on a cycle: any node not removed
+                // by Kahn's algorithm works; recompute removal set.
+                let witness = dag
+                    .nodes_on_cycles()
+                    .first()
+                    .copied()
+                    .unwrap_or_default();
+                Err(DagError::Cycle { witness })
+            }
+        }
+    }
+
+    /// Builds a DAG forming disjoint chains from per-chain node lists.
+    ///
+    /// Each inner slice lists the nodes of one chain in precedence order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if node ids repeat across or within chains (detected
+    /// as either a cycle or via the resulting structure check) or are out of
+    /// range.
+    pub fn from_chains(
+        num_nodes: usize,
+        chains: &[Vec<NodeId>],
+    ) -> Result<Self, DagError> {
+        let mut edges = Vec::new();
+        for chain in chains {
+            for pair in chain.windows(2) {
+                edges.push((pair[0], pair[1]));
+            }
+        }
+        Self::from_edges(num_nodes, edges)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (distinct) edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    #[must_use]
+    pub fn is_independent(&self) -> bool {
+        self.num_edges() == 0
+    }
+
+    /// Direct successors (out-neighbours) of `v`.
+    #[must_use]
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        &self.succ[v]
+    }
+
+    /// Direct predecessors (in-neighbours) of `v`.
+    #[must_use]
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        &self.pred[v]
+    }
+
+    /// Out-degree of `v`.
+    #[must_use]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.succ[v].len()
+    }
+
+    /// In-degree of `v`.
+    #[must_use]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.pred[v].len()
+    }
+
+    /// Whether the edge `u → v` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.succ[u].binary_search(&v).is_ok()
+    }
+
+    /// All edges as `(from, to)` pairs, sorted.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for (u, vs) in self.succ.iter().enumerate() {
+            for &v in vs {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// Nodes with no predecessors.
+    #[must_use]
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.num_nodes)
+            .filter(|&v| self.pred[v].is_empty())
+            .collect()
+    }
+
+    /// Nodes with no successors.
+    #[must_use]
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.num_nodes)
+            .filter(|&v| self.succ[v].is_empty())
+            .collect()
+    }
+
+    /// A topological order, or `None` if the graph has a cycle.
+    ///
+    /// (Public `Dag` values are always acyclic, so this returns `Some` for
+    /// them; the `Option` is used internally during validation.)
+    #[must_use]
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let mut indeg: Vec<usize> = (0..self.num_nodes).map(|v| self.pred[v].len()).collect();
+        let mut queue: VecDeque<NodeId> = (0..self.num_nodes).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.num_nodes);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in &self.succ[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        if order.len() == self.num_nodes {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Nodes that Kahn's algorithm cannot remove (i.e. nodes on or downstream
+    /// of a cycle within the raw edge set). Used only for error reporting.
+    fn nodes_on_cycles(&self) -> Vec<NodeId> {
+        let mut indeg: Vec<usize> = (0..self.num_nodes).map(|v| self.pred[v].len()).collect();
+        let mut queue: VecDeque<NodeId> = (0..self.num_nodes).filter(|&v| indeg[v] == 0).collect();
+        let mut removed = vec![false; self.num_nodes];
+        while let Some(v) = queue.pop_front() {
+            removed[v] = true;
+            for &w in &self.succ[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        (0..self.num_nodes).filter(|&v| !removed[v]).collect()
+    }
+
+    /// Whether there is a directed path from `u` to `v` (including `u == v`).
+    #[must_use]
+    pub fn reachable(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![u];
+        seen[u] = true;
+        while let Some(x) = stack.pop() {
+            for &w in &self.succ[x] {
+                if w == v {
+                    return true;
+                }
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// The set of proper descendants of `v` (nodes reachable from `v`,
+    /// excluding `v`), in ascending order.
+    #[must_use]
+    pub fn descendants(&self, v: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![v];
+        seen[v] = true;
+        let mut out = Vec::new();
+        while let Some(x) = stack.pop() {
+            for &w in &self.succ[x] {
+                if !seen[w] {
+                    seen[w] = true;
+                    out.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The set of proper ancestors of `v` (nodes that reach `v`, excluding
+    /// `v`), in ascending order.
+    #[must_use]
+    pub fn ancestors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![v];
+        seen[v] = true;
+        let mut out = Vec::new();
+        while let Some(x) = stack.pop() {
+            for &w in &self.pred[x] {
+                if !seen[w] {
+                    seen[w] = true;
+                    out.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Counts of descendants including the node itself, for every node.
+    ///
+    /// For graphs whose underlying undirected graph is a forest this equals
+    /// the size of the out-subtree rooted at each node and is computed in
+    /// linear time by dynamic programming over a reverse topological order.
+    /// For general DAGs the value is still the number of distinct descendants
+    /// (computed by per-node reachability), which is what the chain
+    /// decomposition uses.
+    #[must_use]
+    pub fn descendant_counts(&self) -> Vec<usize> {
+        (0..self.num_nodes)
+            .map(|v| self.descendants(v).len() + 1)
+            .collect()
+    }
+
+    /// Counts of ancestors including the node itself, for every node.
+    #[must_use]
+    pub fn ancestor_counts(&self) -> Vec<usize> {
+        (0..self.num_nodes)
+            .map(|v| self.ancestors(v).len() + 1)
+            .collect()
+    }
+
+    /// The DAG with every edge reversed.
+    #[must_use]
+    pub fn reversed(&self) -> Self {
+        Self {
+            num_nodes: self.num_nodes,
+            succ: self.pred.clone(),
+            pred: self.succ.clone(),
+        }
+    }
+
+    /// The induced sub-DAG on `nodes`, together with the mapping from new node
+    /// ids (positions in `nodes`) back to the original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates or out-of-range ids.
+    #[must_use]
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Self, Vec<NodeId>) {
+        let mut new_id = vec![usize::MAX; self.num_nodes];
+        for (i, &v) in nodes.iter().enumerate() {
+            assert!(v < self.num_nodes, "node out of range");
+            assert!(new_id[v] == usize::MAX, "duplicate node in subgraph");
+            new_id[v] = i;
+        }
+        let mut edges = Vec::new();
+        for &v in nodes {
+            for &w in &self.succ[v] {
+                if new_id[w] != usize::MAX {
+                    edges.push((new_id[v], new_id[w]));
+                }
+            }
+        }
+        let sub = Self::from_edges(nodes.len(), edges)
+            .expect("induced subgraph of a DAG is a DAG");
+        (sub, nodes.to_vec())
+    }
+
+    /// Longest directed path length (number of edges) in the DAG.
+    #[must_use]
+    pub fn longest_path_len(&self) -> usize {
+        let order = self
+            .topological_order()
+            .expect("Dag values are acyclic by construction");
+        let mut dist = vec![0usize; self.num_nodes];
+        let mut best = 0;
+        for &v in &order {
+            for &w in &self.succ[v] {
+                if dist[v] + 1 > dist[w] {
+                    dist[w] = dist[v] + 1;
+                    best = best.max(dist[w]);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_graph_has_no_edges() {
+        let dag = Dag::independent(5);
+        assert_eq!(dag.num_nodes(), 5);
+        assert_eq!(dag.num_edges(), 0);
+        assert!(dag.is_independent());
+        assert_eq!(dag.sources(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(dag.sinks(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_edges_builds_adjacency() {
+        let dag = Dag::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(dag.successors(0), &[1, 2]);
+        assert_eq!(dag.predecessors(2), &[0, 1]);
+        assert_eq!(dag.num_edges(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let dag = Dag::from_edges(2, [(0, 1), (0, 1), (0, 1)]).unwrap();
+        assert_eq!(dag.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Dag::from_edges(2, [(0, 5)]).unwrap_err();
+        assert!(matches!(err, DagError::NodeOutOfRange { node: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = Dag::from_edges(2, [(1, 1)]).unwrap_err();
+        assert_eq!(err, DagError::SelfLoop(1));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let err = Dag::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert!(matches!(err, DagError::Cycle { .. }));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let dag = Dag::from_edges(6, [(0, 3), (1, 3), (3, 4), (2, 5)]).unwrap();
+        let order = dag.topological_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (u, v) in dag.edges() {
+            assert!(pos[u] < pos[v], "edge ({u},{v}) violated by order");
+        }
+    }
+
+    #[test]
+    fn reachability_and_ancestry() {
+        let dag = Dag::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert!(dag.reachable(0, 2));
+        assert!(!dag.reachable(0, 4));
+        assert_eq!(dag.descendants(0), vec![1, 2]);
+        assert_eq!(dag.ancestors(2), vec![0, 1]);
+        assert_eq!(dag.ancestors(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn descendant_and_ancestor_counts_include_self() {
+        let dag = Dag::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(dag.descendant_counts(), vec![4, 2, 2, 1]);
+        assert_eq!(dag.ancestor_counts(), vec![1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn reversed_swaps_direction() {
+        let dag = Dag::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let rev = dag.reversed();
+        assert!(rev.has_edge(1, 0));
+        assert!(rev.has_edge(2, 1));
+        assert!(!rev.has_edge(0, 1));
+    }
+
+    #[test]
+    fn from_chains_builds_disjoint_chains() {
+        let dag = Dag::from_chains(6, &[vec![0, 1, 2], vec![3, 4], vec![5]]).unwrap();
+        assert!(dag.has_edge(0, 1));
+        assert!(dag.has_edge(3, 4));
+        assert_eq!(dag.num_edges(), 3);
+        assert_eq!(dag.in_degree(5), 0);
+        assert_eq!(dag.out_degree(5), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let dag = Dag::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let (sub, mapping) = dag.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Only the edge 1→2 survives (2→3→4 passes through excluded node 3).
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(mapping, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn longest_path_is_computed() {
+        let dag = Dag::from_edges(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5)]).unwrap();
+        assert_eq!(dag.longest_path_len(), 3);
+        assert_eq!(Dag::independent(4).longest_path_len(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let dag = Dag::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        let json = serde_json::to_string(&dag).unwrap();
+        let back: Dag = serde_json::from_str(&json).unwrap();
+        assert_eq!(dag, back);
+    }
+}

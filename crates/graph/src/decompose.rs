@@ -1,0 +1,457 @@
+//! Chain decomposition of directed forests (Lemma 4.6, after Kumar et al.).
+//!
+//! A *chain decomposition* of a DAG is a partition of its vertices into blocks
+//! `B_1, …, B_λ` such that
+//!
+//! 1. the subgraph induced by each block is a collection of vertex-disjoint
+//!    directed chains, and
+//! 2. whenever `u` is an ancestor of `v` with `u ∈ B_i` and `v ∈ B_j`, either
+//!    `i < j`, or `i = j` and `u` and `v` lie on the same chain of `B_i`.
+//!
+//! The *width* of the decomposition is the number of blocks `λ`. Lemma 4.6 of
+//! the paper (quoting Kumar, Marathe, Parthasarathy & Srinivasan) states that
+//! every DAG whose underlying undirected graph is a forest admits a chain
+//! decomposition of width at most `2(⌈log₂ n⌉ + 1)`, computable in polynomial
+//! time. The SUU forest algorithm (Theorems 4.7 and 4.8) schedules the blocks
+//! one after another, running the disjoint-chain algorithm inside each block,
+//! which is exactly what properties 1–2 license.
+//!
+//! # Construction
+//!
+//! For every vertex `v` let `desc(v)` be the number of descendants of `v`
+//! (including `v`) and `anc(v)` the number of ancestors (including `v`). The
+//! block index used here is
+//!
+//! ```text
+//! b(v) = ⌊log₂(n / desc(v))⌋ + ⌊log₂(anc(v))⌋ .
+//! ```
+//!
+//! Both summands are non-decreasing along any directed path, so `b` is
+//! monotone (property 2's ordering). In a directed forest the descendant sets
+//! of two distinct out-neighbours of a vertex are disjoint, hence at most one
+//! out-neighbour of `v` can satisfy `desc > desc(v)/2`, i.e. share the first
+//! summand; symmetrically at most one in-neighbour can share the second
+//! summand. Consequently every vertex has at most one in- and one
+//! out-neighbour in its own block, so blocks induce disjoint chains
+//! (property 1), and any equal-block ancestor pair is connected by a directed
+//! path that stays inside the block, i.e. lies on the same chain. Each summand
+//! takes at most `⌊log₂ n⌋ + 1` values, giving width ≤ `2(⌈log₂ n⌉ + 1)`.
+//!
+//! For out-forests only the first summand is needed and for in-forests only
+//! the second, giving the sharper `⌈log₂ n⌉ + 1` bound the paper uses for
+//! Theorem 4.8 (in-/out-trees). [`ChainDecomposition::decompose`] picks the
+//! sharpest applicable variant automatically.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::chains::ChainSet;
+use crate::dag::{Dag, NodeId};
+use crate::forest::{classify, ForestKind};
+
+/// Errors from [`ChainDecomposition::decompose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompositionError {
+    /// The DAG's underlying undirected graph is not a forest, so Lemma 4.6
+    /// does not apply.
+    NotAForest,
+}
+
+impl fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotAForest => {
+                write!(f, "chain decomposition requires the underlying graph to be a forest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompositionError {}
+
+/// A chain decomposition: an ordered sequence of blocks, each a set of
+/// vertex-disjoint directed chains.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainDecomposition {
+    /// `blocks[i]` is the list of chains of block `i`; each chain is in
+    /// precedence order. Blocks are indexed from earliest to latest.
+    blocks: Vec<Vec<Vec<NodeId>>>,
+    num_nodes: usize,
+}
+
+impl ChainDecomposition {
+    /// Decomposes a directed forest into chain blocks.
+    ///
+    /// Uses the single-measure construction (width ≤ `⌈log₂ n⌉ + 1`) when the
+    /// DAG is an out-forest or in-forest, and the two-measure construction
+    /// (width ≤ `2(⌈log₂ n⌉ + 1)`) for general directed forests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompositionError::NotAForest`] if the underlying undirected
+    /// graph contains a cycle.
+    pub fn decompose(dag: &Dag) -> Result<Self, DecompositionError> {
+        let kind = classify(dag);
+        let block_index: Vec<usize> = match kind {
+            ForestKind::GeneralDag => return Err(DecompositionError::NotAForest),
+            ForestKind::Independent | ForestKind::DisjointChains => {
+                vec![0; dag.num_nodes()]
+            }
+            ForestKind::OutForest => Self::desc_classes(dag),
+            ForestKind::InForest => Self::anc_classes(dag),
+            ForestKind::DirectedForest => {
+                let d = Self::desc_classes(dag);
+                let a = Self::anc_classes(dag);
+                d.iter().zip(a.iter()).map(|(x, y)| x + y).collect()
+            }
+        };
+        Ok(Self::from_block_index(dag, &block_index))
+    }
+
+    /// Block index from descendant counts: `⌊log₂(n / desc(v))⌋`.
+    fn desc_classes(dag: &Dag) -> Vec<usize> {
+        let n = dag.num_nodes().max(1);
+        dag.descendant_counts()
+            .into_iter()
+            .map(|d| (n as f64 / d as f64).log2().floor() as usize)
+            .collect()
+    }
+
+    /// Block index from ancestor counts: `⌊log₂(anc(v))⌋`.
+    fn anc_classes(dag: &Dag) -> Vec<usize> {
+        dag.ancestor_counts()
+            .into_iter()
+            .map(|a| (a as f64).log2().floor() as usize)
+            .collect()
+    }
+
+    /// Groups nodes by block index and splits each block into its induced
+    /// chains. Empty blocks are dropped (preserving relative order).
+    fn from_block_index(dag: &Dag, block_index: &[usize]) -> Self {
+        let n = dag.num_nodes();
+        let max_block = block_index.iter().copied().max().unwrap_or(0);
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); max_block + 1];
+        for v in 0..n {
+            members[block_index[v]].push(v);
+        }
+        let mut blocks = Vec::new();
+        for nodes in members.into_iter().filter(|m| !m.is_empty()) {
+            blocks.push(Self::induced_chains(dag, &nodes, block_index));
+        }
+        Self {
+            blocks,
+            num_nodes: n,
+        }
+    }
+
+    /// Splits one block into its induced directed chains, each in precedence
+    /// order.
+    fn induced_chains(dag: &Dag, nodes: &[NodeId], block_index: &[usize]) -> Vec<Vec<NodeId>> {
+        let in_block = |v: NodeId, b: usize| block_index[v] == b;
+        let mut chains = Vec::new();
+        let mut visited = vec![false; dag.num_nodes()];
+        for &v in nodes {
+            let b = block_index[v];
+            // A chain head has no in-block predecessor.
+            let has_in_block_pred = dag.predecessors(v).iter().any(|&p| in_block(p, b));
+            if has_in_block_pred || visited[v] {
+                continue;
+            }
+            let mut chain = vec![v];
+            visited[v] = true;
+            let mut cur = v;
+            loop {
+                let next = dag
+                    .successors(cur)
+                    .iter()
+                    .copied()
+                    .find(|&w| in_block(w, b) && !visited[w]);
+                match next {
+                    Some(w) => {
+                        chain.push(w);
+                        visited[w] = true;
+                        cur = w;
+                    }
+                    None => break,
+                }
+            }
+            chains.push(chain);
+        }
+        chains
+    }
+
+    /// The ordered blocks; each block is a list of chains in precedence order.
+    #[must_use]
+    pub fn blocks(&self) -> &[Vec<Vec<NodeId>>] {
+        &self.blocks
+    }
+
+    /// Number of blocks (the width of the decomposition, `λ`).
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The Lemma 4.6 bound `2(⌈log₂ n⌉ + 1)` for this decomposition's size.
+    #[must_use]
+    pub fn width_bound(num_nodes: usize) -> usize {
+        if num_nodes <= 1 {
+            return 2;
+        }
+        2 * ((num_nodes as f64).log2().ceil() as usize + 1)
+    }
+
+    /// Converts block `i` into a [`ChainSet`] over the *original* node ids,
+    /// padding every node outside the block as absent. Returns the chains and
+    /// the set of nodes in the block.
+    #[must_use]
+    pub fn block_chain_lists(&self, block: usize) -> Vec<Vec<NodeId>> {
+        self.blocks[block].clone()
+    }
+
+    /// Builds, for each block, a [`ChainSet`] over re-indexed nodes
+    /// `0..block_size` together with the mapping back to original ids.
+    #[must_use]
+    pub fn block_chain_sets(&self) -> Vec<(ChainSet, Vec<NodeId>)> {
+        self.blocks
+            .iter()
+            .map(|chains| {
+                let mapping: Vec<NodeId> = chains.iter().flatten().copied().collect();
+                let mut local = vec![usize::MAX; self.num_nodes];
+                for (i, &v) in mapping.iter().enumerate() {
+                    local[v] = i;
+                }
+                let local_chains: Vec<Vec<NodeId>> = chains
+                    .iter()
+                    .map(|chain| chain.iter().map(|&v| local[v]).collect())
+                    .collect();
+                (ChainSet::new(mapping.len(), local_chains), mapping)
+            })
+            .collect()
+    }
+
+    /// Validates properties 1–2 of a chain decomposition against `dag`.
+    ///
+    /// Returns `true` iff (a) the blocks partition all nodes, (b) each listed
+    /// chain is a directed path in `dag` and the chains of a block are
+    /// vertex-disjoint, and (c) for every ancestor pair `u ⇝ v`, `u`'s block
+    /// precedes `v`'s, or they are equal and `u` appears before `v` on the
+    /// same chain.
+    #[must_use]
+    pub fn is_valid_for(&self, dag: &Dag) -> bool {
+        let n = dag.num_nodes();
+        if n != self.num_nodes {
+            return false;
+        }
+        // (a) partition + record block and chain of every node.
+        let mut block_of = vec![usize::MAX; n];
+        let mut chain_of = vec![usize::MAX; n];
+        let mut pos_in_chain = vec![usize::MAX; n];
+        let mut chain_counter = 0usize;
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for chain in block {
+                for (pos, &v) in chain.iter().enumerate() {
+                    if v >= n || block_of[v] != usize::MAX {
+                        return false;
+                    }
+                    block_of[v] = bi;
+                    chain_of[v] = chain_counter;
+                    pos_in_chain[v] = pos;
+                }
+                chain_counter += 1;
+            }
+        }
+        if block_of.iter().any(|&b| b == usize::MAX) {
+            return false;
+        }
+        // (b) chains are directed paths.
+        for block in &self.blocks {
+            for chain in block {
+                for pair in chain.windows(2) {
+                    if !dag.has_edge(pair[0], pair[1]) {
+                        return false;
+                    }
+                }
+            }
+        }
+        // (c) ancestor ordering.
+        for u in 0..n {
+            for v in dag.descendants(u) {
+                if block_of[u] > block_of[v] {
+                    return false;
+                }
+                if block_of[u] == block_of[v]
+                    && (chain_of[u] != chain_of[v] || pos_in_chain[u] >= pos_in_chain[v])
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_directed_forest(n: usize, seed: u64) -> Dag {
+        // Random underlying tree via random parent, random orientation.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for v in 1..n {
+            let parent = rng.gen_range(0..v);
+            if rng.gen_bool(0.5) {
+                edges.push((parent, v));
+            } else {
+                edges.push((v, parent));
+            }
+        }
+        Dag::from_edges(n, edges).expect("tree orientations are acyclic")
+    }
+
+    fn random_out_tree(n: usize, seed: u64) -> Dag {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let edges: Vec<_> = (1..n).map(|v| (rng.gen_range(0..v), v)).collect();
+        Dag::from_edges(n, edges).unwrap()
+    }
+
+    #[test]
+    fn independent_jobs_single_block() {
+        let dag = Dag::independent(5);
+        let d = ChainDecomposition::decompose(&dag).unwrap();
+        assert_eq!(d.num_blocks(), 1);
+        assert!(d.is_valid_for(&dag));
+    }
+
+    #[test]
+    fn disjoint_chains_single_block() {
+        let dag = Dag::from_chains(6, &[vec![0, 1, 2], vec![3, 4], vec![5]]).unwrap();
+        let d = ChainDecomposition::decompose(&dag).unwrap();
+        assert_eq!(d.num_blocks(), 1);
+        assert!(d.is_valid_for(&dag));
+    }
+
+    #[test]
+    fn out_star_decomposes_validly() {
+        let dag = Dag::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let d = ChainDecomposition::decompose(&dag).unwrap();
+        assert!(d.is_valid_for(&dag));
+        assert!(d.num_blocks() <= ChainDecomposition::width_bound(5));
+    }
+
+    #[test]
+    fn caterpillar_out_tree_has_logarithmic_blocks() {
+        // Spine 0→1→…→31 with a leaf hanging off every spine vertex.
+        let n_spine = 32;
+        let mut edges = Vec::new();
+        for i in 0..n_spine - 1 {
+            edges.push((i, i + 1));
+        }
+        for i in 0..n_spine {
+            edges.push((i, n_spine + i));
+        }
+        let n = 2 * n_spine;
+        let dag = Dag::from_edges(n, edges).unwrap();
+        let d = ChainDecomposition::decompose(&dag).unwrap();
+        assert!(d.is_valid_for(&dag));
+        assert!(
+            d.num_blocks() <= ChainDecomposition::width_bound(n),
+            "width {} exceeds bound {}",
+            d.num_blocks(),
+            ChainDecomposition::width_bound(n)
+        );
+    }
+
+    #[test]
+    fn in_tree_decomposes_validly() {
+        // Complete binary in-tree on 15 nodes: children point to parents.
+        let mut edges = Vec::new();
+        for v in 1..15 {
+            edges.push((v, (v - 1) / 2));
+        }
+        let dag = Dag::from_edges(15, edges).unwrap();
+        let d = ChainDecomposition::decompose(&dag).unwrap();
+        assert!(d.is_valid_for(&dag));
+        assert!(d.num_blocks() <= ChainDecomposition::width_bound(15));
+    }
+
+    #[test]
+    fn mixed_forest_decomposes_validly() {
+        // Node 1 has two parents (0, 2) and two children (3, 4).
+        let dag = Dag::from_edges(5, [(0, 1), (2, 1), (1, 3), (1, 4)]).unwrap();
+        let d = ChainDecomposition::decompose(&dag).unwrap();
+        assert!(d.is_valid_for(&dag));
+    }
+
+    #[test]
+    fn rejects_non_forest() {
+        let dag = Dag::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(
+            ChainDecomposition::decompose(&dag),
+            Err(DecompositionError::NotAForest)
+        );
+    }
+
+    #[test]
+    fn block_chain_sets_cover_all_nodes() {
+        let dag = random_out_tree(40, 7);
+        let d = ChainDecomposition::decompose(&dag).unwrap();
+        let sets = d.block_chain_sets();
+        let covered: usize = sets.iter().map(|(cs, _)| cs.num_nodes()).sum();
+        assert_eq!(covered, 40);
+        for (cs, mapping) in sets {
+            assert_eq!(cs.num_nodes(), mapping.len());
+        }
+    }
+
+    #[test]
+    fn random_out_trees_respect_bound() {
+        for seed in 0..20 {
+            let n = 64;
+            let dag = random_out_tree(n, seed);
+            let d = ChainDecomposition::decompose(&dag).unwrap();
+            assert!(d.is_valid_for(&dag), "seed {seed}");
+            // Out-forests use the single-measure construction.
+            let single_bound = (n as f64).log2().ceil() as usize + 1;
+            assert!(
+                d.num_blocks() <= single_bound,
+                "seed {seed}: {} > {}",
+                d.num_blocks(),
+                single_bound
+            );
+        }
+    }
+
+    #[test]
+    fn random_directed_forests_respect_bound() {
+        for seed in 0..30 {
+            let n = 48;
+            let dag = random_directed_forest(n, seed);
+            let d = ChainDecomposition::decompose(&dag).unwrap();
+            assert!(d.is_valid_for(&dag), "seed {seed}");
+            assert!(
+                d.num_blocks() <= ChainDecomposition::width_bound(n),
+                "seed {seed}: {} > {}",
+                d.num_blocks(),
+                ChainDecomposition::width_bound(n)
+            );
+        }
+    }
+
+    #[test]
+    fn width_bound_small_values() {
+        assert_eq!(ChainDecomposition::width_bound(1), 2);
+        assert_eq!(ChainDecomposition::width_bound(2), 4);
+        assert_eq!(ChainDecomposition::width_bound(16), 10);
+    }
+}

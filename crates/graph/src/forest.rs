@@ -1,0 +1,170 @@
+//! Classification of dependency DAGs into the classes the paper treats.
+//!
+//! Theorem 4.8 applies to collections of out-trees or in-trees; Theorem 4.7 to
+//! any DAG whose underlying undirected graph is a forest. The classifier here
+//! decides which algorithm (and hence which approximation factor) applies to a
+//! given instance.
+
+use crate::chains::ChainSet;
+use crate::dag::Dag;
+
+/// Structural class of a dependency DAG, ordered from most to least special.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForestKind {
+    /// No edges at all (problem SUU-I, §3).
+    Independent,
+    /// A disjoint union of directed chains (problem SUU-C, §4.1).
+    DisjointChains,
+    /// Every node has in-degree ≤ 1: a forest of trees with edges directed
+    /// away from the roots (Theorem 4.8).
+    OutForest,
+    /// Every node has out-degree ≤ 1: a forest of trees with edges directed
+    /// towards the roots (Theorem 4.8).
+    InForest,
+    /// The underlying undirected graph is acyclic but edges are oriented
+    /// arbitrarily (Theorem 4.7).
+    DirectedForest,
+    /// None of the above: a general DAG, outside the classes the paper's
+    /// algorithms cover.
+    GeneralDag,
+}
+
+/// Returns `true` if the underlying undirected graph of `dag` is acyclic
+/// (i.e. it is a forest when edge directions are erased).
+#[must_use]
+pub fn is_underlying_forest(dag: &Dag) -> bool {
+    // A simple undirected graph is a forest iff every connected component has
+    // exactly (vertices - 1) edges; equivalently #edges = #vertices - #components,
+    // provided there are no parallel edges in the undirected sense.
+    let n = dag.num_nodes();
+    // Detect antiparallel pairs (u→v and v→u are impossible in a DAG) and
+    // count undirected edges.
+    let undirected_edges = dag.num_edges();
+
+    // Union-find over the underlying graph; a cycle exists iff we ever join
+    // two vertices already connected.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for (u, v) in dag.edges() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru == rv {
+            return false;
+        }
+        parent[ru] = rv;
+    }
+    // With no cycle detected the edge count is necessarily ≤ n - 1.
+    debug_assert!(undirected_edges <= n.saturating_sub(1) || n == 0);
+    true
+}
+
+/// Returns `true` if every node has in-degree at most 1 (out-forest).
+#[must_use]
+pub fn is_out_forest(dag: &Dag) -> bool {
+    (0..dag.num_nodes()).all(|v| dag.in_degree(v) <= 1)
+}
+
+/// Returns `true` if every node has out-degree at most 1 (in-forest).
+#[must_use]
+pub fn is_in_forest(dag: &Dag) -> bool {
+    (0..dag.num_nodes()).all(|v| dag.out_degree(v) <= 1)
+}
+
+/// Classifies a DAG into the most specific [`ForestKind`] that applies.
+#[must_use]
+pub fn classify(dag: &Dag) -> ForestKind {
+    if dag.is_independent() {
+        return ForestKind::Independent;
+    }
+    if ChainSet::from_dag(dag).is_some() {
+        return ForestKind::DisjointChains;
+    }
+    let out_forest = is_out_forest(dag);
+    let in_forest = is_in_forest(dag);
+    if out_forest {
+        return ForestKind::OutForest;
+    }
+    if in_forest {
+        return ForestKind::InForest;
+    }
+    if is_underlying_forest(dag) {
+        return ForestKind::DirectedForest;
+    }
+    ForestKind::GeneralDag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_independent() {
+        assert_eq!(classify(&Dag::independent(4)), ForestKind::Independent);
+    }
+
+    #[test]
+    fn classify_chains() {
+        let dag = Dag::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(classify(&dag), ForestKind::DisjointChains);
+    }
+
+    #[test]
+    fn classify_out_tree() {
+        // 0 → 1, 0 → 2, 1 → 3: a rooted out-tree.
+        let dag = Dag::from_edges(4, [(0, 1), (0, 2), (1, 3)]).unwrap();
+        assert_eq!(classify(&dag), ForestKind::OutForest);
+        assert!(is_out_forest(&dag));
+        assert!(!is_in_forest(&dag));
+    }
+
+    #[test]
+    fn classify_in_tree() {
+        // 1 → 0, 2 → 0, 3 → 1: an in-tree rooted at 0.
+        let dag = Dag::from_edges(4, [(1, 0), (2, 0), (3, 1)]).unwrap();
+        assert_eq!(classify(&dag), ForestKind::InForest);
+        assert!(is_in_forest(&dag));
+        assert!(!is_out_forest(&dag));
+    }
+
+    #[test]
+    fn classify_mixed_directed_forest() {
+        // Underlying tree 0-1-2 with edges 0→1 and 2→1: node 1 has in-degree 2
+        // and node 2 out-degree 1; neither an out- nor an in-forest on its own
+        // but ... in fact in-degree 2 rules out out-forest, out-degrees are all
+        // ≤ 1 so it *is* an in-forest. Use a genuinely mixed example instead:
+        // 0→1, 1→2, 3→1 has node 1 with in-degree 2 and out-degree 1, node 0
+        // out-degree 1 — still an in-forest. A mixed case needs both a node of
+        // in-degree ≥ 2 and a node of out-degree ≥ 2:
+        let dag = Dag::from_edges(5, [(0, 1), (2, 1), (1, 3), (1, 4)]).unwrap();
+        assert_eq!(classify(&dag), ForestKind::DirectedForest);
+        assert!(is_underlying_forest(&dag));
+    }
+
+    #[test]
+    fn classify_general_dag() {
+        // Diamond: underlying graph has a cycle.
+        let dag = Dag::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(classify(&dag), ForestKind::GeneralDag);
+        assert!(!is_underlying_forest(&dag));
+    }
+
+    #[test]
+    fn single_chain_is_both_in_and_out_forest() {
+        let dag = Dag::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(is_out_forest(&dag));
+        assert!(is_in_forest(&dag));
+        assert_eq!(classify(&dag), ForestKind::DisjointChains);
+    }
+
+    #[test]
+    fn underlying_forest_detects_undirected_cycle() {
+        let dag = Dag::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert!(!is_underlying_forest(&dag));
+    }
+}

@@ -1,0 +1,134 @@
+//! Topological-order utilities.
+//!
+//! [`Dag::topological_order`](crate::Dag::topological_order) gives *one*
+//! topological order; this module adds helpers the scheduling algorithms need:
+//! level (longest-path-from-source) layering, checking whether a given
+//! permutation is a valid topological order, and topological sorting of an
+//! arbitrary subset of nodes (used by the replication tail schedule Σ_{o,3}
+//! of §4.1, which assigns all machines to jobs one at a time in a topological
+//! order).
+
+use crate::dag::{Dag, NodeId};
+
+/// Returns the nodes grouped into levels, where a node's level is the length
+/// of the longest directed path from any source to it. Level `k` appears at
+/// index `k`; every edge goes from a lower level to a strictly higher level.
+#[must_use]
+pub fn levels(dag: &Dag) -> Vec<Vec<NodeId>> {
+    let order = dag
+        .topological_order()
+        .expect("Dag values are acyclic by construction");
+    let mut level = vec![0usize; dag.num_nodes()];
+    let mut max_level = 0;
+    for &v in &order {
+        for &w in dag.successors(v) {
+            if level[v] + 1 > level[w] {
+                level[w] = level[v] + 1;
+                max_level = max_level.max(level[w]);
+            }
+        }
+    }
+    let mut out = vec![Vec::new(); if dag.num_nodes() == 0 { 0 } else { max_level + 1 }];
+    for v in 0..dag.num_nodes() {
+        out[level[v]].push(v);
+    }
+    out
+}
+
+/// Checks whether `order` is a valid topological order of `dag` (a permutation
+/// of all nodes in which every edge points forward).
+#[must_use]
+pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
+    if order.len() != dag.num_nodes() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; dag.num_nodes()];
+    for (i, &v) in order.iter().enumerate() {
+        if v >= dag.num_nodes() || pos[v] != usize::MAX {
+            return false;
+        }
+        pos[v] = i;
+    }
+    dag.edges().iter().all(|&(u, v)| pos[u] < pos[v])
+}
+
+/// Topologically sorts the given subset of nodes: the result is `subset`
+/// reordered so that whenever `u` precedes `v` in the DAG (directly or
+/// transitively) and both are in the subset, `u` appears before `v`.
+#[must_use]
+pub fn sort_subset(dag: &Dag, subset: &[NodeId]) -> Vec<NodeId> {
+    let order = dag
+        .topological_order()
+        .expect("Dag values are acyclic by construction");
+    let mut pos = vec![usize::MAX; dag.num_nodes()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    let mut out = subset.to_vec();
+    out.sort_by_key(|&v| pos[v]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_of_a_chain() {
+        let dag = Dag::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(levels(&dag), vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn levels_of_independent_jobs_is_single_level() {
+        let dag = Dag::independent(3);
+        assert_eq!(levels(&dag), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn levels_of_empty_graph() {
+        let dag = Dag::independent(0);
+        assert!(levels(&dag).is_empty());
+    }
+
+    #[test]
+    fn levels_respect_longest_path() {
+        // 0 → 2, 1 → 2, 0 → 1: node 2 is at level 2 because of path 0→1→2.
+        let dag = Dag::from_edges(3, [(0, 2), (1, 2), (0, 1)]).unwrap();
+        let lv = levels(&dag);
+        assert_eq!(lv[0], vec![0]);
+        assert_eq!(lv[1], vec![1]);
+        assert_eq!(lv[2], vec![2]);
+    }
+
+    #[test]
+    fn is_topological_order_accepts_valid() {
+        let dag = Dag::from_edges(4, [(0, 1), (1, 3), (2, 3)]).unwrap();
+        assert!(is_topological_order(&dag, &[0, 2, 1, 3]));
+        assert!(is_topological_order(&dag, &[2, 0, 1, 3]));
+    }
+
+    #[test]
+    fn is_topological_order_rejects_invalid() {
+        let dag = Dag::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(!is_topological_order(&dag, &[1, 0, 2]));
+        assert!(!is_topological_order(&dag, &[0, 1]));
+        assert!(!is_topological_order(&dag, &[0, 0, 1]));
+    }
+
+    #[test]
+    fn sort_subset_orders_by_precedence() {
+        let dag = Dag::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(sort_subset(&dag, &[4, 1, 3]), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn sort_subset_keeps_unrelated_nodes() {
+        let dag = Dag::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let sorted = sort_subset(&dag, &[3, 1, 2, 0]);
+        let pos = |v: usize| sorted.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(2) < pos(3));
+        assert_eq!(sorted.len(), 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Transitive closure and reduction of a DAG.
+//!
+//! The transitive closure is used to compute the DAG *width* (maximum
+//! antichain) via Dilworth's theorem, and the transitive reduction is useful
+//! when generating workloads (it removes redundant precedence edges that
+//! do not change the partial order).
+
+use crate::dag::Dag;
+
+/// Computes the transitive closure as a boolean reachability matrix:
+/// `closure[u][v]` is `true` iff there is a directed path from `u` to `v`
+/// with at least one edge.
+#[must_use]
+pub fn closure_matrix(dag: &Dag) -> Vec<Vec<bool>> {
+    let n = dag.num_nodes();
+    let mut closure = vec![vec![false; n]; n];
+    let order = dag
+        .topological_order()
+        .expect("Dag values are acyclic by construction");
+    // Process in reverse topological order so successors' rows are complete.
+    for &v in order.iter().rev() {
+        for &w in dag.successors(v) {
+            closure[v][w] = true;
+            // Rows v and w are distinct because the graph is acyclic, but the
+            // borrow checker cannot see that; split the slice.
+            let (row_w, row_v) = if w < v {
+                let (lo, hi) = closure.split_at_mut(v);
+                (&lo[w], &mut hi[0])
+            } else {
+                let (lo, hi) = closure.split_at_mut(w);
+                (&hi[0], &mut lo[v])
+            };
+            for (dst, &src) in row_v.iter_mut().zip(row_w.iter()) {
+                *dst = *dst || src;
+            }
+            closure[v][w] = true;
+        }
+    }
+    closure
+}
+
+/// Returns the transitive closure as a new [`Dag`] containing an edge
+/// `u → v` for every ordered pair with a directed path `u ⇝ v`.
+#[must_use]
+pub fn transitive_closure(dag: &Dag) -> Dag {
+    let closure = closure_matrix(dag);
+    let mut edges = Vec::new();
+    for (u, row) in closure.iter().enumerate() {
+        for (v, &reach) in row.iter().enumerate() {
+            if reach {
+                edges.push((u, v));
+            }
+        }
+    }
+    Dag::from_edges(dag.num_nodes(), edges).expect("closure of a DAG is a DAG")
+}
+
+/// Returns the transitive reduction: the unique minimal sub-DAG with the same
+/// reachability relation (unique because the input is acyclic).
+#[must_use]
+pub fn transitive_reduction(dag: &Dag) -> Dag {
+    let closure = closure_matrix(dag);
+    let mut edges = Vec::new();
+    for (u, v) in dag.edges() {
+        // Edge u→v is redundant iff some other successor w of u reaches v.
+        let redundant = dag
+            .successors(u)
+            .iter()
+            .any(|&w| w != v && closure[w][v]);
+        if !redundant {
+            edges.push((u, v));
+        }
+    }
+    Dag::from_edges(dag.num_nodes(), edges).expect("reduction of a DAG is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_of_chain_contains_all_forward_pairs() {
+        let dag = Dag::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = transitive_closure(&dag);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(c.has_edge(u, v), u < v, "pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn closure_matrix_matches_reachability() {
+        let dag = Dag::from_edges(6, [(0, 2), (1, 2), (2, 3), (4, 5)]).unwrap();
+        let m = closure_matrix(&dag);
+        for u in 0..6 {
+            for v in 0..6 {
+                let expect = u != v && dag.reachable(u, v);
+                assert_eq!(m[u][v], expect, "pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_removes_shortcut_edges() {
+        // 0→1→2 plus shortcut 0→2 which must be removed.
+        let dag = Dag::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let r = transitive_reduction(&dag);
+        assert!(r.has_edge(0, 1));
+        assert!(r.has_edge(1, 2));
+        assert!(!r.has_edge(0, 2));
+        assert_eq!(r.num_edges(), 2);
+    }
+
+    #[test]
+    fn reduction_preserves_reachability() {
+        let dag =
+            Dag::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (0, 4)]).unwrap();
+        let r = transitive_reduction(&dag);
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(dag.reachable(u, v), r.reachable(u, v), "pair ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_of_reduction_is_identity() {
+        let dag = Dag::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3), (0, 3)]).unwrap();
+        let r1 = transitive_reduction(&dag);
+        let r2 = transitive_reduction(&r1);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_graph_closure_is_empty() {
+        let dag = Dag::independent(3);
+        assert_eq!(transitive_closure(&dag).num_edges(), 0);
+        assert_eq!(transitive_reduction(&dag).num_edges(), 0);
+    }
+}

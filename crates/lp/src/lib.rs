@@ -1,0 +1,29 @@
+//! A self-contained linear-programming solver.
+//!
+//! The chain-scheduling algorithm of §4.1 of *Approximation Algorithms for
+//! Multiprocessor Scheduling under Uncertainty* solves the relaxed linear
+//! program (LP1) — and its simplification (LP2) for independent jobs — and
+//! then rounds the fractional solution. The LPs are small and dense (one
+//! variable per machine–job pair with positive success probability, plus one
+//! per job and the makespan bound `t`), so a classic dense two-phase simplex
+//! method is entirely adequate and avoids an external LP dependency.
+//!
+//! * [`model::LpProblem`] — a tiny modelling layer: nonnegative variables,
+//!   optional upper bounds, `≤ / ≥ / =` constraints, minimise or maximise.
+//! * [`simplex::solve`] — two-phase primal simplex with Bland's rule, returning
+//!   an optimal basic feasible solution, or reporting infeasibility /
+//!   unboundedness.
+//!
+//! Basic feasible solutions matter beyond optimality: the proof of
+//! Theorem 4.5 uses the fact that a *basic* optimal solution of (LP2) has at
+//! most `n + m` non-zero variables. The simplex method returns vertex
+//! solutions by construction, so that property holds for the solutions
+//! produced here (and is checked by the `suu-algorithms` tests).
+
+pub mod model;
+pub mod simplex;
+pub mod solution;
+
+pub use model::{ConstraintOp, LpProblem, Sense, VarId};
+pub use simplex::{solve, SimplexOptions};
+pub use solution::{LpError, LpSolution, LpStatus};

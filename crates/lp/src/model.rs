@@ -1,0 +1,283 @@
+//! A small modelling layer for linear programs.
+//!
+//! Variables are non-negative reals with an optional finite upper bound;
+//! constraints are linear `≤ / ≥ / =` relations; the objective is a linear
+//! functional to minimise or maximise. This covers everything (LP1) and (LP2)
+//! of the paper need:
+//!
+//! * `x_ij ≥ 0` (machine-steps assigned to a job),
+//! * `d_j ≥ 1` (modelled as a `≥` constraint),
+//! * mass / load / chain-length constraints,
+//! * `min t`.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a decision variable in an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+/// Direction of optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Minimise the objective.
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// Relational operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `Σ aᵢ xᵢ ≤ b`
+    Le,
+    /// `Σ aᵢ xᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢ xᵢ = b`
+    Eq,
+}
+
+/// A single linear constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse coefficient list `(variable, coefficient)`.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Optional human-readable label (used in error messages and tests).
+    pub label: String,
+}
+
+/// A linear program over non-negative variables.
+///
+/// # Examples
+///
+/// ```
+/// use suu_lp::{LpProblem, Sense, ConstraintOp, solve, SimplexOptions, LpStatus};
+///
+/// // maximise 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2
+/// let mut lp = LpProblem::new(Sense::Maximize);
+/// let x = lp.add_variable("x");
+/// let y = lp.add_variable("y");
+/// lp.set_objective_coefficient(x, 3.0);
+/// lp.set_objective_coefficient(y, 2.0);
+/// lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0, "cap");
+/// lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 2.0, "x-cap");
+/// let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+/// assert_eq!(sol.status, LpStatus::Optimal);
+/// assert!((sol.objective - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpProblem {
+    sense: Sense,
+    names: Vec<String>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with the given optimisation sense.
+    #[must_use]
+    pub fn new(sense: Sense) -> Self {
+        Self {
+            sense,
+            names: Vec::new(),
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a non-negative variable with objective coefficient 0 and returns
+    /// its id.
+    pub fn add_variable(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.objective.push(0.0);
+        VarId(self.names.len() - 1)
+    }
+
+    /// Sets the objective coefficient of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this problem.
+    pub fn set_objective_coefficient(&mut self, var: VarId, coeff: f64) {
+        self.objective[var.0] = coeff;
+    }
+
+    /// Adds a constraint `Σ terms (op) rhs`.
+    ///
+    /// Terms referring to the same variable are summed. Returns the constraint
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references an unknown variable or a coefficient/rhs is
+    /// not finite.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+        label: impl Into<String>,
+    ) -> usize {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        let mut dense: Vec<f64> = vec![0.0; self.names.len()];
+        for (v, c) in terms {
+            assert!(v.0 < self.names.len(), "unknown variable in constraint");
+            assert!(c.is_finite(), "constraint coefficient must be finite");
+            dense[v.0] += c;
+        }
+        let compact: Vec<(VarId, f64)> = dense
+            .into_iter()
+            .enumerate()
+            .filter(|(_, c)| *c != 0.0)
+            .map(|(i, c)| (VarId(i), c))
+            .collect();
+        self.constraints.push(Constraint {
+            terms: compact,
+            op,
+            rhs,
+            label: label.into(),
+        });
+        self.constraints.len() - 1
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_variables(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The optimisation sense.
+    #[must_use]
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Name of a variable.
+    #[must_use]
+    pub fn variable_name(&self, var: VarId) -> &str {
+        &self.names[var.0]
+    }
+
+    /// Objective coefficients, indexed by variable.
+    #[must_use]
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at a point.
+    #[must_use]
+    pub fn objective_value(&self, point: &[f64]) -> f64 {
+        self.objective
+            .iter()
+            .zip(point.iter())
+            .map(|(c, x)| c * x)
+            .sum()
+    }
+
+    /// Checks whether `point` satisfies all constraints and non-negativity up
+    /// to tolerance `tol`.
+    #[must_use]
+    pub fn is_feasible(&self, point: &[f64], tol: f64) -> bool {
+        if point.len() != self.names.len() {
+            return false;
+        }
+        if point.iter().any(|&x| x < -tol || !x.is_finite()) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|(v, a)| a * point[v.0]).sum();
+            match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_variable_assigns_sequential_ids() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        assert_eq!(lp.add_variable("a"), VarId(0));
+        assert_eq!(lp.add_variable("b"), VarId(1));
+        assert_eq!(lp.num_variables(), 2);
+        assert_eq!(lp.variable_name(VarId(1)), "b");
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        lp.add_constraint(vec![(x, 1.0), (x, 2.0)], ConstraintOp::Le, 5.0, "c");
+        assert_eq!(lp.constraints()[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_constraint(vec![(x, 0.0), (y, 1.0)], ConstraintOp::Ge, 1.0, "c");
+        assert_eq!(lp.constraints()[0].terms, vec![(y, 1.0)]);
+    }
+
+    #[test]
+    fn feasibility_check_handles_all_operators() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 3.0, "le");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0, "ge");
+        lp.add_constraint(vec![(y, 2.0)], ConstraintOp::Eq, 2.0, "eq");
+        assert!(lp.is_feasible(&[1.5, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.5, 1.0], 1e-9)); // violates ge
+        assert!(!lp.is_feasible(&[1.5, 1.2], 1e-9)); // violates eq
+        assert!(!lp.is_feasible(&[2.5, 1.0], 1e-9)); // violates le
+        assert!(!lp.is_feasible(&[-0.1, 1.0], 1e-9)); // negative
+        assert!(!lp.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_value_is_dot_product() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, -1.0);
+        assert!((lp.objective_value(&[3.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_with_foreign_variable_panics() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        lp.add_constraint(vec![(VarId(3), 1.0)], ConstraintOp::Le, 1.0, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rhs_panics() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, f64::NAN, "bad");
+    }
+}

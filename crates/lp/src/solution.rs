@@ -1,0 +1,97 @@
+//! Solution and error types for the LP solver.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Status of a solved linear program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Solve status. `values`/`objective` are meaningful only for
+    /// [`LpStatus::Optimal`].
+    pub status: LpStatus,
+    /// Optimal objective value (in the problem's own sense).
+    pub objective: f64,
+    /// Optimal value of every variable, indexed by [`VarId`](crate::VarId).
+    pub values: Vec<f64>,
+    /// Number of simplex pivots performed across both phases.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// Value of variable `var`.
+    #[must_use]
+    pub fn value(&self, var: crate::VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// Number of variables whose optimal value exceeds `tol` in magnitude.
+    #[must_use]
+    pub fn num_nonzero(&self, tol: f64) -> usize {
+        self.values.iter().filter(|v| v.abs() > tol).count()
+    }
+}
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The pivot limit was exceeded before reaching optimality; the problem is
+    /// probably numerically pathological.
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The problem has no variables or no constraints in a configuration the
+    /// solver does not handle (e.g. zero variables with constraints).
+    Malformed(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} pivots exceeded")
+            }
+            Self::Malformed(msg) => write!(f, "malformed LP: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarId;
+
+    #[test]
+    fn value_indexes_by_var_id() {
+        let sol = LpSolution {
+            status: LpStatus::Optimal,
+            objective: 1.0,
+            values: vec![0.0, 2.5, 3.0],
+            iterations: 4,
+        };
+        assert!((sol.value(VarId(1)) - 2.5).abs() < 1e-12);
+        assert_eq!(sol.num_nonzero(1e-9), 2);
+    }
+
+    #[test]
+    fn errors_render_human_readable() {
+        let e = LpError::IterationLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = LpError::Malformed("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Monte-Carlo execution of scheduling policies.
+//!
+//! The executor implements the execution model of Definition 2.1: at the
+//! start of each step the policy proposes an assignment; machines pointed at
+//! finished or not-yet-eligible jobs idle; every busy machine then succeeds
+//! independently with probability `p_ij`, and a job completes as soon as any
+//! machine assigned to it succeeds. The makespan of a run is the number of
+//! steps until the unfinished set is empty.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use suu_core::{Assignment, JobSet, SchedulingPolicy, SuuInstance};
+
+use crate::stats::{OnlineStats, Summary};
+use crate::trace::{ExecutionTrace, StepRecord};
+
+/// Options controlling simulation runs.
+#[derive(Debug, Clone)]
+pub struct SimulationOptions {
+    /// Hard cap on the number of steps per run; runs that do not finish are
+    /// reported as censored at this horizon.
+    pub max_steps: usize,
+    /// Number of independent trials for expectation estimates.
+    pub trials: usize,
+    /// Base RNG seed; trial `k` uses seed `base_seed + k`.
+    pub base_seed: u64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        Self {
+            max_steps: 1_000_000,
+            trials: 200,
+            base_seed: 0x5eed,
+        }
+    }
+}
+
+/// The result of estimating an expected makespan by Monte-Carlo simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MakespanEstimate {
+    /// Summary statistics of the observed makespans (censored runs contribute
+    /// the horizon value, biasing the mean *downwards*; check `censored`).
+    pub summary: Summary,
+    /// Number of runs that hit the step horizon without finishing.
+    pub censored: u64,
+}
+
+impl MakespanEstimate {
+    /// The estimated expected makespan (sample mean).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.summary.mean
+    }
+}
+
+/// Simulates a single execution of `policy` on `instance`.
+///
+/// Returns the number of steps taken if all jobs finished within
+/// `max_steps`, or `None` if the run was censored.
+pub fn simulate_once<P: SchedulingPolicy + ?Sized>(
+    instance: &SuuInstance,
+    policy: &mut P,
+    rng: &mut impl Rng,
+    max_steps: usize,
+) -> Option<usize> {
+    let (steps, _trace) = run(instance, policy, rng, max_steps, false);
+    steps
+}
+
+/// Simulates a single execution and records a full [`ExecutionTrace`].
+pub fn simulate_traced<P: SchedulingPolicy + ?Sized>(
+    instance: &SuuInstance,
+    policy: &mut P,
+    rng: &mut impl Rng,
+    max_steps: usize,
+) -> (Option<usize>, ExecutionTrace) {
+    let (steps, trace) = run(instance, policy, rng, max_steps, true);
+    (steps, trace.unwrap_or_default())
+}
+
+fn run<P: SchedulingPolicy + ?Sized>(
+    instance: &SuuInstance,
+    policy: &mut P,
+    rng: &mut impl Rng,
+    max_steps: usize,
+    record: bool,
+) -> (Option<usize>, Option<ExecutionTrace>) {
+    let n = instance.num_jobs();
+    let mut unfinished = JobSet::all(n);
+    let mut trace = record.then(ExecutionTrace::new);
+
+    for step in 0..max_steps {
+        if unfinished.is_empty() {
+            return (Some(step), trace);
+        }
+        let proposed = policy.assign(step, &unfinished);
+        let effective = effective_assignment(instance, &proposed, &unfinished);
+
+        // Draw Bernoulli successes machine by machine.
+        let mut completed = Vec::new();
+        for (machine, job) in effective.busy_pairs() {
+            if !unfinished.contains(job) {
+                // Already completed earlier in this step by another machine.
+                continue;
+            }
+            let p = instance.prob(machine, job);
+            if p > 0.0 && rng.gen_bool(p) {
+                unfinished.remove(job);
+                completed.push(job);
+            }
+        }
+        completed.sort_unstable();
+
+        if let Some(trace) = trace.as_mut() {
+            trace.push(StepRecord {
+                step,
+                assignment: effective,
+                completed,
+                unfinished_after: unfinished.iter().collect(),
+            });
+        }
+
+        if unfinished.is_empty() {
+            return (Some(step + 1), trace);
+        }
+    }
+    (None, trace)
+}
+
+/// Filters a proposed assignment down to the machines whose target job is
+/// unfinished and eligible (all predecessors finished), per Definition 2.1.
+#[must_use]
+pub fn effective_assignment(
+    instance: &SuuInstance,
+    proposed: &Assignment,
+    unfinished: &JobSet,
+) -> Assignment {
+    let finished = unfinished.complement_mask();
+    proposed.filtered(|job| {
+        unfinished.contains(job)
+            && instance
+                .precedence()
+                .predecessors(job.0)
+                .iter()
+                .all(|&p| finished[p])
+    })
+}
+
+/// Estimates expected makespans by repeated independent simulation.
+///
+/// The simulator is generic over a *policy factory* so that adaptive policies
+/// (which carry per-run mutable state) get a fresh policy per trial. Trials
+/// run in parallel via Rayon; each trial uses its own deterministic
+/// `ChaCha8Rng` seed so results are reproducible regardless of thread
+/// interleaving.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    options: SimulationOptions,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given options.
+    #[must_use]
+    pub fn new(options: SimulationOptions) -> Self {
+        Self { options }
+    }
+
+    /// Creates a simulator with default options but the given trial count.
+    #[must_use]
+    pub fn with_trials(trials: usize) -> Self {
+        Self {
+            options: SimulationOptions {
+                trials,
+                ..SimulationOptions::default()
+            },
+        }
+    }
+
+    /// The options in use.
+    #[must_use]
+    pub fn options(&self) -> &SimulationOptions {
+        &self.options
+    }
+
+    /// Estimates the expected makespan of the policies produced by `factory`.
+    pub fn estimate<P, F>(&self, instance: &SuuInstance, factory: F) -> MakespanEstimate
+    where
+        P: SchedulingPolicy,
+        F: Fn() -> P + Sync,
+    {
+        let results: Vec<Option<usize>> = (0..self.options.trials)
+            .into_par_iter()
+            .map(|trial| {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(self.options.base_seed.wrapping_add(trial as u64));
+                let mut policy = factory();
+                simulate_once(instance, &mut policy, &mut rng, self.options.max_steps)
+            })
+            .collect();
+
+        let mut stats = OnlineStats::new();
+        let mut censored = 0;
+        for r in results {
+            match r {
+                Some(steps) => stats.push(steps as f64),
+                None => {
+                    stats.push(self.options.max_steps as f64);
+                    censored += 1;
+                }
+            }
+        }
+        MakespanEstimate {
+            summary: stats.summary(),
+            censored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::{InstanceBuilder, JobId, MachineId, ObliviousSchedule};
+
+    fn single_job_instance(p: f64) -> SuuInstance {
+        InstanceBuilder::new(1, 1)
+            .probability(MachineId(0), JobId(0), p)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_job_finishes_in_one_step() {
+        let instance = single_job_instance(1.0);
+        let mut sched = ObliviousSchedule::from_steps(
+            1,
+            vec![Assignment::all_on(1, JobId(0))],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let steps = simulate_once(&instance, &mut sched, &mut rng, 100);
+        assert_eq!(steps, Some(1));
+    }
+
+    #[test]
+    fn geometric_job_matches_expectation() {
+        // p = 0.5 → expected makespan 2; check the Monte-Carlo mean is close.
+        let instance = single_job_instance(0.5);
+        let sim = Simulator::new(SimulationOptions {
+            trials: 4000,
+            max_steps: 10_000,
+            base_seed: 7,
+        });
+        let est = sim.estimate(&instance, || {
+            ObliviousSchedule::from_steps(1, vec![Assignment::all_on(1, JobId(0))])
+        });
+        assert_eq!(est.censored, 0);
+        assert!(
+            (est.mean() - 2.0).abs() < 0.15,
+            "estimated mean {} too far from 2.0",
+            est.mean()
+        );
+    }
+
+    #[test]
+    fn censoring_is_reported() {
+        // Probability so small that 3 steps are almost never enough.
+        let instance = single_job_instance(1e-6);
+        let sim = Simulator::new(SimulationOptions {
+            trials: 20,
+            max_steps: 3,
+            base_seed: 3,
+        });
+        let est = sim.estimate(&instance, || {
+            ObliviousSchedule::from_steps(1, vec![Assignment::all_on(1, JobId(0))])
+        });
+        assert!(est.censored > 0);
+    }
+
+    #[test]
+    fn precedence_is_respected_during_execution() {
+        // Chain 0 → 1 with certain completion: takes exactly 2 steps even
+        // though the schedule points machines at both jobs from step 0.
+        let instance = InstanceBuilder::new(2, 2)
+            .uniform_probability(1.0)
+            .chains(&[vec![0, 1]])
+            .build()
+            .unwrap();
+        let mut a = Assignment::idle(2);
+        a.assign(MachineId(0), JobId(0));
+        a.assign(MachineId(1), JobId(1));
+        let mut sched = ObliviousSchedule::from_steps(2, vec![a]);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let (steps, trace) = simulate_traced(&instance, &mut sched, &mut rng, 10);
+        assert_eq!(steps, Some(2));
+        // In step 0 machine 1 must have been idled by the eligibility filter.
+        assert_eq!(trace.steps()[0].assignment.target(MachineId(1)), None);
+        assert_eq!(trace.completion_step(JobId(1)), Some(2));
+    }
+
+    #[test]
+    fn effective_assignment_filters_finished_jobs() {
+        let instance = InstanceBuilder::new(2, 1)
+            .uniform_probability(0.5)
+            .build()
+            .unwrap();
+        let mut proposed = Assignment::idle(1);
+        proposed.assign(MachineId(0), JobId(0));
+        let unfinished = JobSet::from_members(2, [JobId(1)]);
+        let eff = effective_assignment(&instance, &proposed, &unfinished);
+        assert_eq!(eff.target(MachineId(0)), None);
+    }
+
+    #[test]
+    fn estimates_are_reproducible_across_runs() {
+        let instance = single_job_instance(0.3);
+        let sim = Simulator::new(SimulationOptions {
+            trials: 50,
+            max_steps: 10_000,
+            base_seed: 42,
+        });
+        let a = sim.estimate(&instance, || {
+            ObliviousSchedule::from_steps(1, vec![Assignment::all_on(1, JobId(0))])
+        });
+        let b = sim.estimate(&instance, || {
+            ObliviousSchedule::from_steps(1, vec![Assignment::all_on(1, JobId(0))])
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_length_schedule_never_finishes() {
+        let instance = single_job_instance(0.9);
+        let mut sched = ObliviousSchedule::new(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let steps = simulate_once(&instance, &mut sched, &mut rng, 50);
+        assert_eq!(steps, None);
+    }
+}

@@ -1,0 +1,30 @@
+//! Stochastic execution substrate for SUU schedules.
+//!
+//! The paper is a theory paper: it proves expected-makespan bounds but runs no
+//! experiments. To *measure* the behaviour of its algorithms this crate
+//! provides the execution model of §2.1 in two forms:
+//!
+//! * **Monte-Carlo simulation** ([`executor`]): run any
+//!   [`SchedulingPolicy`](suu_core::SchedulingPolicy) step by step, drawing an
+//!   independent Bernoulli success for every machine-step, and estimate the
+//!   expected makespan from repeated trials (parallelised with Rayon).
+//! * **Exact evaluation** ([`markov`]): for small instances, compute the
+//!   expected makespan of a regimen or of a cyclically repeated oblivious
+//!   schedule exactly, by absorbing-Markov-chain analysis over the lattice of
+//!   unfinished-job sets (the right-hand picture of Figure 1 in the paper).
+//!
+//! [`stats`] provides the summary statistics used by the experiment harness
+//! and [`trace`] records full execution traces (used by the
+//! `execution_tree` example to reproduce Figure 1).
+
+pub mod executor;
+pub mod markov;
+pub mod policy;
+pub mod stats;
+pub mod trace;
+
+pub use executor::{simulate_once, MakespanEstimate, SimulationOptions, Simulator};
+pub use markov::{exact_expected_makespan_oblivious_cyclic, exact_expected_makespan_regimen};
+pub use policy::{AllMachinesOnOneJob, FnPolicy, FnRegimen};
+pub use stats::{OnlineStats, Summary};
+pub use trace::{ExecutionTrace, StepRecord};

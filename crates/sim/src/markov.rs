@@ -1,0 +1,382 @@
+//! Exact expected makespans via absorbing-Markov-chain analysis.
+//!
+//! The execution of a regimen is a Markov chain on the lattice of
+//! unfinished-job sets (the left-hand picture of Figure 1 in the paper);
+//! executing an oblivious schedule cyclically gives a Markov chain on pairs
+//! (unfinished set, position within the schedule). For small `n` these chains
+//! can be solved exactly, giving the ground-truth expected makespans that the
+//! approximation-ratio experiments compare against.
+//!
+//! Both solvers run in `O(3ⁿ · m)`-ish time (submask enumeration over the
+//! subset lattice), so they are restricted to `n ≤ MAX_EXACT_JOBS` jobs.
+
+use suu_core::{Assignment, JobSet, SuuInstance};
+
+use crate::executor::effective_assignment;
+
+/// Maximum number of jobs the exact solvers accept (3ⁿ work and 2ⁿ memory).
+pub const MAX_EXACT_JOBS: usize = 20;
+
+/// Exact expected makespan of a regimen: a policy whose assignment depends
+/// only on the set of unfinished jobs (Definition 2.2).
+///
+/// Returns `f64::INFINITY` if from some reachable state no job can make
+/// progress (which cannot happen for valid instances when the regimen always
+/// assigns at least one machine with positive probability to an eligible job).
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_EXACT_JOBS`] jobs.
+pub fn exact_expected_makespan_regimen(
+    instance: &SuuInstance,
+    mut regimen: impl FnMut(&JobSet) -> Assignment,
+) -> f64 {
+    let n = instance.num_jobs();
+    assert!(
+        n <= MAX_EXACT_JOBS,
+        "exact evaluation supports at most {MAX_EXACT_JOBS} jobs, got {n}"
+    );
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut expect = vec![0.0f64; (full as usize) + 1];
+
+    for mask in 1..=full {
+        let unfinished = jobset_from_mask(n, mask);
+        let proposed = regimen(&unfinished);
+        let effective = effective_assignment(instance, &proposed, &unfinished);
+        let value =
+            expected_steps_from(instance, mask, &effective, |sub| expect[sub as usize]);
+        expect[mask as usize] = value;
+    }
+    expect[full as usize]
+}
+
+/// Exact expected makespan of an oblivious schedule executed cyclically
+/// (`Σ∞` in the paper's notation), starting at the first step of the schedule.
+///
+/// Returns `f64::INFINITY` if the schedule is empty or leaves some job with no
+/// chance of progress through an entire cycle.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_EXACT_JOBS`] jobs.
+pub fn exact_expected_makespan_oblivious_cyclic(
+    instance: &SuuInstance,
+    schedule: &suu_core::ObliviousSchedule,
+) -> f64 {
+    let n = instance.num_jobs();
+    assert!(
+        n <= MAX_EXACT_JOBS,
+        "exact evaluation supports at most {MAX_EXACT_JOBS} jobs, got {n}"
+    );
+    let len = schedule.len();
+    if len == 0 {
+        return f64::INFINITY;
+    }
+    let full: u32 = (1u32 << n) - 1;
+    // expect[mask][phase]
+    let mut expect = vec![vec![0.0f64; len]; (full as usize) + 1];
+
+    for mask in 1..=full {
+        let unfinished = jobset_from_mask(n, mask);
+        // For each phase φ compute a_φ (contribution of transitions to strictly
+        // smaller sets) and b_φ (probability of staying in the same set).
+        let mut a = vec![0.0f64; len];
+        let mut b = vec![0.0f64; len];
+        for phase in 0..len {
+            let effective =
+                effective_assignment(instance, schedule.step(phase), &unfinished);
+            let next_phase = (phase + 1) % len;
+            let (to_smaller, stay) =
+                transition_split(instance, mask, &effective, |sub| expect[sub as usize][next_phase]);
+            a[phase] = 1.0 + to_smaller;
+            b[phase] = stay;
+        }
+        // Solve e_φ = a_φ + b_φ · e_{φ+1 mod len} around the cycle.
+        let b_product: f64 = b.iter().product();
+        if b_product >= 1.0 - 1e-15 {
+            for phase in 0..len {
+                expect[mask as usize][phase] = f64::INFINITY;
+            }
+            continue;
+        }
+        // e_0 = Σ_k (Π_{i<k} b_i) a_k / (1 − Π b_i)
+        let mut numer = 0.0;
+        let mut prefix = 1.0;
+        for k in 0..len {
+            numer += prefix * a[k];
+            prefix *= b[k];
+        }
+        let e0 = numer / (1.0 - b_product);
+        expect[mask as usize][0] = e0;
+        // Back-substitute the rest: e_φ = a_φ + b_φ e_{φ+1}, walking backwards.
+        for phase in (1..len).rev() {
+            let next = if phase + 1 == len {
+                e0
+            } else {
+                expect[mask as usize][phase + 1]
+            };
+            expect[mask as usize][phase] = a[phase] + b[phase] * next;
+        }
+    }
+    expect[full as usize][0]
+}
+
+/// Expected number of steps to absorption from `mask` for a time-homogeneous
+/// step with the given effective assignment, given the expected values of all
+/// strict submasks through `submask_value`.
+fn expected_steps_from(
+    instance: &SuuInstance,
+    mask: u32,
+    effective: &Assignment,
+    submask_value: impl Fn(u32) -> f64,
+) -> f64 {
+    let (to_smaller, stay) = transition_split(instance, mask, effective, submask_value);
+    if stay >= 1.0 - 1e-15 {
+        return f64::INFINITY;
+    }
+    (1.0 + to_smaller) / (1.0 - stay)
+}
+
+/// Splits the one-step transition out of `mask` into
+/// `(Σ_{∅ ≠ F ⊆ active} P(F) · value(mask \ F), P(stay))`.
+fn transition_split(
+    instance: &SuuInstance,
+    mask: u32,
+    effective: &Assignment,
+    submask_value: impl Fn(u32) -> f64,
+) -> (f64, f64) {
+    // Per-job success probability under the effective assignment.
+    let n = instance.num_jobs();
+    let mut q = vec![0.0f64; n];
+    for j in 0..n {
+        if mask & (1 << j) != 0 {
+            let machines = effective.machines_on(suu_core::JobId(j));
+            if !machines.is_empty() {
+                let probs: Vec<f64> = machines
+                    .iter()
+                    .map(|&i| instance.prob(i, suu_core::JobId(j)))
+                    .collect();
+                q[j] = suu_core::combined_success_probability(&probs);
+            }
+        }
+    }
+    // Active jobs: in the mask and with positive success probability.
+    let active: Vec<usize> = (0..n)
+        .filter(|&j| mask & (1 << j) != 0 && q[j] > 0.0)
+        .collect();
+    let k = active.len();
+    if k == 0 {
+        return (0.0, 1.0);
+    }
+    let mut to_smaller = 0.0;
+    let mut stay = 0.0;
+    // Enumerate all subsets F of the active set.
+    for f_bits in 0..(1u32 << k) {
+        let mut prob = 1.0;
+        let mut finished_mask = 0u32;
+        for (idx, &j) in active.iter().enumerate() {
+            if f_bits & (1 << idx) != 0 {
+                prob *= q[j];
+                finished_mask |= 1 << j;
+            } else {
+                prob *= 1.0 - q[j];
+            }
+        }
+        if finished_mask == 0 {
+            stay += prob;
+        } else {
+            let sub = mask & !finished_mask;
+            to_smaller += prob * submask_value(sub);
+        }
+    }
+    (to_smaller, stay)
+}
+
+fn jobset_from_mask(n: usize, mask: u32) -> JobSet {
+    JobSet::from_members(
+        n,
+        (0..n).filter(|&j| mask & (1 << j) != 0).map(suu_core::JobId),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use suu_core::{InstanceBuilder, JobId, MachineId, ObliviousSchedule, SchedulingPolicy};
+
+    use crate::executor::{simulate_once, SimulationOptions, Simulator};
+
+    fn geometric_instance(p: f64) -> SuuInstance {
+        InstanceBuilder::new(1, 1)
+            .probability(MachineId(0), JobId(0), p)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_job_regimen_matches_geometric_mean() {
+        let instance = geometric_instance(0.25);
+        let m = instance.num_machines();
+        let exact = exact_expected_makespan_regimen(&instance, |_s| {
+            Assignment::all_on(m, JobId(0))
+        });
+        assert!((exact - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_independent_jobs_closed_form() {
+        // Two jobs, one machine each with p = 0.5, worked in parallel by two
+        // machines (machine 0 → job 0, machine 1 → job 1).
+        // Expected makespan of max of two Geom(1/2) = Σ_t P(T ≥ t)
+        // = Σ_{t≥1} 1 − (1 − 0.5^{t−1})² = 8/3.
+        let instance = InstanceBuilder::new(2, 2)
+            .probability(MachineId(0), JobId(0), 0.5)
+            .probability(MachineId(1), JobId(1), 0.5)
+            .probability(MachineId(0), JobId(1), 0.0)
+            .probability(MachineId(1), JobId(0), 0.0)
+            .build()
+            .unwrap();
+        let exact = exact_expected_makespan_regimen(&instance, |_s| {
+            let mut a = Assignment::idle(2);
+            a.assign(MachineId(0), JobId(0));
+            a.assign(MachineId(1), JobId(1));
+            a
+        });
+        assert!((exact - 8.0 / 3.0).abs() < 1e-9, "exact = {exact}");
+    }
+
+    #[test]
+    fn chain_of_two_jobs_is_sum_of_geometrics() {
+        // Chain 0 → 1, all machines on the eligible job, p = 0.5 each with one
+        // machine: expected makespan = 2 + 2 = 4.
+        let instance = InstanceBuilder::new(2, 1)
+            .uniform_probability(0.5)
+            .chains(&[vec![0, 1]])
+            .build()
+            .unwrap();
+        let exact = exact_expected_makespan_regimen(&instance, |s| {
+            let first = s.iter().next().unwrap();
+            Assignment::all_on(1, first)
+        });
+        assert!((exact - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unworkable_state_gives_infinite_makespan() {
+        let instance = geometric_instance(0.5);
+        let exact = exact_expected_makespan_regimen(&instance, |_s| Assignment::idle(1));
+        assert!(exact.is_infinite());
+    }
+
+    #[test]
+    fn cyclic_oblivious_schedule_alternating_steps() {
+        // One job, p = 0.5, schedule alternates [work, idle]. Starting at the
+        // working step: E = 1 + 0.5·(1 + E) ⇒ E = 3.
+        let instance = geometric_instance(0.5);
+        let mut work = Assignment::idle(1);
+        work.assign(MachineId(0), JobId(0));
+        let idle = Assignment::idle(1);
+        let sched = ObliviousSchedule::from_steps(1, vec![work, idle]);
+        let exact = exact_expected_makespan_oblivious_cyclic(&instance, &sched);
+        assert!((exact - 3.0).abs() < 1e-9, "exact = {exact}");
+    }
+
+    #[test]
+    fn empty_schedule_is_infinite() {
+        let instance = geometric_instance(0.5);
+        let sched = ObliviousSchedule::new(1);
+        assert!(exact_expected_makespan_oblivious_cyclic(&instance, &sched).is_infinite());
+    }
+
+    #[test]
+    fn exact_matches_monte_carlo_for_regimen() {
+        // 3 jobs, 2 machines, a chain 0→1 plus an independent job 2.
+        let instance = InstanceBuilder::new(3, 2)
+            .probability(MachineId(0), JobId(0), 0.7)
+            .probability(MachineId(0), JobId(1), 0.4)
+            .probability(MachineId(0), JobId(2), 0.2)
+            .probability(MachineId(1), JobId(0), 0.3)
+            .probability(MachineId(1), JobId(1), 0.9)
+            .probability(MachineId(1), JobId(2), 0.5)
+            .chains(&[vec![0, 1], vec![2]])
+            .build()
+            .unwrap();
+        // Regimen: machine 0 to the lowest-numbered unfinished job, machine 1
+        // to the highest-numbered unfinished job.
+        let regimen = |s: &JobSet| {
+            let members: Vec<JobId> = s.iter().collect();
+            let mut a = Assignment::idle(2);
+            if let Some(&first) = members.first() {
+                a.assign(MachineId(0), first);
+            }
+            if let Some(&last) = members.last() {
+                a.assign(MachineId(1), last);
+            }
+            a
+        };
+        let exact = exact_expected_makespan_regimen(&instance, regimen);
+
+        struct R<F>(F);
+        impl<F: FnMut(&JobSet) -> Assignment> SchedulingPolicy for R<F> {
+            fn assign(&mut self, _step: usize, unfinished: &JobSet) -> Assignment {
+                (self.0)(unfinished)
+            }
+        }
+        let sim = Simulator::new(SimulationOptions {
+            trials: 6000,
+            max_steps: 10_000,
+            base_seed: 11,
+        });
+        let est = sim.estimate(&instance, || R(regimen));
+        assert_eq!(est.censored, 0);
+        let diff = (est.mean() - exact).abs();
+        assert!(
+            diff < 4.0 * est.summary.std_error + 0.05,
+            "exact {exact} vs MC {} (diff {diff})",
+            est.mean()
+        );
+    }
+
+    #[test]
+    fn exact_matches_monte_carlo_for_cyclic_schedule() {
+        let instance = InstanceBuilder::new(2, 1)
+            .probability(MachineId(0), JobId(0), 0.6)
+            .probability(MachineId(0), JobId(1), 0.4)
+            .build()
+            .unwrap();
+        // Length-2 schedule: step 0 works job 0, step 1 works job 1.
+        let mut s0 = Assignment::idle(1);
+        s0.assign(MachineId(0), JobId(0));
+        let mut s1 = Assignment::idle(1);
+        s1.assign(MachineId(0), JobId(1));
+        let sched = ObliviousSchedule::from_steps(1, vec![s0, s1]);
+        let exact = exact_expected_makespan_oblivious_cyclic(&instance, &sched);
+
+        let mut stats = crate::stats::OnlineStats::new();
+        for trial in 0..6000u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(trial);
+            let mut policy = sched.clone();
+            let steps = simulate_once(&instance, &mut policy, &mut rng, 100_000).unwrap();
+            stats.push(steps as f64);
+        }
+        let diff = (stats.mean() - exact).abs();
+        assert!(
+            diff < 4.0 * stats.std_error() + 0.05,
+            "exact {exact} vs MC {} (diff {diff})",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_jobs_panics() {
+        let instance = InstanceBuilder::new(MAX_EXACT_JOBS + 1, 1)
+            .uniform_probability(0.5)
+            .build()
+            .unwrap();
+        let m = instance.num_machines();
+        let _ = exact_expected_makespan_regimen(&instance, |_s| Assignment::idle(m));
+    }
+}

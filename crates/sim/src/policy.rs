@@ -1,0 +1,166 @@
+//! Generic policy adapters.
+//!
+//! * [`FnPolicy`] wraps a closure `(step, unfinished) → Assignment`.
+//! * [`FnRegimen`] wraps a closure `unfinished → Assignment` (a regimen in the
+//!   sense of Definition 2.2: the assignment depends only on the unfinished
+//!   set).
+//! * [`AllMachinesOnOneJob`] is the trivial policy used in the paper's upper
+//!   bound on `T^OPT` (assign every machine to a single eligible unfinished
+//!   job until everything is done); it also serves as a simple always-valid
+//!   fallback policy.
+
+use suu_core::{Assignment, JobSet, SchedulingPolicy, SuuInstance};
+
+/// A policy defined by a closure over `(step, unfinished)`.
+pub struct FnPolicy<F> {
+    f: F,
+    label: String,
+}
+
+impl<F> FnPolicy<F>
+where
+    F: FnMut(usize, &JobSet) -> Assignment,
+{
+    /// Wraps a closure as a policy.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        Self {
+            f,
+            label: label.into(),
+        }
+    }
+}
+
+impl<F> SchedulingPolicy for FnPolicy<F>
+where
+    F: FnMut(usize, &JobSet) -> Assignment,
+{
+    fn assign(&mut self, step: usize, unfinished: &JobSet) -> Assignment {
+        (self.f)(step, unfinished)
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A regimen defined by a closure over the unfinished set only
+/// (Definition 2.2).
+pub struct FnRegimen<F> {
+    f: F,
+    label: String,
+}
+
+impl<F> FnRegimen<F>
+where
+    F: FnMut(&JobSet) -> Assignment,
+{
+    /// Wraps a closure as a regimen.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        Self {
+            f,
+            label: label.into(),
+        }
+    }
+}
+
+impl<F> SchedulingPolicy for FnRegimen<F>
+where
+    F: FnMut(&JobSet) -> Assignment,
+{
+    fn assign(&mut self, _step: usize, unfinished: &JobSet) -> Assignment {
+        (self.f)(unfinished)
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Assigns *every* machine to the first eligible unfinished job (in job-id
+/// order) at each step.
+///
+/// The paper uses this schedule shape to bound `T^OPT`: serialising the jobs
+/// and throwing all machines at one job finishes it in expected `1/P_j` steps
+/// where `P_j` is the combined success probability, so the total expected
+/// makespan is `Σ_j 1/P_j`. It doubles as the tail schedule `Σ_{o,3}` used by
+/// the replication step of §4.1.
+pub struct AllMachinesOnOneJob {
+    instance: SuuInstance,
+}
+
+impl AllMachinesOnOneJob {
+    /// Creates the policy for an instance.
+    #[must_use]
+    pub fn new(instance: SuuInstance) -> Self {
+        Self { instance }
+    }
+}
+
+impl SchedulingPolicy for AllMachinesOnOneJob {
+    fn assign(&mut self, _step: usize, unfinished: &JobSet) -> Assignment {
+        let finished = unfinished.complement_mask();
+        let eligible = self.instance.eligible_jobs(&finished);
+        match eligible.first() {
+            Some(&job) => Assignment::all_on(self.instance.num_machines(), job),
+            None => Assignment::idle(self.instance.num_machines()),
+        }
+    }
+
+    fn name(&self) -> String {
+        "all-machines-on-one-job".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::{InstanceBuilder, JobId, MachineId};
+
+    #[test]
+    fn fn_policy_delegates_to_closure() {
+        let mut policy = FnPolicy::new("test", |step, _unfinished: &JobSet| {
+            let mut a = Assignment::idle(1);
+            a.assign(MachineId(0), JobId(step % 2));
+            a
+        });
+        let u = JobSet::all(2);
+        assert_eq!(policy.assign(0, &u).target(MachineId(0)), Some(JobId(0)));
+        assert_eq!(policy.assign(3, &u).target(MachineId(0)), Some(JobId(1)));
+        assert_eq!(policy.name(), "test");
+    }
+
+    #[test]
+    fn fn_regimen_ignores_step() {
+        let mut regimen = FnRegimen::new("r", |unfinished: &JobSet| {
+            let mut a = Assignment::idle(1);
+            if let Some(j) = unfinished.iter().next() {
+                a.assign(MachineId(0), j);
+            }
+            a
+        });
+        let u = JobSet::from_members(3, [JobId(2)]);
+        assert_eq!(regimen.assign(0, &u).target(MachineId(0)), Some(JobId(2)));
+        assert_eq!(regimen.assign(99, &u).target(MachineId(0)), Some(JobId(2)));
+        assert_eq!(regimen.name(), "r");
+    }
+
+    #[test]
+    fn all_machines_policy_targets_first_eligible_job() {
+        let instance = InstanceBuilder::new(3, 2)
+            .uniform_probability(0.5)
+            .chains(&[vec![0, 1], vec![2]])
+            .build()
+            .unwrap();
+        let mut policy = AllMachinesOnOneJob::new(instance);
+        // All jobs unfinished: job 0 and job 2 eligible, job 0 is first.
+        let a = policy.assign(0, &JobSet::all(3));
+        assert_eq!(a.machines_on(JobId(0)).len(), 2);
+        // Job 0 finished: job 1 becomes eligible and is first.
+        let u = JobSet::from_members(3, [JobId(1), JobId(2)]);
+        let a = policy.assign(1, &u);
+        assert_eq!(a.machines_on(JobId(1)).len(), 2);
+        // Everything finished: idle.
+        let a = policy.assign(2, &JobSet::empty(3));
+        assert_eq!(a.num_idle(), 2);
+    }
+}

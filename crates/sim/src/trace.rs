@@ -1,0 +1,138 @@
+//! Execution traces: a full record of one simulated run.
+//!
+//! A trace records, per step, the effective assignment (after filtering to
+//! eligible unfinished jobs) and the set of jobs that completed in that step.
+//! Traces power the `execution_tree` example, which reproduces the
+//! execution-tree view of Figure 1, and are handy when debugging schedules.
+
+use suu_core::{Assignment, JobId};
+
+/// One step of an execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Step number (0-based).
+    pub step: usize,
+    /// The effective assignment actually executed (machines pointed at
+    /// ineligible or finished jobs idle).
+    pub assignment: Assignment,
+    /// Jobs that completed during this step, in increasing order.
+    pub completed: Vec<JobId>,
+    /// Jobs still unfinished *after* this step, in increasing order.
+    pub unfinished_after: Vec<JobId>,
+}
+
+/// A full record of one simulated execution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutionTrace {
+    steps: Vec<StepRecord>,
+}
+
+impl ExecutionTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { steps: Vec::new() }
+    }
+
+    /// Appends a step record.
+    pub fn push(&mut self, record: StepRecord) {
+        self.steps.push(record);
+    }
+
+    /// The recorded steps.
+    #[must_use]
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Number of recorded steps (equals the makespan when the run finished).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no steps were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step at which `job` completed, if it did (1-based, i.e. the
+    /// number of steps taken including the completing one).
+    #[must_use]
+    pub fn completion_step(&self, job: JobId) -> Option<usize> {
+        self.steps
+            .iter()
+            .find(|s| s.completed.contains(&job))
+            .map(|s| s.step + 1)
+    }
+
+    /// Renders the trace as a compact multi-line string: one line per step
+    /// listing the unfinished set after the step, in the spirit of the states
+    /// of Figure 1.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            let unfinished: Vec<String> =
+                s.unfinished_after.iter().map(|j| j.0.to_string()).collect();
+            let completed: Vec<String> = s.completed.iter().map(|j| j.0.to_string()).collect();
+            out.push_str(&format!(
+                "t={:<4} completed=[{}] unfinished=[{}]\n",
+                s.step + 1,
+                completed.join(","),
+                unfinished.join(",")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::MachineId;
+
+    fn record(step: usize, completed: Vec<usize>, unfinished: Vec<usize>) -> StepRecord {
+        let mut a = Assignment::idle(1);
+        a.assign(MachineId(0), JobId(0));
+        StepRecord {
+            step,
+            assignment: a,
+            completed: completed.into_iter().map(JobId).collect(),
+            unfinished_after: unfinished.into_iter().map(JobId).collect(),
+        }
+    }
+
+    #[test]
+    fn trace_records_steps_in_order() {
+        let mut trace = ExecutionTrace::new();
+        assert!(trace.is_empty());
+        trace.push(record(0, vec![], vec![0, 1]));
+        trace.push(record(1, vec![0], vec![1]));
+        trace.push(record(2, vec![1], vec![]));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.steps()[1].completed, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn completion_step_finds_the_right_step() {
+        let mut trace = ExecutionTrace::new();
+        trace.push(record(0, vec![], vec![0, 1]));
+        trace.push(record(1, vec![0], vec![1]));
+        trace.push(record(2, vec![1], vec![]));
+        assert_eq!(trace.completion_step(JobId(0)), Some(2));
+        assert_eq!(trace.completion_step(JobId(1)), Some(3));
+        assert_eq!(trace.completion_step(JobId(9)), None);
+    }
+
+    #[test]
+    fn render_contains_states() {
+        let mut trace = ExecutionTrace::new();
+        trace.push(record(0, vec![0], vec![1, 2]));
+        let text = trace.render();
+        assert!(text.contains("t=1"));
+        assert!(text.contains("completed=[0]"));
+        assert!(text.contains("unfinished=[1,2]"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic workload generators for SUU experiments.
+//!
+//! The paper motivates SUU with two applications — grid computing (unreliable,
+//! heterogeneous machines executing a task DAG) and project management
+//! (workers of varying skill assigned to interdependent tasks). Since the
+//! paper itself reports no benchmark data, the experiment harness measures its
+//! algorithms on synthetic instances that span those motivating scenarios and
+//! the structural classes the theorems cover:
+//!
+//! * [`probability`] — generators for the success-probability matrix `p_ij`
+//!   (uniform, bimodal "reliable vs flaky", skill/affinity-structured, sparse).
+//! * [`precedence`] — generators for the dependency DAG (independent jobs,
+//!   disjoint chains, in-/out-trees, directed forests, layered DAGs).
+//! * [`scenario`] — ready-made combinations reproducing the paper's two
+//!   motivating applications (a heterogeneous compute grid and a staffed
+//!   project plan), plus small adversarial instances used in unit tests.
+//!
+//! All generators take explicit seeds and are deterministic.
+
+pub mod precedence;
+pub mod probability;
+pub mod scenario;
+
+pub use precedence::{
+    random_chains, random_directed_forest, random_in_forest, random_layered_dag,
+    random_out_forest,
+};
+pub use probability::{
+    bimodal_matrix, skill_matrix, sparse_uniform_matrix, uniform_matrix, ProbabilityModel,
+};
+pub use scenario::{
+    bottleneck_instance, figure1_instance, grid_computing_instance,
+    project_management_instance, GridConfig, ProjectConfig,
+};

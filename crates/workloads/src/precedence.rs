@@ -1,0 +1,192 @@
+//! Generators for precedence DAGs in the structural classes of the paper.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use suu_graph::Dag;
+
+/// A random partition of `num_jobs` jobs into `num_chains` disjoint chains
+/// (problem SUU-C). Chain lengths are as equal as the division allows, with
+/// job ids shuffled so that chain membership does not correlate with id.
+///
+/// # Panics
+///
+/// Panics if `num_chains == 0` or `num_chains > num_jobs`.
+#[must_use]
+pub fn random_chains(num_jobs: usize, num_chains: usize, seed: u64) -> Dag {
+    assert!(num_chains > 0, "need at least one chain");
+    assert!(num_chains <= num_jobs, "cannot have more chains than jobs");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..num_jobs).collect();
+    ids.shuffle(&mut rng);
+    let mut chains: Vec<Vec<usize>> = vec![Vec::new(); num_chains];
+    for (idx, job) in ids.into_iter().enumerate() {
+        chains[idx % num_chains].push(job);
+    }
+    Dag::from_chains(num_jobs, &chains).expect("chains over distinct jobs form a DAG")
+}
+
+/// A random out-forest: `num_roots` roots, every other node picks a random
+/// earlier node as its parent with edges directed parent → child.
+///
+/// # Panics
+///
+/// Panics if `num_roots == 0` or `num_roots > num_jobs`.
+#[must_use]
+pub fn random_out_forest(num_jobs: usize, num_roots: usize, seed: u64) -> Dag {
+    assert!(num_roots > 0 && num_roots <= num_jobs);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for v in num_roots..num_jobs {
+        let parent = rng.gen_range(0..v);
+        edges.push((parent, v));
+    }
+    Dag::from_edges(num_jobs, edges).expect("forest construction is acyclic")
+}
+
+/// A random in-forest: the reverse of a random out-forest (edges directed
+/// child → parent, i.e. every job has at most one successor).
+#[must_use]
+pub fn random_in_forest(num_jobs: usize, num_roots: usize, seed: u64) -> Dag {
+    random_out_forest(num_jobs, num_roots, seed).reversed()
+}
+
+/// A random directed forest: the underlying undirected graph is a forest with
+/// `num_roots` trees, and each edge's orientation is chosen uniformly at
+/// random. This is the general class of Theorem 4.7.
+///
+/// # Panics
+///
+/// Panics if `num_roots == 0` or `num_roots > num_jobs`.
+#[must_use]
+pub fn random_directed_forest(num_jobs: usize, num_roots: usize, seed: u64) -> Dag {
+    assert!(num_roots > 0 && num_roots <= num_jobs);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for v in num_roots..num_jobs {
+        let neighbour = rng.gen_range(0..v);
+        if rng.gen_bool(0.5) {
+            edges.push((neighbour, v));
+        } else {
+            edges.push((v, neighbour));
+        }
+    }
+    Dag::from_edges(num_jobs, edges).expect("orienting a forest never creates a cycle")
+}
+
+/// A random layered DAG (outside the paper's special classes; used to test
+/// behaviour on general DAGs and for the width/decomposition utilities).
+/// Jobs are split into `layers` layers; each job in layer `k > 0` receives
+/// edges from a random subset of layer `k − 1` with density `edge_prob`.
+///
+/// # Panics
+///
+/// Panics if `layers == 0` or `layers > num_jobs` or `edge_prob ∉ [0, 1]`.
+#[must_use]
+pub fn random_layered_dag(num_jobs: usize, layers: usize, edge_prob: f64, seed: u64) -> Dag {
+    assert!(layers > 0 && layers <= num_jobs);
+    assert!((0.0..=1.0).contains(&edge_prob));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Assign jobs to layers round-robin so every layer is non-empty.
+    let layer_of: Vec<usize> = (0..num_jobs).map(|j| j % layers).collect();
+    let mut by_layer: Vec<Vec<usize>> = vec![Vec::new(); layers];
+    for (j, &l) in layer_of.iter().enumerate() {
+        by_layer[l].push(j);
+    }
+    let mut edges = Vec::new();
+    for l in 1..layers {
+        for &v in &by_layer[l] {
+            let mut has_parent = false;
+            for &u in &by_layer[l - 1] {
+                if rng.gen_bool(edge_prob) {
+                    edges.push((u, v));
+                    has_parent = true;
+                }
+            }
+            if !has_parent && !by_layer[l - 1].is_empty() {
+                let u = by_layer[l - 1][rng.gen_range(0..by_layer[l - 1].len())];
+                edges.push((u, v));
+            }
+        }
+    }
+    Dag::from_edges(num_jobs, edges).expect("layered construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_graph::forest::{classify, is_in_forest, is_out_forest, is_underlying_forest};
+    use suu_graph::{ChainSet, ForestKind};
+
+    #[test]
+    fn random_chains_partition_all_jobs() {
+        let dag = random_chains(20, 4, 1);
+        let cs = ChainSet::from_dag(&dag).expect("chain DAG");
+        assert_eq!(cs.num_chains(), 4);
+        assert_eq!(cs.num_nodes(), 20);
+        assert_eq!(cs.max_chain_len(), 5);
+    }
+
+    #[test]
+    fn random_chains_single_chain_and_singletons() {
+        let single = random_chains(5, 1, 2);
+        assert_eq!(ChainSet::from_dag(&single).unwrap().num_chains(), 1);
+        let singles = random_chains(5, 5, 2);
+        assert_eq!(singles.num_edges(), 0);
+    }
+
+    #[test]
+    fn random_out_forest_is_out_forest() {
+        for seed in 0..5 {
+            let dag = random_out_forest(30, 3, seed);
+            assert!(is_out_forest(&dag));
+            assert!(is_underlying_forest(&dag));
+            assert_eq!(dag.num_edges(), 27);
+        }
+    }
+
+    #[test]
+    fn random_in_forest_is_in_forest() {
+        for seed in 0..5 {
+            let dag = random_in_forest(30, 3, seed);
+            assert!(is_in_forest(&dag));
+            assert!(is_underlying_forest(&dag));
+        }
+    }
+
+    #[test]
+    fn random_directed_forest_has_forest_underlying_graph() {
+        for seed in 0..10 {
+            let dag = random_directed_forest(40, 2, seed);
+            assert!(is_underlying_forest(&dag));
+            assert_eq!(dag.num_edges(), 38);
+        }
+    }
+
+    #[test]
+    fn layered_dag_every_non_source_layer_has_parents() {
+        let dag = random_layered_dag(30, 5, 0.3, 9);
+        for v in 0..30 {
+            if v % 5 != 0 {
+                assert!(dag.in_degree(v) >= 1, "node {v} should have a parent");
+            }
+        }
+        assert!(classify(&dag) != ForestKind::Independent);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(random_chains(12, 3, 5), random_chains(12, 3, 5));
+        assert_eq!(random_out_forest(12, 2, 5), random_out_forest(12, 2, 5));
+        assert_eq!(
+            random_directed_forest(12, 2, 5),
+            random_directed_forest(12, 2, 5)
+        );
+        assert_ne!(random_out_forest(12, 2, 5), random_out_forest(12, 2, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "more chains")]
+    fn too_many_chains_panics() {
+        let _ = random_chains(3, 4, 0);
+    }
+}

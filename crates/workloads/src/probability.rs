@@ -1,0 +1,278 @@
+//! Generators for the success-probability matrix `p_ij`.
+//!
+//! Every generator returns a row-major `machines × jobs` matrix in which every
+//! job has at least one machine with positive success probability, so the
+//! resulting [`SuuInstance`](suu_core::SuuInstance) always validates.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A named probability-matrix model, used by the experiment harness to sweep
+/// over workload shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbabilityModel {
+    /// Every entry uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound of the entries.
+        lo: f64,
+        /// Upper bound of the entries.
+        hi: f64,
+    },
+    /// Each (machine, job) pair is "good" with probability `good_fraction`
+    /// (probability drawn near `good`), otherwise "bad" (near `bad`).
+    Bimodal {
+        /// Success probability of a good pairing.
+        good: f64,
+        /// Success probability of a bad pairing.
+        bad: f64,
+        /// Fraction of pairings that are good.
+        good_fraction: f64,
+    },
+    /// Machines have speeds, jobs have difficulties, and
+    /// `p_ij = clamp(speed_i · (1 − difficulty_j))`.
+    Skill,
+    /// Uniform entries but each entry is zero with probability `sparsity`.
+    SparseUniform {
+        /// Lower bound of the non-zero entries.
+        lo: f64,
+        /// Upper bound of the non-zero entries.
+        hi: f64,
+        /// Probability that an entry is zero.
+        sparsity: f64,
+    },
+}
+
+impl ProbabilityModel {
+    /// Generates a matrix for this model.
+    #[must_use]
+    pub fn generate(&self, num_jobs: usize, num_machines: usize, seed: u64) -> Vec<f64> {
+        match *self {
+            Self::Uniform { lo, hi } => uniform_matrix(num_jobs, num_machines, lo, hi, seed),
+            Self::Bimodal {
+                good,
+                bad,
+                good_fraction,
+            } => bimodal_matrix(num_jobs, num_machines, good, bad, good_fraction, seed),
+            Self::Skill => skill_matrix(num_jobs, num_machines, seed),
+            Self::SparseUniform { lo, hi, sparsity } => {
+                sparse_uniform_matrix(num_jobs, num_machines, lo, hi, sparsity, seed)
+            }
+        }
+    }
+}
+
+/// Uniform entries in `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if the bounds are not `0 ≤ lo ≤ hi ≤ 1` or `hi == 0`.
+#[must_use]
+pub fn uniform_matrix(
+    num_jobs: usize,
+    num_machines: usize,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi);
+    assert!(hi > 0.0, "hi must be positive so jobs are schedulable");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut probs = vec![0.0; num_jobs * num_machines];
+    for p in &mut probs {
+        *p = rng.gen_range(lo..=hi);
+    }
+    ensure_schedulable(&mut probs, num_jobs, num_machines, &mut rng, lo.max(0.05), hi);
+    probs
+}
+
+/// Bimodal entries: good pairings near `good`, bad pairings near `bad`.
+///
+/// # Panics
+///
+/// Panics if `good` or `bad` is outside `(0, 1]`/`[0, 1]`, or
+/// `good_fraction` is outside `[0, 1]`.
+#[must_use]
+pub fn bimodal_matrix(
+    num_jobs: usize,
+    num_machines: usize,
+    good: f64,
+    bad: f64,
+    good_fraction: f64,
+    seed: u64,
+) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&bad));
+    assert!(good > 0.0 && good <= 1.0);
+    assert!((0.0..=1.0).contains(&good_fraction));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut probs = vec![0.0; num_jobs * num_machines];
+    for p in &mut probs {
+        let base = if rng.gen_bool(good_fraction) { good } else { bad };
+        // Jitter by ±10% to avoid exactly tied probabilities.
+        let jitter = rng.gen_range(0.9..=1.1);
+        *p = (base * jitter).clamp(0.0, 1.0);
+    }
+    ensure_schedulable(&mut probs, num_jobs, num_machines, &mut rng, good * 0.9, good);
+    probs
+}
+
+/// Skill model: machine speeds in `[0.2, 1.0]`, job difficulties in
+/// `[0.0, 0.8]`, `p_ij = speed_i · (1 − difficulty_j)` clamped to `[0.02, 1]`.
+#[must_use]
+pub fn skill_matrix(num_jobs: usize, num_machines: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let speeds: Vec<f64> = (0..num_machines).map(|_| rng.gen_range(0.2..=1.0)).collect();
+    let difficulty: Vec<f64> = (0..num_jobs).map(|_| rng.gen_range(0.0..=0.8)).collect();
+    let mut probs = vec![0.0; num_jobs * num_machines];
+    for i in 0..num_machines {
+        for j in 0..num_jobs {
+            probs[i * num_jobs + j] = (speeds[i] * (1.0 - difficulty[j])).clamp(0.02, 1.0);
+        }
+    }
+    probs
+}
+
+/// Uniform entries with a `sparsity` chance of being zero; every job keeps at
+/// least one positive entry.
+///
+/// # Panics
+///
+/// Panics on invalid bounds (see [`uniform_matrix`]) or `sparsity ∉ [0, 1)`.
+#[must_use]
+pub fn sparse_uniform_matrix(
+    num_jobs: usize,
+    num_machines: usize,
+    lo: f64,
+    hi: f64,
+    sparsity: f64,
+    seed: u64,
+) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+    assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0 && hi > 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut probs = vec![0.0; num_jobs * num_machines];
+    for p in &mut probs {
+        if !rng.gen_bool(sparsity) {
+            *p = rng.gen_range(lo.max(1e-3)..=hi);
+        }
+    }
+    ensure_schedulable(&mut probs, num_jobs, num_machines, &mut rng, lo.max(0.05), hi);
+    probs
+}
+
+/// Guarantees that every job has at least one machine with positive
+/// probability by assigning a random machine a probability in `[lo, hi]` where
+/// needed.
+fn ensure_schedulable(
+    probs: &mut [f64],
+    num_jobs: usize,
+    num_machines: usize,
+    rng: &mut impl Rng,
+    lo: f64,
+    hi: f64,
+) {
+    for j in 0..num_jobs {
+        let has_positive = (0..num_machines).any(|i| probs[i * num_jobs + j] > 0.0);
+        if !has_positive {
+            let i = rng.gen_range(0..num_machines);
+            probs[i * num_jobs + j] = rng.gen_range(lo.min(hi).max(1e-3)..=hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_job_schedulable(probs: &[f64], num_jobs: usize, num_machines: usize) -> bool {
+        (0..num_jobs).all(|j| (0..num_machines).any(|i| probs[i * num_jobs + j] > 0.0))
+    }
+
+    fn all_in_unit_interval(probs: &[f64]) -> bool {
+        probs.iter().all(|p| (0.0..=1.0).contains(p))
+    }
+
+    #[test]
+    fn uniform_matrix_is_valid_and_deterministic() {
+        let a = uniform_matrix(10, 4, 0.1, 0.9, 7);
+        let b = uniform_matrix(10, 4, 0.1, 0.9, 7);
+        let c = uniform_matrix(10, 4, 0.1, 0.9, 8);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(all_in_unit_interval(&a));
+        assert!(every_job_schedulable(&a, 10, 4));
+        assert!(a.iter().all(|&p| (0.1..=0.9).contains(&p)));
+    }
+
+    #[test]
+    fn bimodal_matrix_has_two_modes() {
+        let m = bimodal_matrix(50, 10, 0.9, 0.05, 0.3, 3);
+        assert!(all_in_unit_interval(&m));
+        assert!(every_job_schedulable(&m, 50, 10));
+        let high = m.iter().filter(|&&p| p > 0.5).count();
+        let low = m.iter().filter(|&&p| p <= 0.5).count();
+        assert!(high > 0 && low > 0, "expected both modes to appear");
+        assert!(low > high, "bad pairings should dominate at 30% good");
+    }
+
+    #[test]
+    fn skill_matrix_orders_jobs_consistently_per_machine() {
+        let m = skill_matrix(6, 3, 11);
+        assert!(all_in_unit_interval(&m));
+        assert!(every_job_schedulable(&m, 6, 3));
+        // Within a machine row, relative order of jobs follows difficulty, so
+        // the ordering of any two jobs is the same across machines.
+        for j1 in 0..6 {
+            for j2 in 0..6 {
+                let cmp0 = m[j1] >= m[j2];
+                for i in 1..3 {
+                    let cmp = m[i * 6 + j1] >= m[i * 6 + j2];
+                    assert_eq!(cmp0, cmp, "jobs {j1},{j2} machine {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_matrix_has_zeros_but_every_job_schedulable() {
+        let m = sparse_uniform_matrix(30, 8, 0.2, 0.8, 0.7, 5);
+        assert!(every_job_schedulable(&m, 30, 8));
+        let zeros = m.iter().filter(|&&p| p == 0.0).count();
+        assert!(zeros > 0, "expected some zero entries at 70% sparsity");
+    }
+
+    #[test]
+    fn probability_model_dispatches() {
+        let u = ProbabilityModel::Uniform { lo: 0.2, hi: 0.8 }.generate(4, 2, 1);
+        let b = ProbabilityModel::Bimodal {
+            good: 0.9,
+            bad: 0.1,
+            good_fraction: 0.5,
+        }
+        .generate(4, 2, 1);
+        let s = ProbabilityModel::Skill.generate(4, 2, 1);
+        let sp = ProbabilityModel::SparseUniform {
+            lo: 0.2,
+            hi: 0.8,
+            sparsity: 0.5,
+        }
+        .generate(4, 2, 1);
+        for m in [u, b, s, sp] {
+            assert_eq!(m.len(), 8);
+            assert!(every_job_schedulable(&m, 4, 2));
+            assert!(all_in_unit_interval(&m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn sparse_matrix_rejects_full_sparsity() {
+        let _ = sparse_uniform_matrix(2, 2, 0.1, 0.5, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_matrix_rejects_bad_bounds() {
+        let _ = uniform_matrix(2, 2, 0.9, 0.1, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Ready-made instances reproducing the paper's motivating scenarios.
+//!
+//! §1 of the paper motivates SUU with two applications:
+//!
+//! * **Grid computing** — a geographically distributed collection of
+//!   computers co-operating on a task decomposed into dependent jobs, where a
+//!   machine "may not successfully execute the assigned job on time" because
+//!   of failures or slowness.
+//! * **Project management** — a project broken into dependent tasks, staffed
+//!   by workers whose chance of finishing a given task on time depends on
+//!   their skills; several workers may be put on a critical task at once.
+//!
+//! These builders assemble full [`SuuInstance`]s for both stories by combining
+//! the probability models of [`crate::probability`] with the DAG generators of
+//! [`crate::precedence`].
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use suu_core::SuuInstance;
+use suu_graph::Dag;
+
+use crate::precedence::{random_directed_forest, random_out_forest};
+use crate::probability::{bimodal_matrix, skill_matrix};
+
+/// Configuration of a grid-computing workload.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Number of jobs the task is split into.
+    pub num_jobs: usize,
+    /// Number of compute nodes.
+    pub num_machines: usize,
+    /// Number of independent task roots (e.g. separate user submissions).
+    pub num_task_roots: usize,
+    /// Fraction of (node, job) pairings that are reliable.
+    pub reliable_fraction: f64,
+    /// Per-step success probability of a reliable pairing.
+    pub reliable_prob: f64,
+    /// Per-step success probability of a flaky pairing.
+    pub flaky_prob: f64,
+    /// Seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self {
+            num_jobs: 40,
+            num_machines: 12,
+            num_task_roots: 4,
+            reliable_fraction: 0.3,
+            reliable_prob: 0.85,
+            flaky_prob: 0.1,
+            seed: 0x61d,
+        }
+    }
+}
+
+/// Builds a grid-computing instance: a fork-join style out-forest of tasks
+/// executed on a bimodally reliable cluster.
+#[must_use]
+pub fn grid_computing_instance(config: &GridConfig) -> SuuInstance {
+    let probs = bimodal_matrix(
+        config.num_jobs,
+        config.num_machines,
+        config.reliable_prob,
+        config.flaky_prob,
+        config.reliable_fraction,
+        config.seed,
+    );
+    let dag = random_out_forest(
+        config.num_jobs,
+        config.num_task_roots.clamp(1, config.num_jobs),
+        config.seed ^ 0x9e37_79b9,
+    );
+    SuuInstance::new(config.num_jobs, config.num_machines, probs, dag)
+        .expect("generated grid instance is valid")
+}
+
+/// Configuration of a project-management workload.
+#[derive(Debug, Clone)]
+pub struct ProjectConfig {
+    /// Number of tasks in the project plan.
+    pub num_tasks: usize,
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Number of independent work streams (connected components of the plan).
+    pub num_streams: usize,
+    /// Seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for ProjectConfig {
+    fn default() -> Self {
+        Self {
+            num_tasks: 30,
+            num_workers: 8,
+            num_streams: 3,
+            seed: 0x90,
+        }
+    }
+}
+
+/// Builds a project-management instance: a directed forest of task
+/// dependencies (documents feed into reviews, reviews feed into sign-offs,
+/// some tasks fan out to several dependents and some collect several inputs)
+/// staffed by workers whose success probabilities follow the skill model.
+#[must_use]
+pub fn project_management_instance(config: &ProjectConfig) -> SuuInstance {
+    let probs = skill_matrix(config.num_tasks, config.num_workers, config.seed);
+    let dag = random_directed_forest(
+        config.num_tasks,
+        config.num_streams.clamp(1, config.num_tasks),
+        config.seed ^ 0x51_7e,
+    );
+    SuuInstance::new(config.num_tasks, config.num_workers, probs, dag)
+        .expect("generated project instance is valid")
+}
+
+/// The 3-job example sketched in Figure 1 of the paper: three jobs, two
+/// machines, no precedence constraints, with asymmetric success
+/// probabilities. Used by the `execution_tree` example and by tests of the
+/// exact Markov evaluation.
+#[must_use]
+pub fn figure1_instance() -> SuuInstance {
+    // Probabilities chosen so that transitions out of the full state {1,2,3}
+    // have a spread of probabilities as in the figure's illustration.
+    let probs = vec![
+        // machine 0 over jobs 0,1,2
+        0.6, 0.3, 0.2, // machine 1 over jobs 0,1,2
+        0.1, 0.5, 0.4,
+    ];
+    SuuInstance::new(3, 2, probs, Dag::independent(3)).expect("figure-1 instance is valid")
+}
+
+/// A tiny adversarial instance where greedy "use the best machine only"
+/// scheduling is noticeably sub-optimal: one bottleneck machine is good at
+/// every job, the others are mediocre specialists. Used in unit tests and the
+/// quickstart example.
+#[must_use]
+pub fn bottleneck_instance(num_jobs: usize, num_machines: usize, seed: u64) -> SuuInstance {
+    assert!(num_machines >= 2, "bottleneck instance needs ≥ 2 machines");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut probs = vec![0.0; num_jobs * num_machines];
+    for j in 0..num_jobs {
+        probs[j] = 0.9; // machine 0 is good at everything
+    }
+    for i in 1..num_machines {
+        for j in 0..num_jobs {
+            // Each other machine is mediocre at a few jobs.
+            probs[i * num_jobs + j] = if rng.gen_bool(0.4) {
+                rng.gen_range(0.2..0.5)
+            } else {
+                0.05
+            };
+        }
+    }
+    SuuInstance::new(num_jobs, num_machines, probs, Dag::independent(num_jobs))
+        .expect("bottleneck instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_graph::ForestKind;
+
+    #[test]
+    fn grid_instance_is_valid_and_forest_structured() {
+        let inst = grid_computing_instance(&GridConfig::default());
+        assert_eq!(inst.num_jobs(), 40);
+        assert_eq!(inst.num_machines(), 12);
+        assert!(matches!(
+            inst.forest_kind(),
+            ForestKind::OutForest | ForestKind::DisjointChains | ForestKind::Independent
+        ));
+    }
+
+    #[test]
+    fn project_instance_is_valid_directed_forest() {
+        let inst = project_management_instance(&ProjectConfig::default());
+        assert_eq!(inst.num_jobs(), 30);
+        assert_eq!(inst.num_machines(), 8);
+        assert!(inst.forest_kind() != ForestKind::GeneralDag);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = grid_computing_instance(&GridConfig::default());
+        let b = grid_computing_instance(&GridConfig::default());
+        assert_eq!(a, b);
+        let c = grid_computing_instance(&GridConfig {
+            seed: 123,
+            ..GridConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn figure1_instance_matches_the_paper_shape() {
+        let inst = figure1_instance();
+        assert_eq!(inst.num_jobs(), 3);
+        assert_eq!(inst.num_machines(), 2);
+        assert!(inst.is_independent());
+    }
+
+    #[test]
+    fn bottleneck_instance_has_a_dominant_machine() {
+        let inst = bottleneck_instance(6, 4, 1);
+        for j in inst.jobs() {
+            assert!(inst.prob(suu_core::MachineId(0), j) >= 0.9 - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 machines")]
+    fn bottleneck_requires_two_machines() {
+        let _ = bottleneck_instance(3, 1, 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Reproduces Figure 1 of the paper: the Markov-chain / execution-tree view
+//! of running a schedule on a 3-job instance.
+//!
+//! The left-hand side of Figure 1 is the Markov chain of a regimen (states =
+//! sets of unfinished jobs); the right-hand side is the execution tree of one
+//! run. This example prints both: the exact state expectations computed by
+//! the Markov solver, and a handful of traced executions.
+//!
+//! ```text
+//! cargo run --release --example execution_tree
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use suu::prelude::*;
+use suu::sim::executor::simulate_traced;
+
+fn main() {
+    let instance = figure1_instance();
+    println!(
+        "Figure-1 style instance: {} jobs, {} machines, independent jobs\n",
+        instance.num_jobs(),
+        instance.num_machines()
+    );
+
+    // The optimal regimen (computable exactly at this size) and its Markov
+    // chain: expected remaining makespan for every state.
+    let optimal = optimal_regimen(&instance).expect("tiny instance");
+    println!("Markov chain of the optimal regimen (expected remaining steps per state):");
+    for mask in (0u32..8).rev() {
+        let members: Vec<JobId> = (0..3).filter(|j| mask & (1 << j) != 0).map(JobId).collect();
+        let set = JobSet::from_members(3, members.clone());
+        let labels: Vec<String> = members.iter().map(|j| (j.0 + 1).to_string()).collect();
+        println!(
+            "  state {{{}}}: E[remaining] = {:.3}",
+            labels.join(","),
+            optimal.expected_from(&set)
+        );
+    }
+    println!(
+        "\noptimal expected makespan: {:.3}\n",
+        optimal.expected_makespan()
+    );
+
+    // A few traced executions of the optimal regimen - paths in the execution
+    // tree of Figure 1 (right).
+    println!("sample executions (paths of the execution tree):");
+    for seed in 0..3u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut policy = optimal.policy();
+        let (steps, trace) = simulate_traced(&instance, &mut policy, &mut rng, 1_000);
+        println!(
+            "--- execution with seed {seed} (makespan {}):",
+            steps.expect("tiny instance always finishes")
+        );
+        print!("{}", trace.render());
+    }
+
+    // Compare with an oblivious schedule evaluated exactly on the same chain.
+    let oblivious = suu_i_oblivious(&instance).expect("independent jobs");
+    let exact = exact_expected_makespan_oblivious_cyclic(&instance, &oblivious.schedule);
+    println!(
+        "\noblivious schedule (Thm 3.6) exact expected makespan: {exact:.3} \
+         ({:.2}x of the optimum)",
+        exact / optimal.expected_makespan()
+    );
+}

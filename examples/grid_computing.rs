@@ -1,0 +1,81 @@
+//! Grid computing scenario from §1 of the paper: a task DAG executed on a
+//! cluster of unreliable, heterogeneous compute nodes.
+//!
+//! The dependency structure is an out-forest (task decompositions fanning
+//! out), so Theorem 4.8's algorithm applies. The example compares it with the
+//! greedy baseline and reports the structure diagnostics of the pipeline.
+//!
+//! ```text
+//! cargo run --release --example grid_computing
+//! ```
+
+use suu::prelude::*;
+
+fn main() {
+    let config = GridConfig {
+        num_jobs: 36,
+        num_machines: 10,
+        num_task_roots: 3,
+        reliable_fraction: 0.25,
+        reliable_prob: 0.9,
+        flaky_prob: 0.08,
+        seed: 2024,
+    };
+    let instance = grid_computing_instance(&config);
+    println!(
+        "grid workload: {} jobs, {} machines, dependency class {:?}, width {}",
+        instance.num_jobs(),
+        instance.num_machines(),
+        instance.forest_kind(),
+        suu::graph::width(instance.precedence()),
+    );
+
+    // The forest pipeline (Theorems 4.7 / 4.8).
+    let forest = schedule_forest(&instance).expect("forest-structured workload");
+    println!(
+        "chain decomposition: {} blocks (Lemma 4.6 bound: {})",
+        forest.num_blocks,
+        ChainDecomposition::width_bound(instance.num_jobs())
+    );
+    for (i, block) in forest.block_stats.iter().enumerate() {
+        println!(
+            "  block {i}: {} jobs, LP optimum {:.2}, delay congestion {}",
+            block.jobs, block.lp_value, block.congestion
+        );
+    }
+
+    let simulator = Simulator::new(SimulationOptions {
+        trials: 200,
+        max_steps: 2_000_000,
+        base_seed: 11,
+    });
+    let forest_est = simulator.estimate(&instance, || forest.schedule.clone());
+    let adaptive_est =
+        simulator.estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()));
+    let greedy_est = simulator.estimate(&instance, || GreedyRatePolicy::new(instance.clone()));
+    let lower = combined_lower_bound(&instance);
+
+    println!();
+    println!("certified lower bound on T_OPT : {lower:8.2}");
+    println!(
+        "forest algorithm (oblivious)   : {:8.2} ({:.2}x)",
+        forest_est.mean(),
+        forest_est.mean() / lower
+    );
+    println!(
+        "greedy mass policy (adaptive)  : {:8.2} ({:.2}x)",
+        adaptive_est.mean(),
+        adaptive_est.mean() / lower
+    );
+    println!(
+        "greedy best-rate baseline      : {:8.2} ({:.2}x)",
+        greedy_est.mean(),
+        greedy_est.mean() / lower
+    );
+    println!();
+    println!(
+        "The oblivious schedule can be distributed to the grid up front: it needs\n\
+         no runtime coordination, only the step counter, which is the practical\n\
+         appeal of oblivious schedules discussed in §2.1 of the paper."
+    );
+}

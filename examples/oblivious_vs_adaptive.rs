@@ -1,0 +1,48 @@
+//! Oblivious versus adaptive scheduling: the trade-off discussed in §2.1.
+//!
+//! Adaptive schedules (regimens) may react to which jobs happen to finish;
+//! oblivious schedules fix the whole assignment sequence in advance. The
+//! paper's independent-jobs results quantify the cost of obliviousness:
+//! `O(log n)` adaptive (Theorem 3.3) versus `O(log n · log min(n,m))`
+//! oblivious (Theorem 4.5). This example measures that gap on a sweep of
+//! instance sizes.
+//!
+//! ```text
+//! cargo run --release --example oblivious_vs_adaptive
+//! ```
+
+use suu::prelude::*;
+
+fn main() {
+    println!("n      m   lower-bound  adaptive(3.3)  oblivious-comb(3.6)  oblivious-LP(4.5)");
+    for &(n, m) in &[(6usize, 3usize), (10, 3), (14, 5), (20, 6), (28, 8)] {
+        let instance = InstanceBuilder::new(n, m)
+            .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, (n * 31 + m) as u64))
+            .build()
+            .expect("valid instance");
+        let simulator = Simulator::new(SimulationOptions {
+            trials: 200,
+            max_steps: 1_000_000,
+            base_seed: 5,
+        });
+
+        let lower = combined_lower_bound(&instance);
+        let adaptive = simulator
+            .estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()))
+            .mean();
+        let comb = suu_i_oblivious(&instance).expect("independent");
+        let comb_mean = simulator.estimate(&instance, || comb.schedule.clone()).mean();
+        let lp = schedule_independent_lp(&instance).expect("independent");
+        let lp_mean = simulator.estimate(&instance, || lp.schedule.clone()).mean();
+
+        println!(
+            "{n:<6} {m:<3} {lower:>10.2}  {adaptive:>12.2}  {comb_mean:>18.2}  {lp_mean:>16.2}"
+        );
+    }
+    println!();
+    println!(
+        "Adaptivity helps, but the oblivious schedules stay within the predicted\n\
+         polylogarithmic factors of the lower bound - the price paid for a schedule\n\
+         that can be fixed entirely in advance."
+    );
+}

@@ -1,0 +1,73 @@
+//! Project-management scenario from §1 of the paper: dependent tasks staffed
+//! by workers of varying skill, where several workers can be put on a
+//! critical task simultaneously to reduce the chance of delay.
+//!
+//! The dependency structure is a general directed forest (some tasks fan out
+//! to several dependents, some collect several inputs), so Theorem 4.7's
+//! algorithm applies.
+//!
+//! ```text
+//! cargo run --release --example project_management
+//! ```
+
+use suu::prelude::*;
+
+fn main() {
+    let config = ProjectConfig {
+        num_tasks: 28,
+        num_workers: 7,
+        num_streams: 2,
+        seed: 7,
+    };
+    let instance = project_management_instance(&config);
+
+    println!(
+        "project plan: {} tasks, {} workers, dependency class {:?}",
+        instance.num_jobs(),
+        instance.num_machines(),
+        instance.forest_kind()
+    );
+    println!(
+        "critical path length: {} tasks",
+        instance.precedence().longest_path_len() + 1
+    );
+
+    let forest = schedule_forest(&instance).expect("forest-structured plan");
+    let simulator = Simulator::new(SimulationOptions {
+        trials: 200,
+        max_steps: 2_000_000,
+        base_seed: 3,
+    });
+
+    let plan_est = simulator.estimate(&instance, || forest.schedule.clone());
+    let adaptive_est =
+        simulator.estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()));
+    let single_staff_est =
+        simulator.estimate(&instance, || GreedyRatePolicy::new(instance.clone()));
+    let lower = combined_lower_bound(&instance);
+
+    println!();
+    println!("expected completion time (in work periods):");
+    println!("  certified lower bound            : {lower:8.2}");
+    println!(
+        "  paper's oblivious plan (Thm 4.7) : {:8.2} ({:.2}x of bound)",
+        plan_est.mean(),
+        plan_est.mean() / lower
+    );
+    println!(
+        "  adaptive mass-greedy staffing    : {:8.2} ({:.2}x of bound)",
+        adaptive_est.mean(),
+        adaptive_est.mean() / lower
+    );
+    println!(
+        "  every worker on their best task  : {:8.2} ({:.2}x of bound)",
+        single_staff_est.mean(),
+        single_staff_est.mean() / lower
+    );
+    println!();
+    println!(
+        "An oblivious plan fixes in advance which workers staff which task in\n\
+         which week - exactly the kind of plan a project manager can publish -\n\
+         at a provably bounded cost over the clairvoyant optimum."
+    );
+}

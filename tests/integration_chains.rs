@@ -1,0 +1,147 @@
+//! Integration tests for the disjoint-chains pipeline (Theorem 4.4): LP →
+//! rounding → pseudo-schedule → delays → replication, end to end.
+
+use suu::prelude::*;
+use suu::core::mass::mass_of_oblivious;
+
+fn chain_instance(n: usize, m: usize, chains: usize, seed: u64) -> SuuInstance {
+    InstanceBuilder::new(n, m)
+        .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed))
+        .precedence(random_chains(n, chains, seed))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn chain_schedule_execution_respects_precedence_and_finishes() {
+    let instance = chain_instance(15, 5, 4, 1);
+    let result = schedule_chains(&instance).unwrap();
+    let sim = Simulator::new(SimulationOptions {
+        trials: 60,
+        max_steps: 1_000_000,
+        base_seed: 2,
+    });
+    let schedule = result.schedule.clone();
+    let est = sim.estimate(&instance, move || schedule.clone());
+    assert_eq!(est.censored, 0);
+    assert!(est.mean() >= critical_path_bound(&instance));
+}
+
+#[test]
+fn chain_schedule_is_within_polylog_envelope_of_optimum_on_small_instances() {
+    // Small enough for the exact DP: 6 jobs in 2 chains, 2 machines. The
+    // end-to-end factor of Theorem 4.4 splits into (a) the length of the
+    // constant-mass schedule Σ_{o,1} relative to T^OPT — the O(log m ·
+    // log(n+m)/loglog(n+m)) part — and (b) the replication factor σ = Θ(log n).
+    // We check (a) against a generous constant envelope and (b) exactly, plus
+    // that the expected makespan never exceeds ~one pass of the schedule.
+    for seed in 0..3u64 {
+        let instance = chain_instance(6, 2, 2, seed + 5);
+        let opt = optimal_expected_makespan(&instance).unwrap();
+        let result = schedule_chains(&instance).unwrap();
+        let exact = exact_expected_makespan_oblivious_cyclic(&instance, &result.schedule);
+        assert!(exact >= opt - 1e-9);
+        assert!(
+            (result.constant_mass_schedule.len() as f64) <= 300.0 * opt,
+            "seed {seed}: constant-mass length {} vs optimum {opt}",
+            result.constant_mass_schedule.len()
+        );
+        assert_eq!(
+            result.schedule.len(),
+            result.constant_mass_schedule.len() * result.sigma + instance.num_jobs()
+        );
+        assert!(
+            exact <= 1.2 * result.schedule.len() as f64,
+            "seed {seed}: makespan {exact} exceeds one pass of length {}",
+            result.schedule.len()
+        );
+    }
+}
+
+#[test]
+fn lp_value_respects_lemma_4_2_bound() {
+    // Lemma 4.2: T* ≤ 16 · T^OPT. Verify against the exact optimum.
+    for seed in 0..3u64 {
+        let instance = chain_instance(6, 2, 3, seed + 11);
+        let chains = ChainSet::from_dag(instance.precedence()).unwrap();
+        let frac = solve_lp1(&instance, &chains).unwrap();
+        let opt = optimal_expected_makespan(&instance).unwrap();
+        assert!(
+            frac.t <= 16.0 * opt + 1e-6,
+            "seed {seed}: T* = {} vs 16·T_OPT = {}",
+            frac.t,
+            16.0 * opt
+        );
+    }
+}
+
+#[test]
+fn constant_mass_schedule_never_schedules_job_before_chain_predecessor_mass() {
+    let instance = chain_instance(12, 4, 3, 17);
+    let chains = ChainSet::from_dag(instance.precedence()).unwrap();
+    let result = schedule_chains(&instance).unwrap();
+    let schedule = &result.constant_mass_schedule;
+
+    // For every chain edge (a ≺ b): the first step where b is worked must be
+    // at or after the step where a reaches mass 1/2 in the constant-mass
+    // schedule.
+    for chain in chains.chains() {
+        for pair in chain.windows(2) {
+            let (a, b) = (JobId(pair[0]), JobId(pair[1]));
+            let a_done = suu::core::mass::first_step_reaching_mass(&instance, schedule, a, 0.5);
+            let b_start = (0..schedule.len())
+                .find(|&t| !schedule.step(t).machines_on(b).is_empty());
+            if let (Some(a_done), Some(b_start)) = (a_done, b_start) {
+                assert!(
+                    b_start + 1 >= a_done,
+                    "job {b} starts at step {} before {a} accumulates 1/2 mass at step {}",
+                    b_start + 1,
+                    a_done
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_job_holds_half_mass_in_constant_mass_schedule() {
+    for (n, m, k, seed) in [(10usize, 3usize, 2usize, 3u64), (16, 5, 4, 4), (9, 2, 3, 5)] {
+        let instance = chain_instance(n, m, k, seed);
+        let result = schedule_chains(&instance).unwrap();
+        let mass = mass_of_oblivious(&instance, &result.constant_mass_schedule);
+        for j in instance.jobs() {
+            assert!(
+                mass.get(j) >= 0.5 - 1e-9,
+                "n={n} m={m} seed={seed}: job {j} has mass {}",
+                mass.get(j)
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_pipeline_exploits_parallelism_in_its_constant_mass_schedule() {
+    // The same jobs and chains scheduled on 1 machine versus 9 machines: the
+    // constant-mass schedule (the part whose length Theorem 4.4 charges to
+    // O(log m)·T*) must shrink substantially when parallelism is available,
+    // because the LP spreads chains across machines and the windows overlap.
+    let seed = 23;
+    let probs_one = uniform_matrix(18, 1, 0.1, 0.9, seed);
+    let one_machine = InstanceBuilder::new(18, 1)
+        .probability_matrix(probs_one)
+        .precedence(random_chains(18, 9, seed))
+        .build()
+        .unwrap();
+    let many_machines = chain_instance(18, 9, 9, seed);
+
+    let narrow = schedule_chains(&one_machine).unwrap();
+    let wide = schedule_chains(&many_machines).unwrap();
+    assert!(
+        wide.constant_mass_schedule.len() * 2 <= narrow.constant_mass_schedule.len(),
+        "9 machines ({} steps) should at least halve the 1-machine constant-mass length ({} steps)",
+        wide.constant_mass_schedule.len(),
+        narrow.constant_mass_schedule.len()
+    );
+    // And its LP optimum must not be larger.
+    assert!(wide.lp_value <= narrow.lp_value + 1e-6);
+}

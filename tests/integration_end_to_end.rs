@@ -1,0 +1,155 @@
+//! Cross-cutting end-to-end checks: algorithm selection by dependency class,
+//! determinism of the full pipelines, and agreement between the two
+//! evaluation methods (exact Markov analysis vs Monte-Carlo simulation).
+
+use suu::prelude::*;
+
+#[test]
+fn forest_kind_drives_which_algorithms_accept_an_instance() {
+    let independent = InstanceBuilder::new(4, 2)
+        .probability_matrix(uniform_matrix(4, 2, 0.2, 0.9, 1))
+        .build()
+        .unwrap();
+    assert_eq!(independent.forest_kind(), ForestKind::Independent);
+    assert!(suu_i_oblivious(&independent).is_ok());
+    assert!(schedule_independent_lp(&independent).is_ok());
+    assert!(schedule_chains(&independent).is_ok()); // singleton chains
+    assert!(schedule_forest(&independent).is_ok());
+
+    let chains = InstanceBuilder::new(4, 2)
+        .probability_matrix(uniform_matrix(4, 2, 0.2, 0.9, 2))
+        .precedence(random_chains(4, 2, 2))
+        .build()
+        .unwrap();
+    assert_eq!(chains.forest_kind(), ForestKind::DisjointChains);
+    assert!(suu_i_oblivious(&chains).is_err());
+    assert!(schedule_independent_lp(&chains).is_err());
+    assert!(schedule_chains(&chains).is_ok());
+    assert!(schedule_forest(&chains).is_ok());
+
+    let forest = InstanceBuilder::new(5, 2)
+        .probability_matrix(uniform_matrix(5, 2, 0.2, 0.9, 3))
+        .precedence(Dag::from_edges(5, [(0, 1), (2, 1), (1, 3), (1, 4)]).unwrap())
+        .build()
+        .unwrap();
+    assert_eq!(forest.forest_kind(), ForestKind::DirectedForest);
+    assert!(schedule_chains(&forest).is_err());
+    assert!(schedule_forest(&forest).is_ok());
+
+    let general = InstanceBuilder::new(4, 2)
+        .probability_matrix(uniform_matrix(4, 2, 0.2, 0.9, 4))
+        .precedence(Dag::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap())
+        .build()
+        .unwrap();
+    assert_eq!(general.forest_kind(), ForestKind::GeneralDag);
+    assert!(schedule_forest(&general).is_err());
+}
+
+#[test]
+fn pipelines_are_deterministic_given_seeds() {
+    let instance = InstanceBuilder::new(10, 3)
+        .probability_matrix(uniform_matrix(10, 3, 0.1, 0.9, 5))
+        .precedence(random_chains(10, 3, 5))
+        .build()
+        .unwrap();
+    let a = schedule_chains(&instance).unwrap();
+    let b = schedule_chains(&instance).unwrap();
+    assert_eq!(a.schedule, b.schedule);
+
+    let forest_instance = InstanceBuilder::new(10, 3)
+        .probability_matrix(uniform_matrix(10, 3, 0.1, 0.9, 6))
+        .precedence(random_directed_forest(10, 2, 6))
+        .build()
+        .unwrap();
+    let fa = schedule_forest(&forest_instance).unwrap();
+    let fb = schedule_forest(&forest_instance).unwrap();
+    assert_eq!(fa.schedule, fb.schedule);
+}
+
+#[test]
+fn exact_and_monte_carlo_evaluations_agree_on_oblivious_schedules() {
+    let instance = InstanceBuilder::new(5, 2)
+        .probability_matrix(uniform_matrix(5, 2, 0.3, 0.9, 7))
+        .build()
+        .unwrap();
+    let result = schedule_independent_lp(&instance).unwrap();
+    let exact = exact_expected_makespan_oblivious_cyclic(&instance, &result.schedule);
+    let sim = Simulator::new(SimulationOptions {
+        trials: 4000,
+        max_steps: 100_000,
+        base_seed: 3,
+    });
+    let schedule = result.schedule.clone();
+    let est = sim.estimate(&instance, move || schedule.clone());
+    assert_eq!(est.censored, 0);
+    let diff = (est.mean() - exact).abs();
+    assert!(
+        diff <= 4.0 * est.summary.std_error + 0.05,
+        "exact {exact} vs Monte-Carlo {} (diff {diff})",
+        est.mean()
+    );
+}
+
+#[test]
+fn optimal_regimen_beats_every_other_policy_we_implement() {
+    let instance = InstanceBuilder::new(5, 2)
+        .probability_matrix(uniform_matrix(5, 2, 0.2, 0.8, 9))
+        .precedence(random_chains(5, 2, 9))
+        .build()
+        .unwrap();
+    let opt = optimal_expected_makespan(&instance).unwrap();
+
+    let sim = Simulator::new(SimulationOptions {
+        trials: 600,
+        max_steps: 100_000,
+        base_seed: 11,
+    });
+    let candidates: Vec<(&str, f64)> = vec![
+        (
+            "adaptive",
+            sim.estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()))
+                .mean(),
+        ),
+        (
+            "greedy",
+            sim.estimate(&instance, || GreedyRatePolicy::new(instance.clone()))
+                .mean(),
+        ),
+        (
+            "round-robin",
+            sim.estimate(&instance, || RoundRobinPolicy::new(instance.clone()))
+                .mean(),
+        ),
+        (
+            "chains",
+            exact_expected_makespan_oblivious_cyclic(
+                &instance,
+                &schedule_chains(&instance).unwrap().schedule,
+            ),
+        ),
+    ];
+    for (name, value) in candidates {
+        assert!(
+            value >= opt * 0.95,
+            "{name} reported {value}, below the optimum {opt}"
+        );
+    }
+}
+
+#[test]
+fn figure1_instance_exact_optimum_matches_published_structure() {
+    // Not a number from the paper (Figure 1 is only an illustration), but the
+    // optimum must be finite, larger than the best single-job time and smaller
+    // than serialising all three jobs.
+    let instance = figure1_instance();
+    let opt = optimal_expected_makespan(&instance).unwrap();
+    assert!(opt.is_finite());
+    assert!(opt >= combined_lower_bound(&instance) - 1e-9);
+    let serial = suu::sim::exact_expected_makespan_regimen(&instance, |s: &JobSet| {
+        match s.iter().next() {
+            Some(j) => Assignment::all_on(2, j),
+            None => Assignment::idle(2),
+        }
+    });
+    assert!(opt <= serial + 1e-9);
+}

@@ -1,0 +1,135 @@
+//! Integration tests for the independent-jobs algorithms (§3 and Theorem 4.5):
+//! approximation ratios against the exact optimum on small instances, and
+//! consistency between the Monte-Carlo and exact evaluations.
+
+use suu::prelude::*;
+
+fn uniform_instance(n: usize, m: usize, seed: u64) -> SuuInstance {
+    InstanceBuilder::new(n, m)
+        .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed))
+        .build()
+        .unwrap()
+}
+
+/// The theoretical factor for these sizes is O(log n) for the adaptive policy;
+/// the constant below is a generous empirical envelope that still catches
+/// regressions of an order of magnitude. Oblivious schedules are checked
+/// structurally (per-pass length vs optimum, makespan vs one pass) because
+/// their end-to-end constant is dominated by the replication factor σ.
+const ADAPTIVE_RATIO_ENVELOPE: f64 = 8.0;
+const PER_PASS_LENGTH_ENVELOPE: f64 = 300.0;
+
+#[test]
+fn adaptive_policy_is_close_to_optimal_on_small_instances() {
+    for seed in 0..4u64 {
+        let instance = uniform_instance(6, 3, seed);
+        let opt = optimal_expected_makespan(&instance).unwrap();
+        let sim = Simulator::new(SimulationOptions {
+            trials: 300,
+            max_steps: 100_000,
+            base_seed: seed,
+        });
+        let adaptive = sim
+            .estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()))
+            .mean();
+        assert!(
+            adaptive <= opt * ADAPTIVE_RATIO_ENVELOPE,
+            "seed {seed}: adaptive {adaptive} vs optimum {opt}"
+        );
+        assert!(adaptive >= opt * 0.95, "cannot beat the optimum");
+    }
+}
+
+#[test]
+fn oblivious_schedules_stay_within_polylog_factors_of_optimum() {
+    for seed in 0..3u64 {
+        let instance = uniform_instance(6, 3, seed + 10);
+        let opt = optimal_expected_makespan(&instance).unwrap();
+
+        // Combinatorial oblivious (Thm 3.6): the constant-mass schedule length
+        // is the O(log n)·T^OPT part (Lemma 3.5); its cyclic execution is
+        // finite and no better than the optimum.
+        let comb = suu_i_oblivious(&instance).unwrap();
+        let comb_exact = exact_expected_makespan_oblivious_cyclic(&instance, &comb.schedule);
+        assert!(comb_exact.is_finite());
+        assert!(comb_exact >= opt - 1e-9);
+        assert!(
+            (comb.schedule.len() as f64) <= PER_PASS_LENGTH_ENVELOPE * opt,
+            "seed {seed}: SUU-I-OBL length {} vs optimum {opt}",
+            comb.schedule.len()
+        );
+
+        // LP-based oblivious (Thm 4.5): the per-pass (constant-mass) length is
+        // the O(log min(n,m))·T^OPT part; the realised makespan never exceeds
+        // roughly one pass of the final schedule.
+        let lp = schedule_independent_lp(&instance).unwrap();
+        let lp_exact = exact_expected_makespan_oblivious_cyclic(&instance, &lp.schedule);
+        assert!(lp_exact >= opt - 1e-9);
+        assert!(
+            (lp.constant_mass_schedule.len() as f64) <= PER_PASS_LENGTH_ENVELOPE * opt,
+            "seed {seed}: LP per-pass length {} vs optimum {opt}",
+            lp.constant_mass_schedule.len()
+        );
+        assert!(
+            lp_exact <= 1.2 * lp.schedule.len() as f64,
+            "seed {seed}: LP oblivious makespan {lp_exact} exceeds one pass of {}",
+            lp.schedule.len()
+        );
+    }
+}
+
+#[test]
+fn lower_bounds_never_exceed_measured_makespans() {
+    for seed in 0..4u64 {
+        let instance = uniform_instance(10, 4, seed + 20);
+        let lower = combined_lower_bound(&instance);
+        let sim = Simulator::new(SimulationOptions {
+            trials: 200,
+            max_steps: 100_000,
+            base_seed: seed,
+        });
+        let adaptive = sim
+            .estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()))
+            .mean();
+        // Allow a little Monte-Carlo noise below the bound.
+        assert!(
+            adaptive >= lower * 0.9,
+            "seed {seed}: measured {adaptive} below certified bound {lower}"
+        );
+    }
+}
+
+#[test]
+fn greedy_msm_step_is_one_third_approximate_in_situ() {
+    // Re-verify Theorem 3.2 through the public API on a batch of random
+    // instances small enough for exhaustive search.
+    for seed in 0..10u64 {
+        let instance = uniform_instance(4, 3, seed + 40);
+        let jobs = JobSet::all(4);
+        let greedy = sum_of_masses(&instance, &msm_alg(&instance, &jobs), &jobs);
+        let opt = exact_max_sum_mass(&instance, &jobs);
+        assert!(greedy >= opt / 3.0 - 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn suu_i_obl_handles_many_machines_few_jobs_and_vice_versa() {
+    let wide = uniform_instance(3, 12, 1);
+    let tall = uniform_instance(24, 2, 2);
+    for instance in [wide, tall] {
+        let result = suu_i_oblivious(&instance).unwrap();
+        // Only evaluate exactly when small enough; otherwise simulate.
+        if instance.num_jobs() <= 20 {
+            let exact =
+                exact_expected_makespan_oblivious_cyclic(&instance, &result.schedule);
+            assert!(exact.is_finite());
+        }
+        let sim = Simulator::new(SimulationOptions {
+            trials: 100,
+            max_steps: 1_000_000,
+            base_seed: 9,
+        });
+        let est = sim.estimate(&instance, || result.schedule.clone());
+        assert_eq!(est.censored, 0);
+    }
+}
