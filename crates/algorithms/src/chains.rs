@@ -89,8 +89,7 @@ pub fn schedule_chains_with(
     instance: &SuuInstance,
     options: &ChainsOptions,
 ) -> Result<ChainsSchedule, AlgorithmError> {
-    let chains =
-        ChainSet::from_dag(instance.precedence()).ok_or(AlgorithmError::NotChains)?;
+    let chains = ChainSet::from_dag(instance.precedence()).ok_or(AlgorithmError::NotChains)?;
     schedule_given_chains(instance, &chains, options)
 }
 
@@ -116,7 +115,9 @@ pub fn schedule_given_chains(
     );
 
     let sigma = if options.replicate {
-        options.sigma.unwrap_or_else(|| default_sigma(instance.num_jobs()))
+        options
+            .sigma
+            .unwrap_or_else(|| default_sigma(instance.num_jobs()))
     } else {
         0
     };

@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn masses_survive_delay_and_flatten() {
         let (inst, per_chain) = per_chain_fixture(10, 4, 3, 5);
-        let combined = overlay_with_delays(&per_chain, 4, &vec![0; 3]);
+        let combined = overlay_with_delays(&per_chain, 4, &[0; 3]);
         let pseudo_mass = mass_of_pseudo(&inst, &combined);
         let outcome = flatten_with_random_delays(&per_chain, 4, 11, 4);
         let flat_mass = mass_of_oblivious(&inst, &outcome.schedule);
@@ -255,7 +255,7 @@ mod tests {
     fn max_load_matches_sum_of_chain_loads() {
         let (inst, per_chain) = per_chain_fixture(10, 3, 5, 19);
         let pi_max = max_load(&per_chain, inst.num_machines());
-        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &vec![0; 5]);
+        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &[0; 5]);
         assert_eq!(pi_max, combined.max_load());
     }
 }

@@ -185,10 +185,7 @@ mod tests {
         let inst = forest_instance(64, 4, 3, "mixed");
         let result = schedule_forest(&inst).unwrap();
         assert!(result.num_blocks <= ChainDecomposition::width_bound(64));
-        assert_eq!(
-            result.block_stats.iter().map(|b| b.jobs).sum::<usize>(),
-            64
-        );
+        assert_eq!(result.block_stats.iter().map(|b| b.jobs).sum::<usize>(), 64);
     }
 
     #[test]

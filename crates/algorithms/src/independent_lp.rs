@@ -66,7 +66,9 @@ pub fn schedule_independent_lp_with_sigma(
     // Lay out each machine's assigned steps back to back.
     let m = instance.num_machines();
     let n = instance.num_jobs();
-    let length = usize::try_from(rounded.max_load()).unwrap_or(usize::MAX).max(1);
+    let length = usize::try_from(rounded.max_load())
+        .unwrap_or(usize::MAX)
+        .max(1);
     let mut steps = vec![Assignment::idle(m); length];
     for i in 0..m {
         let mut cursor = 0usize;

@@ -103,37 +103,29 @@ fn build_and_solve(
         }
     }
     // d variables only when chains are present (LP1).
-    let d_var: Option<Vec<VarId>> = chains.map(|_| {
-        (0..n)
-            .map(|j| lp.add_variable(format!("d_{j}")))
-            .collect()
-    });
+    let d_var: Option<Vec<VarId>> =
+        chains.map(|_| (0..n).map(|j| lp.add_variable(format!("d_{j}"))).collect());
     let t_var = lp.add_variable("t");
     lp.set_objective_coefficient(t_var, 1.0);
 
     // (1) mass constraints.
     for j in 0..n {
         let terms: Vec<(VarId, f64)> = (0..m)
-            .filter_map(|i| {
-                x_var[i][j].map(|v| (v, instance.prob(MachineId(i), JobId(j))))
-            })
+            .filter_map(|i| x_var[i][j].map(|v| (v, instance.prob(MachineId(i), JobId(j)))))
             .collect();
         lp.add_constraint(terms, ConstraintOp::Ge, LP_MASS_TARGET, format!("mass_{j}"));
     }
     // (2) machine load constraints: Σ_j x_ij − t ≤ 0.
     for (i, row) in x_var.iter().enumerate() {
-        let mut terms: Vec<(VarId, f64)> = row
-            .iter()
-            .filter_map(|v| v.map(|var| (var, 1.0)))
-            .collect();
+        let mut terms: Vec<(VarId, f64)> =
+            row.iter().filter_map(|v| v.map(|var| (var, 1.0))).collect();
         terms.push((t_var, -1.0));
         lp.add_constraint(terms, ConstraintOp::Le, 0.0, format!("load_{i}"));
     }
     if let (Some(chains), Some(d_var)) = (chains, d_var.as_ref()) {
         // (3) chain-length constraints: Σ_{j ∈ C_k} d_j − t ≤ 0.
         for (k, chain) in chains.chains().iter().enumerate() {
-            let mut terms: Vec<(VarId, f64)> =
-                chain.iter().map(|&j| (d_var[j], 1.0)).collect();
+            let mut terms: Vec<(VarId, f64)> = chain.iter().map(|&j| (d_var[j], 1.0)).collect();
             terms.push((t_var, -1.0));
             lp.add_constraint(terms, ConstraintOp::Le, 0.0, format!("chain_{k}"));
         }
@@ -180,11 +172,7 @@ fn build_and_solve(
     let d: Vec<f64> = match d_var {
         Some(vars) => vars.iter().map(|&v| sol.value(v).max(0.0)).collect(),
         None => (0..n)
-            .map(|j| {
-                (0..m)
-                    .map(|i| x[i][j])
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|j| (0..m).map(|i| x[i][j]).fold(0.0f64, f64::max))
             .collect(),
     };
     Ok(FractionalSolution {

@@ -61,7 +61,11 @@ pub fn overlay_with_delays(
     num_machines: usize,
     delays: &[usize],
 ) -> PseudoSchedule {
-    assert_eq!(per_chain.len(), delays.len(), "one delay per chain required");
+    assert_eq!(
+        per_chain.len(),
+        delays.len(),
+        "one delay per chain required"
+    );
     let mut combined = PseudoSchedule::new(num_machines);
     for (ps, &delay) in per_chain.iter().zip(delays.iter()) {
         combined.union_with_offset(ps, delay);
@@ -109,7 +113,12 @@ mod tests {
     use crate::lp_relaxation::solve_lp1;
     use crate::rounding::{round_solution, ROUNDED_MASS_TARGET};
 
-    fn pipeline(n: usize, m: usize, chains: usize, seed: u64) -> (SuuInstance, ChainSet, RoundedSolution) {
+    fn pipeline(
+        n: usize,
+        m: usize,
+        chains: usize,
+        seed: u64,
+    ) -> (SuuInstance, ChainSet, RoundedSolution) {
         let dag = random_chains(n, chains, seed);
         let chain_set = ChainSet::from_dag(&dag).unwrap();
         let inst = InstanceBuilder::new(n, m)
@@ -146,7 +155,7 @@ mod tests {
     fn pseudo_schedules_preserve_rounded_masses() {
         let (inst, chains, rounded) = pipeline(10, 4, 2, 5);
         let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
-        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &vec![0; 2]);
+        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &[0; 2]);
         let mass = mass_of_pseudo(&inst, &combined);
         for j in inst.jobs() {
             assert!(
@@ -170,11 +179,19 @@ mod tests {
         let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
         let undelayed = overlay_with_delays(&per_chain, inst.num_machines(), &[0, 0]);
         let delayed = overlay_with_delays(&per_chain, inst.num_machines(), &[0, 5]);
-        assert_eq!(delayed.len(), per_chain[1].len().max(per_chain[0].len()).max(per_chain[1].len() + 5));
+        assert_eq!(
+            delayed.len(),
+            per_chain[1]
+                .len()
+                .max(per_chain[0].len())
+                .max(per_chain[1].len() + 5)
+        );
         assert!(delayed.len() >= undelayed.len());
         // Total load is unchanged by delays.
         let load = |ps: &PseudoSchedule| -> usize {
-            (0..inst.num_machines()).map(|i| ps.load(MachineId(i))).sum()
+            (0..inst.num_machines())
+                .map(|i| ps.load(MachineId(i)))
+                .sum()
         };
         assert_eq!(load(&undelayed), load(&delayed));
     }
@@ -183,7 +200,7 @@ mod tests {
     fn overlay_load_is_sum_of_chain_loads() {
         let (inst, chains, rounded) = pipeline(10, 3, 5, 11);
         let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
-        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &vec![0; 5]);
+        let combined = overlay_with_delays(&per_chain, inst.num_machines(), &[0; 5]);
         for i in 0..inst.num_machines() {
             let expected: usize = per_chain.iter().map(|ps| ps.load(MachineId(i))).sum();
             assert_eq!(combined.load(MachineId(i)), expected);

@@ -54,13 +54,7 @@ pub fn compress(rounded: &RoundedSolution) -> CompressedSolution {
     let m = rounded.x.len();
     let n = if m == 0 { 0 } else { rounded.x[0].len() };
     let beta = (n as u64).saturating_mul(m as u64).max(1);
-    let l_max = rounded
-        .x
-        .iter()
-        .flatten()
-        .copied()
-        .max()
-        .unwrap_or(0);
+    let l_max = rounded.x.iter().flatten().copied().max().unwrap_or(0);
     let unit = l_max.div_ceil(beta).max(1);
 
     let mut compressed_x = vec![vec![0u64; n]; m];
@@ -92,7 +86,11 @@ pub fn compress(rounded: &RoundedSolution) -> CompressedSolution {
 #[must_use]
 pub fn expand(compressed: &CompressedSolution) -> Vec<Vec<u64>> {
     let m = compressed.compressed.x.len();
-    let n = if m == 0 { 0 } else { compressed.compressed.x[0].len() };
+    let n = if m == 0 {
+        0
+    } else {
+        compressed.compressed.x[0].len()
+    };
     let mut x = vec![vec![0u64; n]; m];
     for i in 0..m {
         for j in 0..n {
@@ -233,8 +231,7 @@ mod tests {
         for j in 0..6 {
             let job = JobId(j);
             assert!(
-                compressed_window(&compressed, job)
-                    <= rounded.window_of(job) / compressed.unit + 1
+                compressed_window(&compressed, job) <= rounded.window_of(job) / compressed.unit + 1
             );
         }
         for i in 0..3 {

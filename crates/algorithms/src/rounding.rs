@@ -250,6 +250,41 @@ pub fn round_solution(
             x[i][j] = y[i][j] * scale;
         }
     }
+
+    // Trim phase: the 32×-scaled flow rounding (and the integral ceilings)
+    // can overshoot the mass target by a large constant factor, which inflates
+    // windows, machine loads and ultimately the constant-mass schedule length.
+    // Greedily return surplus steps — lowest-probability contributions first —
+    // while every job keeps mass ≥ ROUNDED_MASS_TARGET. This only shrinks
+    // loads and windows, so every Theorem 4.1 bound continues to hold.
+    for j in 0..n {
+        let mut mass: f64 = (0..m)
+            .map(|i| x[i][j] as f64 * instance.prob(MachineId(i), JobId(j)))
+            .sum();
+        let mut entries: Vec<usize> = (0..m).filter(|&i| x[i][j] > 0).collect();
+        entries.sort_by(|&a, &b| {
+            instance
+                .prob(MachineId(a), JobId(j))
+                .partial_cmp(&instance.prob(MachineId(b), JobId(j)))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for i in entries {
+            let p = instance.prob(MachineId(i), JobId(j));
+            if p <= 0.0 {
+                // Steps with zero success probability contribute nothing.
+                x[i][j] = 0;
+                continue;
+            }
+            // Largest k with mass - k·p ≥ target, computed directly: the
+            // scale-up can overshoot by large factors and a step-by-step loop
+            // would spin once per surplus step.
+            let removable = ((mass - ROUNDED_MASS_TARGET) / p).floor().max(0.0) as u64;
+            let removed = removable.min(x[i][j]);
+            x[i][j] -= removed;
+            mass -= removed as f64 * p;
+        }
+    }
+
     let d: Vec<u64> = (0..n)
         .map(|j| (0..m).map(|i| x[i][j]).max().unwrap_or(0).max(1))
         .collect();

@@ -177,7 +177,10 @@ mod tests {
         let mut a = RandomAssignmentPolicy::new(inst.clone(), 7);
         let mut b = RandomAssignmentPolicy::new(inst, 7);
         for step in 0..5 {
-            assert_eq!(a.assign(step, &JobSet::all(4)), b.assign(step, &JobSet::all(4)));
+            assert_eq!(
+                a.assign(step, &JobSet::all(4)),
+                b.assign(step, &JobSet::all(4))
+            );
         }
     }
 
@@ -224,10 +227,22 @@ mod tests {
     fn policies_idle_when_everything_is_done() {
         let inst = instance(2, 2, 9);
         let empty = JobSet::empty(2);
-        assert_eq!(GreedyRatePolicy::new(inst.clone()).assign(0, &empty).num_idle(), 2);
-        assert_eq!(RoundRobinPolicy::new(inst.clone()).assign(0, &empty).num_idle(), 2);
         assert_eq!(
-            RandomAssignmentPolicy::new(inst, 1).assign(0, &empty).num_idle(),
+            GreedyRatePolicy::new(inst.clone())
+                .assign(0, &empty)
+                .num_idle(),
+            2
+        );
+        assert_eq!(
+            RoundRobinPolicy::new(inst.clone())
+                .assign(0, &empty)
+                .num_idle(),
+            2
+        );
+        assert_eq!(
+            RandomAssignmentPolicy::new(inst, 1)
+                .assign(0, &empty)
+                .num_idle(),
             2
         );
     }

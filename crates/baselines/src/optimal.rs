@@ -322,11 +322,9 @@ mod tests {
         let opt = optimal_expected_makespan(&inst).unwrap();
         // Compare against the "all machines on the lowest unfinished job"
         // regimen evaluated exactly.
-        let serial = exact_expected_makespan_regimen(&inst, |s: &JobSet| {
-            match s.iter().next() {
-                Some(j) => Assignment::all_on(2, j),
-                None => Assignment::idle(2),
-            }
+        let serial = exact_expected_makespan_regimen(&inst, |s: &JobSet| match s.iter().next() {
+            Some(j) => Assignment::all_on(2, j),
+            None => Assignment::idle(2),
         });
         assert!(opt <= serial + 1e-9, "opt {opt} > serial {serial}");
     }

@@ -39,9 +39,13 @@ fn bench_msm(c: &mut Criterion) {
     for &(n, m) in &[(32usize, 8usize), (128, 16), (512, 32)] {
         let instance = independent_instance(n, m);
         let jobs = JobSet::all(n);
-        group.bench_with_input(BenchmarkId::new("greedy", format!("{n}x{m}")), &n, |b, _| {
-            b.iter(|| msm_alg(&instance, &jobs));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{n}x{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| msm_alg(&instance, &jobs));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("extended_t64", format!("{n}x{m}")),
             &n,
@@ -58,9 +62,13 @@ fn bench_suu_i_obl(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, m) in &[(16usize, 4usize), (32, 8), (64, 8)] {
         let instance = independent_instance(n, m);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &n, |b, _| {
-            b.iter(|| suu_i_oblivious(&instance).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| suu_i_oblivious(&instance).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -95,9 +103,13 @@ fn bench_forest_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, m) in &[(12usize, 4usize), (24, 6)] {
         let instance = forest_instance(n, m);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &n, |b, _| {
-            b.iter(|| schedule_forest(&instance).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| schedule_forest(&instance).unwrap());
+            },
+        );
     }
     group.finish();
 }

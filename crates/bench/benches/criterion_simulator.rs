@@ -7,9 +7,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use suu_algorithms::suu_i::SuuIAdaptivePolicy;
 use suu_core::{InstanceBuilder, SuuInstance};
-use suu_sim::{
-    exact_expected_makespan_regimen, simulate_once, SimulationOptions, Simulator,
-};
+use suu_sim::{exact_expected_makespan_regimen, simulate_once, SimulationOptions, Simulator};
 use suu_workloads::uniform_matrix;
 
 fn instance(n: usize, m: usize) -> SuuInstance {
@@ -23,13 +21,17 @@ fn bench_single_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_once");
     for &(n, m) in &[(16usize, 4usize), (64, 8), (256, 16)] {
         let inst = instance(n, m);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &n, |b, _| {
-            b.iter(|| {
-                let mut rng = ChaCha8Rng::seed_from_u64(5);
-                let mut policy = SuuIAdaptivePolicy::new(inst.clone());
-                simulate_once(&inst, &mut policy, &mut rng, 1_000_000).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(5);
+                    let mut policy = SuuIAdaptivePolicy::new(inst.clone());
+                    simulate_once(&inst, &mut policy, &mut rng, 1_000_000).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

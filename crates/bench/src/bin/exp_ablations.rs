@@ -4,7 +4,16 @@
 
 fn main() {
     let config = suu_bench::RunConfig::from_args();
-    println!("{}", suu_bench::experiments::ablations::run_replication(&config).render());
-    println!("{}", suu_bench::experiments::ablations::run_delay_strategies(&config).render());
-    println!("{}", suu_bench::experiments::ablations::run_bucketing(&config).render());
+    println!(
+        "{}",
+        suu_bench::experiments::ablations::run_replication(&config).render()
+    );
+    println!(
+        "{}",
+        suu_bench::experiments::ablations::run_delay_strategies(&config).render()
+    );
+    println!(
+        "{}",
+        suu_bench::experiments::ablations::run_bucketing(&config).render()
+    );
 }

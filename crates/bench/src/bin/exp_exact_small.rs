@@ -4,6 +4,12 @@
 
 fn main() {
     let config = suu_bench::RunConfig::from_args();
-    println!("{}", suu_bench::experiments::exact_small::run_figure1(&config).render());
-    println!("{}", suu_bench::experiments::exact_small::run_exact_ratios(&config).render());
+    println!(
+        "{}",
+        suu_bench::experiments::exact_small::run_figure1(&config).render()
+    );
+    println!(
+        "{}",
+        suu_bench::experiments::exact_small::run_exact_ratios(&config).render()
+    );
 }

@@ -4,5 +4,8 @@
 
 fn main() {
     let config = suu_bench::RunConfig::from_args();
-    println!("{}", suu_bench::experiments::lp_rounding::run(&config).render());
+    println!(
+        "{}",
+        suu_bench::experiments::lp_rounding::run(&config).render()
+    );
 }

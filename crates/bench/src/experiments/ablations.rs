@@ -33,12 +33,7 @@ fn chain_instance(n: usize, m: usize, k: usize, seed: u64) -> SuuInstance {
 /// A1: sweep the replication factor σ.
 #[must_use]
 pub fn run_replication(config: &RunConfig) -> Table {
-    let inst = chain_instance(
-        if config.quick { 10 } else { 16 },
-        4,
-        4,
-        config.seed,
-    );
+    let inst = chain_instance(if config.quick { 10 } else { 16 }, 4, 4, config.seed);
     let sigmas: &[usize] = if config.quick {
         &[1, 4, 16]
     } else {
@@ -52,7 +47,12 @@ pub fn run_replication(config: &RunConfig) -> Table {
 
     let mut table = Table::new(
         "A1 (ablation): replication factor sigma in the chain pipeline",
-        &["sigma", "schedule length", "E[makespan]", "makespan / length"],
+        &[
+            "sigma",
+            "schedule length",
+            "E[makespan]",
+            "makespan / length",
+        ],
     );
     for &sigma in sigmas {
         let result = schedule_chains_with(
@@ -86,7 +86,14 @@ pub fn run_delay_strategies(config: &RunConfig) -> Table {
     };
     let mut table = Table::new(
         "A2 (ablation): delay strategy vs resulting congestion and length",
-        &["n", "m", "chains", "strategy", "congestion", "flattened length"],
+        &[
+            "n",
+            "m",
+            "chains",
+            "strategy",
+            "congestion",
+            "flattened length",
+        ],
     );
     for &(n, m, k) in cases {
         let seed = config.seed + (n + k) as u64;
@@ -95,7 +102,11 @@ pub fn run_delay_strategies(config: &RunConfig) -> Table {
         let frac = solve_lp1(&inst, &chains).expect("LP");
         let rounded = round_solution(&inst, &frac).expect("rounding");
         let per_chain = build_chain_pseudo_schedules(&inst, &chains, &rounded);
-        for (label, tries) in [("zero-delay", 1usize), ("one-random", 2), ("best-of-16", 16)] {
+        for (label, tries) in [
+            ("zero-delay", 1usize),
+            ("one-random", 2),
+            ("best-of-16", 16),
+        ] {
             // `tries = 1` evaluates only the zero-delay vector (the first
             // attempt); larger values add random draws.
             let outcome = flatten_with_random_delays(&per_chain, m, seed, tries);
@@ -128,11 +139,22 @@ pub fn run_bucketing(config: &RunConfig) -> Table {
     };
     let mut table = Table::new(
         "A3 (ablation): probability quantisation vs rounded solution quality",
-        &["n", "m", "quantisation", "min job mass", "max load", "scale"],
+        &[
+            "n",
+            "m",
+            "quantisation",
+            "min job mass",
+            "max load",
+            "scale",
+        ],
     );
     for &(n, m, k) in cases {
         let seed = config.seed + (n * 3 + k) as u64;
-        for (label, levels) in [("exact p (dyadic buckets)", 0usize), ("4 levels", 4), ("2 levels", 2)] {
+        for (label, levels) in [
+            ("exact p (dyadic buckets)", 0usize),
+            ("4 levels", 4),
+            ("2 levels", 2),
+        ] {
             let mut probs = uniform_matrix(n, m, 0.05, 0.9, seed);
             if levels > 0 {
                 for p in &mut probs {

@@ -48,8 +48,19 @@ pub fn run(config: &RunConfig) -> Table {
     let mut table = Table::new(
         "E8 (Thm 4.4): disjoint chains, expected makespan and ratio to reference",
         &[
-            "case", "n", "m", "chains", "reference", "ref kind", "Thm 4.4", "r",
-            "adaptive", "r", "greedy", "r", "congestion",
+            "case",
+            "n",
+            "m",
+            "chains",
+            "reference",
+            "ref kind",
+            "Thm 4.4",
+            "r",
+            "adaptive",
+            "r",
+            "greedy",
+            "r",
+            "congestion",
         ],
     );
     for &(n, m, k, label) in cases {
@@ -92,7 +103,9 @@ pub fn run(config: &RunConfig) -> Table {
     }
     table.push_note("paper claim (Thm 4.4): oblivious schedule within O(log m log n log(n+m)/loglog(n+m)) of T_OPT");
     table.push_note("expected shape: the Thm 4.4 ratio grows polylogarithmically; the oblivious schedule pays a");
-    table.push_note("constant-factor premium over the adaptive greedy but stays within the predicted envelope");
+    table.push_note(
+        "constant-factor premium over the adaptive greedy but stays within the predicted envelope",
+    );
     table
 }
 

@@ -52,7 +52,9 @@ pub fn run(config: &RunConfig) -> Table {
         }
     }
     table.push_note("paper claim (Lemma 4.6, after Kumar et al.): width <= 2(ceil(log2 n) + 1)");
-    table.push_note("expected shape: measured width grows logarithmically and never exceeds the bound");
+    table.push_note(
+        "expected shape: measured width grows logarithmically and never exceeds the bound",
+    );
     table
 }
 

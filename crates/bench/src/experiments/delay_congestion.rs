@@ -25,8 +25,14 @@ pub fn run(config: &RunConfig) -> Table {
     let mut table = Table::new(
         "E12 (random delays): congestion before and after delaying chains",
         &[
-            "n", "m", "chains", "Pi_max", "congestion no-delay", "congestion random",
-            "congestion best-of-8", "polylog reference",
+            "n",
+            "m",
+            "chains",
+            "Pi_max",
+            "congestion no-delay",
+            "congestion random",
+            "congestion best-of-8",
+            "polylog reference",
         ],
     );
     for &(n, m, k) in cases {
@@ -77,7 +83,10 @@ mod tests {
         for row in &table.rows {
             let no_delay: usize = row[4].parse().unwrap();
             let best: usize = row[6].parse().unwrap();
-            assert!(best <= no_delay, "best-of-k {best} worse than zero delays {no_delay}");
+            assert!(
+                best <= no_delay,
+                "best-of-k {best} worse than zero delays {no_delay}"
+            );
         }
     }
 }

@@ -39,9 +39,7 @@ pub fn run_figure1(config: &RunConfig) -> Table {
     );
 
     // Optimal regimen.
-    let opt_sim = simulator
-        .estimate(&instance, || optimal.policy())
-        .mean();
+    let opt_sim = simulator.estimate(&instance, || optimal.policy()).mean();
     table.push_row(vec![
         "optimal regimen (Malewicz DP)".to_string(),
         f2(opt),
@@ -68,7 +66,9 @@ pub fn run_figure1(config: &RunConfig) -> Table {
     // Oblivious schedules, exact cyclic evaluation.
     let comb = suu_i_oblivious(&instance).expect("independent");
     let comb_exact = exact_expected_makespan_oblivious_cyclic(&instance, &comb.schedule);
-    let comb_sim = simulator.estimate(&instance, || comb.schedule.clone()).mean();
+    let comb_sim = simulator
+        .estimate(&instance, || comb.schedule.clone())
+        .mean();
     table.push_row(vec![
         "SUU-I-OBL (oblivious)".to_string(),
         f2(comb_exact),
@@ -99,7 +99,14 @@ pub fn run_exact_ratios(config: &RunConfig) -> Table {
     let mut table = Table::new(
         "E14 (exact ratios): algorithm / exact optimum on random small instances",
         &[
-            "seed", "n", "m", "class", "OPT", "adaptive", "obl-comb", "obl-LP / chains",
+            "seed",
+            "n",
+            "m",
+            "class",
+            "OPT",
+            "adaptive",
+            "obl-comb",
+            "obl-LP / chains",
         ],
     );
     let simulator = Simulator::new(SimulationOptions {
@@ -113,8 +120,8 @@ pub fn run_exact_ratios(config: &RunConfig) -> Table {
         let with_chains = k % 2 == 1;
         let n = 6;
         let m = 2 + (k % 2);
-        let mut builder = InstanceBuilder::new(n, m)
-            .probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed));
+        let mut builder =
+            InstanceBuilder::new(n, m).probability_matrix(uniform_matrix(n, m, 0.1, 0.9, seed));
         if with_chains {
             builder = builder.precedence(random_chains(n, 3, seed));
         }
@@ -130,8 +137,7 @@ pub fn run_exact_ratios(config: &RunConfig) -> Table {
             ("-".to_string(), ratio(exact, opt))
         } else {
             let comb = suu_i_oblivious(&instance).expect("independent");
-            let comb_exact =
-                exact_expected_makespan_oblivious_cyclic(&instance, &comb.schedule);
+            let comb_exact = exact_expected_makespan_oblivious_cyclic(&instance, &comb.schedule);
             let lp = schedule_independent_lp(&instance).expect("independent");
             let lp_exact = exact_expected_makespan_oblivious_cyclic(&instance, &lp.schedule);
             (ratio(comb_exact, opt), ratio(lp_exact, opt))

@@ -56,8 +56,16 @@ pub fn run(config: &RunConfig) -> Table {
     let mut table = Table::new(
         "E9-E10 (Thms 4.7/4.8): trees and directed forests",
         &[
-            "class", "n", "m", "blocks", "reference", "ref kind", "forest alg", "r",
-            "adaptive", "r",
+            "class",
+            "n",
+            "m",
+            "blocks",
+            "reference",
+            "ref kind",
+            "forest alg",
+            "r",
+            "adaptive",
+            "r",
         ],
     );
     for &(n, m, kind) in cases {
@@ -71,9 +79,7 @@ pub fn run(config: &RunConfig) -> Table {
             (combined_lower_bound(&inst), "lower bound")
         };
         let forest = schedule_forest(&inst).expect("forest instance");
-        let ours = simulator
-            .estimate(&inst, || forest.schedule.clone())
-            .mean();
+        let ours = simulator.estimate(&inst, || forest.schedule.clone()).mean();
         let adaptive = simulator
             .estimate(&inst, || SuuIAdaptivePolicy::new(inst.clone()))
             .mean();

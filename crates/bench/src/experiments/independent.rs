@@ -42,8 +42,20 @@ pub fn run(config: &RunConfig) -> Table {
     let mut table = Table::new(
         "E4-E6 (Thms 3.3, 3.6, 4.5): independent jobs, expected makespan and ratio to reference",
         &[
-            "n", "m", "reference", "ref kind", "adaptive", "r", "obl-comb", "r", "obl-LP", "r",
-            "greedy", "r", "round-robin", "r",
+            "n",
+            "m",
+            "reference",
+            "ref kind",
+            "adaptive",
+            "r",
+            "obl-comb",
+            "r",
+            "obl-LP",
+            "r",
+            "greedy",
+            "r",
+            "round-robin",
+            "r",
         ],
     );
 
@@ -108,8 +120,14 @@ mod tests {
         assert_eq!(table.num_rows(), 2);
         for row in &table.rows {
             let adaptive_ratio: f64 = row[5].parse().unwrap();
-            assert!(adaptive_ratio >= 0.9, "ratios are relative to a lower bound");
-            assert!(adaptive_ratio < 20.0, "adaptive ratio exploded: {adaptive_ratio}");
+            assert!(
+                adaptive_ratio >= 0.9,
+                "ratios are relative to a lower bound"
+            );
+            assert!(
+                adaptive_ratio < 20.0,
+                "adaptive ratio exploded: {adaptive_ratio}"
+            );
         }
     }
 }

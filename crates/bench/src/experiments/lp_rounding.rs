@@ -33,14 +33,31 @@ pub fn run(config: &RunConfig) -> Table {
     let sizes: &[(usize, usize, usize)] = if config.quick {
         &[(6, 2, 2), (12, 4, 3)]
     } else {
-        &[(6, 2, 2), (8, 3, 2), (12, 4, 3), (16, 4, 4), (24, 6, 4), (32, 8, 6)]
+        &[
+            (6, 2, 2),
+            (8, 3, 2),
+            (12, 4, 3),
+            (16, 4, 4),
+            (24, 6, 4),
+            (32, 8, 6),
+        ]
     };
 
     let mut table = Table::new(
         "E7 (Thm 4.1 / Lemma 4.2): LP1 value and rounding blow-up",
         &[
-            "n", "m", "chains", "T* (LP1)", "T_OPT", "T*/T_OPT", "16 bound ok",
-            "rounded load", "load/T*", "max chain d", "chain/T*", "scale",
+            "n",
+            "m",
+            "chains",
+            "T* (LP1)",
+            "T_OPT",
+            "T*/T_OPT",
+            "16 bound ok",
+            "rounded load",
+            "load/T*",
+            "max chain d",
+            "chain/T*",
+            "scale",
         ],
     );
     for &(n, m, k) in sizes {
@@ -53,7 +70,12 @@ pub fn run(config: &RunConfig) -> Table {
             (
                 f2(opt),
                 ratio(frac.t, opt),
-                if frac.t <= 16.0 * opt + 1e-6 { "yes" } else { "NO" }.to_string(),
+                if frac.t <= 16.0 * opt + 1e-6 {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
             )
         } else {
             ("-".to_string(), "-".to_string(), "n/a".to_string())

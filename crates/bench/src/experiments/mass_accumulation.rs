@@ -4,8 +4,8 @@
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use suu_core::{InstanceBuilder, JobId, MachineId, SchedulingPolicy, SuuInstance};
-use suu_sim::executor::simulate_traced;
 use suu_sim::exact_expected_makespan_regimen;
+use suu_sim::executor::simulate_traced;
 use suu_sim::FnRegimen;
 use suu_workloads::uniform_matrix;
 
@@ -18,14 +18,12 @@ fn greedy_regimen_assignment(instance: &SuuInstance, s: &suu_core::JobSet) -> su
     // holds for *any* schedule).
     let mut a = suu_core::Assignment::idle(instance.num_machines());
     for i in instance.machines() {
-        let best = s
-            .iter()
-            .max_by(|&x, &y| {
-                instance
-                    .prob(i, x)
-                    .partial_cmp(&instance.prob(i, y))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+        let best = s.iter().max_by(|&x, &y| {
+            instance
+                .prob(i, x)
+                .partial_cmp(&instance.prob(i, y))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         if let Some(job) = best {
             if instance.prob(i, job) > 0.0 {
                 a.assign(i, job);
@@ -49,16 +47,21 @@ pub fn run(config: &RunConfig) -> Table {
 
     let mut table = Table::new(
         "E2 (Thm 2.2): P[job accumulates mass >= 1/4 within 2T]",
-        &["n", "m", "E[makespan] T", "min over jobs P[mass>=1/4]", "paper bound"],
+        &[
+            "n",
+            "m",
+            "E[makespan] T",
+            "min over jobs P[mass>=1/4]",
+            "paper bound",
+        ],
     );
     for (idx, &(n, m)) in sizes.iter().enumerate() {
         let instance = InstanceBuilder::new(n, m)
             .probability_matrix(uniform_matrix(n, m, 0.05, 0.6, config.seed + idx as u64))
             .build()
             .expect("valid instance");
-        let expected = exact_expected_makespan_regimen(&instance, |s| {
-            greedy_regimen_assignment(&instance, s)
-        });
+        let expected =
+            exact_expected_makespan_regimen(&instance, |s| greedy_regimen_assignment(&instance, s));
         let horizon = (2.0 * expected).ceil() as usize;
 
         let mut worst = 1.0f64;
@@ -66,9 +69,8 @@ pub fn run(config: &RunConfig) -> Table {
             let job = JobId(j);
             let mut hits = 0usize;
             for trial in 0..trials {
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    config.seed ^ (trial as u64) << 8 ^ (j as u64) << 40,
-                );
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(config.seed ^ (trial as u64) << 8 ^ (j as u64) << 40);
                 let mut policy = FnRegimen::new("greedy-best", |s: &suu_core::JobSet| {
                     greedy_regimen_assignment(&instance, s)
                 });

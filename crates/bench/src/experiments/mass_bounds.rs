@@ -24,7 +24,14 @@ pub fn run(config: &RunConfig) -> Table {
 
     let mut table = Table::new(
         "E1 (Prop 2.1): success probability vs mass",
-        &["k", "samples", "min p/mass", "max p/mass", "bound 1/e", "violations"],
+        &[
+            "k",
+            "samples",
+            "min p/mass",
+            "max p/mass",
+            "bound 1/e",
+            "violations",
+        ],
     );
     for &k in sizes {
         let mut min_ratio = f64::INFINITY;
@@ -44,7 +51,7 @@ pub fn run(config: &RunConfig) -> Table {
             let ratio = p / mass;
             min_ratio = min_ratio.min(ratio);
             max_ratio = max_ratio.max(ratio);
-            if ratio > 1.0 + 1e-9 || ratio < 1.0 / std::f64::consts::E - 1e-9 {
+            if !(1.0 / std::f64::consts::E - 1e-9..=1.0 + 1e-9).contains(&ratio) {
                 violations += 1;
             }
         }

@@ -17,7 +17,14 @@ use crate::RunConfig;
 pub fn run(config: &RunConfig) -> Table {
     let mut table = Table::new(
         "E3 (Thm 3.2): MSM-ALG approximation ratio for MaxSumMass",
-        &["n", "m", "matrix", "instances", "min greedy/opt", "mean greedy/opt"],
+        &[
+            "n",
+            "m",
+            "matrix",
+            "instances",
+            "min greedy/opt",
+            "mean greedy/opt",
+        ],
     );
 
     let exact_sizes: &[(usize, usize)] = if config.quick {
@@ -60,7 +67,9 @@ pub fn run(config: &RunConfig) -> Table {
         }
     }
     table.push_note("paper claim (Thm 3.2): greedy/opt >= 1/3 = 0.33 on every instance");
-    table.push_note("expected shape: min ratio well above 0.33 (the bound is not tight in practice)");
+    table.push_note(
+        "expected shape: min ratio well above 0.33 (the bound is not tight in practice)",
+    );
     table
 }
 

@@ -166,7 +166,10 @@ impl MultiAssignment {
             return None;
         }
         Some(Assignment::from_targets(
-            self.targets.iter().map(|jobs| jobs.first().copied()).collect(),
+            self.targets
+                .iter()
+                .map(|jobs| jobs.first().copied())
+                .collect(),
         ))
     }
 

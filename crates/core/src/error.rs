@@ -56,7 +56,10 @@ impl fmt::Display for InstanceError {
                 write!(f, "{job} has zero success probability on every machine")
             }
             Self::DimensionMismatch { expected, actual } => {
-                write!(f, "probability matrix has {actual} entries, expected {expected}")
+                write!(
+                    f,
+                    "probability matrix has {actual} entries, expected {expected}"
+                )
             }
             Self::PrecedenceSizeMismatch { jobs, nodes } => write!(
                 f,

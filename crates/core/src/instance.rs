@@ -208,15 +208,14 @@ impl SuuInstance {
     /// themselves not finished: the jobs eligible for execution.
     #[must_use]
     pub fn eligible_jobs(&self, finished: &[bool]) -> Vec<JobId> {
-        assert_eq!(finished.len(), self.num_jobs, "finished mask has wrong length");
+        assert_eq!(
+            finished.len(),
+            self.num_jobs,
+            "finished mask has wrong length"
+        );
         (0..self.num_jobs)
             .filter(|&j| {
-                !finished[j]
-                    && self
-                        .precedence
-                        .predecessors(j)
-                        .iter()
-                        .all(|&p| finished[p])
+                !finished[j] && self.precedence.predecessors(j).iter().all(|&p| finished[p])
             })
             .map(JobId)
             .collect()
@@ -255,10 +254,7 @@ impl SuuInstance {
     pub fn serial_makespan_upper_bound(&self) -> f64 {
         self.jobs()
             .map(|j| {
-                let probs: Vec<f64> = self
-                    .machines()
-                    .map(|i| self.prob(i, j))
-                    .collect();
+                let probs: Vec<f64> = self.machines().map(|i| self.prob(i, j)).collect();
                 let p = crate::prob::combined_success_probability(&probs);
                 1.0 / p.max(f64::MIN_POSITIVE)
             })
@@ -339,7 +335,12 @@ impl InstanceBuilder {
     ///
     /// See [`SuuInstance::new`].
     pub fn build(self) -> Result<SuuInstance, InstanceError> {
-        SuuInstance::new(self.num_jobs, self.num_machines, self.probs, self.precedence)
+        SuuInstance::new(
+            self.num_jobs,
+            self.num_machines,
+            self.probs,
+            self.precedence,
+        )
     }
 }
 

@@ -134,7 +134,10 @@ pub fn mass_of_oblivious_prefix(
     schedule: &ObliviousSchedule,
     prefix_len: usize,
 ) -> MassVector {
-    assert!(prefix_len <= schedule.len(), "prefix exceeds schedule length");
+    assert!(
+        prefix_len <= schedule.len(),
+        "prefix exceeds schedule length"
+    );
     let mut mass = MassVector::zero(instance.num_jobs());
     for t in 0..prefix_len {
         for (machine, job) in schedule.step(t).busy_pairs() {

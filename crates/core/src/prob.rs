@@ -106,7 +106,8 @@ pub fn mass_lower_bound(probs: &[f64]) -> f64 {
 /// within `steps` steps: `1 − (1 − p)^steps`.
 #[must_use]
 pub fn success_within(p: f64, steps: u64) -> f64 {
-    1.0 - (1.0 - p.clamp(0.0, 1.0)).powi(i32::try_from(steps.min(i32::MAX as u64)).unwrap_or(i32::MAX))
+    1.0 - (1.0 - p.clamp(0.0, 1.0))
+        .powi(i32::try_from(steps.min(i32::MAX as u64)).unwrap_or(i32::MAX))
 }
 
 #[cfg(test)]

@@ -440,7 +440,11 @@ impl PseudoSchedule {
     /// schedule iff this is ≤ 1.
     #[must_use]
     pub fn max_congestion(&self) -> usize {
-        self.steps.iter().map(MultiAssignment::max_congestion).max().unwrap_or(0)
+        self.steps
+            .iter()
+            .map(MultiAssignment::max_congestion)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Converts to an [`ObliviousSchedule`] if every step is feasible.

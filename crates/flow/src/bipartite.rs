@@ -131,8 +131,8 @@ impl BipartiteMatching {
         const NIL: usize = usize::MAX;
         for &v in &self.adj[u] {
             let w = match_right[v];
-            let reachable = w == NIL || (dist[w] == dist[u] + 1
-                && self.try_augment(w, match_left, match_right, dist));
+            let reachable = w == NIL
+                || (dist[w] == dist[u] + 1 && self.try_augment(w, match_left, match_right, dist));
             if reachable {
                 match_left[u] = v;
                 match_right[v] = u;

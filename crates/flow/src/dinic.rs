@@ -73,13 +73,7 @@ impl Dinic {
     }
 
     /// Sends a blocking-flow augmenting path with DFS; returns the amount sent.
-    fn dfs(
-        &mut self,
-        net: &mut FlowNetwork,
-        v: NodeId,
-        sink: NodeId,
-        limit: Capacity,
-    ) -> Capacity {
+    fn dfs(&mut self, net: &mut FlowNetwork, v: NodeId, sink: NodeId, limit: Capacity) -> Capacity {
         if v == sink {
             return limit;
         }

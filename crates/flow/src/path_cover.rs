@@ -126,7 +126,7 @@ mod tests {
     fn paths_are_vertex_disjoint() {
         let edges = [(0, 2), (1, 2), (2, 3), (3, 4), (3, 5)];
         let cover = min_path_cover(6, &edges);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for p in &cover.paths {
             for &v in p {
                 assert!(!seen[v], "vertex {v} covered twice");

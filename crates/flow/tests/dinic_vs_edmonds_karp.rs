@@ -1,0 +1,136 @@
+//! Cross-checks of the two max-flow implementations on random bipartite
+//! networks — the exact network shape the LP-rounding step of Theorem 4.1
+//! builds (source → jobs → machines → sink).
+//!
+//! Dinic is the production algorithm; Edmonds–Karp is the independent oracle.
+//! On unit-capacity networks both must also agree with the Hopcroft–Karp
+//! matching size, giving a third independent witness.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use suu_flow::{BipartiteMatching, Dinic, EdmondsKarp, FlowNetwork};
+
+/// Builds a source → left → right → sink network. Returns the network and the
+/// left→right edge list.
+fn random_bipartite(
+    rng: &mut ChaCha8Rng,
+    num_left: usize,
+    num_right: usize,
+    edge_prob: f64,
+    source_cap: i64,
+    middle_cap: i64,
+    sink_cap: i64,
+) -> (FlowNetwork, Vec<(usize, usize)>) {
+    let source = 0;
+    let sink = 1 + num_left + num_right;
+    let mut net = FlowNetwork::new(num_left + num_right + 2);
+    for u in 0..num_left {
+        net.add_edge(source, 1 + u, source_cap);
+    }
+    let mut edges = Vec::new();
+    for u in 0..num_left {
+        for v in 0..num_right {
+            if rng.gen_bool(edge_prob) {
+                net.add_edge(1 + u, 1 + num_left + v, middle_cap);
+                edges.push((u, v));
+            }
+        }
+    }
+    for v in 0..num_right {
+        net.add_edge(1 + num_left + v, sink, sink_cap);
+    }
+    (net, edges)
+}
+
+#[test]
+fn dinic_and_edmonds_karp_agree_on_random_unit_bipartite_networks() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xb1_9a27);
+    for trial in 0..60u64 {
+        let num_left = rng.gen_range(1..12);
+        let num_right = rng.gen_range(1..12);
+        let edge_prob = rng.gen_range(0.05..0.9);
+        let (mut a, edges) = random_bipartite(&mut rng, num_left, num_right, edge_prob, 1, 1, 1);
+        let mut b = a.clone();
+        let source = 0;
+        let sink = 1 + num_left + num_right;
+
+        let flow_dinic = Dinic::new().max_flow(&mut a, source, sink);
+        let flow_ek = EdmondsKarp::new().max_flow(&mut b, source, sink);
+        assert_eq!(flow_dinic, flow_ek, "trial {trial}: max-flow values differ");
+        assert!(
+            a.is_feasible(source, sink),
+            "trial {trial}: Dinic infeasible"
+        );
+        assert!(
+            b.is_feasible(source, sink),
+            "trial {trial}: Edmonds-Karp infeasible"
+        );
+
+        // Third witness: unit-capacity bipartite max flow = maximum matching.
+        let mut matching = BipartiteMatching::new(num_left, num_right);
+        for &(u, v) in &edges {
+            matching.add_edge(u, v);
+        }
+        assert_eq!(
+            flow_dinic,
+            matching.solve().size() as i64,
+            "trial {trial}: flow disagrees with Hopcroft-Karp matching"
+        );
+    }
+}
+
+#[test]
+fn dinic_and_edmonds_karp_agree_on_random_capacitated_bipartite_networks() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xcafe_f00d);
+    for trial in 0..60u64 {
+        let num_left = rng.gen_range(1..10);
+        let num_right = rng.gen_range(1..10);
+        let edge_prob = rng.gen_range(0.1..0.95);
+        // The rounding network's shape: per-job demand, per-(job, machine)
+        // window capacity, per-machine load capacity.
+        let demand = rng.gen_range(1..20);
+        let window = rng.gen_range(1..10);
+        let load = rng.gen_range(1..30);
+        let (mut a, _) = random_bipartite(
+            &mut rng, num_left, num_right, edge_prob, demand, window, load,
+        );
+        let mut b = a.clone();
+        let source = 0;
+        let sink = 1 + num_left + num_right;
+
+        let flow_dinic = Dinic::new().max_flow(&mut a, source, sink);
+        let flow_ek = EdmondsKarp::new().max_flow(&mut b, source, sink);
+        assert_eq!(flow_dinic, flow_ek, "trial {trial}: max-flow values differ");
+        assert!(
+            a.is_feasible(source, sink),
+            "trial {trial}: Dinic infeasible"
+        );
+        assert!(
+            b.is_feasible(source, sink),
+            "trial {trial}: Edmonds-Karp infeasible"
+        );
+
+        // Sanity bounds: flow cannot exceed either side's total capacity.
+        let cap_bound = (num_left as i64 * demand).min(num_right as i64 * load);
+        assert!(
+            flow_dinic <= cap_bound,
+            "trial {trial}: flow exceeds cut bound"
+        );
+        assert!(flow_dinic >= 0, "trial {trial}: negative flow");
+    }
+}
+
+#[test]
+fn both_report_zero_flow_when_sides_are_disconnected() {
+    // No middle edges at all.
+    let mut net = FlowNetwork::new(6);
+    for u in 0..2 {
+        net.add_edge(0, 1 + u, 5);
+    }
+    for v in 0..2 {
+        net.add_edge(3 + v, 5, 5);
+    }
+    let mut ek_net = net.clone();
+    assert_eq!(Dinic::new().max_flow(&mut net, 0, 5), 0);
+    assert_eq!(EdmondsKarp::new().max_flow(&mut ek_net, 0, 5), 0);
+}

@@ -81,7 +81,10 @@ impl ChainSet {
                 chains.push(chain);
             }
         }
-        debug_assert!(visited.iter().all(|&v| v), "acyclic degree-1 graph is covered");
+        debug_assert!(
+            visited.iter().all(|&v| v),
+            "acyclic degree-1 graph is covered"
+        );
         Some(Self {
             chains,
             num_nodes: n,

@@ -92,16 +92,10 @@ impl Dag {
         let mut pred = vec![Vec::new(); num_nodes];
         for (u, v) in edges {
             if u >= num_nodes {
-                return Err(DagError::NodeOutOfRange {
-                    node: u,
-                    num_nodes,
-                });
+                return Err(DagError::NodeOutOfRange { node: u, num_nodes });
             }
             if v >= num_nodes {
-                return Err(DagError::NodeOutOfRange {
-                    node: v,
-                    num_nodes,
-                });
+                return Err(DagError::NodeOutOfRange { node: v, num_nodes });
             }
             if u == v {
                 return Err(DagError::SelfLoop(u));
@@ -123,11 +117,7 @@ impl Dag {
             None => {
                 // Find a witness node that is on a cycle: any node not removed
                 // by Kahn's algorithm works; recompute removal set.
-                let witness = dag
-                    .nodes_on_cycles()
-                    .first()
-                    .copied()
-                    .unwrap_or_default();
+                let witness = dag.nodes_on_cycles().first().copied().unwrap_or_default();
                 Err(DagError::Cycle { witness })
             }
         }
@@ -142,10 +132,7 @@ impl Dag {
     /// Returns an error if node ids repeat across or within chains (detected
     /// as either a cycle or via the resulting structure check) or are out of
     /// range.
-    pub fn from_chains(
-        num_nodes: usize,
-        chains: &[Vec<NodeId>],
-    ) -> Result<Self, DagError> {
+    pub fn from_chains(num_nodes: usize, chains: &[Vec<NodeId>]) -> Result<Self, DagError> {
         let mut edges = Vec::new();
         for chain in chains {
             for pair in chain.windows(2) {
@@ -394,8 +381,7 @@ impl Dag {
                 }
             }
         }
-        let sub = Self::from_edges(nodes.len(), edges)
-            .expect("induced subgraph of a DAG is a DAG");
+        let sub = Self::from_edges(nodes.len(), edges).expect("induced subgraph of a DAG is a DAG");
         (sub, nodes.to_vec())
     }
 

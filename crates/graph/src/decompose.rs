@@ -62,7 +62,10 @@ impl fmt::Display for DecompositionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::NotAForest => {
-                write!(f, "chain decomposition requires the underlying graph to be a forest")
+                write!(
+                    f,
+                    "chain decomposition requires the underlying graph to be a forest"
+                )
             }
         }
     }
@@ -268,7 +271,7 @@ impl ChainDecomposition {
                 chain_counter += 1;
             }
         }
-        if block_of.iter().any(|&b| b == usize::MAX) {
+        if block_of.contains(&usize::MAX) {
             return false;
         }
         // (b) chains are directed paths.

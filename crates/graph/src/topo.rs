@@ -28,7 +28,14 @@ pub fn levels(dag: &Dag) -> Vec<Vec<NodeId>> {
             }
         }
     }
-    let mut out = vec![Vec::new(); if dag.num_nodes() == 0 { 0 } else { max_level + 1 }];
+    let mut out = vec![
+        Vec::new();
+        if dag.num_nodes() == 0 {
+            0
+        } else {
+            max_level + 1
+        }
+    ];
     for v in 0..dag.num_nodes() {
         out[level[v]].push(v);
     }

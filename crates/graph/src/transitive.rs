@@ -63,10 +63,7 @@ pub fn transitive_reduction(dag: &Dag) -> Dag {
     let mut edges = Vec::new();
     for (u, v) in dag.edges() {
         // Edge u→v is redundant iff some other successor w of u reaches v.
-        let redundant = dag
-            .successors(u)
-            .iter()
-            .any(|&w| w != v && closure[w][v]);
+        let redundant = dag.successors(u).iter().any(|&w| w != v && closure[w][v]);
         if !redundant {
             edges.push((u, v));
         }

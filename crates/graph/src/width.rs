@@ -114,8 +114,7 @@ mod tests {
 
     #[test]
     fn maximum_antichain_is_antichain_of_width_size() {
-        let dag =
-            Dag::from_edges(7, [(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (5, 6)]).unwrap();
+        let dag = Dag::from_edges(7, [(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (5, 6)]).unwrap();
         let w = width(&dag);
         let ac = maximum_antichain(&dag);
         assert_eq!(ac.len(), w);

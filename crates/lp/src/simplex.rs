@@ -202,7 +202,11 @@ impl Tableau {
                 ConstraintOp::Ge => -1.0,
                 ConstraintOp::Eq => 0.0,
             };
-            if rhs < 0.0 {
+            if rhs < 0.0 || (rhs == 0.0 && c.op == ConstraintOp::Ge) {
+                // Negative rhs rows are negated so rhs ≥ 0. A `≥` row with
+                // rhs exactly 0 is negated too: the first pass classified it
+                // as an effective `≤` (no artificial), which is only valid
+                // once negation turns its surplus column into a +1 slack.
                 sign = -1.0;
                 rhs = -rhs;
             }
@@ -417,8 +421,8 @@ impl Tableau {
             if !self.is_artificial[self.basis[r]] {
                 continue;
             }
-            let replacement = (0..self.num_real_vars)
-                .find(|&c| self.a[r * w + c].abs() > options.tolerance);
+            let replacement =
+                (0..self.num_real_vars).find(|&c| self.a[r * w + c].abs() > options.tolerance);
             match replacement {
                 Some(c) => {
                     self.pivot(r, c);
@@ -601,7 +605,11 @@ mod tests {
         let p = [[0.9, 0.3], [0.2, 0.8]];
         let mut lp = LpProblem::new(Sense::Minimize);
         let x: Vec<Vec<VarId>> = (0..2)
-            .map(|i| (0..2).map(|j| lp.add_variable(format!("x{i}{j}"))).collect())
+            .map(|i| {
+                (0..2)
+                    .map(|j| lp.add_variable(format!("x{i}{j}")))
+                    .collect()
+            })
             .collect();
         let d: Vec<VarId> = (0..2).map(|j| lp.add_variable(format!("d{j}"))).collect();
         let t = lp.add_variable("t");
@@ -689,11 +697,14 @@ mod tests {
                 lp.set_objective_coefficient(v, rng.gen_range(0.0..3.0));
             }
             for c in 0..nc {
-                let terms: Vec<(VarId, f64)> = vars
-                    .iter()
-                    .map(|&v| (v, rng.gen_range(0.1..2.0)))
-                    .collect();
-                lp.add_constraint(terms, ConstraintOp::Le, rng.gen_range(1.0..10.0), format!("c{c}"));
+                let terms: Vec<(VarId, f64)> =
+                    vars.iter().map(|&v| (v, rng.gen_range(0.1..2.0))).collect();
+                lp.add_constraint(
+                    terms,
+                    ConstraintOp::Le,
+                    rng.gen_range(1.0..10.0),
+                    format!("c{c}"),
+                );
             }
             let sol = solve(&lp, &SimplexOptions::default()).unwrap();
             assert_eq!(sol.status, LpStatus::Optimal);

@@ -1,0 +1,148 @@
+//! Primal-feasibility checks for the simplex solver.
+//!
+//! Every optimal solution the solver reports must satisfy all constraints and
+//! the nonnegativity bounds — on fixed textbook models and on batteries of
+//! randomly generated LPs that are feasible by construction.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use suu_lp::{solve, ConstraintOp, LpProblem, LpStatus, Sense, SimplexOptions};
+
+const TOL: f64 = 1e-7;
+
+#[test]
+fn textbook_models_yield_primal_feasible_optima() {
+    // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let x = lp.add_variable("x");
+    let y = lp.add_variable("y");
+    lp.set_objective_coefficient(x, 3.0);
+    lp.set_objective_coefficient(y, 5.0);
+    lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0, "c1");
+    lp.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0, "c2");
+    lp.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0, "c3");
+    let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(lp.is_feasible(&sol.values, TOL));
+
+    // min 2x + 3y s.t. x + y ≥ 10, x ≥ 3 (phase-one path).
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let x = lp.add_variable("x");
+    let y = lp.add_variable("y");
+    lp.set_objective_coefficient(x, 2.0);
+    lp.set_objective_coefficient(y, 3.0);
+    lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0, "cover");
+    lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "xmin");
+    let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(lp.is_feasible(&sol.values, TOL));
+
+    // Mixed operators including equalities.
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let x = lp.add_variable("x");
+    let y = lp.add_variable("y");
+    let z = lp.add_variable("z");
+    lp.set_objective_coefficient(x, 1.0);
+    lp.set_objective_coefficient(y, 2.0);
+    lp.set_objective_coefficient(z, 0.5);
+    lp.add_constraint(
+        vec![(x, 1.0), (y, 1.0), (z, 1.0)],
+        ConstraintOp::Eq,
+        6.0,
+        "balance",
+    );
+    lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Ge, 1.0, "gap");
+    lp.add_constraint(vec![(z, 1.0)], ConstraintOp::Le, 4.0, "zcap");
+    let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!(lp.is_feasible(&sol.values, TOL));
+}
+
+/// Random LPs, feasible by construction: draw a nonnegative witness `x0` and
+/// set every `≤` right-hand side to `A·x0` plus nonnegative slack. `x = x0` is
+/// then feasible, so the solver must report `Optimal` and its solution must be
+/// primal feasible with objective no worse than the witness's.
+#[test]
+fn random_feasible_minimization_lps_return_feasible_optima() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x51b913);
+    for trial in 0..40u64 {
+        let num_vars = rng.gen_range(1..8);
+        let num_constraints = rng.gen_range(1..10);
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let vars: Vec<_> = (0..num_vars)
+            .map(|k| lp.add_variable(format!("x{k}")))
+            .collect();
+        let witness: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..5.0)).collect();
+        let costs: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..3.0)).collect();
+        for (var, &c) in vars.iter().zip(&costs) {
+            lp.set_objective_coefficient(*var, c);
+        }
+        for row in 0..num_constraints {
+            let coeffs: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(-2.0..4.0)).collect();
+            let lhs_at_witness: f64 = coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
+            let slack = rng.gen_range(0.0..2.0);
+            let terms: Vec<_> = vars.iter().copied().zip(coeffs).collect();
+            lp.add_constraint(
+                terms,
+                ConstraintOp::Le,
+                lhs_at_witness + slack,
+                format!("c{row}"),
+            );
+        }
+
+        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal, "trial {trial}");
+        assert!(
+            lp.is_feasible(&sol.values, TOL),
+            "trial {trial}: reported optimum violates a constraint"
+        );
+        assert!(
+            sol.values.iter().all(|&v| v >= -TOL),
+            "trial {trial}: negative variable in solution"
+        );
+        let witness_objective: f64 = costs.iter().zip(&witness).map(|(c, x)| c * x).sum();
+        assert!(
+            sol.objective <= witness_objective + 1e-6,
+            "trial {trial}: objective {} worse than witness {witness_objective}",
+            sol.objective
+        );
+    }
+}
+
+/// Same battery with `≥` constraints and maximization, exercising phase one.
+#[test]
+fn random_feasible_maximization_lps_with_ge_constraints() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xfea51b1e);
+    for trial in 0..40u64 {
+        let num_vars = rng.gen_range(1..6);
+        let num_constraints = rng.gen_range(1..8);
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..num_vars)
+            .map(|k| lp.add_variable(format!("x{k}")))
+            .collect();
+        let witness: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.5..4.0)).collect();
+        for var in &vars {
+            // Maximize -Σ x (i.e. keep the problem bounded).
+            lp.set_objective_coefficient(*var, -1.0);
+        }
+        for row in 0..num_constraints {
+            let coeffs: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(0.0..3.0)).collect();
+            let lhs_at_witness: f64 = coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
+            let slack = rng.gen_range(0.0..1.0);
+            let terms: Vec<_> = vars.iter().copied().zip(coeffs).collect();
+            lp.add_constraint(
+                terms,
+                ConstraintOp::Ge,
+                (lhs_at_witness - slack).max(0.0),
+                format!("c{row}"),
+            );
+        }
+
+        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal, "trial {trial}");
+        assert!(
+            lp.is_feasible(&sol.values, TOL),
+            "trial {trial}: reported optimum violates a constraint"
+        );
+    }
+}

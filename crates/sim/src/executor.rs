@@ -234,10 +234,7 @@ mod tests {
     #[test]
     fn deterministic_job_finishes_in_one_step() {
         let instance = single_job_instance(1.0);
-        let mut sched = ObliviousSchedule::from_steps(
-            1,
-            vec![Assignment::all_on(1, JobId(0))],
-        );
+        let mut sched = ObliviousSchedule::from_steps(1, vec![Assignment::all_on(1, JobId(0))]);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let steps = simulate_once(&instance, &mut sched, &mut rng, 100);
         assert_eq!(steps, Some(1));

@@ -43,8 +43,7 @@ pub fn exact_expected_makespan_regimen(
         let unfinished = jobset_from_mask(n, mask);
         let proposed = regimen(&unfinished);
         let effective = effective_assignment(instance, &proposed, &unfinished);
-        let value =
-            expected_steps_from(instance, mask, &effective, |sub| expect[sub as usize]);
+        let value = expected_steps_from(instance, mask, &effective, |sub| expect[sub as usize]);
         expect[mask as usize] = value;
     }
     expect[full as usize]
@@ -83,11 +82,11 @@ pub fn exact_expected_makespan_oblivious_cyclic(
         let mut a = vec![0.0f64; len];
         let mut b = vec![0.0f64; len];
         for phase in 0..len {
-            let effective =
-                effective_assignment(instance, schedule.step(phase), &unfinished);
+            let effective = effective_assignment(instance, schedule.step(phase), &unfinished);
             let next_phase = (phase + 1) % len;
-            let (to_smaller, stay) =
-                transition_split(instance, mask, &effective, |sub| expect[sub as usize][next_phase]);
+            let (to_smaller, stay) = transition_split(instance, mask, &effective, |sub| {
+                expect[sub as usize][next_phase]
+            });
             a[phase] = 1.0 + to_smaller;
             b[phase] = stay;
         }
@@ -195,7 +194,9 @@ fn transition_split(
 fn jobset_from_mask(n: usize, mask: u32) -> JobSet {
     JobSet::from_members(
         n,
-        (0..n).filter(|&j| mask & (1 << j) != 0).map(suu_core::JobId),
+        (0..n)
+            .filter(|&j| mask & (1 << j) != 0)
+            .map(suu_core::JobId),
     )
 }
 
@@ -219,9 +220,8 @@ mod tests {
     fn single_job_regimen_matches_geometric_mean() {
         let instance = geometric_instance(0.25);
         let m = instance.num_machines();
-        let exact = exact_expected_makespan_regimen(&instance, |_s| {
-            Assignment::all_on(m, JobId(0))
-        });
+        let exact =
+            exact_expected_makespan_regimen(&instance, |_s| Assignment::all_on(m, JobId(0)));
         assert!((exact - 4.0).abs() < 1e-9);
     }
 

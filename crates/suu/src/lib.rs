@@ -41,7 +41,9 @@ pub use suu_workloads as workloads;
 
 /// The most commonly used types and functions, re-exported flat.
 pub mod prelude {
-    pub use suu_algorithms::chains::{schedule_chains, schedule_chains_with, ChainsOptions, ChainsSchedule};
+    pub use suu_algorithms::chains::{
+        schedule_chains, schedule_chains_with, ChainsOptions, ChainsSchedule,
+    };
     pub use suu_algorithms::forest::{schedule_forest, schedule_forest_with, ForestSchedule};
     pub use suu_algorithms::independent_lp::{schedule_independent_lp, IndependentLpSchedule};
     pub use suu_algorithms::lp_relaxation::{solve_lp1, solve_lp2, FractionalSolution};
@@ -57,8 +59,8 @@ pub mod prelude {
     pub use suu_baselines::lower_bounds::{combined_lower_bound, critical_path_bound};
     pub use suu_baselines::optimal::{optimal_expected_makespan, optimal_regimen, OptimalRegimen};
     pub use suu_core::{
-        Assignment, InstanceBuilder, JobId, JobSet, MachineId, MultiAssignment,
-        ObliviousSchedule, PseudoSchedule, SchedulingPolicy, SuuInstance,
+        Assignment, InstanceBuilder, JobId, JobSet, MachineId, MultiAssignment, ObliviousSchedule,
+        PseudoSchedule, SchedulingPolicy, SuuInstance,
     };
     pub use suu_graph::{ChainDecomposition, ChainSet, Dag, ForestKind};
     pub use suu_sim::{

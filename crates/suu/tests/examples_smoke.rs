@@ -1,0 +1,51 @@
+//! Smoke test: every example must build and run to completion.
+//!
+//! Examples are documentation that executes; without this test they rot
+//! silently (they are compiled by `cargo test` but never run). Each example is
+//! driven through `cargo run --example` exactly as a reader would run it.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn every_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/suu sits two levels below the workspace root")
+        .to_path_buf();
+
+    // Enumerate examples/ on disk rather than hard-coding names, so an
+    // example added later is smoke-run without touching this test. (It must
+    // still be registered under [[example]] in crates/suu/Cargo.toml or the
+    // `cargo run` below fails, which is also the right failure.)
+    let mut examples: Vec<String> = std::fs::read_dir(workspace_root.join("examples"))
+        .expect("workspace examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension()? == "rs")
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    examples.sort();
+    assert!(!examples.is_empty(), "no examples found to smoke-test");
+
+    for example in &examples {
+        let output = Command::new(&cargo)
+            .current_dir(&workspace_root)
+            .args(["run", "--release", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {:?}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{example}` produced no output"
+        );
+    }
+}

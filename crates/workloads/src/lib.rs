@@ -22,13 +22,12 @@ pub mod probability;
 pub mod scenario;
 
 pub use precedence::{
-    random_chains, random_directed_forest, random_in_forest, random_layered_dag,
-    random_out_forest,
+    random_chains, random_directed_forest, random_in_forest, random_layered_dag, random_out_forest,
 };
 pub use probability::{
     bimodal_matrix, skill_matrix, sparse_uniform_matrix, uniform_matrix, ProbabilityModel,
 };
 pub use scenario::{
-    bottleneck_instance, figure1_instance, grid_computing_instance,
-    project_management_instance, GridConfig, ProjectConfig,
+    bottleneck_instance, figure1_instance, grid_computing_instance, project_management_instance,
+    GridConfig, ProjectConfig,
 };

@@ -81,7 +81,14 @@ pub fn uniform_matrix(
     for p in &mut probs {
         *p = rng.gen_range(lo..=hi);
     }
-    ensure_schedulable(&mut probs, num_jobs, num_machines, &mut rng, lo.max(0.05), hi);
+    ensure_schedulable(
+        &mut probs,
+        num_jobs,
+        num_machines,
+        &mut rng,
+        lo.max(0.05),
+        hi,
+    );
     probs
 }
 
@@ -106,12 +113,23 @@ pub fn bimodal_matrix(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut probs = vec![0.0; num_jobs * num_machines];
     for p in &mut probs {
-        let base = if rng.gen_bool(good_fraction) { good } else { bad };
+        let base = if rng.gen_bool(good_fraction) {
+            good
+        } else {
+            bad
+        };
         // Jitter by ±10% to avoid exactly tied probabilities.
         let jitter = rng.gen_range(0.9..=1.1);
         *p = (base * jitter).clamp(0.0, 1.0);
     }
-    ensure_schedulable(&mut probs, num_jobs, num_machines, &mut rng, good * 0.9, good);
+    ensure_schedulable(
+        &mut probs,
+        num_jobs,
+        num_machines,
+        &mut rng,
+        good * 0.9,
+        good,
+    );
     probs
 }
 
@@ -120,7 +138,9 @@ pub fn bimodal_matrix(
 #[must_use]
 pub fn skill_matrix(num_jobs: usize, num_machines: usize, seed: u64) -> Vec<f64> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let speeds: Vec<f64> = (0..num_machines).map(|_| rng.gen_range(0.2..=1.0)).collect();
+    let speeds: Vec<f64> = (0..num_machines)
+        .map(|_| rng.gen_range(0.2..=1.0))
+        .collect();
     let difficulty: Vec<f64> = (0..num_jobs).map(|_| rng.gen_range(0.0..=0.8)).collect();
     let mut probs = vec![0.0; num_jobs * num_machines];
     for i in 0..num_machines {
@@ -155,7 +175,14 @@ pub fn sparse_uniform_matrix(
             *p = rng.gen_range(lo.max(1e-3)..=hi);
         }
     }
-    ensure_schedulable(&mut probs, num_jobs, num_machines, &mut rng, lo.max(0.05), hi);
+    ensure_schedulable(
+        &mut probs,
+        num_jobs,
+        num_machines,
+        &mut rng,
+        lo.max(0.05),
+        hi,
+    );
     probs
 }
 

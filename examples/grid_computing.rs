@@ -50,8 +50,7 @@ fn main() {
         base_seed: 11,
     });
     let forest_est = simulator.estimate(&instance, || forest.schedule.clone());
-    let adaptive_est =
-        simulator.estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()));
+    let adaptive_est = simulator.estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()));
     let greedy_est = simulator.estimate(&instance, || GreedyRatePolicy::new(instance.clone()));
     let lower = combined_lower_bound(&instance);
 

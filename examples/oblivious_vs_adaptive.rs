@@ -31,7 +31,9 @@ fn main() {
             .estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()))
             .mean();
         let comb = suu_i_oblivious(&instance).expect("independent");
-        let comb_mean = simulator.estimate(&instance, || comb.schedule.clone()).mean();
+        let comb_mean = simulator
+            .estimate(&instance, || comb.schedule.clone())
+            .mean();
         let lp = schedule_independent_lp(&instance).expect("independent");
         let lp_mean = simulator.estimate(&instance, || lp.schedule.clone()).mean();
 

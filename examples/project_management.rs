@@ -40,8 +40,7 @@ fn main() {
     });
 
     let plan_est = simulator.estimate(&instance, || forest.schedule.clone());
-    let adaptive_est =
-        simulator.estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()));
+    let adaptive_est = simulator.estimate(&instance, || SuuIAdaptivePolicy::new(instance.clone()));
     let single_staff_est =
         simulator.estimate(&instance, || GreedyRatePolicy::new(instance.clone()));
     let lower = combined_lower_bound(&instance);

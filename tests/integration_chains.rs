@@ -1,8 +1,8 @@
 //! Integration tests for the disjoint-chains pipeline (Theorem 4.4): LP →
 //! rounding → pseudo-schedule → delays → replication, end to end.
 
-use suu::prelude::*;
 use suu::core::mass::mass_of_oblivious;
+use suu::prelude::*;
 
 fn chain_instance(n: usize, m: usize, chains: usize, seed: u64) -> SuuInstance {
     InstanceBuilder::new(n, m)
@@ -89,8 +89,8 @@ fn constant_mass_schedule_never_schedules_job_before_chain_predecessor_mass() {
         for pair in chain.windows(2) {
             let (a, b) = (JobId(pair[0]), JobId(pair[1]));
             let a_done = suu::core::mass::first_step_reaching_mass(&instance, schedule, a, 0.5);
-            let b_start = (0..schedule.len())
-                .find(|&t| !schedule.step(t).machines_on(b).is_empty());
+            let b_start =
+                (0..schedule.len()).find(|&t| !schedule.step(t).machines_on(b).is_empty());
             if let (Some(a_done), Some(b_start)) = (a_done, b_start) {
                 assert!(
                     b_start + 1 >= a_done,

@@ -145,11 +145,10 @@ fn figure1_instance_exact_optimum_matches_published_structure() {
     let opt = optimal_expected_makespan(&instance).unwrap();
     assert!(opt.is_finite());
     assert!(opt >= combined_lower_bound(&instance) - 1e-9);
-    let serial = suu::sim::exact_expected_makespan_regimen(&instance, |s: &JobSet| {
-        match s.iter().next() {
+    let serial =
+        suu::sim::exact_expected_makespan_regimen(&instance, |s: &JobSet| match s.iter().next() {
             Some(j) => Assignment::all_on(2, j),
             None => Assignment::idle(2),
-        }
-    });
+        });
     assert!(opt <= serial + 1e-9);
 }

@@ -32,9 +32,17 @@ fn out_tree_and_in_tree_use_the_sharper_bound() {
         let n = 128;
         let sharper = (n as f64).log2().ceil() as usize + 1;
         let out = ChainDecomposition::decompose(&random_out_forest(n, 2, seed)).unwrap();
-        assert!(out.num_blocks() <= sharper, "seed {seed}: out {}", out.num_blocks());
+        assert!(
+            out.num_blocks() <= sharper,
+            "seed {seed}: out {}",
+            out.num_blocks()
+        );
         let inn = ChainDecomposition::decompose(&random_in_forest(n, 2, seed)).unwrap();
-        assert!(inn.num_blocks() <= sharper, "seed {seed}: in {}", inn.num_blocks());
+        assert!(
+            inn.num_blocks() <= sharper,
+            "seed {seed}: in {}",
+            inn.num_blocks()
+        );
     }
 }
 

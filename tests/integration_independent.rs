@@ -120,8 +120,7 @@ fn suu_i_obl_handles_many_machines_few_jobs_and_vice_versa() {
         let result = suu_i_oblivious(&instance).unwrap();
         // Only evaluate exactly when small enough; otherwise simulate.
         if instance.num_jobs() <= 20 {
-            let exact =
-                exact_expected_makespan_oblivious_cyclic(&instance, &result.schedule);
+            let exact = exact_expected_makespan_oblivious_cyclic(&instance, &result.schedule);
             assert!(exact.is_finite());
         }
         let sim = Simulator::new(SimulationOptions {

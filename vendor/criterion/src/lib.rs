@@ -1,0 +1,255 @@
+//! Minimal, dependency-free stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! This workspace builds in an offline container, so the benchmark surface
+//! the repository uses is vendored here: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / `sample_size` / `finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up once and
+//! then timed over `sample_size` batches with wall-clock timing; the median
+//! per-iteration time is printed. There are no statistics, plots or baseline
+//! comparisons — the point is that `cargo bench` runs and reports stable
+//! order-of-magnitude numbers.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value hint, like `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median over the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and a quick calibration: aim for at least ~10ms per sample
+        // or 100 iterations, whichever is smaller work.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100) as u32;
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / per_sample);
+        }
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.label, bencher.last);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkLabel>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.into().0, bencher.last);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// Either a string or a [`BenchmarkId`], for `bench_function`.
+pub struct BenchmarkLabel(String);
+
+impl From<&str> for BenchmarkLabel {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkLabel {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkLabel {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.label)
+    }
+}
+
+fn report(group: &str, label: &str, time: Option<Duration>) {
+    match time {
+        Some(t) => println!(
+            "bench {group}/{label}: {:>12.3} µs/iter",
+            t.as_secs_f64() * 1e6
+        ),
+        None => println!("bench {group}/{label}: no measurement (b.iter never called)"),
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(ran > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("greedy", "32x8").to_string(),
+            "greedy/32x8"
+        );
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

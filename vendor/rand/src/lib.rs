@@ -1,0 +1,302 @@
+//! Minimal, dependency-free stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8-series API subset).
+//!
+//! This workspace builds in an offline container with no registry access, so
+//! the handful of `rand` APIs the codebase uses are vendored here:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range`, `gen_bool` and `gen`,
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed`,
+//! * [`seq::SliceRandom`] with `shuffle` and `choose`,
+//! * the [`prelude`].
+//!
+//! The implementations are straightforward and deterministic; they make no
+//! attempt to match the stream of the real crate bit-for-bit (nothing in this
+//! repository depends on golden random values, only on seeded determinism).
+
+pub mod seq;
+
+/// Low-level source of randomness: a stream of `u64` words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random generator seedable from a small integer (API subset of
+/// `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 exactly
+    /// like the real crate's default implementation does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (same expansion the real rand crate uses).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types with a uniform sampler over an interval (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a uniform sample from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    (hi as i128 - lo as i128) as u128 + 1
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    (hi as i128 - lo as i128) as u128
+                };
+                if span > u128::from(u64::MAX) {
+                    // Only reachable for the full u64/i64/usize domain.
+                    return rng.next_u64() as $t;
+                }
+                // Rejection sampling over u64 words (unbiased).
+                let zone = u128::from(u64::MAX) + 1;
+                let cutoff = zone - zone % span;
+                loop {
+                    let raw = u128::from(rng.next_u64());
+                    if raw < cutoff {
+                        return (lo as i128 + (raw % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                    lo + unit * (hi - lo)
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    let out = lo + unit * (hi - lo);
+                    // For f32 the 53-bit unit can round up to exactly 1.0,
+                    // which would return the excluded upper bound; remap that
+                    // (probability ~2⁻²⁴) draw to lo to keep the [lo, hi)
+                    // contract.
+                    if out < hi {
+                        out
+                    } else {
+                        lo
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Ranges that can produce a uniform sample (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" distribution, used
+/// by [`Rng::gen`].
+pub trait Standard {
+    /// Draws a sample.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1]");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// Sample from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Everything a typical consumer imports.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+/// A small xoshiro256** generator, used as this stub's general-purpose RNG
+/// and by `rand_chacha`'s stand-in stream cipher RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Avoid the all-zero state, which is a fixed point for xoshiro.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        Self { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(7);
+        let mut b = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256StarStar::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&y));
+            let f = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+}

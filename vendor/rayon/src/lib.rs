@@ -1,0 +1,214 @@
+//! Minimal, dependency-free stand-in for the
+//! [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Supports the parallel-iterator surface this repository uses:
+//! `(a..b).into_par_iter().map(f).collect::<Vec<_>>()` and
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`. Work is executed on real
+//! OS threads via `std::thread::scope`, split into contiguous blocks, one per
+//! available core; results are returned in input order. There is no work
+//! stealing — good enough for the embarrassingly parallel Monte-Carlo trials
+//! this workspace runs.
+
+use std::ops::Range;
+
+/// The names a typical consumer imports.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Conversion into a parallel iterator (subset of rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item;
+    /// Concrete parallel iterator.
+    type Iter;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on borrowed collections (subset of rayon's trait).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item;
+    /// Concrete parallel iterator.
+    type Iter;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps each element reference through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<SliceFn<'a, T, F>>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            range: 0..self.items.len(),
+            f: SliceFn {
+                items: self.items,
+                f,
+            },
+        }
+    }
+}
+
+/// Adapter turning an index function into a slice-element function.
+pub struct SliceFn<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// Internal trait: "call with an index".
+pub trait IndexFn {
+    /// Result type.
+    type Output: Send;
+
+    /// Applies the function at `index`.
+    fn call(&self, index: usize) -> Self::Output;
+}
+
+impl<R: Send, F: Fn(usize) -> R + Sync> IndexFn for F {
+    type Output = R;
+
+    fn call(&self, index: usize) -> R {
+        self(index)
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> IndexFn for SliceFn<'a, T, F> {
+    type Output = R;
+
+    fn call(&self, index: usize) -> R {
+        (self.f)(&self.items[index])
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F: IndexFn + Sync> ParMap<F> {
+    /// Executes the map on scoped threads and collects results in order.
+    pub fn collect<C: From<Vec<F::Output>>>(self) -> C {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let mut slots: Vec<Option<F::Output>> = (0..len).map(|_| None).collect();
+        if len > 0 {
+            let workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(len);
+            let block = len.div_ceil(workers);
+            let f = &self.f;
+            std::thread::scope(|scope| {
+                for (chunk_index, chunk) in slots.chunks_mut(block).enumerate() {
+                    scope.spawn(move || {
+                        let base = start + chunk_index * block;
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(f.call(base + offset));
+                        }
+                    });
+                }
+            });
+        }
+        let results: Vec<F::Output> = slots
+            .into_iter()
+            .map(|slot| slot.expect("worker filled every slot"))
+            .collect();
+        C::from(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn work_actually_runs_for_every_index() {
+        let counter = AtomicUsize::new(0);
+        let _: Vec<()> = (0..257)
+            .into_par_iter()
+            .map(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let v: Vec<u8> = (5..5).into_par_iter().map(|_| 0u8).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn slice_par_iter_maps_elements() {
+        let data = vec![1i64, 2, 3, 4];
+        let doubled: Vec<i64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+}

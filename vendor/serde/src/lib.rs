@@ -1,0 +1,217 @@
+//! Minimal, dependency-light stand-in for the
+//! [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! This workspace builds in an offline container with no registry access, so
+//! the serialisation surface the codebase uses is vendored here. Unlike real
+//! serde, the data model is not generic over formats: [`Serialize`] and
+//! [`Deserialize`] convert to and from a JSON-shaped [`Value`] tree, which is
+//! exactly what the sibling `serde_json` stub renders and parses. The derive
+//! macros (`#[derive(Serialize, Deserialize)]`) are provided by the
+//! `serde_derive` stub and support named structs, tuple structs, unit-variant
+//! enums and `#[serde(transparent)]` — the shapes this repository uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{DeError, Value};
+
+/// Types convertible into the JSON-shaped [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the JSON-shaped [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_number().ok_or_else(|| DeError::expected("number", v))?;
+                if n.fract() != 0.0 {
+                    return Err(DeError::new(format!("expected integer, got {n}")));
+                }
+                let lo = <$t>::MIN as f64;
+                let hi = <$t>::MAX as f64;
+                if n < lo || n > hi {
+                    return Err(DeError::new(format!("integer {n} out of range")));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_number()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| DeError::expected("number", v))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = match v {
+                    Value::Array(items) => items,
+                    other => return Err(DeError::expected("array", other)),
+                };
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected array of length {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(usize, f64)> = vec![(1, 0.5), (2, 0.25)];
+        let round: Vec<(usize, f64)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+        let opt: Option<u8> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn integer_rejects_fractional_and_out_of_range() {
+        assert!(u8::from_value(&Value::Number(1.5)).is_err());
+        assert!(u8::from_value(&Value::Number(300.0)).is_err());
+        assert!(i8::from_value(&Value::Number(-129.0)).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! type shapes this repository actually uses:
+//!
+//! * structs with named fields (serialised as JSON objects),
+//! * tuple structs — newtypes serialise transparently as their inner value,
+//!   wider tuples as arrays,
+//! * enums with unit variants only (serialised as the variant name string),
+//! * the `#[serde(transparent)]` attribute on single-field structs.
+//!
+//! There is no `syn`/`quote` (offline build), so the input item is parsed by
+//! walking the raw [`proc_macro::TokenStream`]. Generic types and non-unit
+//! enum variants are rejected with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    /// `struct S { f1: T1, ... }`
+    Named { fields: Vec<String> },
+    /// `struct S(T1, ...);` with the field count.
+    Tuple { arity: usize },
+    /// `struct S;`
+    Unit,
+    /// `enum E { A, B, ... }` (unit variants only).
+    Enum { variants: Vec<String> },
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Extracts `serde(...)` attribute words like `transparent`.
+fn serde_attr_words(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(inner))) =
+        (tokens.first(), tokens.get(1))
+    {
+        if name.to_string() == "serde" {
+            return inner
+                .stream()
+                .into_iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(word) => Some(word.to_string()),
+                    _ => None,
+                })
+                .collect();
+        }
+    }
+    Vec::new()
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `tokens[*idx]`.
+fn skip_visibility(tokens: &[TokenTree], idx: &mut usize) {
+    if let Some(TokenTree::Ident(word)) = tokens.get(*idx) {
+        if word.to_string() == "pub" {
+            *idx += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*idx) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips attributes (`#[...]`) at `tokens[*idx]`, collecting serde words.
+fn skip_attributes(tokens: &[TokenTree], idx: &mut usize, serde_words: &mut Vec<String>) {
+    loop {
+        match (tokens.get(*idx), tokens.get(*idx + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                serde_words.extend(serde_attr_words(g));
+                *idx += 2;
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let mut ignored = Vec::new();
+        skip_attributes(&tokens, &mut idx, &mut ignored);
+        skip_visibility(&tokens, &mut idx);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Consume the type: everything up to a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(idx) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            idx += 1;
+        }
+        // Skip the trailing comma, if any.
+        if idx < tokens.len() {
+            idx += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for (i, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A trailing comma does not start a new field.
+                ',' if angle_depth == 0 && i + 1 < tokens.len() => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let mut ignored = Vec::new();
+        skip_attributes(&tokens, &mut idx, &mut ignored);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => idx += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; the vendored serde derive supports unit variants only"
+                ));
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+    let mut serde_words = Vec::new();
+    skip_attributes(&tokens, &mut idx, &mut serde_words);
+    skip_visibility(&tokens, &mut idx);
+
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    idx += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "`{name}` is generic; the vendored serde derive supports concrete types only"
+            ));
+        }
+    }
+    let transparent = serde_words.iter().any(|w| w == "transparent");
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+                fields: parse_named_fields(g)?,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+                arity: parse_tuple_arity(g),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_enum_variants(g)?,
+            },
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+
+    Ok(Item {
+        name,
+        transparent,
+        shape,
+    })
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named { fields } if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Shape::Named { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple { arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "Self::{v} => ::serde::Value::String(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named { fields } if item.transparent && fields.len() == 1 => {
+            format!(
+                "::std::result::Result::Ok(Self {{ {f}: ::serde::Deserialize::from_value(v)? }})",
+                f = fields[0]
+            )
+        }
+        Shape::Named { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                         ::serde::DeError::new(concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple { arity: 1 } => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Shape::Tuple { arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::DeError::new(\"tuple struct array too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Array(items) => \
+                 ::std::result::Result::Ok(Self({})), \
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\"array\", other)) }}",
+                gets.join(", ")
+            )
+        }
+        Shape::Unit => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => ::std::result::Result::Ok(Self::{v})"))
+                .collect();
+            format!(
+                "match v.as_str() {{ {}, _ => ::std::result::Result::Err(\
+                 ::serde::DeError::new(concat!(\"invalid variant for {name}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => serialize_impl(&item).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => deserialize_impl(&item).parse().unwrap(),
+        Err(message) => compile_error(&message),
+    }
+}
