@@ -3,17 +3,5 @@
 //! Usage: `cargo run --release -p suu-bench --bin exp_ablations [-- --quick] [--seed N]`
 
 fn main() {
-    let config = suu_bench::RunConfig::from_args();
-    println!(
-        "{}",
-        suu_bench::experiments::ablations::run_replication(&config).render()
-    );
-    println!(
-        "{}",
-        suu_bench::experiments::ablations::run_delay_strategies(&config).render()
-    );
-    println!(
-        "{}",
-        suu_bench::experiments::ablations::run_bucketing(&config).render()
-    );
+    suu_bench::run_registered("ablations");
 }

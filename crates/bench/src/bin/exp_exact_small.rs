@@ -3,13 +3,5 @@
 //! Usage: `cargo run --release -p suu-bench --bin exp_exact_small [-- --quick] [--seed N]`
 
 fn main() {
-    let config = suu_bench::RunConfig::from_args();
-    println!(
-        "{}",
-        suu_bench::experiments::exact_small::run_figure1(&config).render()
-    );
-    println!(
-        "{}",
-        suu_bench::experiments::exact_small::run_exact_ratios(&config).render()
-    );
+    suu_bench::run_registered("exact_small");
 }

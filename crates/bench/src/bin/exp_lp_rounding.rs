@@ -3,9 +3,5 @@
 //! Usage: `cargo run --release -p suu-bench --bin exp_lp_rounding [-- --quick] [--seed N]`
 
 fn main() {
-    let config = suu_bench::RunConfig::from_args();
-    println!(
-        "{}",
-        suu_bench::experiments::lp_rounding::run(&config).render()
-    );
+    suu_bench::run_registered("lp_rounding");
 }

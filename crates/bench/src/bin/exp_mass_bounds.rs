@@ -3,9 +3,5 @@
 //! Usage: `cargo run --release -p suu-bench --bin exp_mass_bounds [-- --quick] [--seed N]`
 
 fn main() {
-    let config = suu_bench::RunConfig::from_args();
-    println!(
-        "{}",
-        suu_bench::experiments::mass_bounds::run(&config).render()
-    );
+    suu_bench::run_registered("mass_bounds");
 }

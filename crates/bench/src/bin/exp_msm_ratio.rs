@@ -3,9 +3,5 @@
 //! Usage: `cargo run --release -p suu-bench --bin exp_msm_ratio [-- --quick] [--seed N]`
 
 fn main() {
-    let config = suu_bench::RunConfig::from_args();
-    println!(
-        "{}",
-        suu_bench::experiments::msm_ratio::run(&config).render()
-    );
+    suu_bench::run_registered("msm_ratio");
 }

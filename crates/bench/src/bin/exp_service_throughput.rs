@@ -1,0 +1,7 @@
+//! Experiment binary: S1, serving-layer throughput
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_service_throughput [-- --quick] [--seed N]`
+
+fn main() {
+    suu_bench::run_registered("service_throughput");
+}

@@ -1,0 +1,86 @@
+//! S1: throughput of the `suu-service` serving layer.
+//!
+//! Spins up an in-process service on an ephemeral TCP port and replays each
+//! load-generator scenario against it as fast as the connections allow,
+//! reporting achieved requests/sec, cache effectiveness and latency
+//! percentiles. The acceptance floor tracked from this experiment onward is
+//! ≥ 100 req/s on mixed small instances.
+
+use std::sync::Arc;
+
+use suu_service::{
+    run_loadgen, spawn_tcp, LoadgenConfig, SchedulerService, ServiceConfig, TcpServerConfig,
+};
+
+use crate::report::{f2, Table};
+use crate::RunConfig;
+
+/// Runs the throughput sweep over every load-generator scenario.
+#[must_use]
+pub fn run(config: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "S1: service throughput (4 connections, in-process TCP)",
+        &[
+            "scenario",
+            "requests",
+            "cache_hits",
+            "req/s",
+            "p50 us",
+            "p99 us",
+            "mean us",
+        ],
+    );
+    let total_requests = if config.quick { 120 } else { 600 };
+    for scenario in ["mixed", "grid", "project", "bursty"] {
+        let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
+        let handle = spawn_tcp(
+            service,
+            &TcpServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 4,
+            },
+        )
+        .expect("ephemeral bind succeeds");
+        let report = run_loadgen(&LoadgenConfig {
+            addr: handle.addr().to_string(),
+            scenario: scenario.to_string(),
+            connections: 4,
+            total_requests,
+            target_rps: None,
+            seed: config.seed,
+        })
+        .expect("load generation succeeds");
+        assert_eq!(report.errors, 0, "scenario {scenario} produced errors");
+        table.push_row(vec![
+            scenario.to_string(),
+            report.sent.to_string(),
+            report.cache_hits.to_string(),
+            f2(report.achieved_rps),
+            f2(report.p50_micros),
+            f2(report.p99_micros),
+            f2(report.mean_micros),
+        ]);
+        handle.shutdown();
+    }
+    table.push_note("acceptance floor: >= 100 req/s on mixed small instances");
+    table.push_note("latency is end-to-end client-observed (connect/solve/serialise)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_all_scenarios_and_meets_the_floor() {
+        let config = RunConfig {
+            quick: true,
+            seed: 0x51,
+        };
+        let table = run(&config);
+        assert_eq!(table.num_rows(), 4);
+        // Row 0 is the mixed scenario; column 3 is achieved req/s.
+        let rps: f64 = table.rows[0][3].parse().unwrap();
+        assert!(rps >= 100.0, "mixed throughput {rps} below floor");
+    }
+}

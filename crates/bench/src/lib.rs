@@ -27,6 +27,42 @@
 pub mod experiments;
 pub mod report;
 
+/// Entry point for the single-experiment binaries: parses the CLI config,
+/// looks `name` up in [`experiments::registry`], runs it, prints the tables
+/// and records `BENCH_<name>.json`.
+///
+/// # Panics
+///
+/// Panics when `name` is not in the registry (a binary/registry mismatch is
+/// a bug, not a runtime condition).
+pub fn run_registered(name: &str) {
+    let config = RunConfig::from_args();
+    let registry = experiments::registry();
+    let (_, build) = registry
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown experiment `{name}`"));
+    run_experiment_binary(name, &config, *build);
+}
+
+/// Shared body of the `exp_*` binaries: runs `build`, prints every result
+/// table, and persists the machine-readable `BENCH_<name>.json` record
+/// (wall-clock time included) via [`report::save_bench_record`].
+pub fn run_experiment_binary(
+    name: &str,
+    config: &RunConfig,
+    build: fn(&RunConfig) -> Vec<report::Table>,
+) {
+    let start = std::time::Instant::now();
+    let tables = build(config);
+    let elapsed = start.elapsed();
+    for table in &tables {
+        println!("{}", table.render());
+    }
+    let refs: Vec<&report::Table> = tables.iter().collect();
+    report::save_bench_record(name, &refs, elapsed);
+}
+
 /// Global configuration for experiment sweeps.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {

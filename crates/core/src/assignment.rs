@@ -308,6 +308,29 @@ mod tests {
     }
 
     #[test]
+    fn assignment_serde_roundtrip() {
+        let mut a = Assignment::idle(3);
+        a.assign(MachineId(0), JobId(2));
+        a.assign(MachineId(2), JobId(0));
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Assignment = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        // Idle machines serialise as JSON null.
+        assert!(json.contains("null"));
+    }
+
+    #[test]
+    fn multi_assignment_serde_roundtrip() {
+        let mut m = MultiAssignment::idle(2);
+        m.add(MachineId(0), JobId(0));
+        m.add(MachineId(0), JobId(1));
+        m.add(MachineId(1), JobId(2));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MultiAssignment = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
     fn assignment_converts_to_multi() {
         let mut a = Assignment::idle(3);
         a.assign(MachineId(2), JobId(1));

@@ -607,6 +607,41 @@ mod tests {
     }
 
     #[test]
+    fn oblivious_schedule_serde_roundtrip() {
+        let mut a = Assignment::idle(2);
+        a.assign(MachineId(0), JobId(1));
+        let mut b = Assignment::idle(2);
+        b.assign(MachineId(1), JobId(0));
+        let sched = ObliviousSchedule::from_steps(2, vec![a, b]);
+        let json = serde_json::to_string(&sched).unwrap();
+        let back: ObliviousSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(sched, back);
+        assert_eq!(back.num_machines(), 2);
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn pseudo_schedule_serde_roundtrip() {
+        let mut ps = PseudoSchedule::new(2);
+        ps.assign_interval(MachineId(0), JobId(0), 0, 2);
+        ps.assign_interval(MachineId(0), JobId(1), 1, 3);
+        ps.assign_interval(MachineId(1), JobId(2), 0, 1);
+        let json = serde_json::to_string(&ps).unwrap();
+        let back: PseudoSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(ps, back);
+        assert_eq!(back.max_congestion(), ps.max_congestion());
+    }
+
+    #[test]
+    fn jobset_serde_roundtrip() {
+        let s = JobSet::from_members(5, [JobId(1), JobId(4)]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: JobSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
     fn idle_pseudo_schedule_has_zero_load() {
         let ps = PseudoSchedule::idle(3, 5);
         assert_eq!(ps.len(), 5);

@@ -1,0 +1,80 @@
+//! Load-generator client for `suu_serviced`.
+//!
+//! Usage:
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7077            # target a running service
+//!     [--scenario mixed|grid|project|bursty]
+//!     [--requests N] [--connections N] [--rps R] [--seed S]
+//! loadgen --in-process ...                  # spawn a service internally
+//! ```
+//!
+//! Prints the latency/throughput report; with `--in-process` also prints the
+//! service-side metrics snapshot.
+
+use std::sync::Arc;
+
+use suu_service::{
+    run_loadgen, spawn_tcp, LoadgenConfig, SchedulerService, ServiceConfig, TcpServerConfig,
+};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+
+    let mut config = LoadgenConfig::default();
+    if let Some(addr) = flag_value("--addr") {
+        config.addr = addr;
+    }
+    if let Some(scenario) = flag_value("--scenario") {
+        config.scenario = scenario;
+    }
+    if let Some(requests) = flag_value("--requests").and_then(|v| v.parse().ok()) {
+        config.total_requests = requests;
+    }
+    if let Some(connections) = flag_value("--connections").and_then(|v| v.parse().ok()) {
+        config.connections = connections;
+    }
+    if let Some(rps) = flag_value("--rps").and_then(|v| v.parse().ok()) {
+        config.target_rps = Some(rps);
+    }
+    if let Some(seed) = flag_value("--seed").and_then(|v| v.parse().ok()) {
+        config.seed = seed;
+    }
+
+    let in_process = argv.iter().any(|a| a == "--in-process");
+    let handle = if in_process {
+        let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
+        let handle = spawn_tcp(
+            service,
+            &TcpServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: config.connections.max(4),
+            },
+        )
+        .expect("ephemeral bind succeeds");
+        config.addr = handle.addr().to_string();
+        eprintln!("loadgen: spawned in-process service on {}", config.addr);
+        Some(handle)
+    } else {
+        None
+    };
+
+    match run_loadgen(&config) {
+        Ok(report) => {
+            println!("{}", report.render());
+            if let Some(handle) = handle {
+                eprintln!("{}", handle.service().metrics().snapshot().render());
+                handle.shutdown();
+            }
+        }
+        Err(err) => {
+            eprintln!("loadgen: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The scheduling daemon.
+//!
+//! Usage:
+//!
+//! ```text
+//! suu_serviced --stdin                      # serve NDJSON on stdin/stdout
+//! suu_serviced --tcp 127.0.0.1:7077        # serve NDJSON over TCP
+//!     [--workers N]                         # TCP worker threads (default 4)
+//!     [--cache-shards N] [--cache-capacity N]
+//! ```
+//!
+//! Status and metrics go to stderr; stdout carries only protocol responses.
+
+use std::sync::Arc;
+
+use suu_service::{spawn_tcp, CacheConfig, SchedulerService, ServiceConfig, TcpServerConfig};
+
+struct Args {
+    stdin: bool,
+    tcp: Option<String>,
+    workers: usize,
+    cache_shards: usize,
+    cache_capacity: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    Args {
+        stdin: argv.iter().any(|a| a == "--stdin"),
+        tcp: flag_value("--tcp"),
+        workers: flag_value("--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4),
+        cache_shards: flag_value("--cache-shards")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+        cache_capacity: flag_value("--cache-capacity")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(128),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let service = Arc::new(SchedulerService::new(ServiceConfig {
+        cache: CacheConfig {
+            num_shards: args.cache_shards,
+            capacity_per_shard: args.cache_capacity,
+        },
+        ..ServiceConfig::default()
+    }));
+    eprintln!(
+        "suu_serviced: solvers [{}]",
+        service.registry().names().join(", ")
+    );
+
+    if args.stdin {
+        eprintln!("suu_serviced: serving NDJSON on stdin/stdout until EOF");
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(err) = service.serve_lines(stdin.lock(), stdout.lock()) {
+            eprintln!("suu_serviced: transport error: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("{}", service.metrics().snapshot().render());
+        return;
+    }
+
+    let addr = args.tcp.unwrap_or_else(|| "127.0.0.1:7077".to_string());
+    let handle = match spawn_tcp(
+        Arc::clone(&service),
+        &TcpServerConfig {
+            addr,
+            workers: args.workers,
+        },
+    ) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("suu_serviced: bind failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "suu_serviced: listening on {} with {} workers (Ctrl-C to stop)",
+        handle.addr(),
+        args.workers
+    );
+    // Serve until killed; the TCP threads own all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+        eprintln!("{}", service.metrics().snapshot().render());
+    }
+}

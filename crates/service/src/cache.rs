@@ -1,0 +1,308 @@
+//! A sharded LRU cache of solved schedules.
+//!
+//! Solving is dominated by the LP pipeline (`SUU-C` / the forest block
+//! algorithm); serving traffic repeats instances constantly (the bursty
+//! multi-tenant workload in `suu-workloads` is built from exactly such
+//! repetitions), so the service fronts every solve with this cache.
+//!
+//! Keys are the [`canonical_digest`](SuuInstance::canonical_digest) of the
+//! instance plus the solver name; the full instance is stored alongside each
+//! entry and compared on lookup, so a digest collision can never serve a
+//! schedule for the wrong instance. Shards are independent mutexes selected
+//! by digest, so concurrent workers rarely contend on the same lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use suu_core::{ObliviousSchedule, SuuInstance};
+
+/// Cache sizing.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Number of independent shards (rounded up to at least 1).
+    pub num_shards: usize,
+    /// Maximum number of entries per shard; the least recently used entry is
+    /// evicted on overflow.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 8,
+            capacity_per_shard: 128,
+        }
+    }
+}
+
+/// A cached solve result.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// Name of the solver that produced the schedule.
+    pub solver: String,
+    /// The schedule itself.
+    pub schedule: ObliviousSchedule,
+    /// LP optimum, when the solver reports one.
+    pub lp_value: Option<f64>,
+}
+
+struct Entry {
+    instance: SuuInstance,
+    solver: String,
+    value: CachedSolve,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Digest → entries with that digest (usually exactly one).
+    entries: HashMap<u64, Vec<Entry>>,
+    len: usize,
+    tick: u64,
+}
+
+/// The sharded LRU schedule cache.
+pub struct ScheduleCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// Creates a cache with the given sharding.
+    #[must_use]
+    pub fn new(config: &CacheConfig) -> Self {
+        let num_shards = config.num_shards.max(1);
+        Self {
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            capacity_per_shard: config.capacity_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, digest: u64) -> &Mutex<Shard> {
+        &self.shards[(digest % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up the cached solve of `instance` by `solver`, refreshing its
+    /// recency on a hit.
+    #[must_use]
+    pub fn get(&self, instance: &SuuInstance, solver: &str) -> Option<CachedSolve> {
+        let digest = instance.canonical_digest();
+        let mut shard = self.shard_for(digest).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let found = shard.entries.get_mut(&digest).and_then(|bucket| {
+            bucket
+                .iter_mut()
+                .find(|e| e.solver == solver && e.instance == *instance)
+        });
+        match found {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the solve result for `instance`, evicting the
+    /// least recently used entry of the shard if it is full.
+    pub fn insert(&self, instance: &SuuInstance, value: CachedSolve) {
+        let digest = instance.canonical_digest();
+        let mut shard = self.shard_for(digest).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+
+        let bucket = shard.entries.entry(digest).or_default();
+        if let Some(entry) = bucket
+            .iter_mut()
+            .find(|e| e.solver == value.solver && e.instance == *instance)
+        {
+            entry.value = value;
+            entry.last_used = tick;
+            return;
+        }
+        bucket.push(Entry {
+            instance: instance.clone(),
+            solver: value.solver.clone(),
+            value,
+            last_used: tick,
+        });
+        shard.len += 1;
+
+        if shard.len > self.capacity_per_shard {
+            // Evict the globally least recently used entry of this shard.
+            let lru = shard
+                .entries
+                .iter()
+                .flat_map(|(&d, bucket)| bucket.iter().map(move |e| (d, e.last_used)))
+                .min_by_key(|&(_, used)| used);
+            if let Some((lru_digest, lru_used)) = lru {
+                let mut removed = false;
+                let mut empty = false;
+                if let Some(bucket) = shard.entries.get_mut(&lru_digest) {
+                    if let Some(pos) = bucket.iter().position(|e| e.last_used == lru_used) {
+                        bucket.remove(pos);
+                        removed = true;
+                    }
+                    empty = bucket.is_empty();
+                }
+                if removed {
+                    shard.len -= 1;
+                }
+                if empty {
+                    shard.entries.remove(&lru_digest);
+                }
+            }
+        }
+    }
+
+    /// Total number of cached entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len)
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookup hits since creation.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookup misses since creation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::InstanceBuilder;
+    use suu_workloads::uniform_matrix;
+
+    fn instance(seed: u64) -> SuuInstance {
+        InstanceBuilder::new(3, 2)
+            .probability_matrix(uniform_matrix(3, 2, 0.2, 0.9, seed))
+            .build()
+            .unwrap()
+    }
+
+    fn solve_for(inst: &SuuInstance, solver: &str) -> CachedSolve {
+        CachedSolve {
+            solver: solver.to_string(),
+            schedule: ObliviousSchedule::new(inst.num_machines()),
+            lp_value: None,
+        }
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let cache = ScheduleCache::new(&CacheConfig::default());
+        let inst = instance(1);
+        assert!(cache.get(&inst, "suu-c").is_none());
+        cache.insert(&inst, solve_for(&inst, "suu-c"));
+        let hit = cache.get(&inst, "suu-c").unwrap();
+        assert_eq!(hit.solver, "suu-c");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn solver_name_is_part_of_the_key() {
+        let cache = ScheduleCache::new(&CacheConfig::default());
+        let inst = instance(2);
+        cache.insert(&inst, solve_for(&inst, "suu-c"));
+        assert!(cache.get(&inst, "suu-i-obl").is_none());
+        assert!(cache.get(&inst, "suu-c").is_some());
+    }
+
+    #[test]
+    fn different_instances_do_not_collide() {
+        let cache = ScheduleCache::new(&CacheConfig::default());
+        let a = instance(3);
+        let b = instance(4);
+        cache.insert(&a, solve_for(&a, "s"));
+        assert!(cache.get(&b, "s").is_none());
+    }
+
+    #[test]
+    fn insert_refreshes_existing_entry_without_growing() {
+        let cache = ScheduleCache::new(&CacheConfig::default());
+        let inst = instance(5);
+        cache.insert(&inst, solve_for(&inst, "s"));
+        cache.insert(&inst, solve_for(&inst, "s"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        // One shard of capacity 2 so eviction order is fully deterministic.
+        let cache = ScheduleCache::new(&CacheConfig {
+            num_shards: 1,
+            capacity_per_shard: 2,
+        });
+        let a = instance(10);
+        let b = instance(11);
+        let c = instance(12);
+        cache.insert(&a, solve_for(&a, "s"));
+        cache.insert(&b, solve_for(&b, "s"));
+        // Touch `a` so `b` becomes the LRU entry.
+        assert!(cache.get(&a, "s").is_some());
+        cache.insert(&c, solve_for(&c, "s"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a, "s").is_some());
+        assert!(cache.get(&b, "s").is_none());
+        assert!(cache.get(&c, "s").is_some());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(ScheduleCache::new(&CacheConfig {
+            num_shards: 4,
+            capacity_per_shard: 16,
+        }));
+        let instances: Vec<SuuInstance> = (0..8).map(instance).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let instances = instances.clone();
+                std::thread::spawn(move || {
+                    for round in 0..50 {
+                        let inst = &instances[(t + round) % instances.len()];
+                        if cache.get(inst, "s").is_none() {
+                            cache.insert(inst, solve_for(inst, "s"));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 8);
+        assert!(cache.hits() + cache.misses() == 200);
+    }
+}

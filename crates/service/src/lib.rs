@@ -1,0 +1,40 @@
+//! `suu-service` — a long-running, multi-threaded scheduling service.
+//!
+//! The rest of the workspace implements the algorithms of Lin & Rajaraman
+//! (SPAA 2007) as library calls; this crate turns them into a serving layer:
+//!
+//! * [`solver`] — the unified [`Solver`](solver::Solver) trait and the
+//!   [`SolverRegistry`](solver::SolverRegistry) that auto-dispatches each
+//!   instance to the paper's strongest algorithm for its structural class
+//!   (independent → `SUU-I-OBL`, disjoint chains → `SUU-C`, trees/forests →
+//!   the block algorithm of Thms 4.7/4.8, general DAGs → a serial baseline).
+//! * [`cache`] — a sharded LRU [`ScheduleCache`](cache::ScheduleCache) keyed
+//!   by the instance's canonical digest, so repeated workloads are served
+//!   without re-solving the LP.
+//! * [`protocol`] — the newline-delimited JSON request/response schema.
+//! * [`service`] — the [`SchedulerService`](service::SchedulerService)
+//!   combining registry, cache and metrics, with the stdin/stdout transport.
+//! * [`server`] — the TCP transport: a listener feeding a worker thread pool.
+//! * [`loadgen`] — a load generator replaying `suu-workloads` scenarios at a
+//!   target request rate, reporting p50/p99 latency and requests/sec.
+//! * [`metrics`] — request/error/latency counters shared by the transports.
+//!
+//! Binaries: `suu_serviced` (the daemon, `--stdin` or `--tcp ADDR`) and
+//! `loadgen` (the client; see the repository README for the schema and
+//! usage).
+
+pub mod cache;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod solver;
+
+pub use cache::{CacheConfig, CachedSolve, ScheduleCache};
+pub use loadgen::{build_request_pool, run_loadgen, LoadReport, LoadgenConfig};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use protocol::{Request, Response};
+pub use server::{spawn_tcp, ServiceHandle, TcpServerConfig};
+pub use service::{SchedulerService, ServiceConfig};
+pub use solver::{SolveOutput, Solver, SolverRegistry};

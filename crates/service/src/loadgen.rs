@@ -1,0 +1,377 @@
+//! Load generation: replay workload scenarios against a running service and
+//! measure latency and throughput.
+//!
+//! The generator opens `connections` TCP connections, splits a pre-built
+//! request pool across them, optionally paces to a target aggregate request
+//! rate, and reports p50/p99 latency plus achieved requests/sec using the
+//! statistics substrate from `suu-sim` ([`OnlineStats`] for moments,
+//! [`SampleSet`] for order statistics).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use suu_sim::{OnlineStats, SampleSet};
+use suu_workloads::{
+    bursty_multi_tenant_stream, grid_computing_instance, project_management_instance, BurstConfig,
+    GridConfig, ProjectConfig,
+};
+
+use crate::protocol::{Request, Response};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Address of a running service (`host:port`).
+    pub addr: String,
+    /// Scenario name: `mixed`, `grid`, `project` or `bursty`.
+    pub scenario: String,
+    /// Number of concurrent client connections (threads).
+    pub connections: usize,
+    /// Total number of requests across all connections.
+    pub total_requests: usize,
+    /// Aggregate target request rate; `None` sends as fast as possible.
+    pub target_rps: Option<f64>,
+    /// Seed for workload sampling.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7077".to_string(),
+            scenario: "mixed".to_string(),
+            connections: 4,
+            total_requests: 400,
+            target_rps: None,
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// Aggregated result of one load-generation run. Flat numeric fields so the
+/// report serialises directly into `BENCH_service_throughput.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Scenario that was replayed.
+    pub scenario: String,
+    /// Client connections used.
+    pub connections: usize,
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Error responses (or response parse failures).
+    pub errors: u64,
+    /// Responses served from the schedule cache.
+    pub cache_hits: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_secs: f64,
+    /// Achieved aggregate request rate.
+    pub achieved_rps: f64,
+    /// Target rate, if pacing was requested.
+    pub target_rps: Option<f64>,
+    /// Mean end-to-end latency in microseconds.
+    pub mean_micros: f64,
+    /// Median end-to-end latency in microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile end-to-end latency in microseconds.
+    pub p99_micros: f64,
+    /// Worst observed latency in microseconds.
+    pub max_micros: f64,
+}
+
+impl LoadReport {
+    /// Renders a compact human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "scenario={} connections={} sent={} ok={} errors={} cache_hits={}\n\
+             wall={:.2}s achieved={:.1} req/s (target {})\n\
+             latency: mean={:.0}us p50={:.0}us p99={:.0}us max={:.0}us",
+            self.scenario,
+            self.connections,
+            self.sent,
+            self.ok,
+            self.errors,
+            self.cache_hits,
+            self.wall_secs,
+            self.achieved_rps,
+            self.target_rps
+                .map_or_else(|| "unbounded".to_string(), |r| format!("{r:.1} req/s")),
+            self.mean_micros,
+            self.p50_micros,
+            self.p99_micros,
+            self.max_micros,
+        )
+    }
+}
+
+/// Builds the request pool for a scenario.
+///
+/// Instances are kept small (serving-sized): the pool repeats a bounded set
+/// of distinct instances, which is exactly the shape real serving traffic
+/// has and what the schedule cache exploits.
+///
+/// # Errors
+///
+/// Returns a message naming the valid scenarios when `scenario` is unknown.
+pub fn build_request_pool(
+    scenario: &str,
+    total_requests: usize,
+    seed: u64,
+) -> Result<Vec<Request>, String> {
+    let instances = match scenario {
+        "grid" => (0..4)
+            .map(|k| {
+                grid_computing_instance(&GridConfig {
+                    num_jobs: 8 + 2 * k,
+                    num_machines: 4,
+                    num_task_roots: 2,
+                    seed: seed ^ k as u64,
+                    ..GridConfig::default()
+                })
+            })
+            .collect::<Vec<_>>(),
+        "project" => (0..4)
+            .map(|k| {
+                project_management_instance(&ProjectConfig {
+                    num_tasks: 8 + 2 * k,
+                    num_workers: 4,
+                    num_streams: 2,
+                    seed: seed ^ (0x100 + k as u64),
+                })
+            })
+            .collect::<Vec<_>>(),
+        "bursty" | "mixed" => {
+            let mut config = BurstConfig {
+                seed,
+                ..BurstConfig::default()
+            };
+            if scenario == "mixed" {
+                // Mixed bursts: more tenants, so the stream interleaves all
+                // three structural classes within every few requests.
+                config.num_tenants = 9;
+                config.jobs = (4, 8);
+                config.machines = (2, 4);
+            }
+            let (tenants, stream) = bursty_multi_tenant_stream(&config);
+            return Ok((0..total_requests)
+                .map(|k| Request::from_instance(k as u64 + 1, &tenants[stream[k % stream.len()]]))
+                .collect());
+        }
+        other => {
+            return Err(format!(
+                "unknown scenario `{other}`; expected one of: mixed, grid, project, bursty"
+            ))
+        }
+    };
+    Ok((0..total_requests)
+        .map(|k| Request::from_instance(k as u64 + 1, &instances[k % instances.len()]))
+        .collect())
+}
+
+struct ThreadOutcome {
+    sent: u64,
+    ok: u64,
+    errors: u64,
+    cache_hits: u64,
+    latency: OnlineStats,
+    samples: SampleSet,
+}
+
+/// Runs the load generator against a running service.
+///
+/// # Errors
+///
+/// Returns connection errors, a scenario error as `InvalidInput`, or the
+/// first worker I/O error.
+pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    let pool = build_request_pool(&config.scenario, config.total_requests, config.seed)
+        .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
+    let lines: Vec<String> = pool
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("requests serialise"))
+        .collect();
+    let connections = config.connections.max(1);
+    // Interval between sends on one connection when pacing to the aggregate
+    // target rate.
+    let per_thread_interval = config
+        .target_rps
+        .filter(|&rps| rps > 0.0)
+        .map(|rps| Duration::from_secs_f64(connections as f64 / rps));
+
+    let lines = Arc::new(lines);
+    let outcomes: Arc<Mutex<Vec<ThreadOutcome>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+
+    let mut handles = Vec::new();
+    for worker in 0..connections {
+        let lines = Arc::clone(&lines);
+        let outcomes = Arc::clone(&outcomes);
+        let addr = config.addr.clone();
+        handles.push(std::thread::spawn(move || -> std::io::Result<()> {
+            let stream = TcpStream::connect(&addr)?;
+            let mut reader = BufReader::new(stream.try_clone()?);
+            let mut writer = BufWriter::new(stream);
+            let mut outcome = ThreadOutcome {
+                sent: 0,
+                ok: 0,
+                errors: 0,
+                cache_hits: 0,
+                latency: OnlineStats::new(),
+                samples: SampleSet::new(),
+            };
+            let thread_start = Instant::now();
+            // Round-robin partition of the pool across connections.
+            for (k, line) in lines
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| k % connections == worker)
+                .map(|(k, line)| (k / connections, line))
+            {
+                if let Some(interval) = per_thread_interval {
+                    let due = interval.mul_f64(k as f64);
+                    let elapsed = thread_start.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                }
+                let sent_at = Instant::now();
+                writeln!(writer, "{line}")?;
+                writer.flush()?;
+                let mut response = String::new();
+                reader.read_line(&mut response)?;
+                let micros = sent_at.elapsed().as_micros() as f64;
+                outcome.sent += 1;
+                outcome.latency.push(micros);
+                outcome.samples.push(micros);
+                match serde_json::from_str::<Response>(&response) {
+                    Ok(resp) if resp.ok => {
+                        outcome.ok += 1;
+                        if resp.cache_hit {
+                            outcome.cache_hits += 1;
+                        }
+                    }
+                    _ => outcome.errors += 1,
+                }
+            }
+            outcomes.lock().expect("outcomes poisoned").push(outcome);
+            Ok(())
+        }));
+    }
+
+    let mut first_error: Option<std::io::Error> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(err)) => first_error = first_error.or(Some(err)),
+            Err(_) => {
+                first_error = first_error
+                    .or_else(|| Some(std::io::Error::other("load generator worker panicked")));
+            }
+        }
+    }
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut latency = OnlineStats::new();
+    let mut samples = SampleSet::new();
+    let (mut sent, mut ok, mut errors, mut cache_hits) = (0, 0, 0, 0);
+    for outcome in outcomes.lock().expect("outcomes poisoned").iter() {
+        sent += outcome.sent;
+        ok += outcome.ok;
+        errors += outcome.errors;
+        cache_hits += outcome.cache_hits;
+        latency.merge(&outcome.latency);
+        samples.merge(&outcome.samples);
+    }
+
+    Ok(LoadReport {
+        scenario: config.scenario.clone(),
+        connections,
+        sent,
+        ok,
+        errors,
+        cache_hits,
+        wall_secs,
+        achieved_rps: if wall_secs > 0.0 {
+            sent as f64 / wall_secs
+        } else {
+            0.0
+        },
+        target_rps: config.target_rps,
+        mean_micros: latency.mean(),
+        p50_micros: samples.p50().unwrap_or(0.0),
+        p99_micros: samples.p99().unwrap_or(0.0),
+        max_micros: if latency.count() > 0 {
+            latency.max()
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_cover_every_scenario_and_cycle() {
+        for scenario in ["mixed", "grid", "project", "bursty"] {
+            let pool = build_request_pool(scenario, 25, 1).unwrap();
+            assert_eq!(pool.len(), 25, "{scenario}");
+            // Ids are 1-based and unique.
+            assert_eq!(pool[0].id, 1);
+            assert_eq!(pool[24].id, 25);
+            // The pool repeats instances (a bounded distinct set).
+            let distinct: std::collections::HashSet<u64> = pool
+                .iter()
+                .map(|r| r.to_instance().unwrap().canonical_digest())
+                .collect();
+            assert!(distinct.len() < pool.len(), "{scenario} should repeat");
+            for req in &pool {
+                assert!(req.to_instance().is_ok(), "{scenario} request invalid");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        assert!(build_request_pool("nope", 10, 1).is_err());
+        let config = LoadgenConfig {
+            scenario: "nope".to_string(),
+            ..LoadgenConfig::default()
+        };
+        let err = run_loadgen(&config).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn report_renders_and_serialises() {
+        let report = LoadReport {
+            scenario: "mixed".to_string(),
+            connections: 4,
+            sent: 100,
+            ok: 99,
+            errors: 1,
+            cache_hits: 80,
+            wall_secs: 0.5,
+            achieved_rps: 200.0,
+            target_rps: Some(150.0),
+            mean_micros: 300.0,
+            p50_micros: 250.0,
+            p99_micros: 900.0,
+            max_micros: 1200.0,
+        };
+        let text = report.render();
+        assert!(text.contains("200.0 req/s"));
+        assert!(text.contains("p99=900us"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("achieved_rps"));
+    }
+}

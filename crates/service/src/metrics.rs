@@ -1,0 +1,137 @@
+//! Service-side metrics: request counts, per-solver counts and latency.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use suu_sim::{OnlineStats, Summary};
+
+/// Live counters shared by all worker threads.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_micros: Mutex<OnlineStats>,
+    per_solver: Mutex<HashMap<String, u64>>,
+}
+
+impl ServiceMetrics {
+    /// A zeroed metrics block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, solver: Option<&str>, ok: bool, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_micros
+            .lock()
+            .expect("latency stats poisoned")
+            .push(micros as f64);
+        if let Some(solver) = solver {
+            *self
+                .per_solver
+                .lock()
+                .expect("solver counts poisoned")
+                .entry(solver.to_string())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// A consistent point-in-time snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut per_solver: Vec<(String, u64)> = self
+            .per_solver
+            .lock()
+            .expect("solver counts poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        per_solver.sort();
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency_micros: self
+                .latency_micros
+                .lock()
+                .expect("latency stats poisoned")
+                .summary(),
+            per_solver,
+        }
+    }
+}
+
+/// Point-in-time copy of the service counters.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests handled (including failures).
+    pub requests: u64,
+    /// Requests that produced an error response.
+    pub errors: u64,
+    /// Summary of service-side handling latency in microseconds.
+    pub latency_micros: Summary,
+    /// Requests per solver name, sorted by name.
+    pub per_solver: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Renders a compact human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "requests={} errors={} latency_mean={:.1}us latency_max={:.1}us\n",
+            self.requests, self.errors, self.latency_micros.mean, self.latency_micros.max
+        );
+        for (solver, count) in &self.per_solver {
+            out.push_str(&format!("  {solver}: {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_counts_and_latency() {
+        let m = ServiceMetrics::new();
+        m.record(Some("suu-c"), true, 100);
+        m.record(Some("suu-c"), true, 300);
+        m.record(None, false, 50);
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.latency_micros.count, 3);
+        assert!((snap.latency_micros.mean - 150.0).abs() < 1e-9);
+        assert_eq!(snap.per_solver, vec![("suu-c".to_string(), 2)]);
+        assert!(snap.render().contains("requests=3"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let m = Arc::new(ServiceMetrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        m.record(Some("s"), true, 10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 400);
+        assert_eq!(snap.per_solver, vec![("s".to_string(), 400)]);
+    }
+}

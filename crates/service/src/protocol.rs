@@ -1,0 +1,264 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, over either stdin/stdout or
+//! a TCP connection. The request schema (all numbers are plain JSON numbers;
+//! optional fields may be omitted or `null`):
+//!
+//! ```json
+//! {"id": 1,
+//!  "num_jobs": 2, "num_machines": 2,
+//!  "probs": [0.9, 0.1, 0.2, 0.8],
+//!  "edges": [[0, 1]],
+//!  "solver": null,
+//!  "estimate_trials": null}
+//! ```
+//!
+//! `probs` is the row-major `machines × jobs` success-probability matrix and
+//! `edges` the precedence edge list. `solver` forces a registered solver by
+//! name instead of the structure dispatch; `estimate_trials` asks the service
+//! to also Monte-Carlo estimate the schedule's expected makespan. The
+//! response mirrors the request `id` and carries the schedule (or an error),
+//! the solver that produced it, and whether it came from the cache:
+//!
+//! ```json
+//! {"id": 1, "ok": true, "error": null, "solver": "suu-c",
+//!  "cache_hit": false, "schedule": {"num_machines": 2, "steps": [...]},
+//!  "schedule_len": 12, "lp_value": 3.5, "estimated_makespan": null,
+//!  "service_micros": 184}
+//! ```
+//!
+//! Requests are validated on ingest — dimensions, probability ranges, DAG
+//! acyclicity — through the same constructors the rest of the workspace
+//! uses, so a malformed request can never reach a solver.
+
+use serde::{Deserialize, Serialize, Value};
+use suu_core::{ObliviousSchedule, SuuInstance};
+use suu_graph::Dag;
+
+/// A scheduling request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Request {
+    /// Client-chosen id echoed back in the response.
+    pub id: u64,
+    /// Number of jobs `n`.
+    pub num_jobs: usize,
+    /// Number of machines `m`.
+    pub num_machines: usize,
+    /// Row-major `machines × jobs` success-probability matrix.
+    pub probs: Vec<f64>,
+    /// Precedence edges `(predecessor, successor)`.
+    pub edges: Vec<(usize, usize)>,
+    /// Force a specific registered solver instead of auto-dispatch.
+    pub solver: Option<String>,
+    /// Also estimate the expected makespan with this many simulation trials.
+    pub estimate_trials: Option<usize>,
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        // Tolerant by hand: `edges`, `solver` and `estimate_trials` may be
+        // omitted entirely (the derive would insist on explicit nulls).
+        let required = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| serde::DeError::new(format!("missing field `{key}` in Request")))
+        };
+        Ok(Self {
+            id: u64::from_value(required("id")?)?,
+            num_jobs: usize::from_value(required("num_jobs")?)?,
+            num_machines: usize::from_value(required("num_machines")?)?,
+            probs: Vec::from_value(required("probs")?)?,
+            edges: match v.get("edges") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(edges) => Vec::from_value(edges)?,
+            },
+            solver: match v.get("solver") {
+                None => None,
+                Some(s) => Option::from_value(s)?,
+            },
+            estimate_trials: match v.get("estimate_trials") {
+                None => None,
+                Some(t) => Option::from_value(t)?,
+            },
+        })
+    }
+}
+
+impl Request {
+    /// Builds a request from an existing instance.
+    #[must_use]
+    pub fn from_instance(id: u64, instance: &SuuInstance) -> Self {
+        let mut probs = Vec::with_capacity(instance.num_jobs() * instance.num_machines());
+        for i in instance.machines() {
+            for j in instance.jobs() {
+                probs.push(instance.prob(i, j));
+            }
+        }
+        Self {
+            id,
+            num_jobs: instance.num_jobs(),
+            num_machines: instance.num_machines(),
+            probs,
+            edges: instance.precedence().edges(),
+            solver: None,
+            estimate_trials: None,
+        }
+    }
+
+    /// Reconstructs and validates the instance this request describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the edge list is not a DAG or
+    /// the instance fails validation (dimension mismatch, probability out of
+    /// range, unschedulable job).
+    pub fn to_instance(&self) -> Result<SuuInstance, String> {
+        let dag = Dag::from_edges(self.num_jobs, self.edges.iter().copied())
+            .map_err(|e| format!("invalid precedence: {e}"))?;
+        SuuInstance::new(self.num_jobs, self.num_machines, self.probs.clone(), dag)
+            .map_err(|e| format!("invalid instance: {e}"))
+    }
+}
+
+/// A scheduling response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request id (0 when the request line could not be parsed).
+    pub id: u64,
+    /// Whether a schedule was produced.
+    pub ok: bool,
+    /// Error message when `ok` is false.
+    pub error: Option<String>,
+    /// Name of the solver that produced the schedule.
+    pub solver: Option<String>,
+    /// Whether the schedule was served from the cache.
+    pub cache_hit: bool,
+    /// The oblivious schedule (execute cyclically).
+    pub schedule: Option<ObliviousSchedule>,
+    /// Length of the schedule in steps.
+    pub schedule_len: usize,
+    /// LP optimum backing the schedule, for LP-based solvers.
+    pub lp_value: Option<f64>,
+    /// Monte-Carlo estimate of the expected makespan, when requested.
+    pub estimated_makespan: Option<f64>,
+    /// Service-side handling time in microseconds.
+    pub service_micros: u64,
+}
+
+impl Response {
+    /// An error response for `id`.
+    #[must_use]
+    pub fn failure(id: u64, error: impl Into<String>) -> Self {
+        Self {
+            id,
+            ok: false,
+            error: Some(error.into()),
+            solver: None,
+            cache_hit: false,
+            schedule: None,
+            schedule_len: 0,
+            lp_value: None,
+            estimated_makespan: None,
+            service_micros: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::InstanceBuilder;
+    use suu_workloads::uniform_matrix;
+
+    fn chain_instance() -> SuuInstance {
+        InstanceBuilder::new(3, 2)
+            .probability_matrix(uniform_matrix(3, 2, 0.2, 0.9, 3))
+            .chains(&[vec![0, 1, 2]])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips_through_instance_and_json() {
+        let inst = chain_instance();
+        let req = Request::from_instance(42, &inst);
+        let back = req.to_instance().unwrap();
+        assert_eq!(inst, back);
+
+        let json = serde_json::to_string(&req).unwrap();
+        let parsed: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, parsed);
+        assert_eq!(parsed.to_instance().unwrap(), inst);
+    }
+
+    #[test]
+    fn request_tolerates_omitted_optional_fields() {
+        let json = r#"{"id": 7, "num_jobs": 2, "num_machines": 1, "probs": [0.5, 0.5]}"#;
+        let req: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(req.id, 7);
+        assert!(req.edges.is_empty());
+        assert!(req.solver.is_none());
+        assert!(req.estimate_trials.is_none());
+        assert!(req.to_instance().unwrap().is_independent());
+    }
+
+    #[test]
+    fn request_rejects_missing_required_fields() {
+        let json = r#"{"id": 7, "num_jobs": 2, "num_machines": 1}"#;
+        assert!(serde_json::from_str::<Request>(json).is_err());
+    }
+
+    #[test]
+    fn to_instance_rejects_cycles_and_bad_probabilities() {
+        let cyclic = Request {
+            id: 1,
+            num_jobs: 2,
+            num_machines: 1,
+            probs: vec![0.5, 0.5],
+            edges: vec![(0, 1), (1, 0)],
+            solver: None,
+            estimate_trials: None,
+        };
+        assert!(cyclic.to_instance().unwrap_err().contains("precedence"));
+
+        let out_of_range = Request {
+            id: 2,
+            num_jobs: 1,
+            num_machines: 1,
+            probs: vec![1.5],
+            edges: Vec::new(),
+            solver: None,
+            estimate_trials: None,
+        };
+        assert!(out_of_range.to_instance().unwrap_err().contains("instance"));
+    }
+
+    #[test]
+    fn response_roundtrips_through_json() {
+        let resp = Response {
+            id: 9,
+            ok: true,
+            error: None,
+            solver: Some("suu-c".to_string()),
+            cache_hit: true,
+            schedule: Some(ObliviousSchedule::new(2)),
+            schedule_len: 0,
+            lp_value: Some(3.25),
+            estimated_makespan: None,
+            service_micros: 12,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"cache_hit\":true") || json.contains("\"cache_hit\": true"));
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn failure_response_carries_the_message() {
+        let resp = Response::failure(3, "boom");
+        assert!(!resp.ok);
+        assert_eq!(resp.error.as_deref(), Some("boom"));
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.error.as_deref(), Some("boom"));
+    }
+}

@@ -1,0 +1,512 @@
+//! The scheduler service: registry + cache + metrics behind one entry point.
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use suu_core::SuuInstance;
+use suu_sim::OnlineStats;
+
+use crate::cache::{CacheConfig, CachedSolve, ScheduleCache};
+use crate::metrics::ServiceMetrics;
+use crate::protocol::{Request, Response};
+use crate::solver::SolverRegistry;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Schedule cache sizing.
+    pub cache: CacheConfig,
+    /// Hard cap on instance size (`jobs × machines`) accepted over the wire,
+    /// protecting the LP pipeline from pathological requests.
+    pub max_cells: usize,
+    /// Hard cap on the byte length of one request line. Without it a single
+    /// newline-free stream would be buffered in full before parsing, so the
+    /// `max_cells` guard could never run; overlong lines are discarded and
+    /// answered with an error response instead.
+    pub max_line_bytes: usize,
+    /// Cap on `estimate_trials` a client may request.
+    pub max_estimate_trials: usize,
+    /// Cap on simulated steps per estimation trial.
+    pub estimate_max_steps: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            cache: CacheConfig::default(),
+            max_cells: 10_000,
+            max_line_bytes: 4 * 1024 * 1024,
+            max_estimate_trials: 1_000,
+            estimate_max_steps: 100_000,
+        }
+    }
+}
+
+/// The long-running scheduling service. Shared across worker threads behind
+/// an `Arc`; all methods take `&self`.
+pub struct SchedulerService {
+    registry: SolverRegistry,
+    cache: ScheduleCache,
+    metrics: ServiceMetrics,
+    config: ServiceConfig,
+}
+
+impl SchedulerService {
+    /// A service with the default registry (every paper algorithm).
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::with_registry(config, SolverRegistry::with_paper_algorithms())
+    }
+
+    /// A service with a caller-assembled registry.
+    #[must_use]
+    pub fn with_registry(config: ServiceConfig, registry: SolverRegistry) -> Self {
+        Self {
+            registry,
+            cache: ScheduleCache::new(&config.cache),
+            metrics: ServiceMetrics::new(),
+            config,
+        }
+    }
+
+    /// The schedule cache (for inspection in tests and experiments).
+    #[must_use]
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// The live metrics block.
+    #[must_use]
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The solver registry.
+    #[must_use]
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    /// Handles one request end to end: validate, dispatch, consult the
+    /// cache, solve on miss, optionally estimate the makespan.
+    #[must_use]
+    pub fn handle_request(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        let mut response = self.solve_request(request);
+        response.service_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.record(
+            response.solver.as_deref(),
+            response.ok,
+            response.service_micros,
+        );
+        response
+    }
+
+    fn solve_request(&self, request: &Request) -> Response {
+        if request
+            .num_jobs
+            .saturating_mul(request.num_machines)
+            .max(request.probs.len())
+            > self.config.max_cells
+        {
+            return Response::failure(
+                request.id,
+                format!(
+                    "instance too large: {} x {} exceeds the {}-cell service limit",
+                    request.num_jobs, request.num_machines, self.config.max_cells
+                ),
+            );
+        }
+        let instance = match request.to_instance() {
+            Ok(instance) => instance,
+            Err(message) => return Response::failure(request.id, message),
+        };
+
+        // Resolve the solver before the cache lookup: the solver name is part
+        // of the cache key, so a forced solver never sees another solver's
+        // cached schedule and vice versa.
+        let solver = match &request.solver {
+            Some(name) => match self.registry.by_name(name) {
+                Some(solver) if solver.supports(&instance) => solver,
+                Some(_) => {
+                    return Response::failure(
+                        request.id,
+                        format!("solver `{name}` does not support this instance structure"),
+                    )
+                }
+                None => {
+                    return Response::failure(
+                        request.id,
+                        format!(
+                            "unknown solver `{name}`; registered: {}",
+                            self.registry.names().join(", ")
+                        ),
+                    )
+                }
+            },
+            None => match self.registry.dispatch(&instance) {
+                Some(solver) => solver,
+                None => return Response::failure(request.id, "no solver supports this instance"),
+            },
+        };
+
+        let (solved, cache_hit) = match self.cache.get(&instance, solver.name()) {
+            Some(hit) => (hit, true),
+            None => match solver.solve(&instance) {
+                Ok(output) => {
+                    let solved = CachedSolve {
+                        solver: solver.name().to_string(),
+                        schedule: output.schedule,
+                        lp_value: output.lp_value,
+                    };
+                    self.cache.insert(&instance, solved.clone());
+                    (solved, false)
+                }
+                Err(err) => {
+                    return Response::failure(
+                        request.id,
+                        format!("solver `{}` failed: {err}", solver.name()),
+                    )
+                }
+            },
+        };
+
+        let estimated_makespan = request
+            .estimate_trials
+            .filter(|&trials| trials > 0)
+            .and_then(|trials| {
+                self.estimate_makespan(
+                    &instance,
+                    &solved,
+                    trials.min(self.config.max_estimate_trials),
+                )
+            });
+
+        Response {
+            id: request.id,
+            ok: true,
+            error: None,
+            solver: Some(solved.solver.clone()),
+            cache_hit,
+            schedule_len: solved.schedule.len(),
+            lp_value: solved.lp_value,
+            schedule: Some(solved.schedule),
+            estimated_makespan,
+            service_micros: 0,
+        }
+    }
+
+    /// Monte-Carlo makespan estimate, or `None` when any trial hit the step
+    /// horizon: averaging only the trials that finished would bias the
+    /// estimate low (in the worst case reporting ≈0 for a schedule that
+    /// never finished once), so a censored run yields no estimate at all.
+    fn estimate_makespan(
+        &self,
+        instance: &SuuInstance,
+        solved: &CachedSolve,
+        trials: usize,
+    ) -> Option<f64> {
+        let mut stats = OnlineStats::new();
+        for trial in 0..trials {
+            let mut policy = solved.schedule.clone();
+            let mut rng = ChaCha8Rng::seed_from_u64(0x5E17_1CE0 ^ trial as u64);
+            let steps = suu_sim::simulate_once(
+                instance,
+                &mut policy,
+                &mut rng,
+                self.config.estimate_max_steps,
+            )?;
+            stats.push(steps as f64);
+        }
+        Some(stats.mean())
+    }
+
+    /// Handles one raw NDJSON line. Parse failures yield an error response
+    /// with id 0 rather than tearing the connection down.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match serde_json::from_str::<Request>(line) {
+            Ok(request) => self.handle_request(&request),
+            Err(err) => Response::failure(0, format!("bad request: {err}")),
+        };
+        serde_json::to_string(&response).expect("responses always serialise")
+    }
+
+    /// Serves NDJSON requests from `input` to `output` until EOF — the
+    /// stdin/stdout transport, also used per-connection by the TCP server.
+    /// Lines longer than [`ServiceConfig::max_line_bytes`] are discarded
+    /// (never fully buffered) and answered with an error response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying reader/writer.
+    pub fn serve_lines<R: BufRead, W: Write>(
+        &self,
+        mut input: R,
+        mut output: W,
+    ) -> std::io::Result<()> {
+        loop {
+            let reply = match read_line_bounded(&mut input, self.config.max_line_bytes)? {
+                BoundedLine::Eof => return Ok(()),
+                BoundedLine::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.handle_line(&line)
+                }
+                BoundedLine::TooLong => {
+                    let failure = Response::failure(
+                        0,
+                        format!(
+                            "request line exceeds the {}-byte service limit",
+                            self.config.max_line_bytes
+                        ),
+                    );
+                    serde_json::to_string(&failure).expect("responses always serialise")
+                }
+            };
+            output.write_all(reply.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+        }
+    }
+}
+
+/// Result of one bounded line read.
+enum BoundedLine {
+    /// A complete line (without the terminator), within the limit.
+    Line(String),
+    /// The line exceeded the limit; the rest of it was consumed and dropped.
+    TooLong,
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `limit` bytes. On
+/// overflow the remainder of the line is consumed chunk by chunk (constant
+/// memory) so the connection can keep being served.
+fn read_line_bounded<R: BufRead>(input: &mut R, limit: usize) -> std::io::Result<BoundedLine> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        let buf = input.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if discarding {
+                BoundedLine::TooLong
+            } else if line.is_empty() {
+                BoundedLine::Eof
+            } else {
+                BoundedLine::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |pos| pos + 1);
+        if !discarding {
+            let body = newline.map_or(buf.len(), |pos| pos);
+            if line.len() + body > limit {
+                discarding = true;
+                line.clear();
+            } else {
+                line.extend_from_slice(&buf[..body]);
+            }
+        }
+        input.consume(take);
+        if newline.is_some() {
+            return Ok(if discarding {
+                BoundedLine::TooLong
+            } else {
+                BoundedLine::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suu_core::InstanceBuilder;
+    use suu_workloads::uniform_matrix;
+
+    fn service() -> SchedulerService {
+        SchedulerService::new(ServiceConfig::default())
+    }
+
+    fn chain_request(id: u64) -> Request {
+        let inst = InstanceBuilder::new(3, 2)
+            .probability_matrix(uniform_matrix(3, 2, 0.3, 0.9, 21))
+            .chains(&[vec![0, 1, 2]])
+            .build()
+            .unwrap();
+        Request::from_instance(id, &inst)
+    }
+
+    #[test]
+    fn solve_then_cache_hit() {
+        let svc = service();
+        let first = svc.handle_request(&chain_request(1));
+        assert!(first.ok, "error: {:?}", first.error);
+        assert_eq!(first.solver.as_deref(), Some("suu-c"));
+        assert!(!first.cache_hit);
+        assert!(first.schedule_len > 0);
+        assert!(first.lp_value.is_some());
+
+        let second = svc.handle_request(&chain_request(2));
+        assert!(second.ok);
+        assert!(second.cache_hit);
+        assert_eq!(second.id, 2);
+        assert_eq!(second.schedule, first.schedule);
+        assert_eq!(svc.cache().hits(), 1);
+    }
+
+    #[test]
+    fn forced_solver_is_honoured_and_cached_separately() {
+        let svc = service();
+        let mut auto = chain_request(1);
+        auto.solver = None;
+        assert_eq!(svc.handle_request(&auto).solver.as_deref(), Some("suu-c"));
+
+        let mut forced = chain_request(2);
+        forced.solver = Some("serial-baseline".to_string());
+        let resp = svc.handle_request(&forced);
+        assert!(resp.ok);
+        assert_eq!(resp.solver.as_deref(), Some("serial-baseline"));
+        assert!(
+            !resp.cache_hit,
+            "forced solver must not reuse suu-c's entry"
+        );
+    }
+
+    #[test]
+    fn unknown_and_unsupported_solvers_error_cleanly() {
+        let svc = service();
+        let mut req = chain_request(1);
+        req.solver = Some("warp-drive".to_string());
+        let resp = svc.handle_request(&req);
+        assert!(!resp.ok);
+        assert!(resp.error.unwrap().contains("unknown solver"));
+
+        // suu-i-obl requires independent jobs; this instance is a chain.
+        let mut req = chain_request(2);
+        req.solver = Some("suu-i-obl".to_string());
+        let resp = svc.handle_request(&req);
+        assert!(!resp.ok);
+        assert!(resp.error.unwrap().contains("does not support"));
+    }
+
+    #[test]
+    fn oversized_and_invalid_requests_error_cleanly() {
+        let svc = SchedulerService::new(ServiceConfig {
+            max_cells: 4,
+            ..ServiceConfig::default()
+        });
+        let resp = svc.handle_request(&chain_request(1)); // 3 x 2 = 6 cells
+        assert!(!resp.ok);
+        assert!(resp.error.unwrap().contains("too large"));
+
+        let bad = Request {
+            id: 2,
+            num_jobs: 2,
+            num_machines: 1,
+            probs: vec![0.5, 0.0],
+            edges: Vec::new(),
+            solver: None,
+            estimate_trials: None,
+        };
+        let resp = svc.handle_request(&bad);
+        assert!(!resp.ok, "job 1 has no capable machine");
+    }
+
+    #[test]
+    fn estimate_trials_produces_a_finite_estimate() {
+        let svc = service();
+        let mut req = chain_request(1);
+        req.estimate_trials = Some(20);
+        let resp = svc.handle_request(&req);
+        assert!(resp.ok);
+        let est = resp.estimated_makespan.unwrap();
+        assert!(est.is_finite());
+        assert!(est >= 1.0, "three dependent jobs need at least three steps");
+    }
+
+    #[test]
+    fn censored_estimates_are_withheld_not_zero() {
+        // A 1-step horizon censors every trial of a 3-job chain; the response
+        // must carry no estimate rather than a misleading ~0.
+        let svc = SchedulerService::new(ServiceConfig {
+            estimate_max_steps: 1,
+            ..ServiceConfig::default()
+        });
+        let mut req = chain_request(1);
+        req.estimate_trials = Some(10);
+        let resp = svc.handle_request(&req);
+        assert!(resp.ok);
+        assert_eq!(resp.estimated_makespan, None);
+    }
+
+    #[test]
+    fn oversized_lines_get_an_error_response_and_service_continues() {
+        let svc = SchedulerService::new(ServiceConfig {
+            max_line_bytes: 512,
+            ..ServiceConfig::default()
+        });
+        let good = serde_json::to_string(&chain_request(5)).unwrap();
+        assert!(good.len() <= 512, "test request must fit the limit");
+        let huge = "x".repeat(10_000);
+        let input = format!("{huge}\n{good}\n");
+        let mut output = Vec::new();
+        svc.serve_lines(input.as_bytes(), &mut output).unwrap();
+        let output = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = output.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Response = serde_json::from_str(lines[0]).unwrap();
+        assert!(!first.ok);
+        assert!(first.error.unwrap().contains("byte"));
+        let second: Response = serde_json::from_str(lines[1]).unwrap();
+        assert!(second.ok, "service keeps serving after an oversized line");
+    }
+
+    #[test]
+    fn oversized_final_line_without_newline_is_rejected() {
+        let svc = SchedulerService::new(ServiceConfig {
+            max_line_bytes: 64,
+            ..ServiceConfig::default()
+        });
+        let input = "y".repeat(1_000); // no trailing newline, over the limit
+        let mut output = Vec::new();
+        svc.serve_lines(input.as_bytes(), &mut output).unwrap();
+        let output = String::from_utf8(output).unwrap();
+        let resp: Response = serde_json::from_str(output.lines().next().unwrap()).unwrap();
+        assert!(!resp.ok);
+    }
+
+    #[test]
+    fn handle_line_survives_garbage() {
+        let svc = service();
+        let out = svc.handle_line("this is not json");
+        let resp: Response = serde_json::from_str(&out).unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.id, 0);
+        assert!(resp.error.unwrap().contains("bad request"));
+    }
+
+    #[test]
+    fn serve_lines_is_one_response_per_request() {
+        let svc = service();
+        let req = serde_json::to_string(&chain_request(5)).unwrap();
+        let input = format!("{req}\n\nnot-json\n{req}\n");
+        let mut output = Vec::new();
+        svc.serve_lines(input.as_bytes(), &mut output).unwrap();
+        let output = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = output.lines().collect();
+        assert_eq!(lines.len(), 3, "blank lines are skipped");
+        let first: Response = serde_json::from_str(lines[0]).unwrap();
+        let garbage: Response = serde_json::from_str(lines[1]).unwrap();
+        let third: Response = serde_json::from_str(lines[2]).unwrap();
+        assert!(first.ok && !first.cache_hit);
+        assert!(!garbage.ok);
+        assert!(third.ok && third.cache_hit);
+        assert_eq!(svc.metrics().snapshot().requests, 2);
+    }
+}

@@ -71,23 +71,33 @@ impl OnlineStats {
         }
     }
 
-    /// Unbiased sample variance (0 with fewer than two observations).
+    /// Unbiased sample variance.
+    ///
+    /// The sample variance `m2 / (count − 1)` is undefined for an empty
+    /// accumulator and 0/0 for a singleton; both are pinned to exactly `0.0`
+    /// (never `NaN`), so downstream consumers can use the value without
+    /// guarding. The same convention propagates to [`Self::std_dev`] and
+    /// [`Self::std_error`].
     #[must_use]
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / (self.count - 1) as f64
+            // m2 is a sum of squares; clamp tiny negative rounding residue so
+            // the square root in std_dev can never produce NaN.
+            (self.m2 / (self.count - 1) as f64).max(0.0)
         }
     }
 
-    /// Sample standard deviation.
+    /// Sample standard deviation (0 with fewer than two observations; see
+    /// [`Self::variance`]).
     #[must_use]
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
 
-    /// Standard error of the mean.
+    /// Standard error of the mean (0 when empty or singleton; see
+    /// [`Self::variance`]).
     #[must_use]
     pub fn std_error(&self) -> f64 {
         if self.count == 0 {
@@ -97,13 +107,15 @@ impl OnlineStats {
         }
     }
 
-    /// Smallest observation (`+∞` when empty).
+    /// Smallest observation (`+∞` when empty; [`Self::summary`] reports 0
+    /// instead so reports never print infinities).
     #[must_use]
     pub fn min(&self) -> f64 {
         self.min
     }
 
-    /// Largest observation (`−∞` when empty).
+    /// Largest observation (`−∞` when empty; [`Self::summary`] reports 0
+    /// instead so reports never print infinities).
     #[must_use]
     pub fn max(&self) -> f64 {
         self.max
@@ -148,6 +160,88 @@ impl Summary {
     }
 }
 
+/// An exact sample set for quantile queries.
+///
+/// [`OnlineStats`] is constant-space but cannot answer percentile questions;
+/// latency reporting (p50/p99 in the service load generator) needs the actual
+/// order statistics. `SampleSet` stores every observation and sorts lazily on
+/// the first quantile query after a push.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// An empty sample set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation. Non-finite values are ignored (they would poison
+    /// every subsequent quantile).
+    pub fn push(&mut self, x: f64) {
+        if x.is_finite() {
+            self.values.push(x);
+            self.sorted = false;
+        }
+    }
+
+    /// Absorbs every observation of `other` (parallel collection merge).
+    pub fn merge(&mut self, other: &Self) {
+        if !other.values.is_empty() {
+            self.values.extend_from_slice(&other.values);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) by the nearest-rank method, or
+    /// `None` when empty. `q = 0` is the minimum, `q = 1` the maximum; a
+    /// singleton set returns its one value for every `q`.
+    #[must_use]
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
+        Some(self.values[rank - 1])
+    }
+
+    /// Median (p50).
+    #[must_use]
+    pub fn p50(&mut self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +253,75 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.summary().mean, 0.0);
+    }
+
+    #[test]
+    fn empty_stats_never_produce_nan() {
+        let s = OnlineStats::new();
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        // Raw extrema of an empty accumulator are the fold identities…
+        assert_eq!(s.min(), f64::INFINITY);
+        assert_eq!(s.max(), f64::NEG_INFINITY);
+        // …but the reporting summary pins them to 0 so tables never print ∞.
+        let sum = s.summary();
+        assert_eq!(sum.min, 0.0);
+        assert_eq!(sum.max, 0.0);
+        assert!(!sum.std_dev.is_nan());
+        assert!(!sum.std_error.is_nan());
+        assert_eq!(sum.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn singleton_stats_have_zero_spread() {
+        let mut s = OnlineStats::new();
+        s.push(7.25);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 7.25);
+        // Sample variance of one observation is 0/0; pinned to exactly 0.
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.min(), 7.25);
+        assert_eq!(s.max(), 7.25);
+        let sum = s.summary();
+        assert_eq!(sum.min, 7.25);
+        assert_eq!(sum.max, 7.25);
+        assert!(!sum.std_dev.is_nan());
+    }
+
+    #[test]
+    fn merge_of_two_empties_stays_empty() {
+        let mut a = OnlineStats::new();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.variance(), 0.0);
+        assert!(!a.std_dev().is_nan());
+    }
+
+    #[test]
+    fn merge_of_singletons_matches_sequential() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let mut b = OnlineStats::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+        assert!((a.variance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_identical_observations_is_not_negative() {
+        // Welford's m2 can accumulate tiny negative rounding residue; the
+        // clamp keeps variance ≥ 0 and std_dev NaN-free.
+        let mut s = OnlineStats::new();
+        for _ in 0..1000 {
+            s.push(0.1 + 0.2); // a value with inexact binary representation
+        }
+        assert!(s.variance() >= 0.0);
+        assert!(!s.std_dev().is_nan());
     }
 
     #[test]
@@ -231,5 +394,71 @@ mod tests {
         }
         let sum = s.summary();
         assert!((sum.ci95_half_width() - 1.96 * sum.std_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_set_quantiles_use_nearest_rank() {
+        let mut set = SampleSet::new();
+        for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            set.push(x);
+        }
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.quantile(0.0), Some(1.0));
+        assert_eq!(set.p50(), Some(3.0));
+        assert_eq!(set.quantile(1.0), Some(5.0));
+        // p99 of 5 samples is the maximum under nearest-rank.
+        assert_eq!(set.p99(), Some(5.0));
+    }
+
+    #[test]
+    fn sample_set_handles_empty_singleton_and_nonfinite() {
+        let mut empty = SampleSet::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.p50(), None);
+
+        let mut one = SampleSet::new();
+        one.push(2.5);
+        assert_eq!(one.quantile(0.0), Some(2.5));
+        assert_eq!(one.p50(), Some(2.5));
+        assert_eq!(one.p99(), Some(2.5));
+
+        let mut poisoned = SampleSet::new();
+        poisoned.push(f64::NAN);
+        poisoned.push(f64::INFINITY);
+        poisoned.push(1.0);
+        assert_eq!(poisoned.len(), 1);
+        assert_eq!(poisoned.p99(), Some(1.0));
+    }
+
+    #[test]
+    fn sample_set_merge_matches_sequential_pushes() {
+        let mut a = SampleSet::new();
+        let mut b = SampleSet::new();
+        let mut all = SampleSet::new();
+        for i in 0..20 {
+            let x = f64::from(i * 7 % 13);
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), all.len());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn sample_set_interleaves_pushes_and_queries() {
+        let mut set = SampleSet::new();
+        set.push(10.0);
+        assert_eq!(set.p50(), Some(10.0));
+        set.push(0.0);
+        set.push(20.0);
+        assert_eq!(set.p50(), Some(10.0));
+        assert_eq!(set.quantile(1.0), Some(20.0));
     }
 }

@@ -36,6 +36,7 @@ pub use suu_core as core;
 pub use suu_flow as flow;
 pub use suu_graph as graph;
 pub use suu_lp as lp;
+pub use suu_service as service;
 pub use suu_sim as sim;
 pub use suu_workloads as workloads;
 
@@ -63,13 +64,17 @@ pub mod prelude {
         PseudoSchedule, SchedulingPolicy, SuuInstance,
     };
     pub use suu_graph::{ChainDecomposition, ChainSet, Dag, ForestKind};
+    pub use suu_service::{
+        run_loadgen, spawn_tcp, LoadgenConfig, Request, Response, SchedulerService, ServiceConfig,
+        Solver, SolverRegistry, TcpServerConfig,
+    };
     pub use suu_sim::{
         exact_expected_makespan_oblivious_cyclic, exact_expected_makespan_regimen, simulate_once,
         MakespanEstimate, SimulationOptions, Simulator,
     };
     pub use suu_workloads::{
-        bottleneck_instance, figure1_instance, grid_computing_instance,
+        bottleneck_instance, bursty_multi_tenant_stream, figure1_instance, grid_computing_instance,
         project_management_instance, random_chains, random_directed_forest, random_in_forest,
-        random_out_forest, uniform_matrix, GridConfig, ProjectConfig,
+        random_out_forest, uniform_matrix, BurstConfig, GridConfig, ProjectConfig,
     };
 }

@@ -158,6 +158,96 @@ pub fn bottleneck_instance(num_jobs: usize, num_machines: usize, seed: u64) -> S
         .expect("bottleneck instance is valid")
 }
 
+/// Configuration of a bursty multi-tenant request stream (the serving-layer
+/// workload replayed by the `suu-service` load generator).
+///
+/// Each tenant owns one small instance; traffic arrives in bursts during
+/// which the tenant resubmits its instance many times (a deploy pipeline
+/// re-planning the same DAG, a project tool refreshing the same plan). The
+/// stream therefore mixes structural classes *and* contains the exact
+/// repetitions that a schedule cache is supposed to absorb.
+#[derive(Debug, Clone)]
+pub struct BurstConfig {
+    /// Number of distinct tenants (distinct instances in the stream).
+    pub num_tenants: usize,
+    /// Number of bursts each tenant fires.
+    pub bursts_per_tenant: usize,
+    /// Inclusive range of requests per burst.
+    pub burst_len: (usize, usize),
+    /// Inclusive range of jobs per tenant instance.
+    pub jobs: (usize, usize),
+    /// Inclusive range of machines per tenant instance.
+    pub machines: (usize, usize),
+    /// Seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        Self {
+            num_tenants: 6,
+            bursts_per_tenant: 3,
+            burst_len: (2, 6),
+            jobs: (4, 10),
+            machines: (3, 6),
+            seed: 0xB0_57,
+        }
+    }
+}
+
+/// Builds the bursty multi-tenant request stream described by `config`.
+///
+/// Returns the per-tenant base instances and the request sequence as indices
+/// into that vector. Tenant `k` gets a precedence class by round-robin over
+/// {independent, disjoint chains, directed forest}, so the stream exercises
+/// every solver a structure-dispatching service registry offers. Bursts from
+/// different tenants are deterministically interleaved.
+#[must_use]
+pub fn bursty_multi_tenant_stream(config: &BurstConfig) -> (Vec<SuuInstance>, Vec<usize>) {
+    assert!(config.num_tenants > 0, "need at least one tenant");
+    assert!(
+        config.bursts_per_tenant > 0,
+        "need at least one burst per tenant"
+    );
+    assert!(config.jobs.0 >= 1 && config.jobs.0 <= config.jobs.1);
+    assert!(config.machines.0 >= 1 && config.machines.0 <= config.machines.1);
+    assert!(config.burst_len.0 >= 1 && config.burst_len.0 <= config.burst_len.1);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    let tenants: Vec<SuuInstance> = (0..config.num_tenants)
+        .map(|k| {
+            let n = rng.gen_range(config.jobs.0..=config.jobs.1);
+            let m = rng.gen_range(config.machines.0..=config.machines.1);
+            let seed = rng.gen::<u64>();
+            let probs = crate::probability::uniform_matrix(n, m, 0.2, 0.9, seed);
+            let dag = match k % 3 {
+                0 => Dag::independent(n),
+                1 => crate::precedence::random_chains(n, (n / 2).max(1), seed ^ 0xC0A1),
+                _ => random_directed_forest(n, (n / 3).max(1), seed ^ 0xF0_12),
+            };
+            SuuInstance::new(n, m, probs, dag).expect("generated tenant instance is valid")
+        })
+        .collect();
+
+    // One (tenant, burst length) entry per burst, shuffled, then flattened.
+    let mut bursts: Vec<(usize, usize)> = Vec::new();
+    for tenant in 0..config.num_tenants {
+        for _ in 0..config.bursts_per_tenant {
+            bursts.push((
+                tenant,
+                rng.gen_range(config.burst_len.0..=config.burst_len.1),
+            ));
+        }
+    }
+    bursts.shuffle(&mut rng);
+
+    let requests: Vec<usize> = bursts
+        .iter()
+        .flat_map(|&(tenant, len)| std::iter::repeat_n(tenant, len))
+        .collect();
+    (tenants, requests)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +304,37 @@ mod tests {
     #[should_panic(expected = "2 machines")]
     fn bottleneck_requires_two_machines() {
         let _ = bottleneck_instance(3, 1, 0);
+    }
+
+    #[test]
+    fn bursty_stream_is_deterministic_and_in_range() {
+        let cfg = BurstConfig::default();
+        let (tenants_a, reqs_a) = bursty_multi_tenant_stream(&cfg);
+        let (tenants_b, reqs_b) = bursty_multi_tenant_stream(&cfg);
+        assert_eq!(tenants_a, tenants_b);
+        assert_eq!(reqs_a, reqs_b);
+        assert_eq!(tenants_a.len(), cfg.num_tenants);
+        let expected_min = cfg.num_tenants * cfg.bursts_per_tenant * cfg.burst_len.0;
+        let expected_max = cfg.num_tenants * cfg.bursts_per_tenant * cfg.burst_len.1;
+        assert!(reqs_a.len() >= expected_min && reqs_a.len() <= expected_max);
+        assert!(reqs_a.iter().all(|&t| t < tenants_a.len()));
+        for inst in &tenants_a {
+            assert!(inst.num_jobs() >= cfg.jobs.0 && inst.num_jobs() <= cfg.jobs.1);
+            assert!(inst.num_machines() >= cfg.machines.0 && inst.num_machines() <= cfg.machines.1);
+        }
+    }
+
+    #[test]
+    fn bursty_stream_mixes_structural_classes_and_repeats() {
+        let (tenants, reqs) = bursty_multi_tenant_stream(&BurstConfig::default());
+        let kinds: Vec<ForestKind> = tenants.iter().map(SuuInstance::forest_kind).collect();
+        assert!(kinds.contains(&ForestKind::Independent));
+        assert!(kinds.iter().any(|k| *k != ForestKind::Independent));
+        // Bursts guarantee immediate repetitions somewhere in the stream.
+        assert!(reqs.windows(2).any(|w| w[0] == w[1]));
+        // Every tenant appears.
+        for t in 0..tenants.len() {
+            assert!(reqs.contains(&t));
+        }
     }
 }
