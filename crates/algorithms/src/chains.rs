@@ -20,7 +20,7 @@ use suu_graph::ChainSet;
 
 use crate::delay::flatten_with_random_delays;
 use crate::error::AlgorithmError;
-use crate::lp_relaxation::solve_lp1;
+use crate::lp_relaxation::{solve_lp1, LpMicros};
 use crate::pseudo::build_chain_pseudo_schedules;
 use crate::replicate::{default_sigma, replicate_with_tail};
 use crate::rounding::round_solution;
@@ -60,6 +60,11 @@ pub struct ChainsSchedule {
     pub constant_mass_schedule: ObliviousSchedule,
     /// Optimum of the LP relaxation (`T*`, a lower bound on `16 · T^OPT`).
     pub lp_value: f64,
+    /// Simplex pivots spent solving (LP1).
+    pub lp_pivots: usize,
+    /// Wall-clock microseconds spent building and solving (LP1); compares
+    /// equal by construction (see [`LpMicros`]).
+    pub lp_micros: LpMicros,
     /// Scale factor applied by the rounding step (`O(log m)`).
     pub rounding_scale: u64,
     /// Maximum machine load of the rounded solution.
@@ -131,6 +136,8 @@ pub fn schedule_given_chains(
         schedule,
         constant_mass_schedule: outcome.schedule,
         lp_value: frac.t,
+        lp_pivots: frac.iterations,
+        lp_micros: frac.lp_micros,
         rounding_scale: rounded.scale,
         rounded_max_load: rounded.max_load(),
         congestion: outcome.congestion,

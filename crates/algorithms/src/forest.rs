@@ -16,6 +16,7 @@ use suu_graph::{ChainDecomposition, ForestKind};
 
 use crate::chains::{schedule_given_chains, ChainsOptions};
 use crate::error::AlgorithmError;
+use crate::lp_relaxation::LpMicros;
 use crate::replicate::{default_sigma, replicate_with_tail};
 
 /// Result of the forest pipeline.
@@ -28,6 +29,11 @@ pub struct ForestSchedule {
     pub num_blocks: usize,
     /// Per-block diagnostics: (block size, LP optimum, congestion).
     pub block_stats: Vec<BlockStats>,
+    /// Simplex pivots summed over every block's (LP1).
+    pub lp_pivots: usize,
+    /// Wall-clock microseconds summed over every block's LP build + solve;
+    /// compares equal by construction (see [`LpMicros`]).
+    pub lp_micros: LpMicros,
     /// Replication factor used for each block schedule.
     pub sigma: usize,
 }
@@ -39,6 +45,8 @@ pub struct BlockStats {
     pub jobs: usize,
     /// Optimum of the block's (LP1).
     pub lp_value: f64,
+    /// Simplex pivots of the block's (LP1).
+    pub lp_pivots: usize,
     /// Maximum per-step congestion after random delays in the block.
     pub congestion: usize,
 }
@@ -83,15 +91,20 @@ pub fn schedule_forest_with(
 
     let mut combined = ObliviousSchedule::new(instance.num_machines());
     let mut block_stats = Vec::new();
+    let mut lp_pivots = 0usize;
+    let mut lp_micros = 0u64;
     for (chain_set, mapping) in decomposition.block_chain_sets() {
         let jobs: Vec<JobId> = mapping.iter().map(|&j| JobId(j)).collect();
         let (sub_instance, _) = instance.restrict_to_jobs(&jobs);
         let block = schedule_given_chains(&sub_instance, &chain_set, &block_options)?;
         let remapped = remap_jobs(&block.constant_mass_schedule, &mapping);
         combined = combined.concat(&remapped.replicate_steps(sigma));
+        lp_pivots += block.lp_pivots;
+        lp_micros = lp_micros.saturating_add(block.lp_micros.0);
         block_stats.push(BlockStats {
             jobs: mapping.len(),
             lp_value: block.lp_value,
+            lp_pivots: block.lp_pivots,
             congestion: block.congestion,
         });
     }
@@ -109,6 +122,8 @@ pub fn schedule_forest_with(
         schedule,
         num_blocks: decomposition.num_blocks(),
         block_stats,
+        lp_pivots,
+        lp_micros: LpMicros(lp_micros),
         sigma,
     })
 }

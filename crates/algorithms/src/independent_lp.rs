@@ -13,7 +13,7 @@
 use suu_core::{Assignment, JobId, MachineId, ObliviousSchedule, SuuInstance};
 
 use crate::error::AlgorithmError;
-use crate::lp_relaxation::solve_lp2;
+use crate::lp_relaxation::{solve_lp2, LpMicros};
 use crate::replicate::{default_sigma, replicate_with_tail};
 use crate::rounding::round_solution;
 
@@ -29,6 +29,11 @@ pub struct IndependentLpSchedule {
     pub lp_value: f64,
     /// Number of non-zero `x_ij` in the basic optimal solution (≤ n + m).
     pub lp_nonzeros: usize,
+    /// Simplex pivots spent solving (LP2).
+    pub lp_pivots: usize,
+    /// Wall-clock microseconds spent building and solving (LP2); compares
+    /// equal by construction (see [`LpMicros`]).
+    pub lp_micros: LpMicros,
     /// Scale factor applied by rounding.
     pub rounding_scale: u64,
     /// Replication factor σ.
@@ -89,6 +94,8 @@ pub fn schedule_independent_lp_with_sigma(
         constant_mass_schedule,
         lp_value: frac.t,
         lp_nonzeros: frac.nonzero_x,
+        lp_pivots: frac.iterations,
+        lp_micros: frac.lp_micros,
         rounding_scale: rounded.scale,
         sigma,
     })

@@ -20,6 +20,8 @@
 //! optimal expected makespan. For independent jobs the chain and `d`
 //! constraints disappear, giving (LP2), used by Theorem 4.5.
 
+use std::time::Instant;
+
 use suu_core::{JobId, MachineId, SuuInstance};
 use suu_graph::ChainSet;
 use suu_lp::{solve, ConstraintOp, LpProblem, LpStatus, Sense, SimplexOptions, VarId};
@@ -28,6 +30,25 @@ use crate::error::AlgorithmError;
 
 /// Target mass per job in the relaxation (the paper uses 1/2).
 pub const LP_MASS_TARGET: f64 = 0.5;
+
+/// Wall-clock microseconds of one LP build + solve (read via `.0`).
+///
+/// Deliberately compares equal to every other value: timing is a diagnostic,
+/// and two otherwise-identical solves always differ in wall-clock, so the
+/// structural equality of solver results must ignore it. The newtype keeps
+/// `#[derive(PartialEq)]` usable on every struct that carries a timing —
+/// fields added later are compared automatically instead of silently
+/// skipped by a hand-written `eq`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LpMicros(pub u64);
+
+impl PartialEq for LpMicros {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for LpMicros {}
 
 /// A solved fractional relaxation.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,12 +60,16 @@ pub struct FractionalSolution {
     pub d: Vec<f64>,
     /// The optimal value `t` (the paper's `T*`).
     pub t: f64,
-    /// Simplex pivot count (diagnostic).
+    /// Simplex pivot count (diagnostic; surfaced by the service as
+    /// `lp_pivots`).
     pub iterations: usize,
     /// Number of non-zero `x_ij` in the basic optimal solution (diagnostic;
     /// Theorem 4.5's analysis uses the fact that this is at most `n + m` for
     /// (LP2)).
     pub nonzero_x: usize,
+    /// Wall-clock time of the build + solve (diagnostic; compares equal by
+    /// construction, see [`LpMicros`]).
+    pub lp_micros: LpMicros,
 }
 
 impl FractionalSolution {
@@ -85,21 +110,39 @@ pub fn solve_lp2(instance: &SuuInstance) -> Result<FractionalSolution, Algorithm
     build_and_solve(instance, None)
 }
 
-fn build_and_solve(
+/// Builds the (LP1)/(LP2) problem for `instance`, emitting every row straight
+/// from the instance's sparse non-zero index — no dense probability-matrix
+/// scans and no dense `m × n` variable map, so the build is O(nnz + n + m +
+/// rows), not O(n · m). Returns the problem together with the variable maps
+/// (`x_var[i]` lists machine `i`'s `(job, var)` pairs in increasing job
+/// order, plus the optional `d` block and `t`). Public so the
+/// dense-vs-revised parity battery and the `exp_lp_scaling` benchmark can
+/// solve the exact same problem with both engines; pass `None` for `chains`
+/// to get (LP2).
+#[allow(clippy::type_complexity)]
+pub fn build_relaxation(
     instance: &SuuInstance,
     chains: Option<&ChainSet>,
-) -> Result<FractionalSolution, AlgorithmError> {
+) -> (
+    LpProblem,
+    Vec<Vec<(usize, VarId)>>,
+    Option<Vec<VarId>>,
+    VarId,
+) {
     let n = instance.num_jobs();
     let m = instance.num_machines();
     let mut lp = LpProblem::new(Sense::Minimize);
 
-    // x variables only for positive probabilities.
-    let mut x_var: Vec<Vec<Option<VarId>>> = vec![vec![None; n]; m];
-    for i in 0..m {
-        for j in 0..n {
-            if instance.prob(MachineId(i), JobId(j)) > 0.0 {
-                x_var[i][j] = Some(lp.add_variable(format!("x_{i}_{j}")));
-            }
+    // x variables only for positive probabilities, in machine-major order.
+    // The same pass accumulates each job's mass-row terms, so no per-job
+    // variable lookup structure is ever needed.
+    let mut x_var: Vec<Vec<(usize, VarId)>> = vec![Vec::new(); m];
+    let mut mass_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); n];
+    for (i, row) in x_var.iter_mut().enumerate() {
+        for (j, p) in instance.positive_jobs(MachineId(i)) {
+            let v = lp.add_variable(format!("x_{i}_{}", j.0));
+            row.push((j.0, v));
+            mass_terms[j.0].push((v, p));
         }
     }
     // d variables only when chains are present (LP1).
@@ -108,17 +151,15 @@ fn build_and_solve(
     let t_var = lp.add_variable("t");
     lp.set_objective_coefficient(t_var, 1.0);
 
-    // (1) mass constraints.
-    for j in 0..n {
-        let terms: Vec<(VarId, f64)> = (0..m)
-            .filter_map(|i| x_var[i][j].map(|v| (v, instance.prob(MachineId(i), JobId(j)))))
-            .collect();
+    // (1) mass constraints: Σ_i p_ij x_ij ≥ 1/2, one term per non-zero of
+    // job j's column.
+    for (j, terms) in mass_terms.into_iter().enumerate() {
         lp.add_constraint(terms, ConstraintOp::Ge, LP_MASS_TARGET, format!("mass_{j}"));
     }
-    // (2) machine load constraints: Σ_j x_ij − t ≤ 0.
+    // (2) machine load constraints: Σ_j x_ij − t ≤ 0, one term per non-zero
+    // of machine i's row.
     for (i, row) in x_var.iter().enumerate() {
-        let mut terms: Vec<(VarId, f64)> =
-            row.iter().filter_map(|v| v.map(|var| (var, 1.0))).collect();
+        let mut terms: Vec<(VarId, f64)> = row.iter().map(|&(_, v)| (v, 1.0)).collect();
         terms.push((t_var, -1.0));
         lp.add_constraint(terms, ConstraintOp::Le, 0.0, format!("load_{i}"));
     }
@@ -129,17 +170,15 @@ fn build_and_solve(
             terms.push((t_var, -1.0));
             lp.add_constraint(terms, ConstraintOp::Le, 0.0, format!("chain_{k}"));
         }
-        // (4) x_ij ≤ d_j.
+        // (4) x_ij ≤ d_j, one row per non-zero.
         for (i, row) in x_var.iter().enumerate() {
-            for (j, v) in row.iter().enumerate() {
-                if let Some(var) = v {
-                    lp.add_constraint(
-                        vec![(*var, 1.0), (d_var[j], -1.0)],
-                        ConstraintOp::Le,
-                        0.0,
-                        format!("window_{i}_{j}"),
-                    );
-                }
+            for &(j, v) in row {
+                lp.add_constraint(
+                    vec![(v, 1.0), (d_var[j], -1.0)],
+                    ConstraintOp::Le,
+                    0.0,
+                    format!("window_{i}_{j}"),
+                );
             }
         }
         // (5) d_j ≥ 1.
@@ -147,6 +186,17 @@ fn build_and_solve(
             lp.add_constraint(vec![(dv, 1.0)], ConstraintOp::Ge, 1.0, format!("dmin_{j}"));
         }
     }
+    (lp, x_var, d_var, t_var)
+}
+
+fn build_and_solve(
+    instance: &SuuInstance,
+    chains: Option<&ChainSet>,
+) -> Result<FractionalSolution, AlgorithmError> {
+    let start = Instant::now();
+    let n = instance.num_jobs();
+    let m = instance.num_machines();
+    let (lp, x_var, d_var, t_var) = build_relaxation(instance, chains);
 
     let sol = solve(&lp, &SimplexOptions::default())?;
     if sol.status != LpStatus::Optimal {
@@ -156,17 +206,18 @@ fn build_and_solve(
         )));
     }
 
+    // The dense x matrix is the *output* contract (the rounding and
+    // pseudo-schedule stages consume it by index); filling it visits only the
+    // non-zero variable slots.
     let mut x = vec![vec![0.0f64; n]; m];
     let mut nonzero_x = 0usize;
-    for i in 0..m {
-        for j in 0..n {
-            if let Some(v) = x_var[i][j] {
-                let value = sol.value(v).max(0.0);
-                if value > 1e-9 {
-                    nonzero_x += 1;
-                }
-                x[i][j] = value;
+    for (i, row) in x_var.iter().enumerate() {
+        for &(j, v) in row {
+            let value = sol.value(v).max(0.0);
+            if value > 1e-9 {
+                nonzero_x += 1;
             }
+            x[i][j] = value;
         }
     }
     let d: Vec<f64> = match d_var {
@@ -181,6 +232,7 @@ fn build_and_solve(
         t: sol.value(t_var),
         iterations: sol.iterations,
         nonzero_x,
+        lp_micros: LpMicros(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)),
     })
 }
 

@@ -24,7 +24,10 @@ pub fn msm_alg(instance: &SuuInstance, jobs: &JobSet) -> Assignment {
     let mut machine_used = vec![false; m];
     let mut job_mass = vec![0.0f64; n];
 
-    for (machine, job, p) in instance.positive_probs_sorted() {
+    // Allocation-free: the sorted entry list lives in the instance's lazily
+    // built sparse index, so calling MSM-ALG once per schedule step costs no
+    // per-call sort or Vec.
+    for &(machine, job, p) in instance.positive_entries_sorted() {
         if !jobs.contains(job) {
             continue;
         }

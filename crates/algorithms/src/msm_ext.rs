@@ -69,7 +69,7 @@ pub fn msm_e_alg(instance: &SuuInstance, jobs: &JobSet, t: u64) -> MsmExtSolutio
     let mut remaining = vec![t; m];
     let mut job_mass = vec![0.0f64; n];
 
-    for (machine, job, p) in instance.positive_probs_sorted() {
+    for &(machine, job, p) in instance.positive_entries_sorted() {
         if !jobs.contains(job) {
             continue;
         }

@@ -1,0 +1,8 @@
+//! Experiment binary: L1, LP engine scaling (dense tableau vs revised
+//! simplex).
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_lp_scaling [-- --quick] [--seed N]`
+
+fn main() {
+    suu_bench::run_registered("lp_scaling");
+}

@@ -11,6 +11,7 @@ pub mod exact_small;
 pub mod forests;
 pub mod independent;
 pub mod lp_rounding;
+pub mod lp_scaling;
 pub mod mass_accumulation;
 pub mod mass_bounds;
 pub mod msm_ratio;
@@ -35,6 +36,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentRunner)> {
         ("msm_ratio", |c| vec![msm_ratio::run(c)]),
         ("independent", |c| vec![independent::run(c)]),
         ("lp_rounding", |c| vec![lp_rounding::run(c)]),
+        ("lp_scaling", |c| vec![lp_scaling::run(c)]),
         ("chains", |c| vec![chains::run(c)]),
         ("forests", |c| vec![forests::run(c)]),
         ("chain_decomposition", |c| vec![decomposition::run(c)]),

@@ -1,10 +1,78 @@
 //! SUU problem instances and their builder.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 use suu_graph::{Dag, ForestKind};
 
 use crate::error::InstanceError;
 use crate::ids::{JobId, MachineId};
+
+/// Lazily built sparse index over the positive entries of the probability
+/// matrix, in compressed-sparse-row form along both axes plus the globally
+/// sorted entry list. Realistic multi-tenant instances have per-job machine
+/// eligibility that is O(log m), not O(m), so the algorithms' hot loops must
+/// iterate non-zeros — never scan the dense matrix.
+#[derive(Debug, Clone)]
+struct ProbIndex {
+    /// `machine_ptr[i]..machine_ptr[i + 1]` indexes `machine_entries`:
+    /// the jobs machine `i` can work on, in increasing job order.
+    machine_ptr: Vec<usize>,
+    machine_entries: Vec<(JobId, f64)>,
+    /// `job_ptr[j]..job_ptr[j + 1]` indexes `job_entries`: the machines
+    /// capable of job `j`, in increasing machine order.
+    job_ptr: Vec<usize>,
+    job_entries: Vec<(MachineId, f64)>,
+    /// Every positive entry, sorted by decreasing probability (ties keep
+    /// machine-major insertion order) — the processing order of MSM-ALG and
+    /// MSM-E-ALG.
+    sorted: Vec<(MachineId, JobId, f64)>,
+}
+
+impl ProbIndex {
+    fn build(num_jobs: usize, num_machines: usize, probs: &[f64]) -> Self {
+        let mut machine_ptr = Vec::with_capacity(num_machines + 1);
+        let mut machine_entries = Vec::new();
+        let mut job_counts = vec![0usize; num_jobs + 1];
+        machine_ptr.push(0);
+        for i in 0..num_machines {
+            for j in 0..num_jobs {
+                let p = probs[i * num_jobs + j];
+                if p > 0.0 {
+                    machine_entries.push((JobId(j), p));
+                    job_counts[j + 1] += 1;
+                }
+            }
+            machine_ptr.push(machine_entries.len());
+        }
+        for j in 0..num_jobs {
+            job_counts[j + 1] += job_counts[j];
+        }
+        let job_ptr = job_counts.clone();
+        let mut cursor = job_counts;
+        let mut job_entries = vec![(MachineId(0), 0.0); machine_entries.len()];
+        for i in 0..num_machines {
+            for &(j, p) in &machine_entries[machine_ptr[i]..machine_ptr[i + 1]] {
+                job_entries[cursor[j.0]] = (MachineId(i), p);
+                cursor[j.0] += 1;
+            }
+        }
+        let mut sorted: Vec<(MachineId, JobId, f64)> = Vec::with_capacity(machine_entries.len());
+        for i in 0..num_machines {
+            for &(j, p) in &machine_entries[machine_ptr[i]..machine_ptr[i + 1]] {
+                sorted.push((MachineId(i), j, p));
+            }
+        }
+        sorted.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        Self {
+            machine_ptr,
+            machine_entries,
+            job_ptr,
+            job_entries,
+            sorted,
+        }
+    }
+}
 
 /// A validated instance of multiprocessor scheduling under uncertainty.
 ///
@@ -32,13 +100,57 @@ use crate::ids::{JobId, MachineId};
 /// assert_eq!(instance.num_jobs(), 3);
 /// assert_eq!(instance.prob(MachineId(1), JobId(1)), 0.7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SuuInstance {
     num_jobs: usize,
     num_machines: usize,
     /// Row-major `num_machines × num_jobs` success-probability matrix.
     probs: Vec<f64>,
     precedence: Dag,
+    /// Sparse non-zero index, built on first use (see [`ProbIndex`]). Derived
+    /// state: excluded from equality, hashing and the wire format.
+    index: OnceLock<ProbIndex>,
+}
+
+/// Equality is over the logical contents only — the lazily built index is a
+/// cache of `probs` and must not influence comparisons.
+impl PartialEq for SuuInstance {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_jobs == other.num_jobs
+            && self.num_machines == other.num_machines
+            && self.probs == other.probs
+            && self.precedence == other.precedence
+    }
+}
+
+/// Hand-written (the vendored serde derive has no `skip`): serialises exactly
+/// the four logical fields, preserving the wire format from before the index
+/// existed.
+impl Serialize for SuuInstance {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (String::from("num_jobs"), self.num_jobs.to_value()),
+            (String::from("num_machines"), self.num_machines.to_value()),
+            (String::from("probs"), self.probs.to_value()),
+            (String::from("precedence"), self.precedence.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SuuInstance {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| serde::DeError::new(format!("missing field `{key}` in SuuInstance")))
+        };
+        Ok(Self {
+            num_jobs: usize::from_value(required("num_jobs")?)?,
+            num_machines: usize::from_value(required("num_machines")?)?,
+            probs: Vec::from_value(required("probs")?)?,
+            precedence: Dag::from_value(required("precedence")?)?,
+            index: OnceLock::new(),
+        })
+    }
 }
 
 impl SuuInstance {
@@ -94,7 +206,14 @@ impl SuuInstance {
             num_machines,
             probs,
             precedence,
+            index: OnceLock::new(),
         })
+    }
+
+    /// The sparse non-zero index, building it on first use.
+    fn index(&self) -> &ProbIndex {
+        self.index
+            .get_or_init(|| ProbIndex::build(self.num_jobs, self.num_machines, &self.probs))
     }
 
     /// Number of jobs `n`.
@@ -186,22 +305,40 @@ impl SuuInstance {
             .sum()
     }
 
+    /// The machines with `p_ij > 0` for `job`, with their probabilities, in
+    /// increasing machine order. Allocation-free: backed by the lazily built
+    /// CSR index, so per-call cost is O(non-zeros of the job's column).
+    pub fn positive_probs(&self, job: JobId) -> impl Iterator<Item = (MachineId, f64)> + '_ {
+        let index = self.index();
+        index.job_entries[index.job_ptr[job.0]..index.job_ptr[job.0 + 1]]
+            .iter()
+            .copied()
+    }
+
+    /// The jobs with `p_ij > 0` for `machine`, with their probabilities, in
+    /// increasing job order. Allocation-free like [`positive_probs`]
+    /// (`Self::positive_probs`).
+    pub fn positive_jobs(&self, machine: MachineId) -> impl Iterator<Item = (JobId, f64)> + '_ {
+        let index = self.index();
+        index.machine_entries[index.machine_ptr[machine.0]..index.machine_ptr[machine.0 + 1]]
+            .iter()
+            .copied()
+    }
+
+    /// Number of positive entries in the probability matrix.
+    #[must_use]
+    pub fn num_positive(&self) -> usize {
+        self.index().job_entries.len()
+    }
+
     /// Probability entries `(machine, job, p_ij)` with `p_ij > 0`, in
     /// decreasing order of probability — the processing order used by
-    /// MSM-ALG and MSM-E-ALG.
+    /// MSM-ALG and MSM-E-ALG. Allocation-free: the slice lives in the lazily
+    /// built index, so repeated calls (e.g. one per schedule step) cost
+    /// nothing beyond the first.
     #[must_use]
-    pub fn positive_probs_sorted(&self) -> Vec<(MachineId, JobId, f64)> {
-        let mut entries: Vec<(MachineId, JobId, f64)> = Vec::new();
-        for i in 0..self.num_machines {
-            for j in 0..self.num_jobs {
-                let p = self.probs[i * self.num_jobs + j];
-                if p > 0.0 {
-                    entries.push((MachineId(i), JobId(j), p));
-                }
-            }
-        }
-        entries.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-        entries
+    pub fn positive_entries_sorted(&self) -> &[(MachineId, JobId, f64)] {
+        &self.index().sorted
     }
 
     /// Jobs whose predecessors are all contained in `finished` and that are
@@ -488,12 +625,50 @@ mod tests {
     #[test]
     fn positive_probs_are_sorted_descending() {
         let inst = small_instance();
-        let entries = inst.positive_probs_sorted();
+        let entries = inst.positive_entries_sorted();
         assert_eq!(entries.len(), 5);
         for pair in entries.windows(2) {
             assert!(pair[0].2 >= pair[1].2);
         }
         assert_eq!(entries[0], (MachineId(0), JobId(0), 0.9));
+        assert_eq!(inst.num_positive(), 5);
+    }
+
+    #[test]
+    fn sparse_iterators_match_dense_scans() {
+        let inst = small_instance();
+        for j in inst.jobs() {
+            let via_index: Vec<(MachineId, f64)> = inst.positive_probs(j).collect();
+            let via_scan: Vec<(MachineId, f64)> = inst
+                .machines()
+                .map(|i| (i, inst.prob(i, j)))
+                .filter(|&(_, p)| p > 0.0)
+                .collect();
+            assert_eq!(via_index, via_scan, "job {j}");
+        }
+        for i in inst.machines() {
+            let via_index: Vec<(JobId, f64)> = inst.positive_jobs(i).collect();
+            let via_scan: Vec<(JobId, f64)> = inst
+                .jobs()
+                .map(|j| (j, inst.prob(i, j)))
+                .filter(|&(_, p)| p > 0.0)
+                .collect();
+            assert_eq!(via_index, via_scan, "machine {i}");
+        }
+    }
+
+    #[test]
+    fn index_state_does_not_affect_equality_or_clones() {
+        let warm = small_instance();
+        let _ = warm.positive_probs(JobId(0)).count(); // build the index
+        let cold = small_instance();
+        assert_eq!(warm, cold);
+        let cloned = warm.clone();
+        assert_eq!(cloned, warm);
+        assert_eq!(
+            cloned.positive_entries_sorted(),
+            warm.positive_entries_sorted()
+        );
     }
 
     #[test]

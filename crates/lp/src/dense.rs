@@ -7,64 +7,28 @@
 //! to Bland's rule after a run of degenerate pivots, which guarantees
 //! termination.
 //!
-//! The LPs solved in this workspace — (LP1) and (LP2) of the paper — have at
-//! most a few thousand variables and constraints, for which a dense tableau is
-//! simple, predictable and fast enough (every pivot is a single pass over the
-//! tableau, which the compiler auto-vectorises).
+//! Per pivot the dense tableau costs O(rows × cols) regardless of sparsity,
+//! so it is the engine of choice only for tiny problems (where the whole
+//! tableau fits in cache and there is no factorisation bookkeeping to
+//! amortise) — see [`crate::engine`] for the selection policy. Beyond that it
+//! serves as the differential-testing oracle for [`crate::revised`]: the two
+//! engines must agree on status and objective on every input.
 
+use crate::engine::SimplexOptions;
 use crate::model::{ConstraintOp, LpProblem, Sense};
 use crate::solution::{LpError, LpSolution, LpStatus};
 
-/// Options controlling the simplex solver.
-#[derive(Debug, Clone)]
-pub struct SimplexOptions {
-    /// Numerical tolerance for reduced costs, ratio tests and feasibility.
-    pub tolerance: f64,
-    /// Maximum number of pivots across both phases; `None` derives a generous
-    /// limit from the problem size.
-    pub max_iterations: Option<usize>,
-    /// Number of consecutive degenerate pivots after which the solver switches
-    /// from Dantzig's rule to Bland's anti-cycling rule.
-    pub stall_threshold: usize,
-}
-
-impl Default for SimplexOptions {
-    fn default() -> Self {
-        Self {
-            tolerance: 1e-9,
-            max_iterations: None,
-            stall_threshold: 64,
-        }
-    }
-}
-
-/// Solves a linear program.
+/// Solves a linear program on the dense tableau.
 ///
 /// # Errors
 ///
 /// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted — in
 /// practice a sign of a numerically pathological input.
-pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
+pub fn solve_dense(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
     let n = problem.num_variables();
     if n == 0 {
-        // Degenerate but legal: the all-zero point either satisfies the
-        // constant constraints or the problem is infeasible.
-        let feasible = problem.is_feasible(&[], options.tolerance)
-            || problem.constraints().iter().all(|c| match c.op {
-                ConstraintOp::Le => 0.0 <= c.rhs + options.tolerance,
-                ConstraintOp::Ge => 0.0 >= c.rhs - options.tolerance,
-                ConstraintOp::Eq => c.rhs.abs() <= options.tolerance,
-            });
-        return Ok(LpSolution {
-            status: if feasible {
-                LpStatus::Optimal
-            } else {
-                LpStatus::Infeasible
-            },
-            objective: 0.0,
-            values: Vec::new(),
-            iterations: 0,
-        });
+        // Degenerate but legal; shared with the revised engine.
+        return Ok(crate::engine::solve_empty(problem, options));
     }
 
     let mut tableau = Tableau::build(problem, options);
@@ -159,26 +123,19 @@ impl Tableau {
         let n = problem.num_variables();
         let m = problem.num_constraints();
 
-        // Count extra columns: one slack/surplus per inequality, one artificial
-        // per row that lacks a natural basic column.
+        // Count extra columns via the shared per-row classification (see
+        // `engine::row_extra_columns`): one slack/surplus per inequality, one
+        // artificial per row that lacks a natural basic column (a `≤` row
+        // with non-negative rhs can use its slack as the initial basic
+        // variable).
         let mut num_slack = 0usize;
-        for c in problem.constraints() {
-            if c.op != ConstraintOp::Eq {
-                num_slack += 1;
-            }
-        }
-
-        // First pass: determine which rows need artificials. A `≤` row with
-        // non-negative rhs can use its slack as the initial basic variable;
-        // everything else gets an artificial.
         let mut needs_artificial = vec![false; m];
         for (i, c) in problem.constraints().iter().enumerate() {
-            let effective_le = match c.op {
-                ConstraintOp::Le => c.rhs >= 0.0,
-                ConstraintOp::Ge => c.rhs <= 0.0, // becomes ≤ after negation
-                ConstraintOp::Eq => false,
-            };
-            needs_artificial[i] = !effective_le;
+            let (slack, artificial) = crate::engine::row_extra_columns(c);
+            if slack {
+                num_slack += 1;
+            }
+            needs_artificial[i] = artificial;
         }
         let num_artificials = needs_artificial.iter().filter(|&&x| x).count();
 
@@ -479,7 +436,7 @@ mod tests {
         lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0, "c1");
         lp.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0, "c2");
         lp.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0, "c3");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 36.0);
         assert_close(sol.value(x), 2.0);
@@ -497,7 +454,7 @@ mod tests {
         lp.set_objective_coefficient(y, 3.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0, "cover");
         lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "xmin");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 20.0);
         assert_close(sol.value(x), 10.0);
@@ -514,7 +471,7 @@ mod tests {
         lp.set_objective_coefficient(y, 1.0);
         lp.add_constraint(vec![(x, 1.0), (y, 2.0)], ConstraintOp::Eq, 4.0, "e1");
         lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0, "e2");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.value(x), 2.0);
         assert_close(sol.value(y), 1.0);
@@ -529,7 +486,7 @@ mod tests {
         lp.set_objective_coefficient(x, 1.0);
         lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0, "le");
         lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "ge");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
 
@@ -540,7 +497,7 @@ mod tests {
         let x = lp.add_variable("x");
         lp.set_objective_coefficient(x, 1.0);
         lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0, "lb");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Unbounded);
     }
 
@@ -553,7 +510,7 @@ mod tests {
         lp.set_objective_coefficient(x, 1.0);
         lp.set_objective_coefficient(y, 1.0);
         lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, -2.0, "c");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 2.0);
         assert_close(sol.value(y), 2.0);
@@ -571,7 +528,7 @@ mod tests {
         lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0, "c2");
         lp.add_constraint(vec![(y, 1.0)], ConstraintOp::Le, 1.0, "c3");
         lp.add_constraint(vec![(x, 2.0), (y, 1.0)], ConstraintOp::Le, 2.0, "c4");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 1.0);
     }
@@ -579,7 +536,7 @@ mod tests {
     #[test]
     fn zero_variable_problem() {
         let lp = LpProblem::new(Sense::Minimize);
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 0.0);
     }
@@ -593,7 +550,7 @@ mod tests {
         lp.set_objective_coefficient(x, 1.0);
         lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 0.0, "tie");
         lp.add_constraint(vec![(y, 1.0)], ConstraintOp::Ge, 2.0, "lb");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.value(x), 2.0);
     }
@@ -648,7 +605,7 @@ mod tests {
             }
             lp.add_constraint(vec![(d[j], 1.0)], ConstraintOp::Ge, 1.0, "dmin");
         }
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(lp.is_feasible(&sol.values, 1e-6));
         // d0 + d1 ≥ 2 forces t ≥ 2; masses are easily reached within that.
@@ -661,7 +618,7 @@ mod tests {
         let x = lp.add_variable("x");
         lp.set_objective_coefficient(x, 1.0);
         lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 5.0, "c");
-        let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+        let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
         assert!(sol.iterations >= 1);
     }
 
@@ -679,7 +636,7 @@ mod tests {
             max_iterations: Some(1),
             ..SimplexOptions::default()
         };
-        let err = solve(&lp, &opts).unwrap_err();
+        let err = solve_dense(&lp, &opts).unwrap_err();
         assert!(matches!(err, LpError::IterationLimit { limit: 1 }));
     }
 
@@ -706,7 +663,7 @@ mod tests {
                     format!("c{c}"),
                 );
             }
-            let sol = solve(&lp, &SimplexOptions::default()).unwrap();
+            let sol = solve_dense(&lp, &SimplexOptions::default()).unwrap();
             assert_eq!(sol.status, LpStatus::Optimal);
             assert!(lp.is_feasible(&sol.values, 1e-6));
             // The origin is feasible, so the maximum is ≥ 0.

@@ -1,0 +1,204 @@
+//! Engine selection: the dense tableau vs the revised simplex over CSR.
+//!
+//! The workspace ships two interchangeable simplex implementations:
+//!
+//! * [`crate::dense`] — the original two-phase dense tableau. Every pivot is a
+//!   full pass over the `(rows + 1) × (cols + 1)` tableau. Simple, and the
+//!   fastest option for tiny problems where the whole tableau fits in cache.
+//!   It doubles as the differential-testing oracle for the revised engine.
+//! * [`crate::revised`] — the revised simplex over CSR/CSC sparse structures
+//!   with a product-form (eta-file) basis factorisation. Per-pivot cost is
+//!   proportional to the number of non-zeros, not `rows × cols`, which is the
+//!   asymptotic win for the sparse (LP1)/(LP2) instances the paper's
+//!   algorithms generate.
+//!
+//! [`solve`] auto-selects: dense below [`DENSE_CELL_THRESHOLD`] estimated
+//! tableau cells, revised above. Both engines share [`SimplexOptions`] and the
+//! Dantzig-with-Bland-fallback pivoting discipline.
+
+use crate::model::{Constraint, ConstraintOp, LpProblem};
+use crate::solution::{LpError, LpSolution, LpStatus};
+
+/// Standard-form column contribution of one constraint row, as
+/// `(slack, artificial)`: every inequality gets a slack/surplus column, and
+/// every row that is not an effective `≤` after rhs normalisation (a `≥` row
+/// with rhs ≤ 0 negates into one) also gets an artificial — a `≥` row with
+/// positive rhs contributes both. Single source of truth shared by the
+/// [`Engine::Auto`] size estimate and both engine builders.
+pub(crate) fn row_extra_columns(c: &Constraint) -> (bool, bool) {
+    let slack = c.op != ConstraintOp::Eq;
+    let effective_le = match c.op {
+        ConstraintOp::Le => c.rhs >= 0.0,
+        ConstraintOp::Ge => c.rhs <= 0.0,
+        ConstraintOp::Eq => false,
+    };
+    (slack, !effective_le)
+}
+
+/// Which simplex implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Pick automatically from the problem size: dense for tiny problems,
+    /// revised otherwise.
+    #[default]
+    Auto,
+    /// Force the dense two-phase tableau.
+    Dense,
+    /// Force the revised simplex over CSR.
+    Revised,
+}
+
+/// Problems whose exact tableau size `(rows + 1) × (total columns + 1)` —
+/// structural plus slack/surplus plus artificial — is at most this many
+/// cells stay on the dense engine under [`Engine::Auto`]: at that size the
+/// dense tableau fits comfortably in cache and has no factorisation
+/// bookkeeping to amortise.
+pub const DENSE_CELL_THRESHOLD: usize = 5_000;
+
+/// Options controlling the simplex solvers (both engines).
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Numerical tolerance for reduced costs, ratio tests and feasibility.
+    pub tolerance: f64,
+    /// Maximum number of pivots across both phases; `None` derives a generous
+    /// limit from the problem size.
+    pub max_iterations: Option<usize>,
+    /// Number of consecutive degenerate pivots after which the solver switches
+    /// from Dantzig's rule to Bland's anti-cycling rule.
+    pub stall_threshold: usize,
+    /// Which engine to run.
+    pub engine: Engine,
+    /// Revised engine only: number of eta updates accumulated before the
+    /// basis is refactorised from scratch (bounds both numerical drift and
+    /// the length of the eta file).
+    pub refactor_interval: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-9,
+            max_iterations: None,
+            stall_threshold: 64,
+            engine: Engine::Auto,
+            refactor_interval: 64,
+        }
+    }
+}
+
+/// Solves a linear program with the engine selected by
+/// [`SimplexOptions::engine`].
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted — in
+/// practice a sign of a numerically pathological input.
+pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
+    match options.engine {
+        Engine::Dense => crate::dense::solve_dense(problem, options),
+        Engine::Revised => crate::revised::solve_revised(problem, options),
+        Engine::Auto => {
+            let rows = problem.num_constraints();
+            // Count the extra columns exactly (one cheap O(rows) pass over
+            // the shared per-row classification).
+            let extra: usize = problem
+                .constraints()
+                .iter()
+                .map(|c| {
+                    let (slack, artificial) = row_extra_columns(c);
+                    usize::from(slack) + usize::from(artificial)
+                })
+                .sum();
+            let cells = (rows + 1).saturating_mul(problem.num_variables() + extra + 1);
+            if cells <= DENSE_CELL_THRESHOLD {
+                crate::dense::solve_dense(problem, options)
+            } else {
+                crate::revised::solve_revised(problem, options)
+            }
+        }
+    }
+}
+
+/// Shared handling of the zero-variable corner case: the all-zero point
+/// either satisfies every (constant) constraint or the problem is infeasible.
+pub(crate) fn solve_empty(problem: &LpProblem, options: &SimplexOptions) -> LpSolution {
+    let feasible = problem.constraints().iter().all(|c| match c.op {
+        ConstraintOp::Le => 0.0 <= c.rhs + options.tolerance,
+        ConstraintOp::Ge => 0.0 >= c.rhs - options.tolerance,
+        ConstraintOp::Eq => c.rhs.abs() <= options.tolerance,
+    });
+    LpSolution {
+        status: if feasible {
+            LpStatus::Optimal
+        } else {
+            LpStatus::Infeasible
+        },
+        objective: 0.0,
+        values: Vec::new(),
+        iterations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    #[test]
+    fn auto_routes_tiny_problems_to_dense_and_large_to_revised() {
+        // Indirect check: both engines must agree anyway, so the observable
+        // contract of Auto is simply that it solves. Exercise both branches.
+        let mut tiny = LpProblem::new(Sense::Maximize);
+        let x = tiny.add_variable("x");
+        tiny.set_objective_coefficient(x, 1.0);
+        tiny.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 3.0, "c");
+        let sol = solve(&tiny, &SimplexOptions::default()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 3.0).abs() < 1e-9);
+
+        let mut large = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..120)
+            .map(|i| large.add_variable(format!("v{i}")))
+            .collect();
+        for (i, &v) in vars.iter().enumerate() {
+            large.set_objective_coefficient(v, 1.0 + (i % 7) as f64);
+            large.add_constraint(vec![(v, 1.0)], ConstraintOp::Le, 2.0, format!("c{i}"));
+        }
+        let cells =
+            (large.num_constraints() + 1) * (large.num_constraints() + large.num_variables() + 1);
+        assert!(cells > DENSE_CELL_THRESHOLD, "sweep point must hit revised");
+        let sol = solve(&large, &SimplexOptions::default()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        let expected: f64 = (0..120).map(|i| 2.0 * (1.0 + (i % 7) as f64)).sum();
+        assert!((sol.objective - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forced_engines_agree_on_a_small_problem() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0, "cover");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "xmin");
+        let dense = solve(
+            &lp,
+            &SimplexOptions {
+                engine: Engine::Dense,
+                ..SimplexOptions::default()
+            },
+        )
+        .unwrap();
+        let revised = solve(
+            &lp,
+            &SimplexOptions {
+                engine: Engine::Revised,
+                ..SimplexOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(dense.status, revised.status);
+        assert!((dense.objective - revised.objective).abs() < 1e-6);
+    }
+}

@@ -1,29 +1,44 @@
-//! A self-contained linear-programming solver.
+//! A self-contained linear-programming solver with two interchangeable
+//! simplex engines.
 //!
 //! The chain-scheduling algorithm of §4.1 of *Approximation Algorithms for
 //! Multiprocessor Scheduling under Uncertainty* solves the relaxed linear
 //! program (LP1) — and its simplification (LP2) for independent jobs — and
-//! then rounds the fractional solution. The LPs are small and dense (one
-//! variable per machine–job pair with positive success probability, plus one
-//! per job and the makespan bound `t`), so a classic dense two-phase simplex
-//! method is entirely adequate and avoids an external LP dependency.
+//! then rounds the fractional solution. Those LPs are *sparse*: an `x_ij`
+//! variable exists only where `p_ij > 0`, and every row touches a handful of
+//! variables. The crate therefore ships:
 //!
 //! * [`model::LpProblem`] — a tiny modelling layer: nonnegative variables,
-//!   optional upper bounds, `≤ / ≥ / =` constraints, minimise or maximise.
-//! * [`simplex::solve`] — two-phase primal simplex with Bland's rule, returning
-//!   an optimal basic feasible solution, or reporting infeasibility /
-//!   unboundedness.
+//!   `≤ / ≥ / =` constraints stored sparse as `(VarId, f64)` rows, minimise
+//!   or maximise.
+//! * [`sparse::CsrMatrix`] — compressed-sparse-row storage with row
+//!   iteration, column gather and transpose (the CSC view).
+//! * [`dense`] — the original two-phase dense-tableau simplex: the engine for
+//!   tiny problems and the differential-testing oracle.
+//! * [`revised`] — the revised simplex over CSR/CSC with a product-form
+//!   (eta-file) basis factorisation and periodic refactorisation; per-pivot
+//!   cost scales with the non-zeros instead of `rows × cols`.
+//! * [`engine::solve`] — the single entry point: picks the engine from
+//!   [`SimplexOptions::engine`] (`Auto` routes tiny problems to dense,
+//!   everything else to revised).
 //!
-//! Basic feasible solutions matter beyond optimality: the proof of
+//! Both engines use Dantzig pricing with an automatic switch to Bland's
+//! anti-cycling rule after a run of degenerate pivots, and both return basic
+//! feasible solutions — which matters beyond optimality: the proof of
 //! Theorem 4.5 uses the fact that a *basic* optimal solution of (LP2) has at
-//! most `n + m` non-zero variables. The simplex method returns vertex
-//! solutions by construction, so that property holds for the solutions
-//! produced here (and is checked by the `suu-algorithms` tests).
+//! most `n + m` non-zero variables, and vertex solutions preserve that
+//! property (checked by the `suu-algorithms` tests).
 
+pub mod dense;
+pub mod engine;
 pub mod model;
-pub mod simplex;
+pub mod revised;
 pub mod solution;
+pub mod sparse;
 
+pub use dense::solve_dense;
+pub use engine::{solve, Engine, SimplexOptions};
 pub use model::{ConstraintOp, LpProblem, Sense, VarId};
-pub use simplex::{solve, SimplexOptions};
+pub use revised::solve_revised;
 pub use solution::{LpError, LpSolution, LpStatus};
+pub use sparse::CsrMatrix;

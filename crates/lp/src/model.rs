@@ -107,8 +107,13 @@ impl LpProblem {
 
     /// Adds a constraint `Σ terms (op) rhs`.
     ///
-    /// Terms referring to the same variable are summed. Returns the constraint
-    /// index.
+    /// Terms referring to the same variable are summed and zero coefficients
+    /// dropped (the same compaction the objective gets), so rows are stored
+    /// sparse — as `(VarId, f64)` pairs sorted by variable — end to end. The
+    /// compaction is a sort-and-merge over the row's own terms: it never
+    /// materialises a dense length-`num_variables` buffer, which would make
+    /// building an LP with `r` rows O(r · n) regardless of sparsity. Returns
+    /// the constraint index.
     ///
     /// # Panics
     ///
@@ -116,24 +121,25 @@ impl LpProblem {
     /// not finite.
     pub fn add_constraint(
         &mut self,
-        terms: Vec<(VarId, f64)>,
+        mut terms: Vec<(VarId, f64)>,
         op: ConstraintOp,
         rhs: f64,
         label: impl Into<String>,
     ) -> usize {
         assert!(rhs.is_finite(), "constraint rhs must be finite");
-        let mut dense: Vec<f64> = vec![0.0; self.names.len()];
-        for (v, c) in terms {
+        for &(v, c) in &terms {
             assert!(v.0 < self.names.len(), "unknown variable in constraint");
             assert!(c.is_finite(), "constraint coefficient must be finite");
-            dense[v.0] += c;
         }
-        let compact: Vec<(VarId, f64)> = dense
-            .into_iter()
-            .enumerate()
-            .filter(|(_, c)| *c != 0.0)
-            .map(|(i, c)| (VarId(i), c))
-            .collect();
+        terms.sort_by_key(|&(v, _)| v);
+        let mut compact: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match compact.last_mut() {
+                Some((last, sum)) if *last == v => *sum += c,
+                _ => compact.push((v, c)),
+            }
+        }
+        compact.retain(|&(_, c)| c != 0.0);
         self.constraints.push(Constraint {
             terms: compact,
             op,
@@ -238,6 +244,24 @@ mod tests {
         let y = lp.add_variable("y");
         lp.add_constraint(vec![(x, 0.0), (y, 1.0)], ConstraintOp::Ge, 1.0, "c");
         assert_eq!(lp.constraints()[0].terms, vec![(y, 1.0)]);
+    }
+
+    #[test]
+    fn non_adjacent_duplicates_are_summed_and_rows_stay_sorted() {
+        // Regression: duplicates separated by other variables (and given out
+        // of order) must still be merged, cancelling pairs dropped, and the
+        // stored row sorted by variable id.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        let z = lp.add_variable("z");
+        lp.add_constraint(
+            vec![(z, 2.0), (x, 1.0), (y, 4.0), (x, 2.5), (z, -2.0)],
+            ConstraintOp::Le,
+            9.0,
+            "dups",
+        );
+        assert_eq!(lp.constraints()[0].terms, vec![(x, 3.5), (y, 4.0)]);
     }
 
     #[test]

@@ -1,0 +1,713 @@
+//! Two-phase *revised* simplex over CSR/CSC sparse structures.
+//!
+//! Where the dense tableau ([`crate::dense`]) rewrites the whole
+//! `(rows + 1) × (cols + 1)` matrix on every pivot, the revised method keeps
+//! the constraint matrix immutable in sparse form and maintains only a
+//! factorised representation of the basis inverse:
+//!
+//! * the constraint matrix `A` (standard equality form, rhs ≥ 0) is stored
+//!   once as CSR and once transposed (CSC) for column access;
+//! * `B⁻¹` is represented in *product form* as a file of eta matrices, one
+//!   per pivot: solving `B d = a_q` (FTRAN) and `yᵀB = c_Bᵀ` (BTRAN) costs
+//!   time proportional to the accumulated eta non-zeros;
+//! * every [`SimplexOptions::refactor_interval`] pivots the eta file is
+//!   rebuilt from scratch from the current basis (reinversion with partial
+//!   pivoting), bounding both numerical drift and the file length.
+//!
+//! Per pivot the solver does one BTRAN, one O(nnz(A)) pricing pass (Dantzig's
+//! rule, with the same automatic switch to Bland's anti-cycling rule after a
+//! run of degenerate pivots as the dense engine), one FTRAN and an O(rows)
+//! basic-solution update — asymptotically O(nnz) instead of O(rows × cols),
+//! which is the entire point for the (LP1)/(LP2) instances of the paper
+//! whose density is O(log m / m).
+//!
+//! Phase handling mirrors the dense engine: phase 1 minimises the sum of
+//! artificial variables; in phase 2 artificials are barred from entering and
+//! any still basic (at value zero) are pivoted out lazily by the ratio test
+//! the moment an entering column crosses their row. If the factorisation ever
+//! turns singular or the solution fails a final feasibility check, the solver
+//! transparently falls back to the dense oracle.
+
+use crate::engine::SimplexOptions;
+use crate::model::{ConstraintOp, LpProblem, Sense};
+use crate::solution::{LpError, LpSolution, LpStatus};
+use crate::sparse::CsrMatrix;
+
+/// Solves a linear program with the revised simplex method.
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted — in
+/// practice a sign of a numerically pathological input.
+pub fn solve_revised(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, LpError> {
+    if problem.num_variables() == 0 {
+        return Ok(crate::engine::solve_empty(problem, options));
+    }
+    match try_solve(problem, options) {
+        Ok(solution) => Ok(solution),
+        Err(Trouble::IterationLimit { limit }) => Err(LpError::IterationLimit { limit }),
+        // Singular refactorisation or a failed final check: hand the problem
+        // to the dense oracle rather than returning a wrong answer. The
+        // pivots burnt before the fallback still happened — account for them
+        // so `iterations` (surfaced as `lp_pivots` by the service) reports
+        // the true work, not just the oracle's share.
+        Err(Trouble::Numerical { spent }) => {
+            let mut solution = crate::dense::solve_dense(problem, options)?;
+            solution.iterations += spent;
+            Ok(solution)
+        }
+    }
+}
+
+/// Internal failure modes of the revised iteration.
+enum Trouble {
+    IterationLimit {
+        limit: usize,
+    },
+    /// Numerical breakdown after `spent` pivots (singular refactorisation or
+    /// a failed final feasibility check).
+    Numerical {
+        spent: usize,
+    },
+}
+
+fn try_solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, Trouble> {
+    let n = problem.num_variables();
+    let mut solver = Revised::build(problem, options);
+    let limit = options
+        .max_iterations
+        .unwrap_or_else(|| 200 * (solver.nrows + solver.ncols) + 10_000);
+
+    // Phase 1: minimise the sum of artificial variables.
+    if solver.num_artificials > 0 {
+        solver.install_phase1_costs();
+        let status = solver.optimize(options, limit)?;
+        debug_assert!(
+            status != PhaseStatus::Unbounded,
+            "phase-1 objective is bounded below by zero"
+        );
+        if solver.objective_value() > 1e-7 {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: vec![0.0; n],
+                iterations: solver.iterations,
+            });
+        }
+    }
+
+    // Phase 2: optimise the real objective; artificials may never re-enter
+    // and any still basic are held at zero by the guarded ratio test.
+    solver.install_phase2_costs(problem);
+    let status = solver.optimize(options, limit)?;
+    if status == PhaseStatus::Unbounded {
+        return Ok(LpSolution {
+            status: LpStatus::Unbounded,
+            objective: match problem.sense() {
+                Sense::Minimize => f64::NEG_INFINITY,
+                Sense::Maximize => f64::INFINITY,
+            },
+            values: vec![0.0; n],
+            iterations: solver.iterations,
+        });
+    }
+
+    let values = solver.extract_solution(n);
+    // Cheap safety net: a vertex that violates the original constraints means
+    // the factorisation drifted; let the caller fall back to dense.
+    if !problem.is_feasible(&values, 1e-6) {
+        return Err(Trouble::Numerical {
+            spent: solver.iterations,
+        });
+    }
+    let objective = problem.objective_value(&values);
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        values,
+        iterations: solver.iterations,
+    })
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum PhaseStatus {
+    Optimal,
+    Unbounded,
+}
+
+/// One product-form update: `B_new = B_old · E` where `E` is the identity
+/// with column `pivot_row` replaced by the FTRANed entering column `d`.
+/// Applying `E⁻¹` to a vector needs only `d`'s non-zeros.
+struct Eta {
+    pivot_row: usize,
+    pivot_val: f64,
+    /// Off-pivot non-zeros of `d` as `(row, value)`.
+    entries: Vec<(usize, f64)>,
+}
+
+/// Revised-simplex state over the standard-form problem.
+struct Revised {
+    nrows: usize,
+    /// Total columns including artificials.
+    ncols: usize,
+    num_artificials: usize,
+    /// Column-access form of `A`: row `c` of this matrix is column `c`.
+    cols: CsrMatrix,
+    /// Normalised right-hand side (entrywise ≥ 0).
+    b: Vec<f64>,
+    is_artificial: Vec<bool>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// Current phase costs per column.
+    cost: Vec<f64>,
+    /// Eta file representing `B⁻¹` (apply in order for FTRAN).
+    etas: Vec<Eta>,
+    etas_since_refactor: usize,
+    /// Current basic solution `B⁻¹ b`, indexed by row.
+    xb: Vec<f64>,
+    /// Set once phase 2 starts: artificials are barred from entering and
+    /// pivoted out of the basis whenever the ratio test crosses their row.
+    guard_artificials: bool,
+    iterations: usize,
+}
+
+impl Revised {
+    fn build(problem: &LpProblem, _options: &SimplexOptions) -> Self {
+        let n = problem.num_variables();
+        let m = problem.num_constraints();
+
+        // Shared classification (see `engine::row_extra_columns`): an
+        // effective `≤` row (after normalising rhs ≥ 0) starts with its slack
+        // basic, everything else gets an artificial.
+        let mut num_slack = 0usize;
+        let mut needs_artificial = vec![false; m];
+        for (i, c) in problem.constraints().iter().enumerate() {
+            let (slack, artificial) = crate::engine::row_extra_columns(c);
+            if slack {
+                num_slack += 1;
+            }
+            needs_artificial[i] = artificial;
+        }
+        let num_artificials = needs_artificial.iter().filter(|&&x| x).count();
+        let num_real = n + num_slack;
+        let ncols = num_real + num_artificials;
+
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut b = Vec::with_capacity(m);
+        let mut basis = vec![usize::MAX; m];
+        let mut is_artificial = vec![false; ncols];
+        let mut slack_cursor = n;
+        let mut artificial_cursor = num_real;
+
+        for (i, c) in problem.constraints().iter().enumerate() {
+            let slack_sign = match c.op {
+                ConstraintOp::Le => 1.0,
+                ConstraintOp::Ge => -1.0,
+                ConstraintOp::Eq => 0.0,
+            };
+            let mut sign = 1.0;
+            let mut rhs = c.rhs;
+            if rhs < 0.0 || (rhs == 0.0 && c.op == ConstraintOp::Ge) {
+                sign = -1.0;
+                rhs = -rhs;
+            }
+            let mut row: Vec<(usize, f64)> =
+                c.terms.iter().map(|&(v, a)| (v.0, sign * a)).collect();
+            if c.op != ConstraintOp::Eq {
+                row.push((slack_cursor, sign * slack_sign));
+                if sign * slack_sign > 0.0 {
+                    basis[i] = slack_cursor;
+                }
+                slack_cursor += 1;
+            }
+            if needs_artificial[i] {
+                row.push((artificial_cursor, 1.0));
+                is_artificial[artificial_cursor] = true;
+                basis[i] = artificial_cursor;
+                artificial_cursor += 1;
+            }
+            rows.push(row);
+            b.push(rhs);
+        }
+
+        let matrix = CsrMatrix::from_rows(ncols, &rows);
+        let cols = matrix.transpose();
+        let mut in_basis = vec![false; ncols];
+        for &v in &basis {
+            in_basis[v] = true;
+        }
+        // The initial basis is the identity (unit slack/artificial columns),
+        // so B⁻¹ = I: the eta file starts empty and xb = b.
+        Self {
+            nrows: m,
+            ncols,
+            num_artificials,
+            cols,
+            xb: b.clone(),
+            b,
+            is_artificial,
+            basis,
+            in_basis,
+            cost: vec![0.0; ncols],
+            etas: Vec::new(),
+            etas_since_refactor: 0,
+            guard_artificials: false,
+            iterations: 0,
+        }
+    }
+
+    fn install_phase1_costs(&mut self) {
+        for c in 0..self.ncols {
+            self.cost[c] = if self.is_artificial[c] { 1.0 } else { 0.0 };
+        }
+    }
+
+    fn install_phase2_costs(&mut self, problem: &LpProblem) {
+        let flip = match problem.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
+        for (v, &coeff) in problem.objective().iter().enumerate() {
+            self.cost[v] = flip * coeff;
+        }
+        self.guard_artificials = true;
+    }
+
+    /// Current phase objective `c_B · x_B` (always a minimisation).
+    fn objective_value(&self) -> f64 {
+        self.basis
+            .iter()
+            .zip(self.xb.iter())
+            .map(|(&v, &x)| self.cost[v] * x)
+            .sum()
+    }
+
+    /// FTRAN: overwrites `v` with `B⁻¹ v` by applying the eta file in order.
+    fn ftran(&self, v: &mut [f64]) {
+        for eta in &self.etas {
+            let t = v[eta.pivot_row];
+            if t == 0.0 {
+                continue;
+            }
+            let t = t / eta.pivot_val;
+            for &(i, d) in &eta.entries {
+                v[i] -= d * t;
+            }
+            v[eta.pivot_row] = t;
+        }
+    }
+
+    /// BTRAN: overwrites `y` with `(B⁻¹)ᵀ y` by applying the transposed eta
+    /// file in reverse order.
+    fn btran(&self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut s = 0.0;
+            for &(i, d) in &eta.entries {
+                s += d * y[i];
+            }
+            y[eta.pivot_row] = (y[eta.pivot_row] - s) / eta.pivot_val;
+        }
+    }
+
+    /// Scatters column `c` of `A` into the dense scratch vector.
+    fn scatter_column(&self, c: usize, out: &mut [f64]) {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for (r, v) in self.cols.row(c) {
+            out[r] = v;
+        }
+    }
+
+    /// Runs simplex pivots until optimality or unboundedness.
+    fn optimize(&mut self, options: &SimplexOptions, limit: usize) -> Result<PhaseStatus, Trouble> {
+        let tol = options.tolerance;
+        let mut stall = 0usize;
+        let mut y = vec![0.0f64; self.nrows];
+        let mut d = vec![0.0f64; self.nrows];
+        loop {
+            if self.iterations >= limit {
+                return Err(Trouble::IterationLimit { limit });
+            }
+            let use_bland = stall >= options.stall_threshold;
+
+            // Simplex multipliers y = (B⁻¹)ᵀ c_B, then price columns.
+            for r in 0..self.nrows {
+                y[r] = self.cost[self.basis[r]];
+            }
+            self.btran(&mut y);
+            let Some(entering) = self.choose_entering(&y, tol, use_bland) else {
+                return Ok(PhaseStatus::Optimal);
+            };
+
+            // Entering direction d = B⁻¹ a_q.
+            self.scatter_column(entering, &mut d);
+            self.ftran(&mut d);
+            let Some(leaving_row) = self.choose_leaving(&d, tol, use_bland) else {
+                return Ok(PhaseStatus::Unbounded);
+            };
+
+            let degenerate = self.xb[leaving_row].abs() <= tol;
+            if degenerate {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            self.pivot(leaving_row, entering, &d)?;
+            self.iterations += 1;
+
+            if self.etas_since_refactor >= options.refactor_interval {
+                self.refactorize()?;
+            }
+        }
+    }
+
+    /// Entering column: most negative reduced cost (Dantzig) or smallest
+    /// index with negative reduced cost (Bland). Reduced costs are computed
+    /// against the simplex multipliers `y`, one sparse dot per column —
+    /// O(nnz(A)) per call in total.
+    fn choose_entering(&self, y: &[f64], tol: f64, bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..self.ncols {
+            if self.in_basis[c] || (self.guard_artificials && self.is_artificial[c]) {
+                continue;
+            }
+            let mut rc = self.cost[c];
+            for (r, a) in self.cols.row(c) {
+                rc -= a * y[r];
+            }
+            if rc < -tol {
+                if bland {
+                    return Some(c);
+                }
+                match best {
+                    Some((_, b)) if rc >= b => {}
+                    _ => best = Some((c, rc)),
+                }
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// Ratio test on the FTRANed entering column `d`. Rows with `d_r > tol`
+    /// block at `x_r / d_r`; in phase 2, rows whose basic variable is an
+    /// artificial (held at zero) also block at ratio 0 when `d_r < −tol`,
+    /// which pivots the artificial out instead of letting it go positive.
+    /// Ties are broken like the dense engine: by larger pivot magnitude under
+    /// Dantzig, by smaller basic-variable index under Bland.
+    fn choose_leaving(&self, d: &[f64], tol: f64, bland: bool) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.nrows {
+            let coeff = d[r];
+            let blocking = coeff > tol
+                || (self.guard_artificials && self.is_artificial[self.basis[r]] && coeff < -tol);
+            if !blocking {
+                continue;
+            }
+            let ratio = self.xb[r].max(0.0) / coeff.abs();
+            let better = match best {
+                None => true,
+                Some((br, bratio)) => {
+                    if (ratio - bratio).abs() <= tol {
+                        if bland {
+                            self.basis[r] < self.basis[br]
+                        } else {
+                            coeff.abs() > d[br].abs()
+                        }
+                    } else {
+                        ratio < bratio
+                    }
+                }
+            };
+            if better {
+                best = Some((r, ratio));
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Applies the basis change: records the eta, updates the basic solution
+    /// and swaps the basis books.
+    fn pivot(&mut self, row: usize, entering: usize, d: &[f64]) -> Result<(), Trouble> {
+        let pivot_val = d[row];
+        if pivot_val.abs() < 1e-12 || !pivot_val.is_finite() {
+            return Err(Trouble::Numerical {
+                spent: self.iterations,
+            });
+        }
+        let theta = self.xb[row].max(0.0) / pivot_val;
+        let mut entries = Vec::new();
+        for (r, &dr) in d.iter().enumerate() {
+            if r != row && dr != 0.0 {
+                entries.push((r, dr));
+                self.xb[r] -= theta * dr;
+            }
+        }
+        self.xb[row] = theta;
+        self.etas.push(Eta {
+            pivot_row: row,
+            pivot_val,
+            entries,
+        });
+        self.etas_since_refactor += 1;
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[entering] = true;
+        self.basis[row] = entering;
+        Ok(())
+    }
+
+    /// Rebuilds the eta file from scratch for the current basis (product-form
+    /// reinversion with partial pivoting over the remaining rows), then
+    /// recomputes `x_B = B⁻¹ b`. Rows may end up re-associated with different
+    /// basic variables — the basis is a set; only the row↔variable book
+    /// needs to stay consistent.
+    fn refactorize(&mut self) -> Result<(), Trouble> {
+        let vars = self.basis.clone();
+        self.etas.clear();
+        let mut new_basis = vec![usize::MAX; self.nrows];
+        let mut used = vec![false; self.nrows];
+        let mut d = vec![0.0f64; self.nrows];
+        for var in vars {
+            self.scatter_column(var, &mut d);
+            self.ftran(&mut d);
+            let mut pivot: Option<(usize, f64)> = None;
+            for (r, &dr) in d.iter().enumerate() {
+                if !used[r] && pivot.is_none_or(|(_, best)| dr.abs() > best.abs()) {
+                    pivot = Some((r, dr));
+                }
+            }
+            let Some((r, pivot_val)) = pivot else {
+                return Err(Trouble::Numerical {
+                    spent: self.iterations,
+                });
+            };
+            if pivot_val.abs() < 1e-11 || !pivot_val.is_finite() {
+                return Err(Trouble::Numerical {
+                    spent: self.iterations,
+                });
+            }
+            let entries: Vec<(usize, f64)> = d
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| i != r && v != 0.0)
+                .map(|(i, &v)| (i, v))
+                .collect();
+            self.etas.push(Eta {
+                pivot_row: r,
+                pivot_val,
+                entries,
+            });
+            used[r] = true;
+            new_basis[r] = var;
+        }
+        self.basis = new_basis;
+        self.xb.copy_from_slice(&self.b);
+        let mut xb = std::mem::take(&mut self.xb);
+        self.ftran(&mut xb);
+        self.xb = xb;
+        self.etas_since_refactor = 0;
+        Ok(())
+    }
+
+    /// Reads the structural-variable values out of the basis.
+    fn extract_solution(&self, num_structural: usize) -> Vec<f64> {
+        let mut values = vec![0.0; num_structural];
+        for (r, &v) in self.basis.iter().enumerate() {
+            if v < num_structural {
+                values[v] = self.xb[r].max(0.0);
+            }
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, LpProblem, Sense, VarId};
+    use crate::solution::LpStatus;
+
+    fn opts() -> SimplexOptions {
+        SimplexOptions::default()
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximization_with_le_constraints() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 3.0);
+        lp.set_objective_coefficient(y, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0, "c1");
+        lp.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0, "c2");
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0, "c3");
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints_uses_phase_one() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0, "cover");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "xmin");
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 20.0);
+        assert!(lp.is_feasible(&sol.values, 1e-7));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], ConstraintOp::Eq, 4.0, "e1");
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0, "e2");
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 1.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0, "le");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "ge");
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0, "lb");
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Le, -2.0, "c");
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.0, "c1");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0, "c2");
+        lp.add_constraint(vec![(y, 1.0)], ConstraintOp::Le, 1.0, "c3");
+        lp.add_constraint(vec![(x, 2.0), (y, 1.0)], ConstraintOp::Le, 2.0, "c4");
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn frequent_refactorization_preserves_the_answer() {
+        // Force a refactorisation every other pivot; the optimum must not
+        // move.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<VarId> = (0..12).map(|i| lp.add_variable(format!("v{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            lp.set_objective_coefficient(v, 1.0 + i as f64 / 3.0);
+        }
+        for (i, &v) in vars.iter().enumerate() {
+            lp.add_constraint(
+                vec![(v, 1.0)],
+                ConstraintOp::Le,
+                1.0 + i as f64,
+                format!("c{i}"),
+            );
+        }
+        lp.add_constraint(
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            ConstraintOp::Le,
+            30.0,
+            "budget",
+        );
+        let baseline = solve_revised(&lp, &opts()).unwrap();
+        let churned = solve_revised(
+            &lp,
+            &SimplexOptions {
+                refactor_interval: 2,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(baseline.status, LpStatus::Optimal);
+        assert_close(baseline.objective, churned.objective);
+    }
+
+    #[test]
+    fn artificials_locked_in_the_basis_stay_at_zero() {
+        // The equality row is redundant with the ≥ row at the optimum; an
+        // artificial can linger in the basis at value 0 and must not distort
+        // the solution.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 0.0, "tie");
+        lp.add_constraint(vec![(y, 1.0)], ConstraintOp::Ge, 2.0, "lb");
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.value(x), 2.0);
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 3.0);
+        lp.set_objective_coefficient(y, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0, "c1");
+        lp.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0, "c2");
+        let err = solve_revised(
+            &lp,
+            &SimplexOptions {
+                max_iterations: Some(1),
+                ..opts()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, LpError::IterationLimit { limit: 1 }));
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let lp = LpProblem::new(Sense::Minimize);
+        let sol = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+    }
+}

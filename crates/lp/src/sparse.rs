@@ -1,0 +1,247 @@
+//! Compressed-sparse-row matrices for the revised simplex solver.
+//!
+//! The LPs in this workspace — (LP1)/(LP2) of the paper — are overwhelmingly
+//! sparse: an `x_ij` variable exists only where `p_ij > 0`, and every
+//! constraint row touches a handful of variables. [`CsrMatrix`] stores exactly
+//! the non-zeros in the classic three-array CSR layout (row pointers, column
+//! indices, values), supports cache-friendly row iteration, and produces its
+//! own transpose (which doubles as a CSC view for column gathers) by a
+//! counting sort over the non-zeros.
+
+/// An immutable sparse matrix in compressed-sparse-row form.
+///
+/// # Examples
+///
+/// ```
+/// use suu_lp::sparse::CsrMatrix;
+///
+/// // [[1, 0, 2],
+/// //  [0, 3, 0]]
+/// let m = CsrMatrix::from_rows(3, &[vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]]);
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+/// let t = m.transpose();
+/// assert_eq!(t.row(2).collect::<Vec<_>>(), vec![(0, 2.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// `row_ptr[r]..row_ptr[r + 1]` indexes row `r`'s slice of
+    /// `col_idx`/`values`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from per-row `(column, value)` term lists. Zero terms
+    /// are dropped; terms within a row must not repeat a column (callers pass
+    /// compacted rows, e.g. [`crate::LpProblem`] constraint terms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    #[must_use]
+    pub fn from_rows(ncols: usize, rows: &[Vec<(usize, f64)>]) -> Self {
+        let nnz = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for row in rows {
+            for &(c, v) in row {
+                assert!(c < ncols, "column {c} out of range (ncols = {ncols})");
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            nrows: rows.len(),
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates row `r` as `(column, value)` pairs, in stored order.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        self.col_idx[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// Number of non-zeros in row `r`.
+    #[must_use]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Dot product of row `r` with a dense vector.
+    #[must_use]
+    pub fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        self.row(r).map(|(c, v)| v * x[c]).sum()
+    }
+
+    /// Gathers column `c` as `(row, value)` pairs into `out` (cleared first).
+    ///
+    /// This is a full O(nnz) scan; code that gathers many columns should
+    /// [`transpose`](Self::transpose) once and iterate rows of the transpose
+    /// instead (that is exactly what the revised solver does).
+    pub fn gather_column(&self, c: usize, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        for r in 0..self.nrows {
+            for (col, v) in self.row(r) {
+                if col == c {
+                    out.push((r, v));
+                }
+            }
+        }
+    }
+
+    /// The transpose, built by a counting sort over the non-zeros — O(nnz +
+    /// ncols). The transpose of a CSR matrix is its CSC form: row `c` of the
+    /// result is column `c` of `self`.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for c in 0..self.ncols {
+            counts[c + 1] += counts[c];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                let slot = cursor[c];
+                col_idx[slot] = r;
+                values[slot] = v;
+                cursor[c] += 1;
+            }
+        }
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Materialises the matrix as dense row-major storage (tests and
+    /// debugging only).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; self.ncols]; self.nrows];
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                dense[r][c] = v;
+            }
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [[1, 0, 2, 0],
+        //  [0, 0, 0, 0],
+        //  [0, 3, 0, 4]]
+        CsrMatrix::from_rows(
+            4,
+            &[vec![(0, 1.0), (2, 2.0)], vec![], vec![(1, 3.0), (3, 4.0)]],
+        )
+    }
+
+    #[test]
+    fn construction_and_row_iteration() {
+        let m = example();
+        assert_eq!((m.nrows(), m.ncols(), m.nnz()), (3, 4, 4));
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row_nnz(2), 2);
+    }
+
+    #[test]
+    fn zero_terms_are_dropped() {
+        let m = CsrMatrix::from_rows(2, &[vec![(0, 0.0), (1, 5.0)]]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(1, 5.0)]);
+    }
+
+    #[test]
+    fn row_dot_matches_dense() {
+        let m = example();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((m.row_dot(0, &x) - 7.0).abs() < 1e-12);
+        assert!((m.row_dot(1, &x)).abs() < 1e-12);
+        assert!((m.row_dot(2, &x) - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let m = example();
+        let t = m.transpose();
+        assert_eq!((t.nrows(), t.ncols()), (4, 3));
+        assert_eq!(t.row(2).collect::<Vec<_>>(), vec![(0, 2.0)]);
+        assert_eq!(t.row(3).collect::<Vec<_>>(), vec![(2, 4.0)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn gather_column_matches_transpose_row() {
+        let m = example();
+        let t = m.transpose();
+        let mut out = Vec::new();
+        for c in 0..m.ncols() {
+            m.gather_column(c, &mut out);
+            assert_eq!(out, t.row(c).collect::<Vec<_>>(), "column {c}");
+        }
+    }
+
+    #[test]
+    fn to_dense_reconstructs_the_matrix() {
+        let m = example();
+        let d = m.to_dense();
+        assert_eq!(d[0], vec![1.0, 0.0, 2.0, 0.0]);
+        assert_eq!(d[1], vec![0.0; 4]);
+        assert_eq!(d[2], vec![0.0, 3.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_panics() {
+        let _ = CsrMatrix::from_rows(2, &[vec![(2, 1.0)]]);
+    }
+}

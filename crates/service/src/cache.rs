@@ -45,6 +45,12 @@ pub struct CachedSolve {
     pub schedule: ObliviousSchedule,
     /// LP optimum, when the solver reports one.
     pub lp_value: Option<f64>,
+    /// Simplex pivots of the original solve, when the solver reports them.
+    /// Served unchanged on cache hits — they describe how the schedule was
+    /// computed, not the current request.
+    pub lp_pivots: Option<usize>,
+    /// LP wall-clock microseconds of the original solve, when reported.
+    pub lp_micros: Option<u64>,
 }
 
 struct Entry {
@@ -213,6 +219,8 @@ mod tests {
             solver: solver.to_string(),
             schedule: ObliviousSchedule::new(inst.num_machines()),
             lp_value: None,
+            lp_pivots: None,
+            lp_micros: None,
         }
     }
 

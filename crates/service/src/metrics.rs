@@ -13,6 +13,11 @@ pub struct ServiceMetrics {
     errors: AtomicU64,
     latency_micros: Mutex<OnlineStats>,
     per_solver: Mutex<HashMap<String, u64>>,
+    /// Total simplex pivots spent by the LP engine on fresh solves.
+    lp_pivots: AtomicU64,
+    /// Per-solve LP wall-clock distribution (fresh solves only; cache hits
+    /// spend no LP time).
+    lp_micros: Mutex<OnlineStats>,
 }
 
 impl ServiceMetrics {
@@ -42,6 +47,15 @@ impl ServiceMetrics {
         }
     }
 
+    /// Records the LP effort of one fresh (non-cached) LP-backed solve.
+    pub fn record_lp(&self, pivots: usize, micros: u64) {
+        self.lp_pivots.fetch_add(pivots as u64, Ordering::Relaxed);
+        self.lp_micros
+            .lock()
+            .expect("lp stats poisoned")
+            .push(micros as f64);
+    }
+
     /// A consistent point-in-time snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -62,6 +76,8 @@ impl ServiceMetrics {
                 .expect("latency stats poisoned")
                 .summary(),
             per_solver,
+            lp_pivots: self.lp_pivots.load(Ordering::Relaxed),
+            lp_micros: self.lp_micros.lock().expect("lp stats poisoned").summary(),
         }
     }
 }
@@ -77,6 +93,10 @@ pub struct MetricsSnapshot {
     pub latency_micros: Summary,
     /// Requests per solver name, sorted by name.
     pub per_solver: Vec<(String, u64)>,
+    /// Total simplex pivots across all fresh LP-backed solves.
+    pub lp_pivots: u64,
+    /// Summary of per-solve LP wall-clock microseconds (fresh solves only).
+    pub lp_micros: Summary,
 }
 
 impl MetricsSnapshot {
@@ -87,6 +107,10 @@ impl MetricsSnapshot {
             "requests={} errors={} latency_mean={:.1}us latency_max={:.1}us\n",
             self.requests, self.errors, self.latency_micros.mean, self.latency_micros.max
         );
+        out.push_str(&format!(
+            "lp_solves={} lp_pivots={} lp_mean={:.1}us lp_max={:.1}us\n",
+            self.lp_micros.count, self.lp_pivots, self.lp_micros.mean, self.lp_micros.max
+        ));
         for (solver, count) in &self.per_solver {
             out.push_str(&format!("  {solver}: {count}\n"));
         }
@@ -111,6 +135,20 @@ mod tests {
         assert!((snap.latency_micros.mean - 150.0).abs() < 1e-9);
         assert_eq!(snap.per_solver, vec![("suu-c".to_string(), 2)]);
         assert!(snap.render().contains("requests=3"));
+    }
+
+    #[test]
+    fn record_lp_accumulates_pivots_and_wall_clock() {
+        let m = ServiceMetrics::new();
+        m.record_lp(40, 900);
+        m.record_lp(60, 1_100);
+        let snap = m.snapshot();
+        assert_eq!(snap.lp_pivots, 100);
+        assert_eq!(snap.lp_micros.count, 2);
+        assert!((snap.lp_micros.mean - 1_000.0).abs() < 1e-9);
+        let text = snap.render();
+        assert!(text.contains("lp_pivots=100"), "render: {text}");
+        assert!(text.contains("lp_solves=2"), "render: {text}");
     }
 
     #[test]

@@ -138,6 +138,12 @@ pub struct Response {
     pub schedule_len: usize,
     /// LP optimum backing the schedule, for LP-based solvers.
     pub lp_value: Option<f64>,
+    /// Simplex pivots spent by the LP engine when this schedule was computed
+    /// (cache hits repeat the original solve's count), for LP-based solvers.
+    pub lp_pivots: Option<usize>,
+    /// Wall-clock microseconds the LP engine spent when this schedule was
+    /// computed, for LP-based solvers.
+    pub lp_micros: Option<u64>,
     /// Monte-Carlo estimate of the expected makespan, when requested.
     pub estimated_makespan: Option<f64>,
     /// Service-side handling time in microseconds.
@@ -157,6 +163,8 @@ impl Response {
             schedule: None,
             schedule_len: 0,
             lp_value: None,
+            lp_pivots: None,
+            lp_micros: None,
             estimated_makespan: None,
             service_micros: 0,
         }
@@ -243,6 +251,8 @@ mod tests {
             schedule: Some(ObliviousSchedule::new(2)),
             schedule_len: 0,
             lp_value: Some(3.25),
+            lp_pivots: Some(42),
+            lp_micros: Some(180),
             estimated_makespan: None,
             service_micros: 12,
         };

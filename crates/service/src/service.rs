@@ -156,10 +156,18 @@ impl SchedulerService {
             Some(hit) => (hit, true),
             None => match solver.solve(&instance) {
                 Ok(output) => {
+                    // LP effort is aggregated on fresh solves only: a cache
+                    // hit repeats the original solve's numbers in the
+                    // response but burns no new pivots.
+                    if let (Some(pivots), Some(micros)) = (output.lp_pivots, output.lp_micros) {
+                        self.metrics.record_lp(pivots, micros);
+                    }
                     let solved = CachedSolve {
                         solver: solver.name().to_string(),
                         schedule: output.schedule,
                         lp_value: output.lp_value,
+                        lp_pivots: output.lp_pivots,
+                        lp_micros: output.lp_micros,
                     };
                     self.cache.insert(&instance, solved.clone());
                     (solved, false)
@@ -192,6 +200,8 @@ impl SchedulerService {
             cache_hit,
             schedule_len: solved.schedule.len(),
             lp_value: solved.lp_value,
+            lp_pivots: solved.lp_pivots,
+            lp_micros: solved.lp_micros,
             schedule: Some(solved.schedule),
             estimated_makespan,
             service_micros: 0,
@@ -358,6 +368,26 @@ mod tests {
         assert_eq!(second.id, 2);
         assert_eq!(second.schedule, first.schedule);
         assert_eq!(svc.cache().hits(), 1);
+    }
+
+    #[test]
+    fn lp_effort_is_reported_and_aggregated_once() {
+        let svc = service();
+        let first = svc.handle_request(&chain_request(1));
+        assert!(first.ok);
+        assert_eq!(first.solver.as_deref(), Some("suu-c"));
+        let pivots = first.lp_pivots.expect("suu-c reports pivots");
+        assert!(pivots > 0);
+        assert!(first.lp_micros.is_some());
+
+        // The cache hit repeats the original solve's numbers in the response
+        // but must not inflate the aggregate LP counters.
+        let second = svc.handle_request(&chain_request(2));
+        assert!(second.cache_hit);
+        assert_eq!(second.lp_pivots, Some(pivots));
+        let snap = svc.metrics().snapshot();
+        assert_eq!(snap.lp_pivots, pivots as u64);
+        assert_eq!(snap.lp_micros.count, 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use suu_algorithms::chains::schedule_chains;
 use suu_algorithms::forest::schedule_forest;
 use suu_algorithms::suu_i_obl::suu_i_oblivious;
 use suu_algorithms::AlgorithmError;
-use suu_core::{Assignment, MachineId, ObliviousSchedule, SuuInstance};
+use suu_core::{Assignment, ObliviousSchedule, SuuInstance};
 use suu_graph::ForestKind;
 
 /// The uniform result of one solve: the executable schedule plus the
@@ -31,6 +31,12 @@ pub struct SolveOutput {
     pub schedule: ObliviousSchedule,
     /// The LP optimum backing the schedule, for the LP-based algorithms.
     pub lp_value: Option<f64>,
+    /// Simplex pivots spent in the LP engine, for the LP-based algorithms
+    /// (summed over blocks for the forest pipeline).
+    pub lp_pivots: Option<usize>,
+    /// Wall-clock microseconds spent building and solving the LPs, for the
+    /// LP-based algorithms (summed over blocks for the forest pipeline).
+    pub lp_micros: Option<u64>,
 }
 
 /// A schedule-producing algorithm behind the uniform service interface.
@@ -69,6 +75,8 @@ impl Solver for SuuIOblSolver {
         Ok(SolveOutput {
             schedule: out.schedule,
             lp_value: None,
+            lp_pivots: None,
+            lp_micros: None,
         })
     }
 }
@@ -94,6 +102,8 @@ impl Solver for ChainsSolver {
         Ok(SolveOutput {
             schedule: out.schedule,
             lp_value: Some(out.lp_value),
+            lp_pivots: Some(out.lp_pivots),
+            lp_micros: Some(out.lp_micros.0),
         })
     }
 }
@@ -117,6 +127,8 @@ impl Solver for ForestSolver {
         Ok(SolveOutput {
             schedule: out.schedule,
             lp_value: None,
+            lp_pivots: Some(out.lp_pivots),
+            lp_micros: Some(out.lp_micros.0),
         })
     }
 }
@@ -146,16 +158,16 @@ impl Solver for SerialBaselineSolver {
         for job in order {
             let job = suu_core::JobId(job);
             let mut step = Assignment::idle(instance.num_machines());
-            for i in 0..instance.num_machines() {
-                if instance.prob(MachineId(i), job) > 0.0 {
-                    step.assign(MachineId(i), job);
-                }
+            for (machine, _) in instance.positive_probs(job) {
+                step.assign(machine, job);
             }
             schedule.push_step(step);
         }
         Ok(SolveOutput {
             schedule,
             lp_value: None,
+            lp_pivots: None,
+            lp_micros: None,
         })
     }
 }
