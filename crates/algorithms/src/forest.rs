@@ -10,7 +10,17 @@
 //! optimum of the whole instance, the concatenation costs an extra `O(log n)`
 //! factor, giving `O(log m · log² n)` for in-/out-forests and an extra
 //! `log(n+m)/log log(n+m)` factor for general directed forests.
+//!
+//! The per-block work — restrict the instance, build and solve the block's
+//! (LP1), round, apply random delays — is completely independent across
+//! blocks; only the final concatenation is ordered. The blocks are therefore
+//! solved **in parallel** (one rayon task per block) and stitched together
+//! in block order afterwards, so a single large forest request scales across
+//! cores. Each block's chain stage is seeded deterministically by the shared
+//! [`ChainsOptions::seed`], so the parallel schedule is bit-identical to the
+//! sequential one.
 
+use rayon::prelude::*;
 use suu_core::{Assignment, JobId, ObliviousSchedule, SuuInstance};
 use suu_graph::{ChainDecomposition, ForestKind};
 
@@ -89,24 +99,28 @@ pub fn schedule_forest_with(
         ..options.clone()
     };
 
+    // Solve every block in parallel: block solves share no mutable state
+    // (each works on its own restricted sub-instance) and `collect` returns
+    // them in block order, so the sequential concatenation below produces
+    // exactly the schedule the old serial loop did.
+    let block_inputs = decomposition.block_chain_sets();
+    let solved_blocks: Vec<Result<SolvedBlock, AlgorithmError>> = block_inputs
+        .par_iter()
+        .map(|(chain_set, mapping)| {
+            solve_block(instance, chain_set, mapping, &block_options, sigma)
+        })
+        .collect();
+
     let mut combined = ObliviousSchedule::new(instance.num_machines());
     let mut block_stats = Vec::new();
     let mut lp_pivots = 0usize;
     let mut lp_micros = 0u64;
-    for (chain_set, mapping) in decomposition.block_chain_sets() {
-        let jobs: Vec<JobId> = mapping.iter().map(|&j| JobId(j)).collect();
-        let (sub_instance, _) = instance.restrict_to_jobs(&jobs);
-        let block = schedule_given_chains(&sub_instance, &chain_set, &block_options)?;
-        let remapped = remap_jobs(&block.constant_mass_schedule, &mapping);
-        combined = combined.concat(&remapped.replicate_steps(sigma));
-        lp_pivots += block.lp_pivots;
-        lp_micros = lp_micros.saturating_add(block.lp_micros.0);
-        block_stats.push(BlockStats {
-            jobs: mapping.len(),
-            lp_value: block.lp_value,
-            lp_pivots: block.lp_pivots,
-            congestion: block.congestion,
-        });
+    for solved in solved_blocks {
+        let solved = solved?;
+        combined = combined.concat(&solved.replicated);
+        lp_pivots += solved.stats.lp_pivots;
+        lp_micros = lp_micros.saturating_add(solved.lp_micros);
+        block_stats.push(solved.stats);
     }
 
     let schedule = if options.replicate {
@@ -125,6 +139,41 @@ pub fn schedule_forest_with(
         lp_pivots,
         lp_micros: LpMicros(lp_micros),
         sigma,
+    })
+}
+
+/// Output of one block's parallel solve: the remapped, replicated schedule
+/// segment plus the diagnostics to fold into the pipeline totals.
+struct SolvedBlock {
+    replicated: ObliviousSchedule,
+    stats: BlockStats,
+    lp_micros: u64,
+}
+
+/// Solves one block of the chain decomposition end to end: restrict the
+/// instance to the block's jobs, run the Theorem 4.4 chain pipeline, remap
+/// the schedule back to original job ids and apply the per-block
+/// replication. Runs on a rayon worker; touches no shared mutable state.
+fn solve_block(
+    instance: &SuuInstance,
+    chain_set: &suu_graph::ChainSet,
+    mapping: &[usize],
+    block_options: &ChainsOptions,
+    sigma: usize,
+) -> Result<SolvedBlock, AlgorithmError> {
+    let jobs: Vec<JobId> = mapping.iter().map(|&j| JobId(j)).collect();
+    let (sub_instance, _) = instance.restrict_to_jobs(&jobs);
+    let block = schedule_given_chains(&sub_instance, chain_set, block_options)?;
+    let remapped = remap_jobs(&block.constant_mass_schedule, mapping);
+    Ok(SolvedBlock {
+        replicated: remapped.replicate_steps(sigma),
+        stats: BlockStats {
+            jobs: mapping.len(),
+            lp_value: block.lp_value,
+            lp_pivots: block.lp_pivots,
+            congestion: block.congestion,
+        },
+        lp_micros: block.lp_micros.0,
     })
 }
 
@@ -235,6 +284,42 @@ mod tests {
             .unwrap();
         let result = schedule_forest(&inst).unwrap();
         assert_eq!(result.num_blocks, 1);
+    }
+
+    #[test]
+    fn parallel_blocks_match_a_sequential_fold() {
+        // The rayon fan-out must be invisible in the output: solving the
+        // blocks one by one with the same per-block function and folding in
+        // block order reproduces `schedule_forest_with` bit for bit.
+        for seed in [2, 4, 8] {
+            let inst = forest_instance(24, 4, seed, "mixed");
+            let options = ChainsOptions::default();
+            let parallel = schedule_forest_with(&inst, &options).unwrap();
+
+            let decomposition = ChainDecomposition::decompose(inst.precedence()).unwrap();
+            let sigma = options
+                .sigma
+                .unwrap_or_else(|| default_sigma(inst.num_jobs()));
+            let block_options = ChainsOptions {
+                replicate: false,
+                ..options.clone()
+            };
+            let mut combined = ObliviousSchedule::new(inst.num_machines());
+            let mut pivots = 0usize;
+            for (chain_set, mapping) in decomposition.block_chain_sets() {
+                let solved =
+                    solve_block(&inst, &chain_set, &mapping, &block_options, sigma).unwrap();
+                combined = combined.concat(&solved.replicated);
+                pivots += solved.stats.lp_pivots;
+            }
+            let serial = if options.replicate {
+                replicate_with_tail(&inst, &combined, 1)
+            } else {
+                combined
+            };
+            assert_eq!(parallel.schedule, serial, "seed {seed}");
+            assert_eq!(parallel.lp_pivots, pivots, "seed {seed}");
+        }
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub fn registry() -> Vec<(&'static str, ExperimentRunner)> {
                 ablations::run_bucketing(c),
             ]
         }),
-        ("service_throughput", |c| vec![service_throughput::run(c)]),
+        ("service_throughput", |c| {
+            vec![
+                service_throughput::run_sweep(c),
+                service_throughput::run_comparison(c),
+            ]
+        }),
     ]
 }

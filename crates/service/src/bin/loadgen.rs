@@ -6,8 +6,17 @@
 //! loadgen --addr 127.0.0.1:7077            # target a running service
 //!     [--scenario mixed|grid|project|bursty]
 //!     [--requests N] [--connections N] [--rps R] [--seed S]
+//!     [--max-in-flight N]                   # >1 = open-loop pipelining
+//!     [--assert-floor R]                    # exit 1 below R req/s
 //! loadgen --in-process ...                  # spawn a service internally
+//!     [--serial]                            # in-process service runs the
+//!                                           # serial per-connection loop
 //! ```
+//!
+//! `--max-in-flight 1` (the default) is the classic closed loop; larger
+//! values keep that many requests outstanding per connection and match the
+//! (possibly out-of-order) responses by id. `--assert-floor` makes the run a
+//! CI gate: it fails when achieved throughput drops below the floor.
 //!
 //! Prints the latency/throughput report; with `--in-process` also prints the
 //! service-side metrics snapshot.
@@ -15,7 +24,8 @@
 use std::sync::Arc;
 
 use suu_service::{
-    run_loadgen, spawn_tcp, LoadgenConfig, SchedulerService, ServiceConfig, TcpServerConfig,
+    run_loadgen, spawn_tcp, ExecutionMode, LoadgenConfig, PipelineConfig, SchedulerService,
+    ServiceConfig, TcpServerConfig,
 };
 
 fn main() {
@@ -45,20 +55,35 @@ fn main() {
     if let Some(seed) = flag_value("--seed").and_then(|v| v.parse().ok()) {
         config.seed = seed;
     }
+    if let Some(max_in_flight) = flag_value("--max-in-flight").and_then(|v| v.parse().ok()) {
+        config.max_in_flight = max_in_flight;
+    }
+    let assert_floor: Option<f64> = flag_value("--assert-floor").and_then(|v| v.parse().ok());
 
     let in_process = argv.iter().any(|a| a == "--in-process");
+    let serial = argv.iter().any(|a| a == "--serial");
     let handle = if in_process {
         let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
+        let mode = if serial {
+            ExecutionMode::Serial
+        } else {
+            ExecutionMode::Pipelined(PipelineConfig::default())
+        };
         let handle = spawn_tcp(
             service,
             &TcpServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: config.connections.max(4),
+                mode,
             },
         )
         .expect("ephemeral bind succeeds");
         config.addr = handle.addr().to_string();
-        eprintln!("loadgen: spawned in-process service on {}", config.addr);
+        eprintln!(
+            "loadgen: spawned in-process {} service on {}",
+            if serial { "serial" } else { "pipelined" },
+            config.addr
+        );
         Some(handle)
     } else {
         None
@@ -70,6 +95,19 @@ fn main() {
             if let Some(handle) = handle {
                 eprintln!("{}", handle.service().metrics().snapshot().render());
                 handle.shutdown();
+            }
+            if let Some(floor) = assert_floor {
+                if report.achieved_rps < floor {
+                    eprintln!(
+                        "loadgen: achieved {:.1} req/s is below the {floor:.1} req/s floor",
+                        report.achieved_rps
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "loadgen: floor ok ({:.1} >= {floor:.1} req/s)",
+                    report.achieved_rps
+                );
             }
         }
         Err(err) => {

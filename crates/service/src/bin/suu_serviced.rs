@@ -5,20 +5,34 @@
 //! ```text
 //! suu_serviced --stdin                      # serve NDJSON on stdin/stdout
 //! suu_serviced --tcp 127.0.0.1:7077        # serve NDJSON over TCP
-//!     [--workers N]                         # TCP worker threads (default 4)
+//!     [--workers N]                         # connection threads (default 4)
+//!     [--serial]                            # per-connection serial loop
+//!                                           # (default: pipelined executor)
+//!     [--solver-threads N]                  # pipelined solver pool size
+//!     [--queue-capacity N]                  # admission-control bound
 //!     [--cache-shards N] [--cache-capacity N]
 //! ```
+//!
+//! By default requests execute on the pipelined solver pool: responses may
+//! return out of order (match them by `id`), identical concurrent solves are
+//! coalesced, and a full queue yields structured `busy` errors. `--serial`
+//! restores the per-connection parse→solve→respond loop.
 //!
 //! Status and metrics go to stderr; stdout carries only protocol responses.
 
 use std::sync::Arc;
 
-use suu_service::{spawn_tcp, CacheConfig, SchedulerService, ServiceConfig, TcpServerConfig};
+use suu_service::{
+    spawn_tcp, CacheConfig, ExecutionMode, PipelineConfig, SchedulerService, ServiceConfig,
+    SolverPool, TcpServerConfig,
+};
 
 struct Args {
     stdin: bool,
     tcp: Option<String>,
     workers: usize,
+    serial: bool,
+    pipeline: PipelineConfig,
     cache_shards: usize,
     cache_capacity: usize,
 }
@@ -30,12 +44,22 @@ fn parse_args() -> Args {
             .position(|a| a == flag)
             .and_then(|i| argv.get(i + 1).cloned())
     };
+    let defaults = PipelineConfig::default();
     Args {
         stdin: argv.iter().any(|a| a == "--stdin"),
         tcp: flag_value("--tcp"),
         workers: flag_value("--workers")
             .and_then(|v| v.parse().ok())
             .unwrap_or(4),
+        serial: argv.iter().any(|a| a == "--serial"),
+        pipeline: PipelineConfig {
+            solver_threads: flag_value("--solver-threads")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(defaults.solver_threads),
+            queue_capacity: flag_value("--queue-capacity")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(defaults.queue_capacity),
+        },
         cache_shards: flag_value("--cache-shards")
             .and_then(|v| v.parse().ok())
             .unwrap_or(8),
@@ -60,10 +84,23 @@ fn main() {
     );
 
     if args.stdin {
-        eprintln!("suu_serviced: serving NDJSON on stdin/stdout until EOF");
         let stdin = std::io::stdin();
-        let stdout = std::io::stdout();
-        if let Err(err) = service.serve_lines(stdin.lock(), stdout.lock()) {
+        let result = if args.serial {
+            eprintln!("suu_serviced: serving NDJSON on stdin/stdout until EOF (serial)");
+            service.serve_lines(stdin.lock(), std::io::stdout())
+        } else {
+            eprintln!(
+                "suu_serviced: serving NDJSON on stdin/stdout until EOF \
+                 (pipelined, {} solver threads, queue {})",
+                args.pipeline.solver_threads, args.pipeline.queue_capacity
+            );
+            let pool = SolverPool::spawn(Arc::clone(&service), &args.pipeline);
+            let result =
+                service.serve_lines_pipelined(stdin.lock(), std::io::stdout(), &pool.handle());
+            pool.shutdown();
+            result
+        };
+        if let Err(err) = result {
             eprintln!("suu_serviced: transport error: {err}");
             std::process::exit(1);
         }
@@ -72,11 +109,17 @@ fn main() {
     }
 
     let addr = args.tcp.unwrap_or_else(|| "127.0.0.1:7077".to_string());
+    let mode = if args.serial {
+        ExecutionMode::Serial
+    } else {
+        ExecutionMode::Pipelined(args.pipeline.clone())
+    };
     let handle = match spawn_tcp(
         Arc::clone(&service),
         &TcpServerConfig {
             addr,
             workers: args.workers,
+            mode,
         },
     ) {
         Ok(handle) => handle,
@@ -86,9 +129,10 @@ fn main() {
         }
     };
     eprintln!(
-        "suu_serviced: listening on {} with {} workers (Ctrl-C to stop)",
+        "suu_serviced: listening on {} with {} workers, {} execution (Ctrl-C to stop)",
         handle.addr(),
-        args.workers
+        args.workers,
+        if args.serial { "serial" } else { "pipelined" }
     );
     // Serve until killed; the TCP threads own all the work.
     loop {

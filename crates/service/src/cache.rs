@@ -13,8 +13,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
+use serde::Serialize;
 use suu_core::{ObliviousSchedule, SuuInstance};
 
 /// Cache sizing.
@@ -51,6 +52,58 @@ pub struct CachedSolve {
     pub lp_pivots: Option<usize>,
     /// LP wall-clock microseconds of the original solve, when reported.
     pub lp_micros: Option<u64>,
+    /// Lazily rendered JSON body (see [`rendered_body`](Self::rendered_body)),
+    /// shared across every clone served from the cache.
+    rendered: Arc<OnceLock<String>>,
+}
+
+impl CachedSolve {
+    /// Wraps a solve result (the rendered body starts empty and is built on
+    /// first use).
+    #[must_use]
+    pub fn new(
+        solver: String,
+        schedule: ObliviousSchedule,
+        lp_value: Option<f64>,
+        lp_pivots: Option<usize>,
+        lp_micros: Option<u64>,
+    ) -> Self {
+        Self {
+            solver,
+            schedule,
+            lp_value,
+            lp_pivots,
+            lp_micros,
+            rendered: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The solve-dependent fragment of a success response, rendered once and
+    /// shared by every response serving this solve:
+    /// `"solver":…,"schedule":…,"schedule_len":…,"lp_value":…,"lp_pivots":…,"lp_micros":…`
+    /// (no surrounding braces). Serialising the schedule dominates the cost
+    /// of answering a cache hit — a multi-kilobyte JSON tree per response —
+    /// so the pipelined executor splices this fragment into the response
+    /// envelope instead of re-rendering it for every request.
+    ///
+    /// Rendered through the same serde path as the struct serialiser, so a
+    /// spliced response parses identically to a fully serialised one.
+    #[must_use]
+    pub fn rendered_body(&self) -> &str {
+        self.rendered.get_or_init(|| {
+            let fields = serde::Value::Object(vec![
+                (String::from("solver"), self.solver.to_value()),
+                (String::from("schedule"), self.schedule.to_value()),
+                (String::from("schedule_len"), self.schedule.len().to_value()),
+                (String::from("lp_value"), self.lp_value.to_value()),
+                (String::from("lp_pivots"), self.lp_pivots.to_value()),
+                (String::from("lp_micros"), self.lp_micros.to_value()),
+            ]);
+            let rendered = fields.render();
+            // Strip the outer braces: the caller owns the envelope.
+            rendered[1..rendered.len() - 1].to_string()
+        })
+    }
 }
 
 struct Entry {
@@ -215,13 +268,13 @@ mod tests {
     }
 
     fn solve_for(inst: &SuuInstance, solver: &str) -> CachedSolve {
-        CachedSolve {
-            solver: solver.to_string(),
-            schedule: ObliviousSchedule::new(inst.num_machines()),
-            lp_value: None,
-            lp_pivots: None,
-            lp_micros: None,
-        }
+        CachedSolve::new(
+            solver.to_string(),
+            ObliviousSchedule::new(inst.num_machines()),
+            None,
+            None,
+            None,
+        )
     }
 
     #[test]

@@ -11,30 +11,56 @@
 //! * [`cache`] — a sharded LRU [`ScheduleCache`](cache::ScheduleCache) keyed
 //!   by the instance's canonical digest, so repeated workloads are served
 //!   without re-solving the LP.
-//! * [`protocol`] — the newline-delimited JSON request/response schema.
+//! * [`protocol`] — the newline-delimited JSON request/response schema
+//!   (request ids, out-of-order responses, structured `error_kind`s).
+//! * [`flight`] — the single-flight layer coalescing identical concurrent
+//!   solves: one solver invocation per `(canonical_digest, solver)` no
+//!   matter how many requests race.
+//! * [`pipeline`] — the pipelined executor: readers parse NDJSON into jobs
+//!   on a shared bounded queue (full → structured `busy` rejection), a
+//!   solver-thread pool drains it and writes responses out of order.
 //! * [`service`] — the [`SchedulerService`](service::SchedulerService)
-//!   combining registry, cache and metrics, with the stdin/stdout transport.
-//! * [`server`] — the TCP transport: a listener feeding a worker thread pool.
-//! * [`loadgen`] — a load generator replaying `suu-workloads` scenarios at a
-//!   target request rate, reporting p50/p99 latency and requests/sec.
-//! * [`metrics`] — request/error/latency counters shared by the transports.
+//!   combining registry, cache, single-flight and metrics, with the serial
+//!   and pipelined stdin/stdout transports.
+//! * [`server`] — the TCP transport: a listener feeding a worker thread
+//!   pool, in serial (baseline) or pipelined (default) execution mode.
+//! * [`loadgen`] — a load generator replaying `suu-workloads` scenarios in
+//!   closed-loop or open-loop (in-flight-capped) arrival mode, reporting
+//!   p50/p99 latency and requests/sec.
+//! * [`metrics`] — request/error/latency/coalescing counters shared by the
+//!   transports.
 //!
 //! Binaries: `suu_serviced` (the daemon, `--stdin` or `--tcp ADDR`) and
 //! `loadgen` (the client; see the repository README for the schema and
 //! usage).
 
 pub mod cache;
+pub mod flight;
 pub mod loadgen;
 pub mod metrics;
+pub mod pipeline;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod solver;
 
 pub use cache::{CacheConfig, CachedSolve, ScheduleCache};
+pub use flight::SingleFlight;
 pub use loadgen::{build_request_pool, run_loadgen, LoadReport, LoadgenConfig};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use protocol::{Request, Response};
-pub use server::{spawn_tcp, ServiceHandle, TcpServerConfig};
+pub use pipeline::{PipelineConfig, PoolHandle, ResponseSink, SolverPool};
+pub use protocol::{error_kind, Request, Response};
+pub use server::{spawn_tcp, ExecutionMode, ServiceHandle, TcpServerConfig};
 pub use service::{SchedulerService, ServiceConfig};
 pub use solver::{SolveOutput, Solver, SolverRegistry};
+
+/// FNV-1a over raw bytes — the crate's common content hash (interned request
+/// lines, payload fingerprints).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -6,10 +6,22 @@
 //! rate, and reports p50/p99 latency plus achieved requests/sec using the
 //! statistics substrate from `suu-sim` ([`OnlineStats`] for moments,
 //! [`SampleSet`] for order statistics).
+//!
+//! Two arrival modes, selected by [`LoadgenConfig::max_in_flight`]:
+//!
+//! * **Closed loop** (`max_in_flight == 1`): each connection sends one
+//!   request, waits for its response, then sends the next — the classic
+//!   serial client, and the baseline for the pipelined-vs-serial benchmark.
+//! * **Open loop** (`max_in_flight > 1`): each connection keeps sending
+//!   without waiting, capped at `max_in_flight` outstanding requests, and a
+//!   dedicated reader thread matches responses to requests **by id** (the
+//!   pipelined service may answer out of order). Structured `busy`
+//!   rejections are counted separately from errors.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
@@ -34,6 +46,12 @@ pub struct LoadgenConfig {
     pub total_requests: usize,
     /// Aggregate target request rate; `None` sends as fast as possible.
     pub target_rps: Option<f64>,
+    /// Outstanding-request cap per connection: 1 = closed loop (wait for
+    /// each response), >1 = open-loop pipelining matched by response id.
+    pub max_in_flight: usize,
+    /// Capture a canonical fingerprint of every response payload (id, ok,
+    /// solver, schedule) so two runs can be compared modulo ordering.
+    pub collect_payloads: bool,
     /// Seed for workload sampling.
     pub seed: u64,
 }
@@ -46,6 +64,8 @@ impl Default for LoadgenConfig {
             connections: 4,
             total_requests: 400,
             target_rps: None,
+            max_in_flight: 1,
+            collect_payloads: false,
             seed: 0x10AD,
         }
     }
@@ -59,13 +79,17 @@ pub struct LoadReport {
     pub scenario: String,
     /// Client connections used.
     pub connections: usize,
+    /// Outstanding-request cap per connection (1 = closed loop).
+    pub max_in_flight: usize,
     /// Requests sent.
     pub sent: u64,
     /// Successful responses.
     pub ok: u64,
-    /// Error responses (or response parse failures).
+    /// Error responses (or response parse failures), excluding `busy`.
     pub errors: u64,
-    /// Responses served from the schedule cache.
+    /// Structured `busy` rejections from admission control.
+    pub busy: u64,
+    /// Responses served from the schedule cache (including coalesced waits).
     pub cache_hits: u64,
     /// Wall-clock duration of the run in seconds.
     pub wall_secs: f64,
@@ -81,6 +105,10 @@ pub struct LoadReport {
     pub p99_micros: f64,
     /// Worst observed latency in microseconds.
     pub max_micros: f64,
+    /// Canonical per-response fingerprints (sorted), when
+    /// [`LoadgenConfig::collect_payloads`] was set: two runs over the same
+    /// pool produced identical payloads iff these vectors are equal.
+    pub payloads: Option<Vec<String>>,
 }
 
 impl LoadReport {
@@ -88,14 +116,16 @@ impl LoadReport {
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "scenario={} connections={} sent={} ok={} errors={} cache_hits={}\n\
+            "scenario={} connections={} max_in_flight={} sent={} ok={} errors={} busy={} cache_hits={}\n\
              wall={:.2}s achieved={:.1} req/s (target {})\n\
              latency: mean={:.0}us p50={:.0}us p99={:.0}us max={:.0}us",
             self.scenario,
             self.connections,
+            self.max_in_flight,
             self.sent,
             self.ok,
             self.errors,
+            self.busy,
             self.cache_hits,
             self.wall_secs,
             self.achieved_rps,
@@ -156,6 +186,18 @@ pub fn build_request_pool(
                 config.num_tenants = 9;
                 config.jobs = (4, 8);
                 config.machines = (2, 4);
+            } else {
+                // Bursty: scale the tenant population with the pool size so
+                // longer runs keep introducing fresh tenants (and their
+                // first-burst duplicate solves) instead of devolving into a
+                // pure cache-hit replay after the first few dozen requests,
+                // and size the tenants like real multi-tenant traffic —
+                // large enough that a fresh LP solve visibly dominates a
+                // cache hit, which is exactly the regime where serial
+                // connections racing the same burst waste whole solves.
+                config.num_tenants = (total_requests / 25).clamp(6, 32);
+                config.jobs = (24, 40);
+                config.machines = (4, 6);
             }
             let (tenants, stream) = bursty_multi_tenant_stream(&config);
             return Ok((0..total_requests)
@@ -173,13 +215,213 @@ pub fn build_request_pool(
         .collect())
 }
 
+#[derive(Default)]
 struct ThreadOutcome {
     sent: u64,
     ok: u64,
     errors: u64,
+    busy: u64,
     cache_hits: u64,
     latency: OnlineStats,
     samples: SampleSet,
+    payloads: Vec<String>,
+}
+
+impl ThreadOutcome {
+    /// Records one response; `micros` is the end-to-end latency when the
+    /// response could be matched to its request.
+    fn record(&mut self, response: Option<&ResponseSummary>, micros: Option<f64>) {
+        if let Some(micros) = micros {
+            self.latency.push(micros);
+            self.samples.push(micros);
+        }
+        match response {
+            Some(resp) if resp.ok => {
+                self.ok += 1;
+                if resp.cache_hit {
+                    self.cache_hits += 1;
+                }
+            }
+            Some(resp) if resp.busy => self.busy += 1,
+            _ => self.errors += 1,
+        }
+    }
+}
+
+/// The per-response facts the load generator acts on.
+struct ResponseSummary {
+    id: u64,
+    ok: bool,
+    busy: bool,
+    cache_hit: bool,
+}
+
+/// Digests one response line: a cheap field scan by default, a full parse
+/// (plus payload fingerprint) when `fingerprint` is requested. A load
+/// generator that deserialised every multi-kilobyte schedule would measure
+/// its own JSON parser rather than the service, so — like any serious load
+/// tool — the hot path only scans for the envelope fields it needs. The
+/// scan is exact: inside JSON string values every `"` is escaped as `\"`,
+/// so the unescaped patterns below cannot occur anywhere but the envelope.
+fn digest_response_line(
+    line: &str,
+    fingerprint: bool,
+) -> (Option<ResponseSummary>, Option<String>) {
+    if fingerprint {
+        match serde_json::from_str::<Response>(line) {
+            Ok(resp) => {
+                let summary = ResponseSummary {
+                    id: resp.id,
+                    ok: resp.ok,
+                    busy: resp.is_busy(),
+                    cache_hit: resp.cache_hit,
+                };
+                let fp = payload_fingerprint(&resp);
+                (Some(summary), Some(fp))
+            }
+            Err(_) => (None, None),
+        }
+    } else {
+        (scan_response(line), None)
+    }
+}
+
+/// Extracts id/ok/busy/cache_hit from a response line without building the
+/// JSON tree. Returns `None` if the line does not look like a response.
+///
+/// The envelope fields sit within a short prefix (`id`, `ok`, `error_kind`)
+/// or suffix (`cache_hit` in the spliced rendering) of the line, so the scan
+/// inspects two small windows instead of walking a multi-kilobyte schedule;
+/// a long error message can push fields past the windows, in which case the
+/// scan falls back to the full line.
+fn scan_response(line: &str) -> Option<ResponseSummary> {
+    // Clamp to char boundaries: error messages may echo non-ASCII input.
+    let mut head_end = line.len().min(192);
+    while !line.is_char_boundary(head_end) {
+        head_end -= 1;
+    }
+    let mut tail_start = line.len().saturating_sub(192);
+    while !line.is_char_boundary(tail_start) {
+        tail_start += 1;
+    }
+    let head = &line[..head_end];
+    let tail = &line[tail_start..];
+    let windows_contain =
+        |needle: &str| head.contains(needle) || tail.contains(needle) || line.contains(needle);
+    // Locate a key in one of the windows and report whether its value starts
+    // with `true` — without ever walking the full line, since every response
+    // rendering keeps its envelope fields inside the windows.
+    let windows_flag = |key: &str| {
+        [head, tail]
+            .iter()
+            .find_map(|w| {
+                w.find(key)
+                    .map(|at| w[at + key.len()..].starts_with("true"))
+            })
+            .unwrap_or(false)
+    };
+
+    let id_at = head.find("\"id\":")? + 5;
+    let rest = line[id_at..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    let id: u64 = digits.parse().ok()?;
+    let ok = if head.contains("\"ok\":true") {
+        true
+    } else if head.contains("\"ok\":false") {
+        false
+    } else {
+        return None;
+    };
+    // Successful responses never carry an error_kind, so the (full-line
+    // fallback) busy probe only ever runs on short error lines.
+    let busy = !ok && windows_contain("\"error_kind\":\"busy\"");
+    let cache_hit = ok && windows_flag("\"cache_hit\":");
+    Some(ResponseSummary {
+        id,
+        ok,
+        busy,
+        cache_hit,
+    })
+}
+
+/// A canonical fingerprint of the parts of a response that must not depend
+/// on execution mode: id, outcome, solver and the schedule itself. Excludes
+/// `cache_hit`, timings and error phrasing, which legitimately vary.
+fn payload_fingerprint(resp: &Response) -> String {
+    let schedule_digest = resp.schedule.as_ref().map_or(0, |schedule| {
+        let rendered = serde_json::to_string(schedule).expect("schedules serialise");
+        crate::fnv1a(rendered.as_bytes())
+    });
+    format!(
+        "{}|ok={}|solver={}|len={}|sched={:016x}",
+        resp.id,
+        resp.ok,
+        resp.solver.as_deref().unwrap_or("-"),
+        resp.schedule_len,
+        schedule_digest
+    )
+}
+
+/// Per-connection slice of the pool: `(pacing index, request id, line)`.
+type Assigned = Vec<(usize, u64, String)>;
+
+/// The open-loop in-flight window, with hysteresis: once the writer hits the
+/// cap it parks until the window has drained to half, then sends the next
+/// half-burst. Without the low-water mark the steady state degenerates into
+/// one wake + one flush per response (the reader frees a slot, the writer
+/// sends exactly one request and blocks again), which costs more than the
+/// pipelining saves; with it, flushes and wakeups are amortised over
+/// `cap/2` requests.
+struct InFlightGate {
+    cap: usize,
+    low: usize,
+    count: Mutex<usize>,
+    resumable: Condvar,
+}
+
+impl InFlightGate {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            low: cap / 2,
+            count: Mutex::new(0),
+            resumable: Condvar::new(),
+        }
+    }
+
+    /// Takes a slot if the window is open; `false` means the cap is reached
+    /// (the caller should flush, then [`acquire_blocking`](Self::acquire_blocking)).
+    fn try_acquire(&self) -> bool {
+        let mut count = self.count.lock().expect("in-flight gate poisoned");
+        if *count >= self.cap {
+            return false;
+        }
+        *count += 1;
+        true
+    }
+
+    /// Parks until the window drains to the low-water mark, then takes a slot.
+    fn acquire_blocking(&self) {
+        let mut count = self.count.lock().expect("in-flight gate poisoned");
+        while *count > self.low {
+            count = self
+                .resumable
+                .wait(count)
+                .expect("in-flight gate poisoned while waiting");
+        }
+        *count += 1;
+    }
+
+    /// Returns a slot; wakes the writer exactly when the window reaches the
+    /// low-water mark (one wakeup per half-burst, not one per response).
+    fn release(&self) {
+        let mut count = self.count.lock().expect("in-flight gate poisoned");
+        *count -= 1;
+        if *count == self.low {
+            drop(count);
+            self.resumable.notify_one();
+        }
+    }
 }
 
 /// Runs the load generator against a running service.
@@ -191,11 +433,12 @@ struct ThreadOutcome {
 pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let pool = build_request_pool(&config.scenario, config.total_requests, config.seed)
         .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
-    let lines: Vec<String> = pool
+    let lines: Vec<(u64, String)> = pool
         .iter()
-        .map(|r| serde_json::to_string(r).expect("requests serialise"))
+        .map(|r| (r.id, serde_json::to_string(r).expect("requests serialise")))
         .collect();
     let connections = config.connections.max(1);
+    let max_in_flight = config.max_in_flight.max(1);
     // Interval between sends on one connection when pacing to the aggregate
     // target rate.
     let per_thread_interval = config
@@ -203,61 +446,33 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         .filter(|&rps| rps > 0.0)
         .map(|rps| Duration::from_secs_f64(connections as f64 / rps));
 
-    let lines = Arc::new(lines);
     let outcomes: Arc<Mutex<Vec<ThreadOutcome>>> = Arc::new(Mutex::new(Vec::new()));
     let start = Instant::now();
 
     let mut handles = Vec::new();
     for worker in 0..connections {
-        let lines = Arc::clone(&lines);
+        // Round-robin partition of the pool across connections.
+        let assigned: Assigned = lines
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % connections == worker)
+            .map(|(k, (id, line))| (k / connections, *id, line.clone()))
+            .collect();
         let outcomes = Arc::clone(&outcomes);
         let addr = config.addr.clone();
+        let fingerprint = config.collect_payloads;
         handles.push(std::thread::spawn(move || -> std::io::Result<()> {
-            let stream = TcpStream::connect(&addr)?;
-            let mut reader = BufReader::new(stream.try_clone()?);
-            let mut writer = BufWriter::new(stream);
-            let mut outcome = ThreadOutcome {
-                sent: 0,
-                ok: 0,
-                errors: 0,
-                cache_hits: 0,
-                latency: OnlineStats::new(),
-                samples: SampleSet::new(),
+            let outcome = if max_in_flight <= 1 {
+                run_closed_loop(&addr, &assigned, per_thread_interval, fingerprint)?
+            } else {
+                run_open_loop(
+                    &addr,
+                    &assigned,
+                    per_thread_interval,
+                    max_in_flight,
+                    fingerprint,
+                )?
             };
-            let thread_start = Instant::now();
-            // Round-robin partition of the pool across connections.
-            for (k, line) in lines
-                .iter()
-                .enumerate()
-                .filter(|(k, _)| k % connections == worker)
-                .map(|(k, line)| (k / connections, line))
-            {
-                if let Some(interval) = per_thread_interval {
-                    let due = interval.mul_f64(k as f64);
-                    let elapsed = thread_start.elapsed();
-                    if due > elapsed {
-                        std::thread::sleep(due - elapsed);
-                    }
-                }
-                let sent_at = Instant::now();
-                writeln!(writer, "{line}")?;
-                writer.flush()?;
-                let mut response = String::new();
-                reader.read_line(&mut response)?;
-                let micros = sent_at.elapsed().as_micros() as f64;
-                outcome.sent += 1;
-                outcome.latency.push(micros);
-                outcome.samples.push(micros);
-                match serde_json::from_str::<Response>(&response) {
-                    Ok(resp) if resp.ok => {
-                        outcome.ok += 1;
-                        if resp.cache_hit {
-                            outcome.cache_hits += 1;
-                        }
-                    }
-                    _ => outcome.errors += 1,
-                }
-            }
             outcomes.lock().expect("outcomes poisoned").push(outcome);
             Ok(())
         }));
@@ -281,22 +496,28 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let wall_secs = start.elapsed().as_secs_f64();
     let mut latency = OnlineStats::new();
     let mut samples = SampleSet::new();
-    let (mut sent, mut ok, mut errors, mut cache_hits) = (0, 0, 0, 0);
-    for outcome in outcomes.lock().expect("outcomes poisoned").iter() {
+    let mut payloads = Vec::new();
+    let (mut sent, mut ok, mut errors, mut busy, mut cache_hits) = (0, 0, 0, 0, 0);
+    for outcome in outcomes.lock().expect("outcomes poisoned").iter_mut() {
         sent += outcome.sent;
         ok += outcome.ok;
         errors += outcome.errors;
+        busy += outcome.busy;
         cache_hits += outcome.cache_hits;
         latency.merge(&outcome.latency);
         samples.merge(&outcome.samples);
+        payloads.append(&mut outcome.payloads);
     }
+    payloads.sort_unstable();
 
     Ok(LoadReport {
         scenario: config.scenario.clone(),
         connections,
+        max_in_flight,
         sent,
         ok,
         errors,
+        busy,
         cache_hits,
         wall_secs,
         achieved_rps: if wall_secs > 0.0 {
@@ -313,7 +534,154 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         } else {
             0.0
         },
+        payloads: config.collect_payloads.then_some(payloads),
     })
+}
+
+/// One request outstanding at a time: send, wait for the response, repeat.
+fn run_closed_loop(
+    addr: &str,
+    assigned: &Assigned,
+    interval: Option<Duration>,
+    fingerprint: bool,
+) -> std::io::Result<ThreadOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut outcome = ThreadOutcome::default();
+    let thread_start = Instant::now();
+    for (k, _, line) in assigned {
+        if let Some(interval) = interval {
+            let due = interval.mul_f64(*k as f64);
+            let elapsed = thread_start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+        }
+        let sent_at = Instant::now();
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        let mut response = String::new();
+        reader.read_line(&mut response)?;
+        let micros = sent_at.elapsed().as_micros() as f64;
+        outcome.sent += 1;
+        let (summary, fp) = digest_response_line(&response, fingerprint);
+        outcome.record(summary.as_ref(), Some(micros));
+        if let Some(fp) = fp {
+            outcome.payloads.push(fp);
+        }
+    }
+    Ok(outcome)
+}
+
+/// Up to `max_in_flight` requests outstanding: a dedicated reader thread
+/// matches responses to send times by id while this thread keeps writing.
+fn run_open_loop(
+    addr: &str,
+    assigned: &Assigned,
+    interval: Option<Duration>,
+    max_in_flight: usize,
+    fingerprint: bool,
+) -> std::io::Result<ThreadOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    // A pipelined writer must not sit on Nagle's algorithm: a half-burst
+    // that fits one segment would otherwise wait out the peer's delayed ACK.
+    stream.set_nodelay(true)?;
+    let reader_stream = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+
+    let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let in_flight = Arc::new(InFlightGate::new(max_in_flight));
+    let expected = assigned.len();
+
+    let reader_thread = {
+        let pending = Arc::clone(&pending);
+        let in_flight = Arc::clone(&in_flight);
+        std::thread::spawn(move || -> std::io::Result<ThreadOutcome> {
+            let mut reader = BufReader::new(reader_stream);
+            let mut outcome = ThreadOutcome::default();
+            for _ in 0..expected {
+                let mut response = String::new();
+                if reader.read_line(&mut response)? == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "service closed the connection mid-run",
+                    ));
+                }
+                let (summary, fp) = digest_response_line(&response, fingerprint);
+                let micros = summary.as_ref().and_then(|resp| {
+                    pending
+                        .lock()
+                        .expect("pending map poisoned")
+                        .remove(&resp.id)
+                        .map(|sent_at| sent_at.elapsed().as_micros() as f64)
+                });
+                outcome.record(summary.as_ref(), micros);
+                if let Some(fp) = fp {
+                    outcome.payloads.push(fp);
+                }
+                in_flight.release();
+            }
+            Ok(outcome)
+        })
+    };
+
+    let thread_start = Instant::now();
+    let mut sent = 0u64;
+    let mut write_error: Option<std::io::Error> = None;
+    'writing: for (k, id, line) in assigned {
+        if let Some(interval) = interval {
+            let due = interval.mul_f64(*k as f64);
+            let elapsed = thread_start.elapsed();
+            if due > elapsed {
+                // About to idle: push buffered requests out first so their
+                // responses can overlap the pause.
+                if let Err(err) = writer.flush() {
+                    write_error = Some(err);
+                    break 'writing;
+                }
+                std::thread::sleep(due - elapsed);
+            }
+        }
+        if !in_flight.try_acquire() {
+            // The cap is reached: everything buffered must reach the service
+            // or the responses we are waiting on never come.
+            if let Err(err) = writer.flush() {
+                write_error = Some(err);
+                break 'writing;
+            }
+            in_flight.acquire_blocking();
+        }
+        pending
+            .lock()
+            .expect("pending map poisoned")
+            .insert(*id, Instant::now());
+        if let Err(err) = writeln!(writer, "{line}") {
+            write_error = Some(err);
+            break 'writing;
+        }
+        sent += 1;
+    }
+    if write_error.is_none() {
+        if let Err(err) = writer.flush() {
+            write_error = Some(err);
+        }
+    }
+    if write_error.is_some() {
+        // Unblock the reader: it stops at EOF once the socket is dead.
+        let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+
+    let reader_outcome = reader_thread
+        .join()
+        .map_err(|_| std::io::Error::other("load generator reader panicked"))?;
+    if let Some(err) = write_error {
+        return Err(err);
+    }
+    let mut outcome = reader_outcome?;
+    outcome.sent = sent;
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -356,9 +724,11 @@ mod tests {
         let report = LoadReport {
             scenario: "mixed".to_string(),
             connections: 4,
+            max_in_flight: 16,
             sent: 100,
             ok: 99,
             errors: 1,
+            busy: 0,
             cache_hits: 80,
             wall_secs: 0.5,
             achieved_rps: 200.0,
@@ -367,11 +737,79 @@ mod tests {
             p50_micros: 250.0,
             p99_micros: 900.0,
             max_micros: 1200.0,
+            payloads: None,
         };
         let text = report.render();
         assert!(text.contains("200.0 req/s"));
         assert!(text.contains("p99=900us"));
+        assert!(text.contains("max_in_flight=16"));
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("achieved_rps"));
+        assert!(json.contains("busy"));
+    }
+
+    #[test]
+    fn fingerprints_ignore_mode_dependent_fields() {
+        let mut a = Response::failure(3, "boom");
+        let mut b = Response::failure(3, "different phrasing");
+        a.service_micros = 10;
+        b.service_micros = 99_999;
+        assert_eq!(payload_fingerprint(&a), payload_fingerprint(&b));
+
+        let mut ok_fresh = Response::failure(4, "x");
+        ok_fresh.ok = true;
+        ok_fresh.error = None;
+        ok_fresh.error_kind = None;
+        ok_fresh.solver = Some("suu-c".to_string());
+        ok_fresh.cache_hit = false;
+        let mut ok_cached = ok_fresh.clone();
+        ok_cached.cache_hit = true;
+        assert_eq!(
+            payload_fingerprint(&ok_fresh),
+            payload_fingerprint(&ok_cached),
+            "cache_hit must not affect the payload fingerprint"
+        );
+        let mut other = ok_fresh.clone();
+        other.solver = Some("suu-forest".to_string());
+        assert_ne!(payload_fingerprint(&ok_fresh), payload_fingerprint(&other));
+    }
+
+    #[test]
+    fn outcome_classifies_busy_separately_from_errors() {
+        let mut outcome = ThreadOutcome::default();
+        let busy_line = serde_json::to_string(&Response::busy(1)).unwrap();
+        let error_line = serde_json::to_string(&Response::failure(2, "bad")).unwrap();
+        for fingerprint in [false, true] {
+            let (summary, _) = digest_response_line(&busy_line, fingerprint);
+            outcome.record(summary.as_ref(), Some(10.0));
+            let (summary, _) = digest_response_line(&error_line, fingerprint);
+            outcome.record(summary.as_ref(), Some(10.0));
+            outcome.record(None, None);
+        }
+        assert_eq!(outcome.busy, 2);
+        assert_eq!(outcome.errors, 4);
+        assert_eq!(outcome.ok, 0);
+    }
+
+    #[test]
+    fn scan_matches_full_parse_on_real_responses() {
+        let mut ok = Response::failure(77, "x");
+        ok.ok = true;
+        ok.error = None;
+        ok.error_kind = None;
+        ok.solver = Some("suu-c".to_string());
+        ok.cache_hit = true;
+        for resp in [
+            &ok,
+            &Response::busy(12),
+            &Response::failure(9, "tricky \"ok\":true bait"),
+        ] {
+            let line = serde_json::to_string(resp).unwrap();
+            let scanned = scan_response(&line).expect("responses scan");
+            assert_eq!(scanned.id, resp.id, "line: {line}");
+            assert_eq!(scanned.ok, resp.ok, "line: {line}");
+            assert_eq!(scanned.busy, resp.is_busy(), "line: {line}");
+            assert_eq!(scanned.cache_hit, resp.cache_hit, "line: {line}");
+        }
     }
 }

@@ -18,6 +18,16 @@ pub struct ServiceMetrics {
     /// Per-solve LP wall-clock distribution (fresh solves only; cache hits
     /// spend no LP time).
     lp_micros: Mutex<OnlineStats>,
+    /// Requests whose schedule was actually computed by a solver (cache
+    /// misses that were not coalesced onto another in-flight solve).
+    fresh_solves: AtomicU64,
+    /// Requests served by waiting on another request's in-flight solve
+    /// (single-flight coalescing).
+    coalesced: AtomicU64,
+    /// Requests rejected by admission control (`busy`) because the solve
+    /// queue was full; these never reach a solver and are **not** counted in
+    /// `requests`.
+    busy_rejections: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -56,6 +66,40 @@ impl ServiceMetrics {
             .push(micros as f64);
     }
 
+    /// Records one schedule actually computed by a solver (not served from
+    /// the cache, not coalesced onto another request's solve).
+    pub fn record_fresh_solve(&self) {
+        self.fresh_solves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request served by waiting on an identical in-flight solve.
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one admission-control rejection (`busy` response).
+    pub fn record_busy(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of schedules actually computed by a solver so far.
+    #[must_use]
+    pub fn fresh_solves(&self) -> u64 {
+        self.fresh_solves.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests coalesced onto another request's solve so far.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Number of admission-control rejections so far.
+    #[must_use]
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Relaxed)
+    }
+
     /// A consistent point-in-time snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -78,6 +122,9 @@ impl ServiceMetrics {
             per_solver,
             lp_pivots: self.lp_pivots.load(Ordering::Relaxed),
             lp_micros: self.lp_micros.lock().expect("lp stats poisoned").summary(),
+            fresh_solves: self.fresh_solves.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -97,6 +144,12 @@ pub struct MetricsSnapshot {
     pub lp_pivots: u64,
     /// Summary of per-solve LP wall-clock microseconds (fresh solves only).
     pub lp_micros: Summary,
+    /// Schedules actually computed by a solver (not cached, not coalesced).
+    pub fresh_solves: u64,
+    /// Requests served by waiting on an identical in-flight solve.
+    pub coalesced: u64,
+    /// Requests rejected by admission control (`busy`).
+    pub busy_rejections: u64,
 }
 
 impl MetricsSnapshot {
@@ -110,6 +163,10 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "lp_solves={} lp_pivots={} lp_mean={:.1}us lp_max={:.1}us\n",
             self.lp_micros.count, self.lp_pivots, self.lp_micros.mean, self.lp_micros.max
+        ));
+        out.push_str(&format!(
+            "fresh_solves={} coalesced={} busy_rejections={}\n",
+            self.fresh_solves, self.coalesced, self.busy_rejections
         ));
         for (solver, count) in &self.per_solver {
             out.push_str(&format!("  {solver}: {count}\n"));
@@ -149,6 +206,27 @@ mod tests {
         let text = snap.render();
         assert!(text.contains("lp_pivots=100"), "render: {text}");
         assert!(text.contains("lp_solves=2"), "render: {text}");
+    }
+
+    #[test]
+    fn solve_flow_counters_accumulate_independently() {
+        let m = ServiceMetrics::new();
+        m.record_fresh_solve();
+        m.record_fresh_solve();
+        m.record_coalesced();
+        m.record_busy();
+        m.record_busy();
+        m.record_busy();
+        assert_eq!(m.fresh_solves(), 2);
+        assert_eq!(m.coalesced(), 1);
+        assert_eq!(m.busy_rejections(), 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.fresh_solves, 2);
+        assert_eq!(snap.coalesced, 1);
+        assert_eq!(snap.busy_rejections, 3);
+        let text = snap.render();
+        assert!(text.contains("fresh_solves=2"), "render: {text}");
+        assert!(text.contains("busy_rejections=3"), "render: {text}");
     }
 
     #[test]

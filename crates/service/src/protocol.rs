@@ -30,6 +30,16 @@
 //! Requests are validated on ingest — dimensions, probability ranges, DAG
 //! acyclicity — through the same constructors the rest of the workspace
 //! uses, so a malformed request can never reach a solver.
+//!
+//! # Pipelined execution
+//!
+//! Since the pipelined executor landed, a connection may have many requests
+//! in flight at once and **responses may arrive in any order**: clients must
+//! match responses to requests by the echoed `id`, not by position. Error
+//! responses additionally carry a machine-readable `error_kind`
+//! (see [`error_kind`]); in particular `"busy"` signals that the solve queue
+//! was full and the request was rejected by admission control without being
+//! executed — the client may retry later.
 
 use serde::{Deserialize, Serialize, Value};
 use suu_core::{ObliviousSchedule, SuuInstance};
@@ -119,6 +129,24 @@ impl Request {
     }
 }
 
+/// Machine-readable error categories carried in [`Response::error_kind`].
+///
+/// The human-readable `error` message is free-form; `error_kind` is the
+/// stable contract automation should branch on.
+pub mod error_kind {
+    /// The request line was not parseable as a request (bad JSON, missing or
+    /// mistyped fields, line over the byte limit).
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The request parsed but described an invalid or unsupported instance
+    /// (cycle, probability out of range, oversized, unknown solver).
+    pub const INVALID_REQUEST: &str = "invalid_request";
+    /// Admission control rejected the request because the shared solve queue
+    /// was full. The request was **not** executed; clients may retry.
+    pub const BUSY: &str = "busy";
+    /// A solver accepted the instance but failed while solving it.
+    pub const SOLVER_ERROR: &str = "solver_error";
+}
+
 /// A scheduling response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
@@ -128,6 +156,10 @@ pub struct Response {
     pub ok: bool,
     /// Error message when `ok` is false.
     pub error: Option<String>,
+    /// Machine-readable error category when `ok` is false (see
+    /// [`error_kind`]); `"busy"` means admission control rejected the
+    /// request without executing it.
+    pub error_kind: Option<String>,
     /// Name of the solver that produced the schedule.
     pub solver: Option<String>,
     /// Whether the schedule was served from the cache.
@@ -151,13 +183,14 @@ pub struct Response {
 }
 
 impl Response {
-    /// An error response for `id`.
+    /// An error response for `id` with an explicit [`error_kind`] category.
     #[must_use]
-    pub fn failure(id: u64, error: impl Into<String>) -> Self {
+    pub fn failure_with(id: u64, kind: &str, error: impl Into<String>) -> Self {
         Self {
             id,
             ok: false,
             error: Some(error.into()),
+            error_kind: Some(kind.to_string()),
             solver: None,
             cache_hit: false,
             schedule: None,
@@ -168,6 +201,30 @@ impl Response {
             estimated_makespan: None,
             service_micros: 0,
         }
+    }
+
+    /// An error response for `id` (category defaults to
+    /// [`error_kind::INVALID_REQUEST`]).
+    #[must_use]
+    pub fn failure(id: u64, error: impl Into<String>) -> Self {
+        Self::failure_with(id, error_kind::INVALID_REQUEST, error)
+    }
+
+    /// The admission-control rejection: the solve queue was full and the
+    /// request was dropped without being executed.
+    #[must_use]
+    pub fn busy(id: u64) -> Self {
+        Self::failure_with(
+            id,
+            error_kind::BUSY,
+            "service busy: the solve queue is full; retry later",
+        )
+    }
+
+    /// Whether this is an admission-control `busy` rejection.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.error_kind.as_deref() == Some(error_kind::BUSY)
     }
 }
 
@@ -246,6 +303,7 @@ mod tests {
             id: 9,
             ok: true,
             error: None,
+            error_kind: None,
             solver: Some("suu-c".to_string()),
             cache_hit: true,
             schedule: Some(ObliviousSchedule::new(2)),
@@ -267,8 +325,27 @@ mod tests {
         let resp = Response::failure(3, "boom");
         assert!(!resp.ok);
         assert_eq!(resp.error.as_deref(), Some("boom"));
+        assert_eq!(
+            resp.error_kind.as_deref(),
+            Some(error_kind::INVALID_REQUEST)
+        );
         let json = serde_json::to_string(&resp).unwrap();
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(back.error.as_deref(), Some("boom"));
+        assert_eq!(back.error_kind, resp.error_kind);
+    }
+
+    #[test]
+    fn busy_response_is_structured() {
+        let resp = Response::busy(17);
+        assert!(!resp.ok);
+        assert!(resp.is_busy());
+        assert_eq!(resp.id, 17);
+        assert_eq!(resp.error_kind.as_deref(), Some(error_kind::BUSY));
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"error_kind\":\"busy\""), "json: {json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert!(back.is_busy());
+        assert!(!Response::failure(17, "other").is_busy());
     }
 }

@@ -1,9 +1,19 @@
 //! TCP transport: a listener plus a fixed pool of worker threads.
 //!
 //! Each accepted connection is pushed onto a shared queue; workers pop
-//! connections and run the same per-line loop as the stdin transport
-//! ([`SchedulerService::serve_lines`]) until the client closes. Concurrency
-//! equals the worker count; the acceptor never blocks on a slow client.
+//! connections and serve them until the client closes. The acceptor never
+//! blocks on a slow client. How a connection is *executed* depends on the
+//! [`ExecutionMode`]:
+//!
+//! * [`ExecutionMode::Pipelined`] (the default) — the worker thread only
+//!   parses lines into jobs on a solver-thread pool shared by **all**
+//!   connections ([`SolverPool`]); responses come back out of order, a full
+//!   queue is rejected with a structured `busy` error, and identical
+//!   concurrent solves are coalesced by the single-flight layer.
+//! * [`ExecutionMode::Serial`] — the seed behaviour: the worker runs the
+//!   per-line parse→solve→respond loop ([`SchedulerService::serve_lines`]),
+//!   so one slow solve stalls everything queued behind it on that
+//!   connection. Kept as the benchmark baseline.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -12,6 +22,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::pipeline::{PipelineConfig, PoolHandle, SolverPool};
 use crate::service::SchedulerService;
 
 /// Connections currently being served, keyed by a registration id so a
@@ -54,13 +65,33 @@ impl ActiveConnections {
     }
 }
 
+/// How accepted connections execute requests.
+#[derive(Debug, Clone)]
+pub enum ExecutionMode {
+    /// Per-connection serial loop (parse → solve → respond → next line).
+    /// The pre-pipelining baseline.
+    Serial,
+    /// Shared bounded solve queue + solver-thread pool; responses may return
+    /// out of order and a full queue yields structured `busy` rejections.
+    Pipelined(PipelineConfig),
+}
+
+impl Default for ExecutionMode {
+    fn default() -> Self {
+        Self::Pipelined(PipelineConfig::default())
+    }
+}
+
 /// TCP transport configuration.
 #[derive(Debug, Clone)]
 pub struct TcpServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Number of connection-serving worker threads.
+    /// Number of connection-serving worker threads (readers, in pipelined
+    /// mode).
     pub workers: usize,
+    /// Request execution mode (pipelined by default).
+    pub mode: ExecutionMode,
 }
 
 impl Default for TcpServerConfig {
@@ -68,6 +99,7 @@ impl Default for TcpServerConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            mode: ExecutionMode::default(),
         }
     }
 }
@@ -80,6 +112,8 @@ pub struct ServiceHandle {
     active: Arc<ActiveConnections>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The shared solver pool in pipelined mode (`None` when serial).
+    pool: Option<SolverPool>,
 }
 
 impl ServiceHandle {
@@ -106,6 +140,12 @@ impl ServiceHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // With no readers left nothing can submit; drain the remaining
+        // queued jobs (best effort — their clients are likely gone) and
+        // join the solver threads.
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
         }
     }
 
@@ -143,6 +183,13 @@ pub fn spawn_tcp(
     let active = Arc::new(ActiveConnections::default());
     let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
     let rx = Arc::new(Mutex::new(rx));
+    let pool = match &config.mode {
+        ExecutionMode::Serial => None,
+        ExecutionMode::Pipelined(pipeline) => {
+            Some(SolverPool::spawn(Arc::clone(&service), pipeline))
+        }
+    };
+    let pool_handle: Option<PoolHandle> = pool.as_ref().map(SolverPool::handle);
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
@@ -150,6 +197,7 @@ pub fn spawn_tcp(
             let service = Arc::clone(&service);
             let shutdown = Arc::clone(&shutdown);
             let active = Arc::clone(&active);
+            let pool_handle = pool_handle.clone();
             std::thread::spawn(move || loop {
                 // Holding the receiver lock only while popping keeps the other
                 // workers free to pick up the next connection.
@@ -165,6 +213,11 @@ pub fn spawn_tcp(
                         if shutdown.load(Ordering::SeqCst) {
                             continue;
                         }
+                        // Batched NDJSON writes with Nagle enabled deadlock
+                        // against delayed ACKs for tens of milliseconds per
+                        // burst; every response is a complete message, so
+                        // send segments immediately.
+                        let _ = stream.set_nodelay(true);
                         // An unregistrable connection (try_clone failure, e.g.
                         // fd exhaustion) must not be served: close_all could
                         // never reach it, so an idle client would park this
@@ -189,7 +242,14 @@ pub fn spawn_tcp(
                         let writer = BufWriter::new(stream);
                         // Client disconnects surface as I/O errors; the worker
                         // just moves on to the next connection.
-                        let _ = service.serve_lines(reader, writer);
+                        match &pool_handle {
+                            Some(pool) => {
+                                let _ = service.serve_lines_pipelined(reader, writer, pool);
+                            }
+                            None => {
+                                let _ = service.serve_lines(reader, writer);
+                            }
+                        }
                         active.deregister(id);
                     }
                     Err(_) => return, // channel closed: shutdown
@@ -222,6 +282,7 @@ pub fn spawn_tcp(
         active,
         acceptor: Some(acceptor),
         workers,
+        pool,
     })
 }
 
@@ -234,9 +295,20 @@ mod tests {
     use suu_core::InstanceBuilder;
     use suu_workloads::uniform_matrix;
 
-    fn start() -> ServiceHandle {
+    fn start_with(mode: ExecutionMode) -> ServiceHandle {
         let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
-        spawn_tcp(service, &TcpServerConfig::default()).unwrap()
+        spawn_tcp(
+            service,
+            &TcpServerConfig {
+                mode,
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn start() -> ServiceHandle {
+        start_with(ExecutionMode::default())
     }
 
     fn request(id: u64, seed: u64) -> String {
@@ -260,29 +332,66 @@ mod tests {
 
     #[test]
     fn serves_a_request_over_tcp() {
-        let handle = start();
-        let resp = roundtrip(handle.addr(), &request(1, 31));
-        assert!(resp.ok, "error: {:?}", resp.error);
-        assert_eq!(resp.id, 1);
-        handle.shutdown();
+        for mode in [
+            ExecutionMode::Serial,
+            ExecutionMode::Pipelined(PipelineConfig::default()),
+        ] {
+            let handle = start_with(mode);
+            let resp = roundtrip(handle.addr(), &request(1, 31));
+            assert!(resp.ok, "error: {:?}", resp.error);
+            assert_eq!(resp.id, 1);
+            handle.shutdown();
+        }
     }
 
     #[test]
     fn multiple_requests_on_one_connection() {
-        let handle = start();
+        for mode in [
+            ExecutionMode::Serial,
+            ExecutionMode::Pipelined(PipelineConfig::default()),
+        ] {
+            let handle = start_with(mode);
+            let stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            for id in 1..=3 {
+                writeln!(writer, "{}", request(id, 32)).unwrap();
+                writer.flush().unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let resp: Response = serde_json::from_str(&line).unwrap();
+                assert!(resp.ok);
+                assert_eq!(resp.id, id);
+                assert_eq!(resp.cache_hit, id > 1);
+            }
+            handle.shutdown();
+        }
+    }
+
+    #[test]
+    fn pipelined_burst_answers_every_id_on_one_connection() {
+        let handle = start_with(ExecutionMode::Pipelined(PipelineConfig {
+            solver_threads: 2,
+            queue_capacity: 64,
+        }));
         let stream = TcpStream::connect(handle.addr()).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = BufWriter::new(stream);
-        for id in 1..=3 {
-            writeln!(writer, "{}", request(id, 32)).unwrap();
-            writer.flush().unwrap();
+        // Send the whole burst before reading anything.
+        for id in 1..=16u64 {
+            writeln!(writer, "{}", request(id, 33 + id)).unwrap();
+        }
+        writer.flush().unwrap();
+        let mut ids = Vec::new();
+        for _ in 0..16 {
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
             let resp: Response = serde_json::from_str(&line).unwrap();
-            assert!(resp.ok);
-            assert_eq!(resp.id, id);
-            assert_eq!(resp.cache_hit, id > 1);
+            assert!(resp.ok, "error: {:?}", resp.error);
+            ids.push(resp.id);
         }
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=16).collect::<Vec<_>>());
         handle.shutdown();
     }
 

@@ -1,0 +1,209 @@
+//! Concurrency stress battery for the sharded schedule cache, the
+//! single-flight layer and the pipelined executor's admission control.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+
+use suu_core::{InstanceBuilder, SuuInstance};
+use suu_service::{
+    spawn_tcp, ExecutionMode, PipelineConfig, Request, Response, SchedulerService, ServiceConfig,
+    TcpServerConfig,
+};
+use suu_workloads::uniform_matrix;
+
+fn chain_instance(seed: u64) -> SuuInstance {
+    InstanceBuilder::new(6, 3)
+        .probability_matrix(uniform_matrix(6, 3, 0.3, 0.9, seed))
+        .chains(&[vec![0, 1, 2], vec![3, 4, 5]])
+        .build()
+        .unwrap()
+}
+
+/// N threads hammering K distinct instances through the coalesced path must
+/// trigger exactly K solver invocations: every concurrent duplicate either
+/// waits on the leader's flight or hits the cache, never re-solves.
+#[test]
+fn n_threads_on_k_instances_trigger_exactly_k_fresh_solves() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 6;
+    const K: usize = 6;
+
+    let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
+    let instances: Arc<Vec<SuuInstance>> =
+        Arc::new((0..K as u64).map(|k| chain_instance(0xABC0 + k)).collect());
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let instances = Arc::clone(&instances);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut responses = Vec::new();
+                for round in 0..ROUNDS {
+                    // Every thread starts every round on the same instance at
+                    // the same moment — the worst case for duplicate solves.
+                    barrier.wait();
+                    let which = round % instances.len();
+                    let request =
+                        Request::from_instance((t * 1000 + round) as u64, &instances[which]);
+                    let response = service.handle_request_coalesced(&request);
+                    responses.push((which, response));
+                    // And a second pass over a *different* instance to mix
+                    // cache hits into the contention window.
+                    let other = (round + t) % instances.len();
+                    let request =
+                        Request::from_instance((t * 1000 + 500 + round) as u64, &instances[other]);
+                    responses.push((other, service.handle_request_coalesced(&request)));
+                }
+                responses
+            })
+        })
+        .collect();
+
+    let mut all: Vec<(usize, Response)> = Vec::new();
+    for handle in handles {
+        all.extend(
+            handle
+                .join()
+                .expect("stress thread panicked (poisoned lock?)"),
+        );
+    }
+    assert_eq!(all.len(), THREADS * ROUNDS * 2);
+
+    // Every response succeeded, and all responses for one instance carry the
+    // identical schedule (followers got the leader's result).
+    let mut schedules: Vec<Option<String>> = vec![None; K];
+    for (which, response) in &all {
+        assert!(response.ok, "error: {:?}", response.error);
+        let rendered = serde_json::to_string(response.schedule.as_ref().unwrap()).unwrap();
+        match &schedules[*which] {
+            Some(seen) => assert_eq!(seen, &rendered, "instance {which} schedule diverged"),
+            None => schedules[*which] = Some(rendered),
+        }
+    }
+
+    // The acceptance property: exactly K fresh solves, everything else
+    // served from the flight table or the cache.
+    let snapshot = service.metrics().snapshot();
+    assert_eq!(
+        snapshot.fresh_solves, K as u64,
+        "duplicate concurrent requests must coalesce onto one solve \
+         (coalesced={}, requests={})",
+        snapshot.coalesced, snapshot.requests
+    );
+    assert_eq!(snapshot.errors, 0);
+    assert_eq!(snapshot.requests, (THREADS * ROUNDS * 2) as u64);
+    assert_eq!(service.cache().len(), K);
+
+    // No poisoned locks: the service still serves.
+    let after = service.handle_request(&Request::from_instance(42, &instances[0]));
+    assert!(after.ok && after.cache_hit);
+}
+
+/// The serial (non-coalescing) path is allowed to duplicate solves under the
+/// same contention — that contrast is what the single-flight layer buys.
+#[test]
+fn serial_path_may_duplicate_but_stays_consistent() {
+    const THREADS: usize = 8;
+    let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
+    let instance = chain_instance(0xD1CE);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let instance = instance.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.handle_request(&Request::from_instance(t as u64, &instance))
+            })
+        })
+        .collect();
+    let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first = serde_json::to_string(responses[0].schedule.as_ref().unwrap()).unwrap();
+    for resp in &responses {
+        assert!(resp.ok);
+        // Deterministic solvers: even racing duplicates agree bit for bit.
+        assert_eq!(
+            serde_json::to_string(resp.schedule.as_ref().unwrap()).unwrap(),
+            first
+        );
+    }
+    let snapshot = service.metrics().snapshot();
+    assert!(snapshot.fresh_solves >= 1);
+    assert_eq!(snapshot.coalesced, 0, "serial path never coalesces");
+    assert_eq!(service.cache().len(), 1, "duplicates collapse in the cache");
+}
+
+/// Flooding a tiny queue must produce structured `busy` rejections — not
+/// blocked readers, not dropped lines — and the connection must keep
+/// working afterwards.
+#[test]
+fn admission_control_rejects_with_busy_and_connection_survives() {
+    const FLOOD: usize = 64;
+
+    let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
+    let handle = spawn_tcp(
+        Arc::clone(&service),
+        &TcpServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            mode: ExecutionMode::Pipelined(PipelineConfig {
+                solver_threads: 1,
+                queue_capacity: 2,
+            }),
+        },
+    )
+    .unwrap();
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    // Distinct instances (no coalescing shortcut) with slow-ish solves so
+    // the 2-slot queue genuinely overflows while the flood is written.
+    for id in 1..=FLOOD as u64 {
+        let inst = chain_instance(0xF100D + id);
+        let mut request = Request::from_instance(id, &inst);
+        request.estimate_trials = Some(200);
+        writeln!(writer, "{}", serde_json::to_string(&request).unwrap()).unwrap();
+    }
+    writer.flush().unwrap();
+
+    let mut ids = Vec::new();
+    let mut busy = 0;
+    let mut ok = 0;
+    for _ in 0..FLOOD {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "connection died");
+        let resp: Response = serde_json::from_str(&line).unwrap();
+        ids.push(resp.id);
+        if resp.is_busy() {
+            busy += 1;
+        } else {
+            assert!(resp.ok, "non-busy response failed: {:?}", resp.error);
+            ok += 1;
+        }
+    }
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (1..=FLOOD as u64).collect::<Vec<_>>(),
+        "every request got exactly one response with its own id"
+    );
+    assert!(busy > 0, "a 2-slot queue must reject part of a 64-burst");
+    assert!(ok > 0, "accepted requests still complete");
+    assert_eq!(service.metrics().busy_rejections(), busy);
+
+    // Same connection, after the storm: normal service.
+    let calm = Request::from_instance(9_000, &chain_instance(0xCA1A));
+    writeln!(writer, "{}", serde_json::to_string(&calm).unwrap()).unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    assert!(reader.read_line(&mut line).unwrap() > 0);
+    let resp: Response = serde_json::from_str(&line).unwrap();
+    assert!(resp.ok, "connection must survive admission control");
+    assert_eq!(resp.id, 9_000);
+    handle.shutdown();
+}
