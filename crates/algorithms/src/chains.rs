@@ -20,7 +20,7 @@ use suu_graph::ChainSet;
 
 use crate::delay::flatten_with_random_delays;
 use crate::error::AlgorithmError;
-use crate::lp_relaxation::{solve_lp1, LpMicros};
+use crate::lp_relaxation::{solve_lp1_with, LpBudget, LpMicros};
 use crate::pseudo::build_chain_pseudo_schedules;
 use crate::replicate::{default_sigma, replicate_with_tail};
 use crate::rounding::round_solution;
@@ -38,6 +38,10 @@ pub struct ChainsOptions {
     /// `Σ_{o,1}` itself (used by the forest algorithm, which replicates once
     /// globally, and by ablation experiments).
     pub replicate: bool,
+    /// Resource bounds on the (LP1) stage: engine override, pivot budget and
+    /// wall-clock deadline. The default is unbounded (historical behaviour);
+    /// exhausting a bound aborts with [`AlgorithmError::BudgetExhausted`].
+    pub lp: LpBudget,
 }
 
 impl Default for ChainsOptions {
@@ -47,6 +51,7 @@ impl Default for ChainsOptions {
             delay_tries: 8,
             sigma: None,
             replicate: true,
+            lp: LpBudget::default(),
         }
     }
 }
@@ -109,7 +114,7 @@ pub fn schedule_given_chains(
     chains: &ChainSet,
     options: &ChainsOptions,
 ) -> Result<ChainsSchedule, AlgorithmError> {
-    let frac = solve_lp1(instance, chains)?;
+    let frac = solve_lp1_with(instance, chains, &options.lp)?;
     let rounded = round_solution(instance, &frac)?;
     let per_chain = build_chain_pseudo_schedules(instance, chains, &rounded);
     let outcome = flatten_with_random_delays(
@@ -256,6 +261,39 @@ mod tests {
         let result = schedule_chains(&inst).unwrap();
         let mass = mass_of_oblivious(&inst, &result.constant_mass_schedule);
         assert!(mass.min() >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn pivot_budget_exhaustion_is_structured_and_a_larger_budget_is_invisible() {
+        let inst = chain_instance(10, 3, 3, 1);
+        let starved = ChainsOptions {
+            lp: LpBudget {
+                max_pivots: Some(1),
+                ..LpBudget::default()
+            },
+            ..ChainsOptions::default()
+        };
+        let err = schedule_chains_with(&inst, &starved).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AlgorithmError::BudgetExhausted {
+                    wall_clock: false,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        let unbudgeted = schedule_chains(&inst).unwrap();
+        let generous = ChainsOptions {
+            lp: LpBudget {
+                max_pivots: Some(1_000_000),
+                ..LpBudget::default()
+            },
+            ..ChainsOptions::default()
+        };
+        assert_eq!(schedule_chains_with(&inst, &generous).unwrap(), unbudgeted);
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub enum AlgorithmError {
     /// The LP relaxation could not be solved (numerical failure or, for a
     /// malformed instance, infeasibility/unboundedness).
     LpFailure(String),
+    /// A caller-supplied resource budget (pivot budget or wall-clock
+    /// deadline) ran out before the pipeline finished. The input was healthy;
+    /// the solve just cost more than the caller was willing to pay. Callers
+    /// in a serving context typically degrade (cheaper solver, cached or
+    /// partial answer) rather than treat this as a failure.
+    BudgetExhausted {
+        /// Simplex pivots spent before the budget ran out (0 for
+        /// combinatorial pipelines aborted on deadline).
+        pivots: usize,
+        /// `true` when the wall-clock deadline tripped, `false` when the
+        /// pivot budget did.
+        wall_clock: bool,
+    },
     /// An internal invariant was violated; indicates a bug rather than a bad
     /// input.
     Internal(String),
@@ -39,6 +52,14 @@ impl fmt::Display for AlgorithmError {
                 write!(f, "jobs are not independent (SUU-I requires an empty precedence graph)")
             }
             Self::LpFailure(msg) => write!(f, "LP relaxation failed: {msg}"),
+            Self::BudgetExhausted { pivots, wall_clock } => {
+                let what = if *wall_clock {
+                    "wall-clock deadline"
+                } else {
+                    "pivot budget"
+                };
+                write!(f, "solve {what} exhausted after {pivots} pivots")
+            }
             Self::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -48,7 +69,12 @@ impl std::error::Error for AlgorithmError {}
 
 impl From<LpError> for AlgorithmError {
     fn from(e: LpError) -> Self {
-        Self::LpFailure(e.to_string())
+        match e {
+            LpError::BudgetExhausted { pivots, wall_clock } => {
+                Self::BudgetExhausted { pivots, wall_clock }
+            }
+            other => Self::LpFailure(other.to_string()),
+        }
     }
 }
 

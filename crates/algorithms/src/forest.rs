@@ -20,6 +20,8 @@
 //! [`ChainsOptions::seed`], so the parallel schedule is bit-identical to the
 //! sequential one.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use rayon::prelude::*;
 use suu_core::{Assignment, JobId, ObliviousSchedule, SuuInstance};
 use suu_graph::{ChainDecomposition, ForestKind};
@@ -102,12 +104,27 @@ pub fn schedule_forest_with(
     // Solve every block in parallel: block solves share no mutable state
     // (each works on its own restricted sub-instance) and `collect` returns
     // them in block order, so the sequential concatenation below produces
-    // exactly the schedule the old serial loop did.
+    // exactly the schedule the old serial loop did. The pivot budget in
+    // `options.lp` is shared across blocks through `pivots_spent`: each block
+    // starts with whatever the others have left *at the moment it begins*.
+    // Enforcement is cooperative: with P blocks solving concurrently, each
+    // may have snapshotted the full remaining budget, so total spend can
+    // reach P× the budget in the worst case — the budget is a lever, not a
+    // hard cap, under parallel execution. The wall-clock deadline, by
+    // contrast, is absolute and exact in every block.
+    let pivots_spent = AtomicUsize::new(0);
     let block_inputs = decomposition.block_chain_sets();
     let solved_blocks: Vec<Result<SolvedBlock, AlgorithmError>> = block_inputs
         .par_iter()
         .map(|(chain_set, mapping)| {
-            solve_block(instance, chain_set, mapping, &block_options, sigma)
+            solve_block(
+                instance,
+                chain_set,
+                mapping,
+                &block_options,
+                sigma,
+                &pivots_spent,
+            )
         })
         .collect();
 
@@ -160,10 +177,36 @@ fn solve_block(
     mapping: &[usize],
     block_options: &ChainsOptions,
     sigma: usize,
+    pivots_spent: &AtomicUsize,
 ) -> Result<SolvedBlock, AlgorithmError> {
     let jobs: Vec<JobId> = mapping.iter().map(|&j| JobId(j)).collect();
     let (sub_instance, _) = instance.restrict_to_jobs(&jobs);
-    let block = schedule_given_chains(&sub_instance, chain_set, block_options)?;
+    // Hand this block whatever pivot budget the others have left; report
+    // exhaustion with the pipeline-wide total so the caller sees the true
+    // cost, not one block's share.
+    let mut block_options = block_options.clone();
+    let already_spent = pivots_spent.load(Ordering::Relaxed);
+    if let Some(total) = block_options.lp.max_pivots {
+        let remaining = total.saturating_sub(already_spent);
+        if remaining == 0 {
+            return Err(AlgorithmError::BudgetExhausted {
+                pivots: already_spent,
+                wall_clock: false,
+            });
+        }
+        block_options.lp.max_pivots = Some(remaining);
+    }
+    let block = match schedule_given_chains(&sub_instance, chain_set, &block_options) {
+        Ok(block) => block,
+        Err(AlgorithmError::BudgetExhausted { pivots, wall_clock }) => {
+            return Err(AlgorithmError::BudgetExhausted {
+                pivots: pivots + already_spent,
+                wall_clock,
+            })
+        }
+        Err(err) => return Err(err),
+    };
+    pivots_spent.fetch_add(block.lp_pivots, Ordering::Relaxed);
     let remapped = remap_jobs(&block.constant_mass_schedule, mapping);
     Ok(SolvedBlock {
         replicated: remapped.replicate_steps(sigma),
@@ -306,9 +349,11 @@ mod tests {
             };
             let mut combined = ObliviousSchedule::new(inst.num_machines());
             let mut pivots = 0usize;
+            let spent = AtomicUsize::new(0);
             for (chain_set, mapping) in decomposition.block_chain_sets() {
                 let solved =
-                    solve_block(&inst, &chain_set, &mapping, &block_options, sigma).unwrap();
+                    solve_block(&inst, &chain_set, &mapping, &block_options, sigma, &spent)
+                        .unwrap();
                 combined = combined.concat(&solved.replicated);
                 pivots += solved.stats.lp_pivots;
             }
@@ -320,6 +365,45 @@ mod tests {
             assert_eq!(parallel.schedule, serial, "seed {seed}");
             assert_eq!(parallel.lp_pivots, pivots, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn shared_pivot_budget_trips_across_blocks() {
+        use crate::lp_relaxation::LpBudget;
+        let inst = forest_instance(24, 4, 2, "mixed");
+        let unbudgeted = schedule_forest(&inst).unwrap();
+        assert!(unbudgeted.lp_pivots > 1, "needs a real LP workload");
+
+        // One pivot for the whole forest: some block must trip the shared
+        // budget, and the error reports at least that one pivot.
+        let starved = ChainsOptions {
+            lp: LpBudget {
+                max_pivots: Some(1),
+                ..LpBudget::default()
+            },
+            ..ChainsOptions::default()
+        };
+        let err = schedule_forest_with(&inst, &starved).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AlgorithmError::BudgetExhausted {
+                    wall_clock: false,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        // A budget covering the full pipeline changes nothing.
+        let generous = ChainsOptions {
+            lp: LpBudget {
+                max_pivots: Some(unbudgeted.lp_pivots + 1),
+                ..LpBudget::default()
+            },
+            ..ChainsOptions::default()
+        };
+        assert_eq!(schedule_forest_with(&inst, &generous).unwrap(), unbudgeted);
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub use chains::{schedule_chains, ChainsSchedule};
 pub use error::AlgorithmError;
 pub use forest::{schedule_forest, ForestSchedule};
 pub use independent_lp::schedule_independent_lp;
+pub use lp_relaxation::LpBudget;
 pub use msm::{exact_max_sum_mass, msm_alg};
 pub use msm_ext::{msm_e_alg, MsmExtSolution};
 pub use suu_i::SuuIAdaptivePolicy;
-pub use suu_i_obl::{suu_i_oblivious, SuuIOblivious};
+pub use suu_i_obl::{suu_i_oblivious, suu_i_oblivious_with, SuuIOblLimits, SuuIOblivious};

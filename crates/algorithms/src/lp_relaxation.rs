@@ -24,12 +24,47 @@ use std::time::Instant;
 
 use suu_core::{JobId, MachineId, SuuInstance};
 use suu_graph::ChainSet;
-use suu_lp::{solve, ConstraintOp, LpProblem, LpStatus, Sense, SimplexOptions, VarId};
+use suu_lp::{solve, ConstraintOp, Engine, LpProblem, LpStatus, Sense, SimplexOptions, VarId};
 
 use crate::error::AlgorithmError;
 
 /// Target mass per job in the relaxation (the paper uses 1/2).
 pub const LP_MASS_TARGET: f64 = 0.5;
+
+/// Caller-supplied resource bounds on the LP stage of a pipeline: which
+/// simplex engine to run, how many pivots it may spend, and an absolute
+/// wall-clock deadline. The default (`Auto`, unbounded, no deadline) is
+/// exactly the historical behaviour; a budget that is not exhausted never
+/// changes the result (the pivot sequence is deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LpBudget {
+    /// Simplex engine override (`Auto` picks by problem size).
+    pub engine: Engine,
+    /// Pivot budget across both simplex phases; exhausting it aborts the
+    /// pipeline with [`AlgorithmError::BudgetExhausted`].
+    pub max_pivots: Option<usize>,
+    /// Absolute deadline, checked cooperatively inside the pivot loop.
+    pub deadline: Option<Instant>,
+}
+
+impl LpBudget {
+    /// The simplex options this budget translates to.
+    #[must_use]
+    pub fn simplex_options(&self) -> SimplexOptions {
+        SimplexOptions {
+            engine: self.engine,
+            pivot_budget: self.max_pivots,
+            deadline: self.deadline,
+            ..SimplexOptions::default()
+        }
+    }
+
+    /// Whether the deadline (if any) has already passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// Wall-clock microseconds of one LP build + solve (read via `.0`).
 ///
@@ -98,7 +133,22 @@ pub fn solve_lp1(
     instance: &SuuInstance,
     chains: &ChainSet,
 ) -> Result<FractionalSolution, AlgorithmError> {
-    build_and_solve(instance, Some(chains))
+    build_and_solve(instance, Some(chains), &LpBudget::default())
+}
+
+/// [`solve_lp1`] under an explicit [`LpBudget`] (engine override, pivot
+/// budget, deadline).
+///
+/// # Errors
+///
+/// Additionally returns [`AlgorithmError::BudgetExhausted`] when the budget
+/// runs out mid-solve.
+pub fn solve_lp1_with(
+    instance: &SuuInstance,
+    chains: &ChainSet,
+    budget: &LpBudget,
+) -> Result<FractionalSolution, AlgorithmError> {
+    build_and_solve(instance, Some(chains), budget)
 }
 
 /// Builds and solves (LP2) for an independent-jobs instance.
@@ -107,7 +157,20 @@ pub fn solve_lp1(
 ///
 /// Returns [`AlgorithmError::LpFailure`] on solver failure.
 pub fn solve_lp2(instance: &SuuInstance) -> Result<FractionalSolution, AlgorithmError> {
-    build_and_solve(instance, None)
+    build_and_solve(instance, None, &LpBudget::default())
+}
+
+/// [`solve_lp2`] under an explicit [`LpBudget`].
+///
+/// # Errors
+///
+/// Additionally returns [`AlgorithmError::BudgetExhausted`] when the budget
+/// runs out mid-solve.
+pub fn solve_lp2_with(
+    instance: &SuuInstance,
+    budget: &LpBudget,
+) -> Result<FractionalSolution, AlgorithmError> {
+    build_and_solve(instance, None, budget)
 }
 
 /// Builds the (LP1)/(LP2) problem for `instance`, emitting every row straight
@@ -192,13 +255,14 @@ pub fn build_relaxation(
 fn build_and_solve(
     instance: &SuuInstance,
     chains: Option<&ChainSet>,
+    budget: &LpBudget,
 ) -> Result<FractionalSolution, AlgorithmError> {
     let start = Instant::now();
     let n = instance.num_jobs();
     let m = instance.num_machines();
     let (lp, x_var, d_var, t_var) = build_relaxation(instance, chains);
 
-    let sol = solve(&lp, &SimplexOptions::default())?;
+    let sol = solve(&lp, &budget.simplex_options())?;
     if sol.status != LpStatus::Optimal {
         return Err(AlgorithmError::LpFailure(format!(
             "relaxation reported {:?}",

@@ -19,6 +19,16 @@ use crate::msm_ext::msm_e_alg;
 /// The mass threshold each job must reach before it is retired from the loop.
 pub const MASS_TARGET: f64 = 1.0 / 96.0;
 
+/// Cooperative limits for the combinatorial pipeline. `SUU-I-OBL` runs no
+/// LP, so only the wall-clock deadline applies: it is checked between
+/// `MSM-E-ALG` rounds (each round is a cheap matching computation), and
+/// exceeding it aborts with [`AlgorithmError::BudgetExhausted`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuuIOblLimits {
+    /// Absolute deadline for the doubling search.
+    pub deadline: Option<std::time::Instant>,
+}
+
 /// Diagnostics and result of `SUU-I-OBL`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuuIOblivious {
@@ -43,9 +53,27 @@ pub struct SuuIOblivious {
 /// internal error if the doubling search fails to terminate (impossible for
 /// valid instances).
 pub fn suu_i_oblivious(instance: &SuuInstance) -> Result<SuuIOblivious, AlgorithmError> {
+    suu_i_oblivious_with(instance, &SuuIOblLimits::default())
+}
+
+/// [`suu_i_oblivious`] under explicit limits (currently just the deadline).
+///
+/// # Errors
+///
+/// In addition to [`suu_i_oblivious`]'s errors, returns
+/// [`AlgorithmError::BudgetExhausted`] when the deadline passes mid-search.
+pub fn suu_i_oblivious_with(
+    instance: &SuuInstance,
+    limits: &SuuIOblLimits,
+) -> Result<SuuIOblivious, AlgorithmError> {
     if !instance.is_independent() {
         return Err(AlgorithmError::NotIndependent);
     }
+    let expired = || {
+        limits
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    };
     let n = instance.num_jobs();
     let max_rounds_per_phase = (66.0 * (n.max(2) as f64).log2()).ceil() as usize;
     // t never needs to exceed ⌈n / p_min⌉ (the crude serial bound in the
@@ -65,6 +93,12 @@ pub fn suu_i_oblivious(instance: &SuuInstance) -> Result<SuuIOblivious, Algorith
         let mut rounds_this_phase = 0usize;
 
         while !remaining.is_empty() && rounds_this_phase < max_rounds_per_phase {
+            if expired() {
+                return Err(AlgorithmError::BudgetExhausted {
+                    pivots: 0,
+                    wall_clock: true,
+                });
+            }
             let sol = msm_e_alg(instance, &remaining, t);
             total_rounds += 1;
             rounds_this_phase += 1;

@@ -58,6 +58,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentRunner)> {
             vec![
                 service_throughput::run_sweep(c),
                 service_throughput::run_comparison(c),
+                service_throughput::run_detail_comparison(c),
             ]
         }),
     ]

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use suu_service::{
-    run_loadgen, spawn_tcp, ExecutionMode, LoadReport, LoadgenConfig, MetricsSnapshot,
+    run_loadgen, spawn_tcp, Detail, ExecutionMode, LoadReport, LoadgenConfig, MetricsSnapshot,
     PipelineConfig, SchedulerService, ServiceConfig, TcpServerConfig,
 };
 
@@ -33,6 +33,28 @@ fn run_mode(
     mode: ExecutionMode,
     max_in_flight: usize,
     collect_payloads: bool,
+) -> (LoadReport, MetricsSnapshot) {
+    run_mode_with_detail(
+        scenario,
+        total_requests,
+        seed,
+        mode,
+        max_in_flight,
+        collect_payloads,
+        None,
+    )
+}
+
+/// [`run_mode`] with an explicit `detail` response projection on every
+/// request.
+fn run_mode_with_detail(
+    scenario: &str,
+    total_requests: usize,
+    seed: u64,
+    mode: ExecutionMode,
+    max_in_flight: usize,
+    collect_payloads: bool,
+    detail: Option<Detail>,
 ) -> (LoadReport, MetricsSnapshot) {
     let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
     let handle = spawn_tcp(
@@ -52,6 +74,8 @@ fn run_mode(
         target_rps: None,
         max_in_flight,
         collect_payloads,
+        deadline_ms: None,
+        detail,
         seed,
     })
     .expect("load generation succeeds");
@@ -226,6 +250,100 @@ pub fn run_comparison(config: &RunConfig) -> Table {
     table
 }
 
+/// Runs the `detail: no_schedule` vs `detail: full` projection comparison
+/// on the bursty scenario: same pool, same pipelined open-loop client, the
+/// only difference being the response projection. Reports response bytes
+/// and achieved req/s for both, plus the deltas.
+///
+/// # Panics
+///
+/// Panics if a run produces errors or if `no_schedule` fails to shrink the
+/// response stream (that would mean the projection is not applied).
+#[must_use]
+pub fn run_detail_comparison(config: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "S1c: response projection, detail=full vs detail=no_schedule (bursty, pipelined)",
+        &[
+            "detail",
+            "requests",
+            "req/s",
+            "resp bytes",
+            "bytes/resp",
+            "bytes ratio",
+            "req/s ratio",
+        ],
+    );
+    let total_requests = if config.quick { 240 } else { 600 };
+    let seed = config.seed ^ 0xDE7A;
+    // Best of three to damp scheduler noise, like the mode comparison; the
+    // byte counts are deterministic, only the req/s ratio varies.
+    let mut best: Option<(LoadReport, LoadReport, f64)> = None;
+    for _ in 0..3 {
+        let (full, _) = run_mode_with_detail(
+            "bursty",
+            total_requests,
+            seed,
+            ExecutionMode::Pipelined(PipelineConfig::default()),
+            64,
+            false,
+            Some(Detail::Full),
+        );
+        let (trimmed, _) = run_mode_with_detail(
+            "bursty",
+            total_requests,
+            seed,
+            ExecutionMode::Pipelined(PipelineConfig::default()),
+            64,
+            false,
+            Some(Detail::NoSchedule),
+        );
+        for (label, report) in [("full", &full), ("no_schedule", &trimmed)] {
+            assert_eq!(report.errors, 0, "{label} run produced errors");
+            assert_eq!(report.expired, 0, "{label} run expired requests");
+        }
+        assert!(
+            trimmed.response_bytes < full.response_bytes,
+            "no_schedule must shrink the response stream ({} vs {})",
+            trimmed.response_bytes,
+            full.response_bytes
+        );
+        let ratio = if full.achieved_rps > 0.0 {
+            trimmed.achieved_rps / full.achieved_rps
+        } else {
+            f64::INFINITY
+        };
+        if best.as_ref().is_none_or(|(.., seen)| ratio > *seen) {
+            best = Some((full, trimmed, ratio));
+        }
+    }
+    let (full, trimmed, rps_ratio) = best.expect("at least one attempt ran");
+    let bytes_ratio = trimmed.response_bytes as f64 / full.response_bytes.max(1) as f64;
+    for (label, report, bytes_cell, rps_cell) in [
+        ("full", &full, "1.00".to_string(), "1.00".to_string()),
+        ("no_schedule", &trimmed, f2(bytes_ratio), f2(rps_ratio)),
+    ] {
+        table.push_row(vec![
+            label.to_string(),
+            report.sent.to_string(),
+            f2(report.achieved_rps),
+            report.response_bytes.to_string(),
+            f2(report.response_bytes as f64 / report.sent.max(1) as f64),
+            bytes_cell,
+            rps_cell,
+        ]);
+    }
+    table.push_note(format!(
+        "no_schedule carries {:.1}% of full's response bytes at {:.2}x its req/s",
+        bytes_ratio * 100.0,
+        rps_ratio
+    ));
+    table.push_note(
+        "projection is presentation-only: both runs hit the same cache entries \
+         (detail does not fork the cache key)",
+    );
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +380,23 @@ mod tests {
         );
         let speedup: f64 = table.rows[1][7].parse().unwrap();
         assert!(speedup > 0.0);
+    }
+
+    #[test]
+    fn detail_comparison_shrinks_the_response_stream() {
+        let config = RunConfig {
+            quick: true,
+            seed: 0x53,
+        };
+        let table = run_detail_comparison(&config);
+        assert_eq!(table.num_rows(), 2);
+        // Column 3 is total response bytes; row 0 full, row 1 no_schedule.
+        let full_bytes: u64 = table.rows[0][3].parse().unwrap();
+        let trimmed_bytes: u64 = table.rows[1][3].parse().unwrap();
+        assert!(
+            trimmed_bytes * 2 < full_bytes,
+            "dropping the schedule should at least halve the bytes \
+             ({trimmed_bytes} vs {full_bytes})"
+        );
     }
 }

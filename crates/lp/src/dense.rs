@@ -274,6 +274,10 @@ impl Tableau {
             let Some(entering) = self.choose_entering(tol, use_bland) else {
                 return Ok(PhaseStatus::Optimal);
             };
+            // Budget check only once another pivot is actually needed: a
+            // solve finishing in exactly `pivot_budget` pivots is a success,
+            // not an exhaustion.
+            crate::engine::budget_check(self.iterations, options)?;
             let Some(leaving_row) = self.choose_leaving(entering, tol, use_bland) else {
                 return Ok(PhaseStatus::Unbounded);
             };

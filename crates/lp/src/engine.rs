@@ -72,6 +72,17 @@ pub struct SimplexOptions {
     /// basis is refactorised from scratch (bounds both numerical drift and
     /// the length of the eta file).
     pub refactor_interval: usize,
+    /// Caller-supplied pivot budget across both phases. Exceeding it aborts
+    /// the solve with [`LpError::BudgetExhausted`] — unlike
+    /// [`max_iterations`](Self::max_iterations), which is the internal safety
+    /// net and reports [`LpError::IterationLimit`]. A budget never changes a
+    /// *successful* solve: the pivot sequence is deterministic, so any solve
+    /// that finishes within the budget is bit-identical to an unbudgeted one.
+    pub pivot_budget: Option<usize>,
+    /// Caller-supplied wall-clock deadline, checked cooperatively every
+    /// [`DEADLINE_CHECK_INTERVAL`] pivots (and before the first). Tripping it
+    /// aborts with [`LpError::BudgetExhausted`] (`wall_clock: true`).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SimplexOptions {
@@ -82,8 +93,41 @@ impl Default for SimplexOptions {
             stall_threshold: 64,
             engine: Engine::Auto,
             refactor_interval: 64,
+            pivot_budget: None,
+            deadline: None,
         }
     }
+}
+
+/// How many pivots pass between cooperative deadline checks: rare enough
+/// that the `Instant::now` syscall is noise, frequent enough that a budgeted
+/// solve overshoots its deadline by at most a handful of pivots.
+pub const DEADLINE_CHECK_INTERVAL: usize = 32;
+
+/// The cooperative budget check both engines run once the pricing step has
+/// committed to another pivot (i.e. **after** the optimality check, so a
+/// solve that finishes in exactly `pivot_budget` pivots returns Optimal).
+/// `iterations` is the cumulative pivot count (phases 1 + 2).
+pub(crate) fn budget_check(iterations: usize, options: &SimplexOptions) -> Result<(), LpError> {
+    if let Some(budget) = options.pivot_budget {
+        if iterations >= budget {
+            return Err(LpError::BudgetExhausted {
+                pivots: iterations,
+                wall_clock: false,
+            });
+        }
+    }
+    if let Some(deadline) = options.deadline {
+        if iterations.is_multiple_of(DEADLINE_CHECK_INTERVAL)
+            && std::time::Instant::now() >= deadline
+        {
+            return Err(LpError::BudgetExhausted {
+                pivots: iterations,
+                wall_clock: true,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Solves a linear program with the engine selected by
@@ -171,6 +215,145 @@ mod tests {
         assert_eq!(sol.status, LpStatus::Optimal);
         let expected: f64 = (0..120).map(|i| 2.0 * (1.0 + (i % 7) as f64)).sum();
         assert!((sol.objective - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pivot_budget_trips_with_budget_exhausted_on_both_engines() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0, "cover");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "xmin");
+        for engine in [Engine::Dense, Engine::Revised] {
+            let err = solve(
+                &lp,
+                &SimplexOptions {
+                    engine,
+                    pivot_budget: Some(1),
+                    ..SimplexOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    LpError::BudgetExhausted {
+                        pivots: 1,
+                        wall_clock: false
+                    }
+                ),
+                "{engine:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_the_first_pivot() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 3.0, "c");
+        let err = solve(
+            &lp,
+            &SimplexOptions {
+                deadline: Some(std::time::Instant::now()),
+                ..SimplexOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LpError::BudgetExhausted {
+                    pivots: 0,
+                    wall_clock: true
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn exact_budget_solves_succeed() {
+        // A solve that needs exactly `pivot_budget` pivots is a success:
+        // the check fires only when the pricing step wants one more pivot.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0, "cover");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "xmin");
+        for engine in [Engine::Dense, Engine::Revised] {
+            let free = solve(
+                &lp,
+                &SimplexOptions {
+                    engine,
+                    ..SimplexOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(free.iterations > 0);
+            let exact = solve(
+                &lp,
+                &SimplexOptions {
+                    engine,
+                    pivot_budget: Some(free.iterations),
+                    ..SimplexOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(free, exact, "{engine:?}");
+            // A zero-pivot problem succeeds even under a zero budget.
+            let mut trivial = LpProblem::new(Sense::Minimize);
+            let z = trivial.add_variable("z");
+            trivial.set_objective_coefficient(z, 1.0);
+            trivial.add_constraint(vec![(z, 1.0)], ConstraintOp::Le, 5.0, "c");
+            let sol = solve(
+                &trivial,
+                &SimplexOptions {
+                    engine,
+                    pivot_budget: Some(0),
+                    ..SimplexOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(sol.status, LpStatus::Optimal);
+        }
+    }
+
+    #[test]
+    fn sufficient_budget_is_invisible_in_the_result() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 2.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0, "cover");
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 3.0, "xmin");
+        for engine in [Engine::Dense, Engine::Revised] {
+            let free = solve(
+                &lp,
+                &SimplexOptions {
+                    engine,
+                    ..SimplexOptions::default()
+                },
+            )
+            .unwrap();
+            let budgeted = solve(
+                &lp,
+                &SimplexOptions {
+                    engine,
+                    pivot_budget: Some(10_000),
+                    deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(60)),
+                    ..SimplexOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(free, budgeted, "{engine:?}");
+        }
     }
 
     #[test]

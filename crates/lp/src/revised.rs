@@ -46,15 +46,35 @@ pub fn solve_revised(problem: &LpProblem, options: &SimplexOptions) -> Result<Lp
     match try_solve(problem, options) {
         Ok(solution) => Ok(solution),
         Err(Trouble::IterationLimit { limit }) => Err(LpError::IterationLimit { limit }),
+        // A caller budget running out is a *verdict*, not numerical trouble:
+        // falling back to the dense oracle would burn the very work the
+        // budget was meant to bound, so it propagates directly.
+        Err(Trouble::Budget(err)) => Err(err),
         // Singular refactorisation or a failed final check: hand the problem
         // to the dense oracle rather than returning a wrong answer. The
         // pivots burnt before the fallback still happened — account for them
         // so `iterations` (surfaced as `lp_pivots` by the service) reports
-        // the true work, not just the oracle's share.
+        // the true work, not just the oracle's share; the same goes for any
+        // remaining pivot budget, which the oracle inherits *minus* what the
+        // revised attempt already spent.
         Err(Trouble::Numerical { spent }) => {
-            let mut solution = crate::dense::solve_dense(problem, options)?;
-            solution.iterations += spent;
-            Ok(solution)
+            let mut oracle_options = options.clone();
+            if let Some(budget) = oracle_options.pivot_budget {
+                oracle_options.pivot_budget = Some(budget.saturating_sub(spent));
+            }
+            match crate::dense::solve_dense(problem, &oracle_options) {
+                Ok(mut solution) => {
+                    solution.iterations += spent;
+                    Ok(solution)
+                }
+                Err(LpError::BudgetExhausted { pivots, wall_clock }) => {
+                    Err(LpError::BudgetExhausted {
+                        pivots: pivots + spent,
+                        wall_clock,
+                    })
+                }
+                Err(err) => Err(err),
+            }
         }
     }
 }
@@ -64,6 +84,9 @@ enum Trouble {
     IterationLimit {
         limit: usize,
     },
+    /// A caller-supplied pivot budget or deadline ran out (see
+    /// [`crate::SimplexOptions::pivot_budget`]).
+    Budget(LpError),
     /// Numerical breakdown after `spent` pivots (singular refactorisation or
     /// a failed final feasibility check).
     Numerical {
@@ -339,6 +362,10 @@ impl Revised {
             let Some(entering) = self.choose_entering(&y, tol, use_bland) else {
                 return Ok(PhaseStatus::Optimal);
             };
+            // Budget check only once another pivot is actually needed: a
+            // solve finishing in exactly `pivot_budget` pivots is a success,
+            // not an exhaustion.
+            crate::engine::budget_check(self.iterations, options).map_err(Trouble::Budget)?;
 
             // Entering direction d = B⁻¹ a_q.
             self.scatter_column(entering, &mut d);

@@ -52,6 +52,20 @@ pub enum LpError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// A **caller-supplied** resource budget ran out mid-solve: the pivot
+    /// budget ([`SimplexOptions::pivot_budget`](crate::SimplexOptions)) or the
+    /// wall-clock deadline ([`SimplexOptions::deadline`](crate::SimplexOptions)).
+    /// Unlike [`IterationLimit`](Self::IterationLimit) (the internal safety
+    /// net against pathological inputs), this is an expected outcome of
+    /// budgeted serving: the solve was healthy, it just cost more than the
+    /// caller was willing to pay.
+    BudgetExhausted {
+        /// Pivots performed before the budget ran out.
+        pivots: usize,
+        /// `true` when the wall-clock deadline tripped, `false` when the
+        /// pivot budget did.
+        wall_clock: bool,
+    },
     /// The problem has no variables or no constraints in a configuration the
     /// solver does not handle (e.g. zero variables with constraints).
     Malformed(String),
@@ -62,6 +76,14 @@ impl fmt::Display for LpError {
         match self {
             Self::IterationLimit { limit } => {
                 write!(f, "simplex iteration limit of {limit} pivots exceeded")
+            }
+            Self::BudgetExhausted { pivots, wall_clock } => {
+                let what = if *wall_clock {
+                    "wall-clock deadline"
+                } else {
+                    "pivot budget"
+                };
+                write!(f, "solve {what} exhausted after {pivots} pivots")
             }
             Self::Malformed(msg) => write!(f, "malformed LP: {msg}"),
         }

@@ -4,9 +4,11 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7077            # target a running service
-//!     [--scenario mixed|grid|project|bursty]
+//!     [--scenario mixed|grid|project|bursty|deadline]
 //!     [--requests N] [--connections N] [--rps R] [--seed S]
 //!     [--max-in-flight N]                   # >1 = open-loop pipelining
+//!     [--deadline-ms N]                     # per-request time budget
+//!     [--detail full|no_schedule|estimate_only]
 //!     [--assert-floor R]                    # exit 1 below R req/s
 //! loadgen --in-process ...                  # spawn a service internally
 //!     [--serial]                            # in-process service runs the
@@ -15,8 +17,13 @@
 //!
 //! `--max-in-flight 1` (the default) is the classic closed loop; larger
 //! values keep that many requests outstanding per connection and match the
-//! (possibly out-of-order) responses by id. `--assert-floor` makes the run a
-//! CI gate: it fails when achieved throughput drops below the floor.
+//! (possibly out-of-order) responses by id. `--deadline-ms` attaches a
+//! `time_budget_ms` option to every request (expired requests are reported
+//! in the `expired` count), `--detail` a response projection. The
+//! `deadline` scenario replays bursts of LP-heavy tenants — combine it with
+//! a tight `--deadline-ms` to exercise deadline-aware admission.
+//! `--assert-floor` makes the run a CI gate: it fails when achieved
+//! throughput drops below the floor.
 //!
 //! Prints the latency/throughput report; with `--in-process` also prints the
 //! service-side metrics snapshot.
@@ -24,7 +31,7 @@
 use std::sync::Arc;
 
 use suu_service::{
-    run_loadgen, spawn_tcp, ExecutionMode, LoadgenConfig, PipelineConfig, SchedulerService,
+    run_loadgen, spawn_tcp, Detail, ExecutionMode, LoadgenConfig, PipelineConfig, SchedulerService,
     ServiceConfig, TcpServerConfig,
 };
 
@@ -57,6 +64,20 @@ fn main() {
     }
     if let Some(max_in_flight) = flag_value("--max-in-flight").and_then(|v| v.parse().ok()) {
         config.max_in_flight = max_in_flight;
+    }
+    if let Some(deadline_ms) = flag_value("--deadline-ms").and_then(|v| v.parse().ok()) {
+        config.deadline_ms = Some(deadline_ms);
+    }
+    if let Some(detail) = flag_value("--detail") {
+        config.detail = Some(match detail.as_str() {
+            "full" => Detail::Full,
+            "no_schedule" => Detail::NoSchedule,
+            "estimate_only" => Detail::EstimateOnly,
+            other => {
+                eprintln!("loadgen: unknown --detail `{other}`");
+                std::process::exit(2);
+            }
+        });
     }
     let assert_floor: Option<f64> = flag_value("--assert-floor").and_then(|v| v.parse().ok());
 

@@ -6,10 +6,15 @@
 //! repetitions), so the service fronts every solve with this cache.
 //!
 //! Keys are the [`canonical_digest`](SuuInstance::canonical_digest) of the
-//! instance plus the solver name; the full instance is stored alongside each
-//! entry and compared on lookup, so a digest collision can never serve a
-//! schedule for the wrong instance. Shards are independent mutexes selected
-//! by digest, so concurrent workers rarely contend on the same lock.
+//! instance plus the solver name plus the request's engine **variant** (see
+//! [`SolveOptions::engine_variant`](crate::protocol::SolveOptions::engine_variant):
+//! a forced LP engine can reach a different optimal vertex, so it solves and
+//! caches separately, while budgets, cache policy and response projection
+//! deliberately share the variant — they never change the computed
+//! artifact). The full instance is stored alongside each entry and compared
+//! on lookup, so a digest collision can never serve a schedule for the wrong
+//! instance. Shards are independent mutexes selected by digest, so
+//! concurrent workers rarely contend on the same lock.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +60,9 @@ pub struct CachedSolve {
     /// Lazily rendered JSON body (see [`rendered_body`](Self::rendered_body)),
     /// shared across every clone served from the cache.
     rendered: Arc<OnceLock<String>>,
+    /// Lazily rendered `detail: no_schedule` projection of the body (see
+    /// [`rendered_body_no_schedule`](Self::rendered_body_no_schedule)).
+    rendered_no_schedule: Arc<OnceLock<String>>,
 }
 
 impl CachedSolve {
@@ -75,7 +83,24 @@ impl CachedSolve {
             lp_pivots,
             lp_micros,
             rendered: Arc::new(OnceLock::new()),
+            rendered_no_schedule: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Renders the solve-dependent response fragment with `schedule` forced
+    /// to the given value; shared by both rendered-body projections.
+    fn render_fields(&self, schedule: serde::Value) -> String {
+        let fields = serde::Value::Object(vec![
+            (String::from("solver"), self.solver.to_value()),
+            (String::from("schedule"), schedule),
+            (String::from("schedule_len"), self.schedule.len().to_value()),
+            (String::from("lp_value"), self.lp_value.to_value()),
+            (String::from("lp_pivots"), self.lp_pivots.to_value()),
+            (String::from("lp_micros"), self.lp_micros.to_value()),
+        ]);
+        let rendered = fields.render();
+        // Strip the outer braces: the caller owns the envelope.
+        rendered[1..rendered.len() - 1].to_string()
     }
 
     /// The solve-dependent fragment of a success response, rendered once and
@@ -90,25 +115,27 @@ impl CachedSolve {
     /// spliced response parses identically to a fully serialised one.
     #[must_use]
     pub fn rendered_body(&self) -> &str {
-        self.rendered.get_or_init(|| {
-            let fields = serde::Value::Object(vec![
-                (String::from("solver"), self.solver.to_value()),
-                (String::from("schedule"), self.schedule.to_value()),
-                (String::from("schedule_len"), self.schedule.len().to_value()),
-                (String::from("lp_value"), self.lp_value.to_value()),
-                (String::from("lp_pivots"), self.lp_pivots.to_value()),
-                (String::from("lp_micros"), self.lp_micros.to_value()),
-            ]);
-            let rendered = fields.render();
-            // Strip the outer braces: the caller owns the envelope.
-            rendered[1..rendered.len() - 1].to_string()
-        })
+        self.rendered
+            .get_or_init(|| self.render_fields(self.schedule.to_value()))
+    }
+
+    /// The `detail: no_schedule` projection of
+    /// [`rendered_body`](Self::rendered_body): identical except `schedule`
+    /// is `null`. Rendered once per solve like the full body, so trimmed
+    /// responses keep the splice-don't-serialise fast path.
+    #[must_use]
+    pub fn rendered_body_no_schedule(&self) -> &str {
+        self.rendered_no_schedule
+            .get_or_init(|| self.render_fields(serde::Value::Null))
     }
 }
 
 struct Entry {
     instance: SuuInstance,
     solver: String,
+    /// Engine variant of the request that computed this entry (see
+    /// [`SolveOptions::engine_variant`](crate::protocol::SolveOptions::engine_variant)).
+    variant: u8,
     value: CachedSolve,
     last_used: u64,
 }
@@ -148,10 +175,10 @@ impl ScheduleCache {
         &self.shards[(digest % self.shards.len() as u64) as usize]
     }
 
-    /// Looks up the cached solve of `instance` by `solver`, refreshing its
-    /// recency on a hit.
+    /// Looks up the cached solve of `instance` by `solver` under the given
+    /// engine `variant`, refreshing its recency on a hit.
     #[must_use]
-    pub fn get(&self, instance: &SuuInstance, solver: &str) -> Option<CachedSolve> {
+    pub fn get(&self, instance: &SuuInstance, solver: &str, variant: u8) -> Option<CachedSolve> {
         let digest = instance.canonical_digest();
         let mut shard = self.shard_for(digest).lock().expect("cache shard poisoned");
         shard.tick += 1;
@@ -159,7 +186,7 @@ impl ScheduleCache {
         let found = shard.entries.get_mut(&digest).and_then(|bucket| {
             bucket
                 .iter_mut()
-                .find(|e| e.solver == solver && e.instance == *instance)
+                .find(|e| e.solver == solver && e.variant == variant && e.instance == *instance)
         });
         match found {
             Some(entry) => {
@@ -174,9 +201,10 @@ impl ScheduleCache {
         }
     }
 
-    /// Inserts (or refreshes) the solve result for `instance`, evicting the
-    /// least recently used entry of the shard if it is full.
-    pub fn insert(&self, instance: &SuuInstance, value: CachedSolve) {
+    /// Inserts (or refreshes) the solve result for `instance` under the
+    /// given engine `variant`, evicting the least recently used entry of the
+    /// shard if it is full.
+    pub fn insert(&self, instance: &SuuInstance, variant: u8, value: CachedSolve) {
         let digest = instance.canonical_digest();
         let mut shard = self.shard_for(digest).lock().expect("cache shard poisoned");
         shard.tick += 1;
@@ -185,7 +213,7 @@ impl ScheduleCache {
         let bucket = shard.entries.entry(digest).or_default();
         if let Some(entry) = bucket
             .iter_mut()
-            .find(|e| e.solver == value.solver && e.instance == *instance)
+            .find(|e| e.solver == value.solver && e.variant == variant && e.instance == *instance)
         {
             entry.value = value;
             entry.last_used = tick;
@@ -194,6 +222,7 @@ impl ScheduleCache {
         bucket.push(Entry {
             instance: instance.clone(),
             solver: value.solver.clone(),
+            variant,
             value,
             last_used: tick,
         });
@@ -281,9 +310,9 @@ mod tests {
     fn get_miss_then_hit() {
         let cache = ScheduleCache::new(&CacheConfig::default());
         let inst = instance(1);
-        assert!(cache.get(&inst, "suu-c").is_none());
-        cache.insert(&inst, solve_for(&inst, "suu-c"));
-        let hit = cache.get(&inst, "suu-c").unwrap();
+        assert!(cache.get(&inst, "suu-c", 0).is_none());
+        cache.insert(&inst, 0, solve_for(&inst, "suu-c"));
+        let hit = cache.get(&inst, "suu-c", 0).unwrap();
         assert_eq!(hit.solver, "suu-c");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -294,9 +323,9 @@ mod tests {
     fn solver_name_is_part_of_the_key() {
         let cache = ScheduleCache::new(&CacheConfig::default());
         let inst = instance(2);
-        cache.insert(&inst, solve_for(&inst, "suu-c"));
-        assert!(cache.get(&inst, "suu-i-obl").is_none());
-        assert!(cache.get(&inst, "suu-c").is_some());
+        cache.insert(&inst, 0, solve_for(&inst, "suu-c"));
+        assert!(cache.get(&inst, "suu-i-obl", 0).is_none());
+        assert!(cache.get(&inst, "suu-c", 0).is_some());
     }
 
     #[test]
@@ -304,16 +333,16 @@ mod tests {
         let cache = ScheduleCache::new(&CacheConfig::default());
         let a = instance(3);
         let b = instance(4);
-        cache.insert(&a, solve_for(&a, "s"));
-        assert!(cache.get(&b, "s").is_none());
+        cache.insert(&a, 0, solve_for(&a, "s"));
+        assert!(cache.get(&b, "s", 0).is_none());
     }
 
     #[test]
     fn insert_refreshes_existing_entry_without_growing() {
         let cache = ScheduleCache::new(&CacheConfig::default());
         let inst = instance(5);
-        cache.insert(&inst, solve_for(&inst, "s"));
-        cache.insert(&inst, solve_for(&inst, "s"));
+        cache.insert(&inst, 0, solve_for(&inst, "s"));
+        cache.insert(&inst, 0, solve_for(&inst, "s"));
         assert_eq!(cache.len(), 1);
     }
 
@@ -327,15 +356,15 @@ mod tests {
         let a = instance(10);
         let b = instance(11);
         let c = instance(12);
-        cache.insert(&a, solve_for(&a, "s"));
-        cache.insert(&b, solve_for(&b, "s"));
+        cache.insert(&a, 0, solve_for(&a, "s"));
+        cache.insert(&b, 0, solve_for(&b, "s"));
         // Touch `a` so `b` becomes the LRU entry.
-        assert!(cache.get(&a, "s").is_some());
-        cache.insert(&c, solve_for(&c, "s"));
+        assert!(cache.get(&a, "s", 0).is_some());
+        cache.insert(&c, 0, solve_for(&c, "s"));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&a, "s").is_some());
-        assert!(cache.get(&b, "s").is_none());
-        assert!(cache.get(&c, "s").is_some());
+        assert!(cache.get(&a, "s", 0).is_some());
+        assert!(cache.get(&b, "s", 0).is_none());
+        assert!(cache.get(&c, "s", 0).is_some());
     }
 
     #[test]
@@ -353,8 +382,8 @@ mod tests {
                 std::thread::spawn(move || {
                     for round in 0..50 {
                         let inst = &instances[(t + round) % instances.len()];
-                        if cache.get(inst, "s").is_none() {
-                            cache.insert(inst, solve_for(inst, "s"));
+                        if cache.get(inst, "s", 0).is_none() {
+                            cache.insert(inst, 0, solve_for(inst, "s"));
                         }
                     }
                 })

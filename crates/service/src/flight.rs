@@ -27,14 +27,19 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::cache::CachedSolve;
+use crate::protocol::SolveFailure;
 
-/// Key of one in-flight solve: instance digest plus solver name (the same
-/// pair that keys the schedule cache).
-pub type FlightKey = (u64, String);
+/// Key of one in-flight solve: instance digest, engine variant (see
+/// [`SolveOptions::engine_variant`](crate::protocol::SolveOptions::engine_variant))
+/// and solver name — the same triple that keys the schedule cache. Options
+/// that cannot change the computed artifact (budgets, cache policy, the
+/// `detail` projection) deliberately do **not** appear here, so requests
+/// differing only in projection still coalesce onto one solve.
+pub type FlightKey = (u64, u8, String);
 
 /// One in-flight solve: the leader publishes here, followers wait here.
 struct Slot {
-    result: Mutex<Option<Result<CachedSolve, String>>>,
+    result: Mutex<Option<Result<CachedSolve, SolveFailure>>>,
     published: Condvar,
 }
 
@@ -46,7 +51,7 @@ impl Slot {
         }
     }
 
-    fn publish(&self, result: Result<CachedSolve, String>) {
+    fn publish(&self, result: Result<CachedSolve, SolveFailure>) {
         let mut slot = self.result.lock().expect("flight slot poisoned");
         // First writer wins: the drop-guard fallback must not overwrite a
         // result the leader already published.
@@ -57,7 +62,7 @@ impl Slot {
         self.published.notify_all();
     }
 
-    fn wait(&self) -> Result<CachedSolve, String> {
+    fn wait(&self) -> Result<CachedSolve, SolveFailure> {
         let mut slot = self.result.lock().expect("flight slot poisoned");
         while slot.is_none() {
             slot = self
@@ -66,6 +71,31 @@ impl Slot {
                 .expect("flight slot poisoned while waiting");
         }
         slot.clone().expect("loop exits only once published")
+    }
+
+    /// Like [`wait`](Self::wait), but gives up at `deadline`: a follower's
+    /// own time budget keeps binding while it is parked behind another
+    /// request's solve.
+    fn wait_until(&self, deadline: std::time::Instant) -> Result<CachedSolve, SolveFailure> {
+        let mut slot = self.result.lock().expect("flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(SolveFailure {
+                    kind: crate::protocol::error_kind::BUDGET_EXHAUSTED,
+                    message: "time budget exhausted while waiting on a coalesced solve".to_string(),
+                    budget: Some(crate::protocol::BudgetReport::new(0, true)),
+                });
+            }
+            let (guard, _timed_out) = self
+                .published
+                .wait_timeout(slot, deadline - now)
+                .expect("flight slot poisoned while waiting");
+            slot = guard;
+        }
     }
 }
 
@@ -87,9 +117,28 @@ impl FollowHandle {
     ///
     /// # Errors
     ///
-    /// Returns the leader's error message if the coalesced solve failed.
-    pub fn wait(&self) -> Result<CachedSolve, String> {
+    /// Returns the leader's structured failure if the coalesced solve
+    /// failed (kind, message and budget post-mortem).
+    pub fn wait(&self) -> Result<CachedSolve, SolveFailure> {
         self.0.wait()
+    }
+
+    /// Blocks until the leader publishes or `deadline` passes, whichever
+    /// comes first.
+    ///
+    /// # Errors
+    ///
+    /// The leader's structured failure, or a `budget_exhausted` failure
+    /// (`exhausted: "time"`) when the deadline passed while waiting — the
+    /// leader's solve keeps running and will still land in the cache.
+    pub fn wait_until(
+        &self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<CachedSolve, SolveFailure> {
+        match deadline {
+            None => self.0.wait(),
+            Some(deadline) => self.0.wait_until(deadline),
+        }
     }
 }
 
@@ -168,11 +217,11 @@ impl FlightGuard<'_> {
     /// The caller must have inserted a successful result into the schedule
     /// cache **before** calling this — see the module docs for why that
     /// ordering is load-bearing.
-    pub fn publish(mut self, result: Result<CachedSolve, String>) {
+    pub fn publish(mut self, result: Result<CachedSolve, SolveFailure>) {
         self.resolve(result);
     }
 
-    fn resolve(&mut self, result: Result<CachedSolve, String>) {
+    fn resolve(&mut self, result: Result<CachedSolve, SolveFailure>) {
         if let Some(key) = self.key.take() {
             self.table.clear(&key);
             self.slot.publish(result);
@@ -184,7 +233,10 @@ impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
         // Normal publishes take `self.key`, making this a no-op; reaching
         // here with the key still present means the leader unwound.
-        self.resolve(Err("coalesced solve aborted: leader panicked".into()));
+        self.resolve(Err(SolveFailure::new(
+            crate::protocol::error_kind::SOLVER_ERROR,
+            "coalesced solve aborted: leader panicked",
+        )));
     }
 }
 
@@ -202,7 +254,7 @@ mod tests {
     #[test]
     fn probe_hit_short_circuits() {
         let flight = SingleFlight::new();
-        let out = flight.begin((1, "s".into()), || Some(solve("cached")));
+        let out = flight.begin((1, 0, "s".into()), || Some(solve("cached")));
         match out {
             Ok(hit) => assert_eq!(hit.solver, "cached"),
             Err(_) => panic!("probe hit must not create a slot"),
@@ -213,7 +265,7 @@ mod tests {
     #[test]
     fn leader_then_follower_then_cleared() {
         let flight = SingleFlight::new();
-        let key: FlightKey = (7, "s".into());
+        let key: FlightKey = (7, 0, "s".into());
         let guard = match flight.begin(key.clone(), || None) {
             Err(Flight::Lead(guard)) => guard,
             _ => panic!("first caller must lead"),
@@ -248,7 +300,7 @@ mod tests {
                 std::thread::spawn(move || {
                     barrier.wait();
                     let probe = || cache.lock().unwrap().clone();
-                    match flight.begin((42, "s".into()), probe) {
+                    match flight.begin((42, 0, "s".into()), probe) {
                         Ok(hit) => hit.solver,
                         Err(Flight::Lead(guard)) => {
                             leaders.fetch_add(1, Ordering::SeqCst);
@@ -272,7 +324,7 @@ mod tests {
     #[test]
     fn leader_errors_propagate_but_are_not_sticky() {
         let flight = SingleFlight::new();
-        let key: FlightKey = (9, "s".into());
+        let key: FlightKey = (9, 0, "s".into());
         let guard = match flight.begin(key.clone(), || None) {
             Err(Flight::Lead(guard)) => guard,
             _ => panic!("must lead"),
@@ -281,16 +333,61 @@ mod tests {
             Err(Flight::Follow(slot)) => slot,
             _ => panic!("must follow"),
         };
-        guard.publish(Err("infeasible".into()));
-        assert_eq!(follower.wait().unwrap_err(), "infeasible");
+        guard.publish(Err(SolveFailure::new(
+            crate::protocol::error_kind::SOLVER_ERROR,
+            "infeasible",
+        )));
+        assert_eq!(follower.wait().unwrap_err().message, "infeasible");
         // Errors are not cached: the next request leads a fresh attempt.
         assert!(matches!(flight.begin(key, || None), Err(Flight::Lead(_))));
     }
 
     #[test]
+    fn follower_deadline_binds_while_waiting() {
+        let flight = SingleFlight::new();
+        let key: FlightKey = (13, 0, "s".into());
+        let guard = match flight.begin(key.clone(), || None) {
+            Err(Flight::Lead(guard)) => guard,
+            _ => panic!("must lead"),
+        };
+        let follower = match flight.begin(key, || None) {
+            Err(Flight::Follow(slot)) => slot,
+            _ => panic!("must follow"),
+        };
+        // The leader is still solving: a follower whose deadline passes gives
+        // up with a structured time-budget failure.
+        let err = follower
+            .wait_until(Some(std::time::Instant::now()))
+            .unwrap_err();
+        assert_eq!(err.kind, crate::protocol::error_kind::BUDGET_EXHAUSTED);
+        assert_eq!(err.budget.unwrap().exhausted, "time");
+        // The flight itself is unaffected: publishing still serves patient
+        // followers.
+        guard.publish(Ok(solve("late")));
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn follower_wait_until_returns_published_results() {
+        let flight = SingleFlight::new();
+        let key: FlightKey = (14, 0, "s".into());
+        let guard = match flight.begin(key.clone(), || None) {
+            Err(Flight::Lead(guard)) => guard,
+            _ => panic!("must lead"),
+        };
+        let follower = match flight.begin(key, || None) {
+            Err(Flight::Follow(slot)) => slot,
+            _ => panic!("must follow"),
+        };
+        guard.publish(Ok(solve("fast")));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        assert_eq!(follower.wait_until(Some(deadline)).unwrap().solver, "fast");
+    }
+
+    #[test]
     fn dropped_leader_releases_followers_with_an_error() {
         let flight = SingleFlight::new();
-        let key: FlightKey = (11, "s".into());
+        let key: FlightKey = (11, 0, "s".into());
         let guard = match flight.begin(key.clone(), || None) {
             Err(Flight::Lead(guard)) => guard,
             _ => panic!("must lead"),
@@ -301,7 +398,7 @@ mod tests {
         };
         drop(guard); // simulates a panicking leader unwinding
         let err = follower.wait().unwrap_err();
-        assert!(err.contains("leader panicked"), "err: {err}");
+        assert!(err.message.contains("leader panicked"), "err: {:?}", err);
         assert_eq!(flight.in_flight(), 0);
     }
 }

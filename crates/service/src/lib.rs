@@ -49,7 +49,10 @@ pub use flight::SingleFlight;
 pub use loadgen::{build_request_pool, run_loadgen, LoadReport, LoadgenConfig};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use pipeline::{PipelineConfig, PoolHandle, ResponseSink, SolverPool};
-pub use protocol::{error_kind, Request, Response};
+pub use protocol::{
+    error_kind, scan_deadline, scan_request_id, BudgetReport, CachePolicy, Detail, EngineChoice,
+    Request, Response, SolveFailure, SolveOptions,
+};
 pub use server::{spawn_tcp, ExecutionMode, ServiceHandle, TcpServerConfig};
 pub use service::{SchedulerService, ServiceConfig};
 pub use solver::{SolveOutput, Solver, SolverRegistry};

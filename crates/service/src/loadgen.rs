@@ -27,11 +27,11 @@ use std::time::{Duration, Instant};
 use serde::Serialize;
 use suu_sim::{OnlineStats, SampleSet};
 use suu_workloads::{
-    bursty_multi_tenant_stream, grid_computing_instance, project_management_instance, BurstConfig,
-    GridConfig, ProjectConfig,
+    bursty_multi_tenant_stream, deadline_burst_stream, grid_computing_instance,
+    project_management_instance, BurstConfig, GridConfig, ProjectConfig,
 };
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{error_kind, Detail, Request, Response, SolveOptions};
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +52,13 @@ pub struct LoadgenConfig {
     /// Capture a canonical fingerprint of every response payload (id, ok,
     /// solver, schedule) so two runs can be compared modulo ordering.
     pub collect_payloads: bool,
+    /// Attach `options.time_budget_ms` to every request: a per-request
+    /// deadline relative to service acceptance. Expired requests come back
+    /// as `deadline_exceeded` / `budget_exhausted` and are counted in
+    /// [`LoadReport::expired`].
+    pub deadline_ms: Option<u64>,
+    /// Attach `options.detail` to every request (response projection).
+    pub detail: Option<Detail>,
     /// Seed for workload sampling.
     pub seed: u64,
 }
@@ -66,8 +73,22 @@ impl Default for LoadgenConfig {
             target_rps: None,
             max_in_flight: 1,
             collect_payloads: false,
+            deadline_ms: None,
+            detail: None,
             seed: 0x10AD,
         }
+    }
+}
+
+impl LoadgenConfig {
+    /// The per-request options this run attaches, `None` when the run is
+    /// plain v1 traffic.
+    fn request_options(&self) -> Option<SolveOptions> {
+        (self.deadline_ms.is_some() || self.detail.is_some()).then(|| SolveOptions {
+            time_budget_ms: self.deadline_ms,
+            detail: self.detail,
+            ..SolveOptions::default()
+        })
     }
 }
 
@@ -89,8 +110,18 @@ pub struct LoadReport {
     pub errors: u64,
     /// Structured `busy` rejections from admission control.
     pub busy: u64,
+    /// Requests whose deadline or budget ran out (`deadline_exceeded` or
+    /// `budget_exhausted` responses); like `busy`, counted separately from
+    /// `errors`.
+    pub expired: u64,
+    /// Successful responses answered by the degraded serial-baseline
+    /// fallback (`degraded: true`); these are also counted in `ok`.
+    pub degraded: u64,
     /// Responses served from the schedule cache (including coalesced waits).
     pub cache_hits: u64,
+    /// Total response-line bytes received (NDJSON lines without the
+    /// terminator) — the payload-size lever the `detail` projection pulls.
+    pub response_bytes: u64,
     /// Wall-clock duration of the run in seconds.
     pub wall_secs: f64,
     /// Achieved aggregate request rate.
@@ -116,7 +147,8 @@ impl LoadReport {
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "scenario={} connections={} max_in_flight={} sent={} ok={} errors={} busy={} cache_hits={}\n\
+            "scenario={} connections={} max_in_flight={} sent={} ok={} errors={} busy={} \
+             expired={} degraded={} cache_hits={} response_bytes={}\n\
              wall={:.2}s achieved={:.1} req/s (target {})\n\
              latency: mean={:.0}us p50={:.0}us p99={:.0}us max={:.0}us",
             self.scenario,
@@ -126,7 +158,10 @@ impl LoadReport {
             self.ok,
             self.errors,
             self.busy,
+            self.expired,
+            self.degraded,
             self.cache_hits,
+            self.response_bytes,
             self.wall_secs,
             self.achieved_rps,
             self.target_rps
@@ -175,6 +210,23 @@ pub fn build_request_pool(
                 })
             })
             .collect::<Vec<_>>(),
+        "deadline" => {
+            // The deadline-burst scenario: bursts of LP-backed tenants sized
+            // so a fresh solve takes real time — replayed with a tight
+            // `--deadline-ms`, the tail of each burst expires in the queue
+            // and exercises the dequeue-time drop path.
+            let config = BurstConfig {
+                num_tenants: (total_requests / 25).clamp(4, 16),
+                jobs: (24, 40),
+                machines: (4, 6),
+                seed,
+                ..BurstConfig::default()
+            };
+            let (tenants, stream) = deadline_burst_stream(&config);
+            return Ok((0..total_requests)
+                .map(|k| Request::from_instance(k as u64 + 1, &tenants[stream[k % stream.len()]]))
+                .collect());
+        }
         "bursty" | "mixed" => {
             let mut config = BurstConfig {
                 seed,
@@ -206,7 +258,8 @@ pub fn build_request_pool(
         }
         other => {
             return Err(format!(
-                "unknown scenario `{other}`; expected one of: mixed, grid, project, bursty"
+                "unknown scenario `{other}`; expected one of: mixed, grid, project, bursty, \
+                 deadline"
             ))
         }
     };
@@ -221,7 +274,10 @@ struct ThreadOutcome {
     ok: u64,
     errors: u64,
     busy: u64,
+    expired: u64,
+    degraded: u64,
     cache_hits: u64,
+    response_bytes: u64,
     latency: OnlineStats,
     samples: SampleSet,
     payloads: Vec<String>,
@@ -241,8 +297,12 @@ impl ThreadOutcome {
                 if resp.cache_hit {
                     self.cache_hits += 1;
                 }
+                if resp.degraded {
+                    self.degraded += 1;
+                }
             }
             Some(resp) if resp.busy => self.busy += 1,
+            Some(resp) if resp.expired => self.expired += 1,
             _ => self.errors += 1,
         }
     }
@@ -253,6 +313,10 @@ struct ResponseSummary {
     id: u64,
     ok: bool,
     busy: bool,
+    /// `deadline_exceeded` or `budget_exhausted`.
+    expired: bool,
+    /// Successful response answered by the degraded fallback.
+    degraded: bool,
     cache_hit: bool,
 }
 
@@ -270,10 +334,16 @@ fn digest_response_line(
     if fingerprint {
         match serde_json::from_str::<Response>(line) {
             Ok(resp) => {
+                let kind = resp.error_kind.as_deref();
                 let summary = ResponseSummary {
                     id: resp.id,
                     ok: resp.ok,
                     busy: resp.is_busy(),
+                    expired: matches!(
+                        kind,
+                        Some(error_kind::DEADLINE_EXCEEDED | error_kind::BUDGET_EXHAUSTED)
+                    ),
+                    degraded: resp.degraded,
                     cache_hit: resp.cache_hit,
                 };
                 let fp = payload_fingerprint(&resp);
@@ -333,13 +403,21 @@ fn scan_response(line: &str) -> Option<ResponseSummary> {
         return None;
     };
     // Successful responses never carry an error_kind, so the (full-line
-    // fallback) busy probe only ever runs on short error lines.
+    // fallback) busy/expired probes only ever run on short error lines.
     let busy = !ok && windows_contain("\"error_kind\":\"busy\"");
+    let expired = !ok
+        && (windows_contain("\"error_kind\":\"deadline_exceeded\"")
+            || windows_contain("\"error_kind\":\"budget_exhausted\""));
+    // `degraded` is spliced after `service_micros`, i.e. within the tail
+    // window of every response rendering.
+    let degraded = ok && windows_flag("\"degraded\":");
     let cache_hit = ok && windows_flag("\"cache_hit\":");
     Some(ResponseSummary {
         id,
         ok,
         busy,
+        expired,
+        degraded,
         cache_hit,
     })
 }
@@ -431,8 +509,13 @@ impl InFlightGate {
 /// Returns connection errors, a scenario error as `InvalidInput`, or the
 /// first worker I/O error.
 pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
-    let pool = build_request_pool(&config.scenario, config.total_requests, config.seed)
+    let mut pool = build_request_pool(&config.scenario, config.total_requests, config.seed)
         .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
+    if let Some(options) = config.request_options() {
+        for request in &mut pool {
+            request.options = Some(options);
+        }
+    }
     let lines: Vec<(u64, String)> = pool
         .iter()
         .map(|r| (r.id, serde_json::to_string(r).expect("requests serialise")))
@@ -497,13 +580,17 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let mut latency = OnlineStats::new();
     let mut samples = SampleSet::new();
     let mut payloads = Vec::new();
-    let (mut sent, mut ok, mut errors, mut busy, mut cache_hits) = (0, 0, 0, 0, 0);
+    let (mut sent, mut ok, mut errors, mut busy) = (0, 0, 0, 0);
+    let (mut expired, mut degraded, mut cache_hits, mut response_bytes) = (0, 0, 0, 0);
     for outcome in outcomes.lock().expect("outcomes poisoned").iter_mut() {
         sent += outcome.sent;
         ok += outcome.ok;
         errors += outcome.errors;
         busy += outcome.busy;
+        expired += outcome.expired;
+        degraded += outcome.degraded;
         cache_hits += outcome.cache_hits;
+        response_bytes += outcome.response_bytes;
         latency.merge(&outcome.latency);
         samples.merge(&outcome.samples);
         payloads.append(&mut outcome.payloads);
@@ -518,7 +605,10 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         ok,
         errors,
         busy,
+        expired,
+        degraded,
         cache_hits,
+        response_bytes,
         wall_secs,
         achieved_rps: if wall_secs > 0.0 {
             sent as f64 / wall_secs
@@ -566,6 +656,7 @@ fn run_closed_loop(
         reader.read_line(&mut response)?;
         let micros = sent_at.elapsed().as_micros() as f64;
         outcome.sent += 1;
+        outcome.response_bytes += response.trim_end().len() as u64;
         let (summary, fp) = digest_response_line(&response, fingerprint);
         outcome.record(summary.as_ref(), Some(micros));
         if let Some(fp) = fp {
@@ -609,6 +700,7 @@ fn run_open_loop(
                         "service closed the connection mid-run",
                     ));
                 }
+                outcome.response_bytes += response.trim_end().len() as u64;
                 let (summary, fp) = digest_response_line(&response, fingerprint);
                 let micros = summary.as_ref().and_then(|resp| {
                     pending
@@ -690,7 +782,7 @@ mod tests {
 
     #[test]
     fn pools_cover_every_scenario_and_cycle() {
-        for scenario in ["mixed", "grid", "project", "bursty"] {
+        for scenario in ["mixed", "grid", "project", "bursty", "deadline"] {
             let pool = build_request_pool(scenario, 25, 1).unwrap();
             assert_eq!(pool.len(), 25, "{scenario}");
             // Ids are 1-based and unique.
@@ -729,7 +821,10 @@ mod tests {
             ok: 99,
             errors: 1,
             busy: 0,
+            expired: 3,
+            degraded: 2,
             cache_hits: 80,
+            response_bytes: 123_456,
             wall_secs: 0.5,
             achieved_rps: 200.0,
             target_rps: Some(150.0),
@@ -743,9 +838,14 @@ mod tests {
         assert!(text.contains("200.0 req/s"));
         assert!(text.contains("p99=900us"));
         assert!(text.contains("max_in_flight=16"));
+        assert!(text.contains("expired=3"));
+        assert!(text.contains("degraded=2"));
+        assert!(text.contains("response_bytes=123456"));
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("achieved_rps"));
         assert!(json.contains("busy"));
+        assert!(json.contains("expired"));
+        assert!(json.contains("response_bytes"));
     }
 
     #[test]
@@ -789,6 +889,35 @@ mod tests {
         assert_eq!(outcome.busy, 2);
         assert_eq!(outcome.errors, 4);
         assert_eq!(outcome.ok, 0);
+    }
+
+    #[test]
+    fn outcome_classifies_expired_and_degraded() {
+        let mut outcome = ThreadOutcome::default();
+        let expired_line = serde_json::to_string(&Response::deadline_exceeded(1)).unwrap();
+        let exhausted_line = serde_json::to_string(&Response::failure_with(
+            2,
+            error_kind::BUDGET_EXHAUSTED,
+            "out of pivots",
+        ))
+        .unwrap();
+        let mut degraded = Response::failure(3, "x");
+        degraded.ok = true;
+        degraded.error = None;
+        degraded.error_kind = None;
+        degraded.solver = Some("serial-baseline".to_string());
+        degraded.degraded = true;
+        let degraded_line = serde_json::to_string(&degraded).unwrap();
+        for fingerprint in [false, true] {
+            for line in [&expired_line, &exhausted_line, &degraded_line] {
+                let (summary, _) = digest_response_line(line, fingerprint);
+                outcome.record(summary.as_ref(), Some(5.0));
+            }
+        }
+        assert_eq!(outcome.expired, 4, "both budget-class kinds count");
+        assert_eq!(outcome.degraded, 2);
+        assert_eq!(outcome.ok, 2, "degraded responses are still served");
+        assert_eq!(outcome.errors, 0);
     }
 
     #[test]

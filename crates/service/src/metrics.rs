@@ -28,6 +28,11 @@ pub struct ServiceMetrics {
     /// queue was full; these never reach a solver and are **not** counted in
     /// `requests`.
     busy_rejections: AtomicU64,
+    /// Jobs whose effective deadline had already passed when a solver thread
+    /// dequeued them: answered `deadline_exceeded` without any solver work,
+    /// and — like `busy` — **not** counted in `requests`. This counter is
+    /// the proof that expired jobs cost zero solver-thread time.
+    expired_dropped: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -82,6 +87,11 @@ impl ServiceMetrics {
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one job dropped at dequeue because its deadline had passed.
+    pub fn record_expired_dropped(&self) {
+        self.expired_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of schedules actually computed by a solver so far.
     #[must_use]
     pub fn fresh_solves(&self) -> u64 {
@@ -98,6 +108,12 @@ impl ServiceMetrics {
     #[must_use]
     pub fn busy_rejections(&self) -> u64 {
         self.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs dropped at dequeue with an expired deadline so far.
+    #[must_use]
+    pub fn expired_dropped(&self) -> u64 {
+        self.expired_dropped.load(Ordering::Relaxed)
     }
 
     /// A consistent point-in-time snapshot.
@@ -125,6 +141,7 @@ impl ServiceMetrics {
             fresh_solves: self.fresh_solves.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            expired_dropped: self.expired_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -150,6 +167,9 @@ pub struct MetricsSnapshot {
     pub coalesced: u64,
     /// Requests rejected by admission control (`busy`).
     pub busy_rejections: u64,
+    /// Jobs dropped at dequeue because their deadline had already passed
+    /// (no solver-thread time spent).
+    pub expired_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -165,8 +185,8 @@ impl MetricsSnapshot {
             self.lp_micros.count, self.lp_pivots, self.lp_micros.mean, self.lp_micros.max
         ));
         out.push_str(&format!(
-            "fresh_solves={} coalesced={} busy_rejections={}\n",
-            self.fresh_solves, self.coalesced, self.busy_rejections
+            "fresh_solves={} coalesced={} busy_rejections={} expired_dropped={}\n",
+            self.fresh_solves, self.coalesced, self.busy_rejections, self.expired_dropped
         ));
         for (solver, count) in &self.per_solver {
             out.push_str(&format!("  {solver}: {count}\n"));
@@ -217,16 +237,20 @@ mod tests {
         m.record_busy();
         m.record_busy();
         m.record_busy();
+        m.record_expired_dropped();
         assert_eq!(m.fresh_solves(), 2);
         assert_eq!(m.coalesced(), 1);
         assert_eq!(m.busy_rejections(), 3);
+        assert_eq!(m.expired_dropped(), 1);
         let snap = m.snapshot();
         assert_eq!(snap.fresh_solves, 2);
         assert_eq!(snap.coalesced, 1);
         assert_eq!(snap.busy_rejections, 3);
+        assert_eq!(snap.expired_dropped, 1);
         let text = snap.render();
         assert!(text.contains("fresh_solves=2"), "render: {text}");
         assert!(text.contains("busy_rejections=3"), "render: {text}");
+        assert!(text.contains("expired_dropped=1"), "render: {text}");
     }
 
     #[test]

@@ -29,8 +29,9 @@ use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{error_kind, scan_deadline, scan_request_id, Request, Response};
 use crate::service::SchedulerService;
 
 /// Sizing of the pipelined executor.
@@ -202,6 +203,13 @@ pub struct Job {
     payload: JobPayload,
     /// Best-effort request id (for `busy` rejections before parsing).
     id_hint: u64,
+    /// When the reader accepted the job: relative time budgets are measured
+    /// from here, so queueing counts against the budget.
+    accepted_at: Instant,
+    /// Effective deadline, scanned best-effort for raw lines (the full parse
+    /// recomputes it from the same fields). Solver threads drop jobs whose
+    /// deadline has passed at dequeue, without parsing or solving.
+    deadline: Option<Instant>,
     sink: Arc<ResponseSink>,
     _in_flight: InFlight,
 }
@@ -211,23 +219,32 @@ impl Job {
     /// in-flight registration on the sink.
     #[must_use]
     pub fn new(request: Request, sink: &Arc<ResponseSink>) -> Self {
+        let accepted_at = Instant::now();
         let id_hint = request.id;
+        let deadline = request.solve_options().effective_deadline(accepted_at);
         Self {
             payload: JobPayload::Request(request),
             id_hint,
+            accepted_at,
+            deadline,
             sink: Arc::clone(sink),
             _in_flight: sink.begin(),
         }
     }
 
-    /// Wraps a raw line; the id is scanned out (best effort) so admission
-    /// rejections can still echo it.
+    /// Wraps a raw line; the id and deadline fields are scanned out (best
+    /// effort) so admission rejections can echo the id and expired jobs can
+    /// be dropped at dequeue without a parse.
     #[must_use]
     pub fn from_line(line: String, sink: &Arc<ResponseSink>) -> Self {
+        let accepted_at = Instant::now();
         let id_hint = scan_request_id(&line);
+        let deadline = scan_deadline(&line, accepted_at);
         Self {
             payload: JobPayload::Line(line),
             id_hint,
+            accepted_at,
+            deadline,
             sink: Arc::clone(sink),
             _in_flight: sink.begin(),
         }
@@ -240,25 +257,17 @@ impl Job {
         self.id_hint
     }
 
+    /// Whether the job's effective deadline has already passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
     fn respond_line(self, line: &str) {
         self.sink.write_line(line);
         // Dropping `self` releases the in-flight slot, which flushes the
         // sink if this was the connection's last pending response.
     }
-}
-
-/// Best-effort extraction of the request id from a raw line (0 on failure —
-/// the same id the full parser reports for unparseable requests).
-fn scan_request_id(line: &str) -> u64 {
-    let Some(at) = line.find("\"id\":") else {
-        return 0;
-    };
-    let digits: String = line[at + 5..]
-        .trim_start()
-        .chars()
-        .take_while(char::is_ascii_digit)
-        .collect();
-    digits.parse().unwrap_or(0)
 }
 
 struct QueueState {
@@ -403,9 +412,28 @@ fn solver_loop(shared: &PoolShared, service: &SchedulerService) {
                     .expect("solve queue poisoned while waiting");
             }
         };
+        // Deadline check at dequeue: a job that expired while queued is
+        // answered immediately and never reaches a solver — the whole point
+        // of deadline-aware admission. Counted like `busy` (answered but not
+        // executed) under the `expired_dropped` metric.
+        if job.expired() {
+            service.metrics().record_expired_dropped();
+            let failure = Response::failure_with(
+                job.id_hint(),
+                error_kind::DEADLINE_EXCEEDED,
+                "deadline exceeded while queued; no solver time was spent",
+            );
+            let line = serde_json::to_string(&failure).expect("responses always serialise");
+            job.respond_line(&line);
+            continue;
+        }
         let line = match &job.payload {
-            JobPayload::Line(raw) => service.handle_line_coalesced_rendered(raw),
-            JobPayload::Request(request) => service.handle_request_coalesced_rendered(request),
+            JobPayload::Line(raw) => {
+                service.handle_line_coalesced_rendered_at(raw, job.accepted_at)
+            }
+            JobPayload::Request(request) => {
+                service.handle_request_coalesced_rendered_at(request, job.accepted_at)
+            }
         };
         job.respond_line(&line);
     }

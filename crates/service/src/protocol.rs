@@ -31,6 +31,37 @@
 //! acyclicity — through the same constructors the rest of the workspace
 //! uses, so a malformed request can never reach a solver.
 //!
+//! # Protocol v2: solve options
+//!
+//! A request may carry an `options` object putting per-request resource
+//! bounds and response shaping on the wire:
+//!
+//! ```json
+//! {"id": 9, "num_jobs": 2, "num_machines": 1, "probs": [0.5, 0.5],
+//!  "options": {"engine": "revised", "max_pivots": 5000,
+//!              "time_budget_ms": 50, "deadline_ms": 1800000000000,
+//!              "cache": "default", "detail": "no_schedule"}}
+//! ```
+//!
+//! Every field is optional and an absent `options` object means exactly the
+//! v1 behaviour — v1 request lines produce byte-identical responses (pinned
+//! by the golden corpus in `tests/v1_golden.rs`). `engine` overrides the LP
+//! engine, `max_pivots` bounds simplex work, `time_budget_ms` is a relative
+//! budget starting when the service accepts the request (queueing time
+//! counts), `deadline_ms` is an absolute Unix-epoch-milliseconds deadline;
+//! the effective deadline is the earlier of the two. `cache` selects the
+//! cache interaction ([`CachePolicy`]) and `detail` the response projection
+//! ([`Detail`]).
+//!
+//! Budget outcomes are structured: a request that expires before a solver
+//! thread picks it up is answered `error_kind: "deadline_exceeded"` without
+//! burning any solver time, and a solve whose budget runs out mid-pipeline
+//! either degrades to the serial-baseline solver (`"degraded": true`, with a
+//! `budget` object describing what ran out) or — when the solver was forced —
+//! fails with `error_kind: "budget_exhausted"`. The `degraded` and `budget`
+//! response fields are **omitted** (not `null`) on every other response, so
+//! v1 clients never see them.
+//!
 //! # Pipelined execution
 //!
 //! Since the pipelined executor landed, a connection may have many requests
@@ -41,12 +72,379 @@
 //! was full and the request was rejected by admission control without being
 //! executed — the client may retry later.
 
-use serde::{Deserialize, Serialize, Value};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use serde::{DeError, Deserialize, Serialize, Value};
 use suu_core::{ObliviousSchedule, SuuInstance};
 use suu_graph::Dag;
+use suu_lp::Engine;
+
+/// Which LP engine override the client requested.
+///
+/// `Auto` is explicit "pick by problem size" — identical to omitting the
+/// field, and deliberately sharing its cache key: the choice is deterministic
+/// per instance, so the produced schedule is the same. `Dense` and `Revised`
+/// can reach *different* optimal vertices, so each gets its own cache
+/// variant (see [`SolveOptions::engine_variant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Pick by problem size (the default).
+    Auto,
+    /// Force the dense tableau.
+    Dense,
+    /// Force the revised simplex.
+    Revised,
+}
+
+impl EngineChoice {
+    fn as_wire(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Dense => "dense",
+            Self::Revised => "revised",
+        }
+    }
+
+    fn from_wire(s: &str) -> Result<Self, DeError> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "dense" => Ok(Self::Dense),
+            "revised" => Ok(Self::Revised),
+            other => Err(DeError::new(format!(
+                "unknown engine `{other}`; expected auto, dense or revised"
+            ))),
+        }
+    }
+}
+
+/// How a request interacts with the schedule cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Normal operation: consult the cache, insert fresh solves, coalesce
+    /// identical concurrent requests.
+    #[default]
+    Default,
+    /// Ignore the cache entirely: always solve fresh, never insert, never
+    /// coalesce. For measurements and debugging.
+    Bypass,
+    /// Solve fresh and (re)insert the result, replacing any cached entry.
+    Refresh,
+}
+
+impl CachePolicy {
+    fn as_wire(self) -> &'static str {
+        match self {
+            Self::Default => "default",
+            Self::Bypass => "bypass",
+            Self::Refresh => "refresh",
+        }
+    }
+
+    fn from_wire(s: &str) -> Result<Self, DeError> {
+        match s {
+            "default" => Ok(Self::Default),
+            "bypass" => Ok(Self::Bypass),
+            "refresh" => Ok(Self::Refresh),
+            other => Err(DeError::new(format!(
+                "unknown cache policy `{other}`; expected default, bypass or refresh"
+            ))),
+        }
+    }
+}
+
+/// Response projection: how much of the solve result the response carries.
+///
+/// Projection is presentation only — it never changes what is solved or
+/// cached, and therefore **must not** fork the cache or single-flight key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Detail {
+    /// The whole response including the schedule body (v1 behaviour).
+    #[default]
+    Full,
+    /// Drop the (potentially multi-kilobyte) `schedule` tree; keep
+    /// `schedule_len` and the LP diagnostics. For clients that only steer
+    /// on diagnostics, this shrinks the response by an order of magnitude.
+    NoSchedule,
+    /// Keep only the envelope and `estimated_makespan` (plus
+    /// `schedule_len`); drops the schedule and the LP diagnostics.
+    EstimateOnly,
+}
+
+impl Detail {
+    fn as_wire(self) -> &'static str {
+        match self {
+            Self::Full => "full",
+            Self::NoSchedule => "no_schedule",
+            Self::EstimateOnly => "estimate_only",
+        }
+    }
+
+    fn from_wire(s: &str) -> Result<Self, DeError> {
+        match s {
+            "full" => Ok(Self::Full),
+            "no_schedule" => Ok(Self::NoSchedule),
+            "estimate_only" => Ok(Self::EstimateOnly),
+            other => Err(DeError::new(format!(
+                "unknown detail `{other}`; expected full, no_schedule or estimate_only"
+            ))),
+        }
+    }
+}
+
+/// The v2 per-request solve options. Every field is optional; an absent (or
+/// empty) options object reproduces v1 behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveOptions {
+    /// LP engine override.
+    pub engine: Option<EngineChoice>,
+    /// Simplex pivot budget across the whole pipeline (summed over forest
+    /// blocks). Exhaustion yields `budget_exhausted` or a degraded fallback.
+    pub max_pivots: Option<u64>,
+    /// Relative wall-clock budget in milliseconds, measured from the moment
+    /// the service accepts the request — time spent queued counts.
+    pub time_budget_ms: Option<u64>,
+    /// Absolute deadline in Unix-epoch milliseconds. A request whose
+    /// deadline passes while it is still queued is dropped at dequeue with
+    /// `deadline_exceeded` instead of occupying a solver thread.
+    pub deadline_ms: Option<u64>,
+    /// Cache interaction policy.
+    pub cache: Option<CachePolicy>,
+    /// Response projection.
+    pub detail: Option<Detail>,
+}
+
+impl SolveOptions {
+    /// Whether every field is absent (the v1 degenerate case).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// The effective response projection.
+    #[must_use]
+    pub fn detail(&self) -> Detail {
+        self.detail.unwrap_or_default()
+    }
+
+    /// The effective cache policy.
+    #[must_use]
+    pub fn cache_policy(&self) -> CachePolicy {
+        self.cache.unwrap_or_default()
+    }
+
+    /// The LP engine the solve should run.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match self.engine {
+            None | Some(EngineChoice::Auto) => Engine::Auto,
+            Some(EngineChoice::Dense) => Engine::Dense,
+            Some(EngineChoice::Revised) => Engine::Revised,
+        }
+    }
+
+    /// The cache-key variant this request solves under. Only options that can
+    /// change the *computed artifact* fork the key: a forced engine can reach
+    /// a different optimal vertex, so `Dense` and `Revised` get their own
+    /// variants, while budgets (which either leave the deterministic pivot
+    /// sequence untouched or abort without caching anything), cache policy
+    /// and the `detail` projection map to the same variant as a v1 request.
+    #[must_use]
+    pub fn engine_variant(&self) -> u8 {
+        match self.engine {
+            None | Some(EngineChoice::Auto) => 0,
+            Some(EngineChoice::Dense) => 1,
+            Some(EngineChoice::Revised) => 2,
+        }
+    }
+
+    /// The effective absolute deadline: the earlier of `deadline_ms`
+    /// (absolute epoch) and `accepted_at + time_budget_ms`. An absolute
+    /// deadline already in the past maps to `accepted_at`, i.e. immediately
+    /// expired.
+    #[must_use]
+    pub fn effective_deadline(&self, accepted_at: Instant) -> Option<Instant> {
+        let from_budget = self
+            .time_budget_ms
+            .map(|ms| accepted_at + Duration::from_millis(ms));
+        let from_absolute = self
+            .deadline_ms
+            .map(|ms| epoch_ms_to_instant(ms, accepted_at));
+        match (from_budget, from_absolute) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (one, other) => one.or(other),
+        }
+    }
+}
+
+impl Serialize for SolveOptions {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        if let Some(engine) = self.engine {
+            fields.push(("engine".to_string(), engine.as_wire().to_value()));
+        }
+        if let Some(max_pivots) = self.max_pivots {
+            fields.push(("max_pivots".to_string(), max_pivots.to_value()));
+        }
+        if let Some(ms) = self.time_budget_ms {
+            fields.push(("time_budget_ms".to_string(), ms.to_value()));
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), ms.to_value()));
+        }
+        if let Some(cache) = self.cache {
+            fields.push(("cache".to_string(), cache.as_wire().to_value()));
+        }
+        if let Some(detail) = self.detail {
+            fields.push(("detail".to_string(), detail.as_wire().to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for SolveOptions {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(DeError::expected("options object", v));
+        }
+        let opt_u64 = |key: &str| -> Result<Option<u64>, DeError> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(n) => u64::from_value(n).map(Some),
+            }
+        };
+        let opt_str = |key: &str| -> Result<Option<String>, DeError> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(s) => String::from_value(s).map(Some),
+            }
+        };
+        Ok(Self {
+            engine: opt_str("engine")?
+                .map(|s| EngineChoice::from_wire(&s))
+                .transpose()?,
+            max_pivots: opt_u64("max_pivots")?,
+            time_budget_ms: opt_u64("time_budget_ms")?,
+            deadline_ms: opt_u64("deadline_ms")?,
+            cache: opt_str("cache")?
+                .map(|s| CachePolicy::from_wire(&s))
+                .transpose()?,
+            detail: opt_str("detail")?
+                .map(|s| Detail::from_wire(&s))
+                .transpose()?,
+        })
+    }
+}
+
+/// Converts an absolute Unix-epoch-milliseconds deadline to an `Instant`.
+/// Deadlines already in the past map to `accepted_at` (every later
+/// `Instant::now()` compares `>=`, i.e. expired).
+fn epoch_ms_to_instant(deadline_ms: u64, accepted_at: Instant) -> Instant {
+    let now_epoch_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis();
+    let deadline_ms = u128::from(deadline_ms);
+    if deadline_ms <= now_epoch_ms {
+        accepted_at
+    } else {
+        Instant::now() + Duration::from_millis((deadline_ms - now_epoch_ms) as u64)
+    }
+}
+
+/// Best-effort scan of a request line for its `id` field, used to echo ids
+/// on `bad_request` and `busy` responses when the line never parsed.
+/// Returns 0 when no well-formed non-negative integer id can be found — the
+/// same id the full parser historically reported for unparseable requests.
+#[must_use]
+pub fn scan_request_id(line: &str) -> u64 {
+    scan_u64_field(line, "\"id\":").unwrap_or(0)
+}
+
+/// Best-effort scan for the effective deadline of a raw (unparsed) request
+/// line, combining `time_budget_ms` and `deadline_ms` exactly like
+/// [`SolveOptions::effective_deadline`]. Used by the pipelined executor to
+/// drop expired jobs at dequeue without paying for a parse; a line the scan
+/// misses (exotic formatting) is simply checked again after parsing.
+///
+/// The scan is scoped to the *body of the options object* — the only place
+/// the parser reads these fields from — so a stray top-level
+/// `time_budget_ms` (which the tolerant parser ignores), wherever it sits on
+/// the line, cannot falsely expire a valid request. The object body is
+/// located by matching `"options"` as a key (`"options"` followed by `:` and
+/// `{`; a string *value* `"options"` is followed by `,`/`}` and is skipped)
+/// and walking to its matching close brace with string literals skipped.
+#[must_use]
+pub fn scan_deadline(line: &str, accepted_at: Instant) -> Option<Instant> {
+    let scope = scan_options_body(line)?;
+    let probe = SolveOptions {
+        time_budget_ms: scan_u64_field(scope, "\"time_budget_ms\":"),
+        deadline_ms: scan_u64_field(scope, "\"deadline_ms\":"),
+        ..SolveOptions::default()
+    };
+    probe.effective_deadline(accepted_at)
+}
+
+/// Locates the body of the `"options": {...}` object in a raw request line
+/// (best effort): the first `"options"` occurrence that is followed by a
+/// colon and an opening brace, up to the brace that closes it (depth-counted
+/// with string literals skipped). `None` when no such object exists or the
+/// line is truncated mid-object.
+fn scan_options_body(line: &str) -> Option<&str> {
+    for (at, _) in line.match_indices("\"options\"") {
+        let after_key = line[at + "\"options\"".len()..].trim_start();
+        let Some(after_colon) = after_key.strip_prefix(':') else {
+            continue; // a string *value* "options", not a key
+        };
+        let body = after_colon.trim_start();
+        if !body.starts_with('{') {
+            continue;
+        }
+        let bytes = body.as_bytes();
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        for (k, &b) in bytes.iter().enumerate() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match b {
+                b'"' => in_string = true,
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&body[..=k]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None; // unterminated object: let the full parser reject it
+    }
+    None
+}
+
+/// Scans `line` for `key` and parses the non-negative integer that follows
+/// (whitespace tolerated). Returns `None` when absent or malformed.
+fn scan_u64_field(line: &str, key: &str) -> Option<u64> {
+    let at = line.find(key)?;
+    let rest = line[at + key.len()..].trim_start();
+    let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
+    if digits == 0 {
+        return None;
+    }
+    rest[..digits].parse().ok()
+}
 
 /// A scheduling request.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen id echoed back in the response.
     pub id: u64,
@@ -62,6 +460,40 @@ pub struct Request {
     pub solver: Option<String>,
     /// Also estimate the expected makespan with this many simulation trials.
     pub estimate_trials: Option<usize>,
+    /// v2 solve options; `None` (the v1 case) behaves exactly like an empty
+    /// options object.
+    pub options: Option<SolveOptions>,
+}
+
+impl Serialize for Request {
+    // Hand-written so the canonical rendering of an options-free request is
+    // byte-identical to v1: the `options` key is omitted, not null.
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("num_jobs".to_string(), self.num_jobs.to_value()),
+            ("num_machines".to_string(), self.num_machines.to_value()),
+            ("probs".to_string(), self.probs.to_value()),
+            ("edges".to_string(), self.edges.to_value()),
+            ("solver".to_string(), self.solver.to_value()),
+            (
+                "estimate_trials".to_string(),
+                self.estimate_trials.to_value(),
+            ),
+        ];
+        if let Some(options) = &self.options {
+            fields.push(("options".to_string(), options.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Request {
+    /// The request's solve options (an absent object means all defaults).
+    #[must_use]
+    pub fn solve_options(&self) -> SolveOptions {
+        self.options.unwrap_or_default()
+    }
 }
 
 impl Deserialize for Request {
@@ -89,6 +521,10 @@ impl Deserialize for Request {
                 None => None,
                 Some(t) => Option::from_value(t)?,
             },
+            options: match v.get("options") {
+                None | Some(Value::Null) => None,
+                Some(o) => Some(SolveOptions::from_value(o)?),
+            },
         })
     }
 }
@@ -111,6 +547,7 @@ impl Request {
             edges: instance.precedence().edges(),
             solver: None,
             estimate_trials: None,
+            options: None,
         }
     }
 
@@ -145,12 +582,70 @@ pub mod error_kind {
     pub const BUSY: &str = "busy";
     /// A solver accepted the instance but failed while solving it.
     pub const SOLVER_ERROR: &str = "solver_error";
+    /// The request's effective deadline (`time_budget_ms` / `deadline_ms`)
+    /// passed before any solving started — typically while the job sat in
+    /// the solve queue. No solver time was spent; see the service's
+    /// `expired_dropped` metric.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// A per-request resource budget (pivots or wall-clock) ran out
+    /// mid-solve and no degraded fallback was possible (e.g. the solver was
+    /// forced). The `budget` response field says which limit tripped.
+    pub const BUDGET_EXHAUSTED: &str = "budget_exhausted";
+}
+
+/// What a budgeted solve ran out of, carried in [`Response::budget`] on
+/// `budget_exhausted` errors and on degraded fallback responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetReport {
+    /// Which limit tripped: `"pivots"` or `"time"`.
+    pub exhausted: String,
+    /// Simplex pivots spent before the budget ran out.
+    pub spent_pivots: u64,
+}
+
+impl BudgetReport {
+    /// Builds the report from the structured algorithm error.
+    #[must_use]
+    pub fn new(pivots: usize, wall_clock: bool) -> Self {
+        Self {
+            exhausted: if wall_clock { "time" } else { "pivots" }.to_string(),
+            spent_pivots: pivots as u64,
+        }
+    }
+}
+
+/// A structured solve failure flowing between the service internals (the
+/// solver runner, the single-flight layer) before it is rendered into a
+/// [`Response`]: the machine-readable [`error_kind`], the human-readable
+/// message, and the budget post-mortem when a budget tripped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveFailure {
+    /// One of the [`error_kind`] constants.
+    pub kind: &'static str,
+    /// Human-readable message for [`Response::error`].
+    pub message: String,
+    /// Which budget ran out, when `kind` is `budget_exhausted`.
+    pub budget: Option<BudgetReport>,
+}
+
+impl SolveFailure {
+    /// A failure without budget diagnostics.
+    #[must_use]
+    pub fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+            budget: None,
+        }
+    }
 }
 
 /// A scheduling response.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Response {
-    /// Echo of the request id (0 when the request line could not be parsed).
+    /// Echo of the request id. For unparseable lines this is the best-effort
+    /// scan of the line's `"id"` field (so clients can still match the error
+    /// to a request), or 0 when no id could be found.
     pub id: u64,
     /// Whether a schedule was produced.
     pub ok: bool,
@@ -180,6 +675,80 @@ pub struct Response {
     pub estimated_makespan: Option<f64>,
     /// Service-side handling time in microseconds.
     pub service_micros: u64,
+    /// Whether this is a degraded answer: the dispatched solver's budget ran
+    /// out and the serial-baseline solver answered instead (no approximation
+    /// guarantee, but bounded latency). **Omitted from the wire when false**,
+    /// so v1 responses are unchanged.
+    pub degraded: bool,
+    /// Budget post-mortem on `budget_exhausted` errors and degraded
+    /// responses. **Omitted from the wire when absent.**
+    pub budget: Option<BudgetReport>,
+}
+
+impl Serialize for Response {
+    // Hand-written to keep v1 responses byte-identical: field order matches
+    // the historical derive, and the v2 `degraded`/`budget` fields are
+    // appended only when set (never as nulls).
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("ok".to_string(), self.ok.to_value()),
+            ("error".to_string(), self.error.to_value()),
+            ("error_kind".to_string(), self.error_kind.to_value()),
+            ("solver".to_string(), self.solver.to_value()),
+            ("cache_hit".to_string(), self.cache_hit.to_value()),
+            ("schedule".to_string(), self.schedule.to_value()),
+            ("schedule_len".to_string(), self.schedule_len.to_value()),
+            ("lp_value".to_string(), self.lp_value.to_value()),
+            ("lp_pivots".to_string(), self.lp_pivots.to_value()),
+            ("lp_micros".to_string(), self.lp_micros.to_value()),
+            (
+                "estimated_makespan".to_string(),
+                self.estimated_makespan.to_value(),
+            ),
+            ("service_micros".to_string(), self.service_micros.to_value()),
+        ];
+        if self.degraded {
+            fields.push(("degraded".to_string(), self.degraded.to_value()));
+        }
+        if let Some(budget) = &self.budget {
+            fields.push(("budget".to_string(), budget.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let required = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| DeError::new(format!("missing field `{key}` in Response")))
+        };
+        Ok(Self {
+            id: u64::from_value(required("id")?)?,
+            ok: bool::from_value(required("ok")?)?,
+            error: Option::from_value(required("error")?)?,
+            error_kind: Option::from_value(required("error_kind")?)?,
+            solver: Option::from_value(required("solver")?)?,
+            cache_hit: bool::from_value(required("cache_hit")?)?,
+            schedule: Option::from_value(required("schedule")?)?,
+            schedule_len: usize::from_value(required("schedule_len")?)?,
+            lp_value: Option::from_value(required("lp_value")?)?,
+            lp_pivots: Option::from_value(required("lp_pivots")?)?,
+            lp_micros: Option::from_value(required("lp_micros")?)?,
+            estimated_makespan: Option::from_value(required("estimated_makespan")?)?,
+            service_micros: u64::from_value(required("service_micros")?)?,
+            // The v2 fields are omitted (not null) on v1-shaped responses.
+            degraded: match v.get("degraded") {
+                None | Some(Value::Null) => false,
+                Some(b) => bool::from_value(b)?,
+            },
+            budget: match v.get("budget") {
+                None | Some(Value::Null) => None,
+                Some(b) => Some(BudgetReport::from_value(b)?),
+            },
+        })
+    }
 }
 
 impl Response {
@@ -200,6 +769,8 @@ impl Response {
             lp_micros: None,
             estimated_makespan: None,
             service_micros: 0,
+            degraded: false,
+            budget: None,
         }
     }
 
@@ -208,6 +779,46 @@ impl Response {
     #[must_use]
     pub fn failure(id: u64, error: impl Into<String>) -> Self {
         Self::failure_with(id, error_kind::INVALID_REQUEST, error)
+    }
+
+    /// An error response built from a structured [`SolveFailure`], carrying
+    /// its budget post-mortem through to the wire.
+    #[must_use]
+    pub fn from_failure(id: u64, failure: &SolveFailure) -> Self {
+        let mut response = Self::failure_with(id, failure.kind, failure.message.clone());
+        response.budget = failure.budget.clone();
+        response
+    }
+
+    /// The deadline-expiry response: the request's effective deadline passed
+    /// before any solver work started.
+    #[must_use]
+    pub fn deadline_exceeded(id: u64) -> Self {
+        Self::failure_with(
+            id,
+            error_kind::DEADLINE_EXCEEDED,
+            "deadline exceeded before solving started",
+        )
+    }
+
+    /// Applies the response projection: `NoSchedule` drops the schedule
+    /// tree, `EstimateOnly` additionally drops the LP diagnostics. Pure
+    /// presentation — `schedule_len` and the envelope stay.
+    #[must_use]
+    pub fn project(mut self, detail: Detail) -> Self {
+        match detail {
+            Detail::Full => {}
+            Detail::NoSchedule => {
+                self.schedule = None;
+            }
+            Detail::EstimateOnly => {
+                self.schedule = None;
+                self.lp_value = None;
+                self.lp_pivots = None;
+                self.lp_micros = None;
+            }
+        }
+        self
     }
 
     /// The admission-control rejection: the solve queue was full and the
@@ -282,6 +893,7 @@ mod tests {
             edges: vec![(0, 1), (1, 0)],
             solver: None,
             estimate_trials: None,
+            options: None,
         };
         assert!(cyclic.to_instance().unwrap_err().contains("precedence"));
 
@@ -293,6 +905,7 @@ mod tests {
             edges: Vec::new(),
             solver: None,
             estimate_trials: None,
+            options: None,
         };
         assert!(out_of_range.to_instance().unwrap_err().contains("instance"));
     }
@@ -313,6 +926,8 @@ mod tests {
             lp_micros: Some(180),
             estimated_makespan: None,
             service_micros: 12,
+            degraded: false,
+            budget: None,
         };
         let json = serde_json::to_string(&resp).unwrap();
         assert!(json.contains("\"cache_hit\":true") || json.contains("\"cache_hit\": true"));
@@ -333,6 +948,185 @@ mod tests {
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(back.error.as_deref(), Some("boom"));
         assert_eq!(back.error_kind, resp.error_kind);
+    }
+
+    #[test]
+    fn v1_request_serialisation_has_no_options_key() {
+        let req = Request::from_instance(1, &chain_instance());
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(!json.contains("options"), "json: {json}");
+        let parsed: Request = serde_json::from_str(&json).unwrap();
+        assert!(parsed.options.is_none());
+        assert!(parsed.solve_options().is_default());
+    }
+
+    #[test]
+    fn options_roundtrip_and_tolerate_omissions() {
+        let mut req = Request::from_instance(7, &chain_instance());
+        req.options = Some(SolveOptions {
+            engine: Some(EngineChoice::Revised),
+            max_pivots: Some(500),
+            time_budget_ms: Some(25),
+            deadline_ms: None,
+            cache: Some(CachePolicy::Refresh),
+            detail: Some(Detail::NoSchedule),
+        });
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"options\":{"), "json: {json}");
+        assert!(!json.contains("deadline_ms"), "absent fields omitted");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        let sparse: Request = serde_json::from_str(
+            r#"{"id":1,"num_jobs":1,"num_machines":1,"probs":[0.5],
+                "options":{"detail":"estimate_only"}}"#,
+        )
+        .unwrap();
+        let options = sparse.solve_options();
+        assert_eq!(options.detail(), Detail::EstimateOnly);
+        assert_eq!(options.cache_policy(), CachePolicy::Default);
+        assert_eq!(options.engine(), suu_lp::Engine::Auto);
+
+        let bad = r#"{"id":1,"num_jobs":1,"num_machines":1,"probs":[0.5],
+                      "options":{"engine":"warp"}}"#;
+        assert!(serde_json::from_str::<Request>(bad).is_err());
+    }
+
+    #[test]
+    fn projection_options_do_not_fork_the_engine_variant() {
+        let v1 = SolveOptions::default();
+        assert_eq!(v1.engine_variant(), 0);
+        let projected = SolveOptions {
+            detail: Some(Detail::NoSchedule),
+            cache: Some(CachePolicy::Bypass),
+            max_pivots: Some(10),
+            time_budget_ms: Some(5),
+            ..SolveOptions::default()
+        };
+        assert_eq!(projected.engine_variant(), 0, "projection must not fork");
+        let auto = SolveOptions {
+            engine: Some(EngineChoice::Auto),
+            ..SolveOptions::default()
+        };
+        assert_eq!(auto.engine_variant(), 0, "explicit auto equals absent");
+        let dense = SolveOptions {
+            engine: Some(EngineChoice::Dense),
+            ..SolveOptions::default()
+        };
+        let revised = SolveOptions {
+            engine: Some(EngineChoice::Revised),
+            ..SolveOptions::default()
+        };
+        assert_ne!(dense.engine_variant(), 0);
+        assert_ne!(revised.engine_variant(), 0);
+        assert_ne!(dense.engine_variant(), revised.engine_variant());
+    }
+
+    #[test]
+    fn effective_deadline_takes_the_earlier_bound() {
+        let now = Instant::now();
+        assert_eq!(SolveOptions::default().effective_deadline(now), None);
+        let budget_only = SolveOptions {
+            time_budget_ms: Some(1_000),
+            ..SolveOptions::default()
+        };
+        assert_eq!(
+            budget_only.effective_deadline(now),
+            Some(now + Duration::from_millis(1_000))
+        );
+        // An absolute deadline in the deep past expires immediately,
+        // whatever the relative budget says.
+        let both = SolveOptions {
+            time_budget_ms: Some(60_000),
+            deadline_ms: Some(1),
+            ..SolveOptions::default()
+        };
+        let effective = both.effective_deadline(now).unwrap();
+        assert!(effective <= now);
+    }
+
+    #[test]
+    fn scans_recover_id_and_deadline_fields() {
+        assert_eq!(scan_request_id(r#"{"id":42,"num_jobs":}"#), 42);
+        assert_eq!(scan_request_id(r#"{"id": 7 ,"#), 7);
+        assert_eq!(scan_request_id("no id here"), 0);
+        assert_eq!(scan_request_id(r#"{"id":-3}"#), 0);
+
+        let now = Instant::now();
+        assert!(scan_deadline(r#"{"id":1}"#, now).is_none());
+        // Stray fields the parser ignores must not expire the request,
+        // wherever they sit relative to the options object: the scan is
+        // scoped to the object body itself.
+        assert!(scan_deadline(r#"{"id":1,"time_budget_ms":0,"num_jobs":1}"#, now).is_none());
+        assert!(scan_deadline(
+            r#"{"id":1,"options":{"detail":"full"},"time_budget_ms":0}"#,
+            now
+        )
+        .is_none());
+        // A string *value* "options" is not an options object.
+        assert!(scan_deadline(r#"{"id":1,"solver":"options","time_budget_ms":0}"#, now).is_none());
+        // ... and does not stop the scan from finding the real key later.
+        assert!(scan_deadline(
+            r#"{"id":1,"solver":"options","options":{"time_budget_ms":0}}"#,
+            now
+        )
+        .is_some());
+        let scanned = scan_deadline(r#"{"id":1,"options":{"time_budget_ms":250}}"#, now);
+        assert_eq!(scanned, Some(now + Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn degraded_and_budget_are_omitted_unless_set() {
+        let mut resp = Response::failure(1, "x");
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(!json.contains("degraded"), "json: {json}");
+        assert!(!json.contains("budget"), "json: {json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert!(!back.degraded);
+        assert!(back.budget.is_none());
+
+        resp.degraded = true;
+        resp.budget = Some(BudgetReport::new(17, false));
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"degraded\":true"), "json: {json}");
+        assert!(
+            json.contains("\"budget\":{\"exhausted\":\"pivots\",\"spent_pivots\":17}"),
+            "json: {json}"
+        );
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn projection_strips_schedule_and_diagnostics() {
+        let full = Response {
+            id: 1,
+            ok: true,
+            error: None,
+            error_kind: None,
+            solver: Some("suu-c".to_string()),
+            cache_hit: false,
+            schedule: Some(ObliviousSchedule::new(2)),
+            schedule_len: 3,
+            lp_value: Some(1.5),
+            lp_pivots: Some(9),
+            lp_micros: Some(80),
+            estimated_makespan: Some(4.0),
+            service_micros: 10,
+            degraded: false,
+            budget: None,
+        };
+        let no_schedule = full.clone().project(Detail::NoSchedule);
+        assert!(no_schedule.schedule.is_none());
+        assert_eq!(no_schedule.schedule_len, 3);
+        assert_eq!(no_schedule.lp_pivots, Some(9));
+        let estimate_only = full.clone().project(Detail::EstimateOnly);
+        assert!(estimate_only.schedule.is_none());
+        assert!(estimate_only.lp_value.is_none());
+        assert!(estimate_only.lp_pivots.is_none());
+        assert!(estimate_only.lp_micros.is_none());
+        assert_eq!(estimate_only.estimated_makespan, Some(4.0));
+        assert_eq!(full.clone().project(Detail::Full), full);
     }
 
     #[test]

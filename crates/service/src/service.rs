@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use suu_algorithms::LpBudget;
 use suu_core::SuuInstance;
 use suu_sim::OnlineStats;
 
@@ -14,8 +15,63 @@ use crate::cache::{CacheConfig, CachedSolve, ScheduleCache};
 use crate::flight::{Flight, SingleFlight};
 use crate::metrics::ServiceMetrics;
 use crate::pipeline::{Job, PoolHandle, ResponseSink};
-use crate::protocol::{error_kind, Request, Response};
+use crate::protocol::{
+    error_kind, scan_request_id, BudgetReport, CachePolicy, Detail, Request, Response,
+    SolveFailure, SolveOptions,
+};
 use crate::solver::{Solver, SolverRegistry};
+
+/// The solver every budget-exhausted auto-dispatched request degrades to:
+/// one topological pass, no LP, bounded latency (no approximation
+/// guarantee). Responses produced this way carry `degraded: true` plus the
+/// budget post-mortem of the solver that ran out.
+const FALLBACK_SOLVER: &str = "serial-baseline";
+
+/// Per-request execution directives derived from the wire-level
+/// [`SolveOptions`]: effective resource limits (the absolute deadline is
+/// computed from the moment the service *accepted* the request, so time
+/// spent queued counts against the budget), cache policy, response
+/// projection, and the cache-key variant.
+#[derive(Debug, Clone, Copy)]
+struct Directives {
+    limits: LpBudget,
+    cache: CachePolicy,
+    detail: Detail,
+    variant: u8,
+}
+
+impl Directives {
+    fn new(options: &SolveOptions, accepted_at: Instant) -> Self {
+        Self {
+            limits: LpBudget {
+                engine: options.engine(),
+                max_pivots: options
+                    .max_pivots
+                    .map(|p| usize::try_from(p).unwrap_or(usize::MAX)),
+                deadline: options.effective_deadline(accepted_at),
+            },
+            cache: options.cache_policy(),
+            detail: options.detail(),
+            variant: options.engine_variant(),
+        }
+    }
+
+    fn expired(&self) -> bool {
+        self.limits.expired()
+    }
+}
+
+/// The successful end of the validate → dispatch → lookup/solve flow.
+struct SolveOutcome {
+    instance: SuuInstance,
+    solved: CachedSolve,
+    cache_hit: bool,
+    /// The dispatched solver's budget ran out and `solved` came from the
+    /// serial-baseline fallback instead.
+    degraded: bool,
+    /// Post-mortem of the exhausted budget on degraded responses.
+    budget: Option<BudgetReport>,
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -145,7 +201,7 @@ impl SchedulerService {
     /// instead.
     #[must_use]
     pub fn handle_request(&self, request: &Request) -> Response {
-        self.handle_with(request, false)
+        self.handle_with(request, false, Instant::now())
     }
 
     /// Like [`handle_request`](Self::handle_request), but concurrent
@@ -154,12 +210,12 @@ impl SchedulerService {
     /// the duplicates wait on its result and report `cache_hit`.
     #[must_use]
     pub fn handle_request_coalesced(&self, request: &Request) -> Response {
-        self.handle_with(request, true)
+        self.handle_with(request, true, Instant::now())
     }
 
-    fn handle_with(&self, request: &Request, coalesce: bool) -> Response {
+    fn handle_with(&self, request: &Request, coalesce: bool, accepted_at: Instant) -> Response {
         let start = Instant::now();
-        let mut response = self.solve_request(request, coalesce);
+        let mut response = self.solve_request(request, coalesce, accepted_at);
         response.service_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.metrics.record(
             response.solver.as_deref(),
@@ -169,19 +225,23 @@ impl SchedulerService {
         response
     }
 
-    fn solve_request(&self, request: &Request, coalesce: bool) -> Response {
-        let (instance, solved, cache_hit) = match self.solve_flow(request, coalesce) {
-            Ok(parts) => parts,
+    fn solve_request(&self, request: &Request, coalesce: bool, accepted_at: Instant) -> Response {
+        let directives = Directives::new(&request.solve_options(), accepted_at);
+        let outcome = match self.solve_flow(request, &directives, coalesce) {
+            Ok(outcome) => outcome,
             Err(failure) => return failure,
         };
 
+        // The estimate is skipped when the deadline has already passed: the
+        // client asked for bounded latency, and the schedule itself is the
+        // part it cannot recompute.
         let estimated_makespan = request
             .estimate_trials
-            .filter(|&trials| trials > 0)
+            .filter(|&trials| trials > 0 && !directives.expired())
             .and_then(|trials| {
                 self.estimate_makespan(
-                    &instance,
-                    &solved,
+                    &outcome.instance,
+                    &outcome.solved,
                     trials.min(self.config.max_estimate_trials),
                 )
             });
@@ -191,16 +251,19 @@ impl SchedulerService {
             ok: true,
             error: None,
             error_kind: None,
-            solver: Some(solved.solver.clone()),
-            cache_hit,
-            schedule_len: solved.schedule.len(),
-            lp_value: solved.lp_value,
-            lp_pivots: solved.lp_pivots,
-            lp_micros: solved.lp_micros,
-            schedule: Some(solved.schedule),
+            solver: Some(outcome.solved.solver.clone()),
+            cache_hit: outcome.cache_hit,
+            schedule_len: outcome.solved.schedule.len(),
+            lp_value: outcome.solved.lp_value,
+            lp_pivots: outcome.solved.lp_pivots,
+            lp_micros: outcome.solved.lp_micros,
+            schedule: Some(outcome.solved.schedule),
             estimated_makespan,
             service_micros: 0,
+            degraded: outcome.degraded,
+            budget: outcome.budget,
         }
+        .project(directives.detail)
     }
 
     /// Shared validate → dispatch → lookup/solve flow behind both the
@@ -211,8 +274,9 @@ impl SchedulerService {
     fn solve_flow(
         &self,
         request: &Request,
+        directives: &Directives,
         coalesce: bool,
-    ) -> Result<(SuuInstance, CachedSolve, bool), Response> {
+    ) -> Result<SolveOutcome, Response> {
         if request
             .num_jobs
             .saturating_mul(request.num_machines)
@@ -226,6 +290,9 @@ impl SchedulerService {
                     request.num_jobs, request.num_machines, self.config.max_cells
                 ),
             ));
+        }
+        if directives.expired() {
+            return Err(Response::deadline_exceeded(request.id));
         }
         let instance = match request.to_instance() {
             Ok(instance) => instance,
@@ -265,9 +332,81 @@ impl SchedulerService {
             },
         };
 
-        match self.lookup_or_solve(&instance, solver, coalesce) {
-            Ok((solved, cache_hit)) => Ok((instance, solved, cache_hit)),
-            Err((kind, message)) => Err(Response::failure_with(request.id, kind, message)),
+        // Whether this request carries a budget of its own. An *unbudgeted*
+        // request can still see a budget failure by inheriting a budgeted
+        // leader's outcome through the flight layer (budgets deliberately
+        // don't fork the flight key); failures are never cached, so such a
+        // request simply retries under its own unbounded limits — a v1
+        // client must not be degraded by a stranger's budget.
+        let budgeted =
+            directives.limits.max_pivots.is_some() || directives.limits.deadline.is_some();
+        let mut result = self.lookup_or_solve(&instance, solver, directives, coalesce);
+        if !budgeted {
+            let mut retries = 0;
+            while retries < 2 && matches!(&result, Err(f) if f.kind == error_kind::BUDGET_EXHAUSTED)
+            {
+                result = self.lookup_or_solve(&instance, solver, directives, coalesce);
+                retries += 1;
+            }
+        }
+        match result {
+            Ok((solved, cache_hit)) => Ok(SolveOutcome {
+                instance,
+                solved,
+                cache_hit,
+                degraded: false,
+                budget: None,
+            }),
+            Err(failure)
+                if budgeted
+                    && failure.kind == error_kind::BUDGET_EXHAUSTED
+                    && request.solver.is_none()
+                    && solver.name() != FALLBACK_SOLVER =>
+            {
+                // Degraded fallback: the dispatched solver's budget ran out,
+                // so answer with the serial baseline — bounded latency beats
+                // an error for auto-dispatched traffic. Forced solvers opt
+                // out (the client asked for that algorithm specifically) and
+                // get the structured `budget_exhausted` error instead. The
+                // fallback drops the limits: the budget is already blown and
+                // the baseline is one cheap topological pass. Its entry is
+                // cached under variant 0 — the baseline runs no LP, so every
+                // engine variant shares one artifact.
+                let fallback = self
+                    .registry
+                    .by_name(FALLBACK_SOLVER)
+                    .filter(|s| s.supports(&instance));
+                let Some(fallback) = fallback else {
+                    return Err(Response::from_failure(request.id, &failure));
+                };
+                let relaxed = Directives {
+                    limits: LpBudget::default(),
+                    variant: 0,
+                    ..*directives
+                };
+                match self.lookup_or_solve(&instance, fallback, &relaxed, coalesce) {
+                    Ok((solved, cache_hit)) => Ok(SolveOutcome {
+                        instance,
+                        solved,
+                        cache_hit,
+                        degraded: true,
+                        budget: failure.budget,
+                    }),
+                    Err(fallback_failure) => {
+                        Err(Response::from_failure(request.id, &fallback_failure))
+                    }
+                }
+            }
+            Err(mut failure) => {
+                if !budgeted {
+                    // Pathological race (repeatedly inheriting budgeted
+                    // leaders' failures past the retries): keep the error
+                    // but never leak the v2 budget post-mortem to a request
+                    // that set no budget.
+                    failure.budget = None;
+                }
+                Err(Response::from_failure(request.id, &failure))
+            }
         }
     }
 
@@ -286,22 +425,45 @@ impl SchedulerService {
     /// computed per request.
     #[must_use]
     pub fn handle_request_coalesced_rendered(&self, request: &Request) -> String {
-        self.rendered_with_id(request, request.id)
+        self.rendered_with_id(request, request.id, Instant::now())
+    }
+
+    /// Like
+    /// [`handle_request_coalesced_rendered`](Self::handle_request_coalesced_rendered)
+    /// with an explicit acceptance time, from which relative time budgets
+    /// are measured (the pipelined executor passes the enqueue time, so
+    /// queueing counts against the budget).
+    #[must_use]
+    pub fn handle_request_coalesced_rendered_at(
+        &self,
+        request: &Request,
+        accepted_at: Instant,
+    ) -> String {
+        self.rendered_with_id(request, request.id, accepted_at)
     }
 
     /// The pipelined executor's raw-line handler: parse (through the
     /// interned-line cache), then the rendered coalesced path. Parse
-    /// failures yield a structured `bad_request` response with id 0, like
-    /// [`handle_line`](Self::handle_line).
+    /// failures yield a structured `bad_request` response whose id is the
+    /// best-effort scan of the line, like [`handle_line`](Self::handle_line).
     #[must_use]
     pub fn handle_line_coalesced_rendered(&self, line: &str) -> String {
+        self.handle_line_coalesced_rendered_at(line, Instant::now())
+    }
+
+    /// [`handle_line_coalesced_rendered`](Self::handle_line_coalesced_rendered)
+    /// with an explicit acceptance time for budget accounting.
+    #[must_use]
+    pub fn handle_line_coalesced_rendered_at(&self, line: &str, accepted_at: Instant) -> String {
         match self.parse_line_cached(line) {
-            Ok((id, request)) => self.rendered_with_id(&request, id),
+            Ok((id, request)) => self.rendered_with_id(&request, id, accepted_at),
             Err(err) => {
                 // Like the serial `handle_line`: protocol noise is answered
-                // but not counted as a handled request in the metrics.
+                // but not counted as a handled request in the metrics. The
+                // id is scanned out best-effort so the client can match the
+                // error to a request.
                 let failure = Response::failure_with(
-                    0,
+                    scan_request_id(line),
                     error_kind::BAD_REQUEST,
                     format!("bad request: {err}"),
                 );
@@ -312,25 +474,45 @@ impl SchedulerService {
 
     /// `request` with `id` substituted (interned requests carry the id of
     /// their first submission; every later envelope gets its own).
-    fn rendered_with_id(&self, request: &Request, id: u64) -> String {
+    fn rendered_with_id(&self, request: &Request, id: u64, accepted_at: Instant) -> String {
         let start = Instant::now();
-        if request.estimate_trials.filter(|&t| t > 0).is_some() {
+        let directives = Directives::new(&request.solve_options(), accepted_at);
+        if request.estimate_trials.filter(|&t| t > 0).is_some()
+            || directives.detail == Detail::EstimateOnly
+        {
             // Estimates are computed per request: take the slow path with
             // the id patched through.
             let mut own = request.clone();
             own.id = id;
-            let response = self.handle_request_coalesced(&own);
+            let response = self.handle_with(&own, true, accepted_at);
             return serde_json::to_string(&response).expect("responses always serialise");
         }
-        match self.solve_flow(request, true) {
-            Ok((_, solved, cache_hit)) => {
+        match self.solve_flow(request, &directives, true) {
+            Ok(outcome) => {
                 let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-                self.metrics.record(Some(&solved.solver), true, micros);
-                let body = solved.rendered_body();
+                self.metrics
+                    .record(Some(&outcome.solved.solver), true, micros);
+                let body = match directives.detail {
+                    Detail::NoSchedule => outcome.solved.rendered_body_no_schedule(),
+                    Detail::Full | Detail::EstimateOnly => outcome.solved.rendered_body(),
+                };
+                // The v2 fields are spliced in only when set, so v1
+                // responses keep their exact historical bytes.
+                let mut extra = String::new();
+                if outcome.degraded {
+                    extra.push_str(",\"degraded\":true");
+                }
+                if let Some(budget) = &outcome.budget {
+                    extra.push_str(",\"budget\":");
+                    extra.push_str(
+                        &serde_json::to_string(budget).expect("budget reports serialise"),
+                    );
+                }
+                let cache_hit = outcome.cache_hit;
                 format!(
                     "{{\"id\":{id},\"ok\":true,\"error\":null,\"error_kind\":null,{body},\
                      \"cache_hit\":{cache_hit},\"estimated_makespan\":null,\
-                     \"service_micros\":{micros}}}"
+                     \"service_micros\":{micros}{extra}}}"
                 )
             }
             Err(mut failure) => {
@@ -382,62 +564,102 @@ impl SchedulerService {
         Ok((id, request))
     }
 
-    /// Resolves a schedule for `(instance, solver)`: cache hit, fresh solve,
-    /// or (when `coalesce` is set) a wait on an identical in-flight solve.
-    /// The boolean is the response's `cache_hit` flag — coalesced followers
-    /// report `true` since they burned no solve of their own.
+    /// Resolves a schedule for `(instance, solver, variant)` under the
+    /// request's cache policy: cache hit, fresh solve, or (when `coalesce`
+    /// is set) a wait on an identical in-flight solve. The boolean is the
+    /// response's `cache_hit` flag — coalesced followers report `true` since
+    /// they burned no solve of their own.
+    ///
+    /// `Bypass` and `Refresh` requests demand their own fresh solve, so they
+    /// go around both the cache read and the single-flight layer (they never
+    /// lead *or* follow a coalesced flight; `Refresh` still publishes its
+    /// result into the cache for later requests).
     fn lookup_or_solve(
         &self,
         instance: &SuuInstance,
         solver: &dyn Solver,
+        directives: &Directives,
         coalesce: bool,
-    ) -> Result<(CachedSolve, bool), (&'static str, String)> {
+    ) -> Result<(CachedSolve, bool), SolveFailure> {
+        let variant = directives.variant;
+        match directives.cache {
+            CachePolicy::Bypass => {
+                return self
+                    .run_solver(instance, solver, &directives.limits, None)
+                    .map(|s| (s, false));
+            }
+            CachePolicy::Refresh => {
+                return self
+                    .run_solver(instance, solver, &directives.limits, Some(variant))
+                    .map(|s| (s, false));
+            }
+            CachePolicy::Default => {}
+        }
         if !coalesce {
             // Serial semantics: concurrent duplicates race (first insert
             // wins). Kept as the baseline path for `serve_lines` and for the
             // pipelined-vs-serial benchmark.
-            if let Some(hit) = self.cache.get(instance, solver.name()) {
+            if let Some(hit) = self.cache.get(instance, solver.name(), variant) {
                 return Ok((hit, true));
             }
-            return self.run_solver(instance, solver).map(|s| (s, false));
+            return self
+                .run_solver(instance, solver, &directives.limits, Some(variant))
+                .map(|s| (s, false));
         }
-        let key = (instance.canonical_digest(), solver.name().to_string());
+        let key = (
+            instance.canonical_digest(),
+            variant,
+            solver.name().to_string(),
+        );
         match self
             .flight
-            .begin(key, || self.cache.get(instance, solver.name()))
+            .begin(key, || self.cache.get(instance, solver.name(), variant))
         {
             Ok(hit) => Ok((hit, true)),
-            Err(Flight::Lead(guard)) => match self.run_solver(instance, solver) {
-                Ok(solved) => {
-                    // `run_solver` already inserted into the cache, so
-                    // publishing (which clears the slot) is safe now.
-                    guard.publish(Ok(solved.clone()));
-                    Ok((solved, false))
+            Err(Flight::Lead(guard)) => {
+                match self.run_solver(instance, solver, &directives.limits, Some(variant)) {
+                    Ok(solved) => {
+                        // `run_solver` already inserted into the cache, so
+                        // publishing (which clears the slot) is safe now.
+                        guard.publish(Ok(solved.clone()));
+                        Ok((solved, false))
+                    }
+                    Err(failure) => {
+                        guard.publish(Err(failure.clone()));
+                        Err(failure)
+                    }
                 }
-                Err((kind, message)) => {
-                    guard.publish(Err(message.clone()));
-                    Err((kind, message))
-                }
-            },
+            }
             Err(Flight::Follow(flight)) => {
                 self.metrics.record_coalesced();
+                // Followers inherit the leader's outcome — including a
+                // budget exhaustion under the *leader's* limits. Budgets
+                // don't fork the flight key (a success is bit-identical
+                // either way), and failures are not cached, so a follower
+                // that wants to pay more simply retries (`solve_flow` does
+                // exactly that for unbudgeted requests). The follower's own
+                // deadline keeps binding while parked: the wait gives up at
+                // that instant with a structured time-budget failure.
                 flight
-                    .wait()
+                    .wait_until(directives.limits.deadline)
                     .map(|solved| (solved, true))
-                    .map_err(|message| (error_kind::SOLVER_ERROR, message))
             }
         }
     }
 
-    /// Runs the solver and records the fresh-solve bookkeeping (LP effort
-    /// aggregation, cache insert). Cache hits and coalesced waits repeat the
-    /// original solve's numbers in their responses but burn no new pivots.
+    /// Runs the solver under the request's limits and records the
+    /// fresh-solve bookkeeping (LP effort aggregation, cache insert under
+    /// `insert_variant` unless the cache policy said to skip). Cache hits
+    /// and coalesced waits repeat the original solve's numbers in their
+    /// responses but burn no new pivots.
     fn run_solver(
         &self,
         instance: &SuuInstance,
         solver: &dyn Solver,
-    ) -> Result<CachedSolve, (&'static str, String)> {
-        match solver.solve(instance) {
+        limits: &LpBudget,
+        insert_variant: Option<u8>,
+    ) -> Result<CachedSolve, SolveFailure> {
+        match solver.solve(instance, limits) {
             Ok(output) => {
                 self.metrics.record_fresh_solve();
                 if let (Some(pivots), Some(micros)) = (output.lp_pivots, output.lp_micros) {
@@ -450,10 +672,27 @@ impl SchedulerService {
                     output.lp_pivots,
                     output.lp_micros,
                 );
-                self.cache.insert(instance, solved.clone());
+                if let Some(variant) = insert_variant {
+                    self.cache.insert(instance, variant, solved.clone());
+                }
                 Ok(solved)
             }
-            Err(err) => Err((
+            Err(suu_algorithms::AlgorithmError::BudgetExhausted { pivots, wall_clock }) => {
+                Err(SolveFailure {
+                    kind: error_kind::BUDGET_EXHAUSTED,
+                    message: format!(
+                        "solver `{}` exhausted its {} after {pivots} pivots",
+                        solver.name(),
+                        if wall_clock {
+                            "time budget"
+                        } else {
+                            "pivot budget"
+                        },
+                    ),
+                    budget: Some(BudgetReport::new(pivots, wall_clock)),
+                })
+            }
+            Err(err) => Err(SolveFailure::new(
                 error_kind::SOLVER_ERROR,
                 format!("solver `{}` failed: {err}", solver.name()),
             )),
@@ -486,14 +725,17 @@ impl SchedulerService {
     }
 
     /// Handles one raw NDJSON line. Parse failures yield an error response
-    /// with id 0 rather than tearing the connection down.
+    /// (with the line's `"id"` scanned out best-effort, 0 when absent)
+    /// rather than tearing the connection down.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> String {
         let response = match serde_json::from_str::<Request>(line) {
             Ok(request) => self.handle_request(&request),
-            Err(err) => {
-                Response::failure_with(0, error_kind::BAD_REQUEST, format!("bad request: {err}"))
-            }
+            Err(err) => Response::failure_with(
+                scan_request_id(line),
+                error_kind::BAD_REQUEST,
+                format!("bad request: {err}"),
+            ),
         };
         serde_json::to_string(&response).expect("responses always serialise")
     }
@@ -755,6 +997,7 @@ mod tests {
             edges: Vec::new(),
             solver: None,
             estimate_trials: None,
+            options: None,
         };
         let resp = svc.handle_request(&bad);
         assert!(!resp.ok, "job 1 has no capable machine");

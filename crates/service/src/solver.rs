@@ -16,10 +16,10 @@
 //! | trees / forests | `suu-forest` | Thms 4.7, 4.8 |
 //! | general DAG | `serial-baseline` | (fallback) |
 
-use suu_algorithms::chains::schedule_chains;
-use suu_algorithms::forest::schedule_forest;
-use suu_algorithms::suu_i_obl::suu_i_oblivious;
-use suu_algorithms::AlgorithmError;
+use suu_algorithms::chains::{schedule_chains_with, ChainsOptions};
+use suu_algorithms::forest::schedule_forest_with;
+use suu_algorithms::suu_i_obl::{suu_i_oblivious_with, SuuIOblLimits};
+use suu_algorithms::{AlgorithmError, LpBudget};
 use suu_core::{Assignment, ObliviousSchedule, SuuInstance};
 use suu_graph::ForestKind;
 
@@ -47,13 +47,22 @@ pub trait Solver: Send + Sync {
     /// Whether this solver's precondition holds for `instance`.
     fn supports(&self, instance: &SuuInstance) -> bool;
 
-    /// Computes a schedule.
+    /// Computes a schedule under the caller's resource limits ([`LpBudget`]:
+    /// LP engine override, pivot budget, wall-clock deadline —
+    /// `LpBudget::default()` means unbounded, the historical behaviour). A
+    /// budget that is not exhausted never changes the result; an exhausted
+    /// one surfaces as [`AlgorithmError::BudgetExhausted`].
     ///
     /// # Errors
     ///
-    /// Propagates the underlying algorithm's error (e.g. an infeasible LP or
-    /// an unsupported structure when called without a `supports` check).
-    fn solve(&self, instance: &SuuInstance) -> Result<SolveOutput, AlgorithmError>;
+    /// Propagates the underlying algorithm's error (e.g. an infeasible LP,
+    /// an exhausted budget, or an unsupported structure when called without
+    /// a `supports` check).
+    fn solve(
+        &self,
+        instance: &SuuInstance,
+        limits: &LpBudget,
+    ) -> Result<SolveOutput, AlgorithmError>;
 }
 
 /// `SUU-I-OBL` (Alg. 2, Theorem 3.6): the combinatorial oblivious schedule
@@ -70,8 +79,18 @@ impl Solver for SuuIOblSolver {
         instance.is_independent()
     }
 
-    fn solve(&self, instance: &SuuInstance) -> Result<SolveOutput, AlgorithmError> {
-        let out = suu_i_oblivious(instance)?;
+    fn solve(
+        &self,
+        instance: &SuuInstance,
+        limits: &LpBudget,
+    ) -> Result<SolveOutput, AlgorithmError> {
+        // Combinatorial pipeline: no LP runs, so only the deadline applies.
+        let out = suu_i_oblivious_with(
+            instance,
+            &SuuIOblLimits {
+                deadline: limits.deadline,
+            },
+        )?;
         Ok(SolveOutput {
             schedule: out.schedule,
             lp_value: None,
@@ -97,8 +116,16 @@ impl Solver for ChainsSolver {
         )
     }
 
-    fn solve(&self, instance: &SuuInstance) -> Result<SolveOutput, AlgorithmError> {
-        let out = schedule_chains(instance)?;
+    fn solve(
+        &self,
+        instance: &SuuInstance,
+        limits: &LpBudget,
+    ) -> Result<SolveOutput, AlgorithmError> {
+        let options = ChainsOptions {
+            lp: *limits,
+            ..ChainsOptions::default()
+        };
+        let out = schedule_chains_with(instance, &options)?;
         Ok(SolveOutput {
             schedule: out.schedule,
             lp_value: Some(out.lp_value),
@@ -122,8 +149,16 @@ impl Solver for ForestSolver {
         instance.forest_kind() != ForestKind::GeneralDag
     }
 
-    fn solve(&self, instance: &SuuInstance) -> Result<SolveOutput, AlgorithmError> {
-        let out = schedule_forest(instance)?;
+    fn solve(
+        &self,
+        instance: &SuuInstance,
+        limits: &LpBudget,
+    ) -> Result<SolveOutput, AlgorithmError> {
+        let options = ChainsOptions {
+            lp: *limits,
+            ..ChainsOptions::default()
+        };
+        let out = schedule_forest_with(instance, &options)?;
         Ok(SolveOutput {
             schedule: out.schedule,
             lp_value: None,
@@ -149,7 +184,21 @@ impl Solver for SerialBaselineSolver {
         true
     }
 
-    fn solve(&self, instance: &SuuInstance) -> Result<SolveOutput, AlgorithmError> {
+    fn solve(
+        &self,
+        instance: &SuuInstance,
+        limits: &LpBudget,
+    ) -> Result<SolveOutput, AlgorithmError> {
+        // One pass over the precedence order — cheap enough that only an
+        // already-expired deadline is worth honouring (this solver doubles
+        // as the degraded-fallback target for budget-exhausted solves, which
+        // strip the deadline before calling it).
+        if limits.expired() {
+            return Err(AlgorithmError::BudgetExhausted {
+                pivots: 0,
+                wall_clock: true,
+            });
+        }
         let order = instance
             .precedence()
             .topological_order()
@@ -300,7 +349,7 @@ mod tests {
         ];
         for inst in &instances {
             let solver = registry.dispatch(inst).unwrap();
-            let out = solver.solve(inst).unwrap();
+            let out = solver.solve(inst, &LpBudget::default()).unwrap();
             assert!(!out.schedule.is_empty());
             assert_eq!(out.schedule.num_machines(), inst.num_machines());
             for step in out.schedule.steps() {
@@ -323,9 +372,43 @@ mod tests {
     }
 
     #[test]
+    fn budget_and_deadline_limits_flow_through_the_trait() {
+        let registry = SolverRegistry::with_paper_algorithms();
+        let chains = InstanceBuilder::new(6, 3)
+            .probability_matrix(uniform_matrix(6, 3, 0.3, 0.9, 13))
+            .chains(&[vec![0, 1, 2], vec![3, 4, 5]])
+            .build()
+            .unwrap();
+        let solver = registry.dispatch(&chains).unwrap();
+        let err = solver
+            .solve(
+                &chains,
+                &LpBudget {
+                    max_pivots: Some(1),
+                    ..LpBudget::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, AlgorithmError::BudgetExhausted { .. }));
+
+        // An already-expired deadline stops even the LP-free solvers.
+        let expired = LpBudget {
+            deadline: Some(std::time::Instant::now()),
+            ..LpBudget::default()
+        };
+        let ind = independent(4, 2);
+        let err = SuuIOblSolver.solve(&ind, &expired).unwrap_err();
+        assert!(matches!(err, AlgorithmError::BudgetExhausted { .. }));
+        let err = SerialBaselineSolver.solve(&ind, &expired).unwrap_err();
+        assert!(matches!(err, AlgorithmError::BudgetExhausted { .. }));
+    }
+
+    #[test]
     fn serial_baseline_covers_every_job() {
         let inst = independent(5, 3);
-        let out = SerialBaselineSolver.solve(&inst).unwrap();
+        let out = SerialBaselineSolver
+            .solve(&inst, &LpBudget::default())
+            .unwrap();
         assert_eq!(out.schedule.len(), 5);
         for j in inst.jobs() {
             assert!(out

@@ -193,6 +193,8 @@ fn loadgen_sustains_100_rps_and_pipelining_beats_serial() {
         target_rps: None,
         max_in_flight: 1,
         collect_payloads: false,
+        deadline_ms: None,
+        detail: None,
         seed: 0xACCE,
     })
     .expect("load generation succeeds");
@@ -236,6 +238,8 @@ fn loadgen_sustains_100_rps_and_pipelining_beats_serial() {
             target_rps: None,
             max_in_flight,
             collect_payloads,
+            deadline_ms: None,
+            detail: None,
             seed: 0xACCE,
         })
         .expect("load generation succeeds");

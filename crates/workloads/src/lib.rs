@@ -28,6 +28,6 @@ pub use probability::{
     bimodal_matrix, skill_matrix, sparse_uniform_matrix, uniform_matrix, ProbabilityModel,
 };
 pub use scenario::{
-    bottleneck_instance, bursty_multi_tenant_stream, figure1_instance, grid_computing_instance,
-    project_management_instance, BurstConfig, GridConfig, ProjectConfig,
+    bottleneck_instance, bursty_multi_tenant_stream, deadline_burst_stream, figure1_instance,
+    grid_computing_instance, project_management_instance, BurstConfig, GridConfig, ProjectConfig,
 };

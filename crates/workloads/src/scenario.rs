@@ -204,6 +204,38 @@ impl Default for BurstConfig {
 /// different tenants are deterministically interleaved.
 #[must_use]
 pub fn bursty_multi_tenant_stream(config: &BurstConfig) -> (Vec<SuuInstance>, Vec<usize>) {
+    burst_stream_with(config, |k, n, seed| match k % 3 {
+        0 => Dag::independent(n),
+        1 => crate::precedence::random_chains(n, (n / 2).max(1), seed ^ 0xC0A1),
+        _ => random_directed_forest(n, (n / 3).max(1), seed ^ 0xF0_12),
+    })
+}
+
+/// The deadline-burst stream: shaped like
+/// [`bursty_multi_tenant_stream`], but every tenant is **LP-backed**
+/// (disjoint chains and directed forests alternating — no cheap independent
+/// tenants), so a fresh solve costs a real LP pipeline run. Replayed in
+/// bursts against a deadline-aware service, the first request of each burst
+/// occupies a solver while its duplicates stack up in the queue — exactly
+/// the regime where per-request deadlines (`time_budget_ms`) expire while
+/// queued and the dequeue-time drop path earns its keep.
+#[must_use]
+pub fn deadline_burst_stream(config: &BurstConfig) -> (Vec<SuuInstance>, Vec<usize>) {
+    burst_stream_with(config, |k, n, seed| {
+        if k % 2 == 0 {
+            crate::precedence::random_chains(n, (n / 2).max(1), seed ^ 0xC0A1)
+        } else {
+            random_directed_forest(n, (n / 3).max(1), seed ^ 0xF0_12)
+        }
+    })
+}
+
+/// Shared tenant/burst machinery behind the bursty streams: `structure`
+/// picks tenant `k`'s precedence DAG from its size and seed.
+fn burst_stream_with(
+    config: &BurstConfig,
+    structure: impl Fn(usize, usize, u64) -> Dag,
+) -> (Vec<SuuInstance>, Vec<usize>) {
     assert!(config.num_tenants > 0, "need at least one tenant");
     assert!(
         config.bursts_per_tenant > 0,
@@ -220,11 +252,7 @@ pub fn bursty_multi_tenant_stream(config: &BurstConfig) -> (Vec<SuuInstance>, Ve
             let m = rng.gen_range(config.machines.0..=config.machines.1);
             let seed = rng.gen::<u64>();
             let probs = crate::probability::uniform_matrix(n, m, 0.2, 0.9, seed);
-            let dag = match k % 3 {
-                0 => Dag::independent(n),
-                1 => crate::precedence::random_chains(n, (n / 2).max(1), seed ^ 0xC0A1),
-                _ => random_directed_forest(n, (n / 3).max(1), seed ^ 0xF0_12),
-            };
+            let dag = structure(k, n, seed);
             SuuInstance::new(n, m, probs, dag).expect("generated tenant instance is valid")
         })
         .collect();
@@ -336,5 +364,26 @@ mod tests {
         for t in 0..tenants.len() {
             assert!(reqs.contains(&t));
         }
+    }
+
+    #[test]
+    fn deadline_burst_stream_is_all_lp_backed_and_deterministic() {
+        let cfg = BurstConfig::default();
+        let (tenants_a, reqs_a) = deadline_burst_stream(&cfg);
+        let (tenants_b, reqs_b) = deadline_burst_stream(&cfg);
+        assert_eq!(tenants_a, tenants_b);
+        assert_eq!(reqs_a, reqs_b);
+        // No cheap independent tenants: every tenant routes to an LP-backed
+        // solver (chains or forest), which is what makes deadline pressure
+        // realistic.
+        for inst in &tenants_a {
+            assert_ne!(
+                inst.forest_kind(),
+                ForestKind::Independent,
+                "deadline-burst tenants must carry precedence structure"
+            );
+        }
+        // Bursts still produce immediate repetitions.
+        assert!(reqs_a.windows(2).any(|w| w[0] == w[1]));
     }
 }
