@@ -42,11 +42,13 @@ fn run_mode(
         max_in_flight,
         collect_payloads,
         None,
+        false,
     )
 }
 
-/// [`run_mode`] with an explicit `detail` response projection on every
-/// request.
+/// [`run_mode`] with an explicit `detail` response projection and/or
+/// per-request stage tracing on every request.
+#[allow(clippy::too_many_arguments)]
 fn run_mode_with_detail(
     scenario: &str,
     total_requests: usize,
@@ -55,6 +57,7 @@ fn run_mode_with_detail(
     max_in_flight: usize,
     collect_payloads: bool,
     detail: Option<Detail>,
+    trace: bool,
 ) -> (LoadReport, MetricsSnapshot) {
     let service = Arc::new(SchedulerService::new(ServiceConfig::default()));
     let handle = spawn_tcp(
@@ -76,6 +79,7 @@ fn run_mode_with_detail(
         collect_payloads,
         deadline_ms: None,
         detail,
+        trace,
         seed,
     })
     .expect("load generation succeeds");
@@ -287,6 +291,7 @@ pub fn run_detail_comparison(config: &RunConfig) -> Table {
             64,
             false,
             Some(Detail::Full),
+            false,
         );
         let (trimmed, _) = run_mode_with_detail(
             "bursty",
@@ -296,6 +301,7 @@ pub fn run_detail_comparison(config: &RunConfig) -> Table {
             64,
             false,
             Some(Detail::NoSchedule),
+            false,
         );
         for (label, report) in [("full", &full), ("no_schedule", &trimmed)] {
             assert_eq!(report.errors, 0, "{label} run produced errors");
@@ -344,6 +350,86 @@ pub fn run_detail_comparison(config: &RunConfig) -> Table {
     table
 }
 
+/// Runs a trace-enabled pipelined bursty run and tabulates the server-side
+/// latency *attribution*: one row per request-lifecycle stage
+/// (queue/parse/solve/render/flush) with count, mean, p50 and p99 from the
+/// service's own histograms (scraped via the `stats` verb at the end of the
+/// run), next to the client-observed view from the per-response `trace`
+/// objects. This is the table that says *which stage* p99 lives in, not just
+/// what it is.
+///
+/// # Panics
+///
+/// Panics if the run errors, the `stats` scrape fails, or the scraped
+/// histograms are inconsistent (every handled request must record the
+/// `solve` stage exactly once).
+#[must_use]
+pub fn run_attribution(config: &RunConfig) -> Table {
+    let mut table = Table::new(
+        "S1d: server-side latency attribution (bursty, pipelined, traced)",
+        &[
+            "stage",
+            "server n",
+            "server mean us",
+            "server p50 us",
+            "server p99 us",
+            "client p99 us",
+        ],
+    );
+    let total_requests = if config.quick { 240 } else { 600 };
+    let (report, _) = run_mode_with_detail(
+        "bursty",
+        total_requests,
+        config.seed ^ 0x7AC3,
+        ExecutionMode::Pipelined(PipelineConfig::default()),
+        64,
+        false,
+        None,
+        true,
+    );
+    assert_eq!(report.errors, 0, "traced run produced errors");
+    assert_eq!(
+        report.traced, report.ok,
+        "every successful response must carry a trace object"
+    );
+    let server_requests = report
+        .server_requests
+        .expect("end-of-run stats scrape succeeds in-process");
+    let solve_count = report
+        .server_stages
+        .iter()
+        .find(|row| row.stage == "solve")
+        .map_or(0, |row| row.count);
+    assert_eq!(
+        solve_count, server_requests,
+        "per-stage histogram counts must equal handled requests"
+    );
+    for row in &report.server_stages {
+        let client_p99 = report
+            .client_stages
+            .iter()
+            .find(|c| c.stage == row.stage)
+            .map_or_else(|| "-".to_string(), |c| f2(c.p99_us));
+        table.push_row(vec![
+            row.stage.clone(),
+            row.count.to_string(),
+            f2(row.mean_us),
+            f2(row.p50_us),
+            f2(row.p99_us),
+            client_p99,
+        ]);
+    }
+    table.push_note(format!(
+        "stats scrape consistent: server requests = solve-stage count = {server_requests}"
+    ));
+    table.push_note(
+        "server columns come from the service's lock-free stage histograms (stats verb); \
+         client columns from per-response trace objects — parse/queue depth and histogram \
+         bucket resolution explain small differences",
+    );
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +466,23 @@ mod tests {
         );
         let speedup: f64 = table.rows[1][7].parse().unwrap();
         assert!(speedup > 0.0);
+    }
+
+    #[test]
+    fn attribution_table_has_stage_rows_and_consistent_counts() {
+        let config = RunConfig {
+            quick: true,
+            seed: 0x54,
+        };
+        let table = run_attribution(&config);
+        // All five lifecycle stages see traffic on the pipelined path.
+        assert_eq!(table.num_rows(), 5);
+        let stages: Vec<&str> = table.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(stages, ["queue", "parse", "solve", "render", "flush"]);
+        for row in &table.rows {
+            let n: u64 = row[1].parse().unwrap();
+            assert!(n > 0, "stage {} recorded no samples", row[0]);
+        }
     }
 
     #[test]

@@ -50,10 +50,13 @@ pub fn solve_dense(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSo
                 objective: 0.0,
                 values: vec![0.0; n],
                 iterations: tableau.iterations,
+                phase1_iterations: tableau.iterations,
             });
         }
         tableau.drive_out_artificials(options);
     }
+    // Everything so far — including drive-out pivots — is phase-1 work.
+    let phase1_iterations = tableau.iterations;
 
     // Phase 2: optimise the real objective.
     tableau.install_phase2_objective(problem);
@@ -67,6 +70,7 @@ pub fn solve_dense(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSo
             },
             values: vec![0.0; n],
             iterations: tableau.iterations,
+            phase1_iterations,
         });
     }
 
@@ -77,6 +81,7 @@ pub fn solve_dense(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSo
         objective,
         values,
         iterations: tableau.iterations,
+        phase1_iterations,
     })
 }
 

@@ -180,6 +180,7 @@ pub(crate) fn solve_empty(problem: &LpProblem, options: &SimplexOptions) -> LpSo
         objective: 0.0,
         values: Vec::new(),
         iterations: 0,
+        phase1_iterations: 0,
     }
 }
 
@@ -353,6 +354,36 @@ mod tests {
             )
             .unwrap();
             assert_eq!(free, budgeted, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn phase_attribution_bounds_hold_on_both_engines() {
+        // Pure ≤ rows start with an all-slack basis: no artificials, so no
+        // phase-1 pivots — every pivot is phase-2 work.
+        let mut easy = LpProblem::new(Sense::Maximize);
+        let x = easy.add_variable("x");
+        easy.set_objective_coefficient(x, 1.0);
+        easy.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 3.0, "c");
+        // A ≥ row with positive rhs needs an artificial: phase 1 must pivot.
+        let mut hard = LpProblem::new(Sense::Minimize);
+        let u = hard.add_variable("u");
+        let v = hard.add_variable("v");
+        hard.set_objective_coefficient(u, 2.0);
+        hard.set_objective_coefficient(v, 3.0);
+        hard.add_constraint(vec![(u, 1.0), (v, 1.0)], ConstraintOp::Ge, 10.0, "cover");
+        hard.add_constraint(vec![(u, 1.0)], ConstraintOp::Ge, 3.0, "umin");
+        for engine in [Engine::Dense, Engine::Revised] {
+            let opts = SimplexOptions {
+                engine,
+                ..SimplexOptions::default()
+            };
+            let sol = solve(&easy, &opts).unwrap();
+            assert_eq!(sol.phase1_iterations, 0, "{engine:?}");
+            assert!(sol.iterations >= 1, "{engine:?}");
+            let sol = solve(&hard, &opts).unwrap();
+            assert!(sol.phase1_iterations >= 1, "{engine:?}");
+            assert!(sol.phase1_iterations <= sol.iterations, "{engine:?}");
         }
     }
 

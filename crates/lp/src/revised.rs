@@ -56,7 +56,8 @@ pub fn solve_revised(problem: &LpProblem, options: &SimplexOptions) -> Result<Lp
         // so `iterations` (surfaced as `lp_pivots` by the service) reports
         // the true work, not just the oracle's share; the same goes for any
         // remaining pivot budget, which the oracle inherits *minus* what the
-        // revised attempt already spent.
+        // revised attempt already spent. Phase attribution restarts with the
+        // oracle: the abandoned pivots count only towards the total.
         Err(Trouble::Numerical { spent }) => {
             let mut oracle_options = options.clone();
             if let Some(budget) = oracle_options.pivot_budget {
@@ -115,9 +116,11 @@ fn try_solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
                 objective: 0.0,
                 values: vec![0.0; n],
                 iterations: solver.iterations,
+                phase1_iterations: solver.iterations,
             });
         }
     }
+    let phase1_iterations = solver.iterations;
 
     // Phase 2: optimise the real objective; artificials may never re-enter
     // and any still basic are held at zero by the guarded ratio test.
@@ -132,6 +135,7 @@ fn try_solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
             },
             values: vec![0.0; n],
             iterations: solver.iterations,
+            phase1_iterations,
         });
     }
 
@@ -149,6 +153,7 @@ fn try_solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
         objective,
         values,
         iterations: solver.iterations,
+        phase1_iterations,
     })
 }
 

@@ -27,6 +27,13 @@ pub struct LpSolution {
     pub values: Vec<f64>,
     /// Number of simplex pivots performed across both phases.
     pub iterations: usize,
+    /// Pivots spent in phase 1 (finding an initial basic feasible solution),
+    /// including any drive-out pivots; `iterations - phase1_iterations` is
+    /// the phase-2 share. Pivots are the solver's *deterministic* clock —
+    /// wall-clock fields here would break the bit-identical-replay guarantees
+    /// the engines are tested against — so this is the phase-attribution
+    /// hook observability layers aggregate over.
+    pub phase1_iterations: usize,
 }
 
 impl LpSolution {
@@ -104,6 +111,7 @@ mod tests {
             objective: 1.0,
             values: vec![0.0, 2.5, 3.0],
             iterations: 4,
+            phase1_iterations: 1,
         };
         assert!((sol.value(VarId(1)) - 2.5).abs() < 1e-12);
         assert_eq!(sol.num_nonzero(1e-9), 2);

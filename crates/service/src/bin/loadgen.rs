@@ -9,6 +9,8 @@
 //!     [--max-in-flight N]                   # >1 = open-loop pipelining
 //!     [--deadline-ms N]                     # per-request time budget
 //!     [--detail full|no_schedule|estimate_only]
+//!     [--trace]                             # per-response stage traces +
+//!                                           # end-of-run stats scrape
 //!     [--assert-floor R]                    # exit 1 below R req/s
 //! loadgen --in-process ...                  # spawn a service internally
 //!     [--serial]                            # in-process service runs the
@@ -21,8 +23,11 @@
 //! `time_budget_ms` option to every request (expired requests are reported
 //! in the `expired` count), `--detail` a response projection. The
 //! `deadline` scenario replays bursts of LP-heavy tenants — combine it with
-//! a tight `--deadline-ms` to exercise deadline-aware admission.
-//! `--assert-floor` makes the run a CI gate: it fails when achieved
+//! a tight `--deadline-ms` to exercise deadline-aware admission. `--trace`
+//! opts every request into the per-response `trace` object and appends the
+//! client- and server-side per-stage attribution tables (plus a greppable
+//! `stats_consistency=` verdict from the end-of-run `stats` scrape) to the
+//! report. `--assert-floor` makes the run a CI gate: it fails when achieved
 //! throughput drops below the floor.
 //!
 //! Prints the latency/throughput report; with `--in-process` also prints the
@@ -79,6 +84,7 @@ fn main() {
             }
         });
     }
+    config.trace = argv.iter().any(|a| a == "--trace");
     let assert_floor: Option<f64> = flag_value("--assert-floor").and_then(|v| v.parse().ok());
 
     let in_process = argv.iter().any(|a| a == "--in-process");

@@ -17,7 +17,6 @@
 //! concurrent workers rarely contend on the same lock.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::Serialize;
@@ -146,14 +145,33 @@ struct Shard {
     entries: HashMap<u64, Vec<Entry>>,
     len: usize,
     tick: u64,
+    /// Lookup hits on this shard. Counted under the shard lock the lookup
+    /// already holds, so per-shard accounting costs no extra synchronisation.
+    hits: u64,
+    /// Lookup misses on this shard.
+    misses: u64,
+    /// LRU evictions performed by this shard.
+    evictions: u64,
+}
+
+/// Point-in-time counters of one cache shard (see
+/// [`ScheduleCache::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Entries currently cached in the shard.
+    pub entries: u64,
+    /// Lookup hits since creation.
+    pub hits: u64,
+    /// Lookup misses since creation.
+    pub misses: u64,
+    /// LRU evictions since creation.
+    pub evictions: u64,
 }
 
 /// The sharded LRU schedule cache.
 pub struct ScheduleCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 impl ScheduleCache {
@@ -166,8 +184,6 @@ impl ScheduleCache {
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             capacity_per_shard: config.capacity_per_shard.max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
         }
     }
 
@@ -191,11 +207,12 @@ impl ScheduleCache {
         match found {
             Some(entry) => {
                 entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.value.clone())
+                let value = entry.value.clone();
+                shard.hits += 1;
+                Some(value)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses += 1;
                 None
             }
         }
@@ -247,6 +264,7 @@ impl ScheduleCache {
                 }
                 if removed {
                     shard.len -= 1;
+                    shard.evictions += 1;
                 }
                 if empty {
                     shard.entries.remove(&lru_digest);
@@ -270,16 +288,41 @@ impl ScheduleCache {
         self.len() == 0
     }
 
-    /// Number of lookup hits since creation.
+    /// Number of lookup hits since creation, across all shards.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shard_stats().iter().map(|s| s.hits).sum()
     }
 
-    /// Number of lookup misses since creation.
+    /// Number of lookup misses since creation, across all shards.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shard_stats().iter().map(|s| s.misses).sum()
+    }
+
+    /// Number of LRU evictions since creation, across all shards.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.shard_stats().iter().map(|s| s.evictions).sum()
+    }
+
+    /// Per-shard occupancy and hit/miss/eviction counters, in shard order.
+    /// Each shard is read under its own lock, so the vector is per-shard
+    /// consistent (not a global atomic snapshot).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                ShardStats {
+                    entries: shard.len as u64,
+                    hits: shard.hits,
+                    misses: shard.misses,
+                    evictions: shard.evictions,
+                }
+            })
+            .collect()
     }
 }
 
@@ -365,6 +408,39 @@ mod tests {
         assert!(cache.get(&a, "s", 0).is_some());
         assert!(cache.get(&b, "s", 0).is_none());
         assert!(cache.get(&c, "s", 0).is_some());
+    }
+
+    #[test]
+    fn shard_stats_track_occupancy_hits_misses_and_evictions() {
+        let cache = ScheduleCache::new(&CacheConfig {
+            num_shards: 1,
+            capacity_per_shard: 2,
+        });
+        let a = instance(20);
+        let b = instance(21);
+        let c = instance(22);
+        assert!(cache.get(&a, "s", 0).is_none());
+        cache.insert(&a, 0, solve_for(&a, "s"));
+        cache.insert(&b, 0, solve_for(&b, "s"));
+        assert!(cache.get(&a, "s", 0).is_some());
+        cache.insert(&c, 0, solve_for(&c, "s"));
+
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(
+            stats[0],
+            ShardStats {
+                entries: 2,
+                hits: 1,
+                misses: 1,
+                evictions: 1,
+            }
+        );
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        let total_entries: u64 = stats.iter().map(|s| s.entries).sum();
+        assert_eq!(total_entries, cache.len() as u64);
     }
 
     #[test]

@@ -28,7 +28,13 @@
 //!   closed-loop or open-loop (in-flight-capped) arrival mode, reporting
 //!   p50/p99 latency and requests/sec.
 //! * [`metrics`] — request/error/latency/coalescing counters shared by the
-//!   transports.
+//!   transports, aggregated into lock-free per-stage histograms.
+//! * [`obs`] — the observability primitives underneath [`metrics`]: a
+//!   log-bucketed [`AtomicHistogram`](obs::AtomicHistogram) (wait-free
+//!   recording, mergeable snapshots, p50/p90/p99/p999) and the
+//!   request-lifecycle [`Stage`](obs::Stage) vocabulary. Surfaced on the
+//!   wire through the `stats` verb and the opt-in per-response `trace`
+//!   object (see [`protocol`]).
 //!
 //! Binaries: `suu_serviced` (the daemon, `--stdin` or `--tcp ADDR`) and
 //! `loadgen` (the client; see the repository README for the schema and
@@ -38,23 +44,25 @@ pub mod cache;
 pub mod flight;
 pub mod loadgen;
 pub mod metrics;
+pub mod obs;
 pub mod pipeline;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod solver;
 
-pub use cache::{CacheConfig, CachedSolve, ScheduleCache};
+pub use cache::{CacheConfig, CachedSolve, ScheduleCache, ShardStats};
 pub use flight::SingleFlight;
-pub use loadgen::{build_request_pool, run_loadgen, LoadReport, LoadgenConfig};
+pub use loadgen::{build_request_pool, run_loadgen, LoadReport, LoadgenConfig, StageAttribution};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use obs::{AtomicHistogram, HistogramSnapshot, Stage};
 pub use pipeline::{PipelineConfig, PoolHandle, ResponseSink, SolverPool};
 pub use protocol::{
-    error_kind, scan_deadline, scan_request_id, BudgetReport, CachePolicy, Detail, EngineChoice,
-    Request, Response, SolveFailure, SolveOptions,
+    error_kind, scan_deadline, scan_request_id, scan_u64_field, BudgetReport, CachePolicy, Detail,
+    EngineChoice, Request, Response, SolveFailure, SolveOptions, TraceReport,
 };
 pub use server::{spawn_tcp, ExecutionMode, ServiceHandle, TcpServerConfig};
-pub use service::{SchedulerService, ServiceConfig};
+pub use service::{SchedulerService, ServiceConfig, StageContext};
 pub use solver::{SolveOutput, Solver, SolverRegistry};
 
 /// FNV-1a over raw bytes — the crate's common content hash (interned request

@@ -31,7 +31,9 @@ use suu_workloads::{
     project_management_instance, BurstConfig, GridConfig, ProjectConfig,
 };
 
-use crate::protocol::{error_kind, Detail, Request, Response, SolveOptions};
+use serde::Value;
+
+use crate::protocol::{error_kind, scan_u64_field, Detail, Request, Response, SolveOptions};
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +61,11 @@ pub struct LoadgenConfig {
     pub deadline_ms: Option<u64>,
     /// Attach `options.detail` to every request (response projection).
     pub detail: Option<Detail>,
+    /// Attach `options.trace` to every request and scrape the per-response
+    /// `trace` object plus, at the end of the run, the service's `stats`
+    /// verb — the server-side latency attribution table in
+    /// [`LoadReport::server_stages`].
+    pub trace: bool,
     /// Seed for workload sampling.
     pub seed: u64,
 }
@@ -75,6 +82,7 @@ impl Default for LoadgenConfig {
             collect_payloads: false,
             deadline_ms: None,
             detail: None,
+            trace: false,
             seed: 0x10AD,
         }
     }
@@ -84,12 +92,32 @@ impl LoadgenConfig {
     /// The per-request options this run attaches, `None` when the run is
     /// plain v1 traffic.
     fn request_options(&self) -> Option<SolveOptions> {
-        (self.deadline_ms.is_some() || self.detail.is_some()).then(|| SolveOptions {
+        (self.deadline_ms.is_some() || self.detail.is_some() || self.trace).then(|| SolveOptions {
             time_budget_ms: self.deadline_ms,
             detail: self.detail,
+            trace: self.trace,
             ..SolveOptions::default()
         })
     }
+}
+
+/// One row of a per-stage latency attribution table: which lifecycle stage
+/// (queue/parse/solve/render/flush) the time went to. Client rows are built
+/// from scraped per-response `trace` objects, server rows from the `stats`
+/// verb's per-stage histograms — the two views of the same run that let a
+/// benchmark say *where* p99 lives, not just what it is.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageAttribution {
+    /// Stage name (`queue`, `parse`, `solve`, `render`, `flush`).
+    pub stage: String,
+    /// Samples recorded for this stage.
+    pub count: u64,
+    /// Mean stage latency in microseconds.
+    pub mean_us: f64,
+    /// Median stage latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile stage latency in microseconds.
+    pub p99_us: f64,
 }
 
 /// Aggregated result of one load-generation run. Flat numeric fields so the
@@ -136,6 +164,19 @@ pub struct LoadReport {
     pub p99_micros: f64,
     /// Worst observed latency in microseconds.
     pub max_micros: f64,
+    /// Successful responses that carried a `trace` object (only requests sent
+    /// with `options.trace` produce one).
+    pub traced: u64,
+    /// Client-side per-stage attribution, aggregated from the scraped
+    /// per-response `trace` objects. Empty when tracing was off.
+    pub client_stages: Vec<StageAttribution>,
+    /// Server-side per-stage attribution from the end-of-run `stats` scrape.
+    /// Empty when tracing was off or the scrape failed.
+    pub server_stages: Vec<StageAttribution>,
+    /// The service's lifetime `requests` counter from the end-of-run `stats`
+    /// scrape; every handled request records the `solve` stage exactly once,
+    /// so this must equal the server-side `solve` row's count.
+    pub server_requests: Option<u64>,
     /// Canonical per-response fingerprints (sorted), when
     /// [`LoadgenConfig::collect_payloads`] was set: two runs over the same
     /// pool produced identical payloads iff these vectors are equal.
@@ -143,10 +184,12 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Renders a compact human-readable summary.
+    /// Renders a compact human-readable summary. When tracing was on, the
+    /// attribution tables and a greppable `stats_consistency=` verdict line
+    /// (server `requests` counter vs the `solve` stage count) are appended.
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "scenario={} connections={} max_in_flight={} sent={} ok={} errors={} busy={} \
              expired={} degraded={} cache_hits={} response_bytes={}\n\
              wall={:.2}s achieved={:.1} req/s (target {})\n\
@@ -170,7 +213,38 @@ impl LoadReport {
             self.p50_micros,
             self.p99_micros,
             self.max_micros,
-        )
+        );
+        if self.traced > 0 {
+            out.push_str(&format!("\ntraced={}", self.traced));
+        }
+        for (label, stages) in [
+            ("client", &self.client_stages),
+            ("server", &self.server_stages),
+        ] {
+            for row in stages {
+                out.push_str(&format!(
+                    "\n{label} stage {}: n={} mean={:.0}us p50={:.0}us p99={:.0}us",
+                    row.stage, row.count, row.mean_us, row.p50_us, row.p99_us
+                ));
+            }
+        }
+        if let Some(server_requests) = self.server_requests {
+            let solve_count = self
+                .server_stages
+                .iter()
+                .find(|row| row.stage == "solve")
+                .map_or(0, |row| row.count);
+            let verdict = if solve_count == server_requests {
+                "ok"
+            } else {
+                "mismatch"
+            };
+            out.push_str(&format!(
+                "\nstats_consistency={verdict} server_requests={server_requests} \
+                 solve_stage_count={solve_count}"
+            ));
+        }
+        out
     }
 }
 
@@ -268,6 +342,16 @@ pub fn build_request_pool(
         .collect())
 }
 
+/// The stage names a per-response `trace` object attributes time to, in wire
+/// order. (`parse` is a server-side-only stage: it is never echoed per
+/// response, only aggregated in the `stats` histograms.)
+const TRACE_STAGES: [&str; 4] = ["queue", "solve", "render", "flush"];
+
+/// The four stage latencies scraped from one response's `trace` object, in
+/// [`TRACE_STAGES`] order.
+#[derive(Debug, Clone, Copy)]
+struct TraceSample([u64; 4]);
+
 #[derive(Default)]
 struct ThreadOutcome {
     sent: u64,
@@ -277,9 +361,12 @@ struct ThreadOutcome {
     expired: u64,
     degraded: u64,
     cache_hits: u64,
+    traced: u64,
     response_bytes: u64,
     latency: OnlineStats,
     samples: SampleSet,
+    stage_latency: [OnlineStats; TRACE_STAGES.len()],
+    stage_samples: [SampleSet; TRACE_STAGES.len()],
     payloads: Vec<String>,
 }
 
@@ -300,6 +387,13 @@ impl ThreadOutcome {
                 if resp.degraded {
                     self.degraded += 1;
                 }
+                if let Some(trace) = resp.trace {
+                    self.traced += 1;
+                    for (i, &stage_us) in trace.0.iter().enumerate() {
+                        self.stage_latency[i].push(stage_us as f64);
+                        self.stage_samples[i].push(stage_us as f64);
+                    }
+                }
             }
             Some(resp) if resp.busy => self.busy += 1,
             Some(resp) if resp.expired => self.expired += 1,
@@ -318,6 +412,8 @@ struct ResponseSummary {
     /// Successful response answered by the degraded fallback.
     degraded: bool,
     cache_hit: bool,
+    /// Stage latencies from the `trace` object, when the request opted in.
+    trace: Option<TraceSample>,
 }
 
 /// Digests one response line: a cheap field scan by default, a full parse
@@ -345,6 +441,10 @@ fn digest_response_line(
                     ),
                     degraded: resp.degraded,
                     cache_hit: resp.cache_hit,
+                    trace: resp
+                        .trace
+                        .as_ref()
+                        .map(|t| TraceSample([t.queue_us, t.solve_us, t.render_us, t.flush_us])),
                 };
                 let fp = payload_fingerprint(&resp);
                 (Some(summary), Some(fp))
@@ -356,21 +456,24 @@ fn digest_response_line(
     }
 }
 
-/// Extracts id/ok/busy/cache_hit from a response line without building the
-/// JSON tree. Returns `None` if the line does not look like a response.
+/// Extracts id/ok/busy/cache_hit (and the `trace` object, when present) from
+/// a response line without building the JSON tree. Returns `None` if the
+/// line does not look like a response.
 ///
 /// The envelope fields sit within a short prefix (`id`, `ok`, `error_kind`)
 /// or suffix (`cache_hit` in the spliced rendering) of the line, so the scan
 /// inspects two small windows instead of walking a multi-kilobyte schedule;
 /// a long error message can push fields past the windows, in which case the
-/// scan falls back to the full line.
+/// scan falls back to the full line. The tail window is sized so that the
+/// opt-in `trace` object (spliced last, ~120 bytes) cannot push `cache_hit`
+/// out of it.
 fn scan_response(line: &str) -> Option<ResponseSummary> {
     // Clamp to char boundaries: error messages may echo non-ASCII input.
     let mut head_end = line.len().min(192);
     while !line.is_char_boundary(head_end) {
         head_end -= 1;
     }
-    let mut tail_start = line.len().saturating_sub(192);
+    let mut tail_start = line.len().saturating_sub(320);
     while !line.is_char_boundary(tail_start) {
         tail_start += 1;
     }
@@ -412,6 +515,26 @@ fn scan_response(line: &str) -> Option<ResponseSummary> {
     // window of every response rendering.
     let degraded = ok && windows_flag("\"degraded\":");
     let cache_hit = ok && windows_flag("\"cache_hit\":");
+    // The trace object is spliced last, so it always sits in the tail window;
+    // scan its four stage fields relative to the `"trace"` key so a request
+    // id or pivot count elsewhere on the line cannot be misread as a stage.
+    let trace = if ok {
+        tail.find("\"trace\":{").and_then(|at| {
+            let obj = &tail[at..];
+            let mut stages = [0u64; TRACE_STAGES.len()];
+            for (slot, key) in stages.iter_mut().zip([
+                "\"queue_us\":",
+                "\"solve_us\":",
+                "\"render_us\":",
+                "\"flush_us\":",
+            ]) {
+                *slot = scan_u64_field(obj, key)?;
+            }
+            Some(TraceSample(stages))
+        })
+    } else {
+        None
+    };
     Some(ResponseSummary {
         id,
         ok,
@@ -419,6 +542,7 @@ fn scan_response(line: &str) -> Option<ResponseSummary> {
         expired,
         degraded,
         cache_hit,
+        trace,
     })
 }
 
@@ -580,8 +704,11 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let mut latency = OnlineStats::new();
     let mut samples = SampleSet::new();
     let mut payloads = Vec::new();
+    let mut stage_latency: [OnlineStats; TRACE_STAGES.len()] = Default::default();
+    let mut stage_samples: [SampleSet; TRACE_STAGES.len()] = Default::default();
     let (mut sent, mut ok, mut errors, mut busy) = (0, 0, 0, 0);
     let (mut expired, mut degraded, mut cache_hits, mut response_bytes) = (0, 0, 0, 0);
+    let mut traced = 0;
     for outcome in outcomes.lock().expect("outcomes poisoned").iter_mut() {
         sent += outcome.sent;
         ok += outcome.ok;
@@ -590,12 +717,44 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         expired += outcome.expired;
         degraded += outcome.degraded;
         cache_hits += outcome.cache_hits;
+        traced += outcome.traced;
         response_bytes += outcome.response_bytes;
         latency.merge(&outcome.latency);
         samples.merge(&outcome.samples);
+        for i in 0..TRACE_STAGES.len() {
+            stage_latency[i].merge(&outcome.stage_latency[i]);
+            stage_samples[i].merge(&outcome.stage_samples[i]);
+        }
         payloads.append(&mut outcome.payloads);
     }
     payloads.sort_unstable();
+
+    let client_stages: Vec<StageAttribution> = if traced > 0 {
+        TRACE_STAGES
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| StageAttribution {
+                stage: (*stage).to_string(),
+                count: stage_latency[i].count(),
+                mean_us: stage_latency[i].mean(),
+                p50_us: stage_samples[i].p50().unwrap_or(0.0),
+                p99_us: stage_samples[i].p99().unwrap_or(0.0),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // End-of-run server-side attribution: ask the service itself where the
+    // time went. The scrape rides a fresh connection so it cannot disturb the
+    // measured ones, and failure is tolerated — a report without server rows
+    // is still a report.
+    let (server_requests, server_stages) = if config.trace {
+        scrape_stats(&config.addr).map_or((None, Vec::new()), |stats| {
+            (scrape_counter(&stats, "requests"), stage_rows(&stats))
+        })
+    } else {
+        (None, Vec::new())
+    };
 
     Ok(LoadReport {
         scenario: config.scenario.clone(),
@@ -624,8 +783,58 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         } else {
             0.0
         },
+        traced,
+        client_stages,
+        server_stages,
+        server_requests,
         payloads: config.collect_payloads.then_some(payloads),
     })
+}
+
+/// Sends one `stats` verb over a fresh connection and returns the parsed
+/// `stats` object. Any failure — refused connection, closed socket,
+/// malformed reply — yields `None`: observability must never fail a run.
+fn scrape_stats(addr: &str) -> Option<Value> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "{{\"id\":0,\"verb\":\"stats\"}}").ok()?;
+    writer.flush().ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let value = serde_json::parse(line.trim_end()).ok()?;
+    value.get("stats").cloned()
+}
+
+/// Reads one top-level counter out of a scraped `stats` object.
+fn scrape_counter(stats: &Value, key: &str) -> Option<u64> {
+    match stats.get(key)? {
+        Value::Number(n) => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Converts the `stages` histograms of a scraped `stats` object into
+/// attribution rows, preserving the service's queue→flush stage order.
+fn stage_rows(stats: &Value) -> Vec<StageAttribution> {
+    let Some(Value::Object(stages)) = stats.get("stages") else {
+        return Vec::new();
+    };
+    let number = |hist: &Value, key: &str| match hist.get(key) {
+        Some(Value::Number(n)) => *n,
+        _ => 0.0,
+    };
+    stages
+        .iter()
+        .map(|(stage, hist)| StageAttribution {
+            stage: stage.clone(),
+            count: number(hist, "count") as u64,
+            mean_us: number(hist, "mean"),
+            p50_us: number(hist, "p50"),
+            p99_us: number(hist, "p99"),
+        })
+        .collect()
 }
 
 /// One request outstanding at a time: send, wait for the response, repeat.
@@ -832,6 +1041,10 @@ mod tests {
             p50_micros: 250.0,
             p99_micros: 900.0,
             max_micros: 1200.0,
+            traced: 0,
+            client_stages: Vec::new(),
+            server_stages: Vec::new(),
+            server_requests: None,
             payloads: None,
         };
         let text = report.render();
@@ -841,11 +1054,117 @@ mod tests {
         assert!(text.contains("expired=3"));
         assert!(text.contains("degraded=2"));
         assert!(text.contains("response_bytes=123456"));
+        assert!(!text.contains("traced="), "untraced runs stay compact");
+        assert!(!text.contains("stats_consistency"));
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("achieved_rps"));
         assert!(json.contains("busy"));
         assert!(json.contains("expired"));
         assert!(json.contains("response_bytes"));
+        assert!(json.contains("server_stages"));
+    }
+
+    #[test]
+    fn render_appends_attribution_and_consistency_verdict() {
+        let stage = |name: &str, count| StageAttribution {
+            stage: name.to_string(),
+            count,
+            mean_us: 10.0,
+            p50_us: 8.0,
+            p99_us: 40.0,
+        };
+        let mut report = LoadReport {
+            scenario: "mixed".to_string(),
+            connections: 1,
+            max_in_flight: 1,
+            sent: 5,
+            ok: 5,
+            errors: 0,
+            busy: 0,
+            expired: 0,
+            degraded: 0,
+            cache_hits: 0,
+            response_bytes: 0,
+            wall_secs: 1.0,
+            achieved_rps: 5.0,
+            target_rps: None,
+            mean_micros: 0.0,
+            p50_micros: 0.0,
+            p99_micros: 0.0,
+            max_micros: 0.0,
+            traced: 5,
+            client_stages: vec![stage("queue", 5), stage("solve", 5)],
+            server_stages: vec![stage("solve", 5), stage("render", 5)],
+            server_requests: Some(5),
+            payloads: None,
+        };
+        let text = report.render();
+        assert!(text.contains("traced=5"));
+        assert!(text.contains("client stage queue: n=5"));
+        assert!(text.contains("server stage solve: n=5"));
+        assert!(text.contains("stats_consistency=ok server_requests=5 solve_stage_count=5"));
+        report.server_requests = Some(7);
+        assert!(report.render().contains("stats_consistency=mismatch"));
+    }
+
+    #[test]
+    fn scan_extracts_trace_stages_and_matches_full_parse() {
+        use crate::protocol::TraceReport;
+        let mut resp = Response::failure(42, "x");
+        resp.ok = true;
+        resp.error = None;
+        resp.error_kind = None;
+        resp.solver = Some("suu-c".to_string());
+        resp.cache_hit = true;
+        resp.trace = Some(TraceReport {
+            queue_us: 11,
+            solve_us: 2200,
+            render_us: 33,
+            flush_us: 4,
+            cache: "hit".to_string(),
+            lp_pivots: 555,
+        });
+        let line = serde_json::to_string(&resp).unwrap();
+        for fingerprint in [false, true] {
+            let (summary, _) = digest_response_line(&line, fingerprint);
+            let summary = summary.expect("traced responses digest");
+            let trace = summary.trace.expect("trace scraped");
+            assert_eq!(trace.0, [11, 2200, 33, 4], "fingerprint={fingerprint}");
+        }
+        // Untraced responses scrape no trace, and the scan must not confuse
+        // the `lp_pivots` field for a stage.
+        resp.trace = None;
+        let line = serde_json::to_string(&resp).unwrap();
+        let (summary, _) = digest_response_line(&line, false);
+        assert!(summary.unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn trace_flag_turns_on_request_options() {
+        let config = LoadgenConfig {
+            trace: true,
+            ..LoadgenConfig::default()
+        };
+        let options = config.request_options().expect("trace forces options");
+        assert!(options.trace);
+        assert!(LoadgenConfig::default().request_options().is_none());
+    }
+
+    #[test]
+    fn stage_rows_read_scraped_stats() {
+        let stats = serde_json::parse(
+            r#"{"requests":12,"stages":{"queue":{"count":12,"mean":3.5,"p50":3,"p99":9},
+                "solve":{"count":12,"mean":100.0,"p50":90,"p99":400}}}"#,
+        )
+        .unwrap();
+        assert_eq!(scrape_counter(&stats, "requests"), Some(12));
+        let rows = stage_rows(&stats);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].stage, "queue");
+        assert_eq!(rows[0].count, 12);
+        assert!((rows[1].mean_us - 100.0).abs() < 1e-9);
+        assert!((rows[1].p99_us - 400.0).abs() < 1e-9);
+        assert_eq!(stage_rows(&serde_json::parse("{}").unwrap()).len(), 0);
     }
 
     #[test]

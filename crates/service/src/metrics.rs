@@ -1,45 +1,101 @@
-//! Service-side metrics: request counts, per-solver counts and latency.
+//! Service-side metrics: request counts, per-solver counts, and lock-free
+//! per-stage latency histograms (see [`crate::obs`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
-use suu_sim::{OnlineStats, Summary};
+use crate::obs::{AtomicHistogram, HistogramSnapshot, Stage};
 
-/// Live counters shared by all worker threads.
-#[derive(Default)]
+/// Live counters shared by all worker threads. Everything on the request
+/// path is a relaxed atomic (counters) or an [`AtomicHistogram`] (latency
+/// distributions) — recording never takes a lock except for the cold
+/// per-solver name map.
+///
+/// # What counts as a request
+///
+/// `requests` counts **handled** requests: every request a solver path
+/// actually answered, successes and errors alike. Two classes of traffic
+/// are answered but deliberately *not* counted (this is the one place that
+/// rule is documented; the counters below refer back here):
+///
+/// * `busy_rejections` — admission control turned the request away because
+///   the solve queue was full; it was never executed.
+/// * `expired_dropped` — the job's deadline had already passed when a solver
+///   thread dequeued it; it was answered `deadline_exceeded` without any
+///   solver work. This counter is the proof that expired jobs cost zero
+///   solver-thread time.
+///
+/// Protocol noise (unparseable lines, answered `bad_request`) and `stats`
+/// verb requests are likewise answered without entering `requests`.
 pub struct ServiceMetrics {
+    /// When this metrics block was created (service start, for uptime).
+    start: Instant,
     requests: AtomicU64,
     errors: AtomicU64,
-    latency_micros: Mutex<OnlineStats>,
+    /// End-to-end service-side handling latency, in microseconds.
+    latency_micros: AtomicHistogram,
     per_solver: Mutex<HashMap<String, u64>>,
     /// Total simplex pivots spent by the LP engine on fresh solves.
     lp_pivots: AtomicU64,
-    /// Per-solve LP wall-clock distribution (fresh solves only; cache hits
-    /// spend no LP time).
-    lp_micros: Mutex<OnlineStats>,
+    /// Per-solve LP wall-clock distribution in microseconds (fresh solves
+    /// only; cache hits spend no LP time).
+    lp_micros: AtomicHistogram,
     /// Requests whose schedule was actually computed by a solver (cache
     /// misses that were not coalesced onto another in-flight solve).
     fresh_solves: AtomicU64,
     /// Requests served by waiting on another request's in-flight solve
     /// (single-flight coalescing).
     coalesced: AtomicU64,
-    /// Requests rejected by admission control (`busy`) because the solve
-    /// queue was full; these never reach a solver and are **not** counted in
-    /// `requests`.
+    /// Admission-control rejections; not counted in `requests` (see the
+    /// struct docs).
     busy_rejections: AtomicU64,
-    /// Jobs whose effective deadline had already passed when a solver thread
-    /// dequeued them: answered `deadline_exceeded` without any solver work,
-    /// and — like `busy` — **not** counted in `requests`. This counter is
-    /// the proof that expired jobs cost zero solver-thread time.
+    /// Deadline-expired jobs dropped at dequeue; not counted in `requests`
+    /// (see the struct docs).
     expired_dropped: AtomicU64,
+    /// Per-stage latency histograms, indexed by [`Stage::index`]. The
+    /// `queue` stage only accumulates under the pipelined executor and the
+    /// `parse` stage only for line-delivered requests; `solve`/`render`
+    /// record once per handled request on every path.
+    stages: [AtomicHistogram; Stage::ALL.len()],
+    /// Most recently sampled solve-queue depth (gauge; pipelined only).
+    queue_depth: AtomicU64,
+    /// The solve queue's admission bound (0 until a pipelined transport
+    /// reports it).
+    queue_capacity: AtomicU64,
+    /// Distribution of sampled queue depths (one sample per accepted
+    /// submission).
+    queue_depth_samples: AtomicHistogram,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServiceMetrics {
-    /// A zeroed metrics block.
+    /// A zeroed metrics block; uptime starts counting now.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            start: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_micros: AtomicHistogram::new(),
+            per_solver: Mutex::new(HashMap::new()),
+            lp_pivots: AtomicU64::new(0),
+            lp_micros: AtomicHistogram::new(),
+            fresh_solves: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            expired_dropped: AtomicU64::new(0),
+            stages: Default::default(),
+            queue_depth: AtomicU64::new(0),
+            queue_capacity: AtomicU64::new(0),
+            queue_depth_samples: AtomicHistogram::new(),
+        }
     }
 
     /// Records one handled request.
@@ -48,10 +104,7 @@ impl ServiceMetrics {
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        self.latency_micros
-            .lock()
-            .expect("latency stats poisoned")
-            .push(micros as f64);
+        self.latency_micros.record(micros);
         if let Some(solver) = solver {
             *self
                 .per_solver
@@ -62,13 +115,28 @@ impl ServiceMetrics {
         }
     }
 
+    /// Records time spent in one lifecycle stage of a request.
+    pub fn record_stage(&self, stage: Stage, micros: u64) {
+        self.stages[stage.index()].record(micros);
+    }
+
+    /// Records one solve-queue depth sample (taken at submission) and
+    /// refreshes the depth gauge.
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_depth_samples.record(depth);
+    }
+
+    /// Publishes the solve queue's admission bound (once, at transport
+    /// start; repeated calls just overwrite).
+    pub fn set_queue_capacity(&self, capacity: u64) {
+        self.queue_capacity.store(capacity, Ordering::Relaxed);
+    }
+
     /// Records the LP effort of one fresh (non-cached) LP-backed solve.
     pub fn record_lp(&self, pivots: usize, micros: u64) {
         self.lp_pivots.fetch_add(pivots as u64, Ordering::Relaxed);
-        self.lp_micros
-            .lock()
-            .expect("lp stats poisoned")
-            .push(micros as f64);
+        self.lp_micros.record(micros);
     }
 
     /// Records one schedule actually computed by a solver (not served from
@@ -116,6 +184,12 @@ impl ServiceMetrics {
         self.expired_dropped.load(Ordering::Relaxed)
     }
 
+    /// Microseconds since this metrics block was created.
+    #[must_use]
+    pub fn uptime_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
     /// A consistent point-in-time snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -128,20 +202,24 @@ impl ServiceMetrics {
             .collect();
         per_solver.sort();
         MetricsSnapshot {
+            uptime_micros: self.uptime_micros(),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            latency_micros: self
-                .latency_micros
-                .lock()
-                .expect("latency stats poisoned")
-                .summary(),
+            latency_micros: self.latency_micros.snapshot(),
             per_solver,
             lp_pivots: self.lp_pivots.load(Ordering::Relaxed),
-            lp_micros: self.lp_micros.lock().expect("lp stats poisoned").summary(),
+            lp_micros: self.lp_micros.snapshot(),
             fresh_solves: self.fresh_solves.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             expired_dropped: self.expired_dropped.load(Ordering::Relaxed),
+            stages: Stage::ALL
+                .iter()
+                .map(|&stage| (stage, self.stages[stage.index()].snapshot()))
+                .collect(),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_capacity: self.queue_capacity.load(Ordering::Relaxed),
+            queue_depth_samples: self.queue_depth_samples.snapshot(),
         }
     }
 }
@@ -149,45 +227,97 @@ impl ServiceMetrics {
 /// Point-in-time copy of the service counters.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
-    /// Requests handled (including failures).
+    /// Microseconds since service start.
+    pub uptime_micros: u64,
+    /// Requests handled (including failures). `busy` rejections and
+    /// deadline-expired drops are answered but **not** counted here — see
+    /// the [`ServiceMetrics`] docs for the full rule.
     pub requests: u64,
     /// Requests that produced an error response.
     pub errors: u64,
-    /// Summary of service-side handling latency in microseconds.
-    pub latency_micros: Summary,
+    /// Distribution of service-side handling latency in microseconds.
+    pub latency_micros: HistogramSnapshot,
     /// Requests per solver name, sorted by name.
     pub per_solver: Vec<(String, u64)>,
     /// Total simplex pivots across all fresh LP-backed solves.
     pub lp_pivots: u64,
-    /// Summary of per-solve LP wall-clock microseconds (fresh solves only).
-    pub lp_micros: Summary,
+    /// Distribution of per-solve LP wall-clock microseconds (fresh solves
+    /// only).
+    pub lp_micros: HistogramSnapshot,
     /// Schedules actually computed by a solver (not cached, not coalesced).
     pub fresh_solves: u64,
     /// Requests served by waiting on an identical in-flight solve.
     pub coalesced: u64,
-    /// Requests rejected by admission control (`busy`).
+    /// Requests rejected by admission control (`busy`); excluded from
+    /// `requests` (see [`ServiceMetrics`]).
     pub busy_rejections: u64,
-    /// Jobs dropped at dequeue because their deadline had already passed
-    /// (no solver-thread time spent).
+    /// Jobs dropped at dequeue with an expired deadline; excluded from
+    /// `requests` (see [`ServiceMetrics`]).
     pub expired_dropped: u64,
+    /// Per-stage latency histograms in pipeline order.
+    pub stages: Vec<(Stage, HistogramSnapshot)>,
+    /// Most recently sampled solve-queue depth (pipelined transports only).
+    pub queue_depth: u64,
+    /// Solve-queue admission bound (0 when no pipelined transport reported
+    /// one).
+    pub queue_capacity: u64,
+    /// Distribution of queue-depth samples (one per accepted submission).
+    pub queue_depth_samples: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
+    /// The snapshot of one lifecycle stage's histogram.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> &HistogramSnapshot {
+        &self.stages[stage.index()].1
+    }
+
     /// Renders a compact human-readable report.
     #[must_use]
     pub fn render(&self) -> String {
+        let lat = &self.latency_micros;
         let mut out = format!(
-            "requests={} errors={} latency_mean={:.1}us latency_max={:.1}us\n",
-            self.requests, self.errors, self.latency_micros.mean, self.latency_micros.max
+            "requests={} errors={} latency_mean={:.1}us latency_p50={}us \
+             latency_p99={}us latency_max={}us\n",
+            self.requests,
+            self.errors,
+            lat.mean(),
+            lat.p50(),
+            lat.p99(),
+            lat.max_bound()
         );
         out.push_str(&format!(
-            "lp_solves={} lp_pivots={} lp_mean={:.1}us lp_max={:.1}us\n",
-            self.lp_micros.count, self.lp_pivots, self.lp_micros.mean, self.lp_micros.max
+            "lp_solves={} lp_pivots={} lp_mean={:.1}us lp_p99={}us lp_max={}us\n",
+            self.lp_micros.count(),
+            self.lp_pivots,
+            self.lp_micros.mean(),
+            self.lp_micros.p99(),
+            self.lp_micros.max_bound()
         ));
         out.push_str(&format!(
             "fresh_solves={} coalesced={} busy_rejections={} expired_dropped={}\n",
             self.fresh_solves, self.coalesced, self.busy_rejections, self.expired_dropped
         ));
+        if self.queue_capacity > 0 {
+            out.push_str(&format!(
+                "queue_depth={}/{} depth_p99={}\n",
+                self.queue_depth,
+                self.queue_capacity,
+                self.queue_depth_samples.p99()
+            ));
+        }
+        for (stage, hist) in &self.stages {
+            if hist.count() > 0 {
+                out.push_str(&format!(
+                    "  stage {}: n={} mean={:.1}us p50={}us p99={}us\n",
+                    stage.name(),
+                    hist.count(),
+                    hist.mean(),
+                    hist.p50(),
+                    hist.p99()
+                ));
+            }
+        }
         for (solver, count) in &self.per_solver {
             out.push_str(&format!("  {solver}: {count}\n"));
         }
@@ -208,10 +338,12 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.errors, 1);
-        assert_eq!(snap.latency_micros.count, 3);
-        assert!((snap.latency_micros.mean - 150.0).abs() < 1e-9);
+        assert_eq!(snap.latency_micros.count(), 3);
+        assert!((snap.latency_micros.mean() - 150.0).abs() < 1e-9);
         assert_eq!(snap.per_solver, vec![("suu-c".to_string(), 2)]);
         assert!(snap.render().contains("requests=3"));
+        assert!(snap.render().contains("latency_p50="));
+        assert!(snap.render().contains("latency_p99="));
     }
 
     #[test]
@@ -221,8 +353,8 @@ mod tests {
         m.record_lp(60, 1_100);
         let snap = m.snapshot();
         assert_eq!(snap.lp_pivots, 100);
-        assert_eq!(snap.lp_micros.count, 2);
-        assert!((snap.lp_micros.mean - 1_000.0).abs() < 1e-9);
+        assert_eq!(snap.lp_micros.count(), 2);
+        assert!((snap.lp_micros.mean() - 1_000.0).abs() < 1e-9);
         let text = snap.render();
         assert!(text.contains("lp_pivots=100"), "render: {text}");
         assert!(text.contains("lp_solves=2"), "render: {text}");
@@ -254,6 +386,41 @@ mod tests {
     }
 
     #[test]
+    fn stage_histograms_and_queue_gauges_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record_stage(Stage::Queue, 40);
+        m.record_stage(Stage::Queue, 60);
+        m.record_stage(Stage::Solve, 900);
+        m.record_queue_depth(3);
+        m.record_queue_depth(7);
+        m.set_queue_capacity(256);
+        let snap = m.snapshot();
+        assert_eq!(snap.stage(Stage::Queue).count(), 2);
+        assert_eq!(snap.stage(Stage::Queue).sum, 100);
+        assert_eq!(snap.stage(Stage::Solve).count(), 1);
+        assert_eq!(snap.stage(Stage::Render).count(), 0);
+        assert_eq!(snap.queue_depth, 7);
+        assert_eq!(snap.queue_capacity, 256);
+        assert_eq!(snap.queue_depth_samples.count(), 2);
+        let text = snap.render();
+        assert!(text.contains("queue_depth=7/256"), "render: {text}");
+        assert!(text.contains("stage queue: n=2"), "render: {text}");
+        assert!(
+            !text.contains("stage render"),
+            "empty stages are not rendered: {text}"
+        );
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        let m = ServiceMetrics::new();
+        let first = m.uptime_micros();
+        let second = m.uptime_micros();
+        assert!(second >= first);
+        assert!(m.snapshot().uptime_micros >= second);
+    }
+
+    #[test]
     fn concurrent_recording_loses_nothing() {
         use std::sync::Arc;
         let m = Arc::new(ServiceMetrics::new());
@@ -263,6 +430,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..100 {
                         m.record(Some("s"), true, 10);
+                        m.record_stage(Stage::Flush, 5);
                     }
                 })
             })
@@ -272,6 +440,8 @@ mod tests {
         }
         let snap = m.snapshot();
         assert_eq!(snap.requests, 400);
+        assert_eq!(snap.latency_micros.count(), 400);
+        assert_eq!(snap.stage(Stage::Flush).count(), 400);
         assert_eq!(snap.per_solver, vec![("s".to_string(), 400)]);
     }
 }

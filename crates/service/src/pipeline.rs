@@ -27,12 +27,14 @@
 
 use std::collections::VecDeque;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use crate::obs::Stage;
 use crate::protocol::{error_kind, scan_deadline, scan_request_id, Request, Response};
-use crate::service::SchedulerService;
+use crate::service::{SchedulerService, StageContext};
 
 /// Sizing of the pipelined executor.
 #[derive(Debug, Clone)]
@@ -64,6 +66,10 @@ pub struct ResponseSink {
     writer: Mutex<SinkWriter>,
     state: Mutex<SinkState>,
     drained: Condvar,
+    /// Duration of the most recent flush, in microseconds — the `flush_us`
+    /// trace field. Flushes are batched per burst, so this is a
+    /// per-connection figure shared by the requests of the burst.
+    last_flush_us: AtomicU64,
 }
 
 struct SinkWriter {
@@ -86,6 +92,7 @@ impl ResponseSink {
             }),
             state: Mutex::new(SinkState::default()),
             drained: Condvar::new(),
+            last_flush_us: AtomicU64::new(0),
         })
     }
 
@@ -137,9 +144,24 @@ impl ResponseSink {
     /// Flushes the underlying writer (best effort).
     pub fn flush(&self) {
         let mut writer = self.writer.lock().expect("sink writer poisoned");
-        if !writer.failed && writer.out.flush().is_err() {
+        if writer.failed {
+            return;
+        }
+        let start = Instant::now();
+        if writer.out.flush().is_err() {
             writer.failed = true;
         }
+        self.last_flush_us.store(
+            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Microseconds the most recent flush of this connection took (0 before
+    /// the first flush).
+    #[must_use]
+    pub fn last_flush_us(&self) -> u64 {
+        self.last_flush_us.load(Ordering::Relaxed)
     }
 
     /// Whether a write or flush has failed (client disconnected).
@@ -427,15 +449,28 @@ fn solver_loop(shared: &PoolShared, service: &SchedulerService) {
             job.respond_line(&line);
             continue;
         }
+        let queue_us = u64::try_from(job.accepted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+        service.metrics().record_stage(Stage::Queue, queue_us);
+        let ctx = StageContext {
+            queue_us,
+            flush_us: job.sink.last_flush_us(),
+        };
         let line = match &job.payload {
             JobPayload::Line(raw) => {
-                service.handle_line_coalesced_rendered_at(raw, job.accepted_at)
+                service.handle_line_coalesced_rendered_ctx(raw, job.accepted_at, ctx)
             }
             JobPayload::Request(request) => {
-                service.handle_request_coalesced_rendered_at(request, job.accepted_at)
+                service.handle_request_coalesced_rendered_ctx(request, job.accepted_at, ctx)
             }
         };
+        let flush_start = Instant::now();
         job.respond_line(&line);
+        // `respond_line` covers the write and (when this response closed the
+        // burst) the batched flush.
+        service.metrics().record_stage(
+            Stage::Flush,
+            u64::try_from(flush_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
     }
 }
 

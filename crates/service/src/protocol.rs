@@ -71,6 +71,37 @@
 //! (see [`error_kind`]); in particular `"busy"` signals that the solve queue
 //! was full and the request was rejected by admission control without being
 //! executed — the client may retry later.
+//!
+//! # Observability: per-response traces and the `stats` verb
+//!
+//! Both additions are strictly opt-in and backwards compatible — v1 request
+//! lines keep producing byte-identical responses.
+//!
+//! A request with `options: {"trace": true}` gets a `trace` object appended
+//! to its response (omitted, never `null`, otherwise):
+//!
+//! ```json
+//! {"id": 5, "ok": true, ..., "service_micros": 240,
+//!  "trace": {"queue_us": 12, "solve_us": 190, "render_us": 3,
+//!            "flush_us": 8, "cache": "miss", "lp_pivots": 44}}
+//! ```
+//!
+//! `queue_us` is time spent in the solve queue (0 on the serial transports,
+//! which have no queue), `solve_us` covers cache lookup + single-flight +
+//! solving, `render_us` the response serialisation, and `flush_us` the most
+//! recent write-side flush of the connection. `cache` reports how the
+//! schedule was obtained: `"hit"`, `"miss"` (fresh solve) or `"coalesced"`
+//! (waited on an identical in-flight solve). Tracing never forks the cache
+//! key — a traced and an untraced request share cached schedules.
+//!
+//! A line of the form `{"id": 3, "verb": "stats"}` is answered (and not
+//! counted as a scheduling request) with a full metrics snapshot:
+//! `{"id": 3, "ok": true, "stats": {...}}` carrying uptime, request/error
+//! counters, per-stage latency histograms (log-bucketed `[lower_bound,
+//! count]` pairs plus `count`/`sum`/`mean`/`p50`/`p90`/`p99`/`p999`),
+//! per-solver counts, solve-queue depth/capacity, per-shard cache
+//! occupancy/hit/miss/eviction counters and the single-flight table size.
+//! Unknown verbs are answered `error_kind: "bad_request"`.
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -211,6 +242,10 @@ pub struct SolveOptions {
     pub cache: Option<CachePolicy>,
     /// Response projection.
     pub detail: Option<Detail>,
+    /// Request per-stage lifecycle timings echoed on the response (the
+    /// `trace` object). Presentation only: tracing **must not** fork the
+    /// cache or single-flight key.
+    pub trace: bool,
 }
 
 impl SolveOptions {
@@ -297,6 +332,9 @@ impl Serialize for SolveOptions {
         if let Some(detail) = self.detail {
             fields.push(("detail".to_string(), detail.as_wire().to_value()));
         }
+        if self.trace {
+            fields.push(("trace".to_string(), true.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -331,6 +369,10 @@ impl Deserialize for SolveOptions {
             detail: opt_str("detail")?
                 .map(|s| Detail::from_wire(&s))
                 .transpose()?,
+            trace: match v.get("trace") {
+                None | Some(Value::Null) => false,
+                Some(b) => bool::from_value(b)?,
+            },
         })
     }
 }
@@ -431,9 +473,13 @@ fn scan_options_body(line: &str) -> Option<&str> {
     None
 }
 
-/// Scans `line` for `key` and parses the non-negative integer that follows
-/// (whitespace tolerated). Returns `None` when absent or malformed.
-fn scan_u64_field(line: &str, key: &str) -> Option<u64> {
+/// Scans `line` for `key` (pass the quoted key plus colon, e.g.
+/// `"\"queue_us\":"`) and parses the non-negative integer that follows
+/// (whitespace tolerated). Returns `None` when absent or malformed. Used by
+/// the executor's deadline scan and by the load generator to scrape trace
+/// fields without a full JSON parse.
+#[must_use]
+pub fn scan_u64_field(line: &str, key: &str) -> Option<u64> {
     let at = line.find(key)?;
     let rest = line[at + key.len()..].trim_start();
     let digits = rest.bytes().take_while(u8::is_ascii_digit).count();
@@ -614,6 +660,28 @@ impl BudgetReport {
     }
 }
 
+/// Per-request lifecycle timings, echoed in [`Response::trace`] when the
+/// request asked for them (`options: {"trace": true}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Microseconds spent in the solve queue before a solver thread picked
+    /// the request up (0 on the serial transports, which have no queue).
+    pub queue_us: u64,
+    /// Microseconds from dispatch to a solved schedule: cache lookup,
+    /// single-flight coordination and (on a miss) the solve itself.
+    pub solve_us: u64,
+    /// Microseconds spent rendering the response body.
+    pub render_us: u64,
+    /// Microseconds of the most recent write-side flush on this connection
+    /// (flushes are batched across a burst, so this is shared, not
+    /// per-request).
+    pub flush_us: u64,
+    /// How the schedule was obtained: `"hit"`, `"miss"` or `"coalesced"`.
+    pub cache: String,
+    /// Simplex pivots behind this response's schedule (0 when no LP ran).
+    pub lp_pivots: u64,
+}
+
 /// A structured solve failure flowing between the service internals (the
 /// solver runner, the single-flight layer) before it is rendered into a
 /// [`Response`]: the machine-readable [`error_kind`], the human-readable
@@ -683,6 +751,10 @@ pub struct Response {
     /// Budget post-mortem on `budget_exhausted` errors and degraded
     /// responses. **Omitted from the wire when absent.**
     pub budget: Option<BudgetReport>,
+    /// Per-stage lifecycle timings, present only when the request opted in
+    /// with `options: {"trace": true}`. **Omitted from the wire when
+    /// absent.**
+    pub trace: Option<TraceReport>,
 }
 
 impl Serialize for Response {
@@ -713,6 +785,9 @@ impl Serialize for Response {
         }
         if let Some(budget) = &self.budget {
             fields.push(("budget".to_string(), budget.to_value()));
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), trace.to_value()));
         }
         Value::Object(fields)
     }
@@ -747,6 +822,10 @@ impl Deserialize for Response {
                 None | Some(Value::Null) => None,
                 Some(b) => Some(BudgetReport::from_value(b)?),
             },
+            trace: match v.get("trace") {
+                None | Some(Value::Null) => None,
+                Some(t) => Some(TraceReport::from_value(t)?),
+            },
         })
     }
 }
@@ -771,6 +850,7 @@ impl Response {
             service_micros: 0,
             degraded: false,
             budget: None,
+            trace: None,
         }
     }
 
@@ -928,6 +1008,7 @@ mod tests {
             service_micros: 12,
             degraded: false,
             budget: None,
+            trace: None,
         };
         let json = serde_json::to_string(&resp).unwrap();
         assert!(json.contains("\"cache_hit\":true") || json.contains("\"cache_hit\": true"));
@@ -970,6 +1051,7 @@ mod tests {
             deadline_ms: None,
             cache: Some(CachePolicy::Refresh),
             detail: Some(Detail::NoSchedule),
+            trace: false,
         });
         let json = serde_json::to_string(&req).unwrap();
         assert!(json.contains("\"options\":{"), "json: {json}");
@@ -990,6 +1072,49 @@ mod tests {
         let bad = r#"{"id":1,"num_jobs":1,"num_machines":1,"probs":[0.5],
                       "options":{"engine":"warp"}}"#;
         assert!(serde_json::from_str::<Request>(bad).is_err());
+    }
+
+    #[test]
+    fn trace_option_and_report_roundtrip_and_are_omitted_by_default() {
+        // `trace` rides in options, serialised only when set.
+        let mut req = Request::from_instance(5, &chain_instance());
+        req.options = Some(SolveOptions {
+            trace: true,
+            ..SolveOptions::default()
+        });
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(
+            json.contains("\"options\":{\"trace\":true}"),
+            "json: {json}"
+        );
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert!(back.solve_options().trace);
+        // ... and must not fork the cache key.
+        assert_eq!(back.solve_options().engine_variant(), 0);
+
+        // An untraced response carries no trace key at all.
+        let mut resp = Response::failure(5, "x");
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(!json.contains("trace"), "json: {json}");
+
+        resp.trace = Some(TraceReport {
+            queue_us: 12,
+            solve_us: 190,
+            render_us: 3,
+            flush_us: 8,
+            cache: "miss".to_string(),
+            lp_pivots: 44,
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(
+            json.contains(
+                "\"trace\":{\"queue_us\":12,\"solve_us\":190,\"render_us\":3,\
+                 \"flush_us\":8,\"cache\":\"miss\",\"lp_pivots\":44}"
+            ),
+            "json: {json}"
+        );
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]
@@ -1115,6 +1240,7 @@ mod tests {
             service_micros: 10,
             degraded: false,
             budget: None,
+            trace: None,
         };
         let no_schedule = full.clone().project(Detail::NoSchedule);
         assert!(no_schedule.schedule.is_none());

@@ -14,12 +14,14 @@ use suu_sim::OnlineStats;
 use crate::cache::{CacheConfig, CachedSolve, ScheduleCache};
 use crate::flight::{Flight, SingleFlight};
 use crate::metrics::ServiceMetrics;
+use crate::obs::Stage;
 use crate::pipeline::{Job, PoolHandle, ResponseSink};
 use crate::protocol::{
     error_kind, scan_request_id, BudgetReport, CachePolicy, Detail, Request, Response,
-    SolveFailure, SolveOptions,
+    SolveFailure, SolveOptions, TraceReport,
 };
 use crate::solver::{Solver, SolverRegistry};
+use serde::{Deserialize, Serialize, Value};
 
 /// The solver every budget-exhausted auto-dispatched request degrades to:
 /// one topological pass, no LP, bounded latency (no approximation
@@ -61,11 +63,50 @@ impl Directives {
     }
 }
 
+/// How a request's schedule was obtained — the `trace.cache` vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheOutcome {
+    /// Served from the schedule cache.
+    Hit,
+    /// Solved fresh by this request.
+    Miss,
+    /// Served by waiting on an identical in-flight solve.
+    Coalesced,
+}
+
+impl CacheOutcome {
+    fn as_wire(self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+            Self::Coalesced => "coalesced",
+        }
+    }
+
+    /// The response's `cache_hit` flag. Coalesced followers report `true` —
+    /// they burned no solve of their own (the historical wire behaviour).
+    fn as_cache_hit(self) -> bool {
+        !matches!(self, Self::Miss)
+    }
+}
+
+/// Stage timings the *transport* already knows when it hands a request to
+/// the service — the pipelined executor passes the request's queue wait and
+/// the connection's most recent flush cost so they can be echoed in the
+/// `trace` response object. The serial transports have neither (both 0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageContext {
+    /// Microseconds the request waited in the solve queue.
+    pub queue_us: u64,
+    /// Microseconds of the connection's most recent write-side flush.
+    pub flush_us: u64,
+}
+
 /// The successful end of the validate → dispatch → lookup/solve flow.
 struct SolveOutcome {
     instance: SuuInstance,
     solved: CachedSolve,
-    cache_hit: bool,
+    cache: CacheOutcome,
     /// The dispatched solver's budget ran out and `solved` came from the
     /// serial-baseline fallback instead.
     degraded: bool,
@@ -201,7 +242,7 @@ impl SchedulerService {
     /// instead.
     #[must_use]
     pub fn handle_request(&self, request: &Request) -> Response {
-        self.handle_with(request, false, Instant::now())
+        self.handle_with(request, false, Instant::now(), StageContext::default())
     }
 
     /// Like [`handle_request`](Self::handle_request), but concurrent
@@ -210,23 +251,42 @@ impl SchedulerService {
     /// the duplicates wait on its result and report `cache_hit`.
     #[must_use]
     pub fn handle_request_coalesced(&self, request: &Request) -> Response {
-        self.handle_with(request, true, Instant::now())
+        self.handle_with(request, true, Instant::now(), StageContext::default())
     }
 
-    fn handle_with(&self, request: &Request, coalesce: bool, accepted_at: Instant) -> Response {
+    fn handle_with(
+        &self,
+        request: &Request,
+        coalesce: bool,
+        accepted_at: Instant,
+        ctx: StageContext,
+    ) -> Response {
         let start = Instant::now();
-        let mut response = self.solve_request(request, coalesce, accepted_at);
+        let mut response = self.solve_request(request, coalesce, accepted_at, ctx);
         response.service_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.metrics.record(
             response.solver.as_deref(),
             response.ok,
             response.service_micros,
         );
+        self.metrics
+            .record_stage(Stage::Solve, response.service_micros);
+        let micros = response.service_micros;
+        if let Some(trace) = response.trace.as_mut() {
+            trace.solve_us = micros;
+        }
         response
     }
 
-    fn solve_request(&self, request: &Request, coalesce: bool, accepted_at: Instant) -> Response {
-        let directives = Directives::new(&request.solve_options(), accepted_at);
+    fn solve_request(
+        &self,
+        request: &Request,
+        coalesce: bool,
+        accepted_at: Instant,
+        ctx: StageContext,
+    ) -> Response {
+        let options = request.solve_options();
+        let directives = Directives::new(&options, accepted_at);
         let outcome = match self.solve_flow(request, &directives, coalesce) {
             Ok(outcome) => outcome,
             Err(failure) => return failure,
@@ -246,13 +306,25 @@ impl SchedulerService {
                 )
             });
 
+        // `solve_us` is patched in by `handle_with` once the total handling
+        // time is known; `render_us` stays 0 on this (slow, struct-building)
+        // path — serialisation happens in the caller.
+        let trace = options.trace.then(|| TraceReport {
+            queue_us: ctx.queue_us,
+            solve_us: 0,
+            render_us: 0,
+            flush_us: ctx.flush_us,
+            cache: outcome.cache.as_wire().to_string(),
+            lp_pivots: outcome.solved.lp_pivots.unwrap_or(0) as u64,
+        });
+
         Response {
             id: request.id,
             ok: true,
             error: None,
             error_kind: None,
             solver: Some(outcome.solved.solver.clone()),
-            cache_hit: outcome.cache_hit,
+            cache_hit: outcome.cache.as_cache_hit(),
             schedule_len: outcome.solved.schedule.len(),
             lp_value: outcome.solved.lp_value,
             lp_pivots: outcome.solved.lp_pivots,
@@ -262,6 +334,7 @@ impl SchedulerService {
             service_micros: 0,
             degraded: outcome.degraded,
             budget: outcome.budget,
+            trace,
         }
         .project(directives.detail)
     }
@@ -350,10 +423,10 @@ impl SchedulerService {
             }
         }
         match result {
-            Ok((solved, cache_hit)) => Ok(SolveOutcome {
+            Ok((solved, cache)) => Ok(SolveOutcome {
                 instance,
                 solved,
-                cache_hit,
+                cache,
                 degraded: false,
                 budget: None,
             }),
@@ -385,10 +458,10 @@ impl SchedulerService {
                     ..*directives
                 };
                 match self.lookup_or_solve(&instance, fallback, &relaxed, coalesce) {
-                    Ok((solved, cache_hit)) => Ok(SolveOutcome {
+                    Ok((solved, cache)) => Ok(SolveOutcome {
                         instance,
                         solved,
-                        cache_hit,
+                        cache,
                         degraded: true,
                         budget: failure.budget,
                     }),
@@ -425,7 +498,7 @@ impl SchedulerService {
     /// computed per request.
     #[must_use]
     pub fn handle_request_coalesced_rendered(&self, request: &Request) -> String {
-        self.rendered_with_id(request, request.id, Instant::now())
+        self.rendered_with_id(request, request.id, Instant::now(), StageContext::default())
     }
 
     /// Like
@@ -439,7 +512,20 @@ impl SchedulerService {
         request: &Request,
         accepted_at: Instant,
     ) -> String {
-        self.rendered_with_id(request, request.id, accepted_at)
+        self.rendered_with_id(request, request.id, accepted_at, StageContext::default())
+    }
+
+    /// [`handle_request_coalesced_rendered_at`](Self::handle_request_coalesced_rendered_at)
+    /// with the transport's [`StageContext`] (queue wait and last flush
+    /// cost), echoed in the `trace` object when the request asked for one.
+    #[must_use]
+    pub fn handle_request_coalesced_rendered_ctx(
+        &self,
+        request: &Request,
+        accepted_at: Instant,
+        ctx: StageContext,
+    ) -> String {
+        self.rendered_with_id(request, request.id, accepted_at, ctx)
     }
 
     /// The pipelined executor's raw-line handler: parse (through the
@@ -455,8 +541,30 @@ impl SchedulerService {
     /// with an explicit acceptance time for budget accounting.
     #[must_use]
     pub fn handle_line_coalesced_rendered_at(&self, line: &str, accepted_at: Instant) -> String {
+        self.handle_line_coalesced_rendered_ctx(line, accepted_at, StageContext::default())
+    }
+
+    /// [`handle_line_coalesced_rendered_at`](Self::handle_line_coalesced_rendered_at)
+    /// with the transport's [`StageContext`] for trace echoing.
+    #[must_use]
+    pub fn handle_line_coalesced_rendered_ctx(
+        &self,
+        line: &str,
+        accepted_at: Instant,
+        ctx: StageContext,
+    ) -> String {
+        if let Some(reply) = self.try_handle_verb(line) {
+            return reply;
+        }
+        let parse_start = Instant::now();
         match self.parse_line_cached(line) {
-            Ok((id, request)) => self.rendered_with_id(&request, id, accepted_at),
+            Ok((id, request)) => {
+                self.metrics.record_stage(
+                    Stage::Parse,
+                    u64::try_from(parse_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                );
+                self.rendered_with_id(&request, id, accepted_at, ctx)
+            }
             Err(err) => {
                 // Like the serial `handle_line`: protocol noise is answered
                 // but not counted as a handled request in the metrics. The
@@ -474,9 +582,16 @@ impl SchedulerService {
 
     /// `request` with `id` substituted (interned requests carry the id of
     /// their first submission; every later envelope gets its own).
-    fn rendered_with_id(&self, request: &Request, id: u64, accepted_at: Instant) -> String {
+    fn rendered_with_id(
+        &self,
+        request: &Request,
+        id: u64,
+        accepted_at: Instant,
+        ctx: StageContext,
+    ) -> String {
         let start = Instant::now();
-        let directives = Directives::new(&request.solve_options(), accepted_at);
+        let options = request.solve_options();
+        let directives = Directives::new(&options, accepted_at);
         if request.estimate_trials.filter(|&t| t > 0).is_some()
             || directives.detail == Detail::EstimateOnly
         {
@@ -484,14 +599,20 @@ impl SchedulerService {
             // the id patched through.
             let mut own = request.clone();
             own.id = id;
-            let response = self.handle_with(&own, true, accepted_at);
-            return serde_json::to_string(&response).expect("responses always serialise");
+            let response = self.handle_with(&own, true, accepted_at, ctx);
+            let render_start = Instant::now();
+            let line = serde_json::to_string(&response).expect("responses always serialise");
+            self.metrics.record_stage(
+                Stage::Render,
+                u64::try_from(render_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            );
+            return line;
         }
         match self.solve_flow(request, &directives, true) {
             Ok(outcome) => {
-                let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-                self.metrics
-                    .record(Some(&outcome.solved.solver), true, micros);
+                let solve_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.metrics.record_stage(Stage::Solve, solve_us);
+                let render_start = Instant::now();
                 let body = match directives.detail {
                     Detail::NoSchedule => outcome.solved.rendered_body_no_schedule(),
                     Detail::Full | Detail::EstimateOnly => outcome.solved.rendered_body(),
@@ -508,7 +629,26 @@ impl SchedulerService {
                         &serde_json::to_string(budget).expect("budget reports serialise"),
                     );
                 }
-                let cache_hit = outcome.cache_hit;
+                let render_us =
+                    u64::try_from(render_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.metrics.record_stage(Stage::Render, render_us);
+                if options.trace {
+                    let trace = TraceReport {
+                        queue_us: ctx.queue_us,
+                        solve_us,
+                        render_us,
+                        flush_us: ctx.flush_us,
+                        cache: outcome.cache.as_wire().to_string(),
+                        lp_pivots: outcome.solved.lp_pivots.unwrap_or(0) as u64,
+                    };
+                    extra.push_str(",\"trace\":");
+                    extra
+                        .push_str(&serde_json::to_string(&trace).expect("trace reports serialise"));
+                }
+                let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                self.metrics
+                    .record(Some(&outcome.solved.solver), true, micros);
+                let cache_hit = outcome.cache.as_cache_hit();
                 format!(
                     "{{\"id\":{id},\"ok\":true,\"error\":null,\"error_kind\":null,{body},\
                      \"cache_hit\":{cache_hit},\"estimated_makespan\":null,\
@@ -520,7 +660,15 @@ impl SchedulerService {
                 failure.service_micros =
                     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
                 self.metrics.record(None, false, failure.service_micros);
-                serde_json::to_string(&failure).expect("responses always serialise")
+                self.metrics
+                    .record_stage(Stage::Solve, failure.service_micros);
+                let render_start = Instant::now();
+                let line = serde_json::to_string(&failure).expect("responses always serialise");
+                self.metrics.record_stage(
+                    Stage::Render,
+                    u64::try_from(render_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                );
+                line
             }
         }
     }
@@ -566,9 +714,9 @@ impl SchedulerService {
 
     /// Resolves a schedule for `(instance, solver, variant)` under the
     /// request's cache policy: cache hit, fresh solve, or (when `coalesce`
-    /// is set) a wait on an identical in-flight solve. The boolean is the
-    /// response's `cache_hit` flag — coalesced followers report `true` since
-    /// they burned no solve of their own.
+    /// is set) a wait on an identical in-flight solve. The [`CacheOutcome`]
+    /// distinguishes the three for the response's `cache_hit` flag and the
+    /// `trace.cache` field.
     ///
     /// `Bypass` and `Refresh` requests demand their own fresh solve, so they
     /// go around both the cache read and the single-flight layer (they never
@@ -580,18 +728,18 @@ impl SchedulerService {
         solver: &dyn Solver,
         directives: &Directives,
         coalesce: bool,
-    ) -> Result<(CachedSolve, bool), SolveFailure> {
+    ) -> Result<(CachedSolve, CacheOutcome), SolveFailure> {
         let variant = directives.variant;
         match directives.cache {
             CachePolicy::Bypass => {
                 return self
                     .run_solver(instance, solver, &directives.limits, None)
-                    .map(|s| (s, false));
+                    .map(|s| (s, CacheOutcome::Miss));
             }
             CachePolicy::Refresh => {
                 return self
                     .run_solver(instance, solver, &directives.limits, Some(variant))
-                    .map(|s| (s, false));
+                    .map(|s| (s, CacheOutcome::Miss));
             }
             CachePolicy::Default => {}
         }
@@ -600,11 +748,11 @@ impl SchedulerService {
             // wins). Kept as the baseline path for `serve_lines` and for the
             // pipelined-vs-serial benchmark.
             if let Some(hit) = self.cache.get(instance, solver.name(), variant) {
-                return Ok((hit, true));
+                return Ok((hit, CacheOutcome::Hit));
             }
             return self
                 .run_solver(instance, solver, &directives.limits, Some(variant))
-                .map(|s| (s, false));
+                .map(|s| (s, CacheOutcome::Miss));
         }
         let key = (
             instance.canonical_digest(),
@@ -615,14 +763,14 @@ impl SchedulerService {
             .flight
             .begin(key, || self.cache.get(instance, solver.name(), variant))
         {
-            Ok(hit) => Ok((hit, true)),
+            Ok(hit) => Ok((hit, CacheOutcome::Hit)),
             Err(Flight::Lead(guard)) => {
                 match self.run_solver(instance, solver, &directives.limits, Some(variant)) {
                     Ok(solved) => {
                         // `run_solver` already inserted into the cache, so
                         // publishing (which clears the slot) is safe now.
                         guard.publish(Ok(solved.clone()));
-                        Ok((solved, false))
+                        Ok((solved, CacheOutcome::Miss))
                     }
                     Err(failure) => {
                         guard.publish(Err(failure.clone()));
@@ -642,7 +790,7 @@ impl SchedulerService {
                 // that instant with a structured time-budget failure.
                 flight
                     .wait_until(directives.limits.deadline)
-                    .map(|solved| (solved, true))
+                    .map(|solved| (solved, CacheOutcome::Coalesced))
             }
         }
     }
@@ -726,18 +874,178 @@ impl SchedulerService {
 
     /// Handles one raw NDJSON line. Parse failures yield an error response
     /// (with the line's `"id"` scanned out best-effort, 0 when absent)
-    /// rather than tearing the connection down.
+    /// rather than tearing the connection down. Lines carrying a `verb`
+    /// field are protocol commands (`stats`), answered without entering the
+    /// scheduling path.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> String {
-        let response = match serde_json::from_str::<Request>(line) {
-            Ok(request) => self.handle_request(&request),
-            Err(err) => Response::failure_with(
-                scan_request_id(line),
-                error_kind::BAD_REQUEST,
-                format!("bad request: {err}"),
-            ),
+        if let Some(reply) = self.try_handle_verb(line) {
+            return reply;
+        }
+        let parse_start = Instant::now();
+        match serde_json::from_str::<Request>(line) {
+            Ok(request) => {
+                self.metrics.record_stage(
+                    Stage::Parse,
+                    u64::try_from(parse_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                );
+                let response = self.handle_request(&request);
+                let render_start = Instant::now();
+                let rendered =
+                    serde_json::to_string(&response).expect("responses always serialise");
+                self.metrics.record_stage(
+                    Stage::Render,
+                    u64::try_from(render_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                );
+                rendered
+            }
+            Err(err) => {
+                let failure = Response::failure_with(
+                    scan_request_id(line),
+                    error_kind::BAD_REQUEST,
+                    format!("bad request: {err}"),
+                );
+                serde_json::to_string(&failure).expect("responses always serialise")
+            }
+        }
+    }
+
+    /// Intercepts protocol-command lines (`{"id": N, "verb": "stats"}`).
+    /// Returns `None` for ordinary scheduling requests — a line only counts
+    /// as a command when it parses as JSON *and* carries a `verb` key.
+    /// Commands are answered but, like protocol noise, never counted in the
+    /// `requests` metric (see [`ServiceMetrics`]).
+    fn try_handle_verb(&self, line: &str) -> Option<String> {
+        if !line.contains("\"verb\"") {
+            return None;
+        }
+        let value = serde_json::parse(line).ok()?;
+        let verb = match value.get("verb")? {
+            Value::String(s) => s.clone(),
+            _ => return None,
         };
-        serde_json::to_string(&response).expect("responses always serialise")
+        let id = value
+            .get("id")
+            .and_then(|v| u64::from_value(v).ok())
+            .unwrap_or(0);
+        match verb.as_str() {
+            "stats" => Some(self.stats_response_line(id)),
+            other => {
+                let failure = Response::failure_with(
+                    id,
+                    error_kind::BAD_REQUEST,
+                    format!("unknown verb `{other}`; supported: stats"),
+                );
+                Some(serde_json::to_string(&failure).expect("responses always serialise"))
+            }
+        }
+    }
+
+    /// Renders the `stats` verb response: `{"id": N, "ok": true, "stats":
+    /// {...}}` with the full metrics snapshot (see the protocol docs).
+    #[must_use]
+    pub fn stats_response_line(&self, id: u64) -> String {
+        Value::Object(vec![
+            ("id".to_string(), id.to_value()),
+            ("ok".to_string(), true.to_value()),
+            ("stats".to_string(), self.stats_value()),
+        ])
+        .render()
+    }
+
+    /// The full observability snapshot behind the `stats` verb, as a JSON
+    /// value: request/error counters, per-stage latency histograms, LP
+    /// effort, solve-queue gauges, per-solver counts, per-shard cache
+    /// counters and the single-flight table size.
+    fn stats_value(&self) -> Value {
+        let snap = self.metrics.snapshot();
+        let shards = self.cache.shard_stats();
+        let cache_entries: u64 = shards.iter().map(|s| s.entries).sum();
+        let stages = Value::Object(
+            snap.stages
+                .iter()
+                .map(|(stage, hist)| (stage.name().to_string(), hist.to_value()))
+                .collect(),
+        );
+        let per_solver = Value::Object(
+            snap.per_solver
+                .iter()
+                .map(|(name, count)| (name.clone(), count.to_value()))
+                .collect(),
+        );
+        let shard_values = Value::Array(
+            shards
+                .iter()
+                .map(|s| {
+                    Value::Object(vec![
+                        ("entries".to_string(), s.entries.to_value()),
+                        ("hits".to_string(), s.hits.to_value()),
+                        ("misses".to_string(), s.misses.to_value()),
+                        ("evictions".to_string(), s.evictions.to_value()),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("uptime_us".to_string(), snap.uptime_micros.to_value()),
+            ("requests".to_string(), snap.requests.to_value()),
+            ("errors".to_string(), snap.errors.to_value()),
+            (
+                "busy_rejections".to_string(),
+                snap.busy_rejections.to_value(),
+            ),
+            (
+                "expired_dropped".to_string(),
+                snap.expired_dropped.to_value(),
+            ),
+            ("fresh_solves".to_string(), snap.fresh_solves.to_value()),
+            ("coalesced".to_string(), snap.coalesced.to_value()),
+            ("latency_us".to_string(), snap.latency_micros.to_value()),
+            (
+                "lp".to_string(),
+                Value::Object(vec![
+                    ("pivots".to_string(), snap.lp_pivots.to_value()),
+                    ("solves".to_string(), snap.lp_micros.count().to_value()),
+                    ("micros".to_string(), snap.lp_micros.to_value()),
+                ]),
+            ),
+            ("stages".to_string(), stages),
+            (
+                "queue".to_string(),
+                Value::Object(vec![
+                    ("depth".to_string(), snap.queue_depth.to_value()),
+                    ("capacity".to_string(), snap.queue_capacity.to_value()),
+                    (
+                        "depth_samples".to_string(),
+                        snap.queue_depth_samples.to_value(),
+                    ),
+                ]),
+            ),
+            ("per_solver".to_string(), per_solver),
+            (
+                "cache".to_string(),
+                Value::Object(vec![
+                    ("entries".to_string(), cache_entries.to_value()),
+                    (
+                        "hits".to_string(),
+                        shards.iter().map(|s| s.hits).sum::<u64>().to_value(),
+                    ),
+                    (
+                        "misses".to_string(),
+                        shards.iter().map(|s| s.misses).sum::<u64>().to_value(),
+                    ),
+                    (
+                        "evictions".to_string(),
+                        shards.iter().map(|s| s.evictions).sum::<u64>().to_value(),
+                    ),
+                    ("shards".to_string(), shard_values),
+                ]),
+            ),
+            (
+                "flight_in_flight".to_string(),
+                self.flight.in_flight().to_value(),
+            ),
+        ])
     }
 
     /// Serves NDJSON requests from `input` to `output` until EOF — the
@@ -795,6 +1103,7 @@ impl SchedulerService {
         pool: &PoolHandle,
     ) -> std::io::Result<()> {
         let sink = ResponseSink::new(output);
+        self.metrics.set_queue_capacity(pool.capacity() as u64);
         loop {
             if sink.failed() {
                 sink.wait_drained();
@@ -812,11 +1121,18 @@ impl SchedulerService {
                     // Parsing happens on the solver threads (through the
                     // interned-line cache); the reader only tags and
                     // enqueues, so it can never fall behind the socket.
-                    if let Err(job) = pool.try_submit(Job::from_line(line, &sink)) {
-                        let id = job.id_hint();
-                        drop(job); // releases the in-flight slot
-                        self.metrics.record_busy();
-                        sink.write_response_now(&Response::busy(id));
+                    match pool.try_submit(Job::from_line(line, &sink)) {
+                        Ok(()) => {
+                            // One queue-depth sample per accepted submission
+                            // feeds the depth gauge and its histogram.
+                            self.metrics.record_queue_depth(pool.queue_depth() as u64);
+                        }
+                        Err(job) => {
+                            let id = job.id_hint();
+                            drop(job); // releases the in-flight slot
+                            self.metrics.record_busy();
+                            sink.write_response_now(&Response::busy(id));
+                        }
                     }
                 }
             }
@@ -941,7 +1257,7 @@ mod tests {
         assert_eq!(second.lp_pivots, Some(pivots));
         let snap = svc.metrics().snapshot();
         assert_eq!(snap.lp_pivots, pivots as u64);
-        assert_eq!(snap.lp_micros.count, 1);
+        assert_eq!(snap.lp_micros.count(), 1);
     }
 
     #[test]

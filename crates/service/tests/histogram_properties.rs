@@ -1,0 +1,125 @@
+//! Property tests for the log-bucketed [`AtomicHistogram`]: quantile
+//! monotonicity, bucket-bound bracketing, exactness of count/sum, and
+//! merge/serde round-trips, over arbitrary recorded value sets.
+//!
+//! The quantile contract under test is the one documented on
+//! [`HistogramSnapshot::quantile`]: nearest rank over the bucket counts,
+//! reported as the containing bucket's inclusive upper bound. Against an
+//! exact sorted reference that means the report always lands in *the same
+//! bucket* as the true order statistic — conservative (≥ the true value),
+//! never off by more than one half-octave.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use suu_service::obs::{bucket_index, bucket_lower_bound, bucket_upper_bound};
+use suu_service::{AtomicHistogram, HistogramSnapshot};
+
+/// Values stay below the overflow bucket's nominal `2^32 − 1` upper bound so
+/// every recorded value is bracketed by its bucket, and well below the range
+/// where the exact `sum` counter could wrap.
+const MAX_VALUE: u64 = (1u64 << 32) - 1;
+
+/// The quantile points the service reports on the wire.
+const QUANTILES: [f64; 4] = [0.50, 0.90, 0.99, 0.999];
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let histogram = AtomicHistogram::new();
+    for &value in values {
+        histogram.record(value);
+    }
+    histogram.snapshot()
+}
+
+/// Exact nearest-rank order statistic: the reference the bucketed quantile
+/// is compared against.
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil().max(1.0).min(n as f64) as usize;
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_value_is_bracketed_by_its_bucket(value in 0..=MAX_VALUE) {
+        let index = bucket_index(value);
+        prop_assert!(bucket_lower_bound(index) <= value);
+        prop_assert!(value <= bucket_upper_bound(index));
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(values in vec(0..=MAX_VALUE, 0..200)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in vec(0..=MAX_VALUE, 1..200)) {
+        let snap = snapshot_of(&values);
+        prop_assert!(snap.p50() <= snap.p90());
+        prop_assert!(snap.p90() <= snap.p99());
+        prop_assert!(snap.p99() <= snap.p999());
+        prop_assert!(snap.p999() <= snap.max_bound());
+        // max_bound dominates every recorded value (it is the top non-empty
+        // bucket's inclusive upper bound).
+        let max_recorded = *values.iter().max().expect("non-empty");
+        prop_assert!(max_recorded <= snap.max_bound());
+    }
+
+    #[test]
+    fn quantile_lands_in_the_exact_order_statistic_bucket(
+        values in vec(0..=MAX_VALUE, 1..200),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let exact = exact_nearest_rank(&sorted, q);
+            let reported = snap.quantile(q);
+            // Same bucket as the true order statistic, reported as that
+            // bucket's upper bound — so conservative but tightly so.
+            prop_assert_eq!(reported, bucket_upper_bound(bucket_index(exact)));
+            prop_assert!(reported >= exact);
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        left in vec(0..=MAX_VALUE, 0..100),
+        right in vec(0..=MAX_VALUE, 0..100),
+    ) {
+        let mut merged = snapshot_of(&left);
+        merged.merge(&snapshot_of(&right));
+
+        let mut concatenated = left;
+        concatenated.extend_from_slice(&right);
+        prop_assert_eq!(merged, snapshot_of(&concatenated));
+    }
+
+    #[test]
+    fn atomic_merge_equals_snapshot_merge(
+        left in vec(0..=MAX_VALUE, 0..100),
+        right in vec(0..=MAX_VALUE, 0..100),
+    ) {
+        let histogram = AtomicHistogram::new();
+        for &value in &left {
+            histogram.record(value);
+        }
+        histogram.merge(&snapshot_of(&right));
+
+        let mut expected = snapshot_of(&left);
+        expected.merge(&snapshot_of(&right));
+        prop_assert_eq!(histogram.snapshot(), expected);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_snapshot(values in vec(0..=MAX_VALUE, 0..100)) {
+        let snap = snapshot_of(&values);
+        let wire = snap.to_value();
+        let back = HistogramSnapshot::from_value(&wire).expect("snapshot deserialises");
+        prop_assert_eq!(back, snap);
+    }
+}

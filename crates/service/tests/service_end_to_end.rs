@@ -195,6 +195,7 @@ fn loadgen_sustains_100_rps_and_pipelining_beats_serial() {
         collect_payloads: false,
         deadline_ms: None,
         detail: None,
+        trace: false,
         seed: 0xACCE,
     })
     .expect("load generation succeeds");
@@ -240,6 +241,7 @@ fn loadgen_sustains_100_rps_and_pipelining_beats_serial() {
             collect_payloads,
             deadline_ms: None,
             detail: None,
+            trace: false,
             seed: 0xACCE,
         })
         .expect("load generation succeeds");

@@ -26,5 +26,5 @@ pub mod trace;
 pub use executor::{simulate_once, MakespanEstimate, SimulationOptions, Simulator};
 pub use markov::{exact_expected_makespan_oblivious_cyclic, exact_expected_makespan_regimen};
 pub use policy::{AllMachinesOnOneJob, FnPolicy, FnRegimen};
-pub use stats::{OnlineStats, SampleSet, Summary};
+pub use stats::{bucket_quantile_index, OnlineStats, SampleSet, Summary};
 pub use trace::{ExecutionTrace, StepRecord};

@@ -160,6 +160,35 @@ impl Summary {
     }
 }
 
+/// Nearest-rank quantile over a bucketed (pre-aggregated) distribution.
+///
+/// `counts[i]` is the number of observations that fell into bucket `i`
+/// (buckets ordered by value). Returns the index of the bucket containing
+/// the `q`-quantile observation under the same nearest-rank convention as
+/// [`SampleSet::quantile`] (`rank = ceil(q·n)` clamped to `[1, n]`), or
+/// `None` when every bucket is empty. The caller maps the index back to a
+/// value bound — this function is deliberately agnostic of the bucketing
+/// scheme, so constant-memory summaries (e.g. log-bucketed latency
+/// histograms) can reuse the exact-sample quantile semantics.
+#[must_use]
+pub fn bucket_quantile_index(counts: &[u64], q: f64) -> Option<usize> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * total as f64).ceil().max(1.0).min(total as f64) as u64;
+    let mut cumulative = 0u64;
+    for (index, &count) in counts.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= rank {
+            return Some(index);
+        }
+    }
+    // Unreachable: `rank <= total` and the cumulative sum reaches `total`.
+    Some(counts.len() - 1)
+}
+
 /// An exact sample set for quantile queries.
 ///
 /// [`OnlineStats`] is constant-space but cannot answer percentile questions;
@@ -449,6 +478,53 @@ mod tests {
         for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
             assert_eq!(a.quantile(q), all.quantile(q));
         }
+    }
+
+    #[test]
+    fn bucket_quantile_matches_exact_samples() {
+        // 2 observations in bucket 0, 3 in bucket 2, 5 in bucket 3: the
+        // bucket index of every quantile must match a SampleSet holding the
+        // same observations flattened to their bucket indices.
+        let counts = [2u64, 0, 3, 5];
+        let mut exact = SampleSet::new();
+        for (index, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                exact.push(index as f64);
+            }
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                bucket_quantile_index(&counts, q),
+                exact.quantile(q).map(|v| v as usize),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_quantile_handles_empty_and_singleton() {
+        assert_eq!(bucket_quantile_index(&[], 0.5), None);
+        assert_eq!(bucket_quantile_index(&[0, 0, 0], 0.5), None);
+        // A single observation is every quantile.
+        assert_eq!(bucket_quantile_index(&[0, 1, 0], 0.0), Some(1));
+        assert_eq!(bucket_quantile_index(&[0, 1, 0], 0.5), Some(1));
+        assert_eq!(bucket_quantile_index(&[0, 1, 0], 1.0), Some(1));
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(bucket_quantile_index(&[1, 1], -3.0), Some(0));
+        assert_eq!(bucket_quantile_index(&[1, 1], 7.0), Some(1));
+    }
+
+    #[test]
+    fn bucket_quantile_is_monotone_in_q() {
+        let counts = [5u64, 0, 1, 9, 0, 0, 2];
+        let mut last = 0usize;
+        for step in 0..=100 {
+            let q = f64::from(step) / 100.0;
+            let index = bucket_quantile_index(&counts, q).unwrap();
+            assert!(index >= last, "quantile regressed at q={q}");
+            last = index;
+        }
+        assert_eq!(bucket_quantile_index(&counts, 1.0), Some(6));
     }
 
     #[test]
