@@ -53,7 +53,36 @@ pub enum Engine {
 /// cells stay on the dense engine under [`Engine::Auto`]: at that size the
 /// dense tableau fits comfortably in cache and has no factorisation
 /// bookkeeping to amortise.
-pub const DENSE_CELL_THRESHOLD: usize = 5_000;
+///
+/// The value is *measured*, not guessed: the `exp_lp_scaling` experiment's
+/// crossover probe times both engines on (LP2) relaxations bracketing the
+/// break-even size and fits the cell count where the revised engine starts
+/// winning (geometric midpoint between the largest dense-winning point and
+/// the smallest revised-winning point; see the "auto crossover" table in
+/// `BENCH_lp_scaling.json`). The recorded fit is ≈ 35,700 cells from the
+/// bracket (31,347 dense-winning; 40,586 revised-winning), rounded here.
+/// Re-fit after any engine change.
+pub const DENSE_CELL_THRESHOLD: usize = 35_000;
+
+/// The exact standard-form tableau size `(rows + 1) × (total columns + 1)`
+/// of a problem — the quantity [`Engine::Auto`] compares against
+/// [`DENSE_CELL_THRESHOLD`]. Exposed so the `exp_lp_scaling` crossover probe
+/// fits the threshold in the same units the selector uses.
+#[must_use]
+pub fn tableau_cells(problem: &LpProblem) -> usize {
+    let rows = problem.num_constraints();
+    // Count the extra columns exactly (one cheap O(rows) pass over the
+    // shared per-row classification).
+    let extra: usize = problem
+        .constraints()
+        .iter()
+        .map(|c| {
+            let (slack, artificial) = row_extra_columns(c);
+            usize::from(slack) + usize::from(artificial)
+        })
+        .sum();
+    (rows + 1).saturating_mul(problem.num_variables() + extra + 1)
+}
 
 /// Options controlling the simplex solvers (both engines).
 #[derive(Debug, Clone)]
@@ -142,19 +171,7 @@ pub fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
         Engine::Dense => crate::dense::solve_dense(problem, options),
         Engine::Revised => crate::revised::solve_revised(problem, options),
         Engine::Auto => {
-            let rows = problem.num_constraints();
-            // Count the extra columns exactly (one cheap O(rows) pass over
-            // the shared per-row classification).
-            let extra: usize = problem
-                .constraints()
-                .iter()
-                .map(|c| {
-                    let (slack, artificial) = row_extra_columns(c);
-                    usize::from(slack) + usize::from(artificial)
-                })
-                .sum();
-            let cells = (rows + 1).saturating_mul(problem.num_variables() + extra + 1);
-            if cells <= DENSE_CELL_THRESHOLD {
+            if tableau_cells(problem) <= DENSE_CELL_THRESHOLD {
                 crate::dense::solve_dense(problem, options)
             } else {
                 crate::revised::solve_revised(problem, options)
@@ -202,19 +219,20 @@ mod tests {
         assert!((sol.objective - 3.0).abs() < 1e-9);
 
         let mut large = LpProblem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..120)
+        let vars: Vec<_> = (0..200)
             .map(|i| large.add_variable(format!("v{i}")))
             .collect();
         for (i, &v) in vars.iter().enumerate() {
             large.set_objective_coefficient(v, 1.0 + (i % 7) as f64);
             large.add_constraint(vec![(v, 1.0)], ConstraintOp::Le, 2.0, format!("c{i}"));
         }
-        let cells =
-            (large.num_constraints() + 1) * (large.num_constraints() + large.num_variables() + 1);
-        assert!(cells > DENSE_CELL_THRESHOLD, "sweep point must hit revised");
+        assert!(
+            tableau_cells(&large) > DENSE_CELL_THRESHOLD,
+            "sweep point must hit revised"
+        );
         let sol = solve(&large, &SimplexOptions::default()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
-        let expected: f64 = (0..120).map(|i| 2.0 * (1.0 + (i % 7) as f64)).sum();
+        let expected: f64 = (0..200).map(|i| 2.0 * (1.0 + (i % 7) as f64)).sum();
         assert!((sol.objective - expected).abs() < 1e-6);
     }
 

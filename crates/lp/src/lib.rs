@@ -15,22 +15,28 @@
 //!   iteration, column gather and transpose (the CSC view).
 //! * [`dense`] — the original two-phase dense-tableau simplex: the engine for
 //!   tiny problems and the differential-testing oracle.
-//! * [`revised`] — the revised simplex over CSR/CSC with a product-form
-//!   (eta-file) basis factorisation and periodic refactorisation; per-pivot
-//!   cost scales with the non-zeros instead of `rows × cols`.
+//! * [`lu`] — sparse LU factorisation of the basis (Markowitz ordering,
+//!   threshold partial pivoting) with Forrest–Tomlin row-spike updates, so a
+//!   pivot costs the non-zeros it touches and "reinversion" is a periodic
+//!   refactorisation triggered by update count or fill-in growth.
+//! * [`revised`] — the revised simplex over CSR/CSC on top of those factors,
+//!   with devex reference-framework pricing fed by a partial candidate list;
+//!   per-pivot cost scales with the non-zeros instead of `rows × cols`.
 //! * [`engine::solve`] — the single entry point: picks the engine from
-//!   [`SimplexOptions::engine`] (`Auto` routes tiny problems to dense,
-//!   everything else to revised).
+//!   [`SimplexOptions::engine`] (`Auto` routes problems below a *measured*
+//!   tableau-cell crossover to dense, everything else to revised; see
+//!   [`engine::DENSE_CELL_THRESHOLD`]).
 //!
-//! Both engines use Dantzig pricing with an automatic switch to Bland's
-//! anti-cycling rule after a run of degenerate pivots, and both return basic
-//! feasible solutions — which matters beyond optimality: the proof of
+//! Degenerate stretches switch either engine to Bland's anti-cycling rule
+//! (dense prices with Dantzig's rule throughout), and both engines return
+//! basic feasible solutions — which matters beyond optimality: the proof of
 //! Theorem 4.5 uses the fact that a *basic* optimal solution of (LP2) has at
 //! most `n + m` non-zero variables, and vertex solutions preserve that
 //! property (checked by the `suu-algorithms` tests).
 
 pub mod dense;
 pub mod engine;
+pub mod lu;
 pub mod model;
 pub mod revised;
 pub mod solution;
@@ -38,6 +44,7 @@ pub mod sparse;
 
 pub use dense::solve_dense;
 pub use engine::{solve, Engine, SimplexOptions};
+pub use lu::LuFactors;
 pub use model::{ConstraintOp, LpProblem, Sense, VarId};
 pub use revised::solve_revised;
 pub use solution::{LpError, LpSolution, LpStatus};

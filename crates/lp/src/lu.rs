@@ -1,0 +1,967 @@
+//! Sparse LU factorisation of a simplex basis, with Forrest–Tomlin updates.
+//!
+//! The revised simplex ([`crate::revised`]) needs exactly three operations on
+//! the basis matrix `B` (the `m × m` matrix whose column `r` is the constraint
+//! column of row `r`'s basic variable):
+//!
+//! * **FTRAN** — solve `B d = a` (the entering direction),
+//! * **BTRAN** — solve `Bᵀ y = c_B` (the simplex multipliers),
+//! * **update** — replace one column of `B` after a pivot.
+//!
+//! [`LuFactors`] supports all three on top of a single sparse factorisation
+//! `P B Q = L U` computed by right-looking Gaussian elimination with a
+//! Markowitz-style ordering rule (pick the pivot minimising
+//! `(col_nnz − 1) · (row_nnz − 1)` among a short list of sparsest candidate
+//! columns) under threshold partial pivoting (a pivot must be at least
+//! [`PIVOT_REL_TOL`] of the largest entry in its column). `L` is stored as
+//! unit-lower-triangular multiplier columns in elimination order; `U` is
+//! stored row-wise (values) plus a column-wise pattern, both keyed by the
+//! *elimination step*, with an explicit triangular ordering vector so that
+//! update-time row/column moves are O(1) bookkeeping instead of physical
+//! renumbering.
+//!
+//! A basis change is applied in place with a **Forrest–Tomlin row-spike
+//! update**: the FTRANed entering column (the *spike*) replaces the leaving
+//! variable's column of `U`, the spiked row is cyclically rotated to the last
+//! triangular position, and the sub-diagonal row it leaves behind is
+//! eliminated by row operations that are recorded as a compact *row eta* and
+//! replayed inside every later FTRAN/BTRAN. The cost of an update is
+//! proportional to the non-zeros it touches — no refactorisation, no O(m²)
+//! work — and "reinversion" becomes [`LuFactors::factorize`] runs triggered by
+//! the update count or by fill-in growth ([`LuFactors::needs_refactor`]).
+//!
+//! All scratch state (dense work vectors, candidate lists, the factorisation's
+//! working columns) lives inside the struct and is reused across calls: the
+//! pivot loop creates no per-pivot temporaries, and its only heap traffic is
+//! amortised growth of these long-lived workspaces toward their fill
+//! high-water marks — softened further by `UPDATE_FILL_HEADROOM` — which
+//! decays as capacities converge (asserted, with a bright line of under one
+//! allocation per pivot, by the `alloc_discipline` integration test).
+
+use crate::sparse::CsrMatrix;
+
+/// Threshold partial pivoting: a pivot entry must have magnitude at least
+/// this fraction of the largest entry in its column. Smaller values favour
+/// sparsity, larger values favour stability; 0.1 is the textbook compromise.
+pub const PIVOT_REL_TOL: f64 = 0.1;
+
+/// Absolute floor below which a pivot (or an updated diagonal) is treated as
+/// zero: the basis is declared singular rather than divided by noise.
+pub const PIVOT_ABS_TOL: f64 = 1e-11;
+
+/// Entries smaller than this are dropped during elimination and updates; they
+/// are numerical dust that would otherwise accumulate as structural fill.
+const DROP_TOL: f64 = 1e-13;
+
+/// How many of the sparsest active columns are scored with the full Markowitz
+/// merit before committing to a pivot. A short list keeps the search cheap
+/// while avoiding the worst orderings a pure min-column-count rule produces.
+const MARKOWITZ_CANDIDATES: usize = 4;
+
+/// Spare capacity reserved on every U row (and its column pattern) at
+/// factorisation time, so Forrest–Tomlin updates push into pre-grown `Vec`s
+/// instead of reallocating mid-pivot. Sixteen entries comfortably cover the
+/// per-row spike fill a typical refactorisation cycle accumulates; rows that
+/// blow through it fall back to doubling growth, whose capacity persists
+/// across refactorisations and so converges to the lifetime high-water mark.
+const UPDATE_FILL_HEADROOM: usize = 16;
+
+/// Fill-in growth factor that triggers refactorisation: when the non-zeros of
+/// `U` (plus accumulated row etas) exceed this multiple of the freshly
+/// factorised count, updates have degraded the factors enough that a fresh
+/// factorisation is cheaper than continuing to drag the fill along.
+const FILL_REFACTOR_FACTOR: usize = 4;
+
+/// The basis matrix is numerically singular: elimination (or a Forrest–Tomlin
+/// update) could not find an acceptable pivot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularBasis;
+
+impl std::fmt::Display for SingularBasis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "basis matrix is numerically singular")
+    }
+}
+
+impl std::error::Error for SingularBasis {}
+
+/// One Forrest–Tomlin row eta: the row operations that re-triangularised `U`
+/// after a spike, stored as `(column step, multiplier)` pairs into a shared
+/// arena (see [`LuFactors::eta_entries`]).
+#[derive(Debug, Clone, Copy)]
+struct RowEta {
+    /// Step whose row was spiked (and rotated to the last position).
+    spike_step: usize,
+    /// `eta_entries[start..end]` holds this eta's `(step, multiplier)` pairs.
+    start: usize,
+    end: usize,
+}
+
+/// Sparse LU factors of a simplex basis with Forrest–Tomlin update support.
+///
+/// The factorisation is keyed by *elimination step* `k ∈ 0..m`: step `k`
+/// pivoted original row `p[k]` and basis position `q[k]`. FTRAN maps a vector
+/// indexed by original row into one indexed by basis position; BTRAN maps the
+/// other way. See the module docs for the full story.
+#[derive(Debug)]
+pub struct LuFactors {
+    m: usize,
+    /// `p[k]` = original row pivoted at step `k`; `p_inv` is its inverse.
+    p: Vec<usize>,
+    p_inv: Vec<usize>,
+    /// `q[k]` = basis position eliminated at step `k`; `q_inv` is its inverse.
+    q: Vec<usize>,
+    q_inv: Vec<usize>,
+    /// Unit-lower-triangular multiplier columns, by step: `(original row,
+    /// multiplier)` for every active row below the pivot at that step.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Off-diagonal row `k` of `U`: `(column step, value)` pairs, all at
+    /// triangular positions after `pos[k]`.
+    u_rows: Vec<Vec<(usize, f64)>>,
+    /// Pattern of column `k` of `U` (which row steps hold an entry), needed to
+    /// evict a replaced column during an update.
+    u_col_pattern: Vec<Vec<usize>>,
+    u_diag: Vec<f64>,
+    /// Reciprocals of `u_diag`, kept in lock-step: the triangular solves are
+    /// serial dependency chains, and a multiply there costs a fraction of the
+    /// unpipelined divide it replaces.
+    u_diag_inv: Vec<f64>,
+    /// Triangular ordering: `order[i]` is the step at position `i`; `pos` is
+    /// its inverse. Fresh factorisations are the identity; Forrest–Tomlin
+    /// updates cyclically rotate spiked steps to the back.
+    order: Vec<usize>,
+    pos: Vec<usize>,
+    /// Forrest–Tomlin row etas, applied in recording order during FTRAN and
+    /// in reverse during BTRAN; entries live in the shared `eta_entries`
+    /// arena so an update never allocates a fresh vector.
+    row_etas: Vec<RowEta>,
+    eta_entries: Vec<(usize, f64)>,
+    updates_since_refactor: usize,
+    /// `U` + eta non-zeros right after the last factorisation, and now.
+    fresh_nnz: usize,
+    current_nnz: usize,
+    // --- reusable scratch ---
+    /// Dense step-space work vector used by FTRAN/BTRAN.
+    work: Vec<f64>,
+    /// BTRAN scatter accumulator.
+    acc: Vec<f64>,
+    /// The forward-substituted column of the most recent FTRAN (the
+    /// Forrest–Tomlin spike), in step space.
+    spike: Vec<f64>,
+    spike_valid: bool,
+    /// Factorisation working columns (by basis position) and row counts.
+    wcols: Vec<Vec<(usize, f64)>>,
+    row_count: Vec<usize>,
+    col_done: Vec<bool>,
+    /// Dense by-original-row scratch used during elimination and updates.
+    dense_row: Vec<f64>,
+    touched: Vec<usize>,
+    /// For each still-active original row, the working columns that (may)
+    /// hold an entry in it. Entries go stale when cancellation drops a value;
+    /// consumers re-verify membership, so staleness costs a skipped lookup,
+    /// never a wrong factor.
+    row_cols: Vec<Vec<usize>>,
+    /// Per-column "processed at elimination step" stamps (step + 1), used to
+    /// deduplicate `row_cols` entries while walking a pivot row.
+    row_stamp: Vec<usize>,
+    /// Lazy buckets of active columns by current non-zero count, scanned from
+    /// the sparsest end for Markowitz candidates. Stale entries (wrong length
+    /// or already-pivoted column) are dropped on scan.
+    nnz_buckets: Vec<Vec<usize>>,
+    /// Smallest bucket index that may be non-empty.
+    bucket_floor: usize,
+}
+
+impl LuFactors {
+    /// Creates an empty factorisation holder for `m × m` bases. Call
+    /// [`factorize`](Self::factorize) before the first solve.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        Self {
+            m,
+            p: vec![0; m],
+            p_inv: vec![0; m],
+            q: vec![0; m],
+            q_inv: vec![0; m],
+            l_cols: (0..m).map(|_| Vec::new()).collect(),
+            u_rows: (0..m).map(|_| Vec::new()).collect(),
+            u_col_pattern: (0..m).map(|_| Vec::new()).collect(),
+            u_diag: vec![0.0; m],
+            u_diag_inv: vec![0.0; m],
+            order: (0..m).collect(),
+            pos: (0..m).collect(),
+            row_etas: Vec::new(),
+            eta_entries: Vec::new(),
+            updates_since_refactor: 0,
+            fresh_nnz: 0,
+            current_nnz: 0,
+            work: vec![0.0; m],
+            acc: vec![0.0; m],
+            spike: vec![0.0; m],
+            spike_valid: false,
+            wcols: (0..m).map(|_| Vec::new()).collect(),
+            row_count: vec![0; m],
+            col_done: vec![false; m],
+            dense_row: vec![0.0; m],
+            touched: Vec::with_capacity(m),
+            row_cols: (0..m).map(|_| Vec::new()).collect(),
+            row_stamp: vec![0; m],
+            nnz_buckets: (0..=m).map(|_| Vec::new()).collect(),
+            bucket_floor: 1,
+        }
+    }
+
+    /// Basis dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Number of Forrest–Tomlin updates applied since the last
+    /// [`factorize`](Self::factorize).
+    #[must_use]
+    pub fn updates_since_refactor(&self) -> usize {
+        self.updates_since_refactor
+    }
+
+    /// Whether the factors should be rebuilt: either `max_updates`
+    /// Forrest–Tomlin updates have accumulated, or fill-in has grown past
+    /// [`FILL_REFACTOR_FACTOR`]× the freshly factorised non-zero count.
+    #[must_use]
+    pub fn needs_refactor(&self, max_updates: usize) -> bool {
+        self.updates_since_refactor >= max_updates
+            || self.current_nnz > FILL_REFACTOR_FACTOR * self.fresh_nnz.max(self.m)
+    }
+
+    /// Factorises the basis given by `basis` (one column id per basis
+    /// position) over the column-access matrix `cols` (row `c` of `cols` is
+    /// column `c` of `A`, i.e. the CSC view). Reuses all internal storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularBasis`] when elimination cannot find a pivot of
+    /// magnitude at least [`PIVOT_ABS_TOL`] in some remaining column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis.len()` differs from the dimension this holder was
+    /// created with.
+    pub fn factorize(&mut self, cols: &CsrMatrix, basis: &[usize]) -> Result<(), SingularBasis> {
+        let m = self.m;
+        assert_eq!(basis.len(), m, "basis must have one column per row");
+        self.row_etas.clear();
+        self.eta_entries.clear();
+        let saw_updates = self.updates_since_refactor > 0;
+        self.updates_since_refactor = 0;
+        self.spike_valid = false;
+        for k in 0..m {
+            self.l_cols[k].clear();
+            self.u_rows[k].clear();
+            self.u_col_pattern[k].clear();
+            self.order[k] = k;
+            self.pos[k] = k;
+            self.col_done[k] = false;
+            self.row_count[k] = 0;
+            self.row_cols[k].clear();
+            self.row_stamp[k] = 0;
+            self.nnz_buckets[k].clear();
+        }
+        self.nnz_buckets[m].clear();
+        self.bucket_floor = m;
+
+        // Working columns by basis position, plus the row → columns index and
+        // the by-nnz candidate buckets.
+        for (t, &var) in basis.iter().enumerate() {
+            let wcol = &mut self.wcols[t];
+            wcol.clear();
+            for (r, v) in cols.row(var) {
+                wcol.push((r, v));
+                self.row_count[r] += 1;
+                self.row_cols[r].push(t);
+            }
+        }
+        // Triangularisation pre-pass: eliminate singleton columns (and the
+        // cascade they trigger) before any Markowitz machinery runs. A
+        // singleton column needs no multipliers and no fill, so each one
+        // costs a handful of operations here versus a bucket scan plus
+        // candidate scoring in the main loop. Simplex bases are full of
+        // them — the initial slack/artificial basis is *entirely* unit
+        // columns, and mid-solve bases keep a large triangular part — so
+        // this is where most refactorisation columns go. Threshold
+        // pivoting is vacuous for a singleton (the entry is its own column
+        // max); only the absolute floor applies.
+        let mut k = 0usize;
+        self.touched.clear();
+        for t in 0..m {
+            if self.wcols[t].len() == 1 {
+                self.touched.push(t);
+            }
+        }
+        while let Some(t) = self.touched.pop() {
+            if self.col_done[t] || self.wcols[t].len() != 1 {
+                continue;
+            }
+            let (prow, pval) = self.wcols[t][0];
+            if pval.abs() < PIVOT_ABS_TOL {
+                continue; // left to the main loop, which will report singular
+            }
+            self.p[k] = prow;
+            self.q[k] = t;
+            self.u_diag[k] = pval;
+            self.u_diag_inv[k] = 1.0 / pval;
+            self.col_done[t] = true;
+            self.wcols[t].clear();
+            self.row_count[prow] -= 1;
+            self.l_cols[k].clear();
+            // Strip the pivot row from every column still holding it; those
+            // entries become row k of U. No fill happens (there are no
+            // multipliers), so `row_cols` lists hold no duplicates yet and
+            // lengths only shrink — new singletons join the cascade.
+            let held = std::mem::take(&mut self.row_cols[prow]);
+            for &c in &held {
+                if self.col_done[c] {
+                    continue;
+                }
+                let Some(at) = self.wcols[c].iter().position(|&(r, _)| r == prow) else {
+                    continue;
+                };
+                let uval = self.wcols[c][at].1;
+                self.wcols[c].swap_remove(at);
+                self.row_count[prow] -= 1;
+                self.u_rows[k].push((c, uval));
+                if self.wcols[c].len() == 1 {
+                    self.touched.push(c);
+                }
+            }
+            let mut held = held;
+            held.clear();
+            self.row_cols[prow] = held;
+            k += 1;
+        }
+
+        for t in 0..m {
+            if self.col_done[t] {
+                continue;
+            }
+            let len = self.wcols[t].len();
+            self.nnz_buckets[len].push(t);
+            if len < self.bucket_floor {
+                self.bucket_floor = len.max(1);
+            }
+        }
+
+        for k in k..m {
+            let Some((t, prow, pval, pidx)) = self.select_pivot() else {
+                return Err(SingularBasis);
+            };
+
+            self.p[k] = prow;
+            self.q[k] = t;
+            self.u_diag[k] = pval;
+            self.u_diag_inv[k] = 1.0 / pval;
+            self.col_done[t] = true;
+
+            // L column k: multipliers for the active rows of the pivot column.
+            self.wcols[t].swap_remove(pidx);
+            self.row_count[prow] -= 1;
+            self.l_cols[k].clear();
+            for i in 0..self.wcols[t].len() {
+                let (r, v) = self.wcols[t][i];
+                self.l_cols[k].push((r, v / pval));
+                self.row_count[r] -= 1;
+            }
+
+            // Right-looking update of every remaining column holding the
+            // pivot row (enumerated by the row → columns index; stale entries
+            // are re-verified and skipped); the removed entries become row k
+            // of U (keyed by basis position for now, remapped to steps
+            // below). The pivot row is eliminated for good, so its index list
+            // is consumed here — fill never re-enters an eliminated row.
+            let held = std::mem::take(&mut self.row_cols[prow]);
+            for &c in &held {
+                if self.col_done[c] || self.row_stamp[c] == k + 1 {
+                    continue;
+                }
+                self.row_stamp[c] = k + 1;
+                let Some(at) = self.wcols[c].iter().position(|&(r, _)| r == prow) else {
+                    continue;
+                };
+                let uval = self.wcols[c][at].1;
+                self.wcols[c].swap_remove(at);
+                self.row_count[prow] -= 1;
+                self.u_rows[k].push((c, uval));
+                if !self.l_cols[k].is_empty() {
+                    // Dense scatter of the column, apply the multipliers,
+                    // gather. Row counts are released at scatter and
+                    // re-acquired at gather, which keeps them exact through
+                    // fill-in and exact cancellation alike.
+                    self.touched.clear();
+                    for i in 0..self.wcols[c].len() {
+                        let (r, v) = self.wcols[c][i];
+                        self.dense_row[r] = v;
+                        self.touched.push(r);
+                        self.row_count[r] -= 1;
+                    }
+                    for i in 0..self.l_cols[k].len() {
+                        let (r, l) = self.l_cols[k][i];
+                        if self.dense_row[r] == 0.0 {
+                            self.touched.push(r);
+                            self.row_cols[r].push(c);
+                        }
+                        self.dense_row[r] -= l * uval;
+                    }
+                    self.wcols[c].clear();
+                    for i in 0..self.touched.len() {
+                        let r = self.touched[i];
+                        let v = self.dense_row[r];
+                        self.dense_row[r] = 0.0;
+                        if v.abs() > DROP_TOL {
+                            self.wcols[c].push((r, v));
+                            self.row_count[r] += 1;
+                        }
+                    }
+                }
+                let len = self.wcols[c].len();
+                self.nnz_buckets[len].push(c);
+                if len < self.bucket_floor {
+                    self.bucket_floor = len.max(1);
+                }
+            }
+            let mut held = held;
+            held.clear();
+            self.row_cols[prow] = held;
+        }
+
+        // Remap U row entries from basis positions to elimination steps and
+        // build the column patterns.
+        for (k, &t) in self.q.iter().enumerate() {
+            self.q_inv[t] = k;
+        }
+        for (k, &r) in self.p.iter().enumerate() {
+            self.p_inv[r] = k;
+        }
+        let mut unnz = 0usize;
+        for k in 0..m {
+            let row = &mut self.u_rows[k];
+            for entry in row.iter_mut() {
+                entry.0 = self.q_inv[entry.0];
+            }
+            // Triangular invariant: all entries sit at later steps.
+            debug_assert!(row.iter().all(|&(j, _)| j > k));
+            unnz += row.len();
+        }
+        for k in 0..m {
+            for i in 0..self.u_rows[k].len() {
+                let j = self.u_rows[k][i].0;
+                self.u_col_pattern[j].push(k);
+            }
+        }
+        self.fresh_nnz = unnz + m;
+        self.current_nnz = self.fresh_nnz;
+        // Reserve headroom for Forrest–Tomlin spike fill now, while we are
+        // already off the pivot loop's hot path. Update fill lands one entry
+        // per spiked row per update, so a modest per-row cushion absorbs a
+        // whole refactorisation cycle for all but the hottest rows — and
+        // capacity persists across refactorisations, so each row converges
+        // to its lifetime high-water mark and steady-state `ft_update`
+        // pushes stop allocating (the discipline the `alloc_discipline`
+        // integration test measures). Gated on the factors actually having
+        // been updated: a short solve that never reaches its first
+        // refactorisation should not pay m reallocations of cushion it will
+        // never use.
+        if saw_updates {
+            for k in 0..m {
+                self.u_rows[k].reserve(UPDATE_FILL_HEADROOM);
+                self.u_col_pattern[k].reserve(UPDATE_FILL_HEADROOM);
+            }
+        }
+        Ok(())
+    }
+
+    /// Markowitz-style pivot selection over the active submatrix: the
+    /// `MARKOWITZ_CANDIDATES` sparsest active columns are scored with the
+    /// merit `(col_nnz − 1) · (row_nnz − 1)` over their threshold-acceptable
+    /// entries (|v| ≥ [`PIVOT_REL_TOL`] · colmax); the best merit wins, ties
+    /// broken by lower basis position, then larger magnitude, then lower row
+    /// — fully deterministic. Falls back to scanning every active column
+    /// before giving up (the short list can be all-unacceptable while a
+    /// longer column still holds a fine pivot).
+    fn select_pivot(&mut self) -> Option<(usize, usize, f64, usize)> {
+        let m = self.m;
+        let mut cand = [usize::MAX; MARKOWITZ_CANDIDATES];
+        let mut cand_len = 0usize;
+        // Pop the sparsest active columns off the lazy buckets. Entries whose
+        // recorded length no longer matches (or whose column has pivoted) are
+        // stale and dropped; each pushed entry is dropped at most once, so
+        // the scan is amortised by the elimination work that pushed it.
+        let mut len = self.bucket_floor;
+        'scan: while len <= m {
+            let mut bucket = std::mem::take(&mut self.nnz_buckets[len]);
+            let mut w = 0usize;
+            for rdx in 0..bucket.len() {
+                let t = bucket[rdx];
+                if self.col_done[t] || self.wcols[t].len() != len {
+                    continue;
+                }
+                bucket[w] = t;
+                w += 1;
+                if cand[..cand_len].contains(&t) {
+                    continue;
+                }
+                cand[cand_len] = t;
+                cand_len += 1;
+                if cand_len == MARKOWITZ_CANDIDATES {
+                    bucket.copy_within(rdx + 1.., w);
+                    bucket.truncate(w + bucket.len() - (rdx + 1));
+                    self.nnz_buckets[len] = bucket;
+                    break 'scan;
+                }
+            }
+            bucket.truncate(w);
+            self.nnz_buckets[len] = bucket;
+            if w == 0 && len == self.bucket_floor {
+                self.bucket_floor += 1;
+            }
+            len += 1;
+        }
+        let best = self.best_acceptable(cand.iter().take(cand_len).copied());
+        if best.is_some() {
+            return best.map(|(_, t, r, v, idx)| (t, r, v, idx));
+        }
+        let all = (0..m).filter(|&t| !self.col_done[t]);
+        self.best_acceptable(all)
+            .map(|(_, t, r, v, idx)| (t, r, v, idx))
+    }
+
+    /// Best `(merit, col, row, value, index)` pivot among `columns`.
+    fn best_acceptable(
+        &self,
+        columns: impl Iterator<Item = usize>,
+    ) -> Option<(usize, usize, usize, f64, usize)> {
+        let mut best: Option<(usize, usize, usize, f64, usize)> = None;
+        for t in columns {
+            let wcol = &self.wcols[t];
+            let colmax = wcol.iter().fold(0.0f64, |a, &(_, v)| a.max(v.abs()));
+            if colmax < PIVOT_ABS_TOL {
+                continue;
+            }
+            let floor = (PIVOT_REL_TOL * colmax).max(PIVOT_ABS_TOL);
+            for (idx, &(r, v)) in wcol.iter().enumerate() {
+                if v.abs() < floor {
+                    continue;
+                }
+                let merit = (wcol.len() - 1) * (self.row_count[r] - 1);
+                let better = match best {
+                    None => true,
+                    Some((bm, bt, br, bv, _)) => {
+                        merit < bm
+                            || (merit == bm
+                                && (t < bt
+                                    || (t == bt
+                                        && (v.abs() > bv.abs()
+                                            || (v.abs() == bv.abs() && r < br)))))
+                    }
+                };
+                if better {
+                    best = Some((merit, t, r, v, idx));
+                }
+            }
+        }
+        best
+    }
+
+    /// FTRAN: solves `B x = v` in place. On input `v` is indexed by
+    /// *original row*; on output it is indexed by *basis position* (the
+    /// convention the revised simplex uses for directions and `x_B`).
+    ///
+    /// The forward-substituted spike is retained for a subsequent
+    /// [`ft_update`](Self::ft_update).
+    pub fn ftran(&mut self, v: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.m);
+        let m = self.m;
+        // Forward: z = (row etas) ∘ L⁻¹ P v, into step space. The zipped
+        // iteration keeps the per-step bookkeeping free of bounds checks.
+        for ((wk, &pk), lcol) in self.work.iter_mut().zip(&self.p).zip(&self.l_cols) {
+            let t = v[pk];
+            *wk = t;
+            if t != 0.0 {
+                for &(r, l) in lcol {
+                    v[r] -= l * t;
+                }
+            }
+        }
+        for eta in &self.row_etas {
+            let mut s = self.work[eta.spike_step];
+            for &(j, r) in &self.eta_entries[eta.start..eta.end] {
+                s -= r * self.work[j];
+            }
+            self.work[eta.spike_step] = s;
+        }
+        self.spike.copy_from_slice(&self.work);
+        self.spike_valid = true;
+        // Backward: U x = z, in reverse triangular order.
+        for i in (0..m).rev() {
+            let k = self.order[i];
+            let mut t = self.work[k];
+            for &(j, u) in &self.u_rows[k] {
+                t -= u * self.work[j];
+            }
+            self.work[k] = t * self.u_diag_inv[k];
+        }
+        for (&qk, &wk) in self.q.iter().zip(&self.work) {
+            v[qk] = wk;
+        }
+    }
+
+    /// BTRAN: solves `Bᵀ y = v` in place. On input `v` is indexed by *basis
+    /// position* (e.g. `c_B`); on output it is indexed by *original row* (the
+    /// simplex multipliers).
+    pub fn btran(&mut self, v: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.m);
+        let m = self.m;
+        // Forward on Uᵀ in triangular order, scatter style.
+        self.acc.fill(0.0);
+        for i in 0..m {
+            let k = self.order[i];
+            let w = (v[self.q[k]] - self.acc[k]) * self.u_diag_inv[k];
+            self.work[k] = w;
+            if w != 0.0 {
+                for &(j, u) in &self.u_rows[k] {
+                    self.acc[j] += u * w;
+                }
+            }
+        }
+        // Row etas transposed, in reverse recording order.
+        for eta in self.row_etas.iter().rev() {
+            let s = self.work[eta.spike_step];
+            if s != 0.0 {
+                for &(j, r) in &self.eta_entries[eta.start..eta.end] {
+                    self.work[j] -= r * s;
+                }
+            }
+        }
+        // Backward on Lᵀ: z[k] uses only later steps' values.
+        for k in (0..m).rev() {
+            let mut t = self.work[k];
+            for &(r, l) in &self.l_cols[k] {
+                t -= l * self.work[self.p_inv[r]];
+            }
+            self.work[k] = t;
+        }
+        for (&pk, &wk) in self.p.iter().zip(&self.work) {
+            v[pk] = wk;
+        }
+    }
+
+    /// Forrest–Tomlin update: the column at basis position `leaving_pos` is
+    /// replaced by the column passed to the **most recent** [`ftran`]
+    /// (whose forward-substituted spike was retained). O(touched non-zeros).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularBasis`] when the re-triangularised diagonal entry
+    /// falls below [`PIVOT_ABS_TOL`]. The factors are left inconsistent in
+    /// that case: the caller must [`factorize`](Self::factorize) afresh (or
+    /// abandon the basis) before the next solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no spike is available (no `ftran` since the last
+    /// factorisation or update).
+    ///
+    /// [`ftran`]: Self::ftran
+    pub fn ft_update(&mut self, leaving_pos: usize) -> Result<(), SingularBasis> {
+        assert!(self.spike_valid, "ft_update needs the spike of an ftran");
+        self.spike_valid = false;
+        let m = self.m;
+        let s = self.q_inv[leaving_pos];
+
+        // Evict the old column s from U (rows listed in its pattern).
+        for i in 0..self.u_col_pattern[s].len() {
+            let k = self.u_col_pattern[s][i];
+            let row = &mut self.u_rows[k];
+            if let Some(at) = row.iter().position(|&(j, _)| j == s) {
+                row.swap_remove(at);
+                self.current_nnz -= 1;
+            }
+        }
+        self.u_col_pattern[s].clear();
+
+        // Install the spike as the new column s and remember row s's old
+        // entries (they are about to become sub-diagonal).
+        let spike_pos = self.pos[s];
+        for k in 0..m {
+            if k == s {
+                continue;
+            }
+            let w = self.spike[k];
+            if w.abs() > DROP_TOL {
+                self.u_rows[k].push((s, w));
+                self.u_col_pattern[s].push(k);
+                self.current_nnz += 1;
+            }
+        }
+
+        // Rotate step s to the last triangular position.
+        for i in spike_pos..m - 1 {
+            self.order[i] = self.order[i + 1];
+            self.pos[self.order[i]] = i;
+        }
+        self.order[m - 1] = s;
+        self.pos[s] = m - 1;
+
+        // Scatter row s (now logically the last row) into dense scratch and
+        // eliminate everything left of the diagonal with row operations,
+        // recording them as one row eta.
+        self.touched.clear();
+        for i in 0..self.u_rows[s].len() {
+            let (j, v) = self.u_rows[s][i];
+            self.dense_row[j] = v;
+            self.touched.push(j);
+            // Their column patterns lose row s.
+            let pat = &mut self.u_col_pattern[j];
+            if let Some(at) = pat.iter().position(|&k| k == s) {
+                pat.swap_remove(at);
+            }
+            self.current_nnz -= 1;
+        }
+        self.u_rows[s].clear();
+        let diag_val = self.spike[s];
+        self.dense_row[s] = diag_val;
+
+        let eta_start = self.eta_entries.len();
+        for i in spike_pos..m - 1 {
+            let j = self.order[i];
+            let v = self.dense_row[j];
+            if v == 0.0 {
+                continue;
+            }
+            self.dense_row[j] = 0.0;
+            let r = v / self.u_diag[j];
+            if r.abs() <= DROP_TOL {
+                continue;
+            }
+            self.eta_entries.push((j, r));
+            for idx in 0..self.u_rows[j].len() {
+                let (jj, u) = self.u_rows[j][idx];
+                if self.dense_row[jj] == 0.0 {
+                    self.touched.push(jj);
+                }
+                self.dense_row[jj] -= r * u;
+            }
+        }
+        let eta_end = self.eta_entries.len();
+        if eta_end > eta_start {
+            self.row_etas.push(RowEta {
+                spike_step: s,
+                start: eta_start,
+                end: eta_end,
+            });
+            self.current_nnz += eta_end - eta_start;
+        }
+
+        // Whatever survived at column s is the new diagonal; everything else
+        // was eliminated or dropped.
+        let new_diag = self.dense_row[s];
+        self.dense_row[s] = 0.0;
+        for i in 0..self.touched.len() {
+            let j = self.touched[i];
+            self.dense_row[j] = 0.0;
+        }
+        self.updates_since_refactor += 1;
+        if new_diag.abs() < PIVOT_ABS_TOL || !new_diag.is_finite() {
+            return Err(SingularBasis);
+        }
+        self.u_diag[s] = new_diag;
+        self.u_diag_inv[s] = 1.0 / new_diag;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense LU-free oracle: Gaussian elimination with partial pivoting.
+    fn dense_solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+        let m = b.len();
+        let mut aug: Vec<Vec<f64>> = a.to_vec();
+        let mut x = b.to_vec();
+        let mut perm: Vec<usize> = (0..m).collect();
+        for k in 0..m {
+            let piv = (k..m)
+                .max_by(|&i, &j| {
+                    aug[perm[i]][k]
+                        .abs()
+                        .partial_cmp(&aug[perm[j]][k].abs())
+                        .unwrap()
+                })
+                .unwrap();
+            perm.swap(k, piv);
+            let pv = aug[perm[k]][k];
+            if pv.abs() < 1e-12 {
+                return None;
+            }
+            for i in k + 1..m {
+                let f = aug[perm[i]][k] / pv;
+                if f == 0.0 {
+                    continue;
+                }
+                for j in k..m {
+                    let v = aug[perm[k]][j];
+                    aug[perm[i]][j] -= f * v;
+                }
+                x[perm[i]] -= f * x[perm[k]];
+            }
+        }
+        let mut sol = vec![0.0; m];
+        for k in (0..m).rev() {
+            let mut t = x[perm[k]];
+            for j in k + 1..m {
+                t -= aug[perm[k]][j] * sol[j];
+            }
+            sol[k] = t / aug[perm[k]][k];
+        }
+        Some(sol)
+    }
+
+    /// Builds the CSC view (row c = column c) of a dense matrix whose
+    /// `a[r][c]` is row r, column c.
+    fn csc_of(a: &[Vec<f64>]) -> CsrMatrix {
+        let m = a.len();
+        let rows: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|c| {
+                (0..m)
+                    .filter(|&r| a[r][c] != 0.0)
+                    .map(|r| (r, a[r][c]))
+                    .collect()
+            })
+            .collect();
+        CsrMatrix::from_rows(m, &rows)
+    }
+
+    #[test]
+    fn factorize_and_ftran_match_dense_solve() {
+        let a = vec![
+            vec![2.0, 0.0, 1.0],
+            vec![0.0, 3.0, 0.0],
+            vec![4.0, 1.0, 5.0],
+        ];
+        let cols = csc_of(&a);
+        let mut lu = LuFactors::new(3);
+        lu.factorize(&cols, &[0, 1, 2]).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let expect = dense_solve(&a, &b).unwrap();
+        let mut v = b.clone();
+        lu.ftran(&mut v);
+        for (got, want) in v.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-9, "{v:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn btran_matches_transposed_dense_solve() {
+        let a = vec![
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 1.0, 4.0],
+            vec![5.0, 0.0, 1.0],
+        ];
+        let at: Vec<Vec<f64>> = (0..3).map(|r| (0..3).map(|c| a[c][r]).collect()).collect();
+        let cols = csc_of(&a);
+        let mut lu = LuFactors::new(3);
+        lu.factorize(&cols, &[0, 1, 2]).unwrap();
+        let c = vec![3.0, -1.0, 2.0];
+        let expect = dense_solve(&at, &c).unwrap();
+        let mut v = c.clone();
+        lu.btran(&mut v);
+        for (got, want) in v.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-9, "{v:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let a = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![0.0, 1.0, 1.0],
+        ];
+        let cols = csc_of(&a);
+        let mut lu = LuFactors::new(3);
+        assert_eq!(lu.factorize(&cols, &[0, 1, 2]), Err(SingularBasis));
+    }
+
+    #[test]
+    fn ft_update_tracks_a_column_replacement() {
+        // B with columns [b0 b1 b2]; replace column 1 by a new column and
+        // check FTRAN against a dense solve of the updated matrix.
+        let a = vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ];
+        // Column pool: column 3 of the wider matrix is the replacement.
+        let wide = [
+            vec![4.0, 1.0, 0.0, 2.0],
+            vec![1.0, 3.0, 1.0, 0.0],
+            vec![0.0, 1.0, 2.0, 1.0],
+        ];
+        let rows: Vec<Vec<(usize, f64)>> = (0..4)
+            .map(|c| {
+                (0..3)
+                    .filter(|&r| wide[r][c] != 0.0)
+                    .map(|r| (r, wide[r][c]))
+                    .collect()
+            })
+            .collect();
+        let cols = CsrMatrix::from_rows(3, &rows);
+        let mut lu = LuFactors::new(3);
+        lu.factorize(&cols, &[0, 1, 2]).unwrap();
+
+        // FTRAN the replacement column (original row space), then update.
+        let mut d = vec![2.0, 0.0, 1.0];
+        lu.ftran(&mut d);
+        lu.ft_update(1).unwrap();
+
+        let mut updated = a.clone();
+        for r in 0..3 {
+            updated[r][1] = wide[r][3];
+        }
+        let b = vec![1.0, 1.0, 1.0];
+        let expect = dense_solve(&updated, &b).unwrap();
+        let mut v = b.clone();
+        lu.ftran(&mut v);
+        for (got, want) in v.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-9, "{v:?} vs {expect:?}");
+        }
+        // BTRAN against the transpose too.
+        let ut: Vec<Vec<f64>> = (0..3)
+            .map(|r| (0..3).map(|c| updated[c][r]).collect())
+            .collect();
+        let cvec = vec![2.0, -1.0, 0.5];
+        let expect = dense_solve(&ut, &cvec).unwrap();
+        let mut v = cvec.clone();
+        lu.btran(&mut v);
+        for (got, want) in v.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-9, "{v:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn update_count_and_fill_drive_needs_refactor() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let cols = csc_of(&a);
+        let mut lu = LuFactors::new(2);
+        lu.factorize(&cols, &[0, 1]).unwrap();
+        assert!(!lu.needs_refactor(2));
+        let mut d = vec![1.0, 1.0];
+        lu.ftran(&mut d);
+        lu.ft_update(0).unwrap();
+        assert_eq!(lu.updates_since_refactor(), 1);
+        assert!(!lu.needs_refactor(2));
+        let mut d = vec![0.5, 1.0];
+        lu.ftran(&mut d);
+        lu.ft_update(1).unwrap();
+        assert!(lu.needs_refactor(2));
+    }
+}

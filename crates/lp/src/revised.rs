@@ -3,23 +3,38 @@
 //! Where the dense tableau ([`crate::dense`]) rewrites the whole
 //! `(rows + 1) × (cols + 1)` matrix on every pivot, the revised method keeps
 //! the constraint matrix immutable in sparse form and maintains only a
-//! factorised representation of the basis inverse:
+//! factorised representation of the basis:
 //!
 //! * the constraint matrix `A` (standard equality form, rhs ≥ 0) is stored
 //!   once as CSR and once transposed (CSC) for column access;
-//! * `B⁻¹` is represented in *product form* as a file of eta matrices, one
-//!   per pivot: solving `B d = a_q` (FTRAN) and `yᵀB = c_Bᵀ` (BTRAN) costs
-//!   time proportional to the accumulated eta non-zeros;
-//! * every [`SimplexOptions::refactor_interval`] pivots the eta file is
-//!   rebuilt from scratch from the current basis (reinversion with partial
-//!   pivoting), bounding both numerical drift and the file length.
+//! * the basis is held as a sparse LU factorisation ([`crate::lu`]):
+//!   Markowitz-ordered elimination with threshold partial pivoting, updated
+//!   in place after every pivot by a Forrest–Tomlin row spike so a basis
+//!   change costs O(non-zeros touched) instead of a fresh factorisation;
+//! * refactorisation happens when [`SimplexOptions::refactor_interval`]
+//!   updates have accumulated **or** fill-in outgrows the fresh factors
+//!   (see [`LuFactors::needs_refactor`]), whichever comes first — and as a
+//!   recovery step whenever an update goes numerically bad.
 //!
-//! Per pivot the solver does one BTRAN, one O(nnz(A)) pricing pass (Dantzig's
-//! rule, with the same automatic switch to Bland's anti-cycling rule after a
-//! run of degenerate pivots as the dense engine), one FTRAN and an O(rows)
-//! basic-solution update — asymptotically O(nnz) instead of O(rows × cols),
-//! which is the entire point for the (LP1)/(LP2) instances of the paper
-//! whose density is O(log m / m).
+//! Pricing is phase-split. Phase 1 uses plain Dantzig over a full sweep of
+//! the maintained reduced costs (a branchless vectorised min-reduction;
+//! artificial columns are dropped from pricing for good once they leave the
+//! basis). Phase 2 uses **devex** (Forrest & Goldfarb's reference-framework
+//! weights) over a *partial candidate list*: per pivot the solver re-prices
+//! only the bounded list of currently attractive columns plus one rotating
+//! window of fresh columns, falling back to a full sweep only when both run
+//! dry — and a dry full sweep is exactly the optimality proof. After a run
+//! of degenerate pivots the solver switches to Bland's anti-cycling rule
+//! (full lowest-index scan), exactly like the dense engine, and switches
+//! back once progress resumes.
+//!
+//! Per pivot the solver therefore does one FTRAN (entering direction), one
+//! BTRAN (the devex reference row, which doubles as the incremental
+//! reduced-cost update row), a bounded re-price and an O(rows)
+//! basic-solution update — per-pivot cost tracks the factor non-zeros and
+//! the touched columns rather than `rows × cols`, which is the entire point
+//! for the (LP1)/(LP2) instances of the paper whose density is
+//! O(log m / m).
 //!
 //! Phase handling mirrors the dense engine: phase 1 minimises the sum of
 //! artificial variables; in phase 2 artificials are barred from entering and
@@ -27,11 +42,68 @@
 //! the moment an entering column crosses their row. If the factorisation ever
 //! turns singular or the solution fails a final feasibility check, the solver
 //! transparently falls back to the dense oracle.
+//!
+//! The pivot loop allocates no per-pivot temporaries: all work vectors
+//! (multipliers, direction, devex reference row, candidate list) and the LU
+//! scratch live in the solver and are reused across pivots. Its only heap
+//! traffic is amortised growth of those long-lived buffers toward their fill
+//! high-water marks, which decays as capacities converge — asserted, with a
+//! bright line of under one allocation per pivot in steady state, by the
+//! `alloc_discipline` integration test.
 
 use crate::engine::SimplexOptions;
+use crate::lu::LuFactors;
 use crate::model::{ConstraintOp, LpProblem, Sense};
 use crate::solution::{LpError, LpSolution, LpStatus};
+
 use crate::sparse::CsrMatrix;
+
+/// Devex weights above this trigger a reference-framework reset (all weights
+/// back to 1): past this point the weights are dominated by accumulated
+/// round-off rather than useful steepest-edge information.
+const DEVEX_RESET: f64 = 1e7;
+
+/// Pivots between devex reference-framework resets. Textbook devex keeps one
+/// framework until the weights overflow [`DEVEX_RESET`]; on the paper's
+/// (LP1)/(LP2) family the monotone weight growth was measured to *inflate*
+/// pivot counts (stale reference information outweighs the steepest-edge
+/// signal), while a short-lived framework tracks the active part of the
+/// basis. Eight pivots per framework was the empirical sweet spot across the
+/// scaling sweep; weight-overflow resets stay in as a safety net.
+const DEVEX_FRAME_LIMIT: usize = 8;
+
+/// Entries of `ρ = B⁻ᵀ e_t` at or below this magnitude are skipped by the
+/// pivot-row push: their `α` contributions are orders of magnitude below the
+/// pricing tolerance, but walking their constraint rows is not free.
+const RHO_DROP_TOL: f64 = 1e-12;
+
+/// `α` entries at or below this magnitude skip the devex weight and
+/// reduced-cost updates (the full recompute at refactorisation washes out the
+/// resulting sub-tolerance drift).
+const ALPHA_DROP_TOL: f64 = 1e-12;
+
+/// Capacity of the devex partial-pricing candidate list: small enough that
+/// re-pricing the list is cheap against one FTRAN, large enough that the
+/// cyclic refill sweep is rare.
+fn price_list_cap(ncols: usize) -> usize {
+    (ncols / 8).clamp(8, 64)
+}
+
+/// Minimum pivot magnitude for a column to seat in the triangular crash
+/// basis; positive so the crashed variable's value `rhs / a` stays
+/// nonnegative.
+const CRASH_PIVOT_TOL: f64 = 1e-7;
+
+/// A crash pivot must be at least this fraction of the largest entry in its
+/// column, bounding the multipliers the first factorisation derives from it.
+const CRASH_STABILITY_RATIO: f64 = 0.01;
+
+/// Fraction of the columns the rotating phase-2 pricing window covers per
+/// pivot (`ncols / 4`): every column is revisited within four pivots. Larger
+/// divisors save pricing time but were measured to inflate pivot counts on
+/// the scheduling-relaxation family; smaller ones price columns the candidate
+/// list already tracks.
+const PRICE_WINDOW_DIVISOR: usize = 4;
 
 /// Solves a linear program with the revised simplex method.
 ///
@@ -98,12 +170,18 @@ enum Trouble {
 fn try_solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, Trouble> {
     let n = problem.num_variables();
     let mut solver = Revised::build(problem, options);
+    solver.refactorize()?;
     let limit = options
         .max_iterations
         .unwrap_or_else(|| 200 * (solver.nrows + solver.ncols) + 10_000);
 
-    // Phase 1: minimise the sum of artificial variables.
-    if solver.num_artificials > 0 {
+    // Phase 1: minimise the sum of artificial variables. The triangular
+    // crash in `build` replaces artificials with structural columns wherever
+    // it can do so feasibly, so phase 1 runs only for the rows it missed —
+    // and an entirely crashed basis skips phase 1 outright (the crash basis
+    // being feasible *is* the feasibility certificate phase 1 exists to
+    // produce).
+    if solver.has_basic_artificials() {
         solver.install_phase1_costs();
         let status = solver.optimize(options, limit)?;
         debug_assert!(
@@ -163,45 +241,89 @@ enum PhaseStatus {
     Unbounded,
 }
 
-/// One product-form update: `B_new = B_old · E` where `E` is the identity
-/// with column `pivot_row` replaced by the FTRANed entering column `d`.
-/// Applying `E⁻¹` to a vector needs only `d`'s non-zeros.
-struct Eta {
-    pivot_row: usize,
-    pivot_val: f64,
-    /// Off-pivot non-zeros of `d` as `(row, value)`.
-    entries: Vec<(usize, f64)>,
-}
-
 /// Revised-simplex state over the standard-form problem.
+///
+/// Vectors over the basis are indexed by *basis position* `t ∈ 0..nrows`:
+/// `basis[t]` is the column occupying position `t`, `xb[t]` its value, and
+/// [`LuFactors::ftran`] maps original-row space into position space (its
+/// BTRAN maps back). A pivot replaces the column at one position; positions
+/// never migrate, so the basis books survive refactorisation untouched.
 struct Revised {
     nrows: usize,
     /// Total columns including artificials.
     ncols: usize,
-    num_artificials: usize,
+    /// Columns below this index are structural or slack; columns at or above
+    /// it are artificials. Artificials start basic, so pricing never needs to
+    /// look past this bound: a nonbasic artificial has left the basis, and a
+    /// departed artificial can be dropped outright (if the phase-1 optimum
+    /// over the remaining columns is positive, any feasible point of the
+    /// original problem — all artificials zero — would beat it, so none
+    /// exists).
+    num_real: usize,
     /// Column-access form of `A`: row `c` of this matrix is column `c`.
     cols: CsrMatrix,
+    /// Row-access form of `A` (one row per constraint), used to push the
+    /// devex reference row through to column space sparsely.
+    rows_csr: CsrMatrix,
     /// Normalised right-hand side (entrywise ≥ 0).
     b: Vec<f64>,
     is_artificial: Vec<bool>,
-    /// Basic column of each row.
+    /// Basic column of each basis position.
     basis: Vec<usize>,
     in_basis: Vec<bool>,
     /// Current phase costs per column.
     cost: Vec<f64>,
-    /// Eta file representing `B⁻¹` (apply in order for FTRAN).
-    etas: Vec<Eta>,
-    etas_since_refactor: usize,
-    /// Current basic solution `B⁻¹ b`, indexed by row.
+    /// Sparse LU factors of the basis, maintained by Forrest–Tomlin updates.
+    factors: LuFactors,
+    /// Current basic solution `B⁻¹ b`, indexed by basis position.
     xb: Vec<f64>,
     /// Set once phase 2 starts: artificials are barred from entering and
     /// pivoted out of the basis whenever the ratio test crosses their row.
     guard_artificials: bool,
     iterations: usize,
+    // --- reusable pivot-loop scratch (no steady-state allocation) ---
+    /// Simplex multipliers `y = B⁻ᵀ c_B`, by original row after BTRAN.
+    y: Vec<f64>,
+    /// Entering direction `d = B⁻¹ a_q`, by basis position after FTRAN.
+    d: Vec<f64>,
+    /// Devex reference row `ρ = B⁻ᵀ e_t` for the leaving position `t`.
+    rho: Vec<f64>,
+    /// Tableau pivot row `α = ρᵀ A` scattered by column, plus its support.
+    alpha: Vec<f64>,
+    alpha_touched: Vec<usize>,
+    /// Reduced costs per column, maintained incrementally from the pivot row
+    /// (`rc′ = rc − (rc_q/α_q)·α`) and recomputed from scratch at every phase
+    /// start and refactorisation to wash out drift.
+    rc: Vec<f64>,
+    /// Devex reference-framework weights per column (all ≥ 1).
+    weights: Vec<f64>,
+    /// Partial-pricing candidate list (bounded by [`price_list_cap`]).
+    candidates: Vec<usize>,
+    /// Refill-time devex scores, parallel to `candidates` (only meaningful
+    /// during a refill sweep; compaction keeps the lengths in sync).
+    cand_scores: Vec<f64>,
+    /// Membership flags for `candidates`, indexed by column.
+    in_list: Vec<bool>,
+    /// Index of the worst-scoring slot in `candidates`, cached so window
+    /// insertions are O(1) until a replacement actually happens.
+    worst_slot: usize,
+    /// Pivots since the devex reference framework was last reset.
+    frame_age: usize,
+    /// Cyclic cursor of the rotating pricing window.
+    cursor: usize,
+    /// Forrest–Tomlin updates between refactorisations: the caller's
+    /// [`SimplexOptions::refactor_interval`] floored at the row count, so
+    /// small solves (which often finish in under `m` pivots) never pay a
+    /// mid-solve refactorisation while long solves keep the caller's cadence.
+    refactor_interval: usize,
+    /// Set once a phase's cost vector is installed: the very first
+    /// factorisation runs before any costs exist, and recomputing reduced
+    /// costs against the all-zero vector would be pure waste.
+    costs_installed: bool,
 }
 
 impl Revised {
-    fn build(problem: &LpProblem, _options: &SimplexOptions) -> Self {
+    fn build(problem: &LpProblem, options: &SimplexOptions) -> Self {
         let n = problem.num_variables();
         let m = problem.num_constraints();
 
@@ -221,13 +343,17 @@ impl Revised {
         let num_real = n + num_slack;
         let ncols = num_real + num_artificials;
 
-        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
         let mut b = Vec::with_capacity(m);
         let mut basis = vec![usize::MAX; m];
         let mut is_artificial = vec![false; ncols];
         let mut slack_cursor = n;
         let mut artificial_cursor = num_real;
 
+        // Rows stream straight into the CSR arrays — no intermediate per-row
+        // `Vec`s (their allocations were a measurable share of small-solve
+        // setup time).
+        let term_nnz: usize = problem.constraints().iter().map(|c| c.terms.len()).sum();
+        let mut rows_builder = CsrMatrix::builder(ncols, m, term_nnz + num_slack + num_artificials);
         for (i, c) in problem.constraints().iter().enumerate() {
             let slack_sign = match c.op {
                 ConstraintOp::Le => 1.0,
@@ -240,55 +366,136 @@ impl Revised {
                 sign = -1.0;
                 rhs = -rhs;
             }
-            let mut row: Vec<(usize, f64)> =
-                c.terms.iter().map(|&(v, a)| (v.0, sign * a)).collect();
+            for &(v, a) in &c.terms {
+                rows_builder.push(v.0, sign * a);
+            }
             if c.op != ConstraintOp::Eq {
-                row.push((slack_cursor, sign * slack_sign));
+                rows_builder.push(slack_cursor, sign * slack_sign);
                 if sign * slack_sign > 0.0 {
                     basis[i] = slack_cursor;
                 }
                 slack_cursor += 1;
             }
             if needs_artificial[i] {
-                row.push((artificial_cursor, 1.0));
+                rows_builder.push(artificial_cursor, 1.0);
                 is_artificial[artificial_cursor] = true;
                 basis[i] = artificial_cursor;
                 artificial_cursor += 1;
             }
-            rows.push(row);
+            rows_builder.finish_row();
             b.push(rhs);
         }
 
-        let matrix = CsrMatrix::from_rows(ncols, &rows);
-        let cols = matrix.transpose();
+        let rows_csr = rows_builder.build();
+        let cols = rows_csr.transpose();
+
+        // Triangular crash: before settling for an all-artificial phase-1
+        // start, try to seat a structural column in each artificial row. A
+        // candidate must pivot positively in its row (so its basic value
+        // `rhs/a` is nonnegative), be acceptably large against its column
+        // (stability), and have every *other* supported row still slack-basic
+        // with enough remaining slack to absorb the induced load. Rows are
+        // processed in index order and the largest acceptable pivot wins, so
+        // the crash is deterministic; the resulting basis is lower triangular
+        // (crashed rows first, slack rows after) and feasible by
+        // construction — phase 1 then only has to drive out the artificials
+        // the greedy could not replace, often none at all.
+        let mut remaining = b.clone();
+        let mut col_used = vec![false; ncols];
+        for i in 0..m {
+            if !needs_artificial[i] {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            'cand: for (c, a) in rows_csr.row(i) {
+                if c >= n || col_used[c] || a <= CRASH_PIVOT_TOL {
+                    continue;
+                }
+                if best.is_some_and(|(_, ba)| a <= ba) {
+                    continue;
+                }
+                let x = b[i] / a;
+                let mut col_max = a;
+                for (r, ar) in cols.row(c) {
+                    col_max = col_max.max(ar.abs());
+                    if r == i {
+                        continue;
+                    }
+                    let slack_basic = basis[r] != usize::MAX && basis[r] >= n;
+                    if !slack_basic || remaining[r] - ar * x < 0.0 {
+                        continue 'cand;
+                    }
+                }
+                if a < CRASH_STABILITY_RATIO * col_max {
+                    continue;
+                }
+                best = Some((c, a));
+            }
+            if let Some((c, a)) = best {
+                let x = b[i] / a;
+                for (r, ar) in cols.row(c) {
+                    if r != i {
+                        remaining[r] -= ar * x;
+                    }
+                }
+                basis[i] = c;
+                col_used[c] = true;
+            }
+        }
+
         let mut in_basis = vec![false; ncols];
         for &v in &basis {
             in_basis[v] = true;
         }
-        // The initial basis is the identity (unit slack/artificial columns),
-        // so B⁻¹ = I: the eta file starts empty and xb = b.
+        // The initial basis is near triangular (crash columns plus unit
+        // slack/artificial columns), so the first factorisation is cheap.
         Self {
             nrows: m,
             ncols,
-            num_artificials,
+            num_real,
             cols,
+            rows_csr,
             xb: b.clone(),
             b,
             is_artificial,
             basis,
             in_basis,
             cost: vec![0.0; ncols],
-            etas: Vec::new(),
-            etas_since_refactor: 0,
+            factors: LuFactors::new(m),
             guard_artificials: false,
             iterations: 0,
+            y: vec![0.0; m],
+            d: vec![0.0; m],
+            rho: vec![0.0; m],
+            alpha: vec![0.0; ncols],
+            alpha_touched: Vec::with_capacity(ncols),
+            rc: vec![0.0; ncols],
+            weights: vec![1.0; ncols],
+            candidates: Vec::with_capacity(price_list_cap(ncols)),
+            cand_scores: Vec::with_capacity(price_list_cap(ncols)),
+            in_list: vec![false; ncols],
+            worst_slot: 0,
+            frame_age: 0,
+            cursor: 0,
+            refactor_interval: options.refactor_interval.max(m),
+            costs_installed: false,
         }
+    }
+
+    /// Whether any artificial variable is still basic (phase 1 has work to
+    /// do). The triangular crash can seat structural columns in every
+    /// artificial row, in which case phase 1 is skipped entirely.
+    fn has_basic_artificials(&self) -> bool {
+        self.basis.iter().any(|&v| self.is_artificial[v])
     }
 
     fn install_phase1_costs(&mut self) {
         for c in 0..self.ncols {
             self.cost[c] = if self.is_artificial[c] { 1.0 } else { 0.0 };
         }
+        self.costs_installed = true;
+        self.reset_devex();
+        self.recompute_reduced_costs();
     }
 
     fn install_phase2_costs(&mut self, problem: &LpProblem) {
@@ -301,6 +508,18 @@ impl Revised {
             self.cost[v] = flip * coeff;
         }
         self.guard_artificials = true;
+        self.costs_installed = true;
+        self.reset_devex();
+        self.recompute_reduced_costs();
+    }
+
+    /// Starts a fresh devex reference framework: the current nonbasic set
+    /// becomes the reference, all weights return to 1.
+    fn reset_devex(&mut self) {
+        self.weights.iter_mut().for_each(|w| *w = 1.0);
+        self.candidates.clear();
+        self.cand_scores.clear();
+        self.in_list.iter_mut().for_each(|x| *x = false);
     }
 
     /// Current phase objective `c_B · x_B` (always a minimisation).
@@ -312,59 +531,35 @@ impl Revised {
             .sum()
     }
 
-    /// FTRAN: overwrites `v` with `B⁻¹ v` by applying the eta file in order.
-    fn ftran(&self, v: &mut [f64]) {
-        for eta in &self.etas {
-            let t = v[eta.pivot_row];
-            if t == 0.0 {
-                continue;
-            }
-            let t = t / eta.pivot_val;
-            for &(i, d) in &eta.entries {
-                v[i] -= d * t;
-            }
-            v[eta.pivot_row] = t;
-        }
-    }
-
-    /// BTRAN: overwrites `y` with `(B⁻¹)ᵀ y` by applying the transposed eta
-    /// file in reverse order.
-    fn btran(&self, y: &mut [f64]) {
-        for eta in self.etas.iter().rev() {
-            let mut s = 0.0;
-            for &(i, d) in &eta.entries {
-                s += d * y[i];
-            }
-            y[eta.pivot_row] = (y[eta.pivot_row] - s) / eta.pivot_val;
-        }
-    }
-
-    /// Scatters column `c` of `A` into the dense scratch vector.
-    fn scatter_column(&self, c: usize, out: &mut [f64]) {
-        out.iter_mut().for_each(|x| *x = 0.0);
-        for (r, v) in self.cols.row(c) {
-            out[r] = v;
-        }
-    }
-
     /// Runs simplex pivots until optimality or unboundedness.
     fn optimize(&mut self, options: &SimplexOptions, limit: usize) -> Result<PhaseStatus, Trouble> {
         let tol = options.tolerance;
         let mut stall = 0usize;
-        let mut y = vec![0.0f64; self.nrows];
-        let mut d = vec![0.0f64; self.nrows];
         loop {
             if self.iterations >= limit {
                 return Err(Trouble::IterationLimit { limit });
             }
+            // Phase 1 is done the moment no artificial is basic: the
+            // objective (sum of basic artificial values) is exactly zero,
+            // which is its lower bound — no need to prove LP optimality with
+            // a confirming sweep, and any remaining degenerate pivots are
+            // skipped outright.
+            if !self.guard_artificials && !self.has_basic_artificials() {
+                return Ok(PhaseStatus::Optimal);
+            }
             let use_bland = stall >= options.stall_threshold;
 
-            // Simplex multipliers y = (B⁻¹)ᵀ c_B, then price columns.
-            for r in 0..self.nrows {
-                y[r] = self.cost[self.basis[r]];
+            // Price columns off the incrementally maintained reduced costs.
+            // An empty pricing result is re-verified against freshly
+            // recomputed reduced costs before optimality is declared, so
+            // incremental drift can cost extra pivots but never a wrong
+            // verdict.
+            let mut entering_choice = self.choose_entering(tol, use_bland);
+            if entering_choice.is_none() {
+                self.recompute_reduced_costs();
+                entering_choice = self.choose_entering(tol, use_bland);
             }
-            self.btran(&mut y);
-            let Some(entering) = self.choose_entering(&y, tol, use_bland) else {
+            let Some(entering) = entering_choice else {
                 return Ok(PhaseStatus::Optimal);
             };
             // Budget check only once another pivot is actually needed: a
@@ -372,181 +567,459 @@ impl Revised {
             // not an exhaustion.
             crate::engine::budget_check(self.iterations, options).map_err(Trouble::Budget)?;
 
-            // Entering direction d = B⁻¹ a_q.
-            self.scatter_column(entering, &mut d);
-            self.ftran(&mut d);
-            let Some(leaving_row) = self.choose_leaving(&d, tol, use_bland) else {
+            // Entering direction d = B⁻¹ a_q (the FTRAN stashes the spike the
+            // Forrest–Tomlin update below consumes).
+            self.d.iter_mut().for_each(|x| *x = 0.0);
+            for (r, v) in self.cols.row(entering) {
+                self.d[r] = v;
+            }
+            self.factors.ftran(&mut self.d);
+            let Some(leaving) = self.choose_leaving(tol, use_bland) else {
                 return Ok(PhaseStatus::Unbounded);
             };
+            let pivot_val = self.d[leaving];
+            if pivot_val.abs() < 1e-12 || !pivot_val.is_finite() {
+                return Err(Trouble::Numerical {
+                    spent: self.iterations,
+                });
+            }
 
-            let degenerate = self.xb[leaving_row].abs() <= tol;
+            let degenerate = self.xb[leaving].abs() <= tol;
             if degenerate {
                 stall += 1;
             } else {
                 stall = 0;
             }
-            self.pivot(leaving_row, entering, &d)?;
+
+            // Devex weight maintenance needs the *old* basis (one BTRAN of
+            // e_leaving), so it runs before the update and the book swap.
+            self.devex_update(entering, leaving, pivot_val);
+
+            // Basic-solution update along the entering direction: a
+            // branchless streaming pass (zero direction entries are no-ops),
+            // with the leaving position overwritten afterwards.
+            let theta = self.xb[leaving].max(0.0) / pivot_val;
+            for (x, &dt) in self.xb.iter_mut().zip(&self.d) {
+                *x -= theta * dt;
+            }
+            self.xb[leaving] = theta;
+
+            self.in_basis[self.basis[leaving]] = false;
+            self.in_basis[entering] = true;
+            self.basis[leaving] = entering;
             self.iterations += 1;
 
-            if self.etas_since_refactor >= options.refactor_interval {
+            // Keep the factors current: refactorise when the update budget or
+            // fill-in says so, otherwise patch with a Forrest–Tomlin update —
+            // and refactorise as recovery if the update goes singular (the
+            // books already hold the new basis, so a fresh factorisation is
+            // always a valid continuation).
+            let need = self.factors.needs_refactor(self.refactor_interval)
+                || self.factors.ft_update(leaving).is_err();
+            if need {
                 self.refactorize()?;
             }
         }
     }
 
-    /// Entering column: most negative reduced cost (Dantzig) or smallest
-    /// index with negative reduced cost (Bland). Reduced costs are computed
-    /// against the simplex multipliers `y`, one sparse dot per column —
-    /// O(nnz(A)) per call in total.
-    fn choose_entering(&self, y: &[f64], tol: f64, bland: bool) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
+    /// Whether column `c` may be priced: nonbasic, and not a barred
+    /// artificial in phase 2.
+    fn priceable(&self, c: usize) -> bool {
+        !(self.in_basis[c] || (self.guard_artificials && self.is_artificial[c]))
+    }
+
+    /// Recomputes the whole reduced-cost vector from scratch: one BTRAN for
+    /// the simplex multipliers `y = B⁻ᵀ c_B`, then one sparse dot per column.
+    /// O(nnz) — runs once per phase start and per refactorisation, not per
+    /// pivot; between runs `rc` is maintained incrementally by
+    /// [`devex_update`](Self::devex_update).
+    fn recompute_reduced_costs(&mut self) {
+        for t in 0..self.nrows {
+            self.y[t] = self.cost[self.basis[t]];
+        }
+        self.factors.btran(&mut self.y);
         for c in 0..self.ncols {
-            if self.in_basis[c] || (self.guard_artificials && self.is_artificial[c]) {
+            if self.in_basis[c] {
+                self.rc[c] = 0.0;
                 continue;
             }
             let mut rc = self.cost[c];
             for (r, a) in self.cols.row(c) {
-                rc -= a * y[r];
+                rc -= a * self.y[r];
             }
-            if rc < -tol {
-                if bland {
-                    return Some(c);
+            self.rc[c] = rc;
+        }
+    }
+
+    /// Entering column.
+    ///
+    /// Phase 1 prices by plain Dantzig (most negative reduced cost): the
+    /// devex framework is re-seeded on the phase-2 objective anyway, and the
+    /// unweighted rule makes the sweep a branchless min-reduction the
+    /// compiler vectorises. Phase 1 must sweep *every* column per pivot —
+    /// its sum-of-artificials objective ties scores across huge column
+    /// groups, and any bounded refresh policy turns those ties into
+    /// degenerate churn (measured 4-5x pivot inflation on covering LPs).
+    ///
+    /// Phase 2 — devex with *partial pricing on a rotating window*: per
+    /// pivot the solver re-prices (a) the persistent bounded candidate list,
+    /// compacting out columns that went basic or unattractive, and (b) one
+    /// fresh window of columns at the cyclic cursor, so every column is
+    /// revisited every few pivots and the list can never go stale. The best
+    /// `rc² / weight` over both wins. Only when both run dry does a full
+    /// sweep run — and a full sweep that finds nothing is the optimality
+    /// proof.
+    ///
+    /// Bland path: smallest index with negative reduced cost, full scan
+    /// (anti-cycling).
+    fn choose_entering(&mut self, tol: f64, bland: bool) -> Option<usize> {
+        // Artificial columns (indices ≥ `num_real`) are never priced: they
+        // start basic, and once nonbasic they are dropped for good (see the
+        // `num_real` field docs for why that preserves the infeasibility
+        // verdict).
+        if bland {
+            return (0..self.num_real).find(|&c| self.priceable(c) && self.rc[c] < -tol);
+        }
+        if !self.guard_artificials {
+            // Phase 1: two-pass argmin over rc. Basic columns are implicitly
+            // excluded — their rc is 0 up to sub-tolerance drift, which can
+            // never beat a `< -tol` candidate. A bare fold over f64 stays
+            // scalar (LLVM may not reassociate float min), so the reduction
+            // runs over four independent lanes that the backend vectorises;
+            // the argmin is then recovered with one early-exit scan.
+            let priced = &self.rc[..self.num_real];
+            let mut lanes = [f64::INFINITY; 4];
+            let mut chunks = priced.chunks_exact(4);
+            for chunk in &mut chunks {
+                for (lane, &rc) in lanes.iter_mut().zip(chunk) {
+                    *lane = if rc < *lane { rc } else { *lane };
                 }
-                match best {
-                    Some((_, b)) if rc >= b => {}
-                    _ => best = Some((c, rc)),
+            }
+            let mut min_rc = lanes.into_iter().fold(f64::INFINITY, f64::min);
+            for &rc in chunks.remainder() {
+                min_rc = if rc < min_rc { rc } else { min_rc };
+            }
+            if min_rc >= -tol {
+                return None;
+            }
+            return priced.iter().position(|&rc| rc == min_rc);
+        }
+        let cap = price_list_cap(self.ncols);
+        let mut best: Option<(usize, f64)> = None;
+        // (a) Re-price the persistent list.
+        let mut keep = 0usize;
+        for i in 0..self.candidates.len() {
+            let c = self.candidates[i];
+            if !self.priceable(c) {
+                self.in_list[c] = false;
+                continue;
+            }
+            let rc = self.rc[c];
+            if rc < -tol {
+                let score = rc * rc / self.weights[c];
+                self.candidates[keep] = c;
+                self.cand_scores[keep] = score;
+                keep += 1;
+                if best.is_none_or(|(_, bs)| score > bs) {
+                    best = Some((c, score));
+                }
+            } else {
+                self.in_list[c] = false;
+            }
+        }
+        self.candidates.truncate(keep);
+        self.cand_scores.truncate(keep);
+        self.refresh_worst_slot();
+        // (b) Price one fresh window of columns at the cyclic cursor —
+        // phase-2 scores are well-separated, so a bounded window per pivot
+        // does not hurt the pivot count.
+        let window = (self.ncols / PRICE_WINDOW_DIVISOR).max(cap).min(self.ncols);
+        let start = self.cursor;
+        let mut c = start;
+        for _ in 0..window {
+            let col = c;
+            c += 1;
+            if c == self.ncols {
+                c = 0;
+            }
+            let c = col;
+            if self.in_list[c] || !self.priceable(c) {
+                continue;
+            }
+            let rc = self.rc[c];
+            if rc < -tol {
+                let score = rc * rc / self.weights[c];
+                self.insert_candidate(c, score, cap);
+                if best.is_none_or(|(_, bs)| score > bs) {
+                    best = Some((c, score));
+                }
+            }
+        }
+        self.cursor = c;
+        if best.is_some() {
+            return best.map(|(c, _)| c);
+        }
+        // (c) Both dry (the list is empty here): full sweep keeping the
+        // best-scoring columns. Finding nothing attractive proves optimality.
+        let mut c = start;
+        for _ in 0..self.ncols {
+            let col = c;
+            c += 1;
+            if c == self.ncols {
+                c = 0;
+            }
+            let c = col;
+            if self.in_list[c] || !self.priceable(c) {
+                continue;
+            }
+            let rc = self.rc[c];
+            if rc < -tol {
+                let score = rc * rc / self.weights[c];
+                self.insert_candidate(c, score, cap);
+                if best.is_none_or(|(_, bs)| score > bs) {
+                    best = Some((c, score));
                 }
             }
         }
         best.map(|(c, _)| c)
     }
 
-    /// Ratio test on the FTRANed entering column `d`. Rows with `d_r > tol`
-    /// block at `x_r / d_r`; in phase 2, rows whose basic variable is an
-    /// artificial (held at zero) also block at ratio 0 when `d_r < −tol`,
-    /// which pivots the artificial out instead of letting it go positive.
-    /// Ties are broken like the dense engine: by larger pivot magnitude under
-    /// Dantzig, by smaller basic-variable index under Bland.
-    fn choose_leaving(&self, d: &[f64], tol: f64, bland: bool) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for r in 0..self.nrows {
-            let coeff = d[r];
+    /// Inserts column `c` into the bounded candidate list, evicting the
+    /// worst-scoring member when full. Maintains the `in_list` flags and the
+    /// cached worst slot, so a non-improving insertion is one comparison.
+    fn insert_candidate(&mut self, c: usize, score: f64, cap: usize) {
+        if self.candidates.len() < cap {
+            if score
+                < self
+                    .cand_scores
+                    .get(self.worst_slot)
+                    .copied()
+                    .unwrap_or(f64::INFINITY)
+            {
+                self.worst_slot = self.candidates.len();
+            }
+            self.candidates.push(c);
+            self.cand_scores.push(score);
+            self.in_list[c] = true;
+            return;
+        }
+        if score > self.cand_scores[self.worst_slot] {
+            self.in_list[self.candidates[self.worst_slot]] = false;
+            self.candidates[self.worst_slot] = c;
+            self.cand_scores[self.worst_slot] = score;
+            self.in_list[c] = true;
+            self.refresh_worst_slot();
+        }
+    }
+
+    /// Re-finds the worst-scoring candidate slot (after compaction or an
+    /// eviction). O(list length), list length ≤ the small cap.
+    fn refresh_worst_slot(&mut self) {
+        self.worst_slot = 0;
+        for i in 1..self.cand_scores.len() {
+            if self.cand_scores[i] < self.cand_scores[self.worst_slot] {
+                self.worst_slot = i;
+            }
+        }
+    }
+
+    /// Ratio test on the FTRANed entering column `d`. Positions with
+    /// `d_t > tol` block at `x_t / d_t`; in phase 2, positions whose basic
+    /// variable is an artificial (held at zero) also block at ratio 0 when
+    /// `d_t < −tol`, which pivots the artificial out instead of letting it go
+    /// positive. Ties are broken like the dense engine: by larger pivot
+    /// magnitude under devex, by smaller basic-variable index under Bland.
+    fn choose_leaving(&self, tol: f64, bland: bool) -> Option<usize> {
+        // Ratios `xb⁺/|d|` compare cross-multiplied (all denominators are
+        // positive), keeping the per-row work free of divisions:
+        // `r_t < r_b ⟺ num_t·den_b < num_b·den_t`, with the tie window `tol`
+        // scaled by `den_t·den_b` to stay a window on the ratio itself.
+        let mut best: Option<(usize, f64, f64)> = None;
+        for t in 0..self.nrows {
+            let coeff = self.d[t];
             let blocking = coeff > tol
-                || (self.guard_artificials && self.is_artificial[self.basis[r]] && coeff < -tol);
+                || (self.guard_artificials && self.is_artificial[self.basis[t]] && coeff < -tol);
             if !blocking {
                 continue;
             }
-            let ratio = self.xb[r].max(0.0) / coeff.abs();
+            let num = self.xb[t].max(0.0);
+            let den = coeff.abs();
             let better = match best {
                 None => true,
-                Some((br, bratio)) => {
-                    if (ratio - bratio).abs() <= tol {
+                Some((bt, bnum, bden)) => {
+                    let lhs = num * bden;
+                    let rhs = bnum * den;
+                    if (lhs - rhs).abs() <= tol * den * bden {
                         if bland {
-                            self.basis[r] < self.basis[br]
+                            self.basis[t] < self.basis[bt]
                         } else {
-                            coeff.abs() > d[br].abs()
+                            den > bden
                         }
                     } else {
-                        ratio < bratio
+                        lhs < rhs
                     }
                 }
             };
             if better {
-                best = Some((r, ratio));
+                best = Some((t, num, den));
             }
         }
-        best.map(|(r, _)| r)
+        best.map(|(t, _, _)| t)
     }
 
-    /// Applies the basis change: records the eta, updates the basic solution
-    /// and swaps the basis books.
-    fn pivot(&mut self, row: usize, entering: usize, d: &[f64]) -> Result<(), Trouble> {
-        let pivot_val = d[row];
-        if pivot_val.abs() < 1e-12 || !pivot_val.is_finite() {
+    /// Devex reference-framework update for the pivot (entering `q`, leaving
+    /// position `t`, pivot element `α_q = d_t`): with `ρ = B⁻ᵀ e_t`, every
+    /// nonbasic column `j` in the pivot row\'s support sees `α_j = ρ · a_j`
+    /// and `w_j ← max(w_j, (α_j/α_q)² · w_q)`; the leaving variable re-enters
+    /// the nonbasic pool at `max(w_q/α_q², 1)`. The push from row space to
+    /// column space walks only the constraint rows where `ρ` is non-zero, so
+    /// the update is exact devex at sparse cost. Runaway weights reset the
+    /// framework.
+    fn devex_update(&mut self, entering: usize, leaving: usize, pivot_val: f64) {
+        self.rho.iter_mut().for_each(|x| *x = 0.0);
+        self.rho[leaving] = 1.0;
+        self.factors.btran(&mut self.rho);
+        // Push `ρ` through the constraint rows to get the pivot row `α`.
+        // When the support is wide (the common late-phase case) the touched
+        // set approaches every column, so the scatter skips membership
+        // tracking and the consume pass below runs flat over `α` — sequential
+        // loads instead of an indirection per column. `ρ` entries at or below
+        // `RHO_DROP_TOL` are numerical fuzz seeded by Forrest-Tomlin fill:
+        // their `α` contributions sit far below the pricing tolerance, but
+        // walking their constraint rows is not free.
+        let mut pushed = 0usize;
+        for r in 0..self.nrows {
+            if self.rho[r].abs() > RHO_DROP_TOL {
+                pushed += self.rows_csr.row_nnz(r);
+            }
+        }
+        let flat = pushed * 2 > self.ncols;
+        self.alpha_touched.clear();
+        for r in 0..self.nrows {
+            let rho_r = self.rho[r];
+            if rho_r.abs() <= RHO_DROP_TOL {
+                continue;
+            }
+            if flat {
+                for (c, a) in self.rows_csr.row(r) {
+                    self.alpha[c] += a * rho_r;
+                }
+            } else {
+                for (c, a) in self.rows_csr.row(r) {
+                    if self.alpha[c] == 0.0 {
+                        self.alpha_touched.push(c);
+                    }
+                    self.alpha[c] += a * rho_r;
+                }
+            }
+        }
+        // Devex weights only matter for phase-2 pricing (phase 1 scores by
+        // plain Dantzig and the framework is re-seeded at the phase install),
+        // so phase 1 skips weight maintenance entirely.
+        let track_weights = self.guard_artificials;
+        let w_q = self.weights[entering];
+        let aq2 = pivot_val * pivot_val;
+        let w_scale = w_q / aq2;
+        let drop2 = ALPHA_DROP_TOL * ALPHA_DROP_TOL;
+        let ratio = self.rc[entering] / pivot_val;
+        // Weights only change when a pivot writes them, so tracking the max
+        // over *written* values catches every reset-threshold crossing.
+        let mut maxw = 0.0f64;
+        // Basic columns keep rc = 0 (their α is exactly 0 aside from the
+        // leaving variable, handled below); sub-tolerance α move neither the
+        // weights nor the reduced costs measurably, and any accumulated drift
+        // is washed out at the next refactorisation's full recompute.
+        if flat && !track_weights {
+            // Phase 1 maintains only the reduced costs: a pure streaming
+            // multiply-subtract the compiler turns into SIMD.
+            for c in 0..self.ncols {
+                let alpha = self.alpha[c];
+                self.alpha[c] = 0.0;
+                self.rc[c] -= ratio * alpha;
+            }
+        } else if flat {
+            // Branchless streaming pass, written so LLVM vectorises it: for
+            // basic columns `α` is mathematically 0 (fuzz aside), so the
+            // basic/nonbasic distinction is dropped — basic reduced costs
+            // and weights absorb sub-tolerance noise that nothing reads
+            // (both are rewritten when a variable actually leaves the basis,
+            // and the refactorisation recompute washes the rest).
+            for c in 0..self.ncols {
+                let alpha = self.alpha[c];
+                self.alpha[c] = 0.0;
+                self.rc[c] -= ratio * alpha;
+                let candidate_w = (alpha * alpha) * w_scale;
+                let w = self.weights[c];
+                let w = if candidate_w > w { candidate_w } else { w };
+                self.weights[c] = w;
+                maxw = if w > maxw { w } else { maxw };
+            }
+        } else if !track_weights {
+            for i in 0..self.alpha_touched.len() {
+                let c = self.alpha_touched[i];
+                let alpha = self.alpha[c];
+                self.alpha[c] = 0.0;
+                self.rc[c] -= ratio * alpha;
+            }
+        } else {
+            for i in 0..self.alpha_touched.len() {
+                let c = self.alpha_touched[i];
+                let alpha = self.alpha[c];
+                self.alpha[c] = 0.0;
+                let a2 = alpha * alpha;
+                if a2 <= drop2 || c == entering || self.in_basis[c] {
+                    continue;
+                }
+                self.rc[c] -= ratio * alpha;
+                let candidate_w = a2 * w_scale;
+                if candidate_w > self.weights[c] {
+                    self.weights[c] = candidate_w;
+                    if candidate_w > maxw {
+                        maxw = candidate_w;
+                    }
+                }
+            }
+        }
+        // The entering column goes basic (rc exactly 0); the leaving variable
+        // re-enters the nonbasic pool with α = 1 exactly (it *was* the basis
+        // column at the pivot position).
+        self.rc[entering] = 0.0;
+        let leaving_var = self.basis[leaving];
+        self.rc[leaving_var] = -ratio;
+        if track_weights {
+            self.weights[leaving_var] = (w_q / aq2).max(1.0);
+            maxw = maxw.max(self.weights[leaving_var]);
+            self.frame_age += 1;
+            if maxw > DEVEX_RESET || !maxw.is_finite() || self.frame_age >= DEVEX_FRAME_LIMIT {
+                self.weights.iter_mut().for_each(|w| *w = 1.0);
+                self.frame_age = 0;
+            }
+        }
+    }
+
+    /// Rebuilds the LU factors from scratch for the current basis books and
+    /// recomputes `x_B = B⁻¹ b`. Positions keep their variables — only the
+    /// internal elimination ordering changes.
+    fn refactorize(&mut self) -> Result<(), Trouble> {
+        if self.factors.factorize(&self.cols, &self.basis).is_err() {
             return Err(Trouble::Numerical {
                 spent: self.iterations,
             });
         }
-        let theta = self.xb[row].max(0.0) / pivot_val;
-        let mut entries = Vec::new();
-        for (r, &dr) in d.iter().enumerate() {
-            if r != row && dr != 0.0 {
-                entries.push((r, dr));
-                self.xb[r] -= theta * dr;
-            }
-        }
-        self.xb[row] = theta;
-        self.etas.push(Eta {
-            pivot_row: row,
-            pivot_val,
-            entries,
-        });
-        self.etas_since_refactor += 1;
-        self.in_basis[self.basis[row]] = false;
-        self.in_basis[entering] = true;
-        self.basis[row] = entering;
-        Ok(())
-    }
-
-    /// Rebuilds the eta file from scratch for the current basis (product-form
-    /// reinversion with partial pivoting over the remaining rows), then
-    /// recomputes `x_B = B⁻¹ b`. Rows may end up re-associated with different
-    /// basic variables — the basis is a set; only the row↔variable book
-    /// needs to stay consistent.
-    fn refactorize(&mut self) -> Result<(), Trouble> {
-        let vars = self.basis.clone();
-        self.etas.clear();
-        let mut new_basis = vec![usize::MAX; self.nrows];
-        let mut used = vec![false; self.nrows];
-        let mut d = vec![0.0f64; self.nrows];
-        for var in vars {
-            self.scatter_column(var, &mut d);
-            self.ftran(&mut d);
-            let mut pivot: Option<(usize, f64)> = None;
-            for (r, &dr) in d.iter().enumerate() {
-                if !used[r] && pivot.is_none_or(|(_, best)| dr.abs() > best.abs()) {
-                    pivot = Some((r, dr));
-                }
-            }
-            let Some((r, pivot_val)) = pivot else {
-                return Err(Trouble::Numerical {
-                    spent: self.iterations,
-                });
-            };
-            if pivot_val.abs() < 1e-11 || !pivot_val.is_finite() {
-                return Err(Trouble::Numerical {
-                    spent: self.iterations,
-                });
-            }
-            let entries: Vec<(usize, f64)> = d
-                .iter()
-                .enumerate()
-                .filter(|&(i, &v)| i != r && v != 0.0)
-                .map(|(i, &v)| (i, v))
-                .collect();
-            self.etas.push(Eta {
-                pivot_row: r,
-                pivot_val,
-                entries,
-            });
-            used[r] = true;
-            new_basis[r] = var;
-        }
-        self.basis = new_basis;
         self.xb.copy_from_slice(&self.b);
-        let mut xb = std::mem::take(&mut self.xb);
-        self.ftran(&mut xb);
-        self.xb = xb;
-        self.etas_since_refactor = 0;
+        self.factors.ftran(&mut self.xb);
+        if self.costs_installed {
+            self.recompute_reduced_costs();
+        }
         Ok(())
     }
 
     /// Reads the structural-variable values out of the basis.
     fn extract_solution(&self, num_structural: usize) -> Vec<f64> {
         let mut values = vec![0.0; num_structural];
-        for (r, &v) in self.basis.iter().enumerate() {
+        for (t, &v) in self.basis.iter().enumerate() {
             if v < num_structural {
-                values[v] = self.xb[r].max(0.0);
+                values[v] = self.xb[t].max(0.0);
             }
         }
         values
@@ -741,5 +1214,37 @@ mod tests {
         let lp = LpProblem::new(Sense::Minimize);
         let sol = solve_revised(&lp, &opts()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
+    }
+
+    #[test]
+    fn solved_twice_is_bit_identical() {
+        // Devex with a partial candidate list is still fully deterministic:
+        // the same problem must replay to the same vertex, objective and
+        // pivot count.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let vars: Vec<VarId> = (0..20).map(|i| lp.add_variable(format!("v{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            lp.set_objective_coefficient(v, 1.0 + (i % 7) as f64 * 0.25);
+        }
+        for i in 0..15 {
+            let terms: Vec<(VarId, f64)> = (0..4)
+                .map(|j| (vars[(i * 3 + j * 5) % 20], 1.0 + (j as f64) * 0.5))
+                .collect();
+            lp.add_constraint(
+                terms,
+                ConstraintOp::Ge,
+                2.0 + i as f64 * 0.1,
+                format!("c{i}"),
+            );
+        }
+        let a = solve_revised(&lp, &opts()).unwrap();
+        let b = solve_revised(&lp, &opts()).unwrap();
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.phase1_iterations, b.phase1_iterations);
+        assert!(a.objective.to_bits() == b.objective.to_bits());
+        for (x, y) in a.values.iter().zip(b.values.iter()) {
+            assert!(x.to_bits() == y.to_bits());
+        }
     }
 }

@@ -179,3 +179,50 @@ fn equality_systems_agree() {
         assert_engines_agree(&lp, &format!("equality trial {trial}"));
     }
 }
+
+#[test]
+fn adversarial_options_preserve_parity() {
+    // Hostile solver options must change *how* the revised engine gets to
+    // the answer, never the answer itself: `refactor_interval: 1` (clamped
+    // to m internally) forces Forrest–Tomlin chains to be torn down and the
+    // basis refactorised as often as the engine allows, and
+    // `stall_threshold: 1` flips pricing into Bland's rule after a single
+    // degenerate pivot, dragging the devex candidate list in and out of
+    // play. The dense oracle still runs with defaults.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xAD5);
+    let harsh = SimplexOptions {
+        refactor_interval: 1,
+        stall_threshold: 1,
+        ..SimplexOptions::default()
+    };
+    for trial in 0..80 {
+        let lp = random_lp(&mut rng);
+        let dense = solve_dense(&lp, &SimplexOptions::default()).expect("dense solve");
+        let revised = solve_revised(&lp, &harsh).expect("revised solve under harsh options");
+        assert_eq!(
+            dense.status, revised.status,
+            "harsh-options trial {trial}: status mismatch"
+        );
+        if dense.status == LpStatus::Optimal {
+            assert!(
+                (dense.objective - revised.objective).abs() <= 1e-6,
+                "harsh-options trial {trial}: dense {} vs revised {}",
+                dense.objective,
+                revised.objective
+            );
+            assert!(
+                lp.is_feasible(&revised.values, 1e-6),
+                "harsh-options trial {trial}: revised vertex infeasible"
+            );
+        }
+        // Determinism under pressure: the same harsh solve, run twice, must
+        // be bit-identical (pivots are the clock; options are part of it).
+        let again = solve_revised(&lp, &harsh).expect("repeat solve");
+        assert_eq!(revised.status, again.status, "trial {trial}: repeat status");
+        assert_eq!(
+            revised.objective.to_bits(),
+            again.objective.to_bits(),
+            "trial {trial}: repeat objective not bit-identical"
+        );
+    }
+}
