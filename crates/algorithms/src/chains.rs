@@ -20,7 +20,9 @@ use suu_graph::ChainSet;
 
 use crate::delay::flatten_with_random_delays;
 use crate::error::AlgorithmError;
-use crate::lp_relaxation::{solve_lp1_with, LpBudget, LpMicros};
+use crate::lp_relaxation::{
+    solve_lp1_warm, solve_lp1_with, FractionalSolution, LpBudget, LpMicros, LpWarmInfo,
+};
 use crate::pseudo::build_chain_pseudo_schedules;
 use crate::replicate::{default_sigma, replicate_with_tail};
 use crate::rounding::round_solution;
@@ -115,7 +117,42 @@ pub fn schedule_given_chains(
     options: &ChainsOptions,
 ) -> Result<ChainsSchedule, AlgorithmError> {
     let frac = solve_lp1_with(instance, chains, &options.lp)?;
-    let rounded = round_solution(instance, &frac)?;
+    assemble_schedule(instance, chains, options, &frac)
+}
+
+/// [`schedule_given_chains`] with warm-start threading: the donor basis and
+/// LU factors (from a structurally similar parent solve) seed the (LP1)
+/// solve, and the final basis + factors come back for the next request in
+/// the tenant's drift chain. Pass `None` to solve cold while still capturing
+/// a basis.
+///
+/// Everything after the LP stage is byte-identical to
+/// [`schedule_given_chains`]: warm starts change how fast the LP reaches the
+/// optimum, never which optimum the rounding pipeline consumes.
+///
+/// # Errors
+///
+/// See [`schedule_given_chains`].
+pub fn schedule_given_chains_warm(
+    instance: &SuuInstance,
+    chains: &ChainSet,
+    options: &ChainsOptions,
+    warm: Option<suu_lp::WarmStart>,
+) -> Result<(ChainsSchedule, LpWarmInfo), AlgorithmError> {
+    let (frac, info) = solve_lp1_warm(instance, chains, &options.lp, warm)?;
+    let schedule = assemble_schedule(instance, chains, options, &frac)?;
+    Ok((schedule, info))
+}
+
+/// Stages 2–5 of the pipeline (rounding through replication), shared by the
+/// cold and warm entry points.
+fn assemble_schedule(
+    instance: &SuuInstance,
+    chains: &ChainSet,
+    options: &ChainsOptions,
+    frac: &FractionalSolution,
+) -> Result<ChainsSchedule, AlgorithmError> {
+    let rounded = round_solution(instance, frac)?;
     let per_chain = build_chain_pseudo_schedules(instance, chains, &rounded);
     let outcome = flatten_with_random_delays(
         &per_chain,

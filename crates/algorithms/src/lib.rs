@@ -39,11 +39,11 @@ pub mod rounding;
 pub mod suu_i;
 pub mod suu_i_obl;
 
-pub use chains::{schedule_chains, ChainsSchedule};
+pub use chains::{schedule_chains, schedule_given_chains_warm, ChainsSchedule};
 pub use error::AlgorithmError;
 pub use forest::{schedule_forest, ForestSchedule};
 pub use independent_lp::schedule_independent_lp;
-pub use lp_relaxation::LpBudget;
+pub use lp_relaxation::{LpBudget, LpWarmInfo};
 pub use msm::{exact_max_sum_mass, msm_alg};
 pub use msm_ext::{msm_e_alg, MsmExtSolution};
 pub use suu_i::SuuIAdaptivePolicy;

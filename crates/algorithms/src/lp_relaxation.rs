@@ -24,7 +24,11 @@ use std::time::Instant;
 
 use suu_core::{JobId, MachineId, SuuInstance};
 use suu_graph::ChainSet;
-use suu_lp::{solve, ConstraintOp, Engine, LpProblem, LpStatus, Sense, SimplexOptions, VarId};
+use suu_lp::{
+    solve, solve_revised_with_basis, solve_warm, ConstraintOp, Engine, LpProblem, LpStatus, Sense,
+    SimplexOptions, VarId,
+};
+pub use suu_lp::{LuFactors, WarmStart};
 
 use crate::error::AlgorithmError;
 
@@ -151,6 +155,44 @@ pub fn solve_lp1_with(
     build_and_solve(instance, Some(chains), budget)
 }
 
+/// Warm-start information flowing alongside a fractional solution.
+#[derive(Debug, Clone, Default)]
+pub struct LpWarmInfo {
+    /// `true` when a donor basis was supplied and actually drove the solve
+    /// (the warm primal or dual-simplex path produced the solution).
+    pub warm: bool,
+    /// Final-basis snapshot for warm-starting a structurally similar solve.
+    /// Empty when the solve ran on the dense engine or did not end at a
+    /// reusable (optimal, artificial-free) basis.
+    pub basis: Vec<usize>,
+    /// LU factors of that final basis. A follow-up solve whose edit leaves
+    /// the basis matrix untouched (the edited column is nonbasic) adopts
+    /// them outright and skips refactorisation entirely.
+    pub factors: Option<LuFactors>,
+}
+
+/// [`solve_lp1_with`] plus warm-start threading: feed the donor [`WarmStart`]
+/// (basis and, when available, LU factors) from a structurally similar
+/// parent solve (or `None` to solve cold) and get the final basis + factors
+/// back for the next request in the tenant's drift chain.
+///
+/// Basis capture and reuse only engage on the revised engine — exactly the
+/// solves [`Engine::Auto`] already routes there. Solves small enough for the
+/// dense tableau keep their historical pivot-for-pivot behaviour and report
+/// no basis, so existing response bytes are untouched.
+///
+/// # Errors
+///
+/// Same contract as [`solve_lp1_with`].
+pub fn solve_lp1_warm(
+    instance: &SuuInstance,
+    chains: &ChainSet,
+    budget: &LpBudget,
+    warm: Option<WarmStart>,
+) -> Result<(FractionalSolution, LpWarmInfo), AlgorithmError> {
+    build_and_solve_tracked(instance, Some(chains), budget, warm, true)
+}
+
 /// Builds and solves (LP2) for an independent-jobs instance.
 ///
 /// # Errors
@@ -198,55 +240,52 @@ pub fn build_relaxation(
 
     // x variables only for positive probabilities, in machine-major order.
     // The same pass accumulates each job's mass-row terms, so no per-job
-    // variable lookup structure is ever needed.
+    // variable lookup structure is ever needed. Variables and rows carry
+    // empty names: this build runs per request on the service's delta path,
+    // and formatting ~n·m name strings costs more than the simplex iterations
+    // a warm start leaves behind.
     let mut x_var: Vec<Vec<(usize, VarId)>> = vec![Vec::new(); m];
     let mut mass_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); n];
     for (i, row) in x_var.iter_mut().enumerate() {
         for (j, p) in instance.positive_jobs(MachineId(i)) {
-            let v = lp.add_variable(format!("x_{i}_{}", j.0));
+            let v = lp.add_variable("");
             row.push((j.0, v));
             mass_terms[j.0].push((v, p));
         }
     }
     // d variables only when chains are present (LP1).
-    let d_var: Option<Vec<VarId>> =
-        chains.map(|_| (0..n).map(|j| lp.add_variable(format!("d_{j}"))).collect());
+    let d_var: Option<Vec<VarId>> = chains.map(|_| (0..n).map(|_| lp.add_variable("")).collect());
     let t_var = lp.add_variable("t");
     lp.set_objective_coefficient(t_var, 1.0);
 
     // (1) mass constraints: Σ_i p_ij x_ij ≥ 1/2, one term per non-zero of
     // job j's column.
-    for (j, terms) in mass_terms.into_iter().enumerate() {
-        lp.add_constraint(terms, ConstraintOp::Ge, LP_MASS_TARGET, format!("mass_{j}"));
+    for terms in mass_terms {
+        lp.add_constraint(terms, ConstraintOp::Ge, LP_MASS_TARGET, "");
     }
     // (2) machine load constraints: Σ_j x_ij − t ≤ 0, one term per non-zero
     // of machine i's row.
-    for (i, row) in x_var.iter().enumerate() {
+    for row in &x_var {
         let mut terms: Vec<(VarId, f64)> = row.iter().map(|&(_, v)| (v, 1.0)).collect();
         terms.push((t_var, -1.0));
-        lp.add_constraint(terms, ConstraintOp::Le, 0.0, format!("load_{i}"));
+        lp.add_constraint(terms, ConstraintOp::Le, 0.0, "");
     }
     if let (Some(chains), Some(d_var)) = (chains, d_var.as_ref()) {
         // (3) chain-length constraints: Σ_{j ∈ C_k} d_j − t ≤ 0.
-        for (k, chain) in chains.chains().iter().enumerate() {
+        for chain in chains.chains() {
             let mut terms: Vec<(VarId, f64)> = chain.iter().map(|&j| (d_var[j], 1.0)).collect();
             terms.push((t_var, -1.0));
-            lp.add_constraint(terms, ConstraintOp::Le, 0.0, format!("chain_{k}"));
+            lp.add_constraint(terms, ConstraintOp::Le, 0.0, "");
         }
         // (4) x_ij ≤ d_j, one row per non-zero.
-        for (i, row) in x_var.iter().enumerate() {
+        for row in &x_var {
             for &(j, v) in row {
-                lp.add_constraint(
-                    vec![(v, 1.0), (d_var[j], -1.0)],
-                    ConstraintOp::Le,
-                    0.0,
-                    format!("window_{i}_{j}"),
-                );
+                lp.add_constraint(vec![(v, 1.0), (d_var[j], -1.0)], ConstraintOp::Le, 0.0, "");
             }
         }
         // (5) d_j ≥ 1.
-        for (j, &dv) in d_var.iter().enumerate() {
-            lp.add_constraint(vec![(dv, 1.0)], ConstraintOp::Ge, 1.0, format!("dmin_{j}"));
+        for &dv in d_var {
+            lp.add_constraint(vec![(dv, 1.0)], ConstraintOp::Ge, 1.0, "");
         }
     }
     (lp, x_var, d_var, t_var)
@@ -257,12 +296,49 @@ fn build_and_solve(
     chains: Option<&ChainSet>,
     budget: &LpBudget,
 ) -> Result<FractionalSolution, AlgorithmError> {
+    build_and_solve_tracked(instance, chains, budget, None, false).map(|(frac, _)| frac)
+}
+
+/// Whether [`solve`] would dispatch this problem to the revised engine —
+/// the routing decision mirrored here so warm-basis capture engages on
+/// exactly the solves that already run revised.
+fn routes_to_revised(lp: &LpProblem, options: &SimplexOptions) -> bool {
+    match options.engine {
+        Engine::Revised => true,
+        Engine::Dense => false,
+        Engine::Auto => suu_lp::engine::tableau_cells(lp) > suu_lp::engine::DENSE_CELL_THRESHOLD,
+    }
+}
+
+fn build_and_solve_tracked(
+    instance: &SuuInstance,
+    chains: Option<&ChainSet>,
+    budget: &LpBudget,
+    warm: Option<WarmStart>,
+    capture: bool,
+) -> Result<(FractionalSolution, LpWarmInfo), AlgorithmError> {
     let start = Instant::now();
     let n = instance.num_jobs();
     let m = instance.num_machines();
     let (lp, x_var, d_var, t_var) = build_relaxation(instance, chains);
 
-    let sol = solve(&lp, &budget.simplex_options())?;
+    let options = budget.simplex_options();
+    let (sol, info) = if capture && routes_to_revised(&lp, &options) {
+        let outcome = match warm {
+            Some(donor) if !donor.basis.is_empty() => solve_warm(&lp, donor, &options)?,
+            _ => solve_revised_with_basis(&lp, &options)?,
+        };
+        (
+            outcome.solution,
+            LpWarmInfo {
+                warm: outcome.warm,
+                basis: outcome.basis,
+                factors: outcome.factors,
+            },
+        )
+    } else {
+        (solve(&lp, &options)?, LpWarmInfo::default())
+    };
     if sol.status != LpStatus::Optimal {
         return Err(AlgorithmError::LpFailure(format!(
             "relaxation reported {:?}",
@@ -290,14 +366,17 @@ fn build_and_solve(
             .map(|j| (0..m).map(|i| x[i][j]).fold(0.0f64, f64::max))
             .collect(),
     };
-    Ok(FractionalSolution {
-        x,
-        d,
-        t: sol.value(t_var),
-        iterations: sol.iterations,
-        nonzero_x,
-        lp_micros: LpMicros(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)),
-    })
+    Ok((
+        FractionalSolution {
+            x,
+            d,
+            t: sol.value(t_var),
+            iterations: sol.iterations,
+            nonzero_x,
+            lp_micros: LpMicros(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)),
+        },
+        info,
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,602 @@
+//! Structured instance deltas: small edits applied to a parent
+//! [`SuuInstance`] instead of resubmitting the whole instance.
+//!
+//! Real tenants mutate instances — one `p_ij` drifts, a job lands or
+//! completes, a machine drains — and the service's warm-start path solves the
+//! mutated instance from the parent's cached basis. A delta is the wire-level
+//! description of such an edit batch. Application is **pure** (the parent is
+//! untouched), **deterministic** (a fixed edit order, documented on
+//! [`SuuInstance::apply_delta`]) and **total**: every malformed delta is
+//! rejected with a structured [`DeltaError`], never a panic, and the result is
+//! revalidated through [`SuuInstance::new`] so an applied delta can only ever
+//! produce a valid instance.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use suu_graph::{Dag, DagError};
+
+use crate::error::InstanceError;
+use crate::instance::SuuInstance;
+
+/// An edit batch against a parent instance.
+///
+/// All indices are `usize` job/machine positions. `set_prob` and `add_edge`
+/// address the instance *after* `add_machine`/`add_job` have been applied, so
+/// a single delta can add a job and immediately set extra probabilities or
+/// precedence edges for it; `remove_job`/`drain_machine` run last. See
+/// [`SuuInstance::apply_delta`] for the full order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InstanceDelta {
+    /// Probability overwrites `(machine, job, p)`. At most one entry per
+    /// cell — duplicates are ambiguous and rejected.
+    pub set_prob: Vec<(usize, usize, f64)>,
+    /// Appends one job (taking the next job index) with the given
+    /// per-machine success probabilities (length = machine count after
+    /// `add_machine`).
+    pub add_job: Option<Vec<f64>>,
+    /// Removes the job with this index; later jobs shift down by one and
+    /// edges incident to the removed job are dropped.
+    pub remove_job: Option<usize>,
+    /// Removes (drains) the machine with this index; later machines shift
+    /// down by one.
+    pub drain_machine: Option<usize>,
+    /// Appends one machine (taking the next machine index) with the given
+    /// per-job success probabilities (length = the parent's job count).
+    pub add_machine: Option<Vec<f64>>,
+    /// Precedence edges to add, as `(predecessor, successor)` job indices.
+    pub add_edge: Vec<(usize, usize)>,
+}
+
+impl InstanceDelta {
+    /// `true` when the delta contains no edits at all (applying it returns a
+    /// logically identical instance).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set_prob.is_empty()
+            && self.add_job.is_none()
+            && self.remove_job.is_none()
+            && self.drain_machine.is_none()
+            && self.add_machine.is_none()
+            && self.add_edge.is_empty()
+    }
+}
+
+/// Why a delta could not be applied. Every variant names the offending edit;
+/// application never panics on malformed input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// An edit referenced a job index that does not exist (at the point in
+    /// the edit order where the edit runs).
+    UnknownJob {
+        /// The offending job index.
+        job: usize,
+        /// Number of jobs at that point.
+        num_jobs: usize,
+    },
+    /// An edit referenced a machine index that does not exist.
+    UnknownMachine {
+        /// The offending machine index.
+        machine: usize,
+        /// Number of machines at that point.
+        num_machines: usize,
+    },
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Machine index of the offending entry.
+        machine: usize,
+        /// Job index of the offending entry.
+        job: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two `set_prob` entries addressed the same cell — ambiguous, rejected.
+    DuplicateCell {
+        /// Machine index of the duplicated cell.
+        machine: usize,
+        /// Job index of the duplicated cell.
+        job: usize,
+    },
+    /// `add_job` supplied the wrong number of per-machine probabilities.
+    AddJobArity {
+        /// Machine count the row must match.
+        expected: usize,
+        /// Length supplied.
+        actual: usize,
+    },
+    /// `add_machine` supplied the wrong number of per-job probabilities.
+    AddMachineArity {
+        /// Job count the row must match.
+        expected: usize,
+        /// Length supplied.
+        actual: usize,
+    },
+    /// An `add_edge` entry was a self-loop.
+    SelfEdge {
+        /// The job with the self-loop.
+        job: usize,
+    },
+    /// Adding the requested edges would create a directed cycle.
+    EdgeCreatesCycle {
+        /// One job known to lie on the cycle.
+        witness: usize,
+    },
+    /// The edits were individually well-formed but the resulting instance is
+    /// invalid (empty, or a job left unschedulable by a drain).
+    Invalid(InstanceError),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownJob { job, num_jobs } => {
+                write!(
+                    f,
+                    "delta references job {job} but instance has {num_jobs} jobs"
+                )
+            }
+            Self::UnknownMachine {
+                machine,
+                num_machines,
+            } => write!(
+                f,
+                "delta references machine {machine} but instance has {num_machines} machines"
+            ),
+            Self::InvalidProbability {
+                machine,
+                job,
+                value,
+            } => write!(
+                f,
+                "delta sets p[{machine},{job}] = {value}, not a probability"
+            ),
+            Self::DuplicateCell { machine, job } => {
+                write!(f, "delta sets p[{machine},{job}] twice")
+            }
+            Self::AddJobArity { expected, actual } => write!(
+                f,
+                "add_job supplies {actual} probabilities, expected {expected} (one per machine)"
+            ),
+            Self::AddMachineArity { expected, actual } => write!(
+                f,
+                "add_machine supplies {actual} probabilities, expected {expected} (one per job)"
+            ),
+            Self::SelfEdge { job } => write!(f, "add_edge contains self-loop on job {job}"),
+            Self::EdgeCreatesCycle { witness } => {
+                write!(
+                    f,
+                    "add_edge creates a precedence cycle through job {witness}"
+                )
+            }
+            Self::Invalid(err) => write!(f, "delta produces an invalid instance: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl SuuInstance {
+    /// Applies `delta` to `self`, returning the mutated instance. `self` is
+    /// untouched.
+    ///
+    /// Edits run in a fixed, documented order:
+    ///
+    /// 1. `add_machine` (the new machine takes the next machine index),
+    /// 2. `add_job` (the new job takes the next job index, no edges),
+    /// 3. `set_prob` (addresses the post-addition instance),
+    /// 4. `add_edge` (post-addition job indices),
+    /// 5. `remove_job` (later jobs shift down, incident edges drop),
+    /// 6. `drain_machine` (later machines shift down).
+    ///
+    /// The result passes [`SuuInstance::new`] validation, so downstream code
+    /// can rely on every invariant a freshly built instance has.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeltaError`] naming the offending edit; never panics on
+    /// malformed deltas.
+    pub fn apply_delta(&self, delta: &InstanceDelta) -> Result<Self, DeltaError> {
+        let mut n = self.num_jobs();
+        let mut m = self.num_machines();
+        let mut probs: Vec<f64> = Vec::with_capacity((m + 1) * (n + 1));
+        for i in 0..m {
+            for j in 0..n {
+                probs.push(self.prob(crate::MachineId(i), crate::JobId(j)));
+            }
+        }
+        let mut edges = self.precedence().edges();
+
+        let check_prob = |machine: usize, job: usize, p: f64| {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(DeltaError::InvalidProbability {
+                    machine,
+                    job,
+                    value: p,
+                });
+            }
+            Ok(())
+        };
+
+        // 1. add_machine: one new row of per-job probabilities.
+        if let Some(row) = &delta.add_machine {
+            if row.len() != n {
+                return Err(DeltaError::AddMachineArity {
+                    expected: n,
+                    actual: row.len(),
+                });
+            }
+            for (j, &p) in row.iter().enumerate() {
+                check_prob(m, j, p)?;
+            }
+            probs.extend_from_slice(row);
+            m += 1;
+        }
+
+        // 2. add_job: one new column of per-machine probabilities.
+        if let Some(col) = &delta.add_job {
+            if col.len() != m {
+                return Err(DeltaError::AddJobArity {
+                    expected: m,
+                    actual: col.len(),
+                });
+            }
+            for (i, &p) in col.iter().enumerate() {
+                check_prob(i, n, p)?;
+            }
+            let mut grown = Vec::with_capacity(m * (n + 1));
+            for i in 0..m {
+                grown.extend_from_slice(&probs[i * n..(i + 1) * n]);
+                grown.push(col[i]);
+            }
+            probs = grown;
+            n += 1;
+        }
+
+        // 3. set_prob overwrites, at most one per cell.
+        for (idx, &(i, j, p)) in delta.set_prob.iter().enumerate() {
+            if i >= m {
+                return Err(DeltaError::UnknownMachine {
+                    machine: i,
+                    num_machines: m,
+                });
+            }
+            if j >= n {
+                return Err(DeltaError::UnknownJob {
+                    job: j,
+                    num_jobs: n,
+                });
+            }
+            check_prob(i, j, p)?;
+            if delta.set_prob[..idx]
+                .iter()
+                .any(|&(pi, pj, _)| pi == i && pj == j)
+            {
+                return Err(DeltaError::DuplicateCell { machine: i, job: j });
+            }
+            probs[i * n + j] = p;
+        }
+
+        // 4. add_edge: range/self-loop checks up front, cycle detection by
+        // the DAG constructor below (a cycle can span old and new edges).
+        for &(u, v) in &delta.add_edge {
+            if u >= n {
+                return Err(DeltaError::UnknownJob {
+                    job: u,
+                    num_jobs: n,
+                });
+            }
+            if v >= n {
+                return Err(DeltaError::UnknownJob {
+                    job: v,
+                    num_jobs: n,
+                });
+            }
+            if u == v {
+                return Err(DeltaError::SelfEdge { job: u });
+            }
+            edges.push((u, v));
+        }
+
+        // 5. remove_job: drop the column, drop incident edges, shift later
+        // job indices down.
+        if let Some(job) = delta.remove_job {
+            if job >= n {
+                return Err(DeltaError::UnknownJob { job, num_jobs: n });
+            }
+            let mut shrunk = Vec::with_capacity(m * (n - 1));
+            for i in 0..m {
+                for j in 0..n {
+                    if j != job {
+                        shrunk.push(probs[i * n + j]);
+                    }
+                }
+            }
+            probs = shrunk;
+            edges.retain(|&(u, v)| u != job && v != job);
+            let shift = |x: usize| if x > job { x - 1 } else { x };
+            for e in &mut edges {
+                *e = (shift(e.0), shift(e.1));
+            }
+            n -= 1;
+        }
+
+        // 6. drain_machine: drop the row.
+        if let Some(machine) = delta.drain_machine {
+            if machine >= m {
+                return Err(DeltaError::UnknownMachine {
+                    machine,
+                    num_machines: m,
+                });
+            }
+            probs.drain(machine * n..(machine + 1) * n);
+            m -= 1;
+        }
+
+        if n == 0 || m == 0 {
+            return Err(DeltaError::Invalid(InstanceError::Empty));
+        }
+
+        let dag = Dag::from_edges(n, edges).map_err(|err| match err {
+            DagError::SelfLoop(job) => DeltaError::SelfEdge { job },
+            DagError::Cycle { witness } => DeltaError::EdgeCreatesCycle { witness },
+            DagError::NodeOutOfRange { node, num_nodes } => DeltaError::UnknownJob {
+                job: node,
+                num_jobs: num_nodes,
+            },
+        })?;
+        SuuInstance::new(n, m, probs, dag).map_err(DeltaError::Invalid)
+    }
+}
+
+/// Wire format: `{"set_prob":[[i,j,p]],"add_job":[p...],"remove_job":j,
+/// "drain_machine":i,"add_machine":[p...],"add_edge":[[u,v]]}` with every
+/// field optional and omitted when absent/empty.
+impl Serialize for InstanceDelta {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        if !self.set_prob.is_empty() {
+            let entries = self
+                .set_prob
+                .iter()
+                .map(|&(i, j, p)| {
+                    Value::Array(vec![
+                        Value::Number(i as f64),
+                        Value::Number(j as f64),
+                        Value::Number(p),
+                    ])
+                })
+                .collect();
+            fields.push((String::from("set_prob"), Value::Array(entries)));
+        }
+        if let Some(col) = &self.add_job {
+            fields.push((String::from("add_job"), col.to_value()));
+        }
+        if let Some(job) = self.remove_job {
+            fields.push((String::from("remove_job"), Value::Number(job as f64)));
+        }
+        if let Some(machine) = self.drain_machine {
+            fields.push((String::from("drain_machine"), Value::Number(machine as f64)));
+        }
+        if let Some(row) = &self.add_machine {
+            fields.push((String::from("add_machine"), row.to_value()));
+        }
+        if !self.add_edge.is_empty() {
+            let entries = self
+                .add_edge
+                .iter()
+                .map(|&(u, v)| Value::Array(vec![Value::Number(u as f64), Value::Number(v as f64)]))
+                .collect();
+            fields.push((String::from("add_edge"), Value::Array(entries)));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for InstanceDelta {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let Value::Object(_) = v else {
+            return Err(DeError::new("delta must be an object"));
+        };
+        let index = |value: &Value, what: &str| -> Result<usize, DeError> {
+            let n = value
+                .as_number()
+                .ok_or_else(|| DeError::new(format!("{what} must be a number")))?;
+            if n.fract() != 0.0 || !(0.0..=(1u64 << 53) as f64).contains(&n) {
+                return Err(DeError::new(format!(
+                    "{what} must be a non-negative integer"
+                )));
+            }
+            Ok(n as usize)
+        };
+        let mut delta = InstanceDelta::default();
+        if let Some(raw) = v.get("set_prob") {
+            let Value::Array(entries) = raw else {
+                return Err(DeError::new(
+                    "set_prob must be an array of [i, j, p] triples",
+                ));
+            };
+            for entry in entries {
+                let Value::Array(triple) = entry else {
+                    return Err(DeError::new("set_prob entry must be [i, j, p]"));
+                };
+                if triple.len() != 3 {
+                    return Err(DeError::new("set_prob entry must be [i, j, p]"));
+                }
+                let i = index(&triple[0], "set_prob machine")?;
+                let j = index(&triple[1], "set_prob job")?;
+                let p = triple[2]
+                    .as_number()
+                    .ok_or_else(|| DeError::new("set_prob probability must be a number"))?;
+                delta.set_prob.push((i, j, p));
+            }
+        }
+        if let Some(raw) = v.get("add_job") {
+            delta.add_job = Some(Vec::from_value(raw)?);
+        }
+        if let Some(raw) = v.get("remove_job") {
+            delta.remove_job = Some(index(raw, "remove_job")?);
+        }
+        if let Some(raw) = v.get("drain_machine") {
+            delta.drain_machine = Some(index(raw, "drain_machine")?);
+        }
+        if let Some(raw) = v.get("add_machine") {
+            delta.add_machine = Some(Vec::from_value(raw)?);
+        }
+        if let Some(raw) = v.get("add_edge") {
+            let Value::Array(entries) = raw else {
+                return Err(DeError::new("add_edge must be an array of [u, v] pairs"));
+            };
+            for entry in entries {
+                let Value::Array(pair) = entry else {
+                    return Err(DeError::new("add_edge entry must be [u, v]"));
+                };
+                if pair.len() != 2 {
+                    return Err(DeError::new("add_edge entry must be [u, v]"));
+                }
+                let u = index(&pair[0], "add_edge predecessor")?;
+                let v2 = index(&pair[1], "add_edge successor")?;
+                delta.add_edge.push((u, v2));
+            }
+        }
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstanceBuilder, JobId, MachineId};
+
+    fn base() -> SuuInstance {
+        InstanceBuilder::new(3, 2)
+            .probability(MachineId(0), JobId(0), 0.9)
+            .probability(MachineId(0), JobId(1), 0.5)
+            .probability(MachineId(1), JobId(1), 0.7)
+            .probability(MachineId(1), JobId(2), 0.2)
+            .probability(MachineId(0), JobId(2), 0.1)
+            .chains(&[vec![0, 1]])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn set_prob_overwrites_one_cell() {
+        let delta = InstanceDelta {
+            set_prob: vec![(1, 2, 0.8)],
+            ..Default::default()
+        };
+        let child = base().apply_delta(&delta).unwrap();
+        assert_eq!(child.prob(MachineId(1), JobId(2)), 0.8);
+        assert_eq!(child.prob(MachineId(0), JobId(0)), 0.9);
+        assert_eq!(child.num_jobs(), 3);
+    }
+
+    #[test]
+    fn add_and_remove_reshape_the_instance() {
+        let delta = InstanceDelta {
+            add_job: Some(vec![0.3, 0.4]),
+            add_edge: vec![(2, 3)],
+            ..Default::default()
+        };
+        let child = base().apply_delta(&delta).unwrap();
+        assert_eq!(child.num_jobs(), 4);
+        assert!(child.precedence().has_edge(2, 3));
+        assert_eq!(child.prob(MachineId(1), JobId(3)), 0.4);
+
+        let removed = child
+            .apply_delta(&InstanceDelta {
+                remove_job: Some(0),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(removed.num_jobs(), 3);
+        // Job 1's edges to job 0 dropped; the 2→3 edge shifted to 1→2.
+        assert!(removed.precedence().has_edge(1, 2));
+        assert_eq!(removed.prob(MachineId(0), JobId(0)), 0.5);
+    }
+
+    #[test]
+    fn drain_leaving_unschedulable_job_is_rejected() {
+        // Job 0 only has positive probability on machine 0.
+        let err = base()
+            .apply_delta(&InstanceDelta {
+                drain_machine: Some(0),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeltaError::Invalid(InstanceError::UnschedulableJob { .. })
+        ));
+    }
+
+    #[test]
+    fn structured_rejections() {
+        let inst = base();
+        assert!(matches!(
+            inst.apply_delta(&InstanceDelta {
+                set_prob: vec![(5, 0, 0.5)],
+                ..Default::default()
+            }),
+            Err(DeltaError::UnknownMachine {
+                machine: 5,
+                num_machines: 2
+            })
+        ));
+        assert!(matches!(
+            inst.apply_delta(&InstanceDelta {
+                set_prob: vec![(0, 9, 0.5)],
+                ..Default::default()
+            }),
+            Err(DeltaError::UnknownJob {
+                job: 9,
+                num_jobs: 3
+            })
+        ));
+        assert!(matches!(
+            inst.apply_delta(&InstanceDelta {
+                set_prob: vec![(0, 0, 1.5)],
+                ..Default::default()
+            }),
+            Err(DeltaError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            inst.apply_delta(&InstanceDelta {
+                set_prob: vec![(0, 0, 0.1), (0, 0, 0.2)],
+                ..Default::default()
+            }),
+            Err(DeltaError::DuplicateCell { machine: 0, job: 0 })
+        ));
+        assert!(matches!(
+            inst.apply_delta(&InstanceDelta {
+                add_edge: vec![(1, 0)],
+                ..Default::default()
+            }),
+            Err(DeltaError::EdgeCreatesCycle { .. })
+        ));
+        assert!(matches!(
+            inst.apply_delta(&InstanceDelta {
+                add_edge: vec![(2, 2)],
+                ..Default::default()
+            }),
+            Err(DeltaError::SelfEdge { job: 2 })
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_every_field() {
+        let delta = InstanceDelta {
+            set_prob: vec![(0, 1, 0.25), (1, 0, 0.75)],
+            add_job: Some(vec![0.1, 0.2]),
+            remove_job: Some(2),
+            drain_machine: Some(1),
+            add_machine: Some(vec![0.3, 0.4, 0.5]),
+            add_edge: vec![(0, 1), (1, 2)],
+        };
+        let back = InstanceDelta::from_value(&delta.to_value()).unwrap();
+        assert_eq!(delta, back);
+
+        let empty = InstanceDelta::default();
+        assert!(empty.is_empty());
+        let back = InstanceDelta::from_value(&empty.to_value()).unwrap();
+        assert!(back.is_empty());
+    }
+}

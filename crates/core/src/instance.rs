@@ -438,6 +438,39 @@ impl SuuInstance {
         h
     }
 
+    /// A stable 64-bit digest of the instance's *structure*: dimensions, the
+    /// positivity pattern of the probability matrix (which `p_ij` are > 0,
+    /// not their values) and the precedence edge list.
+    ///
+    /// Two instances with equal structural digests produce LP relaxations
+    /// with identical variable and constraint layouts, so an optimal basis of
+    /// one is a valid warm-start basis for the other. This is the key of the
+    /// service's warm-start index: a probability *drift* keeps the structural
+    /// digest (and feeds a warm solve) while any job/machine/edge change or a
+    /// zero-crossing probability changes it (and solves cold).
+    #[must_use]
+    pub fn structural_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.num_jobs as u64).to_le_bytes());
+        eat(&(self.num_machines as u64).to_le_bytes());
+        for &p in &self.probs {
+            eat(&[u8::from(p > 0.0)]);
+        }
+        for (u, v) in self.precedence.edges() {
+            eat(&(u as u64).to_le_bytes());
+            eat(&(v as u64).to_le_bytes());
+        }
+        h
+    }
+
     /// A crude upper bound on the optimal expected makespan, used to size
     /// doubling searches: serialising the jobs and assigning every machine to
     /// one job at a time finishes each job in expected `1 / P_j ≤ 1 / p_best`

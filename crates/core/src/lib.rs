@@ -30,6 +30,7 @@
 //! * [`mass`] — the mass of a job under a schedule (Definition 2.4).
 
 pub mod assignment;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod instance;
@@ -38,6 +39,7 @@ pub mod prob;
 pub mod schedule;
 
 pub use assignment::{Assignment, MultiAssignment};
+pub use delta::{DeltaError, InstanceDelta};
 pub use error::InstanceError;
 pub use ids::{JobId, MachineId};
 pub use instance::{InstanceBuilder, SuuInstance};

@@ -1,0 +1,305 @@
+//! Property battery for [`SuuInstance::apply_delta`], the service's
+//! protocol-v2 delta application.
+//!
+//! Three families of properties:
+//!
+//! * **Digest parity with hand-built mutation** — applying a delta and then
+//!   hashing must equal hashing an instance built from scratch with the edit
+//!   already in place, for every edit kind. The delta path and the build
+//!   path must be indistinguishable to the cache.
+//! * **Commutation** — edits that touch disjoint state (distinct `set_prob`
+//!   cells, a probability edit and an edge addition) produce the same
+//!   instance in either application order, and batching them into one delta
+//!   equals applying them sequentially.
+//! * **Totality** — arbitrary malformed deltas are rejected with structured
+//!   [`DeltaError`]s, never a panic, and an accepted delta always yields a
+//!   fully valid instance.
+
+use proptest::prelude::*;
+use suu_core::{DeltaError, InstanceDelta, JobId, MachineId, SuuInstance};
+use suu_graph::Dag;
+
+/// Deterministic pseudo-random probability for cell `(i, j)`, strictly
+/// positive so every job is schedulable on every machine.
+fn prob_for(seed: u64, i: usize, j: usize) -> f64 {
+    let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (j as u64) << 17;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    0.05 + 0.95 * ((x % 10_000) as f64 / 10_001.0)
+}
+
+/// Deterministic forward edge list over `n` jobs (u < v, so always a DAG).
+fn edges_for(seed: u64, n: usize) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let mut x = seed ^ ((u * 131 + v) as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            x ^= x >> 33;
+            if x.is_multiple_of(4) {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+fn probs_for(seed: u64, n: usize, m: usize) -> Vec<f64> {
+    let mut probs = vec![0.0; n * m];
+    for i in 0..m {
+        for j in 0..n {
+            probs[i * n + j] = prob_for(seed, i, j);
+        }
+    }
+    probs
+}
+
+fn build_instance(n: usize, m: usize, seed: u64) -> SuuInstance {
+    let dag = Dag::from_edges(n, edges_for(seed, n)).unwrap();
+    SuuInstance::new(n, m, probs_for(seed, n, m), dag).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_prob_digest_matches_hand_built(
+        n in 2usize..8,
+        m in 2usize..5,
+        seed in 0u64..1_000_000,
+        cell in 0usize..40,
+        p_raw in 1u32..1000,
+    ) {
+        let base = build_instance(n, m, seed);
+        let (i, j) = (cell % m, (cell / m) % n);
+        let p = f64::from(p_raw) / 1000.0; // in (0, 1]: keeps the job schedulable
+        let delta = InstanceDelta { set_prob: vec![(i, j, p)], ..Default::default() };
+        let child = base.apply_delta(&delta).unwrap();
+
+        let mut probs = probs_for(seed, n, m);
+        probs[i * n + j] = p;
+        let hand = SuuInstance::new(n, m, probs, Dag::from_edges(n, edges_for(seed, n)).unwrap()).unwrap();
+        prop_assert_eq!(&child, &hand);
+        prop_assert_eq!(child.canonical_digest(), hand.canonical_digest());
+        // A positive-to-positive overwrite keeps the sparsity pattern, which
+        // is exactly what the warm-start index keys on.
+        prop_assert_eq!(child.structural_digest(), base.structural_digest());
+        prop_assert!(child.canonical_digest() != base.canonical_digest());
+    }
+
+    #[test]
+    fn add_job_digest_matches_hand_built(
+        n in 2usize..7,
+        m in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let base = build_instance(n, m, seed);
+        let col: Vec<f64> = (0..m).map(|i| prob_for(seed ^ 0xA11, i, n)).collect();
+        let delta = InstanceDelta { add_job: Some(col.clone()), ..Default::default() };
+        let child = base.apply_delta(&delta).unwrap();
+
+        let mut probs = Vec::with_capacity(m * (n + 1));
+        for i in 0..m {
+            for j in 0..n {
+                probs.push(prob_for(seed, i, j));
+            }
+            probs.push(col[i]);
+        }
+        let hand = SuuInstance::new(n + 1, m, probs, Dag::from_edges(n + 1, edges_for(seed, n)).unwrap()).unwrap();
+        prop_assert_eq!(&child, &hand);
+        prop_assert_eq!(child.canonical_digest(), hand.canonical_digest());
+    }
+
+    #[test]
+    fn remove_job_digest_matches_hand_built(
+        n in 3usize..8,
+        m in 1usize..5,
+        seed in 0u64..1_000_000,
+        victim_raw in 0usize..8,
+    ) {
+        let base = build_instance(n, m, seed);
+        let victim = victim_raw % n;
+        let delta = InstanceDelta { remove_job: Some(victim), ..Default::default() };
+        let child = base.apply_delta(&delta).unwrap();
+
+        let mut probs = Vec::with_capacity(m * (n - 1));
+        for i in 0..m {
+            for j in 0..n {
+                if j != victim {
+                    probs.push(prob_for(seed, i, j));
+                }
+            }
+        }
+        let shift = |x: usize| if x > victim { x - 1 } else { x };
+        let edges: Vec<(usize, usize)> = edges_for(seed, n)
+            .into_iter()
+            .filter(|&(u, v)| u != victim && v != victim)
+            .map(|(u, v)| (shift(u), shift(v)))
+            .collect();
+        let hand = SuuInstance::new(n - 1, m, probs, Dag::from_edges(n - 1, edges).unwrap()).unwrap();
+        prop_assert_eq!(&child, &hand);
+        prop_assert_eq!(child.canonical_digest(), hand.canonical_digest());
+    }
+
+    #[test]
+    fn drain_machine_digest_matches_hand_built(
+        n in 2usize..8,
+        m in 2usize..5,
+        seed in 0u64..1_000_000,
+        victim_raw in 0usize..8,
+    ) {
+        let base = build_instance(n, m, seed);
+        let victim = victim_raw % m;
+        let delta = InstanceDelta { drain_machine: Some(victim), ..Default::default() };
+        let child = base.apply_delta(&delta).unwrap();
+
+        let mut probs = Vec::with_capacity((m - 1) * n);
+        for i in (0..m).filter(|&i| i != victim) {
+            for j in 0..n {
+                probs.push(prob_for(seed, i, j));
+            }
+        }
+        let hand = SuuInstance::new(n, m - 1, probs, Dag::from_edges(n, edges_for(seed, n)).unwrap()).unwrap();
+        prop_assert_eq!(&child, &hand);
+        prop_assert_eq!(child.canonical_digest(), hand.canonical_digest());
+    }
+
+    #[test]
+    fn empty_delta_is_identity(
+        n in 2usize..8,
+        m in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let base = build_instance(n, m, seed);
+        let child = base.apply_delta(&InstanceDelta::default()).unwrap();
+        prop_assert_eq!(&child, &base);
+        prop_assert_eq!(child.canonical_digest(), base.canonical_digest());
+    }
+
+    #[test]
+    fn disjoint_set_prob_edits_commute(
+        n in 2usize..8,
+        m in 2usize..5,
+        seed in 0u64..1_000_000,
+        cell_a in 0usize..40,
+        cell_b in 0usize..40,
+        pa_raw in 1u32..1000,
+        pb_raw in 1u32..1000,
+    ) {
+        let (ia, ja) = (cell_a % m, (cell_a / m) % n);
+        let (ib, jb) = (cell_b % m, (cell_b / m) % n);
+        prop_assume!((ia, ja) != (ib, jb));
+        let pa = f64::from(pa_raw) / 1000.0;
+        let pb = f64::from(pb_raw) / 1000.0;
+        let base = build_instance(n, m, seed);
+        let da = InstanceDelta { set_prob: vec![(ia, ja, pa)], ..Default::default() };
+        let db = InstanceDelta { set_prob: vec![(ib, jb, pb)], ..Default::default() };
+
+        let ab = base.apply_delta(&da).unwrap().apply_delta(&db).unwrap();
+        let ba = base.apply_delta(&db).unwrap().apply_delta(&da).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.canonical_digest(), ba.canonical_digest());
+
+        // Batching the two commuting edits into one delta is the same edit.
+        let batched = base.apply_delta(&InstanceDelta {
+            set_prob: vec![(ia, ja, pa), (ib, jb, pb)],
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(batched.canonical_digest(), ab.canonical_digest());
+    }
+
+    #[test]
+    fn set_prob_and_add_edge_commute(
+        n in 3usize..8,
+        m in 1usize..5,
+        seed in 0u64..1_000_000,
+        cell in 0usize..40,
+        p_raw in 1u32..1000,
+        u_raw in 0usize..8,
+    ) {
+        let base = build_instance(n, m, seed);
+        let (i, j) = (cell % m, (cell / m) % n);
+        let u = u_raw % (n - 1);
+        let v = u + 1; // forward edge: never creates a cycle alongside edges_for
+        prop_assume!(!base.precedence().has_edge(u, v));
+        let dp = InstanceDelta { set_prob: vec![(i, j, f64::from(p_raw) / 1000.0)], ..Default::default() };
+        let de = InstanceDelta { add_edge: vec![(u, v)], ..Default::default() };
+        let pe = base.apply_delta(&dp).unwrap().apply_delta(&de).unwrap();
+        let ep = base.apply_delta(&de).unwrap().apply_delta(&dp).unwrap();
+        prop_assert_eq!(&pe, &ep);
+        prop_assert_eq!(pe.canonical_digest(), ep.canonical_digest());
+    }
+
+    #[test]
+    fn arbitrary_deltas_never_panic(
+        n in 2usize..6,
+        m in 1usize..4,
+        seed in 0u64..1_000_000,
+        set_prob in collection::vec((0usize..8, 0usize..8, -0.5f64..1.5), 0..4),
+        // The vendored proptest has no Option strategy: a flag bitmask picks
+        // which optional edits are present.
+        present in 0u32..16,
+        add_job_row in collection::vec(0.0f64..1.0, 0..6),
+        remove_job_idx in 0usize..8,
+        drain_machine_idx in 0usize..6,
+        add_machine_row in collection::vec(0.0f64..1.0, 0..8),
+        add_edge in collection::vec((0usize..8, 0usize..8), 0..4),
+    ) {
+        let base = build_instance(n, m, seed);
+        let delta = InstanceDelta {
+            set_prob,
+            add_job: (present & 1 != 0).then_some(add_job_row),
+            remove_job: (present & 2 != 0).then_some(remove_job_idx),
+            drain_machine: (present & 4 != 0).then_some(drain_machine_idx),
+            add_machine: (present & 8 != 0).then_some(add_machine_row),
+            add_edge,
+        };
+        // Totality: Ok with a fully valid instance, or a structured error.
+        match base.apply_delta(&delta) {
+            Ok(child) => {
+                prop_assert!(child.num_jobs() >= 1);
+                prop_assert!(child.num_machines() >= 1);
+                // Revalidation through `SuuInstance::new` means a rebuild of
+                // the child from its own parts must succeed and agree.
+                let rebuilt = SuuInstance::new(
+                    child.num_jobs(),
+                    child.num_machines(),
+                    (0..child.num_machines() * child.num_jobs()).map(|k| {
+                        child.prob(MachineId(k / child.num_jobs()), JobId(k % child.num_jobs()))
+                    }).collect(),
+                    child.precedence().clone(),
+                ).unwrap();
+                prop_assert_eq!(rebuilt.canonical_digest(), child.canonical_digest());
+            }
+            Err(err) => {
+                // Structured, displayable, and classified.
+                let text = err.to_string();
+                prop_assert!(!text.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_indices_are_named_in_the_error(
+        n in 2usize..6,
+        m in 1usize..4,
+        seed in 0u64..1_000_000,
+        excess in 0usize..5,
+    ) {
+        let base = build_instance(n, m, seed);
+        let bad_job = n + excess;
+        let bad_machine = m + excess;
+        prop_assert_eq!(
+            base.apply_delta(&InstanceDelta { remove_job: Some(bad_job), ..Default::default() }),
+            Err(DeltaError::UnknownJob { job: bad_job, num_jobs: n })
+        );
+        prop_assert_eq!(
+            base.apply_delta(&InstanceDelta { drain_machine: Some(bad_machine), ..Default::default() }),
+            Err(DeltaError::UnknownMachine { machine: bad_machine, num_machines: m })
+        );
+        prop_assert_eq!(
+            base.apply_delta(&InstanceDelta { set_prob: vec![(0, 0, 2.0)], ..Default::default() }),
+            Err(DeltaError::InvalidProbability { machine: 0, job: 0, value: 2.0 })
+        );
+    }
+}

@@ -103,7 +103,7 @@ struct RowEta {
 /// pivoted original row `p[k]` and basis position `q[k]`. FTRAN maps a vector
 /// indexed by original row into one indexed by basis position; BTRAN maps the
 /// other way. See the module docs for the full story.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LuFactors {
     m: usize,
     /// `p[k]` = original row pivoted at step `k`; `p_inv` is its inverse.

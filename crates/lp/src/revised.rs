@@ -122,32 +122,168 @@ pub fn solve_revised(problem: &LpProblem, options: &SimplexOptions) -> Result<Lp
         // falling back to the dense oracle would burn the very work the
         // budget was meant to bound, so it propagates directly.
         Err(Trouble::Budget(err)) => Err(err),
-        // Singular refactorisation or a failed final check: hand the problem
-        // to the dense oracle rather than returning a wrong answer. The
-        // pivots burnt before the fallback still happened — account for them
-        // so `iterations` (surfaced as `lp_pivots` by the service) reports
-        // the true work, not just the oracle's share; the same goes for any
-        // remaining pivot budget, which the oracle inherits *minus* what the
-        // revised attempt already spent. Phase attribution restarts with the
-        // oracle: the abandoned pivots count only towards the total.
+        Err(Trouble::Numerical { spent }) => oracle_fallback(problem, options, spent),
+    }
+}
+
+/// Singular refactorisation or a failed final check: hand the problem to the
+/// dense oracle rather than returning a wrong answer. The pivots burnt before
+/// the fallback still happened — account for them so `iterations` (surfaced
+/// as `lp_pivots` by the service) reports the true work, not just the
+/// oracle's share; the same goes for any remaining pivot budget, which the
+/// oracle inherits *minus* what the revised attempt already spent. Phase
+/// attribution restarts with the oracle: the abandoned pivots count only
+/// towards the total.
+fn oracle_fallback(
+    problem: &LpProblem,
+    options: &SimplexOptions,
+    spent: usize,
+) -> Result<LpSolution, LpError> {
+    let mut oracle_options = options.clone();
+    if let Some(budget) = oracle_options.pivot_budget {
+        oracle_options.pivot_budget = Some(budget.saturating_sub(spent));
+    }
+    match crate::dense::solve_dense(problem, &oracle_options) {
+        Ok(mut solution) => {
+            solution.iterations += spent;
+            Ok(solution)
+        }
+        Err(LpError::BudgetExhausted { pivots, wall_clock }) => Err(LpError::BudgetExhausted {
+            pivots: pivots + spent,
+            wall_clock,
+        }),
+        Err(err) => Err(err),
+    }
+}
+
+/// A warm-start hint for [`solve_warm`]: the final basis of a previous solve
+/// of a *structurally identical* problem (same variable count and standard-
+/// form column layout), optionally with that solve's LU factors.
+///
+/// A warm start is a **hint, never a contract**: any nonsingular basis of the
+/// new problem is a legitimate starting point, so correctness does not depend
+/// on the donor problem at all. [`solve_warm`] validates the basis against
+/// the *new* problem (length, no artificials, no duplicates, nonsingular) and
+/// falls back to a cold two-phase solve when it does not fit.
+#[derive(Debug, Default)]
+pub struct WarmStart {
+    /// Standard-form basis column indices (structural `0..n`, then slacks),
+    /// one per constraint row.
+    pub basis: Vec<usize>,
+    /// The donor solve's LU factors. Adopted only after a residual check
+    /// proves they still invert the new problem's basis matrix (true for
+    /// cost- and rhs-only mutations, which leave the matrix untouched);
+    /// otherwise the basis is refactorised from scratch.
+    pub factors: Option<LuFactors>,
+}
+
+/// Result of a basis-capturing solve ([`solve_warm`] /
+/// [`solve_revised_with_basis`]).
+#[derive(Debug)]
+pub struct WarmOutcome {
+    /// The solution, exactly as [`solve_revised`] would report it.
+    pub solution: LpSolution,
+    /// Final basis snapshot for warm-starting a later solve; empty when the
+    /// solve did not end at an optimal artificial-free basis (non-optimal
+    /// status, or the dense-oracle fallback ran).
+    pub basis: Vec<usize>,
+    /// LU factors of that final basis, when available.
+    pub factors: Option<LuFactors>,
+    /// `true` when the supplied warm basis was actually used (the warm primal
+    /// or dual path produced the solution); `false` on every cold path.
+    pub warm: bool,
+}
+
+impl WarmOutcome {
+    /// Converts this outcome into the warm-start hint for a follow-up solve,
+    /// or `None` when no reusable basis was captured.
+    #[must_use]
+    pub fn into_warm_start(self) -> Option<WarmStart> {
+        if self.basis.is_empty() {
+            return None;
+        }
+        Some(WarmStart {
+            basis: self.basis,
+            factors: self.factors,
+        })
+    }
+}
+
+/// [`solve_revised`] plus a final-basis snapshot, for callers that feed a
+/// warm-start index. Identical pivot-for-pivot to [`solve_revised`].
+///
+/// # Errors
+///
+/// Same contract as [`solve_revised`].
+pub fn solve_revised_with_basis(
+    problem: &LpProblem,
+    options: &SimplexOptions,
+) -> Result<WarmOutcome, LpError> {
+    if problem.num_variables() == 0 {
+        return Ok(WarmOutcome {
+            solution: crate::engine::solve_empty(problem, options),
+            basis: Vec::new(),
+            factors: None,
+            warm: false,
+        });
+    }
+    finish_outcome(try_solve_capture(problem, options), problem, options)
+}
+
+/// Solves a linear program starting from a warm basis.
+///
+/// The warm basis is validated against the new problem and installed; then:
+///
+/// * **primal feasible** (`x_B ≥ 0`) — straight to primal phase 2 (the common
+///   case after a cost-only change);
+/// * **dual feasible** (all reduced costs ≥ 0) — **dual simplex** pivots
+///   until primal feasibility, then primal cleanup (the common case after a
+///   rhs/bound change: the parent's optimal basis is primal-infeasible but
+///   still dual-feasible);
+/// * **neither** — cold two-phase solve from the crash basis, exactly as
+///   [`solve_revised`] would run it.
+///
+/// Every path runs under the same pivot/deadline budgets and keeps the
+/// pivots-as-clock determinism contract: the same problem plus the same warm
+/// start replays bit-identically.
+///
+/// # Errors
+///
+/// Same contract as [`solve_revised`].
+pub fn solve_warm(
+    problem: &LpProblem,
+    warm: WarmStart,
+    options: &SimplexOptions,
+) -> Result<WarmOutcome, LpError> {
+    if problem.num_variables() == 0 {
+        return Ok(WarmOutcome {
+            solution: crate::engine::solve_empty(problem, options),
+            basis: Vec::new(),
+            factors: None,
+            warm: false,
+        });
+    }
+    finish_outcome(try_solve_warm(problem, warm, options), problem, options)
+}
+
+/// Maps internal [`Trouble`] to the public error surface, routing numerical
+/// breakdown through the dense oracle (which yields no basis snapshot).
+fn finish_outcome(
+    result: Result<WarmOutcome, Trouble>,
+    problem: &LpProblem,
+    options: &SimplexOptions,
+) -> Result<WarmOutcome, LpError> {
+    match result {
+        Ok(outcome) => Ok(outcome),
+        Err(Trouble::IterationLimit { limit }) => Err(LpError::IterationLimit { limit }),
+        Err(Trouble::Budget(err)) => Err(err),
         Err(Trouble::Numerical { spent }) => {
-            let mut oracle_options = options.clone();
-            if let Some(budget) = oracle_options.pivot_budget {
-                oracle_options.pivot_budget = Some(budget.saturating_sub(spent));
-            }
-            match crate::dense::solve_dense(problem, &oracle_options) {
-                Ok(mut solution) => {
-                    solution.iterations += spent;
-                    Ok(solution)
-                }
-                Err(LpError::BudgetExhausted { pivots, wall_clock }) => {
-                    Err(LpError::BudgetExhausted {
-                        pivots: pivots + spent,
-                        wall_clock,
-                    })
-                }
-                Err(err) => Err(err),
-            }
+            oracle_fallback(problem, options, spent).map(|solution| WarmOutcome {
+                solution,
+                basis: Vec::new(),
+                factors: None,
+                warm: false,
+            })
         }
     }
 }
@@ -168,9 +304,143 @@ enum Trouble {
 }
 
 fn try_solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution, Trouble> {
-    let n = problem.num_variables();
     let mut solver = Revised::build(problem, options);
     solver.refactorize()?;
+    run_two_phase(&mut solver, problem, options)
+}
+
+/// Cold solve that also snapshots the final basis for warm-start reuse.
+/// Pivot-for-pivot identical to [`try_solve`]; only the packaging differs.
+fn try_solve_capture(
+    problem: &LpProblem,
+    options: &SimplexOptions,
+) -> Result<WarmOutcome, Trouble> {
+    let mut solver = Revised::build(problem, options);
+    solver.refactorize()?;
+    let solution = run_two_phase(&mut solver, problem, options)?;
+    Ok(capture_outcome(solver, solution, false))
+}
+
+/// Packages a finished solve, snapshotting the basis (and moving the LU
+/// factors out of the solver) when — and only when — it ended at an optimal,
+/// artificial-free vertex. Any other terminal state has nothing worth
+/// inheriting.
+fn capture_outcome(mut solver: Revised, solution: LpSolution, warm: bool) -> WarmOutcome {
+    let reusable =
+        solution.status == LpStatus::Optimal && solver.basis.iter().all(|&c| c < solver.num_real);
+    if !reusable {
+        return WarmOutcome {
+            solution,
+            basis: Vec::new(),
+            factors: None,
+            warm,
+        };
+    }
+    let basis = solver.basis.clone();
+    let factors = std::mem::replace(&mut solver.factors, LuFactors::new(0));
+    WarmOutcome {
+        solution,
+        basis,
+        factors: Some(factors),
+        warm,
+    }
+}
+
+/// Warm-started solve: install the donor basis, then dispatch on what it
+/// still is for the mutated problem — primal feasible (straight to phase 2),
+/// dual feasible (dual simplex, then primal cleanup), or neither (cold
+/// two-phase, exactly as [`try_solve_capture`]).
+fn try_solve_warm(
+    problem: &LpProblem,
+    warm: WarmStart,
+    options: &SimplexOptions,
+) -> Result<WarmOutcome, Trouble> {
+    let n = problem.num_variables();
+    let mut solver = Revised::build(problem, options);
+    if !solver.try_install_warm(warm) {
+        return try_solve_capture(problem, options);
+    }
+    let limit = options
+        .max_iterations
+        .unwrap_or_else(|| 200 * (solver.nrows + solver.ncols) + 10_000);
+    let tol = options.tolerance;
+
+    // The warm basis is artificial-free by construction, so phase 1 never
+    // runs on this path: the real objective goes in immediately and the
+    // reduced costs decide between the primal and dual loops.
+    solver.install_phase2_costs(problem);
+    let primal_feasible = solver.xb.iter().all(|&x| x >= -tol);
+    if !primal_feasible {
+        let dual_feasible =
+            (0..solver.num_real).all(|c| !solver.priceable(c) || solver.rc[c] >= -tol);
+        if !dual_feasible {
+            // The donor vertex is neither primal- nor dual-feasible here:
+            // nothing to inherit, run the cold two-phase from the crash basis.
+            return try_solve_capture(problem, options);
+        }
+        match solver.dual_optimize(options, limit)? {
+            DualOutcome::PrimalFeasible => {}
+            DualOutcome::Infeasible => {
+                return Ok(WarmOutcome {
+                    solution: LpSolution {
+                        status: LpStatus::Infeasible,
+                        objective: 0.0,
+                        values: vec![0.0; n],
+                        iterations: solver.iterations,
+                        phase1_iterations: 0,
+                    },
+                    basis: Vec::new(),
+                    factors: None,
+                    warm: true,
+                });
+            }
+        }
+    }
+
+    let status = solver.optimize(options, limit)?;
+    if status == PhaseStatus::Unbounded {
+        return Ok(WarmOutcome {
+            solution: LpSolution {
+                status: LpStatus::Unbounded,
+                objective: match problem.sense() {
+                    Sense::Minimize => f64::NEG_INFINITY,
+                    Sense::Maximize => f64::INFINITY,
+                },
+                values: vec![0.0; n],
+                iterations: solver.iterations,
+                phase1_iterations: 0,
+            },
+            basis: Vec::new(),
+            factors: None,
+            warm: true,
+        });
+    }
+    let values = solver.extract_solution(n);
+    // Same safety net as the cold path: a vertex violating the original
+    // constraints means the factorisation drifted; fall back to dense.
+    if !problem.is_feasible(&values, 1e-6) {
+        return Err(Trouble::Numerical {
+            spent: solver.iterations,
+        });
+    }
+    let objective = problem.objective_value(&values);
+    let iterations = solver.iterations;
+    let solution = LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        values,
+        iterations,
+        phase1_iterations: 0,
+    };
+    Ok(capture_outcome(solver, solution, true))
+}
+
+fn run_two_phase(
+    solver: &mut Revised,
+    problem: &LpProblem,
+    options: &SimplexOptions,
+) -> Result<LpSolution, Trouble> {
+    let n = problem.num_variables();
     let limit = options
         .max_iterations
         .unwrap_or_else(|| 200 * (solver.nrows + solver.ncols) + 10_000);
@@ -239,6 +509,16 @@ fn try_solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpSolution
 enum PhaseStatus {
     Optimal,
     Unbounded,
+}
+
+/// Terminal state of the dual-simplex loop.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum DualOutcome {
+    /// Every basic value is (tolerance-)nonnegative; primal cleanup may run.
+    PrimalFeasible,
+    /// Some row has a negative basic value and no negative pivot-row entry:
+    /// that row is a primal-infeasibility certificate.
+    Infeasible,
 }
 
 /// Revised-simplex state over the standard-form problem.
@@ -1000,6 +1280,253 @@ impl Revised {
     /// Rebuilds the LU factors from scratch for the current basis books and
     /// recomputes `x_B = B⁻¹ b`. Positions keep their variables — only the
     /// internal elimination ordering changes.
+    /// Installs a warm basis, returning `false` when it cannot seed this
+    /// problem (wrong row count, artificial or duplicate columns, or a
+    /// singular basis matrix).
+    ///
+    /// Donor LU factors are adopted only when a residual check proves they
+    /// still invert *this* problem's basis matrix — exactly the cost/rhs-only
+    /// mutation case, where the constraint matrix is unchanged. Any mismatch
+    /// (edited matrix, stale dimensions, drifted factors) falls back to a
+    /// fresh factorisation of the same basis, so the factors are an
+    /// optimisation and never a correctness input.
+    fn try_install_warm(&mut self, warm: WarmStart) -> bool {
+        if warm.basis.len() != self.nrows {
+            return false;
+        }
+        if warm.basis.iter().any(|&c| c >= self.num_real) {
+            return false;
+        }
+        self.in_basis.iter_mut().for_each(|x| *x = false);
+        for (t, &c) in warm.basis.iter().enumerate() {
+            if self.in_basis[c] {
+                return false;
+            }
+            self.basis[t] = c;
+            self.in_basis[c] = true;
+        }
+        let mut seeded = false;
+        if let Some(mut factors) = warm.factors {
+            if factors.dim() == self.nrows {
+                self.xb.copy_from_slice(&self.b);
+                factors.ftran(&mut self.xb);
+                if self.residual_ok() {
+                    self.factors = factors;
+                    seeded = true;
+                }
+            }
+        }
+        if !seeded {
+            if self.factors.factorize(&self.cols, &self.basis).is_err() {
+                return false;
+            }
+            self.xb.copy_from_slice(&self.b);
+            self.factors.ftran(&mut self.xb);
+        }
+        true
+    }
+
+    /// Verifies `B·x_B = b` for the freshly installed basis against *this*
+    /// problem's columns — the acceptance test for donor LU factors. Uses
+    /// the `y` scratch vector and leaves it zeroed.
+    fn residual_ok(&mut self) -> bool {
+        self.y.iter_mut().for_each(|v| *v = 0.0);
+        let mut ok = self.xb.iter().all(|x| x.is_finite());
+        if ok {
+            for (t, &c) in self.basis.iter().enumerate() {
+                let x = self.xb[t];
+                for (r, a) in self.cols.row(c) {
+                    self.y[r] += a * x;
+                }
+            }
+            let scale = 1.0 + self.b.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+            ok = self
+                .b
+                .iter()
+                .zip(self.y.iter())
+                .all(|(&want, &got)| (want - got).abs() <= 1e-7 * scale);
+        }
+        self.y.iter_mut().for_each(|v| *v = 0.0);
+        ok
+    }
+
+    /// Dual simplex: from a dual-feasible basis (all phase-2 reduced costs
+    /// ≥ 0) with primal infeasibilities (negative basic values), pivot until
+    /// primal feasibility or a primal-infeasibility certificate.
+    ///
+    /// The leaving row is chosen first (most negative basic value), then the
+    /// dual ratio test over the BTRAN'd pivot row picks the entering column
+    /// that keeps every reduced cost nonnegative. Pivots share the primal
+    /// loop's iteration counter, budgets and Forrest–Tomlin
+    /// update/refactorisation cadence, so the pivots-as-clock determinism
+    /// contract carries over to the warm path unchanged.
+    fn dual_optimize(
+        &mut self,
+        options: &SimplexOptions,
+        limit: usize,
+    ) -> Result<DualOutcome, Trouble> {
+        let tol = options.tolerance;
+        let mut stall = 0usize;
+        loop {
+            if self.iterations >= limit {
+                return Err(Trouble::IterationLimit { limit });
+            }
+            let use_bland = stall >= options.stall_threshold;
+
+            // Leaving row: most negative basic value (Bland: smallest basic
+            // column index among the violated rows, anti-cycling).
+            let mut leaving: Option<usize> = None;
+            if use_bland {
+                for t in 0..self.nrows {
+                    if self.xb[t] < -tol
+                        && leaving.is_none_or(|best| self.basis[t] < self.basis[best])
+                    {
+                        leaving = Some(t);
+                    }
+                }
+            } else {
+                let mut worst = -tol;
+                for (t, &x) in self.xb.iter().enumerate() {
+                    if x < worst {
+                        worst = x;
+                        leaving = Some(t);
+                    }
+                }
+            }
+            let Some(t) = leaving else {
+                return Ok(DualOutcome::PrimalFeasible);
+            };
+            // Same contract as the primal loop: a solve finishing in exactly
+            // `pivot_budget` pivots is a success, not an exhaustion.
+            crate::engine::budget_check(self.iterations, options).map_err(Trouble::Budget)?;
+
+            // Pivot row α = (B⁻ᵀ e_t)ᵀ A, scattered sparsely by column via
+            // the row-access form with support tracking.
+            self.rho.iter_mut().for_each(|x| *x = 0.0);
+            self.rho[t] = 1.0;
+            self.factors.btran(&mut self.rho);
+            for &c in &self.alpha_touched {
+                self.alpha[c] = 0.0;
+            }
+            self.alpha_touched.clear();
+            for (r, &rho_r) in self.rho.iter().enumerate() {
+                if rho_r.abs() <= RHO_DROP_TOL {
+                    continue;
+                }
+                for (c, a) in self.rows_csr.row(r) {
+                    if self.alpha[c] == 0.0 {
+                        self.alpha_touched.push(c);
+                    }
+                    self.alpha[c] += a * rho_r;
+                }
+            }
+
+            // Dual ratio test: among priceable columns with α < 0, minimise
+            // rc/(−α) (cross-multiplied to avoid per-candidate divisions), so
+            // the pivot keeps all reduced costs ≥ 0. Ties keep the larger
+            // |α| for stability (Bland: the smaller column index).
+            let mut entering: Option<usize> = None;
+            let mut best_rc = 0.0_f64;
+            let mut best_alpha = 0.0_f64;
+            for &c in &self.alpha_touched {
+                let a = self.alpha[c];
+                if a >= -tol || !self.priceable(c) {
+                    continue;
+                }
+                let rc = self.rc[c].max(0.0);
+                let Some(q) = entering else {
+                    entering = Some(c);
+                    best_rc = rc;
+                    best_alpha = a;
+                    continue;
+                };
+                let lhs = rc * (-best_alpha);
+                let rhs = best_rc * (-a);
+                let tie = (lhs - rhs).abs() <= tol * (-a) * (-best_alpha);
+                let better = if tie {
+                    if use_bland {
+                        c < q
+                    } else {
+                        a.abs() > best_alpha.abs()
+                    }
+                } else {
+                    lhs < rhs
+                };
+                if better {
+                    entering = Some(c);
+                    best_rc = rc;
+                    best_alpha = a;
+                }
+            }
+            let Some(q) = entering else {
+                // Row t reads Σ_j α_j·x_j = x_B[t] < 0 with every priceable
+                // α_j ≥ 0 and x ≥ 0: no nonnegative point satisfies it.
+                return Ok(DualOutcome::Infeasible);
+            };
+
+            // Reduced-cost update from the pivot row (rc′ = rc − (rc_q/α_q)·α),
+            // consuming the scatter as it goes. The entering column's rc
+            // becomes 0 and the leaving variable picks up −rc_q/α_q ≥ 0, so
+            // dual feasibility is preserved by construction; refactorisations
+            // below recompute rc from scratch and wash out incremental drift.
+            let alpha_q = self.alpha[q];
+            let ratio = self.rc[q] / alpha_q;
+            if ratio.abs() <= tol {
+                stall += 1; // dual-degenerate pivot: objective did not move
+            } else {
+                stall = 0;
+            }
+            for &c in &self.alpha_touched {
+                let a = self.alpha[c];
+                self.alpha[c] = 0.0;
+                if c == q || self.in_basis[c] {
+                    continue;
+                }
+                self.rc[c] -= ratio * a;
+            }
+            self.alpha_touched.clear();
+            self.rc[q] = 0.0;
+            let leaving_var = self.basis[t];
+            self.rc[leaving_var] = -ratio;
+
+            // Entering direction d = B⁻¹ a_q (the FTRAN stashes the spike the
+            // Forrest–Tomlin update below consumes). Its row-t entry is the
+            // pivot element — the FTRAN-side twin of α_q.
+            self.d.iter_mut().for_each(|x| *x = 0.0);
+            for (r, v) in self.cols.row(q) {
+                self.d[r] = v;
+            }
+            self.factors.ftran(&mut self.d);
+            let pivot_val = self.d[t];
+            if pivot_val.abs() < 1e-12 || !pivot_val.is_finite() {
+                return Err(Trouble::Numerical {
+                    spent: self.iterations,
+                });
+            }
+
+            // Basic-solution update: θ = x_B[t]/pivot is ≥ 0 (negative basic
+            // value over a negative pivot), becoming the entering variable's
+            // value — no clamp, unlike the primal loop, because here the
+            // leaving value is *meant* to be negative.
+            let theta = self.xb[t] / pivot_val;
+            for (x, &dt) in self.xb.iter_mut().zip(&self.d) {
+                *x -= theta * dt;
+            }
+            self.xb[t] = theta;
+
+            self.in_basis[leaving_var] = false;
+            self.in_basis[q] = true;
+            self.basis[t] = q;
+            self.iterations += 1;
+
+            let need = self.factors.needs_refactor(self.refactor_interval)
+                || self.factors.ft_update(t).is_err();
+            if need {
+                self.refactorize()?;
+            }
+        }
+    }
+
     fn refactorize(&mut self) -> Result<(), Trouble> {
         if self.factors.factorize(&self.cols, &self.basis).is_err() {
             return Err(Trouble::Numerical {
@@ -1246,5 +1773,140 @@ mod tests {
         for (x, y) in a.values.iter().zip(b.values.iter()) {
             assert!(x.to_bits() == y.to_bits());
         }
+    }
+
+    /// A covering LP whose optimal basis survives small rhs edits: the
+    /// canonical warm-start shape.
+    fn covering_lp(rhs_bump: f64) -> LpProblem {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let vars: Vec<VarId> = (0..12).map(|i| lp.add_variable(format!("v{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            lp.set_objective_coefficient(v, 1.0 + (i % 5) as f64 * 0.3);
+        }
+        for i in 0..9 {
+            let terms: Vec<(VarId, f64)> = (0..3)
+                .map(|j| (vars[(i * 4 + j * 7) % 12], 1.0 + (j as f64) * 0.25))
+                .collect();
+            lp.add_constraint(
+                terms,
+                ConstraintOp::Ge,
+                2.0 + i as f64 * 0.2 + if i == 4 { rhs_bump } else { 0.0 },
+                format!("c{i}"),
+            );
+        }
+        lp
+    }
+
+    #[test]
+    fn warm_resolve_of_same_problem_takes_no_pivots() {
+        let lp = covering_lp(0.0);
+        let cold = solve_revised_with_basis(&lp, &opts()).unwrap();
+        assert_eq!(cold.solution.status, LpStatus::Optimal);
+        assert!(!cold.warm);
+        assert!(!cold.basis.is_empty());
+        let start = cold.into_warm_start().unwrap();
+        let warm = solve_warm(&lp, start, &opts()).unwrap();
+        assert!(warm.warm);
+        assert_eq!(warm.solution.status, LpStatus::Optimal);
+        // The donor basis is already optimal: zero pivots, no phase 1.
+        assert_eq!(warm.solution.iterations, 0);
+        assert_eq!(warm.solution.phase1_iterations, 0);
+        let cold_again = solve_revised(&lp, &opts()).unwrap();
+        assert!(warm.solution.objective.to_bits() == cold_again.objective.to_bits());
+    }
+
+    #[test]
+    fn warm_after_rhs_change_matches_cold() {
+        let parent = covering_lp(0.0);
+        let donor = solve_revised_with_basis(&parent, &opts()).unwrap();
+        let start = donor.into_warm_start().unwrap();
+        // Tightening a covering row leaves the donor vertex short on that row
+        // (primal infeasible) while the reduced costs are untouched — the
+        // dual-simplex case.
+        let child = covering_lp(1.5);
+        let warm = solve_warm(&child, start, &opts()).unwrap();
+        let cold = solve_revised(&child, &opts()).unwrap();
+        assert!(warm.warm);
+        assert_eq!(warm.solution.status, cold.status);
+        assert!(
+            (warm.solution.objective - cold.objective).abs() <= 1e-9,
+            "warm {} vs cold {}",
+            warm.solution.objective,
+            cold.objective
+        );
+        assert!(child.is_feasible(&warm.solution.values, 1e-7));
+    }
+
+    #[test]
+    fn warm_solve_replays_bit_identical() {
+        let parent = covering_lp(0.0);
+        let child = covering_lp(1.5);
+        let run = |factors: bool| {
+            let donor = solve_revised_with_basis(&parent, &opts()).unwrap();
+            let mut start = donor.into_warm_start().unwrap();
+            if !factors {
+                start.factors = None;
+            }
+            solve_warm(&child, start, &opts()).unwrap()
+        };
+        let a = run(true);
+        let b = run(true);
+        let c = run(false); // basis-only warm start must replay identically too
+        for other in [&b, &c] {
+            assert_eq!(a.solution.iterations, other.solution.iterations);
+            assert!(a.solution.objective.to_bits() == other.solution.objective.to_bits());
+            for (x, y) in a.solution.values.iter().zip(other.solution.values.iter()) {
+                assert!(x.to_bits() == y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_warm_basis_falls_back_to_cold() {
+        let lp = covering_lp(0.0);
+        let cold = solve_revised(&lp, &opts()).unwrap();
+        for basis in [
+            Vec::new(),                      // wrong length
+            vec![0usize; 9],                 // duplicates
+            vec![usize::MAX - 1; 9],         // out of range
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8], // likely singular / arbitrary
+        ] {
+            let warm = solve_warm(
+                &lp,
+                WarmStart {
+                    basis,
+                    factors: None,
+                },
+                &opts(),
+            )
+            .unwrap();
+            assert_eq!(warm.solution.status, LpStatus::Optimal);
+            assert!(
+                (warm.solution.objective - cold.objective).abs() <= 1e-9,
+                "fallback objective diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_detects_infeasibility_via_dual() {
+        let mut parent = LpProblem::new(Sense::Minimize);
+        let x = parent.add_variable("x");
+        parent.set_objective_coefficient(x, 1.0);
+        parent.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 5.0, "cap");
+        parent.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 1.0, "floor");
+        let donor = solve_revised_with_basis(&parent, &opts()).unwrap();
+        assert_eq!(donor.solution.status, LpStatus::Optimal);
+        let start = donor.into_warm_start().unwrap();
+
+        let mut child = LpProblem::new(Sense::Minimize);
+        let x = child.add_variable("x");
+        child.set_objective_coefficient(x, 1.0);
+        child.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 5.0, "cap");
+        child.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 9.0, "floor");
+        let warm = solve_warm(&child, start, &opts()).unwrap();
+        assert_eq!(warm.solution.status, LpStatus::Infeasible);
+        let cold = solve_revised(&child, &opts()).unwrap();
+        assert_eq!(cold.status, LpStatus::Infeasible);
     }
 }

@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::Serialize;
 use suu_core::{ObliviousSchedule, SuuInstance};
+use suu_lp::{LuFactors, WarmStart};
 
 /// Cache sizing.
 #[derive(Debug, Clone)]
@@ -56,6 +57,11 @@ pub struct CachedSolve {
     pub lp_pivots: Option<usize>,
     /// LP wall-clock microseconds of the original solve, when reported.
     pub lp_micros: Option<u64>,
+    /// Whether the original solve started from a donor basis (a warm
+    /// start). Like `lp_pivots`, this describes how the cached schedule was
+    /// computed and is served unchanged on cache hits; it reaches the wire
+    /// only inside the opt-in `trace` object.
+    pub lp_warm: bool,
     /// Lazily rendered JSON body (see [`rendered_body`](Self::rendered_body)),
     /// shared across every clone served from the cache.
     rendered: Arc<OnceLock<String>>,
@@ -74,6 +80,7 @@ impl CachedSolve {
         lp_value: Option<f64>,
         lp_pivots: Option<usize>,
         lp_micros: Option<u64>,
+        lp_warm: bool,
     ) -> Self {
         Self {
             solver,
@@ -81,6 +88,7 @@ impl CachedSolve {
             lp_value,
             lp_pivots,
             lp_micros,
+            lp_warm,
             rendered: Arc::new(OnceLock::new()),
             rendered_no_schedule: Arc::new(OnceLock::new()),
         }
@@ -168,9 +176,33 @@ pub struct ShardStats {
     pub evictions: u64,
 }
 
+/// One shard of the warm-basis index: `(structural digest, solver name)` →
+/// the final simplex basis (and its LU factors) of the most recent solve in
+/// that structural class, with tick-based LRU recency. The factors live in
+/// an `Arc`: lookups hand out a shared reference and the solver deep-copies
+/// only when it actually adopts them.
+#[derive(Default)]
+struct BasisShard {
+    entries: HashMap<(u64, String), (BasisDonor, u64)>,
+    tick: u64,
+}
+
+/// A stored warm-start donor: the basis column set plus the Forrest–Tomlin
+/// LU factors that invert it.
+#[derive(Clone, Default)]
+struct BasisDonor {
+    basis: Vec<usize>,
+    factors: Option<Arc<LuFactors>>,
+}
+
 /// The sharded LRU schedule cache.
 pub struct ScheduleCache {
     shards: Vec<Mutex<Shard>>,
+    /// Warm-basis index, sharded like the main cache but keyed by
+    /// **structural** digest: instances that differ only in probability
+    /// values share a key, which is exactly when a parent's basis is a
+    /// legal warm start for the child's LP.
+    basis_shards: Vec<Mutex<BasisShard>>,
     capacity_per_shard: usize,
 }
 
@@ -183,12 +215,99 @@ impl ScheduleCache {
             shards: (0..num_shards)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
+            basis_shards: (0..num_shards)
+                .map(|_| Mutex::new(BasisShard::default()))
+                .collect(),
             capacity_per_shard: config.capacity_per_shard.max(1),
         }
     }
 
     fn shard_for(&self, digest: u64) -> &Mutex<Shard> {
         &self.shards[(digest % self.shards.len() as u64) as usize]
+    }
+
+    fn basis_shard_for(&self, digest: u64) -> &Mutex<BasisShard> {
+        &self.basis_shards[(digest % self.basis_shards.len() as u64) as usize]
+    }
+
+    /// Looks up a cached base instance by canonical digest — the resolution
+    /// step of a `base_digest` delta request. Digest collisions are
+    /// impossible to exclude, so the caller gets the full stored instance
+    /// (the digest check is exact equality on the digest, and every entry
+    /// stores the instance it was computed from). Refreshes the entry's
+    /// recency: a tenant actively sending deltas keeps its base alive.
+    #[must_use]
+    pub fn lookup_base(&self, digest: u64) -> Option<SuuInstance> {
+        let mut shard = self.shard_for(digest).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let bucket = shard.entries.get_mut(&digest)?;
+        let entry = bucket.first_mut()?;
+        entry.last_used = tick;
+        Some(entry.instance.clone())
+    }
+
+    /// Stores the final simplex basis of a solve (and, when captured, its LU
+    /// factors), keyed by the instance's structural digest and the solver
+    /// that produced it. Overwrites any previous basis in the same
+    /// structural class — the most recent solve is the best donor for the
+    /// next one.
+    pub fn store_basis(
+        &self,
+        structural_digest: u64,
+        solver: &str,
+        basis: Vec<usize>,
+        factors: Option<LuFactors>,
+    ) {
+        let donor = BasisDonor {
+            basis,
+            factors: factors.map(Arc::new),
+        };
+        let mut shard = self
+            .basis_shard_for(structural_digest)
+            .lock()
+            .expect("basis shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard
+            .entries
+            .insert((structural_digest, solver.to_string()), (donor, tick));
+        if shard.entries.len() > self.capacity_per_shard {
+            if let Some(lru) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, used))| used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&lru);
+            }
+        }
+    }
+
+    /// Looks up a donor for the given structural class, refreshing its
+    /// recency on a hit. Returns a ready-to-install [`WarmStart`]; the LU
+    /// factors are deep-copied out of the shared entry (a memcpy of the
+    /// factor arrays — far cheaper than the refactorisation they replace).
+    #[must_use]
+    pub fn lookup_basis(&self, structural_digest: u64, solver: &str) -> Option<WarmStart> {
+        let donor = {
+            let mut shard = self
+                .basis_shard_for(structural_digest)
+                .lock()
+                .expect("basis shard poisoned");
+            shard.tick += 1;
+            let tick = shard.tick;
+            let entry = shard
+                .entries
+                .get_mut(&(structural_digest, solver.to_string()))?;
+            entry.1 = tick;
+            entry.0.clone()
+        };
+        // The deep copy happens outside the shard lock.
+        Some(WarmStart {
+            basis: donor.basis,
+            factors: donor.factors.map(|f| (*f).clone()),
+        })
     }
 
     /// Looks up the cached solve of `instance` by `solver` under the given
@@ -346,6 +465,7 @@ mod tests {
             None,
             None,
             None,
+            false,
         )
     }
 
@@ -441,6 +561,59 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         let total_entries: u64 = stats.iter().map(|s| s.entries).sum();
         assert_eq!(total_entries, cache.len() as u64);
+    }
+
+    #[test]
+    fn lookup_base_resolves_cached_digests_and_refreshes_recency() {
+        let cache = ScheduleCache::new(&CacheConfig {
+            num_shards: 1,
+            capacity_per_shard: 2,
+        });
+        let a = instance(30);
+        let b = instance(31);
+        let c = instance(32);
+        assert!(cache.lookup_base(a.canonical_digest()).is_none());
+        cache.insert(&a, 0, solve_for(&a, "s"));
+        cache.insert(&b, 0, solve_for(&b, "s"));
+        assert_eq!(cache.lookup_base(a.canonical_digest()), Some(a.clone()));
+        // The base lookup refreshed `a`, so inserting `c` evicts `b`.
+        cache.insert(&c, 0, solve_for(&c, "s"));
+        assert!(cache.lookup_base(a.canonical_digest()).is_some());
+        assert!(cache.lookup_base(b.canonical_digest()).is_none());
+    }
+
+    #[test]
+    fn basis_index_stores_by_structural_class_and_solver() {
+        let cache = ScheduleCache::new(&CacheConfig::default());
+        let inst = instance(40);
+        let structural = inst.structural_digest();
+        assert!(cache.lookup_basis(structural, "suu-c").is_none());
+        cache.store_basis(structural, "suu-c", vec![0, 2, 4], None);
+        let donor = cache.lookup_basis(structural, "suu-c").unwrap();
+        assert_eq!(donor.basis, vec![0, 2, 4]);
+        assert!(donor.factors.is_none());
+        assert!(cache.lookup_basis(structural, "suu-forest").is_none());
+        // Overwrite: the most recent solve wins.
+        cache.store_basis(structural, "suu-c", vec![1, 3, 5], None);
+        assert_eq!(
+            cache.lookup_basis(structural, "suu-c").unwrap().basis,
+            vec![1, 3, 5]
+        );
+    }
+
+    #[test]
+    fn basis_index_is_bounded() {
+        let cache = ScheduleCache::new(&CacheConfig {
+            num_shards: 1,
+            capacity_per_shard: 2,
+        });
+        cache.store_basis(1, "s", vec![1], None);
+        cache.store_basis(2, "s", vec![2], None);
+        assert!(cache.lookup_basis(1, "s").is_some()); // refresh: 2 is LRU
+        cache.store_basis(3, "s", vec![3], None);
+        assert!(cache.lookup_basis(1, "s").is_some());
+        assert!(cache.lookup_basis(2, "s").is_none(), "LRU basis evicted");
+        assert!(cache.lookup_basis(3, "s").is_some());
     }
 
     #[test]

@@ -248,7 +248,14 @@ mod tests {
     use suu_core::ObliviousSchedule;
 
     fn solve(tag: &str) -> CachedSolve {
-        CachedSolve::new(tag.to_string(), ObliviousSchedule::new(2), None, None, None)
+        CachedSolve::new(
+            tag.to_string(),
+            ObliviousSchedule::new(2),
+            None,
+            None,
+            None,
+            false,
+        )
     }
 
     #[test]

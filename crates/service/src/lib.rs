@@ -53,13 +53,17 @@ pub mod solver;
 
 pub use cache::{CacheConfig, CachedSolve, ScheduleCache, ShardStats};
 pub use flight::SingleFlight;
-pub use loadgen::{build_request_pool, run_loadgen, LoadReport, LoadgenConfig, StageAttribution};
+pub use loadgen::{
+    build_request_pool, run_loadgen, tenant_drift_bases, LoadReport, LoadgenConfig,
+    StageAttribution,
+};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use obs::{AtomicHistogram, HistogramSnapshot, Stage};
 pub use pipeline::{PipelineConfig, PoolHandle, ResponseSink, SolverPool};
 pub use protocol::{
-    error_kind, scan_deadline, scan_request_id, scan_u64_field, BudgetReport, CachePolicy, Detail,
-    EngineChoice, Request, Response, SolveFailure, SolveOptions, TraceReport,
+    digest_from_wire, digest_to_wire, error_kind, scan_deadline, scan_request_id, scan_u64_field,
+    BudgetReport, CachePolicy, Detail, EngineChoice, Request, Response, SolveFailure, SolveOptions,
+    TraceReport,
 };
 pub use server::{spawn_tcp, ExecutionMode, ServiceHandle, TcpServerConfig};
 pub use service::{SchedulerService, ServiceConfig, StageContext};

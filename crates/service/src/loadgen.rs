@@ -28,12 +28,15 @@ use serde::Serialize;
 use suu_sim::{OnlineStats, SampleSet};
 use suu_workloads::{
     bursty_multi_tenant_stream, deadline_burst_stream, grid_computing_instance,
-    project_management_instance, BurstConfig, GridConfig, ProjectConfig,
+    project_management_instance, tenant_drift_stream, BurstConfig, DriftConfig, GridConfig,
+    ProjectConfig,
 };
 
 use serde::Value;
 
-use crate::protocol::{error_kind, scan_u64_field, Detail, Request, Response, SolveOptions};
+use crate::protocol::{
+    error_kind, scan_u64_field, Detail, EngineChoice, Request, Response, SolveOptions,
+};
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -167,6 +170,13 @@ pub struct LoadReport {
     /// Successful responses that carried a `trace` object (only requests sent
     /// with `options.trace` produce one).
     pub traced: u64,
+    /// Traced successful responses whose schedule was computed from a warm
+    /// start (`trace.warm == true`); cache hits repeat the original solve's
+    /// value.
+    pub warm_responses: u64,
+    /// The service's lifetime `warm_hits` counter from the end-of-run
+    /// `stats` scrape (fresh solves that started from a cached basis).
+    pub server_warm_hits: Option<u64>,
     /// Client-side per-stage attribution, aggregated from the scraped
     /// per-response `trace` objects. Empty when tracing was off.
     pub client_stages: Vec<StageAttribution>,
@@ -216,6 +226,13 @@ impl LoadReport {
         );
         if self.traced > 0 {
             out.push_str(&format!("\ntraced={}", self.traced));
+        }
+        if self.warm_responses > 0 || self.server_warm_hits.is_some() {
+            out.push_str(&format!(
+                "\nwarm_responses={} warm_hits={}",
+                self.warm_responses,
+                self.server_warm_hits.unwrap_or(0)
+            ));
         }
         for (label, stages) in [
             ("client", &self.client_stages),
@@ -301,6 +318,38 @@ pub fn build_request_pool(
                 .map(|k| Request::from_instance(k as u64 + 1, &tenants[stream[k % stream.len()]]))
                 .collect());
         }
+        "tenant_drift" => {
+            // The warm-start scenario: a few long-lived tenants prime the
+            // cache with full payloads, then ~95% of the traffic is one-cell
+            // `set_prob` deltas against those bases — each a *distinct*
+            // instance (no cache hits) inside an unchanged structural class
+            // (every solve warm-starts from the tenant's cached basis). The
+            // revised engine is forced per request because only the revised
+            // simplex captures and consumes bases; `Auto` would route these
+            // serving-sized instances to the dense tableau and measure
+            // nothing.
+            let (tenants, stream) = tenant_drift_stream(&drift_config(total_requests, seed));
+            return Ok(stream
+                .iter()
+                .enumerate()
+                .map(|(k, event)| {
+                    let id = k as u64 + 1;
+                    let mut request = match &event.edit {
+                        Some(delta) => Request::from_delta(
+                            id,
+                            tenants[event.tenant].canonical_digest(),
+                            delta.clone(),
+                        ),
+                        None => Request::from_instance(id, &tenants[event.tenant]),
+                    };
+                    request.options = Some(SolveOptions {
+                        engine: Some(EngineChoice::Revised),
+                        ..SolveOptions::default()
+                    });
+                    request
+                })
+                .collect());
+        }
         "bursty" | "mixed" => {
             let mut config = BurstConfig {
                 seed,
@@ -333,13 +382,33 @@ pub fn build_request_pool(
         other => {
             return Err(format!(
                 "unknown scenario `{other}`; expected one of: mixed, grid, project, bursty, \
-                 deadline"
+                 deadline, tenant_drift"
             ))
         }
     };
     Ok((0..total_requests)
         .map(|k| Request::from_instance(k as u64 + 1, &instances[k % instances.len()]))
         .collect())
+}
+
+/// The drift-stream shape behind the `tenant_drift` scenario, shared with
+/// [`tenant_drift_bases`] so priming and replay agree on the tenant set.
+fn drift_config(total_requests: usize, seed: u64) -> DriftConfig {
+    DriftConfig {
+        num_tenants: (total_requests / 50).clamp(2, 8),
+        requests: total_requests,
+        seed,
+        ..DriftConfig::default()
+    }
+}
+
+/// The tenant base instances the `tenant_drift` scenario drifts against,
+/// for the same `(total_requests, seed)` the pool is built from. A
+/// benchmark primes a service's cache with these before replaying the
+/// stream, so no delta ever races its parent's first solve.
+#[must_use]
+pub fn tenant_drift_bases(total_requests: usize, seed: u64) -> Vec<suu_core::SuuInstance> {
+    tenant_drift_stream(&drift_config(total_requests, seed)).0
 }
 
 /// The stage names a per-response `trace` object attributes time to, in wire
@@ -362,6 +431,7 @@ struct ThreadOutcome {
     degraded: u64,
     cache_hits: u64,
     traced: u64,
+    warm: u64,
     response_bytes: u64,
     latency: OnlineStats,
     samples: SampleSet,
@@ -394,6 +464,9 @@ impl ThreadOutcome {
                         self.stage_samples[i].push(stage_us as f64);
                     }
                 }
+                if resp.warm {
+                    self.warm += 1;
+                }
             }
             Some(resp) if resp.busy => self.busy += 1,
             Some(resp) if resp.expired => self.expired += 1,
@@ -412,6 +485,8 @@ struct ResponseSummary {
     /// Successful response answered by the degraded fallback.
     degraded: bool,
     cache_hit: bool,
+    /// The `trace` object reported a warm-started solve.
+    warm: bool,
     /// Stage latencies from the `trace` object, when the request opted in.
     trace: Option<TraceSample>,
 }
@@ -441,6 +516,7 @@ fn digest_response_line(
                     ),
                     degraded: resp.degraded,
                     cache_hit: resp.cache_hit,
+                    warm: resp.trace.as_ref().is_some_and(|t| t.warm),
                     trace: resp
                         .trace
                         .as_ref()
@@ -515,6 +591,9 @@ fn scan_response(line: &str) -> Option<ResponseSummary> {
     // window of every response rendering.
     let degraded = ok && windows_flag("\"degraded\":");
     let cache_hit = ok && windows_flag("\"cache_hit\":");
+    // `warm` lives inside the trace object, which is spliced last and so
+    // always sits in the tail window.
+    let warm = ok && windows_flag("\"warm\":");
     // The trace object is spliced last, so it always sits in the tail window;
     // scan its four stage fields relative to the `"trace"` key so a request
     // id or pivot count elsewhere on the line cannot be misread as a stage.
@@ -542,6 +621,7 @@ fn scan_response(line: &str) -> Option<ResponseSummary> {
         expired,
         degraded,
         cache_hit,
+        warm,
         trace,
     })
 }
@@ -637,7 +717,15 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
     if let Some(options) = config.request_options() {
         for request in &mut pool {
-            request.options = Some(options);
+            // Merge rather than overwrite: scenarios may pin per-request
+            // options of their own (tenant_drift forces the revised engine),
+            // which a run-level deadline or trace flag must not clobber.
+            let scenario = request.options.unwrap_or_default();
+            request.options = Some(SolveOptions {
+                engine: options.engine.or(scenario.engine),
+                trace: options.trace || scenario.trace,
+                ..options
+            });
         }
     }
     let lines: Vec<(u64, String)> = pool
@@ -653,13 +741,44 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         .filter(|&rps| rps > 0.0)
         .map(|rps| Duration::from_secs_f64(connections as f64 / rps));
 
+    // Delta scenarios lead with full priming payloads whose solves establish
+    // the bases the deltas reference. Replay that prefix serially before
+    // opening the concurrent phase: a delta racing its own tenant's priming
+    // solve across connections would draw a spurious `unknown_base` that no
+    // real client (which submits a base, then edits it) ever sees.
+    let prime_len = if pool.iter().any(|r| r.base_digest.is_some()) {
+        pool.iter().take_while(|r| r.base_digest.is_none()).count()
+    } else {
+        0
+    };
+
     let outcomes: Arc<Mutex<Vec<ThreadOutcome>>> = Arc::new(Mutex::new(Vec::new()));
+
+    if prime_len > 0 {
+        let assigned: Assigned = lines[..prime_len]
+            .iter()
+            .enumerate()
+            .map(|(k, (id, line))| (k, *id, line.clone()))
+            .collect();
+        let outcome = run_closed_loop(
+            &config.addr,
+            &assigned,
+            per_thread_interval,
+            config.collect_payloads,
+        )?;
+        outcomes.lock().expect("outcomes poisoned").push(outcome);
+    }
+
+    // The throughput clock starts after priming: the serial prefix is
+    // warm-up traffic that establishes state, not part of the steady-state
+    // workload whose rate the report measures.
     let start = Instant::now();
 
     let mut handles = Vec::new();
     for worker in 0..connections {
-        // Round-robin partition of the pool across connections.
-        let assigned: Assigned = lines
+        // Round-robin partition of the (post-priming) pool across
+        // connections.
+        let assigned: Assigned = lines[prime_len..]
             .iter()
             .enumerate()
             .filter(|(k, _)| k % connections == worker)
@@ -709,6 +828,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let (mut sent, mut ok, mut errors, mut busy) = (0, 0, 0, 0);
     let (mut expired, mut degraded, mut cache_hits, mut response_bytes) = (0, 0, 0, 0);
     let mut traced = 0;
+    let mut warm_responses = 0;
     for outcome in outcomes.lock().expect("outcomes poisoned").iter_mut() {
         sent += outcome.sent;
         ok += outcome.ok;
@@ -718,6 +838,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         degraded += outcome.degraded;
         cache_hits += outcome.cache_hits;
         traced += outcome.traced;
+        warm_responses += outcome.warm;
         response_bytes += outcome.response_bytes;
         latency.merge(&outcome.latency);
         samples.merge(&outcome.samples);
@@ -748,12 +869,16 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     // time went. The scrape rides a fresh connection so it cannot disturb the
     // measured ones, and failure is tolerated — a report without server rows
     // is still a report.
-    let (server_requests, server_stages) = if config.trace {
-        scrape_stats(&config.addr).map_or((None, Vec::new()), |stats| {
-            (scrape_counter(&stats, "requests"), stage_rows(&stats))
+    let (server_requests, server_warm_hits, server_stages) = if config.trace {
+        scrape_stats(&config.addr).map_or((None, None, Vec::new()), |stats| {
+            (
+                scrape_counter(&stats, "requests"),
+                scrape_counter(&stats, "warm_hits"),
+                stage_rows(&stats),
+            )
         })
     } else {
-        (None, Vec::new())
+        (None, None, Vec::new())
     };
 
     Ok(LoadReport {
@@ -784,6 +909,8 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
             0.0
         },
         traced,
+        warm_responses,
+        server_warm_hits,
         client_stages,
         server_stages,
         server_requests,
@@ -1010,6 +1137,37 @@ mod tests {
     }
 
     #[test]
+    fn tenant_drift_pool_is_mostly_deltas_on_the_revised_engine() {
+        let pool = build_request_pool("tenant_drift", 100, 7).unwrap();
+        assert_eq!(pool.len(), 100);
+        let deltas = pool.iter().filter(|r| r.base_digest.is_some()).count();
+        let fulls = pool.len() - deltas;
+        assert!(deltas >= 80, "deltas should dominate: {deltas}");
+        assert!(fulls >= 2, "priming full payloads present: {fulls}");
+        // The priming prefix is full payloads, so a delta's base is always
+        // submitted before the delta on a serial replay.
+        assert!(pool[0].base_digest.is_none());
+        for req in &pool {
+            // Every request pins the revised engine (the only one that
+            // captures and consumes bases).
+            assert_eq!(
+                req.options.as_ref().and_then(|o| o.engine),
+                Some(EngineChoice::Revised)
+            );
+            // Delta requests reference a digest that a full request in the
+            // pool also carries as its payload.
+            if let Some(wire) = &req.base_digest {
+                let digest = crate::protocol::digest_from_wire(wire).unwrap();
+                assert!(
+                    pool.iter().any(|other| other.base_digest.is_none()
+                        && other.to_instance().unwrap().canonical_digest() == digest),
+                    "delta base must be a live tenant"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unknown_scenario_is_rejected() {
         assert!(build_request_pool("nope", 10, 1).is_err());
         let config = LoadgenConfig {
@@ -1042,6 +1200,8 @@ mod tests {
             p99_micros: 900.0,
             max_micros: 1200.0,
             traced: 0,
+            warm_responses: 0,
+            server_warm_hits: None,
             client_stages: Vec::new(),
             server_stages: Vec::new(),
             server_requests: None,
@@ -1093,6 +1253,8 @@ mod tests {
             p99_micros: 0.0,
             max_micros: 0.0,
             traced: 5,
+            warm_responses: 0,
+            server_warm_hits: None,
             client_stages: vec![stage("queue", 5), stage("solve", 5)],
             server_stages: vec![stage("solve", 5), stage("render", 5)],
             server_requests: Some(5),
@@ -1123,6 +1285,7 @@ mod tests {
             flush_us: 4,
             cache: "hit".to_string(),
             lp_pivots: 555,
+            warm: false,
         });
         let line = serde_json::to_string(&resp).unwrap();
         for fingerprint in [false, true] {

@@ -48,6 +48,13 @@ pub struct ServiceMetrics {
     /// Requests served by waiting on another request's in-flight solve
     /// (single-flight coalescing).
     coalesced: AtomicU64,
+    /// Fresh solves that started warm: the LP was re-solved from a cached
+    /// basis of a structurally identical parent. Always a subset of
+    /// `fresh_solves`.
+    warm_hits: AtomicU64,
+    /// Delta requests that named a `base_digest` the cache could not
+    /// resolve (answered `unknown_base`).
+    unknown_base: AtomicU64,
     /// Admission-control rejections; not counted in `requests` (see the
     /// struct docs).
     busy_rejections: AtomicU64,
@@ -89,6 +96,8 @@ impl ServiceMetrics {
             lp_micros: AtomicHistogram::new(),
             fresh_solves: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            unknown_base: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
             expired_dropped: AtomicU64::new(0),
             stages: Default::default(),
@@ -150,6 +159,16 @@ impl ServiceMetrics {
         self.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one fresh solve that started from a cached donor basis.
+    pub fn record_warm_hit(&self) {
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one delta request whose `base_digest` was not cached.
+    pub fn record_unknown_base(&self) {
+        self.unknown_base.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one admission-control rejection (`busy` response).
     pub fn record_busy(&self) {
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
@@ -170,6 +189,18 @@ impl ServiceMetrics {
     #[must_use]
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Number of fresh solves that started warm so far.
+    #[must_use]
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of `unknown_base` delta rejections so far.
+    #[must_use]
+    pub fn unknown_base(&self) -> u64 {
+        self.unknown_base.load(Ordering::Relaxed)
     }
 
     /// Number of admission-control rejections so far.
@@ -211,6 +242,8 @@ impl ServiceMetrics {
             lp_micros: self.lp_micros.snapshot(),
             fresh_solves: self.fresh_solves.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            unknown_base: self.unknown_base.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             expired_dropped: self.expired_dropped.load(Ordering::Relaxed),
             stages: Stage::ALL
@@ -248,6 +281,11 @@ pub struct MetricsSnapshot {
     pub fresh_solves: u64,
     /// Requests served by waiting on an identical in-flight solve.
     pub coalesced: u64,
+    /// Fresh solves that started from a cached donor basis (warm starts);
+    /// always ≤ `fresh_solves`.
+    pub warm_hits: u64,
+    /// Delta requests rejected with `unknown_base`.
+    pub unknown_base: u64,
     /// Requests rejected by admission control (`busy`); excluded from
     /// `requests` (see [`ServiceMetrics`]).
     pub busy_rejections: u64,
@@ -297,6 +335,10 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "fresh_solves={} coalesced={} busy_rejections={} expired_dropped={}\n",
             self.fresh_solves, self.coalesced, self.busy_rejections, self.expired_dropped
+        ));
+        out.push_str(&format!(
+            "warm_hits={} unknown_base={}\n",
+            self.warm_hits, self.unknown_base
         ));
         if self.queue_capacity > 0 {
             out.push_str(&format!(
@@ -370,19 +412,28 @@ mod tests {
         m.record_busy();
         m.record_busy();
         m.record_expired_dropped();
+        m.record_warm_hit();
+        m.record_warm_hit();
+        m.record_unknown_base();
         assert_eq!(m.fresh_solves(), 2);
         assert_eq!(m.coalesced(), 1);
         assert_eq!(m.busy_rejections(), 3);
         assert_eq!(m.expired_dropped(), 1);
+        assert_eq!(m.warm_hits(), 2);
+        assert_eq!(m.unknown_base(), 1);
         let snap = m.snapshot();
         assert_eq!(snap.fresh_solves, 2);
         assert_eq!(snap.coalesced, 1);
         assert_eq!(snap.busy_rejections, 3);
         assert_eq!(snap.expired_dropped, 1);
+        assert_eq!(snap.warm_hits, 2);
+        assert_eq!(snap.unknown_base, 1);
         let text = snap.render();
         assert!(text.contains("fresh_solves=2"), "render: {text}");
         assert!(text.contains("busy_rejections=3"), "render: {text}");
         assert!(text.contains("expired_dropped=1"), "render: {text}");
+        assert!(text.contains("warm_hits=2"), "render: {text}");
+        assert!(text.contains("unknown_base=1"), "render: {text}");
     }
 
     #[test]

@@ -216,8 +216,10 @@ impl Drop for InFlight {
 pub enum JobPayload {
     /// A raw NDJSON line, not yet parsed.
     Line(String),
-    /// A parsed request.
-    Request(Request),
+    /// A parsed request (boxed: requests carry solve options plus an
+    /// optional delta payload, and jobs outnumber the box allocations the
+    /// raw-line path already makes).
+    Request(Box<Request>),
 }
 
 /// One request tagged with the connection it came from.
@@ -245,7 +247,7 @@ impl Job {
         let id_hint = request.id;
         let deadline = request.solve_options().effective_deadline(accepted_at);
         Self {
-            payload: JobPayload::Request(request),
+            payload: JobPayload::Request(Box::new(request)),
             id_hint,
             accepted_at,
             deadline,

@@ -102,11 +102,39 @@
 //! per-solver counts, solve-queue depth/capacity, per-shard cache
 //! occupancy/hit/miss/eviction counters and the single-flight table size.
 //! Unknown verbs are answered `error_kind: "bad_request"`.
+//!
+//! # Protocol v2: deltas against a cached base
+//!
+//! A client that already submitted an instance can describe the next request
+//! as a small **edit** of it instead of resending the full probability
+//! matrix. The request carries `base_digest` — the canonical digest echoed
+//! by the service for the base instance (16 lowercase hex characters) — plus
+//! a `delta` object, and omits `num_jobs`/`num_machines`/`probs`/`edges`:
+//!
+//! ```json
+//! {"id": 12, "base_digest": "91f4c3a07b5e2d18",
+//!  "delta": {"set_prob": [[0, 2, 0.75]]},
+//!  "options": {"engine": "revised", "trace": true}}
+//! ```
+//!
+//! The service resolves the digest against its schedule cache, applies the
+//! delta through the same validating constructors as a full payload, and
+//! solves the resulting child instance — caching, coalescing and warm
+//! starts all key on the **post-application** digest, so a delta request
+//! and the equivalent full payload share everything. Two structured
+//! failures exist: `error_kind: "unknown_base"` when the digest is not (or
+//! no longer) cached — the client falls back to resubmitting the full
+//! instance on the same connection — and `error_kind: "invalid_delta"` when
+//! the edit itself is malformed (unknown job, probability out of range,
+//! edge that would create a cycle). Neither failure tears down the
+//! connection. Full-payload requests may also carry a `delta` (applied to
+//! the inline instance before solving); `base_digest` without a cached
+//! parent never silently cold-solves.
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use serde::{DeError, Deserialize, Serialize, Value};
-use suu_core::{ObliviousSchedule, SuuInstance};
+use suu_core::{InstanceDelta, ObliviousSchedule, SuuInstance};
 use suu_graph::Dag;
 use suu_lp::Engine;
 
@@ -489,16 +517,38 @@ pub fn scan_u64_field(line: &str, key: &str) -> Option<u64> {
     rest[..digits].parse().ok()
 }
 
+/// Renders an instance digest in its wire form: 16 lowercase hex characters.
+#[must_use]
+pub fn digest_to_wire(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+/// Parses a wire-form digest (exactly 16 lowercase hex characters).
+/// Strict on purpose: the wire form is what the service itself emits, so
+/// anything else is a client bug worth surfacing, not normalising.
+#[must_use]
+pub fn digest_from_wire(s: &str) -> Option<u64> {
+    if s.len() != 16
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 /// A scheduling request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen id echoed back in the response.
     pub id: u64,
-    /// Number of jobs `n`.
+    /// Number of jobs `n` (0 on a delta request, which carries no payload).
     pub num_jobs: usize,
-    /// Number of machines `m`.
+    /// Number of machines `m` (0 on a delta request).
     pub num_machines: usize,
-    /// Row-major `machines × jobs` success-probability matrix.
+    /// Row-major `machines × jobs` success-probability matrix (empty on a
+    /// delta request).
     pub probs: Vec<f64>,
     /// Precedence edges `(predecessor, successor)`.
     pub edges: Vec<(usize, usize)>,
@@ -509,24 +559,50 @@ pub struct Request {
     /// v2 solve options; `None` (the v1 case) behaves exactly like an empty
     /// options object.
     pub options: Option<SolveOptions>,
+    /// Wire-form canonical digest of a previously solved base instance. When
+    /// present the payload fields (`num_jobs`/`num_machines`/`probs`/`edges`)
+    /// may be omitted: the service resolves the base from its cache and
+    /// applies `delta` to it. Unknown digests fail with `unknown_base`.
+    pub base_digest: Option<String>,
+    /// Edit applied to the base (or, without `base_digest`, to the inline
+    /// payload instance) before solving.
+    pub delta: Option<InstanceDelta>,
 }
 
 impl Serialize for Request {
     // Hand-written so the canonical rendering of an options-free request is
-    // byte-identical to v1: the `options` key is omitted, not null.
+    // byte-identical to v1: the `options` key is omitted, not null. A delta
+    // request (base_digest set) drops the payload fields entirely — small
+    // payloads are the point.
     fn to_value(&self) -> Value {
-        let mut fields = vec![
-            ("id".to_string(), self.id.to_value()),
-            ("num_jobs".to_string(), self.num_jobs.to_value()),
-            ("num_machines".to_string(), self.num_machines.to_value()),
-            ("probs".to_string(), self.probs.to_value()),
-            ("edges".to_string(), self.edges.to_value()),
-            ("solver".to_string(), self.solver.to_value()),
-            (
-                "estimate_trials".to_string(),
-                self.estimate_trials.to_value(),
-            ),
-        ];
+        let mut fields = vec![("id".to_string(), self.id.to_value())];
+        if let Some(digest) = &self.base_digest {
+            fields.push(("base_digest".to_string(), digest.to_value()));
+            if self.solver.is_some() {
+                fields.push(("solver".to_string(), self.solver.to_value()));
+            }
+            if self.estimate_trials.is_some() {
+                fields.push((
+                    "estimate_trials".to_string(),
+                    self.estimate_trials.to_value(),
+                ));
+            }
+        } else {
+            fields.extend([
+                ("num_jobs".to_string(), self.num_jobs.to_value()),
+                ("num_machines".to_string(), self.num_machines.to_value()),
+                ("probs".to_string(), self.probs.to_value()),
+                ("edges".to_string(), self.edges.to_value()),
+                ("solver".to_string(), self.solver.to_value()),
+                (
+                    "estimate_trials".to_string(),
+                    self.estimate_trials.to_value(),
+                ),
+            ]);
+        }
+        if let Some(delta) = &self.delta {
+            fields.push(("delta".to_string(), delta.to_value()));
+        }
         if let Some(options) = &self.options {
             fields.push(("options".to_string(), options.to_value()));
         }
@@ -545,16 +621,33 @@ impl Request {
 impl Deserialize for Request {
     fn from_value(v: &Value) -> Result<Self, serde::DeError> {
         // Tolerant by hand: `edges`, `solver` and `estimate_trials` may be
-        // omitted entirely (the derive would insist on explicit nulls).
+        // omitted entirely (the derive would insist on explicit nulls). The
+        // payload fields stay required — with their historical v1 error
+        // messages — unless the request names a cached base via
+        // `base_digest`, in which case they may be omitted too.
         let required = |key: &str| {
             v.get(key)
                 .ok_or_else(|| serde::DeError::new(format!("missing field `{key}` in Request")))
         };
+        let base_digest = match v.get("base_digest") {
+            None | Some(Value::Null) => None,
+            Some(s) => Some(String::from_value(s)?),
+        };
+        let is_delta = base_digest.is_some();
+        let payload_u64 = |key: &str| -> Result<usize, serde::DeError> {
+            match v.get(key) {
+                None | Some(Value::Null) if is_delta => Ok(0),
+                _ => usize::from_value(required(key)?),
+            }
+        };
         Ok(Self {
             id: u64::from_value(required("id")?)?,
-            num_jobs: usize::from_value(required("num_jobs")?)?,
-            num_machines: usize::from_value(required("num_machines")?)?,
-            probs: Vec::from_value(required("probs")?)?,
+            num_jobs: payload_u64("num_jobs")?,
+            num_machines: payload_u64("num_machines")?,
+            probs: match v.get("probs") {
+                None | Some(Value::Null) if is_delta => Vec::new(),
+                _ => Vec::from_value(required("probs")?)?,
+            },
             edges: match v.get("edges") {
                 None | Some(Value::Null) => Vec::new(),
                 Some(edges) => Vec::from_value(edges)?,
@@ -570,6 +663,11 @@ impl Deserialize for Request {
             options: match v.get("options") {
                 None | Some(Value::Null) => None,
                 Some(o) => Some(SolveOptions::from_value(o)?),
+            },
+            base_digest,
+            delta: match v.get("delta") {
+                None | Some(Value::Null) => None,
+                Some(d) => Some(InstanceDelta::from_value(d)?),
             },
         })
     }
@@ -594,6 +692,26 @@ impl Request {
             solver: None,
             estimate_trials: None,
             options: None,
+            base_digest: None,
+            delta: None,
+        }
+    }
+
+    /// Builds a delta request: no payload, just a reference to a cached base
+    /// plus the edit to apply to it.
+    #[must_use]
+    pub fn from_delta(id: u64, base_digest: u64, delta: InstanceDelta) -> Self {
+        Self {
+            id,
+            num_jobs: 0,
+            num_machines: 0,
+            probs: Vec::new(),
+            edges: Vec::new(),
+            solver: None,
+            estimate_trials: None,
+            options: None,
+            base_digest: Some(digest_to_wire(base_digest)),
+            delta: Some(delta),
         }
     }
 
@@ -637,6 +755,15 @@ pub mod error_kind {
     /// mid-solve and no degraded fallback was possible (e.g. the solver was
     /// forced). The `budget` response field says which limit tripped.
     pub const BUDGET_EXHAUSTED: &str = "budget_exhausted";
+    /// A delta request named a `base_digest` the service does not have
+    /// cached (never seen, or evicted). The delta was **not** applied and
+    /// nothing was solved; the client should fall back to resubmitting the
+    /// full instance — the connection survives.
+    pub const UNKNOWN_BASE: &str = "unknown_base";
+    /// The request's `delta` could not be applied: malformed digest, unknown
+    /// job or machine index, probability out of range, duplicate edit, or an
+    /// edge that would create a cycle. Nothing was solved.
+    pub const INVALID_DELTA: &str = "invalid_delta";
 }
 
 /// What a budgeted solve ran out of, carried in [`Response::budget`] on
@@ -680,6 +807,12 @@ pub struct TraceReport {
     pub cache: String,
     /// Simplex pivots behind this response's schedule (0 when no LP ran).
     pub lp_pivots: u64,
+    /// Whether the solve behind this response's schedule started warm: the
+    /// LP was re-solved from a cached basis of a structurally identical
+    /// parent instead of from scratch. Like `lp_pivots`, this describes how
+    /// the schedule was *computed* — cache hits repeat the original solve's
+    /// value.
+    pub warm: bool,
 }
 
 /// A structured solve failure flowing between the service internals (the
@@ -974,6 +1107,8 @@ mod tests {
             solver: None,
             estimate_trials: None,
             options: None,
+            base_digest: None,
+            delta: None,
         };
         assert!(cyclic.to_instance().unwrap_err().contains("precedence"));
 
@@ -986,6 +1121,8 @@ mod tests {
             solver: None,
             estimate_trials: None,
             options: None,
+            base_digest: None,
+            delta: None,
         };
         assert!(out_of_range.to_instance().unwrap_err().contains("instance"));
     }
@@ -1104,12 +1241,13 @@ mod tests {
             flush_us: 8,
             cache: "miss".to_string(),
             lp_pivots: 44,
+            warm: false,
         });
         let json = serde_json::to_string(&resp).unwrap();
         assert!(
             json.contains(
                 "\"trace\":{\"queue_us\":12,\"solve_us\":190,\"render_us\":3,\
-                 \"flush_us\":8,\"cache\":\"miss\",\"lp_pivots\":44}"
+                 \"flush_us\":8,\"cache\":\"miss\",\"lp_pivots\":44,\"warm\":false}"
             ),
             "json: {json}"
         );
@@ -1253,6 +1391,59 @@ mod tests {
         assert!(estimate_only.lp_micros.is_none());
         assert_eq!(estimate_only.estimated_makespan, Some(4.0));
         assert_eq!(full.clone().project(Detail::Full), full);
+    }
+
+    #[test]
+    fn digest_wire_form_roundtrips_and_rejects_garbage() {
+        for d in [0u64, 1, 0x91f4_c3a0_7b5e_2d18, u64::MAX] {
+            let wire = digest_to_wire(d);
+            assert_eq!(wire.len(), 16);
+            assert_eq!(digest_from_wire(&wire), Some(d));
+        }
+        assert_eq!(digest_from_wire(""), None);
+        assert_eq!(digest_from_wire("91f4c3a07b5e2d1"), None, "too short");
+        assert_eq!(digest_from_wire("91f4c3a07b5e2d181"), None, "too long");
+        assert_eq!(digest_from_wire("91F4C3A07B5E2D18"), None, "uppercase");
+        assert_eq!(digest_from_wire("91f4c3a07b5e2d1g"), None, "non-hex");
+        assert_eq!(digest_from_wire("+1f4c3a07b5e2d18"), None, "sign");
+    }
+
+    #[test]
+    fn delta_request_omits_payload_fields_and_roundtrips() {
+        let delta = InstanceDelta {
+            set_prob: vec![(0, 2, 0.75)],
+            ..InstanceDelta::default()
+        };
+        let req = Request::from_delta(12, 0x91f4_c3a0_7b5e_2d18, delta);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(
+            json.contains("\"base_digest\":\"91f4c3a07b5e2d18\""),
+            "json: {json}"
+        );
+        assert!(!json.contains("num_jobs"), "payload omitted: {json}");
+        assert!(!json.contains("probs"), "payload omitted: {json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        // Without base_digest, omitted payload fields keep their historical
+        // v1 missing-field errors.
+        let bad = r#"{"id": 3, "delta": {"set_prob": [[0, 0, 0.5]]}}"#;
+        let err = serde_json::from_str::<Request>(bad).unwrap_err();
+        assert!(format!("{err}").contains("num_jobs"), "err: {err}");
+    }
+
+    #[test]
+    fn full_payload_request_may_carry_a_delta() {
+        let mut req = Request::from_instance(9, &chain_instance());
+        req.delta = Some(InstanceDelta {
+            drain_machine: Some(1),
+            ..InstanceDelta::default()
+        });
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"num_jobs\":3"), "json: {json}");
+        assert!(json.contains("\"delta\":{"), "json: {json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
     }
 
     #[test]

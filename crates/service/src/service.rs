@@ -17,8 +17,8 @@ use crate::metrics::ServiceMetrics;
 use crate::obs::Stage;
 use crate::pipeline::{Job, PoolHandle, ResponseSink};
 use crate::protocol::{
-    error_kind, scan_request_id, BudgetReport, CachePolicy, Detail, Request, Response,
-    SolveFailure, SolveOptions, TraceReport,
+    digest_from_wire, error_kind, scan_request_id, BudgetReport, CachePolicy, Detail, Request,
+    Response, SolveFailure, SolveOptions, TraceReport,
 };
 use crate::solver::{Solver, SolverRegistry};
 use serde::{Deserialize, Serialize, Value};
@@ -131,6 +131,13 @@ pub struct ServiceConfig {
     pub max_estimate_trials: usize,
     /// Cap on simulated steps per estimation trial.
     pub estimate_max_steps: usize,
+    /// Whether fresh solves may start from a cached basis of a structurally
+    /// identical parent (and publish their own final basis for later
+    /// solves). Warm starts never change the computed schedule — the warm
+    /// path re-solves to the same optimum or falls back to a cold solve —
+    /// so this is safe to leave on; the switch exists so benchmarks can
+    /// measure the warm-vs-cold speedup at equal payloads.
+    pub warm_starts: bool,
 }
 
 impl Default for ServiceConfig {
@@ -141,6 +148,7 @@ impl Default for ServiceConfig {
             max_line_bytes: 4 * 1024 * 1024,
             max_estimate_trials: 1_000,
             estimate_max_steps: 100_000,
+            warm_starts: true,
         }
     }
 }
@@ -316,6 +324,7 @@ impl SchedulerService {
             flush_us: ctx.flush_us,
             cache: outcome.cache.as_wire().to_string(),
             lp_pivots: outcome.solved.lp_pivots.unwrap_or(0) as u64,
+            warm: outcome.solved.lp_warm,
         });
 
         Response {
@@ -367,10 +376,7 @@ impl SchedulerService {
         if directives.expired() {
             return Err(Response::deadline_exceeded(request.id));
         }
-        let instance = match request.to_instance() {
-            Ok(instance) => instance,
-            Err(message) => return Err(Response::failure(request.id, message)),
-        };
+        let instance = self.resolve_instance(request)?;
 
         // Resolve the solver before the cache lookup: the solver name is part
         // of the cache key, so a forced solver never sees another solver's
@@ -481,6 +487,72 @@ impl SchedulerService {
                 Err(Response::from_failure(request.id, &failure))
             }
         }
+    }
+
+    /// Turns a request into the instance to solve: either the inline v1
+    /// payload or — for protocol-v2 delta requests — a cached parent
+    /// resolved by `base_digest`, with the request's [`InstanceDelta`]
+    /// applied on top. Delta-built instances re-check the cell limit, since
+    /// a delta can grow its parent past what the inline payload check saw.
+    ///
+    /// [`InstanceDelta`]: suu_core::InstanceDelta
+    #[allow(clippy::result_large_err)]
+    fn resolve_instance(&self, request: &Request) -> Result<SuuInstance, Response> {
+        let base = if let Some(wire) = &request.base_digest {
+            let Some(digest) = digest_from_wire(wire) else {
+                return Err(Response::failure_with(
+                    request.id,
+                    error_kind::INVALID_DELTA,
+                    format!("malformed base_digest `{wire}`: expected 16 lowercase hex characters"),
+                ));
+            };
+            match self.cache.lookup_base(digest) {
+                Some(parent) => parent,
+                None => {
+                    self.metrics.record_unknown_base();
+                    return Err(Response::failure_with(
+                        request.id,
+                        error_kind::UNKNOWN_BASE,
+                        format!(
+                            "unknown base_digest `{wire}`: not in the solve cache; \
+                             resubmit the full instance"
+                        ),
+                    ));
+                }
+            }
+        } else {
+            match request.to_instance() {
+                Ok(instance) => instance,
+                Err(message) => return Err(Response::failure(request.id, message)),
+            }
+        };
+        let instance = match &request.delta {
+            Some(delta) => match base.apply_delta(delta) {
+                Ok(instance) => instance,
+                Err(err) => {
+                    return Err(Response::failure_with(
+                        request.id,
+                        error_kind::INVALID_DELTA,
+                        format!("invalid delta: {err}"),
+                    ))
+                }
+            },
+            None => base,
+        };
+        if (request.base_digest.is_some() || request.delta.is_some())
+            && instance.num_jobs().saturating_mul(instance.num_machines()) > self.config.max_cells
+        {
+            return Err(Response::failure(
+                request.id,
+                format!(
+                    "instance too large: {} x {} exceeds the {}-cell service limit",
+                    instance.num_jobs(),
+                    instance.num_machines(),
+                    self.config.max_cells
+                ),
+            ));
+        }
+        Ok(instance)
     }
 
     /// The pipelined executor's handler: coalesced like
@@ -640,6 +712,7 @@ impl SchedulerService {
                         flush_us: ctx.flush_us,
                         cache: outcome.cache.as_wire().to_string(),
                         lp_pivots: outcome.solved.lp_pivots.unwrap_or(0) as u64,
+                        warm: outcome.solved.lp_warm,
                     };
                     extra.push_str(",\"trace\":");
                     extra
@@ -807,11 +880,43 @@ impl SchedulerService {
         limits: &LpBudget,
         insert_variant: Option<u8>,
     ) -> Result<CachedSolve, SolveFailure> {
-        match solver.solve(instance, limits) {
-            Ok(output) => {
+        // Warm starts ride on the structural digest: a solve of the same
+        // structural class (shape + precedence, probabilities free) left a
+        // final basis (and its LU factors) behind. When the edit left the
+        // basis matrix untouched the factors are adopted outright — no
+        // refactorisation — and otherwise the dual simplex repairs the basis
+        // into this instance's optimum in a handful of pivots. `solve_warm`
+        // falls back to a cold solve whenever the donor doesn't fit, so the
+        // schedule is the same either way — only the pivot count changes.
+        let structural = instance.structural_digest();
+        let donor = if self.config.warm_starts {
+            self.cache.lookup_basis(structural, solver.name())
+        } else {
+            None
+        };
+        let result = if self.config.warm_starts {
+            solver.solve_warm(instance, limits, donor)
+        } else {
+            solver.solve(instance, limits)
+        };
+        match result {
+            Ok(mut output) => {
                 self.metrics.record_fresh_solve();
+                if output.lp_warm {
+                    self.metrics.record_warm_hit();
+                }
                 if let (Some(pivots), Some(micros)) = (output.lp_pivots, output.lp_micros) {
                     self.metrics.record_lp(pivots, micros);
+                }
+                if self.config.warm_starts {
+                    if let Some(basis) = output.lp_basis.take() {
+                        self.cache.store_basis(
+                            structural,
+                            solver.name(),
+                            basis,
+                            output.lp_factors.take(),
+                        );
+                    }
                 }
                 let solved = CachedSolve::new(
                     solver.name().to_string(),
@@ -819,6 +924,7 @@ impl SchedulerService {
                     output.lp_value,
                     output.lp_pivots,
                     output.lp_micros,
+                    output.lp_warm,
                 );
                 if let Some(variant) = insert_variant {
                     self.cache.insert(instance, variant, solved.clone());
@@ -999,6 +1105,8 @@ impl SchedulerService {
                 snap.expired_dropped.to_value(),
             ),
             ("fresh_solves".to_string(), snap.fresh_solves.to_value()),
+            ("warm_hits".to_string(), snap.warm_hits.to_value()),
+            ("unknown_base".to_string(), snap.unknown_base.to_value()),
             ("coalesced".to_string(), snap.coalesced.to_value()),
             ("latency_us".to_string(), snap.latency_micros.to_value()),
             (
@@ -1314,6 +1422,8 @@ mod tests {
             solver: None,
             estimate_trials: None,
             options: None,
+            base_digest: None,
+            delta: None,
         };
         let resp = svc.handle_request(&bad);
         assert!(!resp.ok, "job 1 has no capable machine");
@@ -1409,5 +1519,158 @@ mod tests {
         assert!(!garbage.ok);
         assert!(third.ok && third.cache_hit);
         assert_eq!(svc.metrics().snapshot().requests, 2);
+    }
+
+    fn chain_instance(seed: u64) -> suu_core::SuuInstance {
+        InstanceBuilder::new(3, 2)
+            .probability_matrix(uniform_matrix(3, 2, 0.3, 0.9, seed))
+            .chains(&[vec![0, 1, 2]])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn delta_request_solves_the_edited_instance() {
+        use crate::protocol::digest_to_wire;
+        use suu_core::InstanceDelta;
+
+        let svc = service();
+        let base = chain_instance(21);
+        let first = svc.handle_request(&Request::from_instance(1, &base));
+        assert!(first.ok, "base solve failed: {:?}", first.error);
+
+        let delta = InstanceDelta {
+            set_prob: vec![(0, 0, 0.55)],
+            ..InstanceDelta::default()
+        };
+        let edited = base.apply_delta(&delta).unwrap();
+        let reference = svc.handle_request(&Request::from_instance(2, &edited));
+        assert!(reference.ok);
+
+        let via_delta = svc.handle_request(&Request::from_delta(3, base.canonical_digest(), delta));
+        assert!(via_delta.ok, "delta solve failed: {:?}", via_delta.error);
+        assert_eq!(via_delta.schedule, reference.schedule);
+        assert_eq!(via_delta.lp_value, reference.lp_value);
+        // The delta child is its own cache entry (post-application digest is
+        // the coalescing key), so the second arm above already populated it.
+        assert!(via_delta.cache_hit);
+
+        // Sanity on the wire form used above.
+        assert_eq!(digest_to_wire(base.canonical_digest()).len(), 16);
+    }
+
+    #[test]
+    fn unknown_and_malformed_bases_error_with_structured_kinds() {
+        use suu_core::InstanceDelta;
+
+        let svc = service();
+        let missing = svc.handle_request(&Request::from_delta(
+            7,
+            0xdead_beef_dead_beef,
+            InstanceDelta::default(),
+        ));
+        assert!(!missing.ok);
+        assert_eq!(
+            missing.error_kind.as_deref(),
+            Some(error_kind::UNKNOWN_BASE)
+        );
+        assert_eq!(svc.metrics().snapshot().unknown_base, 1);
+
+        let mut malformed = Request::from_delta(8, 0, InstanceDelta::default());
+        malformed.base_digest = Some("NOT-A-DIGEST".to_string());
+        let resp = svc.handle_request(&malformed);
+        assert!(!resp.ok);
+        assert_eq!(resp.error_kind.as_deref(), Some(error_kind::INVALID_DELTA));
+    }
+
+    #[test]
+    fn invalid_deltas_error_without_poisoning_the_base() {
+        use suu_core::InstanceDelta;
+
+        let svc = service();
+        let base = chain_instance(21);
+        assert!(svc.handle_request(&Request::from_instance(1, &base)).ok);
+
+        let bad = InstanceDelta {
+            set_prob: vec![(99, 0, 0.5)],
+            ..InstanceDelta::default()
+        };
+        let resp = svc.handle_request(&Request::from_delta(2, base.canonical_digest(), bad));
+        assert!(!resp.ok);
+        assert_eq!(resp.error_kind.as_deref(), Some(error_kind::INVALID_DELTA));
+
+        // The base is still solvable by digest afterwards.
+        let again = svc.handle_request(&Request::from_delta(
+            3,
+            base.canonical_digest(),
+            InstanceDelta::default(),
+        ));
+        assert!(again.ok);
+        assert!(again.cache_hit, "empty delta resolves to the cached base");
+    }
+
+    #[test]
+    fn structural_repeats_warm_start_and_report_it_in_the_trace() {
+        use crate::protocol::EngineChoice;
+
+        let svc = service();
+        let options = SolveOptions {
+            engine: Some(EngineChoice::Revised),
+            trace: true,
+            ..SolveOptions::default()
+        };
+
+        let mut first = Request::from_instance(1, &chain_instance(21));
+        first.options = Some(options);
+        let cold = svc.handle_request(&first);
+        assert!(cold.ok, "cold solve failed: {:?}", cold.error);
+        assert!(!cold.trace.as_ref().unwrap().warm, "first solve is cold");
+
+        // Same structure, different probabilities: a fresh solve that can
+        // start from the first solve's final basis.
+        let mut second = Request::from_instance(2, &chain_instance(22));
+        second.options = Some(options);
+        let warm = svc.handle_request(&second);
+        assert!(warm.ok, "warm solve failed: {:?}", warm.error);
+        assert!(
+            warm.trace.as_ref().unwrap().warm,
+            "structural repeat should warm-start"
+        );
+        assert_eq!(svc.metrics().snapshot().warm_hits, 1);
+
+        // With warm starts disabled the same traffic stays cold.
+        let cold_svc = SchedulerService::new(ServiceConfig {
+            warm_starts: false,
+            ..ServiceConfig::default()
+        });
+        for (id, seed) in [(1, 21), (2, 22)] {
+            let mut req = Request::from_instance(id, &chain_instance(seed));
+            req.options = Some(options);
+            let resp = cold_svc.handle_request(&req);
+            assert!(resp.ok);
+            assert!(!resp.trace.as_ref().unwrap().warm);
+        }
+        assert_eq!(cold_svc.metrics().snapshot().warm_hits, 0);
+
+        // Warm and cold services computed identical artifacts.
+        let warm_line = svc.handle_request(&{
+            let mut req = Request::from_instance(9, &chain_instance(22));
+            req.options = Some(options);
+            req
+        });
+        let cold_line = cold_svc.handle_request(&{
+            let mut req = Request::from_instance(9, &chain_instance(22));
+            req.options = Some(options);
+            req
+        });
+        // A warm start may land on a different optimal vertex than the cold
+        // pivot path (degenerate optima), so the schedules need not be
+        // byte-identical — the parity contract is on the objective.
+        let warm_obj = warm_line.lp_value.expect("chains solve reports lp_value");
+        let cold_obj = cold_line.lp_value.expect("chains solve reports lp_value");
+        assert!(
+            (warm_obj - cold_obj).abs() <= 1e-9 * cold_obj.abs().max(1.0),
+            "warm/cold objective mismatch: {warm_obj} vs {cold_obj}"
+        );
     }
 }

@@ -19,9 +19,10 @@
 use suu_algorithms::chains::{schedule_chains_with, ChainsOptions};
 use suu_algorithms::forest::schedule_forest_with;
 use suu_algorithms::suu_i_obl::{suu_i_oblivious_with, SuuIOblLimits};
-use suu_algorithms::{AlgorithmError, LpBudget};
+use suu_algorithms::{schedule_given_chains_warm, AlgorithmError, LpBudget};
 use suu_core::{Assignment, ObliviousSchedule, SuuInstance};
 use suu_graph::ForestKind;
+use suu_lp::{LuFactors, WarmStart};
 
 /// The uniform result of one solve: the executable schedule plus the
 /// diagnostics every algorithm can report.
@@ -37,6 +38,33 @@ pub struct SolveOutput {
     /// Wall-clock microseconds spent building and solving the LPs, for the
     /// LP-based algorithms (summed over blocks for the forest pipeline).
     pub lp_micros: Option<u64>,
+    /// Final LP basis snapshot, when the solve ended at a reusable
+    /// (optimal, artificial-free) revised-simplex basis. The service's
+    /// warm-start index stores it keyed by structural digest so a later
+    /// solve of a structurally identical instance can start from it.
+    pub lp_basis: Option<Vec<usize>>,
+    /// LU factors of that final basis. Stored alongside the basis so a
+    /// follow-up solve whose edit leaves the basis matrix untouched adopts
+    /// the Forrest–Tomlin factorisation outright instead of refactorising.
+    pub lp_factors: Option<LuFactors>,
+    /// Whether this solve actually started from a donor basis (warm). Cold
+    /// solves and solvers without warm support report `false`.
+    pub lp_warm: bool,
+}
+
+impl SolveOutput {
+    /// A diagnostics-free output (the combinatorial and baseline solvers).
+    fn plain(schedule: ObliviousSchedule) -> Self {
+        Self {
+            schedule,
+            lp_value: None,
+            lp_pivots: None,
+            lp_micros: None,
+            lp_basis: None,
+            lp_factors: None,
+            lp_warm: false,
+        }
+    }
 }
 
 /// A schedule-producing algorithm behind the uniform service interface.
@@ -63,6 +91,27 @@ pub trait Solver: Send + Sync {
         instance: &SuuInstance,
         limits: &LpBudget,
     ) -> Result<SolveOutput, AlgorithmError>;
+
+    /// [`solve`](Solver::solve) with an optional donor [`WarmStart`] (basis
+    /// and, when available, LU factors) from a previous solve of a
+    /// structurally identical instance. Solvers without warm-start support
+    /// ignore the donor and solve cold — warm starting is an optimisation,
+    /// never a behavioural contract. Implementations must produce the same
+    /// schedule warm as cold (the LP warm path re-solves to the same optimum
+    /// and falls back to a cold solve when the donor basis is unusable).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Solver::solve).
+    fn solve_warm(
+        &self,
+        instance: &SuuInstance,
+        limits: &LpBudget,
+        warm: Option<WarmStart>,
+    ) -> Result<SolveOutput, AlgorithmError> {
+        let _ = warm;
+        self.solve(instance, limits)
+    }
 }
 
 /// `SUU-I-OBL` (Alg. 2, Theorem 3.6): the combinatorial oblivious schedule
@@ -91,16 +140,14 @@ impl Solver for SuuIOblSolver {
                 deadline: limits.deadline,
             },
         )?;
-        Ok(SolveOutput {
-            schedule: out.schedule,
-            lp_value: None,
-            lp_pivots: None,
-            lp_micros: None,
-        })
+        Ok(SolveOutput::plain(out.schedule))
     }
 }
 
-/// `SUU-C` (Theorem 4.4): the LP-based pipeline for disjoint chains.
+/// `SUU-C` (Theorem 4.4): the LP-based pipeline for disjoint chains. The
+/// only registered solver with warm-start support: its single (LP1) solve
+/// exposes a reusable final basis, and [`Solver::solve_warm`] re-solves from
+/// a donor basis via the revised engine's primal/dual warm paths.
 #[derive(Debug, Default)]
 pub struct ChainsSolver;
 
@@ -131,6 +178,33 @@ impl Solver for ChainsSolver {
             lp_value: Some(out.lp_value),
             lp_pivots: Some(out.lp_pivots),
             lp_micros: Some(out.lp_micros.0),
+            lp_basis: None,
+            lp_factors: None,
+            lp_warm: false,
+        })
+    }
+
+    fn solve_warm(
+        &self,
+        instance: &SuuInstance,
+        limits: &LpBudget,
+        warm: Option<WarmStart>,
+    ) -> Result<SolveOutput, AlgorithmError> {
+        let chains = suu_graph::ChainSet::from_dag(instance.precedence())
+            .ok_or(AlgorithmError::NotChains)?;
+        let options = ChainsOptions {
+            lp: *limits,
+            ..ChainsOptions::default()
+        };
+        let (out, info) = schedule_given_chains_warm(instance, &chains, &options, warm)?;
+        Ok(SolveOutput {
+            schedule: out.schedule,
+            lp_value: Some(out.lp_value),
+            lp_pivots: Some(out.lp_pivots),
+            lp_micros: Some(out.lp_micros.0),
+            lp_basis: (!info.basis.is_empty()).then_some(info.basis),
+            lp_factors: info.factors,
+            lp_warm: info.warm,
         })
     }
 }
@@ -164,6 +238,9 @@ impl Solver for ForestSolver {
             lp_value: None,
             lp_pivots: Some(out.lp_pivots),
             lp_micros: Some(out.lp_micros.0),
+            lp_basis: None,
+            lp_factors: None,
+            lp_warm: false,
         })
     }
 }
@@ -212,12 +289,7 @@ impl Solver for SerialBaselineSolver {
             }
             schedule.push_step(step);
         }
-        Ok(SolveOutput {
-            schedule,
-            lp_value: None,
-            lp_pivots: None,
-            lp_micros: None,
-        })
+        Ok(SolveOutput::plain(schedule))
     }
 }
 
@@ -401,6 +473,62 @@ mod tests {
         assert!(matches!(err, AlgorithmError::BudgetExhausted { .. }));
         let err = SerialBaselineSolver.solve(&ind, &expired).unwrap_err();
         assert!(matches!(err, AlgorithmError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn chains_solver_warm_start_matches_cold_and_reports_warm() {
+        let chains = InstanceBuilder::new(6, 3)
+            .probability_matrix(uniform_matrix(6, 3, 0.3, 0.9, 21))
+            .chains(&[vec![0, 1, 2], vec![3, 4, 5]])
+            .build()
+            .unwrap();
+        // Force the revised engine so the basis capture/reuse path runs even
+        // on this deliberately small instance.
+        let limits = LpBudget {
+            engine: suu_lp::Engine::Revised,
+            ..LpBudget::default()
+        };
+        let mut cold = ChainsSolver.solve_warm(&chains, &limits, None).unwrap();
+        assert!(!cold.lp_warm, "no donor basis means a cold solve");
+        let basis = cold
+            .lp_basis
+            .clone()
+            .expect("revised solve captures a basis");
+        let factors = cold.lp_factors.take();
+        assert!(factors.is_some(), "revised solve captures LU factors");
+
+        let warm = ChainsSolver
+            .solve_warm(
+                &chains,
+                &limits,
+                Some(WarmStart {
+                    basis: basis.clone(),
+                    factors,
+                }),
+            )
+            .unwrap();
+        assert!(warm.lp_warm, "donor basis must drive the re-solve");
+        assert_eq!(warm.schedule, cold.schedule, "warm must match cold");
+        assert!((warm.lp_value.unwrap() - cold.lp_value.unwrap()).abs() < 1e-12);
+        assert!(
+            warm.lp_pivots.unwrap() <= cold.lp_pivots.unwrap(),
+            "restarting from the optimal basis must not pivot more"
+        );
+
+        // The default trait method ignores the basis: solvers without warm
+        // support keep their cold behaviour.
+        let baseline = SerialBaselineSolver
+            .solve_warm(
+                &chains,
+                &LpBudget::default(),
+                Some(WarmStart {
+                    basis,
+                    factors: None,
+                }),
+            )
+            .unwrap();
+        assert!(!baseline.lp_warm);
+        assert!(baseline.lp_basis.is_none());
     }
 
     #[test]

@@ -29,5 +29,6 @@ pub use probability::{
 };
 pub use scenario::{
     bottleneck_instance, bursty_multi_tenant_stream, deadline_burst_stream, figure1_instance,
-    grid_computing_instance, project_management_instance, BurstConfig, GridConfig, ProjectConfig,
+    grid_computing_instance, project_management_instance, tenant_drift_stream, BurstConfig,
+    DriftConfig, DriftRequest, GridConfig, ProjectConfig,
 };

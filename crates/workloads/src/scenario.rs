@@ -230,6 +230,112 @@ pub fn deadline_burst_stream(config: &BurstConfig) -> (Vec<SuuInstance>, Vec<usi
     })
 }
 
+/// Configuration of the tenant-drift stream (the warm-start workload).
+///
+/// Long-lived tenants whose instances *drift*: after each tenant's base has
+/// been submitted once in full, almost every later request is a one-cell
+/// probability edit against that base — the shape of a fleet re-planning as
+/// success probabilities are re-estimated, and exactly the traffic a
+/// delta-aware, warm-starting service is built for.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Number of distinct tenants (distinct base instances).
+    pub num_tenants: usize,
+    /// Total requests in the stream, priming included.
+    pub requests: usize,
+    /// Inclusive range of jobs per tenant instance.
+    pub jobs: (usize, usize),
+    /// Inclusive range of machines per tenant instance.
+    pub machines: (usize, usize),
+    /// Fraction of post-priming requests that are deltas; the rest resubmit
+    /// the tenant's base in full (cache-hit traffic).
+    pub delta_share: f64,
+    /// Seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            num_tenants: 4,
+            requests: 200,
+            jobs: (72, 96),
+            machines: (8, 12),
+            delta_share: 0.95,
+            seed: 0xD21F,
+        }
+    }
+}
+
+/// One event of the tenant-drift stream.
+#[derive(Debug, Clone)]
+pub struct DriftRequest {
+    /// Index into the tenant vector returned alongside the stream.
+    pub tenant: usize,
+    /// `None` resubmits the tenant's base instance in full; `Some` is a
+    /// small edit to apply against that base.
+    pub edit: Option<suu_core::InstanceDelta>,
+}
+
+/// Builds the tenant-drift stream described by `config`.
+///
+/// Returns the per-tenant base instances and the request sequence. Every
+/// tenant is chains-structured (LP-backed), so a fresh solve runs the full
+/// LP pipeline and a one-cell drift leaves the structural class — and hence
+/// the cached basis — intact. The stream opens with one full submission per
+/// tenant (priming), then mixes `delta_share` one-cell `set_prob` edits with
+/// full resubmissions of the bases. Every edit keeps the probability in the
+/// tenants' own `[0.2, 0.9]` range, so applying it always yields a valid
+/// instance.
+#[must_use]
+pub fn tenant_drift_stream(config: &DriftConfig) -> (Vec<SuuInstance>, Vec<DriftRequest>) {
+    assert!(config.num_tenants > 0, "need at least one tenant");
+    assert!(config.jobs.0 >= 1 && config.jobs.0 <= config.jobs.1);
+    assert!(config.machines.0 >= 1 && config.machines.0 <= config.machines.1);
+    assert!(
+        (0.0..=1.0).contains(&config.delta_share),
+        "delta_share is a fraction"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    let tenants: Vec<SuuInstance> = (0..config.num_tenants)
+        .map(|_| {
+            let n = rng.gen_range(config.jobs.0..=config.jobs.1);
+            let m = rng.gen_range(config.machines.0..=config.machines.1);
+            let seed = rng.gen::<u64>();
+            let probs = crate::probability::uniform_matrix(n, m, 0.2, 0.9, seed);
+            let dag = crate::precedence::random_chains(n, (n / 2).max(1), seed ^ 0xC0A1);
+            SuuInstance::new(n, m, probs, dag).expect("generated tenant instance is valid")
+        })
+        .collect();
+
+    let mut stream: Vec<DriftRequest> = (0..config.num_tenants)
+        .map(|tenant| DriftRequest { tenant, edit: None })
+        .collect();
+    while stream.len() < config.requests {
+        let tenant = rng.gen_range(0..config.num_tenants);
+        let edit = if rng.gen::<f64>() < config.delta_share {
+            let base = &tenants[tenant];
+            let machine = rng.gen_range(0..base.num_machines());
+            let job = rng.gen_range(0..base.num_jobs());
+            // Drift, not replacement: success probabilities are re-estimated
+            // a few percent at a time, so the parent's optimal basis is at
+            // most a couple of pivots away from the child's.
+            let old = base.prob(suu_core::MachineId(machine), suu_core::JobId(job));
+            let p = (old * rng.gen_range(0.93..=1.07)).clamp(0.2, 0.9);
+            Some(suu_core::InstanceDelta {
+                set_prob: vec![(machine, job, p)],
+                ..suu_core::InstanceDelta::default()
+            })
+        } else {
+            None
+        };
+        stream.push(DriftRequest { tenant, edit });
+    }
+    stream.truncate(config.requests);
+    (tenants, stream)
+}
+
 /// Shared tenant/burst machinery behind the bursty streams: `structure`
 /// picks tenant `k`'s precedence DAG from its size and seed.
 fn burst_stream_with(
@@ -385,5 +491,57 @@ mod tests {
         }
         // Bursts still produce immediate repetitions.
         assert!(reqs_a.windows(2).any(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn tenant_drift_stream_primes_then_drifts_with_valid_deltas() {
+        let cfg = DriftConfig::default();
+        let (tenants, stream) = tenant_drift_stream(&cfg);
+        assert_eq!(tenants.len(), cfg.num_tenants);
+        assert_eq!(stream.len(), cfg.requests);
+
+        // Priming prefix: every tenant submitted in full before any delta.
+        for (k, req) in stream.iter().take(cfg.num_tenants).enumerate() {
+            assert_eq!(req.tenant, k);
+            assert!(req.edit.is_none(), "priming requests are full payloads");
+        }
+
+        // Every tenant is chains-structured (LP-backed), every delta applies
+        // cleanly to its base and preserves the structural class.
+        for inst in &tenants {
+            assert_eq!(inst.forest_kind(), ForestKind::DisjointChains);
+        }
+        let mut deltas = 0usize;
+        for req in &stream {
+            if let Some(edit) = &req.edit {
+                deltas += 1;
+                let child = tenants[req.tenant]
+                    .apply_delta(edit)
+                    .expect("delta applies");
+                assert_eq!(
+                    child.structural_digest(),
+                    tenants[req.tenant].structural_digest(),
+                    "a one-cell drift keeps the structural class"
+                );
+                assert_ne!(
+                    child.canonical_digest(),
+                    tenants[req.tenant].canonical_digest(),
+                    "a drift changes the canonical digest (fresh solve)"
+                );
+            }
+        }
+        let post_priming = stream.len() - cfg.num_tenants;
+        assert!(
+            deltas as f64 >= 0.85 * post_priming as f64,
+            "deltas should dominate: {deltas}/{post_priming}"
+        );
+
+        // Deterministic for a fixed seed.
+        let (tenants_b, stream_b) = tenant_drift_stream(&cfg);
+        assert_eq!(tenants, tenants_b);
+        assert_eq!(
+            stream.iter().map(|r| r.tenant).collect::<Vec<_>>(),
+            stream_b.iter().map(|r| r.tenant).collect::<Vec<_>>()
+        );
     }
 }
