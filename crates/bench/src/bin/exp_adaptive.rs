@@ -1,0 +1,7 @@
+//! Experiment binary: S2, adaptive sessions vs oblivious execution
+//!
+//! Usage: `cargo run --release -p suu-bench --bin exp_adaptive [-- --quick] [--seed N]`
+
+fn main() {
+    suu_bench::run_registered("adaptive");
+}

@@ -4,6 +4,7 @@
 //! A1–A3) to modules, and `DESIGN.md` for the full index.
 
 pub mod ablations;
+pub mod adaptive;
 pub mod chains;
 pub mod decomposition;
 pub mod delay_congestion;
@@ -65,5 +66,6 @@ pub fn registry() -> Vec<(&'static str, ExperimentRunner)> {
                 service_throughput::run_warm_comparison(c),
             ]
         }),
+        ("adaptive", |c| vec![adaptive::run(c)]),
     ]
 }

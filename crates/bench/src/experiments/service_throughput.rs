@@ -80,6 +80,7 @@ fn run_mode_with_detail(
         deadline_ms: None,
         detail,
         trace,
+        session: false,
         seed,
     })
     .expect("load generation succeeds");
@@ -463,6 +464,7 @@ fn run_drift(total_requests: usize, seed: u64, warm_starts: bool) -> (LoadReport
         deadline_ms: None,
         detail: Some(Detail::NoSchedule),
         trace: true,
+        session: false,
         seed,
     })
     .expect("load generation succeeds");

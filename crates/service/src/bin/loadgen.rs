@@ -11,6 +11,8 @@
 //!     [--detail full|no_schedule|estimate_only]
 //!     [--trace]                             # per-response stage traces +
 //!                                           # end-of-run stats scrape
+//!     [--session]                           # drive adaptive sessions
+//!                                           # instead of a request pool
 //!     [--assert-floor R]                    # exit 1 below R req/s
 //! loadgen --in-process ...                  # spawn a service internally
 //!     [--serial]                            # in-process service runs the
@@ -29,6 +31,12 @@
 //! `stats_consistency=` verdict from the end-of-run `stats` scrape) to the
 //! report. `--assert-floor` makes the run a CI gate: it fails when achieved
 //! throughput drops below the floor.
+//!
+//! `--session` switches to session mode: `--requests N` becomes the number
+//! of closed-loop adaptive sessions (flash-crowd scenario: structurally
+//! identical instances, scripted machine failure) driven over
+//! `--connections` concurrent connections, and the report gains revision
+//! latency and realized-makespan aggregates.
 //!
 //! Prints the latency/throughput report; with `--in-process` also prints the
 //! service-side metrics snapshot.
@@ -85,6 +93,7 @@ fn main() {
         });
     }
     config.trace = argv.iter().any(|a| a == "--trace");
+    config.session = argv.iter().any(|a| a == "--session");
     let assert_floor: Option<f64> = flag_value("--assert-floor").and_then(|v| v.parse().ok());
 
     let in_process = argv.iter().any(|a| a == "--in-process");

@@ -24,6 +24,12 @@
 //!   and pipelined stdin/stdout transports.
 //! * [`server`] — the TCP transport: a listener feeding a worker thread
 //!   pool, in serial (baseline) or pipelined (default) execution mode.
+//! * [`session`] — adaptive scheduling sessions: a client streams execution
+//!   feedback in (`completed`, `failed_machine`, `drift`) and streams
+//!   incremental schedule revisions out, each re-solved on the unfinished
+//!   suffix only and warm-started from the previous revision's basis. Also
+//!   hosts the `suu-sim`-backed closed-loop driver used by the loadgen's
+//!   `--session` mode and the `exp_adaptive` experiment.
 //! * [`loadgen`] — a load generator replaying `suu-workloads` scenarios in
 //!   closed-loop or open-loop (in-flight-capped) arrival mode, reporting
 //!   p50/p99 latency and requests/sec.
@@ -49,6 +55,7 @@ pub mod pipeline;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod session;
 pub mod solver;
 
 pub use cache::{CacheConfig, CachedSolve, ScheduleCache, ShardStats};
@@ -67,6 +74,10 @@ pub use protocol::{
 };
 pub use server::{spawn_tcp, ExecutionMode, ServiceHandle, TcpServerConfig};
 pub use service::{SchedulerService, ServiceConfig, StageContext};
+pub use session::{
+    drive_session, execute_oblivious, open_session_line, widen_schedule, DriveConfig, SessionEvent,
+    SessionRunReport, SessionState, SessionTable, SESSION_SOLVER,
+};
 pub use solver::{SolveOutput, Solver, SolverRegistry};
 
 /// FNV-1a over raw bytes — the crate's common content hash (interned request

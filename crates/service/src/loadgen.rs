@@ -27,9 +27,9 @@ use std::time::{Duration, Instant};
 use serde::Serialize;
 use suu_sim::{OnlineStats, SampleSet};
 use suu_workloads::{
-    bursty_multi_tenant_stream, deadline_burst_stream, grid_computing_instance,
-    project_management_instance, tenant_drift_stream, BurstConfig, DriftConfig, GridConfig,
-    ProjectConfig,
+    bursty_multi_tenant_stream, deadline_burst_stream, flash_crowd_sessions,
+    grid_computing_instance, project_management_instance, tenant_drift_stream, BurstConfig,
+    DriftConfig, GridConfig, ProjectConfig,
 };
 
 use serde::Value;
@@ -37,6 +37,7 @@ use serde::Value;
 use crate::protocol::{
     error_kind, scan_u64_field, Detail, EngineChoice, Request, Response, SolveOptions,
 };
+use crate::session::{drive_session, DriveConfig};
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +70,14 @@ pub struct LoadgenConfig {
     /// verb — the server-side latency attribution table in
     /// [`LoadReport::server_stages`].
     pub trace: bool,
+    /// Session mode: instead of replaying a request pool, drive
+    /// `total_requests` closed-loop adaptive *sessions* (the flash-crowd
+    /// scenario family: structurally identical instances, scripted early
+    /// machine failure) across `connections` concurrent TCP connections,
+    /// measuring revision latency and realized makespans. The pool-shaped
+    /// knobs (`target_rps`, `max_in_flight`, `deadline_ms`, `detail`,
+    /// `trace`, `collect_payloads`) are ignored in this mode.
+    pub session: bool,
     /// Seed for workload sampling.
     pub seed: u64,
 }
@@ -86,6 +95,7 @@ impl Default for LoadgenConfig {
             deadline_ms: None,
             detail: None,
             trace: false,
+            session: false,
             seed: 0x10AD,
         }
     }
@@ -191,6 +201,23 @@ pub struct LoadReport {
     /// [`LoadgenConfig::collect_payloads`] was set: two runs over the same
     /// pool produced identical payloads iff these vectors are equal.
     pub payloads: Option<Vec<String>>,
+    /// Session mode: adaptive sessions driven to completion (0 in pool
+    /// mode). In session mode `ok` counts sessions whose execution finished
+    /// within the step horizon and `errors` counts sessions that failed to
+    /// open or were cut off.
+    pub sessions: u64,
+    /// Session mode: schedule revisions received across all sessions.
+    pub revisions: u64,
+    /// Session mode: revisions whose suffix solve was warm-started.
+    pub revision_warm: u64,
+    /// Session mode: `unknown_session` errors observed (0 in a healthy run).
+    pub unknown_session: u64,
+    /// Session mode: median revision round-trip latency in microseconds.
+    pub revision_p50_us: f64,
+    /// Session mode: 99th-percentile revision round-trip latency.
+    pub revision_p99_us: f64,
+    /// Session mode: mean realized makespan (steps) over completed sessions.
+    pub realized_makespan_mean: f64,
 }
 
 impl LoadReport {
@@ -224,6 +251,19 @@ impl LoadReport {
             self.p99_micros,
             self.max_micros,
         );
+        if self.sessions > 0 {
+            out.push_str(&format!(
+                "\nsessions={} revisions={} revision_warm={} unknown_session={}\n\
+                 revision latency: p50={:.0}us p99={:.0}us; realized makespan mean={:.1} steps",
+                self.sessions,
+                self.revisions,
+                self.revision_warm,
+                self.unknown_session,
+                self.revision_p50_us,
+                self.revision_p99_us,
+                self.realized_makespan_mean,
+            ));
+        }
         if self.traced > 0 {
             out.push_str(&format!("\ntraced={}", self.traced));
         }
@@ -713,6 +753,9 @@ impl InFlightGate {
 /// Returns connection errors, a scenario error as `InvalidInput`, or the
 /// first worker I/O error.
 pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    if config.session {
+        return run_session_mode(config);
+    }
     let mut pool = build_request_pool(&config.scenario, config.total_requests, config.seed)
         .map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
     if let Some(options) = config.request_options() {
@@ -915,6 +958,178 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         server_stages,
         server_requests,
         payloads: config.collect_payloads.then_some(payloads),
+        sessions: 0,
+        revisions: 0,
+        revision_warm: 0,
+        unknown_session: 0,
+        revision_p50_us: 0.0,
+        revision_p99_us: 0.0,
+        realized_makespan_mean: 0.0,
+    })
+}
+
+/// Per-thread tally of the session mode.
+#[derive(Default)]
+struct SessionOutcome {
+    sent: u64,
+    completed: u64,
+    errors: u64,
+    revisions: u64,
+    warm: u64,
+    unknown_session: u64,
+    revision_latency: OnlineStats,
+    revision_samples: SampleSet,
+    realized: OnlineStats,
+}
+
+/// The session mode behind [`LoadgenConfig::session`]: `total_requests`
+/// flash-crowd sessions split round-robin over `connections` concurrent TCP
+/// connections, each driven closed-loop to completion by
+/// [`drive_session`] (execute a step, report completions and the scripted
+/// failure, install each revision). Because the flash-crowd instances repeat
+/// structurally, revisions across sessions warm-start from each other's
+/// cached bases — the cross-session warm-hit traffic the subsystem is
+/// designed around.
+fn run_session_mode(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    let total_sessions = config.total_requests.max(1);
+    let scenarios = flash_crowd_sessions(total_sessions, config.seed);
+    let connections = config.connections.max(1).min(total_sessions);
+    let outcomes: Arc<Mutex<Vec<SessionOutcome>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+
+    let mut handles = Vec::new();
+    for worker in 0..connections {
+        let assigned: Vec<_> = scenarios
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| k % connections == worker)
+            .map(|(k, sc)| (k, sc.clone()))
+            .collect();
+        let outcomes = Arc::clone(&outcomes);
+        let addr = config.addr.clone();
+        let seed = config.seed;
+        handles.push(std::thread::spawn(move || -> std::io::Result<()> {
+            let stream = TcpStream::connect(&addr)?;
+            stream.set_nodelay(true)?;
+            let mut reader = BufReader::new(stream.try_clone()?);
+            let mut writer = BufWriter::new(stream);
+            let mut outcome = SessionOutcome::default();
+            for (k, scenario) in assigned {
+                let drive = DriveConfig {
+                    seed: seed.wrapping_add(k as u64),
+                    max_steps: 10_000,
+                    report_completions: true,
+                    failures: scenario.failures.clone(),
+                    drifts: scenario.drifts.clone(),
+                };
+                let run = drive_session(&scenario.instance, &drive, |line| {
+                    outcome.sent += 1;
+                    writeln!(writer, "{line}").ok()?;
+                    writer.flush().ok()?;
+                    let mut reply = String::new();
+                    let n = reader.read_line(&mut reply).ok()?;
+                    (n > 0).then(|| reply.trim_end().to_string())
+                });
+                match run {
+                    Ok(report) => {
+                        if report.steps.is_some() {
+                            outcome.completed += 1;
+                        } else {
+                            outcome.errors += 1;
+                        }
+                        outcome.revisions += report.revisions;
+                        outcome.warm += report.warm_revisions;
+                        outcome.unknown_session += report.unknown_session_errors;
+                        for &micros in &report.revision_micros {
+                            outcome.revision_latency.push(micros as f64);
+                            outcome.revision_samples.push(micros as f64);
+                        }
+                        if let Some(steps) = report.steps {
+                            outcome.realized.push(steps as f64);
+                        }
+                    }
+                    Err(_) => outcome.errors += 1,
+                }
+            }
+            outcomes.lock().expect("outcomes poisoned").push(outcome);
+            Ok(())
+        }));
+    }
+
+    let mut first_error: Option<std::io::Error> = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(err)) => first_error = first_error.or(Some(err)),
+            Err(_) => {
+                first_error =
+                    first_error.or_else(|| Some(std::io::Error::other("session worker panicked")));
+            }
+        }
+    }
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut revision_latency = OnlineStats::new();
+    let mut revision_samples = SampleSet::new();
+    let mut realized = OnlineStats::new();
+    let (mut sent, mut completed, mut errors) = (0, 0, 0);
+    let (mut revisions, mut warm, mut unknown) = (0, 0, 0);
+    for outcome in outcomes.lock().expect("outcomes poisoned").iter() {
+        sent += outcome.sent;
+        completed += outcome.completed;
+        errors += outcome.errors;
+        revisions += outcome.revisions;
+        warm += outcome.warm;
+        unknown += outcome.unknown_session;
+        revision_latency.merge(&outcome.revision_latency);
+        revision_samples.merge(&outcome.revision_samples);
+        realized.merge(&outcome.realized);
+    }
+
+    Ok(LoadReport {
+        scenario: "session_flash_crowd".to_string(),
+        connections,
+        max_in_flight: 1,
+        sent,
+        ok: completed,
+        errors,
+        busy: 0,
+        expired: 0,
+        degraded: 0,
+        cache_hits: 0,
+        response_bytes: 0,
+        wall_secs,
+        achieved_rps: if wall_secs > 0.0 {
+            sent as f64 / wall_secs
+        } else {
+            0.0
+        },
+        target_rps: None,
+        mean_micros: revision_latency.mean(),
+        p50_micros: revision_samples.p50().unwrap_or(0.0),
+        p99_micros: revision_samples.p99().unwrap_or(0.0),
+        max_micros: if revision_latency.count() > 0 {
+            revision_latency.max()
+        } else {
+            0.0
+        },
+        traced: 0,
+        warm_responses: 0,
+        server_warm_hits: None,
+        client_stages: Vec::new(),
+        server_stages: Vec::new(),
+        server_requests: None,
+        payloads: None,
+        sessions: total_sessions as u64,
+        revisions,
+        revision_warm: warm,
+        unknown_session: unknown,
+        revision_p50_us: revision_samples.p50().unwrap_or(0.0),
+        revision_p99_us: revision_samples.p99().unwrap_or(0.0),
+        realized_makespan_mean: realized.mean(),
     })
 }
 
@@ -1206,6 +1421,13 @@ mod tests {
             server_stages: Vec::new(),
             server_requests: None,
             payloads: None,
+            sessions: 0,
+            revisions: 0,
+            revision_warm: 0,
+            unknown_session: 0,
+            revision_p50_us: 0.0,
+            revision_p99_us: 0.0,
+            realized_makespan_mean: 0.0,
         };
         let text = report.render();
         assert!(text.contains("200.0 req/s"));
@@ -1259,6 +1481,13 @@ mod tests {
             server_stages: vec![stage("solve", 5), stage("render", 5)],
             server_requests: Some(5),
             payloads: None,
+            sessions: 0,
+            revisions: 0,
+            revision_warm: 0,
+            unknown_session: 0,
+            revision_p50_us: 0.0,
+            revision_p99_us: 0.0,
+            realized_makespan_mean: 0.0,
         };
         let text = report.render();
         assert!(text.contains("traced=5"));
@@ -1267,6 +1496,54 @@ mod tests {
         assert!(text.contains("stats_consistency=ok server_requests=5 solve_stage_count=5"));
         report.server_requests = Some(7);
         assert!(report.render().contains("stats_consistency=mismatch"));
+    }
+
+    #[test]
+    fn render_appends_session_aggregates_in_session_mode() {
+        let mut report = LoadReport {
+            scenario: "session_flash_crowd".to_string(),
+            connections: 2,
+            max_in_flight: 1,
+            sent: 40,
+            ok: 4,
+            errors: 0,
+            busy: 0,
+            expired: 0,
+            degraded: 0,
+            cache_hits: 0,
+            response_bytes: 0,
+            wall_secs: 1.0,
+            achieved_rps: 40.0,
+            target_rps: None,
+            mean_micros: 500.0,
+            p50_micros: 400.0,
+            p99_micros: 2000.0,
+            max_micros: 2500.0,
+            traced: 0,
+            warm_responses: 0,
+            server_warm_hits: None,
+            client_stages: Vec::new(),
+            server_stages: Vec::new(),
+            server_requests: None,
+            payloads: None,
+            sessions: 4,
+            revisions: 12,
+            revision_warm: 9,
+            unknown_session: 0,
+            revision_p50_us: 400.0,
+            revision_p99_us: 2000.0,
+            realized_makespan_mean: 17.5,
+        };
+        let text = report.render();
+        // The greppable session line the CI smoke checks rely on.
+        assert!(text.contains("sessions=4 revisions=12 revision_warm=9 unknown_session=0"));
+        assert!(text.contains("realized makespan mean=17.5 steps"));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("revision_p99_us"));
+        assert!(json.contains("realized_makespan_mean"));
+        // Pool-mode reports stay free of the session line.
+        report.sessions = 0;
+        assert!(!report.render().contains("revision latency"));
     }
 
     #[test]

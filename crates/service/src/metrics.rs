@@ -74,6 +74,28 @@ pub struct ServiceMetrics {
     /// Distribution of sampled queue depths (one sample per accepted
     /// submission).
     queue_depth_samples: AtomicHistogram,
+    /// Sessions opened via the `open_session` verb.
+    sessions_opened: AtomicU64,
+    /// Sessions closed explicitly via `close_session`.
+    sessions_closed: AtomicU64,
+    /// Sessions evicted without a close: client disconnect or idle TTL.
+    sessions_evicted: AtomicU64,
+    /// Schedule revisions served to sessions (the `open_session` revision 0
+    /// and every `session_event` re-solve).
+    revisions: AtomicU64,
+    /// Revisions whose suffix re-solve started from a cached donor basis.
+    /// Always a subset of `revisions`; the per-revision warm-hit rate is
+    /// `revision_warm_hits / revisions`.
+    revision_warm_hits: AtomicU64,
+    /// Events or closes naming a session the table does not hold (answered
+    /// with the structured `unknown_session` error kind).
+    unknown_session: AtomicU64,
+    /// End-to-end latency of serving one session revision (event apply +
+    /// suffix re-solve + schedule translation), in microseconds. A separate
+    /// histogram rather than a new [`Stage`]: session verbs never enter the
+    /// request pipeline whose stage vocabulary is pinned by the stats-verb
+    /// consistency contract.
+    revision_latency: AtomicHistogram,
 }
 
 impl Default for ServiceMetrics {
@@ -104,6 +126,13 @@ impl ServiceMetrics {
             queue_depth: AtomicU64::new(0),
             queue_capacity: AtomicU64::new(0),
             queue_depth_samples: AtomicHistogram::new(),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            revisions: AtomicU64::new(0),
+            revision_warm_hits: AtomicU64::new(0),
+            unknown_session: AtomicU64::new(0),
+            revision_latency: AtomicHistogram::new(),
         }
     }
 
@@ -179,6 +208,39 @@ impl ServiceMetrics {
         self.expired_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one session opened via `open_session`.
+    pub fn record_session_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one session closed explicitly via `close_session`.
+    pub fn record_session_closed(&self) {
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `count` sessions evicted without a close (disconnect or idle
+    /// TTL).
+    pub fn record_sessions_evicted(&self, count: u64) {
+        if count > 0 {
+            self.sessions_evicted.fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one schedule revision served to a session, its end-to-end
+    /// latency, and whether its suffix re-solve started warm.
+    pub fn record_revision(&self, micros: u64, warm: bool) {
+        self.revisions.fetch_add(1, Ordering::Relaxed);
+        if warm {
+            self.revision_warm_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.revision_latency.record(micros);
+    }
+
+    /// Records one event or close that named an unknown session.
+    pub fn record_unknown_session(&self) {
+        self.unknown_session.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of schedules actually computed by a solver so far.
     #[must_use]
     pub fn fresh_solves(&self) -> u64 {
@@ -213,6 +275,42 @@ impl ServiceMetrics {
     #[must_use]
     pub fn expired_dropped(&self) -> u64 {
         self.expired_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of sessions opened so far.
+    #[must_use]
+    pub fn sessions_opened(&self) -> u64 {
+        self.sessions_opened.load(Ordering::Relaxed)
+    }
+
+    /// Number of sessions closed explicitly so far.
+    #[must_use]
+    pub fn sessions_closed(&self) -> u64 {
+        self.sessions_closed.load(Ordering::Relaxed)
+    }
+
+    /// Number of sessions evicted (disconnect or idle TTL) so far.
+    #[must_use]
+    pub fn sessions_evicted(&self) -> u64 {
+        self.sessions_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Number of schedule revisions served to sessions so far.
+    #[must_use]
+    pub fn revisions(&self) -> u64 {
+        self.revisions.load(Ordering::Relaxed)
+    }
+
+    /// Number of revisions whose suffix re-solve started warm so far.
+    #[must_use]
+    pub fn revision_warm_hits(&self) -> u64 {
+        self.revision_warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of unknown-session rejections so far.
+    #[must_use]
+    pub fn unknown_session(&self) -> u64 {
+        self.unknown_session.load(Ordering::Relaxed)
     }
 
     /// Microseconds since this metrics block was created.
@@ -253,6 +351,13 @@ impl ServiceMetrics {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_capacity: self.queue_capacity.load(Ordering::Relaxed),
             queue_depth_samples: self.queue_depth_samples.snapshot(),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            revisions: self.revisions.load(Ordering::Relaxed),
+            revision_warm_hits: self.revision_warm_hits.load(Ordering::Relaxed),
+            unknown_session: self.unknown_session.load(Ordering::Relaxed),
+            revision_latency: self.revision_latency.snapshot(),
         }
     }
 }
@@ -301,6 +406,20 @@ pub struct MetricsSnapshot {
     pub queue_capacity: u64,
     /// Distribution of queue-depth samples (one per accepted submission).
     pub queue_depth_samples: HistogramSnapshot,
+    /// Sessions opened via `open_session`.
+    pub sessions_opened: u64,
+    /// Sessions closed explicitly via `close_session`.
+    pub sessions_closed: u64,
+    /// Sessions evicted without a close (disconnect or idle TTL).
+    pub sessions_evicted: u64,
+    /// Schedule revisions served to sessions.
+    pub revisions: u64,
+    /// Revisions whose suffix re-solve started warm; ≤ `revisions`.
+    pub revision_warm_hits: u64,
+    /// Events/closes that named an unknown session.
+    pub unknown_session: u64,
+    /// Distribution of per-revision serving latency in microseconds.
+    pub revision_latency: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -340,6 +459,25 @@ impl MetricsSnapshot {
             "warm_hits={} unknown_base={}\n",
             self.warm_hits, self.unknown_base
         ));
+        out.push_str(&format!(
+            "sessions_opened={} sessions_closed={} sessions_evicted={} \
+             revisions={} revision_warm_hits={} unknown_session={}\n",
+            self.sessions_opened,
+            self.sessions_closed,
+            self.sessions_evicted,
+            self.revisions,
+            self.revision_warm_hits,
+            self.unknown_session
+        ));
+        if self.revision_latency.count() > 0 {
+            out.push_str(&format!(
+                "revision_latency: n={} mean={:.1}us p50={}us p99={}us\n",
+                self.revision_latency.count(),
+                self.revision_latency.mean(),
+                self.revision_latency.p50(),
+                self.revision_latency.p99()
+            ));
+        }
         if self.queue_capacity > 0 {
             out.push_str(&format!(
                 "queue_depth={}/{} depth_p99={}\n",
@@ -460,6 +598,39 @@ mod tests {
             !text.contains("stage render"),
             "empty stages are not rendered: {text}"
         );
+    }
+
+    #[test]
+    fn session_counters_and_revision_histogram_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record_session_opened();
+        m.record_session_opened();
+        m.record_session_closed();
+        m.record_sessions_evicted(0); // no-op
+        m.record_sessions_evicted(1);
+        m.record_revision(120, true);
+        m.record_revision(80, false);
+        m.record_revision(200, true);
+        m.record_unknown_session();
+        assert_eq!(m.sessions_opened(), 2);
+        assert_eq!(m.sessions_closed(), 1);
+        assert_eq!(m.sessions_evicted(), 1);
+        assert_eq!(m.revisions(), 3);
+        assert_eq!(m.revision_warm_hits(), 2);
+        assert_eq!(m.unknown_session(), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.sessions_opened, 2);
+        assert_eq!(snap.revisions, 3);
+        assert_eq!(snap.revision_warm_hits, 2);
+        assert_eq!(snap.unknown_session, 1);
+        assert_eq!(snap.revision_latency.count(), 3);
+        let text = snap.render();
+        assert!(text.contains("sessions_opened=2"), "render: {text}");
+        assert!(text.contains("sessions_evicted=1"), "render: {text}");
+        assert!(text.contains("revisions=3"), "render: {text}");
+        assert!(text.contains("revision_warm_hits=2"), "render: {text}");
+        assert!(text.contains("unknown_session=1"), "render: {text}");
+        assert!(text.contains("revision_latency: n=3"), "render: {text}");
     }
 
     #[test]

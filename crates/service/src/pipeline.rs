@@ -25,7 +25,7 @@
 //! client (one request in flight) degenerates to flush-per-response, which
 //! is exactly the latency-optimal behaviour it needs.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -33,7 +33,9 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::obs::Stage;
-use crate::protocol::{error_kind, scan_deadline, scan_request_id, Request, Response};
+use crate::protocol::{
+    error_kind, scan_deadline, scan_request_id, scan_u64_field, Request, Response,
+};
 use crate::service::{SchedulerService, StageContext};
 
 /// Sizing of the pipelined executor.
@@ -234,8 +236,22 @@ pub struct Job {
     /// recomputes it from the same fields). Solver threads drop jobs whose
     /// deadline has passed at dequeue, without parsing or solving.
     deadline: Option<Instant>,
+    /// Session id scanned from the raw line, when present. Jobs carrying the
+    /// same session id are executed one at a time in submission order (a
+    /// session is a state machine — its revisions must not race), while jobs
+    /// of distinct sessions still fan out across the pool.
+    session: Option<u64>,
     sink: Arc<ResponseSink>,
     _in_flight: InFlight,
+}
+
+/// Stable per-connection token derived from the sink's allocation: even and
+/// nonzero (`Arc` payloads are aligned), so it can never collide with the
+/// serial transport's odd tokens or the anonymous token 0. Used to group a
+/// connection's sessions for disconnect eviction.
+#[must_use]
+pub fn sink_conn_token(sink: &Arc<ResponseSink>) -> u64 {
+    Arc::as_ptr(sink) as usize as u64
 }
 
 impl Job {
@@ -251,6 +267,7 @@ impl Job {
             id_hint,
             accepted_at,
             deadline,
+            session: None,
             sink: Arc::clone(sink),
             _in_flight: sink.begin(),
         }
@@ -264,11 +281,13 @@ impl Job {
         let accepted_at = Instant::now();
         let id_hint = scan_request_id(&line);
         let deadline = scan_deadline(&line, accepted_at);
+        let session = scan_u64_field(&line, "\"session\":");
         Self {
             payload: JobPayload::Line(line),
             id_hint,
             accepted_at,
             deadline,
+            session,
             sink: Arc::clone(sink),
             _in_flight: sink.begin(),
         }
@@ -297,6 +316,11 @@ impl Job {
 struct QueueState {
     jobs: VecDeque<Job>,
     closed: bool,
+    /// Sessions with a job currently *executing* on some solver thread.
+    /// Dequeue skips jobs of an active session, so one session's events are
+    /// applied strictly in submission order while distinct sessions still
+    /// run concurrently.
+    active_sessions: HashSet<u64>,
 }
 
 struct PoolShared {
@@ -366,6 +390,7 @@ impl SolverPool {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
+                active_sessions: HashSet::new(),
             }),
             available: Condvar::new(),
             capacity: config.queue_capacity.max(1),
@@ -419,23 +444,54 @@ impl Drop for SolverPool {
     }
 }
 
+/// Marks `session` idle again and wakes the pool (a gated job of that
+/// session may now be runnable). No-op for sessionless jobs.
+fn release_session(shared: &PoolShared, session: Option<u64>) {
+    let Some(session) = session else { return };
+    let mut state = shared.state.lock().expect("solve queue poisoned");
+    state.active_sessions.remove(&session);
+    drop(state);
+    shared.available.notify_all();
+}
+
 fn solver_loop(shared: &PoolShared, service: &SchedulerService) {
     loop {
         let job = {
             let mut state = shared.state.lock().expect("solve queue poisoned");
             loop {
-                if let Some(job) = state.jobs.pop_front() {
+                // First job whose session (if any) is not already executing.
+                // Sessionless jobs keep the old FIFO behaviour; a gated job
+                // blocks only its own session's later jobs, never the queue.
+                let pos = {
+                    let QueueState {
+                        jobs,
+                        active_sessions,
+                        ..
+                    } = &mut *state;
+                    jobs.iter().position(|job| {
+                        job.session
+                            .is_none_or(|session| !active_sessions.contains(&session))
+                    })
+                };
+                if let Some(pos) = pos {
+                    let job = state.jobs.remove(pos).expect("position was just found");
+                    if let Some(session) = job.session {
+                        state.active_sessions.insert(session);
+                    }
                     break job;
                 }
-                if state.closed {
+                if state.closed && state.jobs.is_empty() {
                     return;
                 }
+                // Empty, or every queued job is gated behind an executing
+                // session — its solver thread will notify on release.
                 state = shared
                     .available
                     .wait(state)
                     .expect("solve queue poisoned while waiting");
             }
         };
+        let session = job.session;
         // Deadline check at dequeue: a job that expired while queued is
         // answered immediately and never reaches a solver — the whole point
         // of deadline-aware admission. Counted like `busy` (answered but not
@@ -449,6 +505,7 @@ fn solver_loop(shared: &PoolShared, service: &SchedulerService) {
             );
             let line = serde_json::to_string(&failure).expect("responses always serialise");
             job.respond_line(&line);
+            release_session(shared, session);
             continue;
         }
         let queue_us = u64::try_from(job.accepted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -456,6 +513,7 @@ fn solver_loop(shared: &PoolShared, service: &SchedulerService) {
         let ctx = StageContext {
             queue_us,
             flush_us: job.sink.last_flush_us(),
+            conn: sink_conn_token(&job.sink),
         };
         let line = match &job.payload {
             JobPayload::Line(raw) => {
@@ -473,6 +531,9 @@ fn solver_loop(shared: &PoolShared, service: &SchedulerService) {
             Stage::Flush,
             u64::try_from(flush_start.elapsed().as_micros()).unwrap_or(u64::MAX),
         );
+        // The response is written: the session's next queued event (if any)
+        // becomes eligible only now, preserving per-session revision order.
+        release_session(shared, session);
     }
 }
 

@@ -764,6 +764,11 @@ pub mod error_kind {
     /// job or machine index, probability out of range, duplicate edit, or an
     /// edge that would create a cycle. Nothing was solved.
     pub const INVALID_DELTA: &str = "invalid_delta";
+    /// A `session_event` or `close_session` named a session id the service
+    /// does not hold: never opened, already closed, or evicted (client
+    /// disconnect or idle TTL). The event was **not** applied; the client
+    /// should open a fresh session — the connection survives.
+    pub const UNKNOWN_SESSION: &str = "unknown_session";
 }
 
 /// What a budgeted solve ran out of, carried in [`Response::budget`] on

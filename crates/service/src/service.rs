@@ -20,6 +20,7 @@ use crate::protocol::{
     digest_from_wire, error_kind, scan_request_id, BudgetReport, CachePolicy, Detail, Request,
     Response, SolveFailure, SolveOptions, TraceReport,
 };
+use crate::session::{widen_schedule, SessionEvent, SessionState, SessionTable, SESSION_SOLVER};
 use crate::solver::{Solver, SolverRegistry};
 use serde::{Deserialize, Serialize, Value};
 
@@ -100,6 +101,57 @@ pub struct StageContext {
     pub queue_us: u64,
     /// Microseconds of the connection's most recent write-side flush.
     pub flush_us: u64,
+    /// Opaque connection token grouping session verbs for disconnect
+    /// eviction (0 = anonymous: sessions opened this way only expire by
+    /// idle TTL).
+    pub conn: u64,
+}
+
+/// Serialises a protocol [`Response`] to its wire line (no trailing `\n`).
+fn render_response(response: &Response) -> String {
+    serde_json::to_string(response).expect("responses always serialise")
+}
+
+/// The `unknown_session` failure shared by `session_event` and
+/// `close_session`: the id was never opened, was closed, or was evicted
+/// (disconnect or idle TTL) — the wire cannot distinguish the three.
+fn unknown_session_failure(id: u64, session: u64) -> Response {
+    Response::failure_with(
+        id,
+        error_kind::UNKNOWN_SESSION,
+        format!("unknown session {session}: never opened, closed, or evicted"),
+    )
+}
+
+/// Renders a session revision (or terminal `done`) reply. `schedule` is
+/// absent exactly when the session is finished — there is nothing left to
+/// schedule.
+fn session_reply(
+    id: u64,
+    session: u64,
+    state: &SessionState,
+    schedule: Option<(&suu_core::ObliviousSchedule, bool)>,
+) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Value::Number(id as f64)),
+        ("ok".to_string(), Value::Bool(true)),
+        ("session".to_string(), Value::Number(session as f64)),
+        ("revision".to_string(), Value::Number(state.revision as f64)),
+        ("done".to_string(), Value::Bool(state.done)),
+        (
+            "unfinished".to_string(),
+            Value::Number(state.job_map.len() as f64),
+        ),
+        (
+            "completed".to_string(),
+            Value::Number(state.completed as f64),
+        ),
+    ];
+    if let Some((schedule, warm)) = schedule {
+        fields.push(("warm".to_string(), Value::Bool(warm)));
+        fields.push(("schedule".to_string(), schedule.to_value()));
+    }
+    Value::Object(fields).render()
 }
 
 /// The successful end of the validate → dispatch → lookup/solve flow.
@@ -138,6 +190,13 @@ pub struct ServiceConfig {
     /// so this is safe to leave on; the switch exists so benchmarks can
     /// measure the warm-vs-cold speedup at equal payloads.
     pub warm_starts: bool,
+    /// Cap on concurrently open adaptive sessions; opens beyond it are
+    /// rejected with a structured `busy` error.
+    pub max_sessions: usize,
+    /// Idle TTL for sessions, milliseconds: a session untouched for longer
+    /// is evicted on the next session verb (leak protection for clients
+    /// that neither close nor disconnect).
+    pub session_idle_ttl_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -149,6 +208,8 @@ impl Default for ServiceConfig {
             max_estimate_trials: 1_000,
             estimate_max_steps: 100_000,
             warm_starts: true,
+            max_sessions: 1_024,
+            session_idle_ttl_ms: 300_000,
         }
     }
 }
@@ -160,6 +221,7 @@ pub struct SchedulerService {
     cache: ScheduleCache,
     flight: SingleFlight,
     metrics: ServiceMetrics,
+    sessions: SessionTable,
     config: ServiceConfig,
     line_cache: Mutex<LineCache>,
 }
@@ -218,6 +280,7 @@ impl SchedulerService {
             cache: ScheduleCache::new(&config.cache),
             flight: SingleFlight::new(),
             metrics: ServiceMetrics::new(),
+            sessions: SessionTable::new(config.max_sessions, config.session_idle_ttl_ms),
             config,
             line_cache: Mutex::new(LineCache::default()),
         }
@@ -239,6 +302,12 @@ impl SchedulerService {
     #[must_use]
     pub fn registry(&self) -> &SolverRegistry {
         &self.registry
+    }
+
+    /// The adaptive-session table (for inspection in tests).
+    #[must_use]
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
     }
 
     /// Handles one request end to end: validate, dispatch, consult the
@@ -625,7 +694,7 @@ impl SchedulerService {
         accepted_at: Instant,
         ctx: StageContext,
     ) -> String {
-        if let Some(reply) = self.try_handle_verb(line) {
+        if let Some(reply) = self.try_handle_verb(line, ctx.conn) {
             return reply;
         }
         let parse_start = Instant::now();
@@ -981,11 +1050,20 @@ impl SchedulerService {
     /// Handles one raw NDJSON line. Parse failures yield an error response
     /// (with the line's `"id"` scanned out best-effort, 0 when absent)
     /// rather than tearing the connection down. Lines carrying a `verb`
-    /// field are protocol commands (`stats`), answered without entering the
-    /// scheduling path.
+    /// field are protocol commands (`stats` and the session verbs),
+    /// answered without entering the scheduling path. Sessions opened
+    /// through this entry point are anonymous (conn token 0): they expire by
+    /// idle TTL, not by disconnect.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> String {
-        if let Some(reply) = self.try_handle_verb(line) {
+        self.handle_line_with_conn(line, 0)
+    }
+
+    /// [`handle_line`](Self::handle_line) with an explicit connection token
+    /// for session ownership — the serial transports pass a per-connection
+    /// token so sessions die with their connection.
+    fn handle_line_with_conn(&self, line: &str, conn: u64) -> String {
+        if let Some(reply) = self.try_handle_verb(line, conn) {
             return reply;
         }
         let parse_start = Instant::now();
@@ -1020,8 +1098,10 @@ impl SchedulerService {
     /// Returns `None` for ordinary scheduling requests — a line only counts
     /// as a command when it parses as JSON *and* carries a `verb` key.
     /// Commands are answered but, like protocol noise, never counted in the
-    /// `requests` metric (see [`ServiceMetrics`]).
-    fn try_handle_verb(&self, line: &str) -> Option<String> {
+    /// `requests` metric (see [`ServiceMetrics`]). `conn` is the transport's
+    /// connection token, owning any session opened by the line (0 =
+    /// anonymous).
+    fn try_handle_verb(&self, line: &str, conn: u64) -> Option<String> {
         if !line.contains("\"verb\"") {
             return None;
         }
@@ -1036,15 +1116,327 @@ impl SchedulerService {
             .unwrap_or(0);
         match verb.as_str() {
             "stats" => Some(self.stats_response_line(id)),
+            "open_session" => Some(self.open_session_response(id, &value, conn)),
+            "session_event" => Some(self.session_event_response(id, &value)),
+            "close_session" => Some(self.close_session_response(id, &value)),
             other => {
                 let failure = Response::failure_with(
                     id,
                     error_kind::BAD_REQUEST,
-                    format!("unknown verb `{other}`; supported: stats"),
+                    format!(
+                        "unknown verb `{other}`; supported: stats, open_session, \
+                         session_event, close_session"
+                    ),
                 );
                 Some(serde_json::to_string(&failure).expect("responses always serialise"))
             }
         }
+    }
+
+    /// Idle-TTL housekeeping, run opportunistically on every session verb.
+    fn sweep_sessions(&self) {
+        let evicted = self.sessions.sweep_idle();
+        self.metrics.record_sessions_evicted(evicted);
+    }
+
+    /// Evicts every session owned by connection token `conn` — called by the
+    /// transports when a connection ends (EOF or error), so sessions die
+    /// with their client instead of leaking until the idle TTL.
+    pub fn evict_connection_sessions(&self, conn: u64) {
+        let evicted = self.sessions.evict_connection(conn);
+        self.metrics.record_sessions_evicted(evicted);
+    }
+
+    /// The session revision solve: forced `SUU-C` (the warm-capable solver
+    /// class) through the normal cache + warm-start path, unbudgeted,
+    /// variant 0 — repeated suffixes cache-hit and structural repeats
+    /// warm-start from the previous revision's basis.
+    #[allow(clippy::result_large_err)]
+    fn solve_session_instance(
+        &self,
+        id: u64,
+        instance: &SuuInstance,
+    ) -> Result<CachedSolve, Response> {
+        let Some(solver) = self.registry.by_name(SESSION_SOLVER) else {
+            return Err(Response::failure(
+                id,
+                format!("session solver `{SESSION_SOLVER}` is not registered"),
+            ));
+        };
+        if !solver.supports(instance) {
+            return Err(Response::failure(
+                id,
+                "sessions require independent jobs or disjoint chains \
+                 (the warm-start-capable SUU-C class)",
+            ));
+        }
+        // Sessions pin the revised engine: it is the only simplex that
+        // captures and consumes warm-start bases, and `Auto` would route
+        // session-sized suffixes to the dense tableau (every revision cold).
+        // Variant 2 matches an explicit `engine: revised` solve request, so
+        // the cache keys stay consistent with the request path.
+        let directives = Directives {
+            limits: LpBudget {
+                engine: suu_lp::Engine::Revised,
+                ..LpBudget::default()
+            },
+            cache: CachePolicy::Default,
+            detail: Detail::Full,
+            variant: 2,
+        };
+        match self.lookup_or_solve(instance, solver, &directives, false) {
+            Ok((solved, _)) => Ok(solved),
+            Err(failure) => Err(Response::from_failure(id, &failure)),
+        }
+    }
+
+    /// Answers `open_session`: validate the inline instance, solve it
+    /// (revision 0), register the session and return the schedule.
+    fn open_session_response(&self, id: u64, value: &Value, conn: u64) -> String {
+        self.sweep_sessions();
+        let request = match Request::from_value(value) {
+            Ok(request) => request,
+            Err(err) => {
+                return render_response(&Response::failure_with(
+                    id,
+                    error_kind::BAD_REQUEST,
+                    format!("bad open_session: {err}"),
+                ))
+            }
+        };
+        if request
+            .num_jobs
+            .saturating_mul(request.num_machines)
+            .max(request.probs.len())
+            > self.config.max_cells
+        {
+            return render_response(&Response::failure(
+                id,
+                format!(
+                    "instance too large: {} x {} exceeds the {}-cell service limit",
+                    request.num_jobs, request.num_machines, self.config.max_cells
+                ),
+            ));
+        }
+        let instance = match request.to_instance() {
+            Ok(instance) => instance,
+            Err(message) => return render_response(&Response::failure(id, message)),
+        };
+        let start = Instant::now();
+        let solved = match self.solve_session_instance(id, &instance) {
+            Ok(solved) => solved,
+            Err(failure) => return render_response(&failure),
+        };
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.record_revision(micros, solved.lp_warm);
+        let unfinished = instance.num_jobs() as u64;
+        let machines = instance.num_machines() as u64;
+        let Some(session) = self.sessions.open(conn, SessionState::new(instance)) else {
+            return render_response(&Response::failure_with(
+                id,
+                error_kind::BUSY,
+                format!(
+                    "session table full ({} open); close or wait for the idle TTL",
+                    self.config.max_sessions
+                ),
+            ));
+        };
+        self.metrics.record_session_opened();
+        Value::Object(vec![
+            ("id".to_string(), Value::Number(id as f64)),
+            ("ok".to_string(), Value::Bool(true)),
+            ("session".to_string(), Value::Number(session as f64)),
+            ("revision".to_string(), Value::Number(0.0)),
+            ("done".to_string(), Value::Bool(false)),
+            ("unfinished".to_string(), Value::Number(unfinished as f64)),
+            ("warm".to_string(), Value::Bool(solved.lp_warm)),
+            (
+                "solver".to_string(),
+                Value::String(SESSION_SOLVER.to_string()),
+            ),
+            ("machines".to_string(), Value::Number(machines as f64)),
+            ("schedule".to_string(), solved.schedule.to_value()),
+        ])
+        .render()
+    }
+
+    /// Answers `session_event`: apply the feedback to the session's suffix
+    /// (completions restrict, a failed machine drains, a drift re-prices),
+    /// re-solve warm, and return the next revision. Errors leave the session
+    /// state unchanged (the event is *not* half-applied).
+    fn session_event_response(&self, id: u64, value: &Value) -> String {
+        self.sweep_sessions();
+        let event = match SessionEvent::parse(value) {
+            Ok(event) => event,
+            Err(message) => {
+                return render_response(&Response::failure_with(
+                    id,
+                    error_kind::BAD_REQUEST,
+                    message,
+                ))
+            }
+        };
+        let Some(entry) = self.sessions.get(event.session) else {
+            self.metrics.record_unknown_session();
+            return render_response(&unknown_session_failure(id, event.session));
+        };
+        // Events within a session serialise on the state lock; the pipelined
+        // executor additionally keeps a session's events in submission order
+        // (see `pipeline.rs`), so revisions are strictly ordered.
+        let mut state = entry.lock();
+        state.events += 1;
+        if let Some(step) = event.step {
+            state.realized_steps = state.realized_steps.max(step);
+        }
+        if state.done {
+            return session_reply(id, event.session, &state, None);
+        }
+        // 1. Completions: drop reported jobs from the suffix. Ids that are
+        //    unknown or already reported are ignored — completion reports
+        //    are idempotent, so a client may safely repeat them.
+        let mut keep: Vec<usize> = (0..state.job_map.len()).collect();
+        if !event.completed.is_empty() {
+            keep.retain(|&k| !event.completed.contains(&state.job_map[k].0));
+        }
+        let newly_done = (state.job_map.len() - keep.len()) as u64;
+        if keep.is_empty() {
+            state.completed += newly_done;
+            state.job_map.clear();
+            state.done = true;
+            return session_reply(id, event.session, &state, None);
+        }
+        // 2. Candidate suffix: restrict to the survivors, then drain/drift
+        //    as one delta (set_prob addresses pre-drain machine indices).
+        let keep_session: Vec<suu_core::JobId> = keep.iter().map(|&k| suu_core::JobId(k)).collect();
+        let (restricted, _) = state.current.restrict_to_jobs(&keep_session);
+        let next_job_map: Vec<suu_core::JobId> = keep.iter().map(|&k| state.job_map[k]).collect();
+        let mut delta = suu_core::InstanceDelta::default();
+        let mut drained_at = None;
+        if let Some(machine) = event.failed_machine {
+            let Some(pos) = state.machine_map.iter().position(|&m| m == machine) else {
+                return render_response(&Response::failure_with(
+                    id,
+                    error_kind::INVALID_DELTA,
+                    format!(
+                        "failed_machine {machine} is not active in session {}",
+                        event.session
+                    ),
+                ));
+            };
+            delta.drain_machine = Some(pos);
+            drained_at = Some(pos);
+        }
+        if let Some(drift) = event.drift {
+            let Some(mpos) = state.machine_map.iter().position(|&m| m == drift.machine) else {
+                return render_response(&Response::failure_with(
+                    id,
+                    error_kind::INVALID_DELTA,
+                    format!(
+                        "drift machine {} is not active in the session",
+                        drift.machine
+                    ),
+                ));
+            };
+            let Some(jpos) = next_job_map.iter().position(|j| j.0 == drift.job) else {
+                return render_response(&Response::failure_with(
+                    id,
+                    error_kind::INVALID_DELTA,
+                    format!("drift job {} is not unfinished in the session", drift.job),
+                ));
+            };
+            delta.set_prob.push((mpos, jpos, drift.p));
+        }
+        let candidate = if delta.is_empty() {
+            restricted
+        } else {
+            match restricted.apply_delta(&delta) {
+                Ok(candidate) => candidate,
+                Err(err) => {
+                    return render_response(&Response::failure_with(
+                        id,
+                        error_kind::INVALID_DELTA,
+                        format!("invalid session delta: {err}"),
+                    ))
+                }
+            }
+        };
+        // 3. Solve the suffix and commit; a solver failure leaves the old
+        //    revision (and state) in place.
+        let start = Instant::now();
+        let solved = match self.solve_session_instance(id, &candidate) {
+            Ok(solved) => solved,
+            Err(failure) => return render_response(&failure),
+        };
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.record_revision(micros, solved.lp_warm);
+        state.completed += newly_done;
+        state.current = candidate;
+        state.job_map = next_job_map;
+        if let Some(pos) = drained_at {
+            state.machine_map.remove(pos);
+        }
+        state.revision += 1;
+        if solved.lp_warm {
+            state.warm_hits += 1;
+        }
+        let wide = widen_schedule(
+            &solved.schedule,
+            &state.machine_map,
+            &state.job_map,
+            state.original_machines,
+        );
+        session_reply(id, event.session, &state, Some((&wide, solved.lp_warm)))
+    }
+
+    /// Answers `close_session`: drop the session and return its final
+    /// summary (revisions, warm hits, events, realized steps, completions).
+    fn close_session_response(&self, id: u64, value: &Value) -> String {
+        self.sweep_sessions();
+        let Some(session) = value.get("session").and_then(|v| u64::from_value(v).ok()) else {
+            return render_response(&Response::failure_with(
+                id,
+                error_kind::BAD_REQUEST,
+                "close_session requires a numeric `session` field",
+            ));
+        };
+        let Some(entry) = self.sessions.close(session) else {
+            self.metrics.record_unknown_session();
+            return render_response(&unknown_session_failure(id, session));
+        };
+        self.metrics.record_session_closed();
+        let state = entry.lock();
+        Value::Object(vec![
+            ("id".to_string(), Value::Number(id as f64)),
+            ("ok".to_string(), Value::Bool(true)),
+            ("session".to_string(), Value::Number(session as f64)),
+            (
+                "summary".to_string(),
+                Value::Object(vec![
+                    (
+                        "revisions".to_string(),
+                        Value::Number(state.revision as f64),
+                    ),
+                    (
+                        "warm_hits".to_string(),
+                        Value::Number(state.warm_hits as f64),
+                    ),
+                    ("events".to_string(), Value::Number(state.events as f64)),
+                    (
+                        "realized_steps".to_string(),
+                        Value::Number(state.realized_steps as f64),
+                    ),
+                    (
+                        "completed".to_string(),
+                        Value::Number(state.completed as f64),
+                    ),
+                    (
+                        "unfinished".to_string(),
+                        Value::Number(state.job_map.len() as f64),
+                    ),
+                ]),
+            ),
+        ])
+        .render()
     }
 
     /// Renders the `stats` verb response: `{"id": N, "ok": true, "stats":
@@ -1153,6 +1545,25 @@ impl SchedulerService {
                 "flight_in_flight".to_string(),
                 self.flight.in_flight().to_value(),
             ),
+            (
+                "sessions".to_string(),
+                Value::Object(vec![
+                    ("open".to_string(), (self.sessions.len() as u64).to_value()),
+                    ("opened".to_string(), snap.sessions_opened.to_value()),
+                    ("closed".to_string(), snap.sessions_closed.to_value()),
+                    ("evicted".to_string(), snap.sessions_evicted.to_value()),
+                    ("revisions".to_string(), snap.revisions.to_value()),
+                    (
+                        "revision_warm_hits".to_string(),
+                        snap.revision_warm_hits.to_value(),
+                    ),
+                    ("unknown".to_string(), snap.unknown_session.to_value()),
+                    (
+                        "revision_latency_us".to_string(),
+                        snap.revision_latency.to_value(),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -1169,14 +1580,23 @@ impl SchedulerService {
         mut input: R,
         mut output: W,
     ) -> std::io::Result<()> {
-        loop {
+        // Odd, process-unique connection token. The pipelined transport
+        // derives its tokens from `Arc` allocation addresses (always even),
+        // so the two families can never collide; 0 stays the anonymous
+        // token of bare `handle_line` calls.
+        static NEXT_CONN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let conn = NEXT_CONN
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .wrapping_mul(2)
+            .wrapping_add(1);
+        let result = (|| loop {
             let reply = match read_line_bounded(&mut input, self.config.max_line_bytes)? {
                 BoundedLine::Eof => return Ok(()),
                 BoundedLine::Line(line) => {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    self.handle_line(&line)
+                    self.handle_line_with_conn(&line, conn)
                 }
                 BoundedLine::TooLong => {
                     let failure = self.line_too_long_response();
@@ -1186,7 +1606,10 @@ impl SchedulerService {
             output.write_all(reply.as_bytes())?;
             output.write_all(b"\n")?;
             output.flush()?;
-        }
+        })();
+        // The connection is gone (EOF or I/O error) — its sessions go too.
+        self.evict_connection_sessions(conn);
+        result
     }
 
     /// Serves NDJSON requests from `input` with **pipelined** execution: the
@@ -1211,13 +1634,23 @@ impl SchedulerService {
         pool: &PoolHandle,
     ) -> std::io::Result<()> {
         let sink = ResponseSink::new(output);
+        let conn = crate::pipeline::sink_conn_token(&sink);
         self.metrics.set_queue_capacity(pool.capacity() as u64);
         loop {
             if sink.failed() {
                 sink.wait_drained();
+                self.evict_connection_sessions(conn);
                 return Err(std::io::Error::other("response writer failed"));
             }
-            match read_line_bounded(&mut input, self.config.max_line_bytes)? {
+            let bounded = match read_line_bounded(&mut input, self.config.max_line_bytes) {
+                Ok(bounded) => bounded,
+                Err(err) => {
+                    sink.wait_drained();
+                    self.evict_connection_sessions(conn);
+                    return Err(err);
+                }
+            };
+            match bounded {
                 BoundedLine::Eof => break,
                 BoundedLine::TooLong => {
                     sink.write_response_now(&self.line_too_long_response());
@@ -1247,6 +1680,9 @@ impl SchedulerService {
         }
         sink.wait_drained();
         sink.flush();
+        // Drained: every session verb from this connection has been
+        // answered, so eviction cannot race an in-flight open.
+        self.evict_connection_sessions(conn);
         Ok(())
     }
 

@@ -196,6 +196,7 @@ fn loadgen_sustains_100_rps_and_pipelining_beats_serial() {
         deadline_ms: None,
         detail: None,
         trace: false,
+        session: false,
         seed: 0xACCE,
     })
     .expect("load generation succeeds");
@@ -242,6 +243,7 @@ fn loadgen_sustains_100_rps_and_pipelining_beats_serial() {
             deadline_ms: None,
             detail: None,
             trace: false,
+            session: false,
             seed: 0xACCE,
         })
         .expect("load generation succeeds");

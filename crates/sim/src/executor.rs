@@ -11,7 +11,7 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-use suu_core::{Assignment, JobSet, SchedulingPolicy, SuuInstance};
+use suu_core::{Assignment, JobId, JobSet, SchedulingPolicy, SuuInstance};
 
 use crate::stats::{OnlineStats, Summary};
 use crate::trace::{ExecutionTrace, StepRecord};
@@ -98,21 +98,7 @@ fn run<P: SchedulingPolicy + ?Sized>(
         }
         let proposed = policy.assign(step, &unfinished);
         let effective = effective_assignment(instance, &proposed, &unfinished);
-
-        // Draw Bernoulli successes machine by machine.
-        let mut completed = Vec::new();
-        for (machine, job) in effective.busy_pairs() {
-            if !unfinished.contains(job) {
-                // Already completed earlier in this step by another machine.
-                continue;
-            }
-            let p = instance.prob(machine, job);
-            if p > 0.0 && rng.gen_bool(p) {
-                unfinished.remove(job);
-                completed.push(job);
-            }
-        }
-        completed.sort_unstable();
+        let completed = draw_step(instance, &effective, &mut unfinished, rng);
 
         if let Some(trace) = trace.as_mut() {
             trace.push(StepRecord {
@@ -128,6 +114,49 @@ fn run<P: SchedulingPolicy + ?Sized>(
         }
     }
     (None, trace)
+}
+
+/// Executes one step of the Definition 2.1 execution model: filters
+/// `proposed` down to unfinished, eligible jobs, draws the per-machine
+/// Bernoulli successes, removes the completed jobs from `unfinished` and
+/// returns them in increasing order.
+///
+/// This is the single-step primitive behind [`simulate_once`], exposed so
+/// closed-loop drivers (which interleave execution with schedule revisions)
+/// share the simulator's exact semantics and RNG draw order.
+pub fn execute_step(
+    instance: &SuuInstance,
+    proposed: &Assignment,
+    unfinished: &mut JobSet,
+    rng: &mut impl Rng,
+) -> Vec<JobId> {
+    let effective = effective_assignment(instance, proposed, unfinished);
+    draw_step(instance, &effective, unfinished, rng)
+}
+
+/// Bernoulli draws for an already-filtered assignment, machine by machine in
+/// increasing machine order (the draw order is part of the reproducibility
+/// contract).
+fn draw_step(
+    instance: &SuuInstance,
+    effective: &Assignment,
+    unfinished: &mut JobSet,
+    rng: &mut impl Rng,
+) -> Vec<JobId> {
+    let mut completed = Vec::new();
+    for (machine, job) in effective.busy_pairs() {
+        if !unfinished.contains(job) {
+            // Already completed earlier in this step by another machine.
+            continue;
+        }
+        let p = instance.prob(machine, job);
+        if p > 0.0 && rng.gen_bool(p) {
+            unfinished.remove(job);
+            completed.push(job);
+        }
+    }
+    completed.sort_unstable();
+    completed
 }
 
 /// Filters a proposed assignment down to the machines whose target job is

@@ -23,7 +23,10 @@ pub mod policy;
 pub mod stats;
 pub mod trace;
 
-pub use executor::{simulate_once, MakespanEstimate, SimulationOptions, Simulator};
+pub use executor::{
+    effective_assignment, execute_step, simulate_once, MakespanEstimate, SimulationOptions,
+    Simulator,
+};
 pub use markov::{exact_expected_makespan_oblivious_cyclic, exact_expected_makespan_regimen};
 pub use policy::{AllMachinesOnOneJob, FnPolicy, FnRegimen};
 pub use stats::{bucket_quantile_index, OnlineStats, SampleSet, Summary};

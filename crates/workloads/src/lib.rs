@@ -13,7 +13,10 @@
 //!   disjoint chains, in-/out-trees, directed forests, layered DAGs).
 //! * [`scenario`] — ready-made combinations reproducing the paper's two
 //!   motivating applications (a heterogeneous compute grid and a staffed
-//!   project plan), plus small adversarial instances used in unit tests.
+//!   project plan), small adversarial instances used in unit tests, and the
+//!   adaptive-session scenario family (machine failure, heterogeneous drain,
+//!   diurnal drift, flash crowd) executed closed-loop against the
+//!   `suu-service` session subsystem.
 //!
 //! All generators take explicit seeds and are deterministic.
 
@@ -28,7 +31,8 @@ pub use probability::{
     bimodal_matrix, skill_matrix, sparse_uniform_matrix, uniform_matrix, ProbabilityModel,
 };
 pub use scenario::{
-    bottleneck_instance, bursty_multi_tenant_stream, deadline_burst_stream, figure1_instance,
-    grid_computing_instance, project_management_instance, tenant_drift_stream, BurstConfig,
-    DriftConfig, DriftRequest, GridConfig, ProjectConfig,
+    bottleneck_instance, bursty_multi_tenant_stream, deadline_burst_stream, diurnal_drift_scenario,
+    drain_join_scenario, figure1_instance, flash_crowd_sessions, grid_computing_instance,
+    machine_failure_scenario, project_management_instance, session_scenarios, tenant_drift_stream,
+    BurstConfig, DriftConfig, DriftRequest, GridConfig, ProjectConfig, SessionScenario,
 };

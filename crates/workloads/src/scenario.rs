@@ -382,6 +382,154 @@ fn burst_stream_with(
     (tenants, requests)
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive-session scenarios
+// ---------------------------------------------------------------------------
+
+/// One closed-loop adaptive-scheduling scenario: an instance executed under
+/// a scripted sequence of mid-execution disruptions, fed to the `suu-service`
+/// session subsystem (adaptive arm) and replayed obliviously (baseline arm).
+///
+/// All instances are independent-jobs or disjoint-chains structured — the
+/// classes the warm-start-capable `SUU-C` solver (and hence the session
+/// subsystem) accepts. Failures and drifts address **original** machine and
+/// job indices, matching the session wire contract.
+#[derive(Debug, Clone)]
+pub struct SessionScenario {
+    /// Scenario family name (stable, used as the experiment row key).
+    pub name: String,
+    /// The instance executed by the session.
+    pub instance: SuuInstance,
+    /// Scripted machine failures `(step, machine)`: from `step` on, the
+    /// machine executes nothing; the adaptive arm reports it and re-plans.
+    pub failures: Vec<(usize, usize)>,
+    /// Scripted probability drifts `(step, machine, job, p)` applied to the
+    /// ground truth mid-execution (and reported by the adaptive arm).
+    pub drifts: Vec<(usize, usize, usize, f64)>,
+}
+
+/// The paper's core adaptive story: a cluster whose best machine dies
+/// mid-execution. Machine 0 dominates every job (so the LP leans on it
+/// heavily), then fails early; an oblivious schedule keeps routing work to
+/// the corpse while an adaptive session re-plans the unfinished suffix onto
+/// the survivors. Independent jobs — the §3 setting whose adaptive policy
+/// has the O(log n) guarantee against the oblivious O(log² n) bound.
+#[must_use]
+pub fn machine_failure_scenario(seed: u64) -> SessionScenario {
+    let (num_jobs, num_machines) = (16, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut probs = vec![0.0; num_jobs * num_machines];
+    for j in 0..num_jobs {
+        probs[j] = 0.9; // machine 0: excellent at everything
+    }
+    for i in 1..num_machines {
+        for j in 0..num_jobs {
+            probs[i * num_jobs + j] = rng.gen_range(0.25..0.45);
+        }
+    }
+    let instance = SuuInstance::new(num_jobs, num_machines, probs, Dag::independent(num_jobs))
+        .expect("machine-failure instance is valid");
+    SessionScenario {
+        name: "machine_failure".to_string(),
+        instance,
+        failures: vec![(2, 0)],
+        drifts: Vec::new(),
+    }
+}
+
+/// Heterogeneous drain: a chains-structured plan on machines of mixed
+/// quality, where two machines are drained at staggered points (a rolling
+/// restart taking capacity out from under a running plan). Each drain
+/// shrinks the feasible assignment set, so the adaptive arm re-packs the
+/// surviving machines while the oblivious arm wastes the drained slots.
+#[must_use]
+pub fn drain_join_scenario(seed: u64) -> SessionScenario {
+    let (num_jobs, num_machines) = (14, 5);
+    let probs = crate::probability::uniform_matrix(num_jobs, num_machines, 0.3, 0.85, seed);
+    let dag = crate::precedence::random_chains(num_jobs, (num_jobs / 2).max(1), seed ^ 0xC0A1);
+    let instance =
+        SuuInstance::new(num_jobs, num_machines, probs, dag).expect("drain-join instance is valid");
+    SessionScenario {
+        name: "drain_join".to_string(),
+        instance,
+        failures: vec![(3, 1), (9, 3)],
+        drifts: Vec::new(),
+    }
+}
+
+/// Diurnal drift: success probabilities sag and recover in waves (machines
+/// sharing capacity with a daily interactive load). Every drift keeps the
+/// probability strictly positive, so the instance stays valid throughout;
+/// the drifted cells target late-chain jobs so they are usually still
+/// unfinished when their drift fires.
+#[must_use]
+pub fn diurnal_drift_scenario(seed: u64) -> SessionScenario {
+    let (num_jobs, num_machines) = (12, 4);
+    let probs = crate::probability::uniform_matrix(num_jobs, num_machines, 0.35, 0.8, seed);
+    let dag = crate::precedence::random_chains(num_jobs, (num_jobs / 2).max(1), seed ^ 0xD1E5);
+    let instance = SuuInstance::new(num_jobs, num_machines, probs, dag)
+        .expect("diurnal-drift instance is valid");
+    // Two sag waves and one recovery, cycling over machines; jobs picked
+    // from the back half of the id space (chain tails finish last).
+    let mut drifts = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD1F7);
+    for &(at, p) in &[(2usize, 0.2), (5, 0.15), (9, 0.7)] {
+        let machine = rng.gen_range(0..num_machines);
+        let job = rng.gen_range(num_jobs / 2..num_jobs);
+        drifts.push((at, machine, job, p));
+    }
+    SessionScenario {
+        name: "diurnal_drift".to_string(),
+        instance,
+        failures: Vec::new(),
+        drifts,
+    }
+}
+
+/// A flash crowd of sessions: `count` structurally identical (same shape and
+/// support pattern, perturbed probabilities) chains instances, each with the
+/// same early machine failure. Opened concurrently they exercise the
+/// service's session fan-out, and because the suffix instances repeat
+/// *structurally* across sessions, revisions warm-start from each other's
+/// cached bases.
+#[must_use]
+pub fn flash_crowd_sessions(count: usize, seed: u64) -> Vec<SessionScenario> {
+    let (num_jobs, num_machines) = (12, 4);
+    let dag = crate::precedence::random_chains(num_jobs, (num_jobs / 2).max(1), seed ^ 0xF1A5);
+    (0..count)
+        .map(|k| {
+            // Same support pattern (all cells positive), per-session jitter.
+            let probs = crate::probability::uniform_matrix(
+                num_jobs,
+                num_machines,
+                0.3,
+                0.8,
+                seed.wrapping_add(k as u64),
+            );
+            let instance = SuuInstance::new(num_jobs, num_machines, probs, dag.clone())
+                .expect("flash-crowd instance is valid");
+            SessionScenario {
+                name: format!("flash_crowd_{k}"),
+                instance,
+                failures: vec![(3, 1)],
+                drifts: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// The named adaptive-session scenario family measured by `exp_adaptive`:
+/// machine failure, heterogeneous drain, and diurnal drift (the flash crowd
+/// is a *load* shape, exercised by the load generator's `--session` mode).
+#[must_use]
+pub fn session_scenarios(seed: u64) -> Vec<SessionScenario> {
+    vec![
+        machine_failure_scenario(seed),
+        drain_join_scenario(seed.wrapping_add(1)),
+        diurnal_drift_scenario(seed.wrapping_add(2)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +690,56 @@ mod tests {
         assert_eq!(
             stream.iter().map(|r| r.tenant).collect::<Vec<_>>(),
             stream_b.iter().map(|r| r.tenant).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn session_scenarios_are_valid_session_class_and_in_range() {
+        let scenarios = session_scenarios(0xADA7);
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[0].name, "machine_failure");
+        assert!(!scenarios[0].failures.is_empty());
+        for sc in &scenarios {
+            // Session class: the warm-capable SUU-C solver accepts exactly
+            // independent jobs and disjoint chains.
+            assert!(
+                matches!(
+                    sc.instance.forest_kind(),
+                    ForestKind::Independent | ForestKind::DisjointChains
+                ),
+                "{}: session scenarios must stay in the SUU-C class",
+                sc.name
+            );
+            for &(_, machine) in &sc.failures {
+                assert!(machine < sc.instance.num_machines());
+            }
+            for &(_, machine, job, p) in &sc.drifts {
+                assert!(machine < sc.instance.num_machines());
+                assert!(job < sc.instance.num_jobs());
+                assert!(p > 0.0 && p <= 1.0, "drifts must keep probabilities valid");
+            }
+        }
+        // Deterministic.
+        let again = session_scenarios(0xADA7);
+        for (a, b) in scenarios.iter().zip(&again) {
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.failures, b.failures);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_sessions_share_structure_but_not_probabilities() {
+        let crowd = flash_crowd_sessions(4, 0xF1A5);
+        assert_eq!(crowd.len(), 4);
+        let digest = crowd[0].instance.structural_digest();
+        for sc in &crowd {
+            // Same structural digest in, warm-start sharing out.
+            assert_eq!(sc.instance.structural_digest(), digest);
+        }
+        assert_ne!(
+            crowd[0].instance.canonical_digest(),
+            crowd[1].instance.canonical_digest(),
+            "per-session probability jitter must change the canonical digest"
         );
     }
 }
